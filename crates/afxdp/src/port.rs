@@ -1,0 +1,142 @@
+//! An AF_XDP port: one socket per NIC queue plus the OVS hook program.
+//!
+//! This is what `ovs-vswitchd` sets up when a port of type `afxdp` is
+//! added to a bridge (§4): it creates an xskmap, binds one XSK per
+//! configured queue, and loads the redirect program onto the device —
+//! and unloads it when the port is removed.
+
+use crate::socket::{OptLevel, XskSocket};
+use ovs_ebpf::maps::{Map, XskMap};
+use ovs_ebpf::programs;
+use ovs_kernel::dev::XdpMode;
+use ovs_kernel::Kernel;
+use ovs_ring::PacketBatch;
+
+/// A multi-queue AF_XDP port.
+#[derive(Debug)]
+pub struct AfxdpPort {
+    /// Device the port drives.
+    pub ifindex: u32,
+    /// One socket per queue.
+    pub sockets: Vec<XskSocket>,
+    /// The xskmap fd backing the hook program.
+    pub xskmap_fd: u32,
+}
+
+impl AfxdpPort {
+    /// Open an AF_XDP port on `ifindex` with one socket per device queue,
+    /// installing the OVS hook program. Uses native (zero-copy) mode when
+    /// the driver supports it, the generic copy fallback otherwise
+    /// (§3.5 "Limitations").
+    pub fn open(
+        kernel: &mut Kernel,
+        ifindex: u32,
+        nframes_per_queue: usize,
+        opt: OptLevel,
+    ) -> Result<Self, String> {
+        let (num_queues, native) = {
+            let d = kernel.device(ifindex);
+            (d.num_queues, d.caps.native_xdp)
+        };
+        let mut xmap = XskMap::new(num_queues);
+        let mut sockets = Vec::with_capacity(num_queues);
+        for q in 0..num_queues {
+            let sock = XskSocket::bind(kernel, ifindex, q, nframes_per_queue, opt);
+            xmap.set(q as u32, sock.xsk_id)
+                .map_err(|e| format!("xskmap: {e:?}"))?;
+            sockets.push(sock);
+        }
+        let xskmap_fd = kernel.maps.add(Map::Xsk(xmap));
+        let mode = if native { XdpMode::Native } else { XdpMode::Generic };
+        kernel.attach_xdp(ifindex, programs::ovs_xsk_redirect(xskmap_fd), mode, None)?;
+        Ok(Self {
+            ifindex,
+            sockets,
+            xskmap_fd,
+        })
+    }
+
+    /// Close the port: detach the hook program, as OVS does when the port
+    /// is removed from the bridge.
+    pub fn close(&mut self, kernel: &mut Kernel) {
+        kernel.detach_xdp(self.ifindex);
+    }
+
+    /// Number of queues/sockets.
+    pub fn num_queues(&self) -> usize {
+        self.sockets.len()
+    }
+
+    /// Receive a burst from one queue, charging `core`.
+    pub fn rx_burst(&mut self, kernel: &mut Kernel, queue: usize, core: usize) -> PacketBatch {
+        self.sockets[queue].rx_burst(kernel, core)
+    }
+
+    /// Transmit a batch on one queue, charging `core`.
+    pub fn tx_burst(
+        &mut self,
+        kernel: &mut Kernel,
+        queue: usize,
+        core: usize,
+        batch: PacketBatch,
+    ) -> usize {
+        self.sockets[queue].tx_burst(kernel, core, batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovs_kernel::dev::{DeviceKind, NetDevice};
+    use ovs_kernel::RxOutcome;
+    use ovs_packet::{builder, MacAddr};
+
+    const M1: MacAddr = MacAddr([2, 0, 0, 0, 0, 1]);
+    const M2: MacAddr = MacAddr([2, 0, 0, 0, 0, 2]);
+
+    fn frame() -> Vec<u8> {
+        builder::udp_ipv4_frame(M2, M1, [10, 0, 0, 2], [10, 0, 0, 1], 1, 2, 64)
+    }
+
+    #[test]
+    fn multi_queue_port_routes_by_queue() {
+        let mut k = Kernel::new(8);
+        let eth0 =
+            k.add_device(NetDevice::new("eth0", M1, DeviceKind::Phys { link_gbps: 25.0 }, 4));
+        let mut port = AfxdpPort::open(&mut k, eth0, 64, OptLevel::O5).unwrap();
+        assert_eq!(port.num_queues(), 4);
+        for q in 0..4 {
+            let out = k.receive(eth0, q, frame());
+            assert!(matches!(out, RxOutcome::ToXsk(_)), "queue {q}: {out:?}");
+        }
+        for q in 0..4 {
+            let b = port.rx_burst(&mut k, q, 1);
+            assert_eq!(b.len(), 1, "each queue's socket got its packet");
+        }
+    }
+
+    #[test]
+    fn generic_fallback_when_no_native_xdp() {
+        let mut k = Kernel::new(2);
+        let eth0 =
+            k.add_device(NetDevice::new("eth0", M1, DeviceKind::Phys { link_gbps: 10.0 }, 1));
+        k.dev_mut(eth0).caps.native_xdp = false; // old driver
+        let mut port = AfxdpPort::open(&mut k, eth0, 32, OptLevel::O5).unwrap();
+        k.receive(eth0, 0, frame());
+        let b = port.rx_burst(&mut k, 0, 0);
+        assert_eq!(b.len(), 1, "copy-mode fallback still works");
+    }
+
+    #[test]
+    fn close_detaches_hook() {
+        let mut k = Kernel::new(2);
+        let eth0 =
+            k.add_device(NetDevice::new("eth0", M1, DeviceKind::Phys { link_gbps: 10.0 }, 1));
+        let mut port = AfxdpPort::open(&mut k, eth0, 32, OptLevel::O5).unwrap();
+        assert!(k.device(eth0).xdp.is_some());
+        port.close(&mut k);
+        assert!(k.device(eth0).xdp.is_none());
+        // Traffic now goes to the host stack instead of the socket.
+        assert_eq!(k.receive(eth0, 0, frame()), RxOutcome::ToHost);
+    }
+}

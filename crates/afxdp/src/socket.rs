@@ -1,0 +1,475 @@
+//! The userspace XSK socket wrapper and the optimization ladder.
+
+use ovs_kernel::xsk::{XskBinding, XskHandle};
+use ovs_kernel::Kernel;
+use ovs_packet::flow::extract_flow_key;
+use ovs_packet::OffloadFlags;
+use ovs_ring::{Desc, DpPacketPool, LockStrategy, PacketBatch, UmemPool, BATCH_SIZE};
+use ovs_sim::Context;
+use std::sync::Arc;
+
+/// Cumulative optimization level (§3.2, Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OptLevel {
+    /// Shared main-loop thread, mutex, per-packet locks, per-packet
+    /// metadata allocation, software checksums.
+    O0,
+    /// + dedicated PMD thread per queue.
+    O1,
+    /// + spinlock instead of mutex.
+    O2,
+    /// + batch-granularity locking.
+    O3,
+    /// + preallocated packet metadata.
+    O4,
+    /// + checksum offload.
+    O5,
+}
+
+impl OptLevel {
+    /// All levels in ladder order.
+    pub const LADDER: [OptLevel; 6] = [
+        OptLevel::O0,
+        OptLevel::O1,
+        OptLevel::O2,
+        OptLevel::O3,
+        OptLevel::O4,
+        OptLevel::O5,
+    ];
+
+    /// The Table 2 row label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OptLevel::O0 => "none",
+            OptLevel::O1 => "O1",
+            OptLevel::O2 => "O1+O2",
+            OptLevel::O3 => "O1+O2+O3",
+            OptLevel::O4 => "O1+O2+O3+O4",
+            OptLevel::O5 => "O1+O2+O3+O4+O5",
+        }
+    }
+
+    /// Which umem-pool lock this level uses.
+    pub fn lock_strategy(&self) -> LockStrategy {
+        match self {
+            OptLevel::O0 | OptLevel::O1 => LockStrategy::MutexPerPacket,
+            OptLevel::O2 => LockStrategy::SpinlockPerPacket,
+            _ => LockStrategy::SpinlockBatched,
+        }
+    }
+
+    /// Does this level run in a dedicated PMD thread?
+    pub fn pmd_thread(&self) -> bool {
+        *self >= OptLevel::O1
+    }
+
+    /// Does this level preallocate packet metadata?
+    pub fn prealloc_metadata(&self) -> bool {
+        *self >= OptLevel::O4
+    }
+
+    /// Does this level rely on checksum offload?
+    pub fn csum_offload(&self) -> bool {
+        *self >= OptLevel::O5
+    }
+}
+
+/// Userspace socket statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct XskSocketStats {
+    pub rx_packets: u64,
+    pub rx_batches: u64,
+    pub tx_packets: u64,
+    pub tx_kicks: u64,
+    pub csum_sw_verified: u64,
+    pub csum_sw_filled: u64,
+}
+
+/// The userspace side of one AF_XDP socket, bound to `(ifindex, queue)`.
+#[derive(Debug)]
+pub struct XskSocket {
+    handle: XskHandle,
+    /// The umempool (§3.2): free-frame manager with the level's lock.
+    pub pool: Arc<UmemPool>,
+    meta_pool: DpPacketPool,
+    /// Optimization level.
+    pub opt: OptLevel,
+    /// Interrupt-driven instead of busy polling (the Fig 8a
+    /// "interrupt" configuration). Polling mode requires O1+.
+    pub interrupt_mode: bool,
+    /// The kernel-registered socket id (xskmap value).
+    pub xsk_id: u32,
+    /// Device the socket is bound to.
+    pub ifindex: u32,
+    /// Queue the socket is bound to.
+    pub queue: usize,
+    /// Counters.
+    pub stats: XskSocketStats,
+    scratch_frames: Vec<u32>,
+}
+
+impl XskSocket {
+    /// Create a socket against the kernel: allocates the umem, registers
+    /// the binding, and posts an initial batch of fill descriptors.
+    pub fn bind(
+        kernel: &mut Kernel,
+        ifindex: u32,
+        queue: usize,
+        nframes: usize,
+        opt: OptLevel,
+    ) -> Self {
+        let zero_copy = kernel.device(ifindex).caps.native_xdp;
+        let handle = XskBinding::new(ifindex, queue, nframes, 2048, zero_copy).into_handle();
+        let xsk_id = kernel.register_xsk(std::rc::Rc::clone(&handle));
+        let pool = Arc::new(UmemPool::new(nframes as u32, opt.lock_strategy()));
+        let meta_pool = if opt.prealloc_metadata() {
+            DpPacketPool::with_preallocated(nframes, 2048)
+        } else {
+            DpPacketPool::without_preallocation(2048)
+        };
+        let mut sock = Self {
+            handle,
+            pool,
+            meta_pool,
+            opt,
+            interrupt_mode: false,
+            xsk_id,
+            ifindex,
+            queue,
+            stats: XskSocketStats::default(),
+            scratch_frames: Vec::with_capacity(BATCH_SIZE),
+        };
+        sock.refill(kernel, nframes / 2);
+        sock
+    }
+
+    /// Enable preferred busy polling ([64]): the kernel-side XSK work for
+    /// this socket runs inline on `core` (the PMD's own hyperthread),
+    /// trading a little PMD headroom for a whole softirq thread — the
+    /// "optimizations being proposed to the kernel community" the paper
+    /// expects to close the CPU-efficiency gap with DPDK (Outcome #2).
+    pub fn enable_busy_poll(&mut self, core: usize) {
+        self.handle.borrow_mut().busy_poll_core = Some(core);
+    }
+
+    /// Post up to `n` free frames to the fill ring (path 1 in Fig 4).
+    fn refill(&mut self, kernel: &mut Kernel, n: usize) -> usize {
+        self.scratch_frames.clear();
+        let got = self.pool.alloc_batch(&mut self.scratch_frames, n);
+        let b = self.handle.borrow();
+        let mut pushed = 0;
+        for &f in &self.scratch_frames {
+            if b.umem.fill.push(Desc { frame: f, len: 0 }).is_ok() {
+                pushed += 1;
+            } else {
+                self.pool.free(f);
+            }
+        }
+        drop(b);
+        let _ = kernel;
+        got.min(pushed)
+    }
+
+    /// Per-packet userspace cost for this level, beyond the O5 baseline.
+    fn ladder_extra_ns(&self, kernel: &Kernel) -> f64 {
+        let c = &kernel.sim.costs;
+        let mut extra = 0.0;
+        match self.opt.lock_strategy() {
+            LockStrategy::MutexPerPacket => extra += c.mutex_extra_ns + c.unbatched_lock_extra_ns,
+            LockStrategy::SpinlockPerPacket => extra += c.unbatched_lock_extra_ns,
+            LockStrategy::SpinlockBatched => {}
+        }
+        if !self.opt.prealloc_metadata() {
+            extra += c.dp_packet_alloc_ns;
+        }
+        if !self.opt.pmd_thread() {
+            extra += c.non_pmd_overhead_ns;
+        }
+        extra
+    }
+
+    /// Receive a burst: drain the RX ring into a [`PacketBatch`],
+    /// verifying checksums (software or offloaded), computing the software
+    /// rxhash AF_XDP still needs (§5.5), and refilling the fill ring.
+    ///
+    /// Costs are charged to `core` as user time (plus system time for the
+    /// interrupt-mode wakeup).
+    pub fn rx_burst(&mut self, kernel: &mut Kernel, core: usize) -> PacketBatch {
+        let mut descs = [Desc { frame: 0, len: 0 }; BATCH_SIZE];
+        let n = self.handle.borrow().rx.pop_batch(&mut descs);
+        if n == 0 {
+            return PacketBatch::new();
+        }
+        self.stats.rx_batches += 1;
+        self.stats.rx_packets += n as u64;
+
+        if self.interrupt_mode {
+            // Blocked in poll(); the kernel had to wake us per batch.
+            let c = kernel.sim.costs.wakeup_ns + kernel.sim.costs.syscall_light_ns;
+            kernel.sim.charge(core, Context::System, c);
+        }
+
+        let rx_csum_hw = self.opt.csum_offload() && kernel.device(self.ifindex).caps.rx_csum;
+        let mut batch = PacketBatch::new();
+        let mut bytes = 0usize;
+        for d in &descs[..n] {
+            let data = {
+                let b = self.handle.borrow();
+                b.umem.frame(d.frame)[..d.len as usize].to_vec()
+            };
+            bytes += data.len();
+            let mut pkt = self.meta_pool.take();
+            pkt.set_data(&data);
+            pkt.in_port = self.ifindex;
+            // Software rxhash: XDP exposes no NIC hash hint yet.
+            let key = extract_flow_key(&mut pkt);
+            pkt.rxhash = Some(key.rss_hash());
+            if rx_csum_hw {
+                pkt.offloads = OffloadFlags {
+                    csum_verified: true,
+                    ..OffloadFlags::default()
+                };
+            } else {
+                self.stats.csum_sw_verified += 1;
+            }
+            let _ = batch.push(pkt);
+            // Frame ownership returns to the pool; the refill below posts
+            // pool frames back to the fill ring.
+            self.pool.free(d.frame);
+        }
+        self.refill(kernel, n);
+
+        // Charge: ring ops + rxhash per packet, the ladder extras, the
+        // per-byte cost beyond the first cache line (umem DMA sync — the
+        // large-frame cost visible in Fig 12's 1518 B series), and the
+        // software checksum verify when not offloaded.
+        let c = &kernel.sim.costs;
+        let extra_bytes = bytes.saturating_sub(64 * n) as f64;
+        let mut ns = n as f64 * (c.xsk_ring_ns + c.sw_rxhash_ns)
+            + n as f64 * self.ladder_extra_ns(kernel)
+            + extra_bytes * c.afxdp_per_byte_ns;
+        if !rx_csum_hw {
+            ns += c.csum_per_byte_ns * bytes as f64;
+        }
+        kernel.sim.charge(core, Context::User, ns);
+        batch
+    }
+
+    /// Transmit a batch: write frames into umem, post TX descriptors,
+    /// kick the kernel if `need_wakeup` is armed, and reclaim
+    /// completions. Returns the number of packets accepted.
+    pub fn tx_burst(&mut self, kernel: &mut Kernel, core: usize, batch: PacketBatch) -> usize {
+        let n_req = batch.len();
+        if n_req == 0 {
+            return 0;
+        }
+        let tx_csum_hw = self.opt.csum_offload() && kernel.device(self.ifindex).caps.tx_csum;
+        let mut sent = 0usize;
+        let mut bytes = 0usize;
+        self.scratch_frames.clear();
+        let frames_got = self.pool.alloc_batch(&mut self.scratch_frames, n_req);
+        let frames: Vec<u32> = self.scratch_frames.clone();
+        for (pkt, frame) in batch.into_iter().zip(frames.iter().copied()) {
+            if !tx_csum_hw {
+                self.stats.csum_sw_filled += 1;
+            }
+            bytes += pkt.len();
+            let mut b = self.handle.borrow_mut();
+            let len = b.umem.write_frame(frame, pkt.data());
+            if b.tx.push(Desc { frame, len }).is_err() {
+                drop(b);
+                self.pool.free(frame);
+                break;
+            }
+            sent += 1;
+            if self.opt.prealloc_metadata() {
+                self.meta_pool.put(pkt);
+            }
+        }
+        // Any frames we allocated but didn't use go back.
+        for &f in frames.iter().skip(sent) {
+            self.pool.free(f);
+        }
+        let _ = frames_got;
+
+        // Kick the kernel to process the TX ring.
+        let need_kick = self.handle.borrow().need_wakeup;
+        // TX charges ring work and software checksum fill; the umem-pool
+        // locking cost is dominated by the RX refill path and charged
+        // there.
+        let c = &kernel.sim.costs;
+        let mut ns = sent as f64 * c.xsk_ring_ns;
+        if !tx_csum_hw {
+            ns += c.csum_per_byte_ns * bytes as f64;
+        }
+        kernel.sim.charge(core, Context::User, ns);
+        if need_kick {
+            self.stats.tx_kicks += 1;
+            let kick = sent as f64 * kernel.sim.costs.xsk_tx_kick_ns;
+            kernel.sim.charge(core, Context::System, kick);
+        }
+        self.stats.tx_packets += sent as u64;
+        kernel.xsk_tx_drain(self.xsk_id, sent);
+
+        // Reclaim completions back into the pool.
+        let mut comp = [Desc { frame: 0, len: 0 }; BATCH_SIZE];
+        let m = {
+            let b = self.handle.borrow();
+            b.umem.comp.pop_batch(&mut comp)
+        };
+        for d in &comp[..m] {
+            self.pool.free(d.frame);
+        }
+        sent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovs_ebpf::maps::{Map, XskMap};
+    use ovs_kernel::dev::{DeviceKind, NetDevice, XdpMode};
+    use ovs_packet::{builder, DpPacket, MacAddr};
+
+    const M1: MacAddr = MacAddr([2, 0, 0, 0, 0, 1]);
+    const M2: MacAddr = MacAddr([2, 0, 0, 0, 0, 2]);
+
+    fn setup(opt: OptLevel) -> (Kernel, XskSocket, u32) {
+        let mut k = Kernel::new(4);
+        let eth0 = k.add_device(NetDevice::new("eth0", M1, DeviceKind::Phys { link_gbps: 25.0 }, 1));
+        let sock = XskSocket::bind(&mut k, eth0, 0, 64, opt);
+        let mut xmap = XskMap::new(4);
+        xmap.set(0, sock.xsk_id).unwrap();
+        let fd = k.maps.add(Map::Xsk(xmap));
+        k.attach_xdp(eth0, ovs_ebpf::programs::ovs_xsk_redirect(fd), XdpMode::Native, None)
+            .unwrap();
+        (k, sock, eth0)
+    }
+
+    fn frame() -> Vec<u8> {
+        builder::udp_ipv4_frame(M2, M1, [10, 0, 0, 2], [10, 0, 0, 1], 1, 2, 64)
+    }
+
+    #[test]
+    fn wire_to_userspace_roundtrip() {
+        let (mut k, mut sock, eth0) = setup(OptLevel::O5);
+        for _ in 0..5 {
+            k.receive(eth0, 0, frame());
+        }
+        let batch = sock.rx_burst(&mut k, 1);
+        assert_eq!(batch.len(), 5);
+        for pkt in batch.iter() {
+            assert_eq!(pkt.data(), &frame()[..]);
+            assert!(pkt.rxhash.is_some(), "software rxhash computed");
+            assert!(pkt.offloads.csum_verified, "O5 offloads rx checksum");
+        }
+        assert_eq!(sock.stats.rx_packets, 5);
+    }
+
+    #[test]
+    fn sw_checksum_before_o5() {
+        let (mut k, mut sock, eth0) = setup(OptLevel::O4);
+        k.receive(eth0, 0, frame());
+        let batch = sock.rx_burst(&mut k, 1);
+        assert!(!batch.iter().next().unwrap().offloads.csum_verified);
+        assert_eq!(sock.stats.csum_sw_verified, 1);
+    }
+
+    #[test]
+    fn tx_reaches_wire() {
+        let (mut k, mut sock, eth0) = setup(OptLevel::O5);
+        let mut batch = PacketBatch::new();
+        batch.push(DpPacket::from_data(&frame())).unwrap();
+        let sent = sock.tx_burst(&mut k, 1, batch);
+        assert_eq!(sent, 1);
+        let out = k.dev_mut(eth0).tx_wire.pop_front().unwrap();
+        assert_eq!(out, frame());
+    }
+
+    #[test]
+    fn frames_recycle_forever() {
+        // With only 64 umem frames, continuous rx/tx must never exhaust
+        // the pool — fill/completion recycling has to balance.
+        let (mut k, mut sock, eth0) = setup(OptLevel::O5);
+        for round in 0..50 {
+            for _ in 0..8 {
+                k.receive(eth0, 0, frame());
+            }
+            let batch = sock.rx_burst(&mut k, 1);
+            assert_eq!(batch.len(), 8, "round {round}");
+            let sent = sock.tx_burst(&mut k, 1, batch);
+            assert_eq!(sent, 8, "round {round}");
+        }
+        assert_eq!(sock.stats.rx_packets, 400);
+        assert_eq!(sock.stats.tx_packets, 400);
+    }
+
+    #[test]
+    fn ladder_charges_decrease_monotonically() {
+        // Higher optimization levels must charge less user time per packet.
+        let mut prev = f64::INFINITY;
+        for opt in OptLevel::LADDER {
+            let (mut k, mut sock, eth0) = setup(opt);
+            for _ in 0..32 {
+                k.receive(eth0, 0, frame());
+            }
+            let batch = sock.rx_burst(&mut k, 1);
+            assert_eq!(batch.len(), 32);
+            let user_ns = k.sim.cpus.core(1).ns(Context::User);
+            assert!(
+                user_ns < prev,
+                "{}: {user_ns} !< {prev}",
+                opt.label()
+            );
+            prev = user_ns;
+        }
+    }
+
+    #[test]
+    fn lock_strategy_follows_level() {
+        assert_eq!(OptLevel::O1.lock_strategy(), LockStrategy::MutexPerPacket);
+        assert_eq!(OptLevel::O2.lock_strategy(), LockStrategy::SpinlockPerPacket);
+        assert_eq!(OptLevel::O3.lock_strategy(), LockStrategy::SpinlockBatched);
+        assert!(!OptLevel::O0.pmd_thread());
+        assert!(OptLevel::O5.csum_offload());
+    }
+
+    #[test]
+    fn interrupt_mode_charges_wakeups() {
+        let (mut k, mut sock, eth0) = setup(OptLevel::O4);
+        sock.interrupt_mode = true;
+        k.receive(eth0, 0, frame());
+        sock.rx_burst(&mut k, 1);
+        assert!(
+            k.sim.cpus.core(1).ns(Context::System) >= k.sim.costs.wakeup_ns,
+            "wakeup cost charged in interrupt mode"
+        );
+    }
+
+    #[test]
+    fn busy_poll_runs_kernel_work_on_pmd_core() {
+        let (mut k, mut sock, eth0) = setup(OptLevel::O5);
+        sock.enable_busy_poll(1); // PMD core
+        for _ in 0..8 {
+            k.receive(eth0, 0, frame());
+        }
+        sock.rx_burst(&mut k, 1);
+        // The XSK delivery softirq landed on core 1, not the RSS core 0.
+        let c = &k.sim.costs;
+        assert!(
+            k.sim.cpus.core(1).ns(Context::Softirq) >= 8.0 * c.xsk_deliver_ns,
+            "delivery work on the PMD core"
+        );
+        // Core 0 keeps only driver + XDP dispatch work.
+        let core0 = k.sim.cpus.core(0).ns(Context::Softirq);
+        assert!(core0 < 8.0 * (c.driver_rx_ns + c.xdp_dispatch_ns + 40.0));
+    }
+
+    #[test]
+    fn empty_ring_returns_empty_batch() {
+        let (mut k, mut sock, _eth0) = setup(OptLevel::O5);
+        let batch = sock.rx_burst(&mut k, 1);
+        assert!(batch.is_empty());
+        assert_eq!(k.sim.cpus.core(1).ns(Context::User), 0.0, "empty poll is free here");
+    }
+}

@@ -1,0 +1,90 @@
+//! eBPF interpreter dispatch cost: real wall-clock per-program runs of
+//! the Table 5 task ladder — the sandboxed-bytecode overhead that
+//! disqualified the eBPF datapath (§2.2.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ovs_ebpf::maps::{HashMap as BpfHashMap, Map, MapSet};
+use ovs_ebpf::{programs, Vm};
+use ovs_packet::{builder, MacAddr};
+use std::hint::black_box;
+
+fn frame() -> Vec<u8> {
+    builder::udp_ipv4_frame(
+        MacAddr::new(2, 0, 0, 0, 0, 1),
+        MacAddr::new(2, 0, 0, 0, 0, 2),
+        [10, 0, 0, 1],
+        [10, 0, 0, 2],
+        1000,
+        2000,
+        64,
+    )
+}
+
+fn bench_task_ladder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ebpf_interp/table5_tasks");
+    let mut maps = MapSet::new();
+    let l2 = maps.add(Map::Hash(BpfHashMap::new(8, 8, 64)));
+    if let Some(Map::Hash(h)) = maps.get_mut(l2) {
+        h.update(&programs::l2_key([2, 0, 0, 0, 0, 2]), &1u64.to_le_bytes())
+            .unwrap();
+    }
+    let progs = [
+        ("A_drop", programs::task_a_drop()),
+        ("B_parse_drop", programs::task_b_parse_drop()),
+        ("C_parse_lookup_drop", programs::task_c_parse_lookup_drop(l2)),
+        ("D_swap_fwd", programs::task_d_swap_fwd()),
+    ];
+    let mut vm = Vm::new();
+    let mut pkt = frame();
+    for (name, prog) in progs {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let r = prog.run(&mut vm, black_box(&mut pkt), 0, &mut maps).unwrap();
+                black_box(r.insns)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_per_instruction(c: &mut Criterion) {
+    // A pure-ALU program to isolate dispatch overhead per instruction.
+    use ovs_ebpf::insn::reg::*;
+    use ovs_ebpf::insn::Operand::Imm;
+    use ovs_ebpf::insn::{AluOp::*, Insn::*};
+    let mut insns = vec![Alu64(Mov, R0, Imm(0))];
+    for i in 0..200 {
+        insns.push(Alu64(Add, R0, Imm(i)));
+        insns.push(Alu64(Xor, R0, Imm(0x5a)));
+    }
+    insns.push(Exit);
+    let n = insns.len() as u64;
+    let prog = ovs_ebpf::XdpProgram::load("alu_chain", insns).unwrap();
+    let mut vm = Vm::new();
+    let mut maps = MapSet::new();
+    let mut g = c.benchmark_group("ebpf_interp/dispatch");
+    g.throughput(criterion::Throughput::Elements(n));
+    g.bench_function("alu_chain_401_insns", |b| {
+        b.iter(|| {
+            let r = prog.run(&mut vm, black_box(&mut []), 0, &mut maps).unwrap();
+            black_box(r.insns)
+        })
+    });
+    g.finish();
+}
+
+/// Short measurement windows keep the full `cargo bench --workspace`
+/// run to a few minutes; pass `--measurement-time` to override.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_task_ladder, bench_per_instruction
+}
+criterion_main!(benches);

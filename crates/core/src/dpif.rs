@@ -1,0 +1,1094 @@
+//! The datapath interface layer.
+//!
+//! [`DpifNetdev`] is the paper's userspace datapath: PMD-style polling
+//! over AF_XDP / DPDK / tap / vhostuser ports, the EMC → megaflow →
+//! upcall cache hierarchy, userspace conntrack, tunnelling via the
+//! Netlink replica, meters, and software TSO fallback.
+//!
+//! [`DpifNetlink`] drives the in-kernel datapath module instead — the
+//! baseline architecture: it consumes kernel upcalls, translates through
+//! the same `ofproto`, and installs megaflows into the kernel.
+
+use crate::cache::{Emc, MegaflowCache};
+use crate::meter::MeterSet;
+use crate::mirror::MirrorSession;
+use crate::ofproto::Ofproto;
+use crate::tso;
+use crate::tunnel::{self, TunnelConfig};
+use ovs_afxdp::AfxdpPort;
+use ovs_dpdk::{AfPacketDev, EthDev, VhostUserDev};
+use ovs_kernel::conntrack::{ConnKey, Conntrack, CtAction};
+use ovs_kernel::rtnetlink::RtnlCache;
+use ovs_kernel::Kernel;
+use ovs_packet::flow::extract_flow_key;
+use ovs_packet::{builder, DpPacket, MacAddr};
+use ovs_sim::Context;
+use std::rc::Rc;
+
+/// A datapath port number.
+pub type PortNo = u32;
+
+/// Maximum recirculations per packet.
+const MAX_RECIRC: usize = 8;
+
+/// Datapath actions — the output language of translation and the payload
+/// of megaflow entries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpAction {
+    Output(PortNo),
+    SetTunnel { id: u64, dst: [u8; 4] },
+    SetEthSrc(MacAddr),
+    SetEthDst(MacAddr),
+    PushVlan(u16),
+    PopVlan,
+    Ct {
+        zone: u16,
+        commit: bool,
+        nat: Option<ovs_kernel::conntrack::NatSpec>,
+    },
+    Recirc(u32),
+    Meter(u32),
+}
+
+/// The I/O backend behind a datapath port.
+pub enum PortType {
+    /// AF_XDP sockets on a kernel-managed NIC (the paper's design).
+    Afxdp(AfxdpPort),
+    /// A DPDK-owned NIC (the comparator).
+    Dpdk(EthDev),
+    /// A tap device (VM via vhost-net, or the control path).
+    Tap { ifindex: u32 },
+    /// vhostuser shared-memory rings to a guest.
+    VhostUser(VhostUserDev),
+    /// DPDK's af_packet vdev on a container veth.
+    AfPacket(AfPacketDev),
+    /// A userspace tunnel endpoint (Geneve/VXLAN).
+    Tunnel(TunnelConfig),
+    /// The bridge-internal port (host stack via a tap).
+    Internal { tap_ifindex: u32 },
+}
+
+impl std::fmt::Debug for PortType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PortType::Afxdp(p) => write!(f, "afxdp(if{})", p.ifindex),
+            PortType::Dpdk(d) => write!(f, "dpdk(if{})", d.ifindex),
+            PortType::Tap { ifindex } => write!(f, "tap(if{ifindex})"),
+            PortType::VhostUser(v) => write!(f, "vhostuser(guest{})", v.guest),
+            PortType::AfPacket(a) => write!(f, "af_packet(if{})", a.ifindex),
+            PortType::Tunnel(t) => write!(f, "tunnel({:?})", t.kind),
+            PortType::Internal { tap_ifindex } => write!(f, "internal(if{tap_ifindex})"),
+        }
+    }
+}
+
+/// A datapath port.
+#[derive(Debug)]
+pub struct Port {
+    pub name: String,
+    pub ty: PortType,
+}
+
+impl Port {
+    /// The kernel ifindex underlying this port, if it has one.
+    pub fn ifindex(&self) -> Option<u32> {
+        match &self.ty {
+            PortType::Afxdp(p) => Some(p.ifindex),
+            PortType::Dpdk(d) => Some(d.ifindex),
+            PortType::Tap { ifindex } => Some(*ifindex),
+            PortType::AfPacket(a) => Some(a.ifindex),
+            PortType::Internal { tap_ifindex } => Some(*tap_ifindex),
+            PortType::VhostUser(_) | PortType::Tunnel(_) => None,
+        }
+    }
+}
+
+/// Datapath counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DpifStats {
+    pub rx_packets: u64,
+    pub tx_packets: u64,
+    pub emc_hits: u64,
+    pub megaflow_hits: u64,
+    pub upcalls: u64,
+    pub recirculations: u64,
+    pub dropped: u64,
+    pub tunnel_encaps: u64,
+    pub tunnel_decaps: u64,
+    pub tso_segments: u64,
+    pub meter_drops: u64,
+}
+
+/// The userspace datapath (`dpif-netdev`).
+pub struct DpifNetdev {
+    ports: Vec<Option<Port>>,
+    emc: Emc<Vec<DpAction>>,
+    megaflow: MegaflowCache<Vec<DpAction>>,
+    /// The OpenFlow pipeline above the caches.
+    pub ofproto: Ofproto,
+    /// Userspace conntrack — one of the kernel services OVS had to
+    /// reimplement in userspace (§6 "Some features must be reimplemented").
+    pub ct: Conntrack,
+    /// Meters (rate limiting).
+    pub meters: MeterSet,
+    /// Netlink replica of kernel route/ARP tables for tunnelling (§4).
+    pub rtnl: RtnlCache,
+    /// ERSPAN mirroring sessions.
+    pub mirrors: Vec<MirrorSession>,
+    /// Counters.
+    pub stats: DpifStats,
+}
+
+impl Default for DpifNetdev {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DpifNetdev {
+    /// An empty datapath.
+    pub fn new() -> Self {
+        Self {
+            ports: Vec::new(),
+            emc: Emc::new(),
+            megaflow: MegaflowCache::new(),
+            ofproto: Ofproto::new(),
+            ct: Conntrack::new(),
+            meters: MeterSet::new(),
+            rtnl: RtnlCache::new(),
+            mirrors: Vec::new(),
+            stats: DpifStats::default(),
+        }
+    }
+
+    /// Add a port, returning its port number.
+    pub fn add_port(&mut self, name: &str, ty: PortType) -> PortNo {
+        self.ports.push(Some(Port { name: name.to_string(), ty }));
+        (self.ports.len() - 1) as PortNo
+    }
+
+    /// Remove a port (detaching its XDP program if AF_XDP).
+    pub fn del_port(&mut self, kernel: &mut Kernel, port: PortNo) {
+        if let Some(Some(p)) = self.ports.get_mut(port as usize) {
+            if let PortType::Afxdp(a) = &mut p.ty {
+                a.close(kernel);
+            }
+        }
+        if let Some(slot) = self.ports.get_mut(port as usize) {
+            *slot = None;
+        }
+    }
+
+    /// Borrow a port.
+    pub fn port(&self, port: PortNo) -> Option<&Port> {
+        self.ports.get(port as usize).and_then(|p| p.as_ref())
+    }
+
+    /// Number of live ports.
+    pub fn port_count(&self) -> usize {
+        self.ports.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Megaflows installed.
+    pub fn megaflow_count(&self) -> usize {
+        self.megaflow.len()
+    }
+
+    /// Flush both cache levels (triggered by rule changes).
+    pub fn flush_caches(&mut self) {
+        self.emc.flush();
+        self.megaflow.flush();
+    }
+
+    /// Sync the Netlink replica from the kernel's event stream.
+    pub fn sync_rtnl(&mut self, kernel: &Kernel) {
+        self.rtnl.sync(&kernel.events);
+    }
+
+    /// Install a batch of flows from `ovs-ofctl` text (one per line) and
+    /// revalidate. Returns the number of rules installed.
+    pub fn add_flows(&mut self, text: &str) -> Result<usize, crate::ofctl::ParseError> {
+        let rules = crate::ofctl::parse_flows(text)?;
+        let n = rules.len();
+        for r in rules {
+            self.ofproto.add_rule(r);
+        }
+        self.flush_caches();
+        Ok(n)
+    }
+
+    /// Install or modify an OpenFlow rule at runtime and **revalidate**:
+    /// cached megaflows may embed decisions the new rule changes, so both
+    /// cache levels are flushed, exactly as OVS's revalidator threads do.
+    pub fn flow_mod(&mut self, rule: crate::ofproto::OfRule) {
+        self.ofproto.add_rule(rule);
+        self.flush_caches();
+    }
+
+    /// `ovs-appctl dpif-netdev/pmd-stats-show` equivalent.
+    pub fn pmd_stats(&self) -> String {
+        let s = &self.stats;
+        let lookups = s.emc_hits + s.megaflow_hits + s.upcalls;
+        let pct = |n: u64| if lookups == 0 { 0.0 } else { 100.0 * n as f64 / lookups as f64 };
+        format!(
+            "packets received: {}
+packets transmitted: {}
+             emc hits: {} ({:.1}%)
+megaflow hits: {} ({:.1}%)
+             upcalls (miss): {} ({:.1}%)
+recirculations: {}
+             tunnel encap/decap: {}/{}
+tso segments: {}
+             meter drops: {}
+dropped: {}
+megaflows installed: {}
+",
+            s.rx_packets, s.tx_packets,
+            s.emc_hits, pct(s.emc_hits),
+            s.megaflow_hits, pct(s.megaflow_hits),
+            s.upcalls, pct(s.upcalls),
+            s.recirculations, s.tunnel_encaps, s.tunnel_decaps,
+            s.tso_segments, s.meter_drops, s.dropped, self.megaflow_count(),
+        )
+    }
+
+    /// `ovs-appctl dpctl/dump-flows` equivalent: one line per installed
+    /// megaflow with its significant fields, hit count, and actions. The
+    /// userspace datapath makes this kind of introspection trivial — one
+    /// of the paper's "easier troubleshooting" lessons (§6).
+    pub fn dump_flows(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in self.megaflow.iter() {
+            let k = e.key;
+            let _ = write!(
+                out,
+                "in_port({}),recirc({}),eth_type(0x{:04x})",
+                k.in_port(),
+                k.recirc_id(),
+                k.eth_type_raw()
+            );
+            if k.nw_dst_v4() != [0, 0, 0, 0] || k.nw_src_v4() != [0, 0, 0, 0] {
+                let s = k.nw_src_v4();
+                let d = k.nw_dst_v4();
+                let _ = write!(
+                    out,
+                    ",ipv4(src={}.{}.{}.{},dst={}.{}.{}.{})",
+                    s[0], s[1], s[2], s[3], d[0], d[1], d[2], d[3]
+                );
+            }
+            if k.ct_state() != 0 {
+                let _ = write!(out, ",ct_state(0x{:02x})", k.ct_state());
+            }
+            if k.tun_id() != 0 {
+                let _ = write!(out, ",tun_id({})", k.tun_id());
+            }
+            let _ = write!(out, " packets:{} mask_bits:{}", e.hits.get(), e.mask.bit_count());
+            let _ = writeln!(out, " actions:{:?}", e.actions);
+        }
+        out
+    }
+
+    /// One PMD iteration over one port queue: receive a burst and run
+    /// every packet through the datapath. Returns packets processed.
+    pub fn pmd_poll(
+        &mut self,
+        kernel: &mut Kernel,
+        port: PortNo,
+        queue: usize,
+        core: usize,
+    ) -> usize {
+        let pkts = self.port_rx(kernel, port, queue, core);
+        let n = pkts.len();
+        for mut pkt in pkts {
+            pkt.in_port = port;
+            self.process_packet(kernel, pkt, core);
+        }
+        n
+    }
+
+    /// Receive a burst from a port's backend without processing it —
+    /// public so supervisors/diagnostics (e.g. the crash-recovery example)
+    /// can interpose between I/O and the pipeline.
+    pub fn port_rx_public(
+        &mut self,
+        kernel: &mut Kernel,
+        port: PortNo,
+        queue: usize,
+        core: usize,
+    ) -> Vec<DpPacket> {
+        self.port_rx(kernel, port, queue, core)
+    }
+
+    /// Receive a burst from a port's backend.
+    fn port_rx(
+        &mut self,
+        kernel: &mut Kernel,
+        port: PortNo,
+        queue: usize,
+        core: usize,
+    ) -> Vec<DpPacket> {
+        let Some(Some(p)) = self.ports.get_mut(port as usize) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        match &mut p.ty {
+            PortType::Afxdp(a) => {
+                for pkt in a.rx_burst(kernel, queue, core) {
+                    out.push(pkt);
+                }
+            }
+            PortType::Dpdk(d) => {
+                for m in d.rx_burst(kernel, queue, core) {
+                    let mut pkt = DpPacket::from_data(m.data());
+                    pkt.rxhash = Some(m.rss_hash);
+                    d.pool.free(m);
+                    out.push(pkt);
+                }
+            }
+            PortType::Tap { ifindex } | PortType::Internal { tap_ifindex: ifindex } => {
+                // OVS reaches the tap's *kernel* side over a raw socket
+                // (the fd side belongs to the VM's vhost backend).
+                let ifx = *ifindex;
+                while let Some(f) = kernel.raw_socket_recv(ifx, core) {
+                    out.push(DpPacket::from_data(&f));
+                    if out.len() >= 32 {
+                        break;
+                    }
+                }
+            }
+            PortType::VhostUser(v) => {
+                for f in v.dequeue_burst(kernel, 32, core) {
+                    out.push(DpPacket::from_data(&f));
+                }
+            }
+            PortType::AfPacket(a) => {
+                while let Some(f) = a.recv(kernel, core) {
+                    out.push(DpPacket::from_data(&f));
+                    if out.len() >= 32 {
+                        break;
+                    }
+                }
+            }
+            PortType::Tunnel(_) => {}
+        }
+        self.stats.rx_packets += out.len() as u64;
+        out
+    }
+
+    /// Run one packet through decap, the cache hierarchy, and actions.
+    pub fn process_packet(&mut self, kernel: &mut Kernel, mut pkt: DpPacket, core: usize) {
+        // Tunnel reception: if the frame targets one of our tunnel
+        // endpoints, decapsulate and re-address it to the tunnel port.
+        self.try_tunnel_rx(kernel, &mut pkt, core);
+
+        for _ in 0..MAX_RECIRC {
+            let key = extract_flow_key(&mut pkt);
+            let c = kernel.sim.costs.dpif_extract_ns;
+            kernel.sim.charge(core, Context::User, c);
+
+            // Level 1: EMC.
+            let actions: Rc<Vec<DpAction>> = if let Some(e) = self.emc.lookup(&key) {
+                self.stats.emc_hits += 1;
+                let mut c = kernel.sim.costs.emc_hit_ns;
+                if self.emc.len() > kernel.sim.costs.emc_pressure_threshold {
+                    c += kernel.sim.costs.emc_pressure_ns;
+                }
+                kernel.sim.charge(core, Context::User, c);
+                Rc::new(e.actions.clone())
+            } else if let Some(e) = self.megaflow.lookup(&key) {
+                // Level 2: megaflow cache.
+                self.stats.megaflow_hits += 1;
+                let c = kernel.sim.costs.emc_hit_ns + kernel.sim.costs.dpcls_lookup_ns;
+                kernel.sim.charge(core, Context::User, c);
+                self.emc.maybe_insert(key, Rc::clone(&e));
+                Rc::new(e.actions.clone())
+            } else {
+                // Level 3: upcall into ofproto.
+                self.stats.upcalls += 1;
+                let t = self.ofproto.translate(&key);
+                let c = kernel.sim.costs.emc_hit_ns
+                    + kernel.sim.costs.dpcls_lookup_ns
+                    + t.tables_visited as f64 * kernel.sim.costs.upcall_per_table_ns;
+                kernel.sim.charge(core, Context::User, c);
+                let entry = self.megaflow.install(key, t.mask, t.actions.clone());
+                self.emc.maybe_insert(key, entry);
+                Rc::new(t.actions)
+            };
+
+            if actions.is_empty() {
+                self.stats.dropped += 1;
+                return;
+            }
+            match self.execute_actions(kernel, pkt, &actions, core) {
+                Some(recirculated) => {
+                    self.stats.recirculations += 1;
+                    pkt = recirculated;
+                }
+                None => return,
+            }
+        }
+        // Recirculation limit exceeded.
+        self.stats.dropped += 1;
+    }
+
+    /// Execute actions; returns `Some(pkt)` if the packet recirculates.
+    fn execute_actions(
+        &mut self,
+        kernel: &mut Kernel,
+        mut pkt: DpPacket,
+        actions: &[DpAction],
+        core: usize,
+    ) -> Option<DpPacket> {
+        for (i, act) in actions.iter().enumerate() {
+            match act {
+                DpAction::Output(p) => {
+                    let last = i + 1 == actions.len();
+                    if last {
+                        self.port_send(kernel, *p, pkt, core);
+                        return None;
+                    }
+                    let clone = DpPacket::from_data(pkt.data());
+                    let mut clone = clone;
+                    clone.tunnel = pkt.tunnel;
+                    clone.offloads = pkt.offloads;
+                    self.port_send(kernel, *p, clone, core);
+                }
+                DpAction::SetTunnel { id, dst } => {
+                    pkt.tunnel = Some(ovs_packet::dp_packet::TunnelMetadata {
+                        tun_id: *id,
+                        src: [0, 0, 0, 0], // filled from the tunnel port's local_ip
+                        dst: *dst,
+                        tos: 0,
+                        ttl: 64,
+                    });
+                }
+                DpAction::SetEthSrc(m) => {
+                    if pkt.len() >= 14 {
+                        let mut f = ovs_packet::EthernetFrame::new_unchecked(pkt.data_mut());
+                        f.set_src(*m);
+                    }
+                }
+                DpAction::SetEthDst(m) => {
+                    if pkt.len() >= 14 {
+                        let mut f = ovs_packet::EthernetFrame::new_unchecked(pkt.data_mut());
+                        f.set_dst(*m);
+                    }
+                }
+                DpAction::PushVlan(tci) => {
+                    let tagged = builder::push_vlan(pkt.data(), tci & 0x0fff, (tci >> 13) as u8);
+                    pkt.set_data(&tagged);
+                }
+                DpAction::PopVlan => {
+                    let data = pkt.data().to_vec();
+                    if data.len() >= 18 && data[12] == 0x81 && data[13] == 0x00 {
+                        let mut untagged = Vec::with_capacity(data.len() - 4);
+                        untagged.extend_from_slice(&data[..12]);
+                        untagged.extend_from_slice(&data[16..]);
+                        pkt.set_data(&untagged);
+                    }
+                }
+                DpAction::Ct { zone, commit, nat } => {
+                    let mut tmp = DpPacket::from_data(pkt.data());
+                    let key = extract_flow_key(&mut tmp);
+                    let ck = ConnKey {
+                        zone: *zone,
+                        src_ip: key.nw_src_v4(),
+                        dst_ip: key.nw_dst_v4(),
+                        src_port: key.tp_src(),
+                        dst_port: key.tp_dst(),
+                        proto: key.nw_proto(),
+                    };
+                    let v = self.ct.process(
+                        ck,
+                        CtAction { zone: *zone, commit: *commit, mark: None, nat: *nat },
+                        kernel.sim.clock.now_ns(),
+                    );
+                    pkt.ct_state = v.state;
+                    pkt.ct_zone = *zone;
+                    pkt.ct_mark = v.mark;
+                    if let Some(rw) = v.nat {
+                        ovs_kernel::conntrack::apply_rewrite(pkt.data_mut(), &rw);
+                        let c = kernel.sim.costs.csum_ns(pkt.len());
+                        kernel.sim.charge(core, Context::User, c);
+                    }
+                    let c = kernel.sim.costs.userspace_ct_ns;
+                    kernel.sim.charge(core, Context::User, c);
+                }
+                DpAction::Recirc(rid) => {
+                    pkt.recirc_id = *rid;
+                    let c = kernel.sim.costs.recirc_ns;
+                    kernel.sim.charge(core, Context::User, c);
+                    return Some(pkt);
+                }
+                DpAction::Meter(id) => {
+                    let now = kernel.sim.clock.now_ns();
+                    if !self.meters.offer(*id, now, pkt.len()) {
+                        self.stats.meter_drops += 1;
+                        return None;
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Attempt tunnel decapsulation on a received frame.
+    fn try_tunnel_rx(&mut self, kernel: &mut Kernel, pkt: &mut DpPacket, core: usize) {
+        let configs: Vec<(PortNo, TunnelConfig)> = self
+            .ports
+            .iter()
+            .enumerate()
+            .filter_map(|(no, p)| match p {
+                Some(Port { ty: PortType::Tunnel(cfg), .. }) => Some((no as PortNo, *cfg)),
+                _ => None,
+            })
+            .collect();
+        for (no, cfg) in configs {
+            if let Some((inner, meta)) = tunnel::try_decap(&cfg, pkt.data()) {
+                self.stats.tunnel_decaps += 1;
+                let c = kernel.sim.costs.userspace_tunnel_ns;
+                kernel.sim.charge(core, Context::User, c);
+                pkt.set_data(&inner);
+                pkt.tunnel = Some(meta);
+                pkt.in_port = no;
+                return;
+            }
+        }
+    }
+
+    /// Send a packet out a port, segmenting for TSO-less egress.
+    fn port_send(&mut self, kernel: &mut Kernel, port: PortNo, pkt: DpPacket, core: usize) {
+        // Tunnel output: encapsulate, then re-send on the egress port.
+        let tunnel_cfg = match self.ports.get(port as usize) {
+            Some(Some(Port { ty: PortType::Tunnel(cfg), .. })) => Some(*cfg),
+            _ => None,
+        };
+        if let Some(cfg) = tunnel_cfg {
+            // A TSO super-frame must be segmented before encapsulation:
+            // neither our uplinks nor the paper's support tunnel TSO.
+            if pkt.len() > 1514 {
+                let segs = tso::segment(pkt.data(), 1460);
+                if segs.len() > 1 {
+                    self.stats.tso_segments += segs.len() as u64;
+                    for seg in segs {
+                        let mut p = DpPacket::from_data(&seg);
+                        p.tunnel = pkt.tunnel;
+                        p.offloads = pkt.offloads;
+                        self.port_send(kernel, port, p, core);
+                    }
+                    return;
+                }
+            }
+            let Some(mut meta) = pkt.tunnel else {
+                self.stats.dropped += 1;
+                return;
+            };
+            meta.src = cfg.local_ip;
+            let mut tmp = DpPacket::from_data(pkt.data());
+            let entropy = extract_flow_key(&mut tmp).rss_hash() as u16;
+            let c = kernel.sim.costs.userspace_tunnel_ns;
+            kernel.sim.charge(core, Context::User, c);
+            let dev_macs: Vec<(u32, MacAddr)> = self
+                .ports
+                .iter()
+                .flatten()
+                .filter_map(|p| p.ifindex())
+                .map(|i| (i, kernel.device(i).mac))
+                .collect();
+            match tunnel::encap(&cfg, &self.rtnl, &dev_macs, &meta, pkt.data(), entropy) {
+                Ok(enc) => {
+                    self.stats.tunnel_encaps += 1;
+                    let egress = self
+                        .ports
+                        .iter()
+                        .position(|p| {
+                            p.as_ref().and_then(|p| p.ifindex()) == Some(enc.egress_ifindex)
+                        })
+                        .map(|i| i as PortNo);
+                    match egress {
+                        Some(e) => {
+                            let out = DpPacket::from_data(&enc.frame);
+                            self.port_send(kernel, e, out, core);
+                        }
+                        None => self.stats.dropped += 1,
+                    }
+                }
+                Err(_) => self.stats.dropped += 1,
+            }
+            return;
+        }
+
+        // Software TSO when the egress cannot segment.
+        let needs_segmentation = match self.ports.get(port as usize).and_then(|p| p.as_ref()) {
+            Some(p) => match &p.ty {
+                // XDP/AF_XDP has no TSO yet (§6) — segment in software.
+                PortType::Afxdp(_) | PortType::AfPacket(_) => pkt.len() > 1514,
+                PortType::Dpdk(d) => {
+                    pkt.len() > 1514 && !kernel.device(d.ifindex).caps.tso
+                }
+                // virtio (vhostuser, tap with vnet headers) passes
+                // super-frames through.
+                PortType::VhostUser(_) | PortType::Tap { .. } | PortType::Internal { .. } => false,
+                PortType::Tunnel(_) => false,
+            },
+            None => false,
+        };
+        if needs_segmentation {
+            let segs = tso::segment(pkt.data(), 1460);
+            self.stats.tso_segments += segs.len() as u64;
+            for seg in segs {
+                let mut p = DpPacket::from_data(&seg);
+                p.offloads = pkt.offloads;
+                self.port_tx_raw(kernel, port, p, core);
+            }
+            return;
+        }
+        self.port_tx_raw(kernel, port, pkt, core);
+    }
+
+    fn port_tx_raw(&mut self, kernel: &mut Kernel, port: PortNo, pkt: DpPacket, core: usize) {
+        // ERSPAN mirroring: copy watched traffic toward its collector
+        // before normal transmission.
+        let mirror_jobs: Vec<(usize, PortNo)> = self
+            .mirrors
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.watch_port == port && m.out_port != port)
+            .map(|(i, m)| (i, m.out_port))
+            .collect();
+        for (i, out) in mirror_jobs {
+            let wrapped = self.mirrors[i].encapsulate(pkt.data());
+            let c = kernel.sim.costs.userspace_tunnel_ns + kernel.sim.costs.copy_ns(pkt.len());
+            kernel.sim.charge(core, Context::User, c);
+            self.port_tx_raw(kernel, out, DpPacket::from_data(&wrapped), core);
+        }
+        let Some(Some(p)) = self.ports.get_mut(port as usize) else {
+            self.stats.dropped += 1;
+            return;
+        };
+        self.stats.tx_packets += 1;
+        match &mut p.ty {
+            PortType::Afxdp(a) => {
+                let mut batch = ovs_ring::PacketBatch::new();
+                let _ = batch.push(pkt);
+                // TX on queue 0 of the egress port (single-queue TX model).
+                a.tx_burst(kernel, 0, core, batch);
+            }
+            PortType::Dpdk(d) => {
+                if let Some(mut m) = d.pool.alloc() {
+                    m.set_data(pkt.data());
+                    d.tx_burst(kernel, vec![m], core);
+                } else {
+                    self.stats.dropped += 1;
+                }
+            }
+            PortType::Tap { ifindex } | PortType::Internal { tap_ifindex: ifindex } => {
+                let ifx = *ifindex;
+                kernel.raw_socket_send(ifx, pkt.data().to_vec(), core);
+            }
+            PortType::VhostUser(v) => {
+                v.enqueue_burst(kernel, vec![pkt.data().to_vec()], core);
+            }
+            PortType::AfPacket(a) => {
+                a.send(kernel, pkt.data().to_vec(), core);
+            }
+            PortType::Tunnel(_) => unreachable!("tunnel handled in port_send"),
+        }
+    }
+}
+
+/// Driver for the in-kernel datapath (`dpif-netlink`): handles kernel
+/// upcalls by translating through `ofproto` and installing kernel
+/// megaflows.
+pub struct DpifNetlink {
+    /// The OpenFlow pipeline.
+    pub ofproto: Ofproto,
+    /// Local endpoint of the kernel Geneve vport, for SetTunnel mapping.
+    pub tunnel_local_ip: [u8; 4],
+    /// Upcalls handled.
+    pub upcalls_handled: u64,
+}
+
+impl DpifNetlink {
+    /// A handler for a kernel datapath whose Geneve vport (if any) uses
+    /// `tunnel_local_ip` as its endpoint.
+    pub fn new(tunnel_local_ip: [u8; 4]) -> Self {
+        Self {
+            ofproto: Ofproto::new(),
+            tunnel_local_ip,
+            upcalls_handled: 0,
+        }
+    }
+
+    /// Drain and handle all pending kernel upcalls: translate, install the
+    /// megaflow, and re-execute the packet. `core` is the handler thread's
+    /// core (charged as user time for translation).
+    pub fn handle_upcalls(&mut self, kernel: &mut Kernel, core: usize) -> usize {
+        let mut handled = 0;
+        while let Some(u) = kernel.upcalls.pop_front() {
+            handled += 1;
+            self.upcalls_handled += 1;
+            let t = self.ofproto.translate(&u.key);
+            let c = t.tables_visited as f64 * kernel.sim.costs.upcall_per_table_ns;
+            kernel.sim.charge(core, Context::User, c);
+            let kactions = self.map_actions(&t.actions);
+            kernel.ovs.install_flow(&u.key, &t.mask, kactions.clone());
+            let mut pkt = DpPacket::from_data(&u.frame);
+            pkt.in_port = u.in_port;
+            pkt.tunnel = u.tunnel;
+            pkt.recirc_id = u.key.recirc_id();
+            kernel.ovs_execute(pkt, &kactions, core);
+        }
+        handled
+    }
+
+    fn map_actions(&self, actions: &[DpAction]) -> Vec<ovs_kernel::KAction> {
+        use ovs_kernel::KAction;
+        if actions.is_empty() {
+            return vec![KAction::Drop];
+        }
+        actions
+            .iter()
+            .map(|a| match a {
+                DpAction::Output(p) => KAction::Output(*p),
+                DpAction::SetTunnel { id, dst } => KAction::SetTunnel(ovs_kernel::TunnelSpec {
+                    id: *id,
+                    src: self.tunnel_local_ip,
+                    dst: *dst,
+                    tos: 0,
+                    ttl: 64,
+                }),
+                DpAction::SetEthSrc(m) => KAction::SetEthSrc(*m),
+                DpAction::SetEthDst(m) => KAction::SetEthDst(*m),
+                DpAction::PushVlan(t) => KAction::PushVlan(*t),
+                DpAction::PopVlan => KAction::PopVlan,
+                DpAction::Ct { zone, commit, nat } => KAction::Ct {
+                    zone: *zone,
+                    commit: *commit,
+                    mark: None,
+                    nat: *nat,
+                },
+                DpAction::Recirc(r) => KAction::Recirc(*r),
+                // The kernel module has no meters here; policing is a
+                // userspace feature in this reproduction (§6).
+                DpAction::Meter(_) => KAction::Recirc(0),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ofproto::{OfAction, OfRule};
+    use ovs_afxdp::OptLevel;
+    use ovs_kernel::dev::{DeviceKind, NetDevice};
+    use ovs_kernel::guest::{Guest, GuestRole, VirtioBackend};
+    use ovs_packet::flow::{fields, FlowKey, FlowMask};
+
+    const M1: MacAddr = MacAddr([2, 0, 0, 0, 0, 1]);
+    const M2: MacAddr = MacAddr([2, 0, 0, 0, 0, 2]);
+
+    fn frame64() -> Vec<u8> {
+        builder::udp_ipv4_frame(M1, M2, [10, 0, 0, 1], [10, 0, 0, 2], 100, 200, 64)
+    }
+
+    fn port_forward_rule(in_port: PortNo, out_port: PortNo) -> OfRule {
+        let mut key = FlowKey::default();
+        key.set_in_port(in_port);
+        OfRule {
+            table: 0,
+            priority: 10,
+            key,
+            mask: FlowMask::of_fields(&[&fields::IN_PORT]),
+            actions: vec![OfAction::Output(out_port)],
+            cookie: 0,
+        }
+    }
+
+    /// Two AF_XDP physical ports, forwarding p0 -> p1 (the P2P shape).
+    fn p2p_setup() -> (Kernel, DpifNetdev, u32, u32) {
+        let mut k = Kernel::new(8);
+        let eth0 = k.add_device(NetDevice::new("eth0", M1, DeviceKind::Phys { link_gbps: 25.0 }, 1));
+        let eth1 = k.add_device(NetDevice::new("eth1", M2, DeviceKind::Phys { link_gbps: 25.0 }, 1));
+        let mut dp = DpifNetdev::new();
+        let a0 = AfxdpPort::open(&mut k, eth0, 256, OptLevel::O5).unwrap();
+        let a1 = AfxdpPort::open(&mut k, eth1, 256, OptLevel::O5).unwrap();
+        let p0 = dp.add_port("eth0", PortType::Afxdp(a0));
+        let p1 = dp.add_port("eth1", PortType::Afxdp(a1));
+        dp.ofproto.add_rule(port_forward_rule(p0, p1));
+        (k, dp, eth0, eth1)
+    }
+
+    #[test]
+    fn p2p_forwarding_through_cache_hierarchy() {
+        let (mut k, mut dp, eth0, eth1) = p2p_setup();
+        // First packet: upcall. Later packets: megaflow/EMC hits.
+        for _ in 0..10 {
+            k.receive(eth0, 0, frame64());
+            dp.pmd_poll(&mut k, 0, 0, 1);
+        }
+        assert_eq!(k.device(eth1).tx_wire.len(), 10);
+        assert_eq!(dp.stats.upcalls, 1, "only the first packet upcalls");
+        assert_eq!(dp.stats.megaflow_hits + dp.stats.emc_hits, 9);
+        assert_eq!(dp.megaflow_count(), 1);
+    }
+
+    #[test]
+    fn emc_promotion_after_repeated_hits() {
+        let (mut k, mut dp, eth0, _eth1) = p2p_setup();
+        dp.emc.insert_inv_prob = 1; // promote on first megaflow hit
+        for _ in 0..3 {
+            k.receive(eth0, 0, frame64());
+            dp.pmd_poll(&mut k, 0, 0, 1);
+        }
+        assert_eq!(dp.stats.upcalls, 1);
+        // With insertion probability 1, the upcall itself populates the
+        // EMC, so the second and third packets both hit it.
+        assert_eq!(dp.stats.megaflow_hits, 0);
+        assert_eq!(dp.stats.emc_hits, 2);
+    }
+
+    #[test]
+    fn thousand_flows_spread_across_megaflow() {
+        let (mut k, mut dp, eth0, eth1) = p2p_setup();
+        // The in_port-only rule wildcards addresses, so all 1000 flows
+        // share ONE megaflow — the point of megaflows.
+        for i in 0..1000u16 {
+            let f = builder::udp_ipv4_frame(
+                M1,
+                M2,
+                [10, 0, (i >> 8) as u8, i as u8],
+                [10, 1, (i >> 8) as u8, i as u8],
+                1000 + i,
+                2000,
+                64,
+            );
+            k.receive(eth0, 0, f);
+            dp.pmd_poll(&mut k, 0, 0, 1);
+        }
+        assert_eq!(dp.stats.upcalls, 1, "one megaflow covers all flows");
+        assert_eq!(dp.megaflow_count(), 1);
+        assert_eq!(k.device(eth1).tx_wire.len(), 1000);
+    }
+
+    #[test]
+    fn specific_rules_make_per_flow_megaflows() {
+        let (mut k, mut dp, eth0, _) = p2p_setup();
+        // Replace pipeline: match on nw_dst -> per-/32 megaflows.
+        dp.ofproto = Ofproto::new();
+        let mut mask = FlowMask::of_fields(&[&fields::IN_PORT]);
+        mask.set_nw_dst_v4_prefix(32);
+        for i in 0..16u8 {
+            let mut key = FlowKey::default();
+            key.set_in_port(0);
+            key.set_nw_dst_v4([10, 1, 0, i]);
+            dp.ofproto.add_rule(OfRule {
+                table: 0,
+                priority: 1,
+                key,
+                mask,
+                actions: vec![OfAction::Output(1)],
+                cookie: 0,
+            });
+        }
+        for i in 0..16u8 {
+            let f = builder::udp_ipv4_frame(M1, M2, [10, 0, 0, 1], [10, 1, 0, i], 5, 6, 64);
+            k.receive(eth0, 0, f);
+            dp.pmd_poll(&mut k, 0, 0, 1);
+        }
+        assert_eq!(dp.stats.upcalls, 16, "per-destination megaflows");
+        assert_eq!(dp.megaflow_count(), 16);
+    }
+
+    #[test]
+    fn ct_pipeline_recirculates_and_tracks() {
+        let (mut k, mut dp, eth0, eth1) = p2p_setup();
+        dp.ofproto = Ofproto::new();
+        // Table 0: ct(zone 5, commit) -> resume at table 1.
+        let mut key = FlowKey::default();
+        key.set_in_port(0);
+        dp.ofproto.add_rule(OfRule {
+            table: 0,
+            priority: 10,
+            key,
+            mask: FlowMask::of_fields(&[&fields::IN_PORT]),
+            actions: vec![OfAction::Ct { zone: 5, commit: true, resume_table: 1, nat: None }],
+            cookie: 0,
+        });
+        // Table 1: tracked packets out port 1.
+        dp.ofproto.add_rule(OfRule {
+            table: 1,
+            priority: 0,
+            key: FlowKey::default(),
+            mask: FlowMask::EMPTY,
+            actions: vec![OfAction::Output(1)],
+            cookie: 0,
+        });
+        k.receive(eth0, 0, frame64());
+        dp.pmd_poll(&mut k, 0, 0, 1);
+        assert_eq!(k.device(eth1).tx_wire.len(), 1);
+        assert_eq!(dp.stats.recirculations, 1);
+        assert_eq!(dp.ct.len(), 1, "connection committed in userspace CT");
+        assert_eq!(dp.stats.upcalls, 2, "one per pipeline pass");
+    }
+
+    #[test]
+    fn vhostuser_pvp_roundtrip() {
+        // phys -> vm (vhostuser, PMD forwarder) -> phys: the PVP loop.
+        let mut k = Kernel::new(8);
+        let eth0 = k.add_device(NetDevice::new("eth0", M1, DeviceKind::Phys { link_gbps: 25.0 }, 1));
+        let g = k.add_guest(Guest::new(
+            "vm0", M2, [10, 0, 0, 2], GuestRole::PmdForwarder, VirtioBackend::VhostUser, 4,
+        ));
+        let mut dp = DpifNetdev::new();
+        let a0 = AfxdpPort::open(&mut k, eth0, 256, OptLevel::O5).unwrap();
+        let p0 = dp.add_port("eth0", PortType::Afxdp(a0));
+        let pv = dp.add_port("vhost0", PortType::VhostUser(VhostUserDev::new(g)));
+        dp.ofproto.add_rule(port_forward_rule(p0, pv));
+        dp.ofproto.add_rule(port_forward_rule(pv, p0));
+
+        k.receive(eth0, 0, frame64());
+        dp.pmd_poll(&mut k, p0, 0, 1); // NIC -> datapath -> vhost
+        assert_eq!(k.guests[g].rx_ring.len(), 1);
+        k.run_guest(g); // guest forwards
+        dp.pmd_poll(&mut k, pv, 0, 1); // vhost -> datapath -> NIC
+        assert_eq!(k.device(eth0).tx_wire.len(), 1);
+        let out = &k.device(eth0).tx_wire[0];
+        assert_eq!(&out[0..6], M1.as_bytes(), "guest swapped MACs");
+    }
+
+    #[test]
+    fn geneve_tunnel_tx_and_rx() {
+        // Overlay: port 0 (afxdp "vm-facing") -> geneve tunnel -> uplink.
+        let mut k = Kernel::new(4);
+        let eth0 = k.add_device(NetDevice::new("eth0", M1, DeviceKind::Phys { link_gbps: 10.0 }, 1));
+        let uplink = k.add_device(NetDevice::new("uplink", M2, DeviceKind::Phys { link_gbps: 10.0 }, 1));
+        k.add_addr(uplink, [172, 16, 0, 1], 24);
+        ovs_kernel::tools::ip_neigh_add(&mut k, [172, 16, 0, 2], MacAddr::new(4, 0, 0, 0, 0, 2), "uplink").unwrap();
+
+        let mut dp = DpifNetdev::new();
+        let a0 = AfxdpPort::open(&mut k, eth0, 128, OptLevel::O5).unwrap();
+        let au = AfxdpPort::open(&mut k, uplink, 128, OptLevel::O5).unwrap();
+        let p0 = dp.add_port("eth0", PortType::Afxdp(a0));
+        let _pu = dp.add_port("uplink", PortType::Afxdp(au));
+        let pt = dp.add_port(
+            "gnv0",
+            PortType::Tunnel(TunnelConfig {
+                kind: tunnel::TunnelKind::Geneve,
+                local_ip: [172, 16, 0, 1],
+            }),
+        );
+        dp.sync_rtnl(&k);
+
+        let mut key = FlowKey::default();
+        key.set_in_port(p0);
+        dp.ofproto.add_rule(OfRule {
+            table: 0,
+            priority: 10,
+            key,
+            mask: FlowMask::of_fields(&[&fields::IN_PORT]),
+            actions: vec![
+                OfAction::SetTunnel { id: 5001, dst: [172, 16, 0, 2] },
+                OfAction::Output(pt),
+            ],
+            cookie: 0,
+        });
+
+        k.receive(eth0, 0, frame64());
+        dp.pmd_poll(&mut k, p0, 0, 1);
+        assert_eq!(dp.stats.tunnel_encaps, 1);
+        let outer = k.dev_mut(uplink).tx_wire.pop_front().expect("encapsulated frame on uplink");
+        // Decap side: a second datapath with the remote endpoint.
+        let mut dp2 = DpifNetdev::new();
+        let pt2 = dp2.add_port(
+            "gnv0",
+            PortType::Tunnel(TunnelConfig {
+                kind: tunnel::TunnelKind::Geneve,
+                local_ip: [172, 16, 0, 2],
+            }),
+        );
+        let mut key2 = FlowKey::default();
+        key2.set_in_port(pt2);
+        key2.set_tun_id(5001);
+        dp2.ofproto.add_rule(OfRule {
+            table: 0,
+            priority: 10,
+            key: key2,
+            mask: FlowMask::of_fields(&[&fields::IN_PORT, &fields::TUN_ID]),
+            actions: vec![],
+            cookie: 0,
+        });
+        let pkt = DpPacket::from_data(&outer);
+        dp2.process_packet(&mut k, pkt, 1);
+        assert_eq!(dp2.stats.tunnel_decaps, 1, "remote side decapsulated");
+    }
+
+    #[test]
+    fn tso_segmentation_on_afxdp_egress() {
+        let (mut k, mut dp, _eth0, eth1) = p2p_setup();
+        // A 4380-byte TCP super-frame injected directly.
+        let payload = vec![0u8; 4380];
+        let f = builder::tcp_ipv4(
+            M1, M2, [10, 0, 0, 1], [10, 0, 0, 2], 1, 2, 100, 0,
+            ovs_packet::tcp::flags::ACK, &payload,
+        );
+        let mut pkt = DpPacket::from_data(&f);
+        pkt.in_port = 0;
+        dp.process_packet(&mut k, pkt, 1);
+        assert_eq!(dp.stats.tso_segments, 3, "segmented to MSS on AF_XDP egress");
+        assert_eq!(k.device(eth1).tx_wire.len(), 3);
+    }
+
+    #[test]
+    fn meter_limits_rate() {
+        let (mut k, mut dp, eth0, eth1) = p2p_setup();
+        dp.ofproto = Ofproto::new();
+        let mut key = FlowKey::default();
+        key.set_in_port(0);
+        dp.ofproto.add_rule(OfRule {
+            table: 0,
+            priority: 1,
+            key,
+            mask: FlowMask::of_fields(&[&fields::IN_PORT]),
+            actions: vec![OfAction::Meter(1), OfAction::Output(1)],
+            cookie: 0,
+        });
+        // A meter passing only ~one 64-byte packet.
+        dp.meters.set(1, crate::meter::Meter::new(1_000, 512));
+        for _ in 0..5 {
+            k.receive(eth0, 0, frame64());
+            dp.pmd_poll(&mut k, 0, 0, 1);
+        }
+        assert_eq!(k.device(eth1).tx_wire.len(), 1);
+        assert_eq!(dp.stats.meter_drops, 4);
+    }
+
+    #[test]
+    fn netlink_dpif_installs_kernel_flows() {
+        // Kernel datapath baseline: miss -> upcall -> install -> fast path.
+        let mut k = Kernel::new(4);
+        let eth0 = k.add_device(NetDevice::new("eth0", M1, DeviceKind::Phys { link_gbps: 10.0 }, 1));
+        let eth1 = k.add_device(NetDevice::new("eth1", M2, DeviceKind::Phys { link_gbps: 10.0 }, 1));
+        let p0 = k.ovs.add_vport(ovs_kernel::ovs_module::Vport::Netdev { ifindex: eth0 });
+        let p1 = k.ovs.add_vport(ovs_kernel::ovs_module::Vport::Netdev { ifindex: eth1 });
+        k.dev_mut(eth0).attachment = ovs_kernel::Attachment::OvsBridge { port: p0 };
+        k.dev_mut(eth1).attachment = ovs_kernel::Attachment::OvsBridge { port: p1 };
+
+        let mut dpif = DpifNetlink::new([0, 0, 0, 0]);
+        dpif.ofproto.add_rule(port_forward_rule(p0, p1));
+
+        // First packet misses in the kernel and upcalls.
+        k.receive(eth0, 0, frame64());
+        assert_eq!(k.upcalls.len(), 1);
+        assert_eq!(dpif.handle_upcalls(&mut k, 2), 1);
+        // The re-executed packet went out eth1, and the flow is installed.
+        assert_eq!(k.device(eth1).tx_wire.len(), 1);
+        assert_eq!(k.ovs.flow_count(), 1);
+        // Subsequent packets take the kernel fast path: no upcalls.
+        k.receive(eth0, 0, frame64());
+        assert!(k.upcalls.is_empty());
+        assert_eq!(k.device(eth1).tx_wire.len(), 2);
+    }
+}

@@ -1,0 +1,45 @@
+//! # ovs-core — the OVS userspace datapath and OpenFlow layer
+//!
+//! The paper's primary contribution is moving the OVS datapath into
+//! userspace over AF_XDP while keeping the rest of OVS unchanged. This
+//! crate is that OVS: the three-level flow-caching datapath and the
+//! OpenFlow pipeline above it.
+//!
+//! * [`classifier`] — tuple-space-search classifier: one hash table per
+//!   distinct mask ("subtable"), probed in descending max-priority order.
+//! * [`cache`] — the exact-match cache (EMC) and the megaflow cache that
+//!   make the fast path fast; exactly the structures the eBPF sandbox
+//!   could not express (§2.2.2).
+//! * [`ofproto`] — the OpenFlow-ish multi-table pipeline: priorities,
+//!   goto-table, conntrack with resume tables, tunnel set-field, meters —
+//!   and the **translation** step that turns a slow-path traversal into a
+//!   megaflow (actions + accumulated wildcard mask).
+//! * [`dpif`] — the datapath interface: `dpif-netdev`, the userspace
+//!   datapath with PMD-style per-queue processing over AF_XDP / DPDK /
+//!   tap / vhostuser ports, and `dpif-netlink`, the driver for the
+//!   in-kernel datapath module (the baseline).
+//! * [`tunnel`] — userspace Geneve/VXLAN encap/decap routed through the
+//!   Netlink replica caches of §4.
+//! * [`meter`] — token-bucket meters, the rate-limiting substitute the
+//!   paper mentions under "Some features must be reimplemented".
+//! * [`mirror`] — ERSPAN port mirroring (the §2.1.1 backporting example).
+//! * [`ofctl`] — the `ovs-ofctl add-flow` text syntax.
+//! * [`tso`] — software segmentation for egress devices without TSO.
+
+pub mod cache;
+pub mod classifier;
+pub mod dpif;
+pub mod meter;
+pub mod mirror;
+pub mod ofctl;
+pub mod ofproto;
+pub mod tso;
+pub mod tunnel;
+
+pub use cache::{Emc, MegaflowCache};
+pub use classifier::{Classifier, Rule};
+pub use dpif::{DpAction, DpifNetdev, DpifNetlink, PortNo, PortType};
+pub use meter::{Meter, MeterSet};
+pub use mirror::MirrorSession;
+pub use ofctl::{parse_flow, parse_flows};
+pub use ofproto::{OfAction, OfRule, Ofproto};

@@ -1,0 +1,140 @@
+//! Software TCP segmentation — the fallback when an egress device lacks
+//! TSO.
+//!
+//! With TSO the kernel (or guest) hands the switch 64 kB "super-segments";
+//! devices that can't segment in hardware need the switch to do it in
+//! software, paying per-segment header building and checksums. This is
+//! the mechanism behind the TSO columns of Fig 8 and the "in-kernel OVS
+//! still outperforms AF_XDP for container TCP workloads" outcome (§6):
+//! XDP paths had no TSO yet.
+
+use ovs_packet::ethernet::{self, EthernetFrame};
+use ovs_packet::ipv4::{self, Ipv4Packet};
+use ovs_packet::tcp::TcpSegment;
+
+/// Segment an Ethernet/IPv4/TCP super-frame into MSS-sized frames with
+/// correct lengths, sequence numbers, and checksums. Non-TCP or
+/// already-small frames are returned unchanged.
+pub fn segment(frame: &[u8], mss: usize) -> Vec<Vec<u8>> {
+    let Some((header_end, payload_len)) = tcp_payload_bounds(frame) else {
+        return vec![frame.to_vec()];
+    };
+    if payload_len <= mss {
+        return vec![frame.to_vec()];
+    }
+
+    let headers = &frame[..header_end];
+    let payload = &frame[header_end..];
+    let eth = EthernetFrame::new_unchecked(headers);
+    let ip = Ipv4Packet::new_unchecked(eth.payload());
+    let ip_header_len = ip.header_len();
+    let (src_ip, dst_ip) = (ip.src(), ip.dst());
+    let tcp = TcpSegment::new_unchecked(&eth.payload()[ip_header_len..]);
+    let base_seq = tcp.seq();
+    let tcp_header_len = tcp.header_len();
+
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    while offset < payload.len() {
+        let chunk = (payload.len() - offset).min(mss);
+        let mut seg = Vec::with_capacity(header_end + chunk);
+        seg.extend_from_slice(headers);
+        seg.extend_from_slice(&payload[offset..offset + chunk]);
+        // Fix lengths, sequence number and checksums.
+        let ip_total = ip_header_len + tcp_header_len + chunk;
+        {
+            let mut ip = Ipv4Packet::new_unchecked(&mut seg[ethernet::HEADER_LEN..]);
+            ip.set_total_len(ip_total as u16);
+            ip.fill_checksum();
+        }
+        {
+            let l4 = ethernet::HEADER_LEN + ip_header_len;
+            let mut t = TcpSegment::new_unchecked(&mut seg[l4..]);
+            t.set_seq(base_seq.wrapping_add(offset as u32));
+            t.fill_checksum_ipv4(src_ip, dst_ip);
+        }
+        out.push(seg);
+        offset += chunk;
+    }
+    out
+}
+
+/// For an Ethernet/IPv4/TCP frame, return `(payload start offset, payload
+/// length)`.
+fn tcp_payload_bounds(frame: &[u8]) -> Option<(usize, usize)> {
+    let eth = EthernetFrame::new_checked(frame).ok()?;
+    if eth.ethertype() != ovs_packet::EtherType::Ipv4 {
+        return None;
+    }
+    let ip = Ipv4Packet::new_checked(eth.payload()).ok()?;
+    if ip.protocol() != ipv4::protocol::TCP {
+        return None;
+    }
+    let tcp = TcpSegment::new_checked(ip.payload()).ok()?;
+    let header_end = ethernet::HEADER_LEN + ip.header_len() + tcp.header_len();
+    let payload_len = ip.total_len() as usize - ip.header_len() - tcp.header_len();
+    Some((header_end, payload_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovs_packet::tcp::flags;
+    use ovs_packet::{builder, MacAddr};
+
+    const A: MacAddr = MacAddr([2, 0, 0, 0, 0, 1]);
+    const B: MacAddr = MacAddr([2, 0, 0, 0, 0, 2]);
+
+    fn super_frame(payload_len: usize) -> Vec<u8> {
+        let payload: Vec<u8> = (0..payload_len).map(|i| i as u8).collect();
+        builder::tcp_ipv4(
+            A, B, [10, 0, 0, 1], [10, 0, 0, 2], 1000, 80, 5000, 0, flags::ACK, &payload,
+        )
+    }
+
+    #[test]
+    fn small_frame_unchanged() {
+        let f = super_frame(100);
+        let segs = segment(&f, 1460);
+        assert_eq!(segs, vec![f]);
+    }
+
+    #[test]
+    fn large_frame_segmented_correctly() {
+        let f = super_frame(4000);
+        let segs = segment(&f, 1460);
+        assert_eq!(segs.len(), 3); // 1460 + 1460 + 1080
+        let mut reassembled = Vec::new();
+        let mut expected_seq = 5000u32;
+        for seg in &segs {
+            let ip = Ipv4Packet::new_checked(&seg[14..]).unwrap();
+            assert!(ip.verify_checksum());
+            let t = TcpSegment::new_checked(ip.payload()).unwrap();
+            assert!(t.verify_checksum_ipv4(ip.src(), ip.dst()));
+            assert_eq!(t.seq(), expected_seq);
+            expected_seq = expected_seq.wrapping_add(t.payload().len() as u32);
+            reassembled.extend_from_slice(t.payload());
+        }
+        let expected: Vec<u8> = (0..4000).map(|i| i as u8).collect();
+        assert_eq!(reassembled, expected, "payload preserved in order");
+    }
+
+    #[test]
+    fn exact_multiple_of_mss() {
+        let f = super_frame(2920);
+        let segs = segment(&f, 1460);
+        assert_eq!(segs.len(), 2);
+        for seg in segs {
+            let ip = Ipv4Packet::new_checked(&seg[14..]).unwrap();
+            let t = TcpSegment::new_checked(ip.payload()).unwrap();
+            assert_eq!(t.payload().len(), 1460);
+        }
+    }
+
+    #[test]
+    fn udp_not_segmented() {
+        let f = builder::udp_ipv4(A, B, [1, 1, 1, 1], [2, 2, 2, 2], 1, 2, &[0u8; 3000]);
+        let segs = segment(&f, 1460);
+        assert_eq!(segs.len(), 1);
+    }
+}

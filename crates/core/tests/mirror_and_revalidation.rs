@@ -1,0 +1,125 @@
+//! ERSPAN mirroring through the datapath and megaflow revalidation on
+//! rule changes.
+
+use ovs_afxdp::{AfxdpPort, OptLevel};
+use ovs_core::dpif::{DpifNetdev, PortType};
+use ovs_core::mirror::{self, MirrorSession};
+use ovs_core::ofproto::{OfAction, OfRule};
+use ovs_kernel::dev::{DeviceKind, NetDevice};
+use ovs_kernel::Kernel;
+use ovs_packet::flow::{fields, FlowKey, FlowMask};
+use ovs_packet::{builder, MacAddr};
+
+fn setup() -> (Kernel, DpifNetdev, Vec<u32>) {
+    let mut k = Kernel::new(8);
+    let mut dp = DpifNetdev::new();
+    let mut nics = Vec::new();
+    for i in 0..3u8 {
+        let nic = k.add_device(NetDevice::new(
+            &format!("eth{i}"),
+            MacAddr::new(2, 0, 0, 0, 0, i + 1),
+            DeviceKind::Phys { link_gbps: 10.0 },
+            1,
+        ));
+        dp.add_port(
+            &format!("eth{i}"),
+            PortType::Afxdp(AfxdpPort::open(&mut k, nic, 256, OptLevel::O5).unwrap()),
+        );
+        nics.push(nic);
+    }
+    (k, dp, nics)
+}
+
+fn fwd_rule(in_port: u32, out_port: u32, priority: i32) -> OfRule {
+    let mut key = FlowKey::default();
+    key.set_in_port(in_port);
+    OfRule {
+        table: 0,
+        priority,
+        key,
+        mask: FlowMask::of_fields(&[&fields::IN_PORT]),
+        actions: vec![OfAction::Output(out_port)],
+        cookie: 0,
+    }
+}
+
+fn frame() -> Vec<u8> {
+    builder::udp_ipv4_frame(
+        MacAddr::new(2, 0, 0, 0, 9, 9),
+        MacAddr::new(2, 0, 0, 0, 0, 1),
+        [10, 0, 0, 1],
+        [10, 0, 0, 2],
+        5000,
+        6000,
+        96,
+    )
+}
+
+#[test]
+fn erspan_mirror_copies_watched_traffic() {
+    let (mut k, mut dp, nics) = setup();
+    dp.ofproto.add_rule(fwd_rule(0, 1, 10));
+    // Mirror everything leaving port 1 toward a collector behind port 2.
+    dp.mirrors.push(MirrorSession::new(
+        42,
+        1,
+        2,
+        [172, 16, 0, 1],
+        [172, 16, 0, 99],
+        MacAddr::new(4, 0, 0, 0, 0, 1),
+        MacAddr::new(4, 0, 0, 0, 0, 99),
+    ));
+
+    for _ in 0..5 {
+        k.receive(nics[0], 0, frame());
+        dp.pmd_poll(&mut k, 0, 0, 1);
+    }
+    // Original traffic on eth1, mirrored copies on eth2.
+    assert_eq!(k.device(nics[1]).tx_wire.len(), 5);
+    assert_eq!(k.device(nics[2]).tx_wire.len(), 5);
+    for (i, wrapped) in k.device(nics[2]).tx_wire.iter().enumerate() {
+        let (sid, seq, inner) = mirror::decode(wrapped).expect("valid ERSPAN");
+        assert_eq!(sid, 42);
+        assert_eq!(seq as usize, i + 1);
+        assert_eq!(inner, frame(), "mirror copy is byte-identical");
+    }
+    assert_eq!(dp.mirrors[0].mirrored, 5);
+}
+
+#[test]
+fn flow_mod_revalidates_cached_megaflows() {
+    let (mut k, mut dp, nics) = setup();
+    dp.ofproto.add_rule(fwd_rule(0, 1, 10));
+    // Warm the caches toward eth1.
+    for _ in 0..3 {
+        k.receive(nics[0], 0, frame());
+        dp.pmd_poll(&mut k, 0, 0, 1);
+    }
+    assert_eq!(k.dev_mut(nics[1]).tx_wire.drain(..).count(), 3);
+    assert!(dp.megaflow_count() >= 1);
+
+    // Redirect the same traffic to eth2 at higher priority. Without
+    // revalidation the stale megaflow would keep winning.
+    dp.flow_mod(fwd_rule(0, 2, 50));
+    assert_eq!(dp.megaflow_count(), 0, "caches flushed");
+    for _ in 0..3 {
+        k.receive(nics[0], 0, frame());
+        dp.pmd_poll(&mut k, 0, 0, 1);
+    }
+    assert_eq!(k.device(nics[1]).tx_wire.len(), 0, "old path unused");
+    assert_eq!(k.device(nics[2]).tx_wire.len(), 3, "new rule in effect");
+}
+
+#[test]
+fn pmd_stats_report_cache_distribution() {
+    let (mut k, mut dp, nics) = setup();
+    dp.ofproto.add_rule(fwd_rule(0, 1, 10));
+    for _ in 0..10 {
+        k.receive(nics[0], 0, frame());
+        dp.pmd_poll(&mut k, 0, 0, 1);
+    }
+    let stats = dp.pmd_stats();
+    assert!(stats.contains("packets received: 10"), "{stats}");
+    assert!(stats.contains("upcalls (miss): 1"), "{stats}");
+    assert!(stats.contains("megaflows installed: 1"), "{stats}");
+}

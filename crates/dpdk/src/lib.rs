@@ -1,0 +1,27 @@
+//! # ovs-dpdk — the DPDK-style poll-mode baseline
+//!
+//! The comparator the paper measures against: a userspace driver that
+//! takes **exclusive ownership** of the NIC (unbinding it from the kernel,
+//! which is precisely what breaks every tool in Table 1), polls it from
+//! dedicated cores that burn 100% CPU regardless of load, and talks to VMs
+//! over vhostuser and to containers over an af_packet vdev (the slow path
+//! Fig 11 exposes).
+//!
+//! * [`EthDev`] — burst RX/TX over a taken-over physical NIC.
+//! * [`Mempool`]/[`Mbuf`] — the packet-buffer pool.
+//! * [`VhostUserDev`] — shared-memory virtio rings to a guest.
+//! * [`AfPacketDev`] — the af_packet vdev used for container access,
+//!   paying user/kernel transitions and copies per packet.
+//! * [`testpmd`] — a minimal testpmd-style forwarding loop used by tests
+//!   and the baseline experiments.
+
+pub mod af_packet;
+pub mod ethdev;
+pub mod mbuf;
+pub mod testpmd;
+pub mod vhost;
+
+pub use af_packet::AfPacketDev;
+pub use ethdev::EthDev;
+pub use mbuf::{Mbuf, Mempool};
+pub use vhost::VhostUserDev;

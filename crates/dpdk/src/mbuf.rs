@@ -1,0 +1,126 @@
+//! Packet buffers and the mbuf mempool.
+//!
+//! DPDK preallocates all packet memory at startup into per-socket
+//! mempools; running out of mbufs drops packets at RX. This is also one of
+//! the paper's operational complaints (§2.2.1): the memory is reserved
+//! whether or not traffic flows.
+
+/// A packet buffer.
+#[derive(Debug, Clone)]
+pub struct Mbuf {
+    data: Vec<u8>,
+    len: usize,
+    /// Input port the packet arrived on.
+    pub port: u32,
+    /// RSS hash supplied by the NIC (DPDK gets this from hardware — the
+    /// advantage AF_XDP lacks per §5.5).
+    pub rss_hash: u32,
+}
+
+impl Mbuf {
+    fn new(capacity: usize) -> Self {
+        Self {
+            data: vec![0; capacity],
+            len: 0,
+            port: 0,
+            rss_hash: 0,
+        }
+    }
+
+    /// The packet bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data[..self.len]
+    }
+
+    /// Overwrite the packet bytes. Panics if larger than the buffer.
+    pub fn set_data(&mut self, pkt: &[u8]) {
+        assert!(pkt.len() <= self.data.len(), "packet exceeds mbuf size");
+        self.data[..pkt.len()].copy_from_slice(pkt);
+        self.len = pkt.len();
+    }
+
+    /// Packet length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the buffer holds no packet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A fixed-size pool of mbufs.
+#[derive(Debug)]
+pub struct Mempool {
+    free: Vec<Mbuf>,
+    buf_size: usize,
+    /// Allocation failures (RX drops under pool exhaustion).
+    pub alloc_failures: u64,
+}
+
+impl Mempool {
+    /// Preallocate `n` mbufs of `buf_size` bytes.
+    pub fn new(n: usize, buf_size: usize) -> Self {
+        Self {
+            free: (0..n).map(|_| Mbuf::new(buf_size)).collect(),
+            buf_size,
+            alloc_failures: 0,
+        }
+    }
+
+    /// Take an mbuf, or record a failure.
+    pub fn alloc(&mut self) -> Option<Mbuf> {
+        match self.free.pop() {
+            Some(m) => Some(m),
+            None => {
+                self.alloc_failures += 1;
+                None
+            }
+        }
+    }
+
+    /// Return an mbuf to the pool.
+    pub fn free(&mut self, mut m: Mbuf) {
+        m.len = 0;
+        m.port = 0;
+        self.free.push(m);
+    }
+
+    /// Free buffers remaining.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Configured buffer size.
+    pub fn buf_size(&self) -> usize {
+        self.buf_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut p = Mempool::new(2, 2048);
+        let mut a = p.alloc().unwrap();
+        a.set_data(b"hello");
+        assert_eq!(a.data(), b"hello");
+        let _b = p.alloc().unwrap();
+        assert!(p.alloc().is_none());
+        assert_eq!(p.alloc_failures, 1);
+        p.free(a);
+        assert_eq!(p.available(), 1);
+        let a2 = p.alloc().unwrap();
+        assert!(a2.is_empty(), "recycled mbuf is reset");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds mbuf size")]
+    fn oversize_panics() {
+        let mut p = Mempool::new(1, 64);
+        p.alloc().unwrap().set_data(&[0; 65]);
+    }
+}

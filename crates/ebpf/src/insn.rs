@@ -1,0 +1,165 @@
+//! The instruction set: a typed rendering of eBPF.
+//!
+//! Structurally equivalent to kernel eBPF — 11 registers (`r0`–`r10`),
+//! 64-bit ALU with 32-bit variants, sized loads/stores, compare-and-jump
+//! with signed 16-bit offsets, helper calls, `exit` — but spelled as a Rust
+//! enum rather than packed bytes, which keeps the verifier and interpreter
+//! honest without a disassembler. One deviation is documented on
+//! [`crate::vm`]: pointers are 64-bit region-tagged values, so the XDP
+//! context carries 64-bit `data`/`data_end` fields where the kernel's
+//! `struct xdp_md` has 32-bit ones.
+
+/// A register, `r0` through `r10`.
+///
+/// Conventions follow eBPF: `r0` = return value, `r1`–`r5` = arguments
+/// (clobbered by calls), `r6`–`r9` = callee-saved, `r10` = read-only frame
+/// pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg(pub u8);
+
+/// Registers by conventional name.
+pub mod reg {
+    use super::Reg;
+    pub const R0: Reg = Reg(0);
+    pub const R1: Reg = Reg(1);
+    pub const R2: Reg = Reg(2);
+    pub const R3: Reg = Reg(3);
+    pub const R4: Reg = Reg(4);
+    pub const R5: Reg = Reg(5);
+    pub const R6: Reg = Reg(6);
+    pub const R7: Reg = Reg(7);
+    pub const R8: Reg = Reg(8);
+    pub const R9: Reg = Reg(9);
+    /// Frame pointer (top of the 512-byte stack); read-only.
+    pub const R10: Reg = Reg(10);
+}
+
+/// Second operand of ALU and jump instructions: register or immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    Reg(Reg),
+    Imm(i64),
+}
+
+/// ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Or,
+    And,
+    Lsh,
+    Rsh,
+    Neg,
+    Mod,
+    Xor,
+    Mov,
+    Arsh,
+    /// Byte-swap to/from big-endian (eBPF `BPF_END`); the operand is the
+    /// width in bits (16/32/64).
+    ToBe,
+}
+
+/// Jump conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Gt,
+    Ge,
+    Lt,
+    Le,
+    /// Bitwise test: jump if `dst & operand != 0`.
+    Set,
+    SGt,
+    SGe,
+    SLt,
+    SLe,
+}
+
+/// Memory access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Size {
+    B,
+    H,
+    W,
+    DW,
+}
+
+impl Size {
+    /// Width in bytes.
+    pub fn bytes(self) -> usize {
+        match self {
+            Size::B => 1,
+            Size::H => 2,
+            Size::W => 4,
+            Size::DW => 8,
+        }
+    }
+}
+
+/// Helper functions callable from programs, a subset of the kernel's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Helper {
+    /// `r0 = map_lookup_elem(r1 = map_fd, r2 = key_ptr)` — returns a
+    /// pointer to the value or 0.
+    MapLookup,
+    /// `map_update_elem(r1 = map_fd, r2 = key_ptr, r3 = value_ptr)`.
+    MapUpdate,
+    /// `r0 = redirect_map(r1 = map_fd, r2 = key, r3 = flags)` — arranges an
+    /// `XDP_REDIRECT` through a devmap or xskmap.
+    RedirectMap,
+    /// `r0 = ktime_get_ns()` — virtual time in tests.
+    KtimeGetNs,
+}
+
+/// One instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Insn {
+    /// 64-bit ALU: `dst = dst op operand` (`Neg`: `dst = -dst`).
+    Alu64(AluOp, Reg, Operand),
+    /// 32-bit ALU: as above, truncating the result to 32 bits.
+    Alu32(AluOp, Reg, Operand),
+    /// `dst = imm` (the eBPF `lddw` double-word immediate).
+    LoadImm64(Reg, u64),
+    /// `dst = *(size*)(base + off)`.
+    Load(Size, Reg, Reg, i16),
+    /// `*(size*)(base + off) = operand`.
+    Store(Size, Reg, i16, Operand),
+    /// Unconditional relative jump (offset counts instructions, from the
+    /// next instruction).
+    Jmp(i16),
+    /// Conditional relative jump: `if dst cmp operand`.
+    JmpIf(CmpOp, Reg, Operand, i16),
+    /// Call a helper.
+    Call(Helper),
+    /// Return `r0`.
+    Exit,
+}
+
+/// Maximum instructions per program, matching the classic kernel cap.
+pub const MAX_INSNS: usize = 4096;
+
+/// eBPF stack size in bytes.
+pub const STACK_SIZE: usize = 512;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_bytes() {
+        assert_eq!(Size::B.bytes(), 1);
+        assert_eq!(Size::H.bytes(), 2);
+        assert_eq!(Size::W.bytes(), 4);
+        assert_eq!(Size::DW.bytes(), 8);
+    }
+
+    #[test]
+    fn reg_names() {
+        assert_eq!(reg::R0, Reg(0));
+        assert_eq!(reg::R10, Reg(10));
+    }
+}

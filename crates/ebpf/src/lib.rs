@@ -1,0 +1,36 @@
+//! # ovs-ebpf — an eBPF virtual machine with verifier, maps, and XDP hooks
+//!
+//! The paper's architecture hinges on eBPF three times over:
+//!
+//! * the **XDP hook program** that shovels every packet into an AF_XDP
+//!   socket (§2.2.3) — a tiny program under OVS community control;
+//! * the rejected **eBPF datapath** (§2.2.2, Fig 2), whose sandboxed
+//!   bytecode ran 10–20% slower than the kernel module;
+//! * **extension programs** (§3.5, Table 5): container XDP-redirect
+//!   fast paths, L4 load balancers, P4-compiled pipelines.
+//!
+//! This crate implements the machine those programs run on: a register
+//! bytecode ([`Insn`]) structurally equivalent to eBPF (11 registers,
+//! 512-byte stack, fixed-size instructions, helper calls), a static
+//! [`verifier`] enforcing the sandbox rules the paper calls out (program
+//! size cap, **no loops**, no uninitialized register reads), an
+//! [`interpreter`](vm) with fully bounds-checked memory, [`maps`], and the
+//! [`xdp`] program-attachment surface. The [`programs`] module contains the
+//! canned programs every experiment uses.
+//!
+//! The sandbox restrictions are faithful: you cannot write a loop, so you
+//! cannot write a megaflow cache — exactly the limitation that pushed OVS
+//! away from the eBPF datapath (§2.2.2, footnote 1).
+
+pub mod insn;
+pub mod maps;
+pub mod programs;
+pub mod verifier;
+pub mod vm;
+pub mod xdp;
+
+pub use insn::{AluOp, CmpOp, Helper, Insn, Operand, Reg, Size};
+pub use maps::{ArrayMap, DevMap, HashMap as BpfHashMap, MapSet, XskMap};
+pub use verifier::{verify, VerifyError};
+pub use vm::{ExecError, ExecResult, Vm};
+pub use xdp::{XdpAction, XdpProgram};

@@ -1,0 +1,373 @@
+//! eBPF maps: array, hash, devmap, and xskmap.
+//!
+//! Maps are the only mutable state an XDP program can keep. The OVS hook
+//! program uses an **xskmap** (queue index → AF_XDP socket) to redirect
+//! packets to userspace; the container fast path (§3.4, path C) uses a
+//! **devmap** (slot → target device); the eBPF datapath and Table 5 task C
+//! use a **hash map** for flow lookup. Note what is *absent*, faithfully:
+//! there is no wildcard-matching map, which is why the megaflow cache
+//! cannot be built in eBPF (§2.2.2).
+
+use std::collections::HashMap as StdHashMap;
+
+/// Errors from map operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    /// Key or value length does not match the map definition.
+    BadSize,
+    /// The map is at `max_entries`.
+    Full,
+    /// No such map fd or index.
+    NotFound,
+}
+
+/// A fixed-size-value array map (`BPF_MAP_TYPE_ARRAY`).
+#[derive(Debug, Clone)]
+pub struct ArrayMap {
+    value_size: usize,
+    values: Vec<Vec<u8>>,
+}
+
+impl ArrayMap {
+    /// An array map of `max_entries` zeroed values.
+    pub fn new(value_size: usize, max_entries: usize) -> Self {
+        Self {
+            value_size,
+            values: vec![vec![0; value_size]; max_entries],
+        }
+    }
+
+    /// Value size in bytes.
+    pub fn value_size(&self) -> usize {
+        self.value_size
+    }
+
+    /// Number of entries (fixed).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the map has zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Borrow entry `idx`.
+    pub fn get(&self, idx: u32) -> Option<&[u8]> {
+        self.values.get(idx as usize).map(|v| v.as_slice())
+    }
+
+    /// Mutably borrow entry `idx`.
+    pub fn get_mut(&mut self, idx: u32) -> Option<&mut [u8]> {
+        self.values.get_mut(idx as usize).map(|v| v.as_mut_slice())
+    }
+}
+
+/// A fixed key/value-size hash map (`BPF_MAP_TYPE_HASH`).
+///
+/// Values live in stable slots so the VM can hand out value pointers.
+#[derive(Debug, Clone)]
+pub struct HashMap {
+    key_size: usize,
+    value_size: usize,
+    max_entries: usize,
+    index: StdHashMap<Vec<u8>, u32>,
+    slots: Vec<Vec<u8>>,
+    free_slots: Vec<u32>,
+}
+
+impl HashMap {
+    /// An empty hash map.
+    pub fn new(key_size: usize, value_size: usize, max_entries: usize) -> Self {
+        Self {
+            key_size,
+            value_size,
+            max_entries,
+            index: StdHashMap::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+        }
+    }
+
+    /// Key size in bytes.
+    pub fn key_size(&self) -> usize {
+        self.key_size
+    }
+
+    /// Value size in bytes.
+    pub fn value_size(&self) -> usize {
+        self.value_size
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Look up a key, returning the value slot id.
+    pub fn lookup(&self, key: &[u8]) -> Option<u32> {
+        if key.len() != self.key_size {
+            return None;
+        }
+        self.index.get(key).copied()
+    }
+
+    /// Insert or update, returning the value slot id.
+    pub fn update(&mut self, key: &[u8], value: &[u8]) -> Result<u32, MapError> {
+        if key.len() != self.key_size || value.len() != self.value_size {
+            return Err(MapError::BadSize);
+        }
+        if let Some(&slot) = self.index.get(key) {
+            self.slots[slot as usize].copy_from_slice(value);
+            return Ok(slot);
+        }
+        if self.index.len() >= self.max_entries {
+            return Err(MapError::Full);
+        }
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.slots[s as usize].copy_from_slice(value);
+                s
+            }
+            None => {
+                self.slots.push(value.to_vec());
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.index.insert(key.to_vec(), slot);
+        Ok(slot)
+    }
+
+    /// Delete a key.
+    pub fn delete(&mut self, key: &[u8]) -> Result<(), MapError> {
+        match self.index.remove(key) {
+            Some(slot) => {
+                self.free_slots.push(slot);
+                Ok(())
+            }
+            None => Err(MapError::NotFound),
+        }
+    }
+
+    /// Borrow a value slot.
+    pub fn slot(&self, slot: u32) -> Option<&[u8]> {
+        self.slots.get(slot as usize).map(|v| v.as_slice())
+    }
+
+    /// Mutably borrow a value slot.
+    pub fn slot_mut(&mut self, slot: u32) -> Option<&mut [u8]> {
+        self.slots.get_mut(slot as usize).map(|v| v.as_mut_slice())
+    }
+}
+
+/// A devmap (`BPF_MAP_TYPE_DEVMAP`): slot → interface index, the target
+/// table for `XDP_REDIRECT` between devices.
+#[derive(Debug, Clone)]
+pub struct DevMap {
+    entries: Vec<Option<u32>>,
+}
+
+impl DevMap {
+    /// A devmap with `max_entries` empty slots.
+    pub fn new(max_entries: usize) -> Self {
+        Self {
+            entries: vec![None; max_entries],
+        }
+    }
+
+    /// Set slot `idx` to interface `ifindex`.
+    pub fn set(&mut self, idx: u32, ifindex: u32) -> Result<(), MapError> {
+        *self.entries.get_mut(idx as usize).ok_or(MapError::NotFound)? = Some(ifindex);
+        Ok(())
+    }
+
+    /// Look up slot `idx`.
+    pub fn get(&self, idx: u32) -> Option<u32> {
+        self.entries.get(idx as usize).copied().flatten()
+    }
+}
+
+/// An xskmap (`BPF_MAP_TYPE_XSKMAP`): queue index → AF_XDP socket id, the
+/// table the OVS hook program redirects through.
+#[derive(Debug, Clone)]
+pub struct XskMap {
+    entries: Vec<Option<u32>>,
+}
+
+impl XskMap {
+    /// An xskmap with `max_entries` empty slots.
+    pub fn new(max_entries: usize) -> Self {
+        Self {
+            entries: vec![None; max_entries],
+        }
+    }
+
+    /// Bind queue `idx` to socket `xsk_id`.
+    pub fn set(&mut self, idx: u32, xsk_id: u32) -> Result<(), MapError> {
+        *self.entries.get_mut(idx as usize).ok_or(MapError::NotFound)? = Some(xsk_id);
+        Ok(())
+    }
+
+    /// Look up queue `idx`.
+    pub fn get(&self, idx: u32) -> Option<u32> {
+        self.entries.get(idx as usize).copied().flatten()
+    }
+}
+
+/// Any map, as stored in a [`MapSet`].
+#[derive(Debug, Clone)]
+pub enum Map {
+    Array(ArrayMap),
+    Hash(HashMap),
+    Dev(DevMap),
+    Xsk(XskMap),
+}
+
+/// The map registry a program runs against; map "fds" index into it.
+#[derive(Debug, Default)]
+pub struct MapSet {
+    maps: Vec<Map>,
+}
+
+impl MapSet {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a map, returning its fd.
+    pub fn add(&mut self, map: Map) -> u32 {
+        self.maps.push(map);
+        (self.maps.len() - 1) as u32
+    }
+
+    /// Borrow a map.
+    pub fn get(&self, fd: u32) -> Option<&Map> {
+        self.maps.get(fd as usize)
+    }
+
+    /// Mutably borrow a map.
+    pub fn get_mut(&mut self, fd: u32) -> Option<&mut Map> {
+        self.maps.get_mut(fd as usize)
+    }
+
+    /// Look up `key` in map `fd`, returning a value slot id for pointer
+    /// formation. Array maps interpret the first 4 key bytes as the index
+    /// (little-endian, as eBPF does).
+    pub fn lookup_slot(&self, fd: u32, key: &[u8]) -> Option<u32> {
+        match self.get(fd)? {
+            Map::Array(a) => {
+                let idx = u32::from_le_bytes(key.get(..4)?.try_into().ok()?);
+                if (idx as usize) < a.len() {
+                    Some(idx)
+                } else {
+                    None
+                }
+            }
+            Map::Hash(h) => h.lookup(key),
+            // Dev/Xsk maps are not value-addressable from programs.
+            Map::Dev(_) | Map::Xsk(_) => None,
+        }
+    }
+
+    /// The key size map `fd` expects for lookups.
+    pub fn key_size(&self, fd: u32) -> Option<usize> {
+        match self.get(fd)? {
+            Map::Array(_) => Some(4),
+            Map::Hash(h) => Some(h.key_size()),
+            Map::Dev(_) | Map::Xsk(_) => Some(4),
+        }
+    }
+
+    /// Borrow the value bytes for `(fd, slot)`.
+    pub fn value(&self, fd: u32, slot: u32) -> Option<&[u8]> {
+        match self.get(fd)? {
+            Map::Array(a) => a.get(slot),
+            Map::Hash(h) => h.slot(slot),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrow the value bytes for `(fd, slot)`.
+    pub fn value_mut(&mut self, fd: u32, slot: u32) -> Option<&mut [u8]> {
+        match self.get_mut(fd)? {
+            Map::Array(a) => a.get_mut(slot),
+            Map::Hash(h) => h.slot_mut(slot),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_map_rw() {
+        let mut a = ArrayMap::new(8, 4);
+        a.get_mut(2).unwrap().copy_from_slice(&7u64.to_le_bytes());
+        assert_eq!(a.get(2).unwrap(), &7u64.to_le_bytes());
+        assert!(a.get(4).is_none());
+    }
+
+    #[test]
+    fn hash_map_crud() {
+        let mut h = HashMap::new(4, 8, 2);
+        let s1 = h.update(b"key1", &1u64.to_le_bytes()).unwrap();
+        assert_eq!(h.lookup(b"key1"), Some(s1));
+        assert_eq!(h.slot(s1).unwrap(), &1u64.to_le_bytes());
+        // Update in place keeps the slot.
+        let s1b = h.update(b"key1", &2u64.to_le_bytes()).unwrap();
+        assert_eq!(s1, s1b);
+        // Capacity enforced.
+        h.update(b"key2", &3u64.to_le_bytes()).unwrap();
+        assert_eq!(h.update(b"key3", &4u64.to_le_bytes()), Err(MapError::Full));
+        // Delete frees a slot for reuse.
+        h.delete(b"key1").unwrap();
+        let s3 = h.update(b"key3", &4u64.to_le_bytes()).unwrap();
+        assert_eq!(s3, s1, "freed slot is reused");
+        assert_eq!(h.lookup(b"key1"), None);
+    }
+
+    #[test]
+    fn hash_map_size_checks() {
+        let mut h = HashMap::new(4, 8, 4);
+        assert_eq!(h.update(b"toolong!", &0u64.to_le_bytes()), Err(MapError::BadSize));
+        assert_eq!(h.update(b"key1", b"short"), Err(MapError::BadSize));
+        assert_eq!(h.lookup(b"xy"), None);
+    }
+
+    #[test]
+    fn dev_and_xsk_maps() {
+        let mut d = DevMap::new(4);
+        d.set(1, 42).unwrap();
+        assert_eq!(d.get(1), Some(42));
+        assert_eq!(d.get(0), None);
+        assert_eq!(d.set(9, 1), Err(MapError::NotFound));
+
+        let mut x = XskMap::new(2);
+        x.set(0, 7).unwrap();
+        assert_eq!(x.get(0), Some(7));
+    }
+
+    #[test]
+    fn mapset_lookup_slot() {
+        let mut set = MapSet::new();
+        let afd = set.add(Map::Array(ArrayMap::new(8, 4)));
+        let hfd = set.add(Map::Hash(HashMap::new(4, 8, 4)));
+        // Array: key is the LE index.
+        assert_eq!(set.lookup_slot(afd, &2u32.to_le_bytes()), Some(2));
+        assert_eq!(set.lookup_slot(afd, &9u32.to_le_bytes()), None);
+        // Hash: inserted key resolves.
+        if let Some(Map::Hash(h)) = set.get_mut(hfd) {
+            h.update(b"abcd", &5u64.to_le_bytes()).unwrap();
+        }
+        let slot = set.lookup_slot(hfd, b"abcd").unwrap();
+        assert_eq!(set.value(hfd, slot).unwrap(), &5u64.to_le_bytes());
+    }
+}

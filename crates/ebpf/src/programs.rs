@@ -1,0 +1,573 @@
+//! The canned XDP programs the experiments use.
+//!
+//! Each is hand-assembled bytecode (the shape a C source compiled through
+//! LLVM/Clang would produce, per Figure 4's workflow) and passes the
+//! verifier. Instruction counts grow A → B → C → D exactly as Table 5's
+//! task ladder does, so the measured per-task cost differences come from
+//! real work: more interpreted instructions, a hash-map probe, a packet
+//! rewrite.
+
+use crate::insn::reg::*;
+use crate::insn::Operand::{Imm, Reg};
+use crate::insn::{AluOp::*, CmpOp::*, Helper, Insn::*, Size::*};
+use crate::xdp::XdpProgram;
+
+/// EtherType IPv4 as loaded little-endian from the wire (`htons(0x0800)`).
+const ETH_P_IP_LE: i64 = 0x0008;
+
+/// Table 5 task A: drop every packet without examining it.
+pub fn task_a_drop() -> XdpProgram {
+    XdpProgram::load("task_a_drop", vec![Alu64(Mov, R0, Imm(1)), Exit]).unwrap()
+}
+
+/// Table 5 task B: bounds-check, parse Ethernet + IPv4 headers, then drop.
+pub fn task_b_parse_drop() -> XdpProgram {
+    XdpProgram::load(
+        "task_b_parse_drop",
+        vec![
+            /* 0 */ Load(DW, R2, R1, 0), // data
+            /* 1 */ Load(DW, R3, R1, 8), // data_end
+            /* 2 */ Alu64(Mov, R4, Reg(R2)),
+            /* 3 */ Alu64(Add, R4, Imm(34)),
+            /* 4 */ JmpIf(Gt, R4, Reg(R3), 8), // short -> drop
+            /* 5 */ Load(H, R5, R2, 12), // ethertype
+            /* 6 */ JmpIf(Ne, R5, Imm(ETH_P_IP_LE), 6),
+            /* 7 */ Load(B, R5, R2, 14), // ver/ihl
+            /* 8 */ Alu64(Rsh, R5, Imm(4)),
+            /* 9 */ JmpIf(Ne, R5, Imm(4), 3),
+            /*10 */ Load(B, R6, R2, 23), // protocol
+            /*11 */ Load(W, R7, R2, 26), // src ip
+            /*12 */ Load(W, R8, R2, 30), // dst ip
+            /*13 */ Alu64(Mov, R0, Imm(1)), // XDP_DROP
+            /*14 */ Exit,
+        ],
+    )
+    .unwrap()
+}
+
+/// Table 5 task C: parse, look the destination MAC up in an L2 hash map
+/// (key: 8 bytes, MAC zero-extended), then drop.
+///
+/// The map must have `key_size == 8`; use [`l2_key`] to build keys for
+/// population.
+pub fn task_c_parse_lookup_drop(l2_map_fd: u32) -> XdpProgram {
+    XdpProgram::load(
+        "task_c_parse_lookup_drop",
+        vec![
+            /* 0 */ Load(DW, R2, R1, 0),
+            /* 1 */ Load(DW, R3, R1, 8),
+            /* 2 */ Alu64(Mov, R4, Reg(R2)),
+            /* 3 */ Alu64(Add, R4, Imm(34)),
+            /* 4 */ JmpIf(Gt, R4, Reg(R3), 16), // -> 21 drop
+            /* 5 */ Load(H, R5, R2, 12),
+            /* 6 */ JmpIf(Ne, R5, Imm(ETH_P_IP_LE), 14), // -> 21
+            /* 7 */ Load(B, R5, R2, 14),
+            /* 8 */ Alu64(Rsh, R5, Imm(4)),
+            /* 9 */ JmpIf(Ne, R5, Imm(4), 11), // -> 21
+            /*10 */ Load(W, R6, R2, 0), // dst mac bytes 0..4
+            /*11 */ Load(H, R7, R2, 4), // dst mac bytes 4..6
+            /*12 */ Alu64(Lsh, R7, Imm(32)),
+            /*13 */ Alu64(Or, R6, Reg(R7)),
+            /*14 */ Store(DW, R10, -8, Reg(R6)),
+            /*15 */ Alu64(Mov, R1, Imm(l2_map_fd as i64)),
+            /*16 */ Alu64(Mov, R2, Reg(R10)),
+            /*17 */ Alu64(Add, R2, Imm(-8)),
+            /*18 */ Call(Helper::MapLookup),
+            /*19 */ JmpIf(Eq, R0, Imm(0), 1), // miss -> 21
+            /*20 */ Load(DW, R5, R0, 0), // touch the value
+            /*21 */ Alu64(Mov, R0, Imm(1)), // XDP_DROP
+            /*22 */ Exit,
+        ],
+    )
+    .unwrap()
+}
+
+/// The 8-byte L2 key task C's map uses for a destination MAC: the MAC's
+/// first four bytes as a little-endian u32 in the low half, the last two
+/// in the high half — exactly the value the program assembles in `r6`.
+pub fn l2_key(mac: [u8; 6]) -> [u8; 8] {
+    let lo = u32::from_le_bytes([mac[0], mac[1], mac[2], mac[3]]);
+    let hi = u16::from_le_bytes([mac[4], mac[5]]);
+    let v = u64::from(lo) | (u64::from(hi) << 32);
+    v.to_le_bytes()
+}
+
+/// Table 5 task D: parse Ethernet, swap source and destination MACs, and
+/// transmit back out the same port (`XDP_TX`).
+pub fn task_d_swap_fwd() -> XdpProgram {
+    XdpProgram::load(
+        "task_d_swap_fwd",
+        vec![
+            /* 0 */ Load(DW, R2, R1, 0),
+            /* 1 */ Load(DW, R3, R1, 8),
+            /* 2 */ Alu64(Mov, R4, Reg(R2)),
+            /* 3 */ Alu64(Add, R4, Imm(14)),
+            /* 4 */ JmpIf(Gt, R4, Reg(R3), 10), // -> 15 drop
+            /* 5 */ Load(W, R5, R2, 0),  // dst mac lo
+            /* 6 */ Load(H, R6, R2, 4),  // dst mac hi
+            /* 7 */ Load(W, R7, R2, 6),  // src mac lo
+            /* 8 */ Load(H, R8, R2, 10), // src mac hi
+            /* 9 */ Store(W, R2, 0, Reg(R7)),
+            /*10 */ Store(H, R2, 4, Reg(R8)),
+            /*11 */ Store(W, R2, 6, Reg(R5)),
+            /*12 */ Store(H, R2, 10, Reg(R6)),
+            /*13 */ Alu64(Mov, R0, Imm(3)), // XDP_TX
+            /*14 */ Exit,
+            /*15 */ Alu64(Mov, R0, Imm(1)),
+            /*16 */ Exit,
+        ],
+    )
+    .unwrap()
+}
+
+/// The OVS AF_XDP hook (§2.2.3): redirect **every** packet to the AF_XDP
+/// socket bound for its receive queue — "a tiny eBPF helper program ...
+/// which just sends every packet to userspace".
+pub fn ovs_xsk_redirect(xskmap_fd: u32) -> XdpProgram {
+    XdpProgram::load(
+        "ovs_xsk_redirect",
+        vec![
+            /* 0 */ Load(DW, R6, R1, 16), // rx_queue_index
+            /* 1 */ Alu64(Mov, R1, Imm(xskmap_fd as i64)),
+            /* 2 */ Alu64(Mov, R2, Reg(R6)),
+            /* 3 */ Alu64(Mov, R3, Imm(0)),
+            /* 4 */ Call(Helper::RedirectMap),
+            /* 5 */ Exit,
+        ],
+    )
+    .unwrap()
+}
+
+/// The container fast path (§3.4 path C, used by the PCP scenario in
+/// Fig 9c): packets whose IPv4 destination is the container's address are
+/// redirected in-kernel to its veth through a devmap, skipping OVS
+/// userspace entirely; everything else goes to the AF_XDP socket.
+pub fn container_redirect(
+    devmap_fd: u32,
+    devmap_slot: u32,
+    container_ip: [u8; 4],
+    xskmap_fd: u32,
+) -> XdpProgram {
+    let ip_le = i64::from(u32::from_le_bytes(container_ip));
+    XdpProgram::load(
+        "container_redirect",
+        vec![
+            /* 0 */ Load(DW, R2, R1, 0),
+            /* 1 */ Load(DW, R3, R1, 8),
+            /* 2 */ Load(DW, R6, R1, 16), // rx queue, for the xsk path
+            /* 3 */ Alu64(Mov, R4, Reg(R2)),
+            /* 4 */ Alu64(Add, R4, Imm(34)),
+            /* 5 */ JmpIf(Gt, R4, Reg(R3), 9), // -> 15 xsk
+            /* 6 */ Load(H, R5, R2, 12),
+            /* 7 */ JmpIf(Ne, R5, Imm(ETH_P_IP_LE), 7), // -> 15
+            /* 8 */ Load(W, R5, R2, 30), // dst ip
+            /* 9 */ JmpIf(Ne, R5, Imm(ip_le), 5), // -> 15
+            /*10 */ Alu64(Mov, R1, Imm(devmap_fd as i64)),
+            /*11 */ Alu64(Mov, R2, Imm(devmap_slot as i64)),
+            /*12 */ Alu64(Mov, R3, Imm(0)),
+            /*13 */ Call(Helper::RedirectMap),
+            /*14 */ Exit,
+            /*15 */ Alu64(Mov, R1, Imm(xskmap_fd as i64)),
+            /*16 */ Alu64(Mov, R2, Reg(R6)),
+            /*17 */ Alu64(Mov, R3, Imm(0)),
+            /*18 */ Call(Helper::RedirectMap),
+            /*19 */ Exit,
+        ],
+    )
+    .unwrap()
+}
+
+/// The §4 control-plane split: steer TCP traffic aimed at the host's
+/// management/controller ports straight up the kernel stack (XDP_PASS),
+/// while everything else — the dataplane — goes to the AF_XDP socket.
+/// "If it proves too slow later, we can modify the XDP program to steer
+/// the control plane traffic directly from XDP to the network stack,
+/// while keep pushing dataplane traffic directly to userspace."
+pub fn control_plane_split(xskmap_fd: u32, mgmt_port: u16) -> XdpProgram {
+    let port_le = i64::from(u16::from_le_bytes(mgmt_port.to_be_bytes()));
+    XdpProgram::load(
+        "control_plane_split",
+        vec![
+            /* 0 */ Load(DW, R2, R1, 0),
+            /* 1 */ Load(DW, R3, R1, 8),
+            /* 2 */ Load(DW, R6, R1, 16), // rx queue for the xsk path
+            /* 3 */ Alu64(Mov, R4, Reg(R2)),
+            /* 4 */ Alu64(Add, R4, Imm(42)),
+            /* 5 */ JmpIf(Gt, R4, Reg(R3), 9), // short -> xsk (15)
+            /* 6 */ Load(H, R5, R2, 12),
+            /* 7 */ JmpIf(Ne, R5, Imm(ETH_P_IP_LE), 7), // -> 15
+            /* 8 */ Load(B, R5, R2, 23),
+            /* 9 */ JmpIf(Ne, R5, Imm(6), 5), // not TCP -> 15
+            /*10 */ Load(H, R5, R2, 36), // tcp dst port
+            /*11 */ JmpIf(Ne, R5, Imm(port_le), 3), // -> 15
+            /*12 */ Alu64(Mov, R0, Imm(2)), // XDP_PASS: up the stack
+            /*13 */ Exit,
+            /*14 */ Alu64(Mov, R0, Imm(2)), // (unreachable pad)
+            /*15 */ Alu64(Mov, R1, Imm(xskmap_fd as i64)),
+            /*16 */ Alu64(Mov, R2, Reg(R6)),
+            /*17 */ Alu64(Mov, R3, Imm(0)),
+            /*18 */ Call(Helper::RedirectMap),
+            /*19 */ Exit,
+        ],
+    )
+    .unwrap()
+}
+
+/// Redirect **every** packet to a fixed devmap slot — the return-path
+/// program attached to a container's veth host end in the PCP scenario
+/// (container replies bounce straight back to the NIC without touching
+/// userspace or the host stack).
+pub fn redirect_all_to_dev(devmap_fd: u32, slot: u32) -> XdpProgram {
+    XdpProgram::load(
+        "redirect_all_to_dev",
+        vec![
+            /* 0 */ Alu64(Mov, R1, Imm(devmap_fd as i64)),
+            /* 1 */ Alu64(Mov, R2, Imm(slot as i64)),
+            /* 2 */ Alu64(Mov, R3, Imm(0)),
+            /* 3 */ Call(Helper::RedirectMap),
+            /* 4 */ Exit,
+        ],
+    )
+    .unwrap()
+}
+
+/// The §3.5 example: an L4 load balancer targeting one UDP 5-tuple.
+/// Matching packets get their destination IP rewritten to the backend and
+/// bounce straight back out (`XDP_TX`), with the L4 checksum zeroed
+/// (checksum-offload semantics); everything else passes to the stack /
+/// AF_XDP socket as usual.
+pub fn l4_lb(vip: [u8; 4], vport: u16, backend_ip: [u8; 4]) -> XdpProgram {
+    let vip_le = i64::from(u32::from_le_bytes(vip));
+    let backend_le = i64::from(u32::from_le_bytes(backend_ip));
+    // Wire-order port compared against an LE halfword load.
+    let vport_le = i64::from(u16::from_le_bytes(vport.to_be_bytes()));
+    XdpProgram::load(
+        "l4_lb",
+        vec![
+            /* 0 */ Load(DW, R2, R1, 0),
+            /* 1 */ Load(DW, R3, R1, 8),
+            /* 2 */ Alu64(Mov, R4, Reg(R2)),
+            /* 3 */ Alu64(Add, R4, Imm(42)),
+            /* 4 */ JmpIf(Gt, R4, Reg(R3), 21), // -> 26 pass
+            /* 5 */ Load(H, R5, R2, 12),
+            /* 6 */ JmpIf(Ne, R5, Imm(ETH_P_IP_LE), 19), // -> 26
+            /* 7 */ Load(B, R5, R2, 23), // proto
+            /* 8 */ JmpIf(Ne, R5, Imm(17), 17), // -> 26
+            /* 9 */ Load(W, R5, R2, 30), // dst ip
+            /*10 */ JmpIf(Ne, R5, Imm(vip_le), 15), // -> 26
+            /*11 */ Load(H, R5, R2, 36), // udp dst port
+            /*12 */ JmpIf(Ne, R5, Imm(vport_le), 13), // -> 26
+            /*13 */ Store(W, R2, 30, Imm(backend_le)), // rewrite dst ip
+            /*14 */ Store(H, R2, 24, Imm(0)), // zero ip csum (offload)
+            /*15 */ Store(H, R2, 40, Imm(0)), // zero udp csum
+            /*16 */ Load(W, R5, R2, 0),
+            /*17 */ Load(H, R6, R2, 4),
+            /*18 */ Load(W, R7, R2, 6),
+            /*19 */ Load(H, R8, R2, 10),
+            /*20 */ Store(W, R2, 0, Reg(R7)),
+            /*21 */ Store(H, R2, 4, Reg(R8)),
+            /*22 */ Store(W, R2, 6, Reg(R5)),
+            /*23 */ Store(H, R2, 10, Reg(R6)),
+            /*24 */ Alu64(Mov, R0, Imm(3)), // XDP_TX
+            /*25 */ Exit,
+            /*26 */ Alu64(Mov, R0, Imm(2)), // XDP_PASS
+            /*27 */ Exit,
+        ],
+    )
+    .unwrap()
+}
+
+/// The eBPF **datapath** of §2.2.2: parse the 5-tuple, look it up in a
+/// flow hash map, and forward through a devmap on a hit (miss = pass to
+/// userspace for the slow path). This is the Fig 2 "eBPF" contender —
+/// same functional behaviour as the kernel module's flow cache, but paying
+/// bytecode dispatch on every instruction.
+pub fn ebpf_datapath(flow_map_fd: u32, devmap_fd: u32) -> XdpProgram {
+    XdpProgram::load(
+        "ebpf_datapath",
+        vec![
+            /* 0 */ Load(DW, R2, R1, 0),
+            /* 1 */ Load(DW, R3, R1, 8),
+            /* 2 */ Alu64(Mov, R4, Reg(R2)),
+            /* 3 */ Alu64(Add, R4, Imm(42)),
+            /* 4 */ JmpIf(Gt, R4, Reg(R3), 21), // -> 26 pass
+            /* 5 */ Load(H, R5, R2, 12),
+            /* 6 */ JmpIf(Ne, R5, Imm(ETH_P_IP_LE), 19), // -> 26
+            /* 7 */ Load(W, R5, R2, 26), // src ip
+            /* 8 */ Store(W, R10, -16, Reg(R5)),
+            /* 9 */ Load(W, R5, R2, 30), // dst ip
+            /*10 */ Store(W, R10, -12, Reg(R5)),
+            /*11 */ Load(W, R5, R2, 34), // both ports
+            /*12 */ Store(W, R10, -8, Reg(R5)),
+            /*13 */ Load(B, R5, R2, 23), // proto
+            /*14 */ Store(W, R10, -4, Reg(R5)),
+            /*15 */ Alu64(Mov, R1, Imm(flow_map_fd as i64)),
+            /*16 */ Alu64(Mov, R2, Reg(R10)),
+            /*17 */ Alu64(Add, R2, Imm(-16)),
+            /*18 */ Call(Helper::MapLookup),
+            /*19 */ JmpIf(Eq, R0, Imm(0), 6), // miss -> 26
+            /*20 */ Load(DW, R6, R0, 0), // devmap slot
+            /*21 */ Alu64(Mov, R1, Imm(devmap_fd as i64)),
+            /*22 */ Alu64(Mov, R2, Reg(R6)),
+            /*23 */ Alu64(Mov, R3, Imm(0)),
+            /*24 */ Call(Helper::RedirectMap),
+            /*25 */ Exit,
+            /*26 */ Alu64(Mov, R0, Imm(2)), // XDP_PASS
+            /*27 */ Exit,
+        ],
+    )
+    .unwrap()
+}
+
+/// Build the 16-byte flow key [`ebpf_datapath`] assembles on its stack for
+/// a given 5-tuple, for userspace map population: source IP, destination
+/// IP, and ports in wire order, then the protocol zero-extended.
+pub fn dp_flow_key(
+    src_ip: [u8; 4],
+    dst_ip: [u8; 4],
+    src_port: u16,
+    dst_port: u16,
+    proto: u8,
+) -> [u8; 16] {
+    let mut key = [0u8; 16];
+    key[0..4].copy_from_slice(&src_ip);
+    key[4..8].copy_from_slice(&dst_ip);
+    key[8..10].copy_from_slice(&src_port.to_be_bytes());
+    key[10..12].copy_from_slice(&dst_port.to_be_bytes());
+    key[12] = proto;
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maps::{DevMap, HashMap, Map, MapSet, XskMap};
+    use crate::vm::Vm;
+    use crate::xdp::{RedirectTarget, XdpAction};
+    use ovs_packet::builder;
+    use ovs_packet::MacAddr;
+
+    fn udp_frame() -> Vec<u8> {
+        builder::udp_ipv4_frame(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            1000,
+            2000,
+            64,
+        )
+    }
+
+    #[test]
+    fn task_ladder_instruction_counts_increase() {
+        let mut maps = MapSet::new();
+        let l2 = maps.add(Map::Hash(HashMap::new(8, 8, 16)));
+        let a = task_a_drop();
+        let b = task_b_parse_drop();
+        let c = task_c_parse_lookup_drop(l2);
+        let d = task_d_swap_fwd();
+        let mut vm = Vm::new();
+        let mut frame = udp_frame();
+        let ra = a.run(&mut vm, &mut frame, 0, &mut maps).unwrap();
+        let rb = b.run(&mut vm, &mut frame, 0, &mut maps).unwrap();
+        let rc = c.run(&mut vm, &mut frame, 0, &mut maps).unwrap();
+        assert!(ra.insns < rb.insns, "B does more work than A");
+        assert!(rb.insns < rc.insns, "C does more work than B");
+        assert_eq!(ra.action, XdpAction::Drop);
+        assert_eq!(rb.action, XdpAction::Drop);
+        assert_eq!(rc.action, XdpAction::Drop);
+        assert_eq!(rc.map_lookups, 1);
+        let rd = d.run(&mut vm, &mut frame, 0, &mut maps).unwrap();
+        assert_eq!(rd.action, XdpAction::Tx);
+    }
+
+    #[test]
+    fn task_d_actually_swaps_macs() {
+        let mut maps = MapSet::new();
+        let mut vm = Vm::new();
+        let mut frame = udp_frame();
+        task_d_swap_fwd().run(&mut vm, &mut frame, 0, &mut maps).unwrap();
+        assert_eq!(&frame[0..6], &[2, 0, 0, 0, 0, 1], "dst is now old src");
+        assert_eq!(&frame[6..12], &[2, 0, 0, 0, 0, 2], "src is now old dst");
+    }
+
+    #[test]
+    fn task_c_hit_and_miss_both_drop() {
+        let mut maps = MapSet::new();
+        let l2fd = maps.add(Map::Hash(HashMap::new(8, 8, 16)));
+        if let Some(Map::Hash(h)) = maps.get_mut(l2fd) {
+            h.update(&l2_key([2, 0, 0, 0, 0, 2]), &7u64.to_le_bytes()).unwrap();
+        }
+        let prog = task_c_parse_lookup_drop(l2fd);
+        let mut vm = Vm::new();
+        let mut frame = udp_frame();
+        let hit = prog.run(&mut vm, &mut frame, 0, &mut maps).unwrap();
+        assert_eq!(hit.action, XdpAction::Drop);
+        // Change dst MAC so the lookup misses; still drops.
+        frame[5] = 0x99;
+        let miss = prog.run(&mut vm, &mut frame, 0, &mut maps).unwrap();
+        assert_eq!(miss.action, XdpAction::Drop);
+        assert!(hit.insns > miss.insns, "hit path touches the value");
+    }
+
+    #[test]
+    fn ovs_hook_redirects_to_queue_socket() {
+        let mut maps = MapSet::new();
+        let mut xsk = XskMap::new(8);
+        xsk.set(0, 100).unwrap();
+        xsk.set(3, 103).unwrap();
+        let fd = maps.add(Map::Xsk(xsk));
+        let prog = ovs_xsk_redirect(fd);
+        let mut vm = Vm::new();
+        let r = prog.run(&mut vm, &mut udp_frame(), 3, &mut maps).unwrap();
+        assert_eq!(r.action, XdpAction::Redirect(RedirectTarget::Xsk(103)));
+        let r = prog.run(&mut vm, &mut udp_frame(), 0, &mut maps).unwrap();
+        assert_eq!(r.action, XdpAction::Redirect(RedirectTarget::Xsk(100)));
+    }
+
+    #[test]
+    fn container_redirect_splits_traffic() {
+        let mut maps = MapSet::new();
+        let mut dev = DevMap::new(4);
+        dev.set(1, 55).unwrap(); // veth ifindex 55
+        let devfd = maps.add(Map::Dev(dev));
+        let mut xsk = XskMap::new(4);
+        xsk.set(0, 9).unwrap();
+        let xskfd = maps.add(Map::Xsk(xsk));
+        let prog = container_redirect(devfd, 1, [10, 0, 0, 2], xskfd);
+        let mut vm = Vm::new();
+        // Container-bound packet -> veth.
+        let r = prog.run(&mut vm, &mut udp_frame(), 0, &mut maps).unwrap();
+        assert_eq!(r.action, XdpAction::Redirect(RedirectTarget::Device(55)));
+        // Other traffic -> AF_XDP socket.
+        let mut other = builder::udp_ipv4_frame(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            [10, 0, 0, 1],
+            [10, 0, 0, 99],
+            1,
+            2,
+            64,
+        );
+        let r = prog.run(&mut vm, &mut other, 0, &mut maps).unwrap();
+        assert_eq!(r.action, XdpAction::Redirect(RedirectTarget::Xsk(9)));
+    }
+
+    #[test]
+    fn l4_lb_rewrites_and_bounces() {
+        let mut maps = MapSet::new();
+        let prog = l4_lb([10, 0, 0, 2], 2000, [192, 168, 9, 9]);
+        let mut vm = Vm::new();
+        let mut frame = udp_frame();
+        let r = prog.run(&mut vm, &mut frame, 0, &mut maps).unwrap();
+        assert_eq!(r.action, XdpAction::Tx);
+        assert_eq!(&frame[30..34], &[192, 168, 9, 9], "dst ip rewritten");
+        // Non-matching port passes.
+        let mut other = builder::udp_ipv4_frame(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            1000,
+            2001,
+            64,
+        );
+        let r = prog.run(&mut vm, &mut other, 0, &mut maps).unwrap();
+        assert_eq!(r.action, XdpAction::Pass);
+    }
+
+    #[test]
+    fn ebpf_datapath_hit_redirects_miss_passes() {
+        let mut maps = MapSet::new();
+        let flowfd = maps.add(Map::Hash(HashMap::new(16, 8, 64)));
+        let mut dev = DevMap::new(8);
+        dev.set(2, 77).unwrap();
+        let devfd = maps.add(Map::Dev(dev));
+        if let Some(Map::Hash(h)) = maps.get_mut(flowfd) {
+            let key = dp_flow_key([10, 0, 0, 1], [10, 0, 0, 2], 1000, 2000, 17);
+            h.update(&key, &2u64.to_le_bytes()).unwrap();
+        }
+        let prog = ebpf_datapath(flowfd, devfd);
+        let mut vm = Vm::new();
+        let r = prog.run(&mut vm, &mut udp_frame(), 0, &mut maps).unwrap();
+        assert_eq!(r.action, XdpAction::Redirect(RedirectTarget::Device(77)));
+        // A different flow misses and passes to userspace.
+        let mut other = builder::udp_ipv4_frame(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            [10, 9, 9, 9],
+            [10, 0, 0, 2],
+            1000,
+            2000,
+            64,
+        );
+        let r = prog.run(&mut vm, &mut other, 0, &mut maps).unwrap();
+        assert_eq!(r.action, XdpAction::Pass);
+    }
+
+    #[test]
+    fn control_plane_split_separates_traffic() {
+        let mut maps = MapSet::new();
+        let mut xsk = XskMap::new(4);
+        xsk.set(0, 5).unwrap();
+        let fd = maps.add(Map::Xsk(xsk));
+        let prog = control_plane_split(fd, 6653); // OpenFlow port
+        let mut vm = Vm::new();
+        // Controller TCP goes up the stack.
+        let mut ctrl = ovs_packet::builder::tcp_ipv4(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            [10, 0, 0, 9],
+            [10, 0, 0, 1],
+            40_000,
+            6653,
+            1,
+            0,
+            ovs_packet::tcp::flags::SYN,
+            &[],
+        );
+        let r = prog.run(&mut vm, &mut ctrl, 0, &mut maps).unwrap();
+        assert_eq!(r.action, XdpAction::Pass);
+        // Dataplane UDP goes to the socket.
+        let mut data = udp_frame();
+        let r = prog.run(&mut vm, &mut data, 0, &mut maps).unwrap();
+        assert_eq!(r.action, XdpAction::Redirect(RedirectTarget::Xsk(5)));
+        // Other TCP (not the controller port) is dataplane too.
+        let mut other = ovs_packet::builder::tcp_ipv4(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            [10, 0, 0, 9],
+            [10, 0, 0, 1],
+            40_000,
+            443,
+            1,
+            0,
+            ovs_packet::tcp::flags::SYN,
+            &[],
+        );
+        let r = prog.run(&mut vm, &mut other, 0, &mut maps).unwrap();
+        assert_eq!(r.action, XdpAction::Redirect(RedirectTarget::Xsk(5)));
+    }
+
+    #[test]
+    fn short_frames_handled_safely() {
+        let mut maps = MapSet::new();
+        let l2 = maps.add(Map::Hash(HashMap::new(8, 8, 4)));
+        let mut vm = Vm::new();
+        let mut short = vec![0u8; 10];
+        for prog in [
+            task_b_parse_drop(),
+            task_c_parse_lookup_drop(l2),
+            task_d_swap_fwd(),
+            l4_lb([1, 2, 3, 4], 5, [6, 7, 8, 9]),
+        ] {
+            let r = prog.run(&mut vm, &mut short, 0, &mut maps).unwrap();
+            assert!(
+                matches!(r.action, XdpAction::Drop | XdpAction::Pass),
+                "{} must not fault on short frames",
+                prog.name()
+            );
+        }
+    }
+}

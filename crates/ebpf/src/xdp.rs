@@ -1,0 +1,187 @@
+//! XDP program attachment and execution.
+//!
+//! An [`XdpProgram`] is a verified program plus a name; [`XdpProgram::run`]
+//! executes it against one packet and interprets the return code as an XDP
+//! action, resolving `redirect_map` targets through the attached maps.
+
+use crate::insn::Insn;
+use crate::maps::{Map, MapSet};
+use crate::verifier::{verify, VerifyError};
+use crate::vm::{ExecError, Vm};
+
+/// XDP return codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XdpAction {
+    /// Program error; the driver drops the packet.
+    Aborted,
+    /// Drop the packet at the driver.
+    Drop,
+    /// Pass the packet up the normal kernel stack.
+    Pass,
+    /// Bounce the packet back out the same NIC.
+    Tx,
+    /// Redirect: to a device (devmap) or an AF_XDP socket (xskmap).
+    Redirect(RedirectTarget),
+}
+
+/// Resolved target of an `XDP_REDIRECT`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedirectTarget {
+    /// Another net device, by ifindex (devmap).
+    Device(u32),
+    /// An AF_XDP socket, by socket id (xskmap).
+    Xsk(u32),
+    /// The redirect target was missing or the map empty at that key; the
+    /// kernel drops such packets.
+    Invalid,
+}
+
+/// Result of running an XDP program over a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XdpRunResult {
+    /// The action to take.
+    pub action: XdpAction,
+    /// Instructions executed (for cycle accounting).
+    pub insns: u64,
+    /// Map lookups performed (each costs a hash probe).
+    pub map_lookups: u64,
+    /// Loads/stores touching packet bytes (cache-miss cost signal).
+    pub pkt_accesses: u64,
+}
+
+/// A verified, attachable XDP program.
+#[derive(Debug, Clone)]
+pub struct XdpProgram {
+    name: String,
+    insns: Vec<Insn>,
+}
+
+impl XdpProgram {
+    /// Verify and wrap a program. Mirrors the kernel's load-time check: an
+    /// unverifiable program never attaches (Figure 4's "in-kernel
+    /// verifier" step).
+    pub fn load(name: &str, insns: Vec<Insn>) -> Result<Self, VerifyError> {
+        verify(&insns)?;
+        Ok(Self {
+            name: name.to_string(),
+            insns,
+        })
+    }
+
+    /// The program name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction count (program "complexity" in Table 5 terms).
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// True for a zero-length program (cannot occur for loaded programs).
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Run over one packet arriving on `rx_queue`. The packet is writable
+    /// (XDP programs may rewrite headers).
+    pub fn run(
+        &self,
+        vm: &mut Vm,
+        packet: &mut [u8],
+        rx_queue: u32,
+        maps: &mut MapSet,
+    ) -> Result<XdpRunResult, ExecError> {
+        vm.rx_queue = rx_queue;
+        let res = vm.run(&self.insns, packet, maps)?;
+        let action = match res.ret {
+            0 => XdpAction::Aborted,
+            1 => XdpAction::Drop,
+            2 => XdpAction::Pass,
+            3 => XdpAction::Tx,
+            4 => {
+                let target = res
+                    .redirect
+                    .map(|(fd, key)| match maps.get(fd) {
+                        Some(Map::Dev(d)) => d
+                            .get(key)
+                            .map(RedirectTarget::Device)
+                            .unwrap_or(RedirectTarget::Invalid),
+                        Some(Map::Xsk(x)) => x
+                            .get(key)
+                            .map(RedirectTarget::Xsk)
+                            .unwrap_or(RedirectTarget::Invalid),
+                        _ => RedirectTarget::Invalid,
+                    })
+                    .unwrap_or(RedirectTarget::Invalid);
+                XdpAction::Redirect(target)
+            }
+            _ => XdpAction::Aborted,
+        };
+        Ok(XdpRunResult {
+            action,
+            insns: res.insns,
+            map_lookups: res.map_lookups,
+            pkt_accesses: res.pkt_accesses,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::reg::*;
+    use crate::insn::{AluOp::*, Helper, Insn::*, Operand::*, Size};
+    use crate::maps::XskMap;
+
+    #[test]
+    fn load_rejects_unverifiable() {
+        assert!(XdpProgram::load("bad", vec![Jmp(-1), Exit]).is_err());
+    }
+
+    #[test]
+    fn drop_program() {
+        let prog = XdpProgram::load("drop", vec![Alu64(Mov, R0, Imm(1)), Exit]).unwrap();
+        let mut vm = Vm::new();
+        let mut maps = MapSet::new();
+        let r = prog.run(&mut vm, &mut [0u8; 64], 0, &mut maps).unwrap();
+        assert_eq!(r.action, XdpAction::Drop);
+        assert_eq!(r.insns, 2);
+    }
+
+    #[test]
+    fn redirect_resolves_through_xskmap() {
+        let mut maps = MapSet::new();
+        let mut xsk = XskMap::new(4);
+        xsk.set(1, 77).unwrap();
+        let fd = maps.add(Map::Xsk(xsk));
+        // Redirect using ctx->rx_queue_index as the key.
+        let prog = XdpProgram::load(
+            "to-xsk",
+            vec![
+                Load(Size::DW, R6, R1, 16),
+                Alu64(Mov, R1, Imm(fd as i64)),
+                Alu64(Mov, R2, Reg(R6)),
+                Alu64(Mov, R3, Imm(0)),
+                Call(Helper::RedirectMap),
+                Exit,
+            ],
+        )
+        .unwrap();
+        let mut vm = Vm::new();
+        let r = prog.run(&mut vm, &mut [0u8; 64], 1, &mut maps).unwrap();
+        assert_eq!(r.action, XdpAction::Redirect(RedirectTarget::Xsk(77)));
+        // Queue with no socket bound resolves to Invalid (kernel drops).
+        let r = prog.run(&mut vm, &mut [0u8; 64], 3, &mut maps).unwrap();
+        assert_eq!(r.action, XdpAction::Redirect(RedirectTarget::Invalid));
+    }
+
+    #[test]
+    fn unknown_return_is_aborted() {
+        let prog = XdpProgram::load("weird", vec![Alu64(Mov, R0, Imm(99)), Exit]).unwrap();
+        let mut vm = Vm::new();
+        let mut maps = MapSet::new();
+        let r = prog.run(&mut vm, &mut [0u8; 4], 0, &mut maps).unwrap();
+        assert_eq!(r.action, XdpAction::Aborted);
+    }
+}

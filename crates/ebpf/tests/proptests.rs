@@ -1,0 +1,105 @@
+//! Property tests for the eBPF machine: verified programs terminate
+//! without faulting the host, and every canned program is total on
+//! arbitrary packet bytes.
+
+use ovs_ebpf::insn::Operand::{Imm, Reg as RegOp};
+use ovs_ebpf::insn::{AluOp, CmpOp, Insn, Size};
+use ovs_ebpf::maps::{DevMap, HashMap as BpfHashMap, Map, MapSet, XskMap};
+use ovs_ebpf::{programs, verify, Vm};
+use proptest::prelude::*;
+
+/// Generate structurally random (often invalid) instructions.
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    let reg = (0u8..12).prop_map(ovs_ebpf::insn::Reg);
+    let operand = prop_oneof![
+        reg.clone().prop_map(RegOp),
+        any::<i32>().prop_map(|i| Imm(i as i64)),
+    ];
+    let alu = prop_oneof![
+        Just(AluOp::Add), Just(AluOp::Sub), Just(AluOp::Mul), Just(AluOp::Div),
+        Just(AluOp::Or), Just(AluOp::And), Just(AluOp::Lsh), Just(AluOp::Rsh),
+        Just(AluOp::Mov), Just(AluOp::Xor), Just(AluOp::Mod), Just(AluOp::Arsh),
+    ];
+    let size = prop_oneof![Just(Size::B), Just(Size::H), Just(Size::W), Just(Size::DW)];
+    let cmp = prop_oneof![
+        Just(CmpOp::Eq), Just(CmpOp::Ne), Just(CmpOp::Gt), Just(CmpOp::Lt),
+        Just(CmpOp::Set), Just(CmpOp::SGe),
+    ];
+    prop_oneof![
+        (alu.clone(), reg.clone(), operand.clone()).prop_map(|(o, r, s)| Insn::Alu64(o, r, s)),
+        (alu, reg.clone(), operand.clone()).prop_map(|(o, r, s)| Insn::Alu32(o, r, s)),
+        (reg.clone(), any::<u64>()).prop_map(|(r, v)| Insn::LoadImm64(r, v)),
+        (size.clone(), reg.clone(), reg.clone(), -64i16..64).prop_map(|(s, d, b, o)| Insn::Load(s, d, b, o)),
+        (size, reg.clone(), -64i16..64, operand.clone()).prop_map(|(s, b, o, v)| Insn::Store(s, b, o, v)),
+        (-8i16..16).prop_map(Insn::Jmp),
+        (cmp, reg, operand, -8i16..16).prop_map(|(c, r, o, off)| Insn::JmpIf(c, r, o, off)),
+        Just(Insn::Exit),
+    ]
+}
+
+proptest! {
+    /// The verifier never panics on arbitrary programs, and anything it
+    /// accepts runs to completion (or a clean runtime fault) within the
+    /// no-loop execution bound.
+    #[test]
+    fn verified_programs_terminate(
+        insns in proptest::collection::vec(arb_insn(), 1..60),
+        pkt in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        if verify(&insns).is_ok() {
+            let mut vm = Vm::new();
+            let mut maps = MapSet::new();
+            let mut packet = pkt;
+            // Accepted => terminates; either a value or a clean fault.
+            let res = vm.run(&insns, &mut packet, &mut maps);
+            if let Ok(r) = res {
+                // No loops: executed instructions bounded by program size.
+                prop_assert!(r.insns <= insns.len() as u64);
+            }
+        }
+    }
+
+    /// All canned programs are total on arbitrary frames: they never
+    /// return a runtime fault (their bounds checks precede every access).
+    #[test]
+    fn canned_programs_never_fault(pkt in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut maps = MapSet::new();
+        let l2 = maps.add(Map::Hash(BpfHashMap::new(8, 8, 16)));
+        let flow = maps.add(Map::Hash(BpfHashMap::new(16, 8, 16)));
+        let dev = maps.add(Map::Dev(DevMap::new(4)));
+        let mut xsk = XskMap::new(4);
+        xsk.set(0, 1).unwrap();
+        let xsk_fd = maps.add(Map::Xsk(xsk));
+        let progs = [
+            programs::task_a_drop(),
+            programs::task_b_parse_drop(),
+            programs::task_c_parse_lookup_drop(l2),
+            programs::task_d_swap_fwd(),
+            programs::ovs_xsk_redirect(xsk_fd),
+            programs::container_redirect(dev, 0, [10, 0, 0, 2], xsk_fd),
+            programs::redirect_all_to_dev(dev, 0),
+            programs::l4_lb([10, 0, 0, 1], 80, [10, 0, 0, 2]),
+            programs::ebpf_datapath(flow, dev),
+        ];
+        let mut vm = Vm::new();
+        for prog in &progs {
+            let mut p = pkt.clone();
+            let r = prog.run(&mut vm, &mut p, 0, &mut maps);
+            prop_assert!(r.is_ok(), "{} faulted on {} bytes", prog.name(), pkt.len());
+        }
+    }
+
+    /// Swapped MACs are an involution: running task D twice restores the
+    /// original frame.
+    #[test]
+    fn task_d_is_an_involution(pkt in proptest::collection::vec(any::<u8>(), 14..256)) {
+        let prog = programs::task_d_swap_fwd();
+        let mut maps = MapSet::new();
+        let mut vm = Vm::new();
+        let mut once = pkt.clone();
+        prog.run(&mut vm, &mut once, 0, &mut maps).unwrap();
+        let mut twice = once.clone();
+        prog.run(&mut vm, &mut twice, 0, &mut maps).unwrap();
+        prop_assert_eq!(twice, pkt);
+    }
+}

@@ -1,0 +1,164 @@
+//! Virtual machines.
+//!
+//! A guest is a VM with vCPUs, an application role, and a virtio
+//! connection to the host switch: either **vhost-net** behind a tap device
+//! (the kernel-mediated path) or **vhostuser** (shared-memory rings polled
+//! directly by the userspace switch — path B in Fig 5). Guest processing
+//! time is charged to the `Guest` CPU context, reproducing Table 4's
+//! `guest` column.
+
+use crate::namespace::reflect_frame;
+use std::collections::VecDeque;
+
+/// The guest application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuestRole {
+    /// A DPDK testpmd-style poll-mode forwarder inside the guest: swaps
+    /// MACs and sends every packet back (the PVP loopback element).
+    PmdForwarder,
+    /// Reflect packets at L2–L4 (netperf/iperf server semantics).
+    Echo,
+    /// Consume packets.
+    Sink,
+}
+
+/// How the guest's virtio queues reach the host switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VirtioBackend {
+    /// Kernel vhost-net worker bridging to a tap device (path A in Fig 5).
+    VhostNet { tap_ifindex: u32 },
+    /// Userspace vhost: the switch maps the guest rings directly
+    /// (path B in Fig 5).
+    VhostUser,
+}
+
+/// A virtual machine.
+#[derive(Debug)]
+pub struct Guest {
+    /// VM name.
+    pub name: String,
+    /// Guest MAC address.
+    pub mac: ovs_packet::MacAddr,
+    /// Guest IP address.
+    pub ip: [u8; 4],
+    /// Number of vCPUs (the paper's test VM has 2).
+    pub vcpus: usize,
+    /// Host hyperthread index its vCPU time is charged to.
+    pub core: usize,
+    /// Application behaviour.
+    pub role: GuestRole,
+    /// Connection to the host.
+    pub backend: VirtioBackend,
+    /// Host→guest queue (virtio RX from the guest's perspective).
+    pub rx_ring: VecDeque<Vec<u8>>,
+    /// Guest→host queue (virtio TX).
+    pub tx_ring: VecDeque<Vec<u8>>,
+    /// Packets the guest has received in total.
+    pub rx_count: u64,
+    /// Packets a `Sink` consumed.
+    pub sunk: u64,
+}
+
+impl Guest {
+    /// Create a guest (2 vCPUs, as in §5.2's test VM).
+    pub fn new(
+        name: &str,
+        mac: ovs_packet::MacAddr,
+        ip: [u8; 4],
+        role: GuestRole,
+        backend: VirtioBackend,
+        core: usize,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            mac,
+            ip,
+            vcpus: 2,
+            core,
+            role,
+            backend,
+            rx_ring: VecDeque::new(),
+            tx_ring: VecDeque::new(),
+            rx_count: 0,
+            sunk: 0,
+        }
+    }
+
+    /// Run the guest application over everything in its RX ring, producing
+    /// TX frames per its role. Returns the number of packets processed
+    /// (the caller charges guest-context CPU per packet).
+    pub fn run(&mut self) -> usize {
+        let mut processed = 0;
+        while let Some(frame) = self.rx_ring.pop_front() {
+            processed += 1;
+            self.rx_count += 1;
+            match self.role {
+                GuestRole::PmdForwarder => {
+                    // l2fwd: swap MACs, bounce back.
+                    let mut out = frame;
+                    if out.len() >= 12 {
+                        let (a, b) = out.split_at_mut(6);
+                        a.swap_with_slice(&mut b[..6]);
+                    }
+                    self.tx_ring.push_back(out);
+                }
+                GuestRole::Echo => {
+                    if let Some(reply) = reflect_frame(&frame) {
+                        self.tx_ring.push_back(reply);
+                    }
+                }
+                GuestRole::Sink => {
+                    self.sunk += 1;
+                }
+            }
+        }
+        processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovs_packet::{builder, MacAddr};
+
+    const A: MacAddr = MacAddr([2, 0, 0, 0, 0, 1]);
+    const B: MacAddr = MacAddr([2, 0, 0, 0, 0, 2]);
+
+    fn guest(role: GuestRole) -> Guest {
+        Guest::new("vm0", B, [10, 0, 0, 2], role, VirtioBackend::VhostUser, 3)
+    }
+
+    #[test]
+    fn pmd_forwarder_swaps_macs() {
+        let mut g = guest(GuestRole::PmdForwarder);
+        let f = builder::udp_ipv4(A, B, [1, 1, 1, 1], [2, 2, 2, 2], 1, 2, b"x");
+        g.rx_ring.push_back(f.clone());
+        assert_eq!(g.run(), 1);
+        let out = g.tx_ring.pop_front().unwrap();
+        assert_eq!(&out[0..6], &f[6..12]);
+        assert_eq!(&out[6..12], &f[0..6]);
+        assert_eq!(&out[12..], &f[12..], "payload untouched by l2fwd");
+    }
+
+    #[test]
+    fn echo_reflects() {
+        let mut g = guest(GuestRole::Echo);
+        let f = builder::udp_ipv4(A, B, [10, 0, 0, 1], [10, 0, 0, 2], 5, 6, b"y");
+        g.rx_ring.push_back(f);
+        g.run();
+        let out = g.tx_ring.pop_front().unwrap();
+        let ip = ovs_packet::ipv4::Ipv4Packet::new_checked(&out[14..]).unwrap();
+        assert_eq!(ip.dst(), [10, 0, 0, 1]);
+    }
+
+    #[test]
+    fn sink_consumes_everything() {
+        let mut g = guest(GuestRole::Sink);
+        for _ in 0..5 {
+            g.rx_ring.push_back(vec![0u8; 64]);
+        }
+        assert_eq!(g.run(), 5);
+        assert_eq!(g.sunk, 5);
+        assert!(g.tx_ring.is_empty());
+    }
+}

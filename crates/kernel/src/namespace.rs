@@ -1,0 +1,211 @@
+//! Network namespaces — the container model.
+//!
+//! A container is a namespace holding the inner end of a veth pair, an IP
+//! address, and an application role. The PCP scenario (Fig 9c) and the
+//! container-to-container tests (Fig 8c, Fig 11) run against these.
+
+use ovs_packet::ethernet::{self, EthernetFrame};
+use ovs_packet::icmp;
+use ovs_packet::ipv4::{self, Ipv4Packet};
+use ovs_packet::tcp::TcpSegment;
+use ovs_packet::udp::UdpDatagram;
+use ovs_packet::{EtherType, MacAddr};
+use std::collections::VecDeque;
+
+/// What the containerized application does with packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerRole {
+    /// Reflect every packet back to its sender (L2+L3+L4 swap) — the
+    /// forwarding element of PCP loopback tests and the netperf/iperf
+    /// server of the latency tests.
+    Echo,
+    /// Consume packets, counting them.
+    Sink,
+}
+
+/// A network namespace with one veth-attached interface.
+#[derive(Debug)]
+pub struct Namespace {
+    /// Container name.
+    pub name: String,
+    /// ifindex of the veth end inside the namespace.
+    pub ifindex: u32,
+    /// The container's IP address.
+    pub ip: [u8; 4],
+    /// The container interface's MAC.
+    pub mac: MacAddr,
+    /// Application behaviour.
+    pub role: ContainerRole,
+    /// Packets received (all).
+    pub rx_count: u64,
+    /// Packets consumed by a `Sink`.
+    pub sunk: VecDeque<Vec<u8>>,
+}
+
+impl Namespace {
+    /// Create a namespace; the kernel wires `ifindex` when attaching.
+    pub fn new(name: &str, ip: [u8; 4], mac: MacAddr, role: ContainerRole) -> Self {
+        Self {
+            name: name.to_string(),
+            ifindex: 0,
+            ip,
+            mac,
+            role,
+            rx_count: 0,
+            sunk: VecDeque::new(),
+        }
+    }
+
+    /// Handle a frame delivered into the namespace. Returns a frame the
+    /// container transmits in response, if any.
+    pub fn handle_frame(&mut self, frame: &[u8]) -> Option<Vec<u8>> {
+        self.rx_count += 1;
+        match self.role {
+            ContainerRole::Echo => reflect_frame(frame),
+            ContainerRole::Sink => {
+                self.sunk.push_back(frame.to_vec());
+                None
+            }
+        }
+    }
+}
+
+/// Reflect a frame back to its sender: swap MACs; for IPv4, swap
+/// addresses; for UDP/TCP, swap ports; for ICMP echo requests, convert to
+/// a reply. Checksums are repaired. Non-IPv4 frames get an L2 swap only.
+///
+/// Swapping both addresses and both ports preserves checksum validity for
+/// UDP/TCP (the pseudo-header sum is commutative), so only ICMP needs a
+/// checksum rewrite.
+pub fn reflect_frame(frame: &[u8]) -> Option<Vec<u8>> {
+    if frame.len() < ethernet::HEADER_LEN {
+        return None;
+    }
+    let mut out = frame.to_vec();
+    // L2 swap.
+    let (dst, src) = {
+        let eth = EthernetFrame::new_checked(&out[..]).ok()?;
+        (eth.dst(), eth.src())
+    };
+    {
+        let mut eth = EthernetFrame::new_unchecked(&mut out[..]);
+        eth.set_dst(src);
+        eth.set_src(dst);
+        if eth.ethertype() != EtherType::Ipv4 {
+            return Some(out);
+        }
+    }
+    // L3 swap.
+    let l3 = ethernet::HEADER_LEN;
+    let (sip, dip, proto, header_len) = {
+        let ip = Ipv4Packet::new_checked(&out[l3..]).ok()?;
+        (ip.src(), ip.dst(), ip.protocol(), ip.header_len())
+    };
+    {
+        let mut ip = Ipv4Packet::new_unchecked(&mut out[l3..]);
+        ip.set_src(dip);
+        ip.set_dst(sip);
+        ip.fill_checksum();
+    }
+    // L4 swap.
+    let l4 = l3 + header_len;
+    match proto {
+        ipv4::protocol::UDP => {
+            let mut u = UdpDatagram::new_checked(&mut out[l4..]).ok()?;
+            let (sp, dp) = (u.src_port(), u.dst_port());
+            u.set_src_port(dp);
+            u.set_dst_port(sp);
+        }
+        ipv4::protocol::TCP => {
+            let mut t = TcpSegment::new_checked(&mut out[l4..]).ok()?;
+            let (sp, dp) = (t.src_port(), t.dst_port());
+            t.set_src_port(dp);
+            t.set_dst_port(sp);
+        }
+        ipv4::protocol::ICMP => {
+            let mut i = icmp::IcmpPacket::new_checked(&mut out[l4..]).ok()?;
+            if i.msg_type() == icmp::msg_type::ECHO_REQUEST {
+                i.set_msg_type(icmp::msg_type::ECHO_REPLY);
+                i.fill_checksum();
+            }
+        }
+        _ => {}
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovs_packet::builder;
+
+    const A: MacAddr = MacAddr([2, 0, 0, 0, 0, 1]);
+    const B: MacAddr = MacAddr([2, 0, 0, 0, 0, 2]);
+
+    #[test]
+    fn echo_reflects_udp() {
+        let mut ns = Namespace::new("c0", [10, 0, 0, 2], B, ContainerRole::Echo);
+        let f = builder::udp_ipv4(A, B, [10, 0, 0, 1], [10, 0, 0, 2], 1111, 2222, b"ping");
+        let reply = ns.handle_frame(&f).expect("echo must reply");
+        let eth = EthernetFrame::new_checked(&reply[..]).unwrap();
+        assert_eq!(eth.dst(), A);
+        assert_eq!(eth.src(), B);
+        let ip = Ipv4Packet::new_checked(eth.payload()).unwrap();
+        assert_eq!(ip.src(), [10, 0, 0, 2]);
+        assert_eq!(ip.dst(), [10, 0, 0, 1]);
+        assert!(ip.verify_checksum());
+        let u = UdpDatagram::new_checked(ip.payload()).unwrap();
+        assert_eq!(u.src_port(), 2222);
+        assert_eq!(u.dst_port(), 1111);
+        assert!(u.verify_checksum_ipv4(ip.src(), ip.dst()), "swap preserves checksum");
+        assert_eq!(ns.rx_count, 1);
+    }
+
+    #[test]
+    fn echo_converts_icmp_request_to_reply() {
+        let mut ns = Namespace::new("c0", [10, 0, 0, 2], B, ContainerRole::Echo);
+        let f = builder::icmp_echo(A, B, [10, 0, 0, 1], [10, 0, 0, 2], false, 7, 1);
+        let reply = ns.handle_frame(&f).unwrap();
+        let ip = Ipv4Packet::new_checked(&reply[14..]).unwrap();
+        let ic = icmp::IcmpPacket::new_checked(ip.payload()).unwrap();
+        assert_eq!(ic.msg_type(), icmp::msg_type::ECHO_REPLY);
+        assert!(ic.verify_checksum());
+    }
+
+    #[test]
+    fn sink_consumes() {
+        let mut ns = Namespace::new("c1", [10, 0, 0, 3], B, ContainerRole::Sink);
+        let f = builder::udp_ipv4(A, B, [1, 1, 1, 1], [10, 0, 0, 3], 1, 2, b"x");
+        assert!(ns.handle_frame(&f).is_none());
+        assert_eq!(ns.sunk.len(), 1);
+    }
+
+    #[test]
+    fn reflect_non_ip_swaps_l2_only() {
+        let f = builder::arp_frame(A, B, 1, A, [1, 1, 1, 1], MacAddr::ZERO, [2, 2, 2, 2]);
+        let r = reflect_frame(&f).unwrap();
+        let eth = EthernetFrame::new_checked(&r[..]).unwrap();
+        assert_eq!(eth.dst(), A);
+        assert_eq!(eth.src(), B);
+        assert_eq!(&r[14..], &f[14..], "payload untouched");
+    }
+
+    #[test]
+    fn reflect_tcp_checksum_still_valid() {
+        let f = builder::tcp_ipv4(
+            A, B, [10, 0, 0, 1], [10, 0, 0, 2], 40000, 80, 1, 2,
+            ovs_packet::tcp::flags::ACK, b"data",
+        );
+        let r = reflect_frame(&f).unwrap();
+        let ip = Ipv4Packet::new_checked(&r[14..]).unwrap();
+        let t = TcpSegment::new_checked(ip.payload()).unwrap();
+        assert!(t.verify_checksum_ipv4(ip.src(), ip.dst()));
+        assert_eq!(t.src_port(), 80);
+        assert_eq!(t.dst_port(), 40000);
+    }
+
+    #[test]
+    fn runt_frame_ignored() {
+        assert!(reflect_frame(&[0u8; 5]).is_none());
+    }
+}

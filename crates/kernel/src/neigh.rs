@@ -1,0 +1,122 @@
+//! The kernel ARP/neighbour table.
+//!
+//! Like the route table, OVS userspace mirrors this over Netlink so its
+//! userspace tunnel implementation can resolve next-hop MACs (§4).
+
+use ovs_packet::MacAddr;
+use std::collections::HashMap;
+
+/// Neighbour entry state (subset of NUD_*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NeighState {
+    Reachable,
+    Stale,
+    Permanent,
+}
+
+/// One neighbour entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Neighbor {
+    pub ip: [u8; 4],
+    pub mac: MacAddr,
+    pub ifindex: u32,
+    pub state: NeighState,
+}
+
+/// The neighbour table, keyed by IP.
+#[derive(Debug, Clone, Default)]
+pub struct NeighTable {
+    entries: HashMap<[u8; 4], Neighbor>,
+}
+
+impl NeighTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or replace an entry.
+    pub fn add(&mut self, n: Neighbor) {
+        self.entries.insert(n.ip, n);
+    }
+
+    /// Remove an entry.
+    pub fn del(&mut self, ip: [u8; 4]) -> bool {
+        self.entries.remove(&ip).is_some()
+    }
+
+    /// Resolve an IP to a MAC.
+    pub fn lookup(&self, ip: [u8; 4]) -> Option<&Neighbor> {
+        self.entries.get(&ip)
+    }
+
+    /// All entries, for display (sorted by IP for deterministic output).
+    pub fn iter_sorted(&self) -> Vec<&Neighbor> {
+        let mut v: Vec<&Neighbor> = self.entries.values().collect();
+        v.sort_by_key(|n| n.ip);
+        v
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_lookup_del() {
+        let mut t = NeighTable::new();
+        t.add(Neighbor {
+            ip: [10, 0, 0, 2],
+            mac: MacAddr::new(2, 0, 0, 0, 0, 2),
+            ifindex: 1,
+            state: NeighState::Reachable,
+        });
+        assert_eq!(t.lookup([10, 0, 0, 2]).unwrap().mac, MacAddr::new(2, 0, 0, 0, 0, 2));
+        assert!(t.lookup([10, 0, 0, 3]).is_none());
+        assert!(t.del([10, 0, 0, 2]));
+        assert!(!t.del([10, 0, 0, 2]));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn replace_updates() {
+        let mut t = NeighTable::new();
+        let mut n = Neighbor {
+            ip: [1, 1, 1, 1],
+            mac: MacAddr::ZERO,
+            ifindex: 1,
+            state: NeighState::Stale,
+        };
+        t.add(n);
+        n.mac = MacAddr::new(9, 9, 9, 9, 9, 9);
+        n.state = NeighState::Reachable;
+        t.add(n);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup([1, 1, 1, 1]).unwrap().state, NeighState::Reachable);
+    }
+
+    #[test]
+    fn sorted_iteration_deterministic() {
+        let mut t = NeighTable::new();
+        for i in [3u8, 1, 2] {
+            t.add(Neighbor {
+                ip: [10, 0, 0, i],
+                mac: MacAddr::ZERO,
+                ifindex: 1,
+                state: NeighState::Permanent,
+            });
+        }
+        let ips: Vec<u8> = t.iter_sorted().iter().map(|n| n.ip[3]).collect();
+        assert_eq!(ips, vec![1, 2, 3]);
+    }
+}

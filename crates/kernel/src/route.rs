@@ -1,0 +1,118 @@
+//! The kernel IPv4 routing table (longest-prefix match).
+//!
+//! OVS userspace keeps a Netlink-fed replica of this table to route its
+//! tunnel traffic (§4); the `tools::ip_route` command prints it.
+
+/// One route entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Route {
+    /// Destination network address.
+    pub dst: [u8; 4],
+    /// Prefix length (0 = default route).
+    pub prefix_len: u8,
+    /// Next-hop gateway, if any (`None` = directly connected).
+    pub gateway: Option<[u8; 4]>,
+    /// Output interface.
+    pub ifindex: u32,
+}
+
+impl Route {
+    fn mask(&self) -> u32 {
+        if self.prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(self.prefix_len))
+        }
+    }
+
+    /// Does this route cover `addr`?
+    pub fn covers(&self, addr: [u8; 4]) -> bool {
+        let a = u32::from_be_bytes(addr);
+        let d = u32::from_be_bytes(self.dst);
+        (a & self.mask()) == (d & self.mask())
+    }
+}
+
+/// The routing table.
+#[derive(Debug, Clone, Default)]
+pub struct RouteTable {
+    routes: Vec<Route>,
+}
+
+impl RouteTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a route.
+    pub fn add(&mut self, route: Route) {
+        self.routes.push(route);
+    }
+
+    /// Remove routes matching destination and prefix exactly. Returns how
+    /// many were removed.
+    pub fn del(&mut self, dst: [u8; 4], prefix_len: u8) -> usize {
+        let before = self.routes.len();
+        self.routes.retain(|r| !(r.dst == dst && r.prefix_len == prefix_len));
+        before - self.routes.len()
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, addr: [u8; 4]) -> Option<&Route> {
+        self.routes
+            .iter()
+            .filter(|r| r.covers(addr))
+            .max_by_key(|r| r.prefix_len)
+    }
+
+    /// All routes, for display.
+    pub fn iter(&self) -> impl Iterator<Item = &Route> {
+        self.routes.iter()
+    }
+
+    /// Number of routes.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when no routes exist.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = RouteTable::new();
+        t.add(Route { dst: [0, 0, 0, 0], prefix_len: 0, gateway: Some([10, 0, 0, 1]), ifindex: 1 });
+        t.add(Route { dst: [10, 1, 0, 0], prefix_len: 16, gateway: None, ifindex: 2 });
+        t.add(Route { dst: [10, 1, 2, 0], prefix_len: 24, gateway: None, ifindex: 3 });
+
+        assert_eq!(t.lookup([10, 1, 2, 3]).unwrap().ifindex, 3);
+        assert_eq!(t.lookup([10, 1, 9, 9]).unwrap().ifindex, 2);
+        assert_eq!(t.lookup([8, 8, 8, 8]).unwrap().ifindex, 1);
+    }
+
+    #[test]
+    fn no_default_route_misses() {
+        let mut t = RouteTable::new();
+        t.add(Route { dst: [192, 168, 0, 0], prefix_len: 24, gateway: None, ifindex: 1 });
+        assert!(t.lookup([8, 8, 8, 8]).is_none());
+        assert!(t.lookup([192, 168, 0, 77]).is_some());
+    }
+
+    #[test]
+    fn del_removes_exact() {
+        let mut t = RouteTable::new();
+        t.add(Route { dst: [10, 0, 0, 0], prefix_len: 8, gateway: None, ifindex: 1 });
+        t.add(Route { dst: [10, 0, 0, 0], prefix_len: 16, gateway: None, ifindex: 1 });
+        assert_eq!(t.del([10, 0, 0, 0], 8), 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup([10, 0, 0, 1]).unwrap().prefix_len, 16);
+    }
+}

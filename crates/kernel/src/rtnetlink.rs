@@ -1,0 +1,139 @@
+//! rtnetlink: the kernel's configuration/notification channel, and the
+//! userspace replica cache OVS keeps of it.
+//!
+//! §4: "OVS caches a userspace replica of each kernel table using
+//! Netlink ... these tables are only updated by slow control plane
+//! operations." [`RtnlCache`] is that replica: it consumes the kernel's
+//! event stream and mirrors the route and neighbour tables so the
+//! userspace datapath can do tunnel routing without syscalls per packet.
+
+use crate::neigh::{NeighTable, Neighbor};
+use crate::route::{Route, RouteTable};
+
+/// A netlink notification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RtnlEvent {
+    LinkAdd { ifindex: u32, name: String },
+    LinkDel { ifindex: u32 },
+    AddrAdd { ifindex: u32, ip: [u8; 4], prefix_len: u8 },
+    RouteAdd(Route),
+    RouteDel { dst: [u8; 4], prefix_len: u8 },
+    NeighAdd(Neighbor),
+    NeighDel { ip: [u8; 4] },
+}
+
+/// Userspace replica of the kernel route/neighbour/link tables.
+#[derive(Debug, Default)]
+pub struct RtnlCache {
+    /// Mirrored routes.
+    pub routes: RouteTable,
+    /// Mirrored neighbours.
+    pub neighbors: NeighTable,
+    /// Mirrored links: `(ifindex, name)`.
+    pub links: Vec<(u32, String)>,
+    /// Position in the consumed event stream.
+    cursor: usize,
+}
+
+impl RtnlCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume any new events from the kernel's stream. Returns how many
+    /// were applied.
+    pub fn sync(&mut self, events: &[RtnlEvent]) -> usize {
+        let new = &events[self.cursor.min(events.len())..];
+        for ev in new {
+            self.apply(ev);
+        }
+        let n = new.len();
+        self.cursor = events.len();
+        n
+    }
+
+    fn apply(&mut self, ev: &RtnlEvent) {
+        match ev {
+            RtnlEvent::LinkAdd { ifindex, name } => {
+                self.links.retain(|(i, _)| i != ifindex);
+                self.links.push((*ifindex, name.clone()));
+            }
+            RtnlEvent::LinkDel { ifindex } => {
+                self.links.retain(|(i, _)| i != ifindex);
+            }
+            RtnlEvent::AddrAdd { ifindex, ip, prefix_len } => {
+                // Addresses imply connected routes, as the kernel does.
+                self.routes.add(Route {
+                    dst: *ip,
+                    prefix_len: *prefix_len,
+                    gateway: None,
+                    ifindex: *ifindex,
+                });
+            }
+            RtnlEvent::RouteAdd(r) => self.routes.add(*r),
+            RtnlEvent::RouteDel { dst, prefix_len } => {
+                self.routes.del(*dst, *prefix_len);
+            }
+            RtnlEvent::NeighAdd(n) => self.neighbors.add(*n),
+            RtnlEvent::NeighDel { ip } => {
+                self.neighbors.del(*ip);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neigh::NeighState;
+    use ovs_packet::MacAddr;
+
+    #[test]
+    fn cache_mirrors_events() {
+        let events = vec![
+            RtnlEvent::LinkAdd { ifindex: 1, name: "eth0".into() },
+            RtnlEvent::AddrAdd { ifindex: 1, ip: [10, 0, 0, 1], prefix_len: 24 },
+            RtnlEvent::RouteAdd(Route {
+                dst: [0, 0, 0, 0],
+                prefix_len: 0,
+                gateway: Some([10, 0, 0, 254]),
+                ifindex: 1,
+            }),
+            RtnlEvent::NeighAdd(Neighbor {
+                ip: [10, 0, 0, 254],
+                mac: MacAddr::new(2, 0, 0, 0, 0, 0xfe),
+                ifindex: 1,
+                state: NeighState::Reachable,
+            }),
+        ];
+        let mut cache = RtnlCache::new();
+        assert_eq!(cache.sync(&events), 4);
+        assert_eq!(cache.links.len(), 1);
+        assert_eq!(cache.routes.lookup([8, 8, 8, 8]).unwrap().gateway, Some([10, 0, 0, 254]));
+        assert!(cache.neighbors.lookup([10, 0, 0, 254]).is_some());
+        // Re-sync with no new events is a no-op.
+        assert_eq!(cache.sync(&events), 0);
+    }
+
+    #[test]
+    fn incremental_sync() {
+        let mut events = vec![RtnlEvent::LinkAdd { ifindex: 1, name: "a".into() }];
+        let mut cache = RtnlCache::new();
+        cache.sync(&events);
+        events.push(RtnlEvent::LinkDel { ifindex: 1 });
+        assert_eq!(cache.sync(&events), 1);
+        assert!(cache.links.is_empty());
+    }
+
+    #[test]
+    fn route_del_mirrored() {
+        let events = vec![
+            RtnlEvent::RouteAdd(Route { dst: [10, 0, 0, 0], prefix_len: 8, gateway: None, ifindex: 1 }),
+            RtnlEvent::RouteDel { dst: [10, 0, 0, 0], prefix_len: 8 },
+        ];
+        let mut cache = RtnlCache::new();
+        cache.sync(&events);
+        assert!(cache.routes.lookup([10, 1, 1, 1]).is_none());
+    }
+}

@@ -1,0 +1,452 @@
+//! The standard Linux networking tools of **Table 1**: `ip link`,
+//! `ip address`, `ip route`, `ip neigh`, `ping`, `arping`, `nstat`,
+//! `tcpdump`.
+//!
+//! These work against any kernel-managed device — including one with an
+//! XDP program attached feeding AF_XDP — and fail with "device does not
+//! exist" against a NIC taken over by a userspace driver, which is the
+//! operational complaint the paper levels at DPDK (§2.2.1, Table 1).
+
+use crate::kernel::Kernel;
+use crate::neigh::{NeighState, Neighbor};
+use crate::route::Route;
+use ovs_packet::MacAddr;
+use std::fmt::Write as _;
+
+/// Tool failures, phrased the way the real tools fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToolError {
+    /// `Cannot find device "<name>"` — the DPDK-takeover symptom.
+    NoSuchDevice(String),
+    /// `connect: Network is unreachable`
+    NetworkUnreachable,
+    /// Destination did not answer.
+    Timeout,
+}
+
+impl std::fmt::Display for ToolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ToolError::NoSuchDevice(n) => write!(f, "Cannot find device \"{n}\""),
+            ToolError::NetworkUnreachable => write!(f, "connect: Network is unreachable"),
+            ToolError::Timeout => write!(f, "request timed out"),
+        }
+    }
+}
+
+impl std::error::Error for ToolError {}
+
+/// `ip link` / `ip link show <dev>`: list kernel-visible devices.
+pub fn ip_link(k: &Kernel, dev: Option<&str>) -> Result<String, ToolError> {
+    let mut out = String::new();
+    let devices: Vec<_> = match dev {
+        Some(name) => vec![k
+            .device_by_name(name)
+            .ok_or_else(|| ToolError::NoSuchDevice(name.to_string()))?],
+        None => k.kernel_devices().collect(),
+    };
+    for d in devices {
+        let state = if d.up { "UP" } else { "DOWN" };
+        let _ = writeln!(
+            out,
+            "{}: {}: <{}> mtu {} state {}\n    link/ether {} rx {} tx {}",
+            d.ifindex,
+            d.name,
+            state,
+            d.mtu,
+            state,
+            d.mac,
+            d.stats.rx_packets,
+            d.stats.tx_packets,
+        );
+    }
+    Ok(out)
+}
+
+/// `ip address show`: addresses on kernel-visible devices.
+pub fn ip_addr(k: &Kernel, dev: Option<&str>) -> Result<String, ToolError> {
+    let mut out = String::new();
+    let devices: Vec<_> = match dev {
+        Some(name) => vec![k
+            .device_by_name(name)
+            .ok_or_else(|| ToolError::NoSuchDevice(name.to_string()))?],
+        None => k.kernel_devices().collect(),
+    };
+    for d in devices {
+        let _ = writeln!(out, "{}: {}:", d.ifindex, d.name);
+        for (ip, plen) in k.addrs_of(d.ifindex) {
+            let _ = writeln!(out, "    inet {}.{}.{}.{}/{}", ip[0], ip[1], ip[2], ip[3], plen);
+        }
+    }
+    Ok(out)
+}
+
+/// `ip address add <ip>/<plen> dev <name>`.
+pub fn ip_addr_add(k: &mut Kernel, dev: &str, ip: [u8; 4], prefix_len: u8) -> Result<(), ToolError> {
+    let ifindex = k
+        .device_by_name(dev)
+        .ok_or_else(|| ToolError::NoSuchDevice(dev.to_string()))?
+        .ifindex;
+    k.add_addr(ifindex, ip, prefix_len);
+    Ok(())
+}
+
+/// `ip route`: print the routing table.
+pub fn ip_route(k: &Kernel) -> Result<String, ToolError> {
+    let mut out = String::new();
+    for r in k.routes.iter() {
+        let dev = k
+            .kernel_devices()
+            .find(|d| d.ifindex == r.ifindex)
+            .map(|d| d.name.clone())
+            .unwrap_or_else(|| format!("if{}", r.ifindex));
+        match r.gateway {
+            Some(gw) => {
+                let _ = writeln!(
+                    out,
+                    "{}.{}.{}.{}/{} via {}.{}.{}.{} dev {}",
+                    r.dst[0], r.dst[1], r.dst[2], r.dst[3], r.prefix_len,
+                    gw[0], gw[1], gw[2], gw[3], dev
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "{}.{}.{}.{}/{} dev {} scope link",
+                    r.dst[0], r.dst[1], r.dst[2], r.dst[3], r.prefix_len, dev
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `ip route add <dst>/<plen> [via <gw>] dev <name>`.
+pub fn ip_route_add(
+    k: &mut Kernel,
+    dst: [u8; 4],
+    prefix_len: u8,
+    gateway: Option<[u8; 4]>,
+    dev: &str,
+) -> Result<(), ToolError> {
+    let ifindex = k
+        .device_by_name(dev)
+        .ok_or_else(|| ToolError::NoSuchDevice(dev.to_string()))?
+        .ifindex;
+    let route = Route { dst, prefix_len, gateway, ifindex };
+    k.routes.add(route);
+    k.events.push(crate::rtnetlink::RtnlEvent::RouteAdd(route));
+    Ok(())
+}
+
+/// `ip neigh`: print the ARP table.
+pub fn ip_neigh(k: &Kernel) -> Result<String, ToolError> {
+    let mut out = String::new();
+    for n in k.neighbors.iter_sorted() {
+        let dev = k
+            .kernel_devices()
+            .find(|d| d.ifindex == n.ifindex)
+            .map(|d| d.name.clone())
+            .unwrap_or_else(|| format!("if{}", n.ifindex));
+        let _ = writeln!(
+            out,
+            "{}.{}.{}.{} dev {} lladdr {} {:?}",
+            n.ip[0], n.ip[1], n.ip[2], n.ip[3], dev, n.mac, n.state
+        );
+    }
+    Ok(out)
+}
+
+/// `ip neigh add <ip> lladdr <mac> dev <name>`.
+pub fn ip_neigh_add(k: &mut Kernel, ip: [u8; 4], mac: MacAddr, dev: &str) -> Result<(), ToolError> {
+    let ifindex = k
+        .device_by_name(dev)
+        .ok_or_else(|| ToolError::NoSuchDevice(dev.to_string()))?
+        .ifindex;
+    let n = Neighbor { ip, mac, ifindex, state: NeighState::Permanent };
+    k.neighbors.add(n);
+    k.events.push(crate::rtnetlink::RtnlEvent::NeighAdd(n));
+    Ok(())
+}
+
+/// Result of a `ping`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PingResult {
+    /// Round-trip time in microseconds (from the cost model).
+    pub rtt_us: f64,
+}
+
+/// `ping <target>`: L3 reachability check. Requires a route whose egress
+/// device is kernel-managed, a resolvable next hop or target, and a
+/// responder owning the address (a local device, container, or guest).
+pub fn ping(k: &mut Kernel, target: [u8; 4]) -> Result<PingResult, ToolError> {
+    let route = k.routes.lookup(target).ok_or(ToolError::NetworkUnreachable)?;
+    let egress = route.ifindex;
+    if k.kernel_devices().all(|d| d.ifindex != egress) {
+        return Err(ToolError::NetworkUnreachable);
+    }
+    // Who answers?
+    let answered = k.is_local_ip(target)
+        || k.namespaces.iter().any(|n| n.ip == target)
+        || k.guests.iter().any(|g| g.ip == target)
+        || k.neighbors.lookup(target).is_some();
+    if !answered {
+        return Err(ToolError::Timeout);
+    }
+    *k.nstat.entry("IcmpOutEchos".into()).or_insert(0) += 1;
+    *k.nstat.entry("IcmpInEchoReps".into()).or_insert(0) += 1;
+    // RTT: two stack traversals + two driver passes + wire, both ways.
+    let c = &k.sim.costs;
+    let rtt_ns =
+        2.0 * (c.kernel_tcp_segment_ns + c.driver_rx_ns + c.driver_tx_ns + c.wire_latency_ns)
+            + c.irq_moderation_ns;
+    Ok(PingResult { rtt_us: rtt_ns / 1000.0 })
+}
+
+/// `arping -I <dev> <target>`: L2 reachability check.
+pub fn arping(k: &mut Kernel, dev: &str, target: [u8; 4]) -> Result<MacAddr, ToolError> {
+    let _ = k
+        .device_by_name(dev)
+        .ok_or_else(|| ToolError::NoSuchDevice(dev.to_string()))?;
+    if let Some(n) = k.neighbors.lookup(target) {
+        return Ok(n.mac);
+    }
+    if let Some(ns) = k.namespaces.iter().find(|n| n.ip == target) {
+        return Ok(ns.mac);
+    }
+    if let Some(g) = k.guests.iter().find(|g| g.ip == target) {
+        return Ok(g.mac);
+    }
+    Err(ToolError::Timeout)
+}
+
+/// `ethtool -S <dev>`: NIC statistics, including XDP counters.
+pub fn ethtool_stats(k: &Kernel, dev: &str) -> Result<String, ToolError> {
+    let d = k
+        .device_by_name(dev)
+        .ok_or_else(|| ToolError::NoSuchDevice(dev.to_string()))?;
+    let s = d.stats;
+    Ok(format!(
+        "NIC statistics for {}:\n     rx_packets: {}\n     rx_bytes: {}\n     rx_dropped: {}\n     tx_packets: {}\n     tx_bytes: {}\n     xdp_drop: {}\n     xdp_tx: {}\n     xdp_redirect: {}\n     xdp_pass: {}\n",
+        d.name, s.rx_packets, s.rx_bytes, s.rx_dropped, s.tx_packets, s.tx_bytes,
+        s.xdp_drop, s.xdp_tx, s.xdp_redirect, s.xdp_pass,
+    ))
+}
+
+/// `ethtool -n <dev>`: show the ntuple steering rules (Fig 6b's hardware
+/// classification).
+pub fn ethtool_show_ntuple(k: &Kernel, dev: &str) -> Result<String, ToolError> {
+    let d = k
+        .device_by_name(dev)
+        .ok_or_else(|| ToolError::NoSuchDevice(dev.to_string()))?;
+    let mut out = format!("{} ntuple filters: {}\n", d.name, d.ntuple.len());
+    for (i, r) in d.ntuple.iter().enumerate() {
+        out.push_str(&format!(
+            "  filter {i}: proto {} dst-port {} -> queue {}\n",
+            r.ip_proto.map(|p| p.to_string()).unwrap_or_else(|| "any".into()),
+            r.tp_dst.map(|p| p.to_string()).unwrap_or_else(|| "any".into()),
+            r.queue
+        ));
+    }
+    Ok(out)
+}
+
+/// `ethtool -N <dev> flow-type ...`: install an ntuple steering rule.
+pub fn ethtool_add_ntuple(
+    k: &mut Kernel,
+    dev: &str,
+    rule: crate::dev::NtupleRule,
+) -> Result<(), ToolError> {
+    let ifindex = k
+        .device_by_name(dev)
+        .ok_or_else(|| ToolError::NoSuchDevice(dev.to_string()))?
+        .ifindex;
+    k.dev_mut(ifindex).ntuple.push(rule);
+    Ok(())
+}
+
+/// `nstat`: dump the SNMP-style counters.
+pub fn nstat(k: &Kernel) -> String {
+    let mut out = String::new();
+    for (name, v) in &k.nstat {
+        let _ = writeln!(out, "{name:<24} {v}");
+    }
+    out
+}
+
+/// `tcpdump -i <dev> -c <count>`: capture frames already buffered for the
+/// device (start capture with [`Kernel::capture_start`]).
+pub fn tcpdump(k: &mut Kernel, dev: &str, count: usize) -> Result<Vec<String>, ToolError> {
+    let ifindex = k
+        .device_by_name(dev)
+        .ok_or_else(|| ToolError::NoSuchDevice(dev.to_string()))?
+        .ifindex;
+    let frames = k.capture_stop(ifindex);
+    Ok(frames
+        .iter()
+        .take(count)
+        .map(|f| summarize_frame(f))
+        .collect())
+}
+
+/// One-line packet summary, tcpdump-style.
+fn summarize_frame(frame: &[u8]) -> String {
+    use ovs_packet::{ethernet::EthernetFrame, ipv4::Ipv4Packet, EtherType};
+    let Ok(eth) = EthernetFrame::new_checked(frame) else {
+        return format!("[malformed frame, {} bytes]", frame.len());
+    };
+    match eth.ethertype() {
+        EtherType::Ipv4 => match Ipv4Packet::new_checked(eth.payload()) {
+            Ok(ip) => {
+                let s = ip.src();
+                let d = ip.dst();
+                format!(
+                    "IP {}.{}.{}.{} > {}.{}.{}.{}: proto {} length {}",
+                    s[0], s[1], s[2], s[3], d[0], d[1], d[2], d[3],
+                    ip.protocol(),
+                    ip.total_len()
+                )
+            }
+            Err(_) => "IP [malformed]".to_string(),
+        },
+        EtherType::Arp => format!("ARP, length {}", frame.len()),
+        t => format!("ethertype {:?}, length {}", t, frame.len()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dev::{DeviceKind, NetDevice};
+    use crate::namespace::ContainerRole;
+    use ovs_packet::builder;
+
+    const M1: MacAddr = MacAddr([2, 0, 0, 0, 0, 1]);
+
+    fn kernel_with_nic() -> (Kernel, u32) {
+        let mut k = Kernel::new(4);
+        let eth0 = k.add_device(NetDevice::new(
+            "eth0",
+            M1,
+            DeviceKind::Phys { link_gbps: 10.0 },
+            2,
+        ));
+        k.add_addr(eth0, [10, 0, 0, 1], 24);
+        (k, eth0)
+    }
+
+    #[test]
+    fn table1_all_commands_work_on_kernel_nic() {
+        let (mut k, eth0) = kernel_with_nic();
+        ip_neigh_add(&mut k, [10, 0, 0, 2], MacAddr::new(2, 0, 0, 0, 0, 2), "eth0").unwrap();
+        ip_route_add(&mut k, [10, 1, 0, 0], 16, Some([10, 0, 0, 2]), "eth0").unwrap();
+
+        assert!(ip_link(&k, Some("eth0")).unwrap().contains("eth0"));
+        assert!(ip_addr(&k, Some("eth0")).unwrap().contains("10.0.0.1/24"));
+        assert!(ip_route(&k).unwrap().contains("10.1.0.0/16 via 10.0.0.2"));
+        assert!(ip_neigh(&k).unwrap().contains("10.0.0.2"));
+        assert!(ping(&mut k, [10, 0, 0, 2]).is_ok());
+        assert!(arping(&mut k, "eth0", [10, 0, 0, 2]).is_ok());
+        k.capture_start(eth0);
+        k.receive(
+            eth0,
+            0,
+            builder::udp_ipv4_frame(
+                MacAddr::new(2, 0, 0, 0, 0, 9),
+                M1,
+                [10, 0, 0, 9],
+                [10, 0, 0, 1],
+                1,
+                2,
+                64,
+            ),
+        );
+        let lines = tcpdump(&mut k, "eth0", 10).unwrap();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("10.0.0.9 > 10.0.0.1"), "{}", lines[0]);
+        assert!(nstat(&k).contains("IpInReceives"));
+    }
+
+    #[test]
+    fn table1_commands_fail_after_dpdk_takeover() {
+        let (mut k, eth0) = kernel_with_nic();
+        k.take_device(eth0, "dpdk");
+
+        assert_eq!(
+            ip_link(&k, Some("eth0")).unwrap_err(),
+            ToolError::NoSuchDevice("eth0".into())
+        );
+        assert!(ip_addr(&k, Some("eth0")).is_err());
+        assert!(ip_addr_add(&mut k, "eth0", [10, 0, 0, 5], 24).is_err());
+        assert!(ip_route_add(&mut k, [10, 2, 0, 0], 16, None, "eth0").is_err());
+        assert!(ip_neigh_add(&mut k, [10, 0, 0, 9], M1, "eth0").is_err());
+        assert!(arping(&mut k, "eth0", [10, 0, 0, 2]).is_err());
+        assert!(tcpdump(&mut k, "eth0", 1).is_err());
+        // Pinging through the (gone) device fails with unreachable.
+        assert_eq!(ping(&mut k, [10, 0, 0, 2]).unwrap_err(), ToolError::NetworkUnreachable);
+    }
+
+    #[test]
+    fn table1_commands_keep_working_with_xdp_attached() {
+        // The AF_XDP case: an XDP program on the device must NOT break
+        // the tools — the paper's core compatibility claim.
+        let (mut k, eth0) = kernel_with_nic();
+        let mut xmap = ovs_ebpf::maps::XskMap::new(4);
+        xmap.set(0, 0).unwrap();
+        let fd = k.maps.add(ovs_ebpf::maps::Map::Xsk(xmap));
+        k.attach_xdp(
+            eth0,
+            ovs_ebpf::programs::ovs_xsk_redirect(fd),
+            crate::dev::XdpMode::Native,
+            None,
+        )
+        .unwrap();
+
+        assert!(ip_link(&k, Some("eth0")).is_ok());
+        assert!(ip_addr(&k, Some("eth0")).is_ok());
+        assert!(ip_route(&k).is_ok());
+        assert!(ip_neigh(&k).is_ok());
+        ip_neigh_add(&mut k, [10, 0, 0, 3], MacAddr::new(2, 0, 0, 0, 0, 3), "eth0").unwrap();
+        assert!(ping(&mut k, [10, 0, 0, 3]).is_ok());
+    }
+
+    #[test]
+    fn ping_container() {
+        let (mut k, _eth0) = kernel_with_nic();
+        let (host_if, _, _) = k.add_container(
+            "c0",
+            [172, 17, 0, 2],
+            MacAddr::new(6, 0, 0, 0, 0, 2),
+            ContainerRole::Echo,
+        );
+        // Route container subnet via the host veth end.
+        let host_name = k.device(host_if).name.clone();
+        ip_route_add(&mut k, [172, 17, 0, 0], 16, None, &host_name).unwrap();
+        let r = ping(&mut k, [172, 17, 0, 2]).unwrap();
+        assert!(r.rtt_us > 0.0);
+    }
+
+    #[test]
+    fn ethtool_stats_and_ntuple() {
+        let (mut k, eth0) = kernel_with_nic();
+        k.receive(eth0, 0, builder::udp_ipv4_frame(
+            MacAddr::new(2, 0, 0, 0, 0, 9), M1, [10, 0, 0, 9], [10, 0, 0, 1], 1, 2, 64,
+        ));
+        let s = ethtool_stats(&k, "eth0").unwrap();
+        assert!(s.contains("rx_packets: 1"), "{s}");
+        ethtool_add_ntuple(&mut k, "eth0", crate::dev::NtupleRule {
+            tp_dst: Some(22), ip_proto: Some(6), queue: 0,
+        }).unwrap();
+        let n = ethtool_show_ntuple(&k, "eth0").unwrap();
+        assert!(n.contains("dst-port 22 -> queue 0"), "{n}");
+        // And like everything else, it dies with a DPDK takeover.
+        k.take_device(eth0, "dpdk");
+        assert!(ethtool_stats(&k, "eth0").is_err());
+    }
+
+    #[test]
+    fn ping_unroutable_is_unreachable() {
+        let (mut k, _) = kernel_with_nic();
+        assert_eq!(ping(&mut k, [8, 8, 8, 8]).unwrap_err(), ToolError::NetworkUnreachable);
+    }
+}

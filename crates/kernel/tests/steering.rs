@@ -1,0 +1,128 @@
+//! Fig 6's two XDP attachment models, demonstrated end to end:
+//!
+//! * (a) Intel model: the program owns the whole device; distinguishing
+//!   management traffic requires logic *inside* the program.
+//! * (b) Mellanox model: the program attaches to a subset of queues, and
+//!   `ethtool --config-ntuple`-style hardware steering splits management
+//!   from dataplane traffic before XDP ever runs.
+
+use ovs_ebpf::maps::{Map, XskMap};
+use ovs_ebpf::programs;
+use ovs_kernel::dev::{DeviceKind, NetDevice, NtupleRule, XdpMode};
+use ovs_kernel::{Kernel, RxOutcome};
+use ovs_packet::{builder, MacAddr};
+
+const NIC_MAC: MacAddr = MacAddr([2, 0, 0, 0, 0, 1]);
+
+fn dataplane_frame() -> Vec<u8> {
+    builder::udp_ipv4_frame(
+        MacAddr::new(2, 0, 0, 0, 9, 9),
+        NIC_MAC,
+        [10, 0, 0, 9],
+        [10, 0, 0, 1],
+        40_000,
+        4789,
+        64,
+    )
+}
+
+fn mgmt_frame() -> Vec<u8> {
+    // SSH to the host: must reach the kernel stack.
+    builder::tcp_ipv4(
+        MacAddr::new(2, 0, 0, 0, 9, 9),
+        NIC_MAC,
+        [10, 0, 0, 9],
+        [10, 0, 0, 1],
+        50_000,
+        22,
+        1,
+        0,
+        ovs_packet::tcp::flags::SYN,
+        &[],
+    )
+}
+
+fn kernel_with_xsk(queues: usize) -> (Kernel, u32, u32) {
+    let mut k = Kernel::new(4);
+    let eth0 = k.add_device(NetDevice::new("eth0", NIC_MAC, DeviceKind::Phys { link_gbps: 25.0 }, queues));
+    k.add_addr(eth0, [10, 0, 0, 1], 24);
+    let mut xmap = XskMap::new(queues);
+    for q in 0..queues {
+        // One socket id per queue; ids are fake but resolvable.
+        let h = ovs_kernel::XskBinding::new(eth0, q, 16, 2048, true).into_handle();
+        for i in 0..8 {
+            h.borrow().umem.fill.push(ovs_ring::Desc { frame: i, len: 0 }).unwrap();
+        }
+        let id = k.register_xsk(h);
+        xmap.set(q as u32, id).unwrap();
+    }
+    let fd = k.maps.add(Map::Xsk(xmap));
+    (k, eth0, fd)
+}
+
+#[test]
+fn mellanox_model_steers_management_around_xdp() {
+    let (mut k, eth0, fd) = kernel_with_xsk(4);
+    // XDP only on queues 2 and 3 (Fig 6b).
+    k.attach_xdp(eth0, programs::ovs_xsk_redirect(fd), XdpMode::Native, Some(vec![2, 3]))
+        .unwrap();
+    // Hardware steering: SSH (tcp/22) to queue 0; overlay UDP/4789 to
+    // queue 2.
+    k.dev_mut(eth0).ntuple = vec![
+        NtupleRule { tp_dst: Some(22), ip_proto: Some(6), queue: 0 },
+        NtupleRule { tp_dst: Some(4789), ip_proto: Some(17), queue: 2 },
+    ];
+
+    // Management traffic reaches the stack (queue 0 has no XDP).
+    assert_eq!(k.receive_steered(eth0, mgmt_frame()), RxOutcome::ToHost);
+    // Dataplane traffic lands in the AF_XDP socket on queue 2.
+    assert!(matches!(
+        k.receive_steered(eth0, dataplane_frame()),
+        RxOutcome::ToXsk(_)
+    ));
+}
+
+#[test]
+fn intel_model_needs_program_logic() {
+    let (mut k, eth0, fd) = kernel_with_xsk(1);
+    k.dev_mut(eth0).caps.per_queue_xdp = false; // Intel model
+    // Whole-device attach: EVERY packet runs the program — management
+    // included — so a plain redirect-all hook swallows SSH too.
+    k.attach_xdp(eth0, programs::ovs_xsk_redirect(fd), XdpMode::Native, None)
+        .unwrap();
+    assert!(matches!(
+        k.receive_steered(eth0, mgmt_frame()),
+        RxOutcome::ToXsk(_)
+    ));
+    // The fix is logic in the program itself: match the dataplane flow,
+    // pass everything else to the stack — here via the L4 LB example
+    // program, which passes non-matching traffic.
+    k.detach_xdp(eth0);
+    k.attach_xdp(
+        eth0,
+        programs::l4_lb([10, 0, 0, 1], 4789, [192, 168, 0, 1]),
+        XdpMode::Native,
+        None,
+    )
+    .unwrap();
+    assert_eq!(k.receive_steered(eth0, mgmt_frame()), RxOutcome::ToHost);
+}
+
+#[test]
+fn rss_spreads_when_no_ntuple_matches() {
+    let (k, eth0, _fd) = kernel_with_xsk(4);
+    let mut queues_hit = std::collections::HashSet::new();
+    for i in 0..64u16 {
+        let f = builder::udp_ipv4_frame(
+            MacAddr::new(2, 0, 0, 0, 9, 9),
+            NIC_MAC,
+            [10, (i >> 8) as u8, i as u8, 9],
+            [10, 0, 0, 1],
+            1000 + i,
+            2000,
+            64,
+        );
+        queues_hit.insert(k.device(eth0).hw_queue_for(&f));
+    }
+    assert!(queues_hit.len() >= 3, "RSS uses multiple queues: {queues_hit:?}");
+}

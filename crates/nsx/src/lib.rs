@@ -1,0 +1,29 @@
+//! # ovs-nsx — a network-virtualization control plane in the NSX mould
+//!
+//! §4 of the paper: NSX overlays virtual L2/L3 networks, firewalling and
+//! NAT over hypervisors by programming OVS through OVSDB and OpenFlow.
+//! Its agent builds two bridges (integration + underlay), installs tens of
+//! thousands of rules, and relies on Geneve tunnelling plus a distributed
+//! firewall with conntrack zones. The §5.1 evaluation runs against a rule
+//! set captured from a production hypervisor, whose shape Table 3 gives:
+//!
+//! | property | value |
+//! |---|---|
+//! | Geneve tunnels | 291 |
+//! | VMs (two interfaces per VM) | 15 |
+//! | OpenFlow rules | 103,302 |
+//! | OpenFlow tables | 40 |
+//! | matching fields among all rules | 31 |
+//!
+//! [`ruleset`] deterministically generates a pipeline with exactly that
+//! shape — functional backbone rules the test traffic actually traverses
+//! (classification → distributed firewall with `ct()` recirculation →
+//! forwarding/tunnelling, three datapath passes as in §5.1) plus
+//! production-grade filler sections. [`topology`] assembles the two-host
+//! deployment the §5.1/Fig 8 experiments run on.
+
+pub mod ruleset;
+pub mod topology;
+
+pub use ruleset::{NsxConfig, NsxPorts, RulesetStats};
+pub use topology::{Host, HostConfig, VmAttachment};

@@ -1,0 +1,434 @@
+//! Deployment topology: one NSX-managed hypervisor, buildable with either
+//! datapath architecture, ready to wire back-to-back with a peer.
+//!
+//! This reproduces the §5.1 testbed: two servers, each running OVS plus an
+//! NSX agent that programs ~103k rules, Geneve tunnelling between the
+//! VTEPs, and VMs attached over tap (kernel mode) or tap/vhostuser
+//! (userspace mode).
+
+use crate::ruleset::{self, NsxConfig, NsxPorts, RulesetStats};
+use ovs_afxdp::{AfxdpPort, OptLevel};
+use ovs_core::dpif::{DpifNetdev, DpifNetlink, PortNo, PortType};
+use ovs_core::tunnel::{TunnelConfig, TunnelKind};
+use ovs_dpdk::VhostUserDev;
+use ovs_kernel::dev::{Attachment, DeviceKind, NetDevice};
+use ovs_kernel::guest::{Guest, GuestRole, VirtioBackend};
+use ovs_kernel::ovs_module::Vport;
+use ovs_kernel::Kernel;
+use ovs_packet::MacAddr;
+
+/// How VMs attach to the switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmAttachment {
+    /// Kernel tap + vhost-net (path A in Fig 5).
+    Tap,
+    /// Shared-memory vhostuser (path B in Fig 5).
+    VhostUser,
+}
+
+/// Which datapath architecture the host runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatapathKind {
+    /// The traditional split design: OVS kernel module + upcalls.
+    Kernel,
+    /// The paper's design: userspace datapath fed by AF_XDP.
+    UserspaceAfxdp {
+        opt: OptLevel,
+        interrupt_mode: bool,
+    },
+}
+
+/// Host construction parameters.
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// Host id (1 or 2); tags MACs and IPs.
+    pub id: u8,
+    /// The peer's host id.
+    pub remote_id: u8,
+    /// VTEP address of this host.
+    pub vtep_ip: [u8; 4],
+    /// Uplink NIC speed.
+    pub nic_gbps: f64,
+    /// Datapath architecture.
+    pub datapath: DatapathKind,
+    /// VM attachment type (kernel mode always uses taps).
+    pub attachment: VmAttachment,
+    /// Guest application role.
+    pub guest_role: GuestRole,
+    /// NSX rule-set configuration.
+    pub nsx: NsxConfig,
+    /// Host CPU count.
+    pub cpus: usize,
+    /// Core for PMD / upcall-handler work.
+    pub switch_core: usize,
+    /// First core for guest vCPUs.
+    pub guest_core_base: usize,
+}
+
+impl HostConfig {
+    /// The paper's §5.1 host: 8 cores + HT (16 threads), 10 GbE uplink.
+    pub fn nsx_default(id: u8, datapath: DatapathKind, attachment: VmAttachment) -> Self {
+        Self {
+            id,
+            remote_id: 3 - id,
+            vtep_ip: [172, 16, 0, id],
+            nic_gbps: 10.0,
+            datapath,
+            attachment,
+            guest_role: GuestRole::Echo,
+            nsx: NsxConfig {
+                local_vtep: [172, 16, 0, id],
+                remote_vtep: [172, 16, 0, 3 - id],
+                ..NsxConfig::default()
+            },
+            cpus: 16,
+            switch_core: 1,
+            guest_core_base: 8,
+        }
+    }
+}
+
+/// A built hypervisor.
+pub struct Host {
+    /// The simulated kernel (devices, guests, time, CPUs).
+    pub kernel: Kernel,
+    /// Userspace datapath (when running `UserspaceAfxdp`).
+    pub dp: Option<DpifNetdev>,
+    /// Kernel-datapath driver (when running `Kernel`).
+    pub netlink: Option<DpifNetlink>,
+    /// Uplink NIC ifindex.
+    pub uplink_if: u32,
+    /// Datapath port numbers (same layout for both modes).
+    pub ports: NsxPorts,
+    /// Guest index per VIF.
+    pub guest_of_vif: Vec<usize>,
+    /// Rule-set statistics.
+    pub ruleset: RulesetStats,
+    /// The switch's core.
+    pub switch_core: usize,
+}
+
+impl Host {
+    /// Build a host per the configuration.
+    pub fn build(cfg: &HostConfig) -> Host {
+        let mut kernel = Kernel::new(cfg.cpus);
+        kernel.config.rss_cores = vec![0];
+        kernel.config.host_stack_core = 0;
+
+        let uplink_mac = MacAddr::new(4, 0, 0, 0, 0, cfg.id);
+        let uplink_if = kernel.add_device(NetDevice::new(
+            "eth0",
+            uplink_mac,
+            DeviceKind::Phys { link_gbps: cfg.nic_gbps },
+            1,
+        ));
+        kernel.add_addr(uplink_if, cfg.vtep_ip, 24);
+
+        let nvifs = cfg.nsx.vms * 2;
+        let attachment = match cfg.datapath {
+            DatapathKind::Kernel => VmAttachment::Tap,
+            _ => cfg.attachment,
+        };
+
+        // Create guests and their attachment devices.
+        let mut taps = Vec::new();
+        let mut guest_of_vif = Vec::new();
+        for i in 0..nvifs {
+            let gmac = ruleset::vm_mac(cfg.id, i / 2, i % 2);
+            let gip = ruleset::vm_ip(cfg.id, i / 2, i % 2);
+            let core = cfg.guest_core_base + (i % (cfg.cpus - cfg.guest_core_base).max(1));
+            match attachment {
+                VmAttachment::Tap => {
+                    let tap = kernel.add_device(NetDevice::new(
+                        &format!("tap{i}"),
+                        gmac,
+                        DeviceKind::Tap,
+                        1,
+                    ));
+                    let g = kernel.add_guest(Guest::new(
+                        &format!("vm{}-{}", i / 2, i % 2),
+                        gmac,
+                        gip,
+                        cfg.guest_role,
+                        VirtioBackend::VhostNet { tap_ifindex: tap },
+                        core,
+                    ));
+                    taps.push(Some(tap));
+                    guest_of_vif.push(g);
+                }
+                VmAttachment::VhostUser => {
+                    let g = kernel.add_guest(Guest::new(
+                        &format!("vm{}-{}", i / 2, i % 2),
+                        gmac,
+                        gip,
+                        cfg.guest_role,
+                        VirtioBackend::VhostUser,
+                        core,
+                    ));
+                    taps.push(None);
+                    guest_of_vif.push(g);
+                }
+            }
+        }
+
+        let ports = NsxPorts {
+            vifs: (2..(2 + nvifs as PortNo)).collect(),
+            tunnel: 1,
+            uplink: 0,
+        };
+
+        let (dp, netlink, ruleset_stats) = match cfg.datapath {
+            DatapathKind::UserspaceAfxdp { opt, interrupt_mode } => {
+                let mut dp = DpifNetdev::new();
+                let mut aport = AfxdpPort::open(&mut kernel, uplink_if, 4096, opt)
+                    .expect("uplink afxdp");
+                if interrupt_mode {
+                    for s in &mut aport.sockets {
+                        s.interrupt_mode = true;
+                    }
+                }
+                let p_up = dp.add_port("eth0", PortType::Afxdp(aport));
+                assert_eq!(p_up, ports.uplink);
+                let p_tun = dp.add_port(
+                    "gnv0",
+                    PortType::Tunnel(TunnelConfig {
+                        kind: TunnelKind::Geneve,
+                        local_ip: cfg.vtep_ip,
+                    }),
+                );
+                assert_eq!(p_tun, ports.tunnel);
+                for (i, tap) in taps.iter().enumerate() {
+                    let p = match tap {
+                        Some(t) => dp.add_port(&format!("tap{i}"), PortType::Tap { ifindex: *t }),
+                        None => dp.add_port(
+                            &format!("vhost{i}"),
+                            PortType::VhostUser(VhostUserDev::new(guest_of_vif[i])),
+                        ),
+                    };
+                    assert_eq!(p, ports.vifs[i]);
+                }
+                let mut of = ovs_core::Ofproto::new();
+                let stats = ruleset::install(&cfg.nsx, &ports, cfg.id, cfg.remote_id, &mut of);
+                dp.ofproto = of;
+                dp.sync_rtnl(&kernel);
+                (Some(dp), None, stats)
+            }
+            DatapathKind::Kernel => {
+                // Kernel datapath: uplink + geneve vport + taps as vports.
+                let p_up = kernel.ovs.add_vport(Vport::Netdev { ifindex: uplink_if });
+                assert_eq!(p_up, ports.uplink);
+                let p_tun = kernel.ovs.add_vport(Vport::Geneve { local_ip: cfg.vtep_ip });
+                assert_eq!(p_tun, ports.tunnel);
+                kernel.dev_mut(uplink_if).attachment = Attachment::OvsBridge { port: p_up };
+                for (i, tap) in taps.iter().enumerate() {
+                    let t = tap.expect("kernel mode uses taps");
+                    let p = kernel.ovs.add_vport(Vport::Netdev { ifindex: t });
+                    assert_eq!(p, ports.vifs[i]);
+                    kernel.dev_mut(t).attachment = Attachment::OvsBridge { port: p };
+                }
+                let mut nl = DpifNetlink::new(cfg.vtep_ip);
+                let stats = ruleset::install(
+                    &cfg.nsx,
+                    &ports,
+                    cfg.id,
+                    cfg.remote_id,
+                    &mut nl.ofproto,
+                );
+                (None, Some(nl), stats)
+            }
+        };
+
+        Host {
+            kernel,
+            dp,
+            netlink,
+            uplink_if,
+            ports,
+            guest_of_vif,
+            ruleset: ruleset_stats,
+            switch_core: cfg.switch_core,
+        }
+    }
+
+    /// Teach this host how to reach a peer VTEP (ARP + route), as the
+    /// underlay control plane would.
+    pub fn peer(&mut self, vtep_ip: [u8; 4], mac: MacAddr) {
+        ovs_kernel::tools::ip_neigh_add(&mut self.kernel, vtep_ip, mac, "eth0")
+            .expect("uplink exists");
+        if let Some(dp) = &mut self.dp {
+            dp.sync_rtnl(&self.kernel);
+        }
+    }
+
+    /// The uplink's MAC (for peering).
+    pub fn uplink_mac(&self) -> MacAddr {
+        self.kernel.device(self.uplink_if).mac
+    }
+
+    /// Run switch + guest work until quiescent (bounded): PMD polls /
+    /// upcall handling, vhost-net servicing, guest execution, vhostuser
+    /// draining. Returns packets moved.
+    pub fn pump(&mut self) -> usize {
+        let mut total = 0;
+        for _round in 0..64 {
+            let mut moved = 0;
+            if let Some(dp) = &mut self.dp {
+                // Poll every port (uplink, taps, vhostuser).
+                let nports = dp.port_count() + 2;
+                for p in 0..nports as PortNo {
+                    moved += dp.pmd_poll(&mut self.kernel, p, 0, self.switch_core);
+                }
+            }
+            if let Some(nl) = &mut self.netlink {
+                moved += nl.handle_upcalls(&mut self.kernel, self.switch_core);
+            }
+            // Service guests.
+            for g in 0..self.kernel.guests.len() {
+                match self.kernel.guests[g].backend {
+                    VirtioBackend::VhostNet { .. } => {
+                        moved += self.kernel.vhost_net_service(g);
+                    }
+                    VirtioBackend::VhostUser => {
+                        moved += self.kernel.run_guest(g);
+                        // Frames awaiting the switch's vhost poll count as
+                        // pending work for the next round.
+                        moved += self.kernel.guests[g].tx_ring.len();
+                    }
+                }
+            }
+            if moved == 0 {
+                break;
+            }
+            total += moved;
+        }
+        total
+    }
+
+    /// Take all frames this host has put on the uplink wire.
+    pub fn wire_take(&mut self) -> Vec<Vec<u8>> {
+        self.kernel.dev_mut(self.uplink_if).tx_wire.drain(..).collect()
+    }
+
+    /// Deliver one frame arriving on the uplink.
+    pub fn wire_inject(&mut self, frame: Vec<u8>) {
+        self.kernel.receive(self.uplink_if, 0, frame);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovs_packet::builder;
+
+    fn small_nsx(id: u8) -> NsxConfig {
+        NsxConfig {
+            vms: 2,
+            tunnels: 4,
+            target_rules: 800,
+            local_vtep: [172, 16, 0, id],
+            ..NsxConfig::default()
+        }
+    }
+
+    fn small_host(id: u8, datapath: DatapathKind, attachment: VmAttachment) -> Host {
+        let mut cfg = HostConfig::nsx_default(id, datapath, attachment);
+        cfg.nsx = small_nsx(id);
+        Host::build(&cfg)
+    }
+
+    fn vm_frame(src_host: u8, dst_host: u8) -> Vec<u8> {
+        builder::udp_ipv4_frame(
+            ruleset::vm_mac(src_host, 0, 0),
+            ruleset::vm_mac(dst_host, 0, 0),
+            ruleset::vm_ip(src_host, 0, 0),
+            ruleset::vm_ip(dst_host, 0, 0),
+            3333,
+            4444,
+            200,
+        )
+    }
+
+    /// Wire two hosts back to back and pump until quiet.
+    fn run_pair(a: &mut Host, b: &mut Host) {
+        for _ in 0..32 {
+            let mut moved = a.pump() + b.pump();
+            for f in a.wire_take() {
+                b.wire_inject(f);
+                moved += 1;
+            }
+            for f in b.wire_take() {
+                a.wire_inject(f);
+                moved += 1;
+            }
+            if moved == 0 {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn cross_host_vm_traffic_userspace_datapath() {
+        let dpk = DatapathKind::UserspaceAfxdp { opt: OptLevel::O5, interrupt_mode: false };
+        let mut h1 = small_host(1, dpk, VmAttachment::VhostUser);
+        let mut h2 = small_host(2, dpk, VmAttachment::VhostUser);
+        h1.peer([172, 16, 0, 2], h2.uplink_mac());
+        h2.peer([172, 16, 0, 1], h1.uplink_mac());
+
+        // VM0 on host 1 sends to VM0 on host 2.
+        let g = h1.guest_of_vif[0];
+        h1.kernel.guests[g].tx_ring.push_back(vm_frame(1, 2));
+        run_pair(&mut h1, &mut h2);
+
+        let dp1 = h1.dp.as_ref().unwrap();
+        assert!(dp1.stats.tunnel_encaps >= 1, "egress was tunnelled");
+        let dp2 = h2.dp.as_ref().unwrap();
+        assert!(dp2.stats.tunnel_decaps >= 1, "ingress was decapsulated");
+        // The destination guest received the frame (echo also replied).
+        let g2 = h2.guest_of_vif[0];
+        assert!(h2.kernel.guests[g2].rx_count >= 1, "remote VM got the packet");
+        // Firewall tracked the connection on both hosts.
+        assert!(!dp1.ct.is_empty());
+        assert!(dp1.stats.recirculations >= 2, "three datapath passes");
+    }
+
+    #[test]
+    fn cross_host_vm_traffic_kernel_datapath() {
+        let mut h1 = small_host(1, DatapathKind::Kernel, VmAttachment::Tap);
+        let mut h2 = small_host(2, DatapathKind::Kernel, VmAttachment::Tap);
+        h1.peer([172, 16, 0, 2], h2.uplink_mac());
+        h2.peer([172, 16, 0, 1], h1.uplink_mac());
+
+        let g = h1.guest_of_vif[0];
+        h1.kernel.guests[g].tx_ring.push_back(vm_frame(1, 2));
+        run_pair(&mut h1, &mut h2);
+
+        assert!(h1.kernel.ovs.stats.tunnel_encaps >= 1, "kernel dp tunnelled");
+        assert!(h2.kernel.ovs.stats.tunnel_decaps >= 1);
+        assert!(h1.kernel.ovs.flow_count() >= 1, "megaflows installed in the kernel");
+        let g2 = h2.guest_of_vif[0];
+        assert!(h2.kernel.guests[g2].rx_count >= 1, "remote VM got the packet");
+    }
+
+    #[test]
+    fn intra_host_vm_to_vm() {
+        let dpk = DatapathKind::UserspaceAfxdp { opt: OptLevel::O5, interrupt_mode: false };
+        let mut h1 = small_host(1, dpk, VmAttachment::VhostUser);
+        // VM0 iface0 -> VM0 iface1 (both local).
+        let f = builder::udp_ipv4_frame(
+            ruleset::vm_mac(1, 0, 0),
+            ruleset::vm_mac(1, 0, 1),
+            ruleset::vm_ip(1, 0, 0),
+            ruleset::vm_ip(1, 0, 1),
+            1111,
+            2222,
+            200,
+        );
+        let g = h1.guest_of_vif[0];
+        h1.kernel.guests[g].tx_ring.push_back(f);
+        h1.pump();
+        let g1 = h1.guest_of_vif[1];
+        assert!(h1.kernel.guests[g1].rx_count >= 1, "local delivery");
+        assert_eq!(h1.dp.as_ref().unwrap().stats.tunnel_encaps, 0, "no tunnel for local");
+    }
+}
+

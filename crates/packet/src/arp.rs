@@ -1,0 +1,154 @@
+//! ARP packets (Ethernet/IPv4 only, which is all the datapath needs).
+
+use crate::{MacAddr, ParseError, Result};
+
+/// ARP operation codes.
+pub mod op {
+    pub const REQUEST: u16 = 1;
+    pub const REPLY: u16 = 2;
+}
+
+mod field {
+    pub const HTYPE: core::ops::Range<usize> = 0..2;
+    pub const PTYPE: core::ops::Range<usize> = 2..4;
+    pub const HLEN: usize = 4;
+    pub const PLEN: usize = 5;
+    pub const OPER: core::ops::Range<usize> = 6..8;
+    pub const SHA: core::ops::Range<usize> = 8..14;
+    pub const SPA: core::ops::Range<usize> = 14..18;
+    pub const THA: core::ops::Range<usize> = 18..24;
+    pub const TPA: core::ops::Range<usize> = 24..28;
+}
+
+/// ARP packet length for Ethernet/IPv4.
+pub const PACKET_LEN: usize = 28;
+
+/// A typed view over an Ethernet/IPv4 ARP packet.
+#[derive(Debug, Clone)]
+pub struct ArpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> ArpPacket<T> {
+    /// Wrap a buffer, validating length and the Ethernet/IPv4 types.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        if buffer.as_ref().len() < PACKET_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let p = Self { buffer };
+        let b = p.buffer.as_ref();
+        let htype = u16::from_be_bytes([b[0], b[1]]);
+        let ptype = u16::from_be_bytes([b[2], b[3]]);
+        if htype != 1 || ptype != 0x0800 || b[field::HLEN] != 6 || b[field::PLEN] != 4 {
+            return Err(ParseError::Unsupported);
+        }
+        Ok(p)
+    }
+
+    /// Wrap without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Self { buffer }
+    }
+
+    /// Operation: request (1) or reply (2).
+    pub fn oper(&self) -> u16 {
+        let b = &self.buffer.as_ref()[field::OPER];
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Sender hardware address.
+    pub fn sender_mac(&self) -> MacAddr {
+        MacAddr::from_slice(&self.buffer.as_ref()[field::SHA]).unwrap()
+    }
+
+    /// Sender protocol (IPv4) address.
+    pub fn sender_ip(&self) -> [u8; 4] {
+        self.buffer.as_ref()[field::SPA].try_into().unwrap()
+    }
+
+    /// Target hardware address.
+    pub fn target_mac(&self) -> MacAddr {
+        MacAddr::from_slice(&self.buffer.as_ref()[field::THA]).unwrap()
+    }
+
+    /// Target protocol (IPv4) address.
+    pub fn target_ip(&self) -> [u8; 4] {
+        self.buffer.as_ref()[field::TPA].try_into().unwrap()
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> ArpPacket<T> {
+    /// Write the fixed Ethernet/IPv4 preamble (htype/ptype/hlen/plen).
+    pub fn init_ethernet_ipv4(&mut self) {
+        let b = self.buffer.as_mut();
+        b[field::HTYPE].copy_from_slice(&1u16.to_be_bytes());
+        b[field::PTYPE].copy_from_slice(&0x0800u16.to_be_bytes());
+        b[field::HLEN] = 6;
+        b[field::PLEN] = 4;
+    }
+
+    /// Set the operation.
+    pub fn set_oper(&mut self, oper: u16) {
+        self.buffer.as_mut()[field::OPER].copy_from_slice(&oper.to_be_bytes());
+    }
+
+    /// Set the sender hardware address.
+    pub fn set_sender_mac(&mut self, m: MacAddr) {
+        self.buffer.as_mut()[field::SHA].copy_from_slice(m.as_bytes());
+    }
+
+    /// Set the sender protocol address.
+    pub fn set_sender_ip(&mut self, ip: [u8; 4]) {
+        self.buffer.as_mut()[field::SPA].copy_from_slice(&ip);
+    }
+
+    /// Set the target hardware address.
+    pub fn set_target_mac(&mut self, m: MacAddr) {
+        self.buffer.as_mut()[field::THA].copy_from_slice(m.as_bytes());
+    }
+
+    /// Set the target protocol address.
+    pub fn set_target_ip(&mut self, ip: [u8; 4]) {
+        self.buffer.as_mut()[field::TPA].copy_from_slice(&ip);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let mut buf = [0u8; PACKET_LEN];
+        let mut p = ArpPacket::new_unchecked(&mut buf[..]);
+        p.init_ethernet_ipv4();
+        p.set_oper(op::REQUEST);
+        p.set_sender_mac(MacAddr::new(1, 2, 3, 4, 5, 6));
+        p.set_sender_ip([10, 0, 0, 1]);
+        p.set_target_mac(MacAddr::ZERO);
+        p.set_target_ip([10, 0, 0, 2]);
+        let p = ArpPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.oper(), op::REQUEST);
+        assert_eq!(p.sender_mac(), MacAddr::new(1, 2, 3, 4, 5, 6));
+        assert_eq!(p.sender_ip(), [10, 0, 0, 1]);
+        assert_eq!(p.target_ip(), [10, 0, 0, 2]);
+    }
+
+    #[test]
+    fn rejects_non_ethernet() {
+        let mut buf = [0u8; PACKET_LEN];
+        buf[0..2].copy_from_slice(&6u16.to_be_bytes());
+        assert_eq!(
+            ArpPacket::new_checked(&buf[..]).unwrap_err(),
+            ParseError::Unsupported
+        );
+    }
+
+    #[test]
+    fn truncated() {
+        assert_eq!(
+            ArpPacket::new_checked(&[0u8; 27][..]).unwrap_err(),
+            ParseError::Truncated
+        );
+    }
+}

@@ -1,0 +1,160 @@
+//! Ethernet II frames.
+
+use crate::{MacAddr, ParseError, Result};
+
+/// Well-known EtherType values used by the datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    Ipv4,
+    Arp,
+    Vlan,
+    Ipv6,
+    /// Any other value, carried verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// Decode from the 16-bit wire value.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            0x8100 => EtherType::Vlan,
+            0x86dd => EtherType::Ipv6,
+            other => EtherType::Other(other),
+        }
+    }
+
+    /// Encode to the 16-bit wire value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Vlan => 0x8100,
+            EtherType::Ipv6 => 0x86dd,
+            EtherType::Other(v) => v,
+        }
+    }
+}
+
+/// Byte offsets within an Ethernet header.
+mod field {
+    pub const DST: core::ops::Range<usize> = 0..6;
+    pub const SRC: core::ops::Range<usize> = 6..12;
+    pub const ETHERTYPE: core::ops::Range<usize> = 12..14;
+    pub const PAYLOAD: usize = 14;
+}
+
+/// Length of the Ethernet II header.
+pub const HEADER_LEN: usize = field::PAYLOAD;
+
+/// A typed view over an Ethernet II frame.
+#[derive(Debug, Clone)]
+pub struct EthernetFrame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> EthernetFrame<T> {
+    /// Wrap a buffer, validating the minimum length.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        Ok(Self { buffer })
+    }
+
+    /// Wrap a buffer without validation. Accessors may panic if it is too
+    /// short; use only on buffers this crate produced.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Self { buffer }
+    }
+
+    /// Release the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Destination MAC address.
+    pub fn dst(&self) -> MacAddr {
+        MacAddr::from_slice(&self.buffer.as_ref()[field::DST]).unwrap()
+    }
+
+    /// Source MAC address.
+    pub fn src(&self) -> MacAddr {
+        MacAddr::from_slice(&self.buffer.as_ref()[field::SRC]).unwrap()
+    }
+
+    /// EtherType of the payload.
+    pub fn ethertype(&self) -> EtherType {
+        let raw = &self.buffer.as_ref()[field::ETHERTYPE];
+        EtherType::from_u16(u16::from_be_bytes([raw[0], raw[1]]))
+    }
+
+    /// Payload bytes following the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[field::PAYLOAD..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EthernetFrame<T> {
+    /// Set the destination MAC address.
+    pub fn set_dst(&mut self, mac: MacAddr) {
+        self.buffer.as_mut()[field::DST].copy_from_slice(mac.as_bytes());
+    }
+
+    /// Set the source MAC address.
+    pub fn set_src(&mut self, mac: MacAddr) {
+        self.buffer.as_mut()[field::SRC].copy_from_slice(mac.as_bytes());
+    }
+
+    /// Set the EtherType.
+    pub fn set_ethertype(&mut self, ty: EtherType) {
+        self.buffer.as_mut()[field::ETHERTYPE].copy_from_slice(&ty.to_u16().to_be_bytes());
+    }
+
+    /// Mutable payload bytes.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[field::PAYLOAD..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut buf = vec![0u8; HEADER_LEN + 4];
+        let mut f = EthernetFrame::new_unchecked(&mut buf[..]);
+        f.set_dst(MacAddr::new(1, 2, 3, 4, 5, 6));
+        f.set_src(MacAddr::new(7, 8, 9, 10, 11, 12));
+        f.set_ethertype(EtherType::Ipv4);
+        f.payload_mut().copy_from_slice(&[0xaa; 4]);
+        buf
+    }
+
+    #[test]
+    fn roundtrip() {
+        let buf = sample();
+        let f = EthernetFrame::new_checked(&buf[..]).unwrap();
+        assert_eq!(f.dst(), MacAddr::new(1, 2, 3, 4, 5, 6));
+        assert_eq!(f.src(), MacAddr::new(7, 8, 9, 10, 11, 12));
+        assert_eq!(f.ethertype(), EtherType::Ipv4);
+        assert_eq!(f.payload(), &[0xaa; 4]);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(
+            EthernetFrame::new_checked(&[0u8; 13][..]).unwrap_err(),
+            ParseError::Truncated
+        );
+    }
+
+    #[test]
+    fn ethertype_codes() {
+        assert_eq!(EtherType::from_u16(0x0800), EtherType::Ipv4);
+        assert_eq!(EtherType::from_u16(0x86dd), EtherType::Ipv6);
+        assert_eq!(EtherType::from_u16(0x1234), EtherType::Other(0x1234));
+        assert_eq!(EtherType::Vlan.to_u16(), 0x8100);
+    }
+}

@@ -1,0 +1,700 @@
+//! Flow keys and masks — the maskable header fingerprint every OVS cache
+//! level keys on.
+//!
+//! A [`FlowKey`] packs the parsed header fields into twelve 64-bit words
+//! with a fixed layout, so that a [`FlowMask`] (one bitmask per word) can
+//! express wildcarding at bit granularity. This is the same representation
+//! trick as OVS's miniflow: the exact-match cache hashes all words, a
+//! megaflow hashes `key & mask`, and the tuple-space-search classifier
+//! groups rules by identical masks.
+//!
+//! Word layout (all fields big-endian within their word):
+//!
+//! | word | contents |
+//! |------|----------|
+//! | 0  | `in_port` (high 32) \| `recirc_id` (low 32) |
+//! | 1  | `dl_src` (6 bytes) \| `eth_type` (2 bytes) |
+//! | 2  | `dl_dst` (6 bytes) \| `vlan_tci` (2 bytes) |
+//! | 3,4| `nw_src`: IPv6 bytes 0–7, 8–15; IPv4 in the low 32 bits of word 4 |
+//! | 5,6| `nw_dst`: likewise |
+//! | 7  | `nw_proto` \| `nw_tos` \| `nw_ttl` \| `nw_frag` \| `tp_src` \| `tp_dst` |
+//! | 8  | `tun_id` |
+//! | 9  | `tun_src` (high 32) \| `tun_dst` (low 32) |
+//! | 10 | `ct_state` \| pad \| `ct_zone` \| `ct_mark` (low 32) |
+//! | 11 | `metadata` (scratch register for pipeline state) |
+//!
+//! ARP reuses the IP fields the way OVS does: `nw_proto` holds the opcode,
+//! `nw_src`/`nw_dst` hold SPA/TPA.
+
+use crate::dp_packet::DpPacket;
+use crate::ethernet::{self, EtherType, EthernetFrame};
+use crate::mac::MacAddr;
+use crate::{arp, icmp, ipv4, ipv6, tcp, udp, vlan};
+
+/// Number of 64-bit words in a flow key.
+pub const WORDS: usize = 12;
+
+/// Fragment state encoded in the `nw_frag` byte.
+pub mod nw_frag {
+    /// Any fragment (first or later).
+    pub const ANY: u8 = 0x1;
+    /// A later fragment (offset != 0): L4 ports are unavailable.
+    pub const LATER: u8 = 0x2;
+}
+
+/// A parsed, fixed-width flow key.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    words: [u64; WORDS],
+}
+
+macro_rules! word_field {
+    ($get:ident, $set:ident, $word:expr, $shift:expr, $ty:ty, $mask:expr, $doc:expr) => {
+        #[doc = $doc]
+        pub fn $get(&self) -> $ty {
+            ((self.words[$word] >> $shift) & $mask) as $ty
+        }
+
+        #[doc = concat!("Set ", $doc)]
+        pub fn $set(&mut self, v: $ty) {
+            self.words[$word] =
+                (self.words[$word] & !($mask << $shift)) | (((v as u64) & $mask) << $shift);
+        }
+    };
+}
+
+impl FlowKey {
+    /// The raw words.
+    pub fn words(&self) -> &[u64; WORDS] {
+        &self.words
+    }
+
+    /// Construct directly from words (tests, proptest generators).
+    pub fn from_words(words: [u64; WORDS]) -> Self {
+        Self { words }
+    }
+
+    word_field!(in_port, set_in_port, 0, 32, u32, 0xffff_ffff, "Datapath input port.");
+    word_field!(recirc_id, set_recirc_id, 0, 0, u32, 0xffff_ffff, "Recirculation id.");
+    word_field!(eth_type_raw, set_eth_type_raw, 1, 0, u16, 0xffff, "Raw EtherType.");
+    word_field!(vlan_tci, set_vlan_tci, 2, 0, u16, 0xffff, "VLAN TCI (0 = untagged).");
+    word_field!(nw_proto, set_nw_proto, 7, 56, u8, 0xff, "IP protocol / ARP opcode.");
+    word_field!(nw_tos, set_nw_tos, 7, 48, u8, 0xff, "IP TOS byte.");
+    word_field!(nw_ttl, set_nw_ttl, 7, 40, u8, 0xff, "IP TTL / hop limit.");
+    word_field!(nw_frag, set_nw_frag, 7, 32, u8, 0xff, "Fragment state bits.");
+    word_field!(tp_src, set_tp_src, 7, 16, u16, 0xffff, "L4 source port.");
+    word_field!(tp_dst, set_tp_dst, 7, 0, u16, 0xffff, "L4 destination port.");
+    word_field!(tun_src, set_tun_src_raw, 9, 32, u32, 0xffff_ffff, "Outer tunnel source IPv4 (as u32).");
+    word_field!(tun_dst, set_tun_dst_raw, 9, 0, u32, 0xffff_ffff, "Outer tunnel destination IPv4 (as u32).");
+    word_field!(ct_state, set_ct_state, 10, 56, u8, 0xff, "Conntrack state bits.");
+    word_field!(ct_zone, set_ct_zone, 10, 32, u16, 0xffff, "Conntrack zone.");
+    word_field!(ct_mark, set_ct_mark, 10, 0, u32, 0xffff_ffff, "Conntrack mark.");
+
+    /// EtherType as an enum.
+    pub fn eth_type(&self) -> EtherType {
+        EtherType::from_u16(self.eth_type_raw())
+    }
+
+    /// Set the EtherType.
+    pub fn set_eth_type(&mut self, t: EtherType) {
+        self.set_eth_type_raw(t.to_u16());
+    }
+
+    /// Source MAC.
+    pub fn dl_src(&self) -> MacAddr {
+        MacAddr::from_u64(self.words[1] >> 16)
+    }
+
+    /// Set the source MAC.
+    pub fn set_dl_src(&mut self, m: MacAddr) {
+        self.words[1] = (self.words[1] & 0xffff) | (m.to_u64() << 16);
+    }
+
+    /// Destination MAC.
+    pub fn dl_dst(&self) -> MacAddr {
+        MacAddr::from_u64(self.words[2] >> 16)
+    }
+
+    /// Set the destination MAC.
+    pub fn set_dl_dst(&mut self, m: MacAddr) {
+        self.words[2] = (self.words[2] & 0xffff) | (m.to_u64() << 16);
+    }
+
+    /// IPv4 source address (stored in the low 32 bits of word 4).
+    pub fn nw_src_v4(&self) -> [u8; 4] {
+        (self.words[4] as u32).to_be_bytes()
+    }
+
+    /// Set the IPv4 source address.
+    pub fn set_nw_src_v4(&mut self, a: [u8; 4]) {
+        self.words[3] = 0;
+        self.words[4] = u64::from(u32::from_be_bytes(a));
+    }
+
+    /// IPv4 destination address.
+    pub fn nw_dst_v4(&self) -> [u8; 4] {
+        (self.words[6] as u32).to_be_bytes()
+    }
+
+    /// Set the IPv4 destination address.
+    pub fn set_nw_dst_v4(&mut self, a: [u8; 4]) {
+        self.words[5] = 0;
+        self.words[6] = u64::from(u32::from_be_bytes(a));
+    }
+
+    /// IPv6 source address.
+    pub fn nw_src_v6(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.words[3].to_be_bytes());
+        out[8..].copy_from_slice(&self.words[4].to_be_bytes());
+        out
+    }
+
+    /// Set the IPv6 source address.
+    pub fn set_nw_src_v6(&mut self, a: [u8; 16]) {
+        self.words[3] = u64::from_be_bytes(a[..8].try_into().unwrap());
+        self.words[4] = u64::from_be_bytes(a[8..].try_into().unwrap());
+    }
+
+    /// IPv6 destination address.
+    pub fn nw_dst_v6(&self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.words[5].to_be_bytes());
+        out[8..].copy_from_slice(&self.words[6].to_be_bytes());
+        out
+    }
+
+    /// Set the IPv6 destination address.
+    pub fn set_nw_dst_v6(&mut self, a: [u8; 16]) {
+        self.words[5] = u64::from_be_bytes(a[..8].try_into().unwrap());
+        self.words[6] = u64::from_be_bytes(a[8..].try_into().unwrap());
+    }
+
+    /// Tunnel id (VNI / GRE key).
+    pub fn tun_id(&self) -> u64 {
+        self.words[8]
+    }
+
+    /// Set the tunnel id.
+    pub fn set_tun_id(&mut self, id: u64) {
+        self.words[8] = id;
+    }
+
+    /// Set the outer tunnel source address.
+    pub fn set_tun_src(&mut self, a: [u8; 4]) {
+        self.set_tun_src_raw(u32::from_be_bytes(a));
+    }
+
+    /// Set the outer tunnel destination address.
+    pub fn set_tun_dst(&mut self, a: [u8; 4]) {
+        self.set_tun_dst_raw(u32::from_be_bytes(a));
+    }
+
+    /// Pipeline metadata register.
+    pub fn metadata(&self) -> u64 {
+        self.words[11]
+    }
+
+    /// Set the pipeline metadata register.
+    pub fn set_metadata(&mut self, v: u64) {
+        self.words[11] = v;
+    }
+
+    /// The key with `mask` applied (wildcarded bits zeroed).
+    pub fn masked(&self, mask: &FlowMask) -> FlowKey {
+        let mut out = [0u64; WORDS];
+        for (o, (k, m)) in out.iter_mut().zip(self.words.iter().zip(mask.words.iter())) {
+            *o = k & m;
+        }
+        FlowKey { words: out }
+    }
+
+    /// True if this key matches `rule_key` under `mask`.
+    pub fn matches(&self, rule_key: &FlowKey, mask: &FlowMask) -> bool {
+        self.words
+            .iter()
+            .zip(rule_key.words.iter())
+            .zip(mask.words.iter())
+            .all(|((k, r), m)| (k ^ r) & m == 0)
+    }
+
+    /// A fast 64-bit hash of the key under `mask` (FNV-1a over the masked
+    /// words). Deterministic across runs.
+    pub fn hash_masked(&self, mask: &FlowMask) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (k, m) in self.words.iter().zip(mask.words.iter()) {
+            h ^= k & m;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// A fast hash of the full key (all bits significant).
+    pub fn hash(&self) -> u64 {
+        self.hash_masked(&FlowMask::EXACT)
+    }
+
+    /// The 5-tuple RSS hash (src/dst IP, proto, src/dst port), the value
+    /// AF_XDP must compute in software per §5.5.
+    pub fn rss_hash(&self) -> u32 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for w in [
+            self.words[3],
+            self.words[4],
+            self.words[5],
+            self.words[6],
+            self.words[7] & 0xff00_0000_ffff_ffff, // proto + ports
+        ] {
+            h ^= w;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h >> 32) as u32 ^ h as u32
+    }
+}
+
+/// A per-bit wildcard mask over a [`FlowKey`]: 1-bits are significant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowMask {
+    words: [u64; WORDS],
+}
+
+impl FlowMask {
+    /// Match nothing (all bits wildcarded).
+    pub const EMPTY: FlowMask = FlowMask { words: [0; WORDS] };
+
+    /// Match every bit (exact match).
+    pub const EXACT: FlowMask = FlowMask {
+        words: [u64::MAX; WORDS],
+    };
+
+    /// The raw words.
+    pub fn words(&self) -> &[u64; WORDS] {
+        &self.words
+    }
+
+    /// Construct from raw words.
+    pub fn from_words(words: [u64; WORDS]) -> Self {
+        Self { words }
+    }
+
+    /// OR another mask into this one (union of significant bits). This is
+    /// how megaflow wildcards accumulate during a pipeline traversal.
+    pub fn unite(&mut self, other: &FlowMask) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= b;
+        }
+    }
+
+    /// Set the bits for one named field.
+    pub fn set_field(&mut self, field: &Field) {
+        self.words[field.word] |= field.mask;
+    }
+
+    /// A mask covering exactly the given fields.
+    pub fn of_fields(fields: &[&Field]) -> Self {
+        let mut m = Self::EMPTY;
+        for f in fields {
+            m.set_field(f);
+        }
+        m
+    }
+
+    /// True if every significant bit of `self` is also significant in
+    /// `other` (i.e. `other` is at least as specific).
+    pub fn subset_of(&self, other: &FlowMask) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Number of significant bits.
+    pub fn bit_count(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Add an IPv4 source prefix of `len` bits to the mask.
+    pub fn set_nw_src_v4_prefix(&mut self, len: u8) {
+        debug_assert!(len <= 32);
+        let m = prefix32(len);
+        self.words[4] |= u64::from(m);
+    }
+
+    /// Add an IPv4 destination prefix of `len` bits to the mask.
+    pub fn set_nw_dst_v4_prefix(&mut self, len: u8) {
+        debug_assert!(len <= 32);
+        let m = prefix32(len);
+        self.words[6] |= u64::from(m);
+    }
+}
+
+fn prefix32(len: u8) -> u32 {
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - u32::from(len))
+    }
+}
+
+impl Default for FlowMask {
+    fn default() -> Self {
+        Self::EMPTY
+    }
+}
+
+/// A named match field: its word index and bit mask within that word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Field {
+    /// Canonical OVS-style name.
+    pub name: &'static str,
+    /// Word index within the key.
+    pub word: usize,
+    /// Bits of that word the field occupies.
+    pub mask: u64,
+}
+
+/// The named fields, used by rule builders and for Table 3's "matching
+/// fields among all rules" statistic.
+pub mod fields {
+    use super::Field;
+
+    pub const IN_PORT: Field = Field { name: "in_port", word: 0, mask: 0xffff_ffff_0000_0000 };
+    pub const RECIRC_ID: Field = Field { name: "recirc_id", word: 0, mask: 0x0000_0000_ffff_ffff };
+    pub const DL_SRC: Field = Field { name: "dl_src", word: 1, mask: 0xffff_ffff_ffff_0000 };
+    pub const ETH_TYPE: Field = Field { name: "eth_type", word: 1, mask: 0x0000_0000_0000_ffff };
+    pub const DL_DST: Field = Field { name: "dl_dst", word: 2, mask: 0xffff_ffff_ffff_0000 };
+    pub const VLAN_TCI: Field = Field { name: "vlan_tci", word: 2, mask: 0x0000_0000_0000_ffff };
+    pub const VLAN_VID: Field = Field { name: "vlan_vid", word: 2, mask: 0x0000_0000_0000_0fff };
+    pub const VLAN_PCP: Field = Field { name: "vlan_pcp", word: 2, mask: 0x0000_0000_0000_e000 };
+    pub const NW_SRC_HI: Field = Field { name: "ipv6_src_hi", word: 3, mask: u64::MAX };
+    pub const NW_SRC: Field = Field { name: "nw_src", word: 4, mask: 0x0000_0000_ffff_ffff };
+    pub const NW_SRC_LO64: Field = Field { name: "ipv6_src_lo", word: 4, mask: u64::MAX };
+    pub const NW_DST_HI: Field = Field { name: "ipv6_dst_hi", word: 5, mask: u64::MAX };
+    pub const NW_DST: Field = Field { name: "nw_dst", word: 6, mask: 0x0000_0000_ffff_ffff };
+    pub const NW_DST_LO64: Field = Field { name: "ipv6_dst_lo", word: 6, mask: u64::MAX };
+    pub const NW_PROTO: Field = Field { name: "nw_proto", word: 7, mask: 0xff00_0000_0000_0000 };
+    pub const NW_TOS: Field = Field { name: "nw_tos", word: 7, mask: 0x00ff_0000_0000_0000 };
+    pub const NW_TTL: Field = Field { name: "nw_ttl", word: 7, mask: 0x0000_ff00_0000_0000 };
+    pub const NW_FRAG: Field = Field { name: "nw_frag", word: 7, mask: 0x0000_00ff_0000_0000 };
+    pub const TP_SRC: Field = Field { name: "tp_src", word: 7, mask: 0x0000_0000_ffff_0000 };
+    pub const TP_DST: Field = Field { name: "tp_dst", word: 7, mask: 0x0000_0000_0000_ffff };
+    pub const TUN_ID: Field = Field { name: "tun_id", word: 8, mask: u64::MAX };
+    pub const TUN_SRC: Field = Field { name: "tun_src", word: 9, mask: 0xffff_ffff_0000_0000 };
+    pub const TUN_DST: Field = Field { name: "tun_dst", word: 9, mask: 0x0000_0000_ffff_ffff };
+    pub const CT_STATE: Field = Field { name: "ct_state", word: 10, mask: 0xff00_0000_0000_0000 };
+    pub const CT_ZONE: Field = Field { name: "ct_zone", word: 10, mask: 0x0000_ffff_0000_0000 };
+    pub const CT_MARK: Field = Field { name: "ct_mark", word: 10, mask: 0x0000_0000_ffff_ffff };
+    pub const METADATA: Field = Field { name: "metadata", word: 11, mask: u64::MAX };
+    /// ARP aliases, matching OVS naming (same storage as the IP fields).
+    pub const ARP_OP: Field = Field { name: "arp_op", word: 7, mask: 0xff00_0000_0000_0000 };
+    pub const ARP_SPA: Field = Field { name: "arp_spa", word: 4, mask: 0x0000_0000_ffff_ffff };
+    pub const ARP_TPA: Field = Field { name: "arp_tpa", word: 6, mask: 0x0000_0000_ffff_ffff };
+    pub const ICMP_TYPE: Field = Field { name: "icmp_type", word: 7, mask: 0x0000_0000_ffff_0000 };
+    pub const ICMP_CODE: Field = Field { name: "icmp_code", word: 7, mask: 0x0000_0000_0000_ffff };
+
+    /// Every distinct named field above.
+    pub const ALL: &[Field] = &[
+        IN_PORT, RECIRC_ID, DL_SRC, ETH_TYPE, DL_DST, VLAN_TCI, VLAN_VID, VLAN_PCP,
+        NW_SRC_HI, NW_SRC, NW_SRC_LO64, NW_DST_HI, NW_DST, NW_DST_LO64, NW_PROTO,
+        NW_TOS, NW_TTL, NW_FRAG, TP_SRC, TP_DST, TUN_ID, TUN_SRC, TUN_DST, CT_STATE,
+        CT_ZONE, CT_MARK, METADATA, ARP_OP, ARP_SPA, ARP_TPA, ICMP_TYPE, ICMP_CODE,
+    ];
+}
+
+/// Extract a [`FlowKey`] from a packet, also recording L3/L4 offsets in the
+/// packet's metadata. This is OVS's `miniflow_extract` equivalent.
+///
+/// Unparseable or unsupported layers simply stop extraction — the key holds
+/// whatever was valid, which matches OVS semantics (a garbage L4 just means
+/// no L4 fields).
+pub fn extract_flow_key(pkt: &mut DpPacket) -> FlowKey {
+    let mut key = FlowKey::default();
+    key.set_in_port(pkt.in_port);
+    key.set_recirc_id(pkt.recirc_id);
+    key.set_ct_state(pkt.ct_state);
+    key.set_ct_zone(pkt.ct_zone);
+    key.set_ct_mark(pkt.ct_mark);
+    if let Some(t) = &pkt.tunnel {
+        key.set_tun_id(t.tun_id);
+        key.set_tun_src(t.src);
+        key.set_tun_dst(t.dst);
+    }
+
+    let data = pkt.data().to_vec();
+    let Ok(eth) = EthernetFrame::new_checked(&data[..]) else {
+        return key;
+    };
+    key.set_dl_src(eth.src());
+    key.set_dl_dst(eth.dst());
+
+    let mut ethertype = eth.ethertype();
+    let mut l3_start = ethernet::HEADER_LEN;
+    if ethertype == EtherType::Vlan {
+        let Ok(tag) = vlan::VlanTag::new_checked(&data[l3_start..]) else {
+            return key;
+        };
+        // Set CFI-equivalent present bit the way OVS does (TCI | 0x1000 not
+        // modelled; we store the raw TCI and rely on != 0 for presence).
+        key.set_vlan_tci(tag.tci() | 0x1000);
+        ethertype = tag.inner_ethertype();
+        l3_start += vlan::TAG_LEN;
+    }
+    key.set_eth_type(ethertype);
+    pkt.l3_ofs = l3_start as u16;
+
+    match ethertype {
+        EtherType::Ipv4 => extract_ipv4(&data[l3_start..], l3_start, pkt, &mut key),
+        EtherType::Ipv6 => extract_ipv6(&data[l3_start..], l3_start, pkt, &mut key),
+        EtherType::Arp => extract_arp(&data[l3_start..], &mut key),
+        _ => {}
+    }
+    key
+}
+
+fn extract_ipv4(l3: &[u8], l3_start: usize, pkt: &mut DpPacket, key: &mut FlowKey) {
+    let Ok(ip) = ipv4::Ipv4Packet::new_checked(l3) else {
+        return;
+    };
+    key.set_nw_src_v4(ip.src());
+    key.set_nw_dst_v4(ip.dst());
+    key.set_nw_proto(ip.protocol());
+    key.set_nw_tos(ip.tos());
+    key.set_nw_ttl(ip.ttl());
+    let l4_start = l3_start + ip.header_len();
+    pkt.l4_ofs = l4_start as u16;
+    if ip.is_fragment() {
+        let mut frag = nw_frag::ANY;
+        if ip.frag_offset() != 0 {
+            frag |= nw_frag::LATER;
+            key.set_nw_frag(frag);
+            return; // No L4 header in later fragments.
+        }
+        key.set_nw_frag(frag);
+    }
+    extract_l4(ip.protocol(), ip.payload(), key);
+}
+
+fn extract_ipv6(l3: &[u8], l3_start: usize, pkt: &mut DpPacket, key: &mut FlowKey) {
+    let Ok(ip) = ipv6::Ipv6Packet::new_checked(l3) else {
+        return;
+    };
+    key.set_nw_src_v6(ip.src());
+    key.set_nw_dst_v6(ip.dst());
+    key.set_nw_proto(ip.next_header());
+    key.set_nw_tos(ip.traffic_class());
+    key.set_nw_ttl(ip.hop_limit());
+    pkt.l4_ofs = (l3_start + ipv6::HEADER_LEN) as u16;
+    extract_l4(ip.next_header(), ip.payload(), key);
+}
+
+fn extract_arp(l3: &[u8], key: &mut FlowKey) {
+    let Ok(a) = arp::ArpPacket::new_checked(l3) else {
+        return;
+    };
+    key.set_nw_proto(a.oper() as u8);
+    key.set_nw_src_v4(a.sender_ip());
+    key.set_nw_dst_v4(a.target_ip());
+}
+
+fn extract_l4(proto: u8, l4: &[u8], key: &mut FlowKey) {
+    match proto {
+        ipv4::protocol::TCP => {
+            if let Ok(t) = tcp::TcpSegment::new_checked(l4) {
+                key.set_tp_src(t.src_port());
+                key.set_tp_dst(t.dst_port());
+            }
+        }
+        ipv4::protocol::UDP => {
+            if let Ok(u) = udp::UdpDatagram::new_checked(l4) {
+                key.set_tp_src(u.src_port());
+                key.set_tp_dst(u.dst_port());
+            }
+        }
+        ipv4::protocol::ICMP => {
+            if let Ok(i) = icmp::IcmpPacket::new_checked(l4) {
+                key.set_tp_src(u16::from(i.msg_type()));
+                key.set_tp_dst(u16::from(i.code()));
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+
+    #[test]
+    fn field_accessors_roundtrip() {
+        let mut k = FlowKey::default();
+        k.set_in_port(42);
+        k.set_recirc_id(7);
+        k.set_dl_src(MacAddr::new(1, 2, 3, 4, 5, 6));
+        k.set_dl_dst(MacAddr::new(9, 8, 7, 6, 5, 4));
+        k.set_eth_type(EtherType::Ipv4);
+        k.set_vlan_tci(0x3064);
+        k.set_nw_src_v4([10, 0, 0, 1]);
+        k.set_nw_dst_v4([10, 0, 0, 2]);
+        k.set_nw_proto(6);
+        k.set_nw_tos(0x2e);
+        k.set_nw_ttl(63);
+        k.set_tp_src(4444);
+        k.set_tp_dst(80);
+        k.set_tun_id(5001);
+        k.set_tun_src([192, 168, 0, 1]);
+        k.set_tun_dst([192, 168, 0, 2]);
+        k.set_ct_state(0x05);
+        k.set_ct_zone(12);
+        k.set_ct_mark(0xdeadbeef);
+        k.set_metadata(99);
+
+        assert_eq!(k.in_port(), 42);
+        assert_eq!(k.recirc_id(), 7);
+        assert_eq!(k.dl_src(), MacAddr::new(1, 2, 3, 4, 5, 6));
+        assert_eq!(k.dl_dst(), MacAddr::new(9, 8, 7, 6, 5, 4));
+        assert_eq!(k.eth_type(), EtherType::Ipv4);
+        assert_eq!(k.vlan_tci(), 0x3064);
+        assert_eq!(k.nw_src_v4(), [10, 0, 0, 1]);
+        assert_eq!(k.nw_dst_v4(), [10, 0, 0, 2]);
+        assert_eq!(k.nw_proto(), 6);
+        assert_eq!(k.nw_tos(), 0x2e);
+        assert_eq!(k.nw_ttl(), 63);
+        assert_eq!(k.tp_src(), 4444);
+        assert_eq!(k.tp_dst(), 80);
+        assert_eq!(k.tun_id(), 5001);
+        assert_eq!(k.ct_state(), 0x05);
+        assert_eq!(k.ct_zone(), 12);
+        assert_eq!(k.ct_mark(), 0xdeadbeef);
+        assert_eq!(k.metadata(), 99);
+    }
+
+    #[test]
+    fn ipv6_addresses_roundtrip() {
+        let mut k = FlowKey::default();
+        let src: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let dst: [u8; 16] = core::array::from_fn(|i| 0xf0 | i as u8);
+        k.set_nw_src_v6(src);
+        k.set_nw_dst_v6(dst);
+        assert_eq!(k.nw_src_v6(), src);
+        assert_eq!(k.nw_dst_v6(), dst);
+    }
+
+    #[test]
+    fn mask_matching() {
+        let mut rule = FlowKey::default();
+        rule.set_nw_dst_v4([10, 1, 0, 0]);
+        let mut mask = FlowMask::EMPTY;
+        mask.set_nw_dst_v4_prefix(16);
+
+        let mut pkt_key = FlowKey::default();
+        pkt_key.set_nw_dst_v4([10, 1, 42, 42]);
+        pkt_key.set_nw_src_v4([1, 2, 3, 4]); // irrelevant under mask
+        assert!(pkt_key.matches(&rule, &mask));
+
+        pkt_key.set_nw_dst_v4([10, 2, 0, 0]);
+        assert!(!pkt_key.matches(&rule, &mask));
+    }
+
+    #[test]
+    fn masked_hash_consistency() {
+        let mut mask = FlowMask::EMPTY;
+        mask.set_field(&fields::NW_DST);
+        let mut a = FlowKey::default();
+        a.set_nw_dst_v4([9, 9, 9, 9]);
+        a.set_tp_src(1); // wildcarded, must not affect the hash
+        let mut b = FlowKey::default();
+        b.set_nw_dst_v4([9, 9, 9, 9]);
+        b.set_tp_src(2);
+        assert_eq!(a.hash_masked(&mask), b.hash_masked(&mask));
+        assert_eq!(a.masked(&mask), b.masked(&mask));
+    }
+
+    #[test]
+    fn mask_subset_and_unite() {
+        let narrow = FlowMask::of_fields(&[&fields::NW_DST]);
+        let mut wide = FlowMask::of_fields(&[&fields::NW_DST, &fields::TP_DST]);
+        assert!(narrow.subset_of(&wide));
+        assert!(!wide.subset_of(&narrow));
+        let mut m = narrow;
+        m.unite(&FlowMask::of_fields(&[&fields::TP_DST]));
+        assert_eq!(m, wide);
+        wide.unite(&narrow);
+        assert_eq!(m, wide);
+    }
+
+    #[test]
+    fn extract_udp_packet() {
+        let frame = builder::udp_ipv4(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            5000,
+            6000,
+            &[0xab; 10],
+        );
+        let mut pkt = DpPacket::from_data(&frame);
+        pkt.in_port = 3;
+        let key = extract_flow_key(&mut pkt);
+        assert_eq!(key.in_port(), 3);
+        assert_eq!(key.eth_type(), EtherType::Ipv4);
+        assert_eq!(key.nw_src_v4(), [10, 0, 0, 1]);
+        assert_eq!(key.nw_dst_v4(), [10, 0, 0, 2]);
+        assert_eq!(key.nw_proto(), ipv4::protocol::UDP);
+        assert_eq!(key.tp_src(), 5000);
+        assert_eq!(key.tp_dst(), 6000);
+        assert_eq!(pkt.l3_ofs, 14);
+        assert_eq!(pkt.l4_ofs, 34);
+    }
+
+    #[test]
+    fn extract_garbage_does_not_panic() {
+        let mut pkt = DpPacket::from_data(&[0xff; 7]);
+        let key = extract_flow_key(&mut pkt);
+        assert_eq!(key.eth_type_raw(), 0);
+    }
+
+    #[test]
+    fn extract_later_fragment_has_no_ports() {
+        let mut frame = builder::udp_ipv4(
+            MacAddr::ZERO,
+            MacAddr::ZERO,
+            [1, 1, 1, 1],
+            [2, 2, 2, 2],
+            7,
+            8,
+            &[0; 8],
+        );
+        {
+            let mut ip = ipv4::Ipv4Packet::new_unchecked(&mut frame[14..]);
+            ip.set_frag(false, false, 100);
+            ip.fill_checksum();
+        }
+        let mut pkt = DpPacket::from_data(&frame);
+        let key = extract_flow_key(&mut pkt);
+        assert_eq!(key.nw_frag(), nw_frag::ANY | nw_frag::LATER);
+        assert_eq!(key.tp_src(), 0);
+        assert_eq!(key.tp_dst(), 0);
+    }
+
+    #[test]
+    fn rss_hash_depends_on_5tuple_only() {
+        let mut a = FlowKey::default();
+        a.set_nw_src_v4([1, 2, 3, 4]);
+        a.set_tp_src(100);
+        let mut b = a;
+        b.set_dl_src(MacAddr::new(5, 5, 5, 5, 5, 5)); // not in the 5-tuple
+        assert_eq!(a.rss_hash(), b.rss_hash());
+        b.set_tp_src(101);
+        assert_ne!(a.rss_hash(), b.rss_hash());
+    }
+
+    #[test]
+    fn all_fields_distinct_names() {
+        let mut names: Vec<_> = fields::ALL.iter().map(|f| f.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), fields::ALL.len());
+    }
+}

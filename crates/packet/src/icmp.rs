@@ -1,0 +1,152 @@
+//! ICMPv4 messages (echo request/reply, as used by `ping`).
+
+use crate::checksum;
+use crate::{ParseError, Result};
+
+/// ICMP message types understood by the tools layer.
+pub mod msg_type {
+    pub const ECHO_REPLY: u8 = 0;
+    pub const DEST_UNREACHABLE: u8 = 3;
+    pub const ECHO_REQUEST: u8 = 8;
+    pub const TIME_EXCEEDED: u8 = 11;
+}
+
+mod field {
+    pub const TYPE: usize = 0;
+    pub const CODE: usize = 1;
+    pub const CHECKSUM: core::ops::Range<usize> = 2..4;
+    pub const IDENT: core::ops::Range<usize> = 4..6;
+    pub const SEQ: core::ops::Range<usize> = 6..8;
+}
+
+/// ICMP echo header length.
+pub const HEADER_LEN: usize = 8;
+
+/// A typed view over an ICMPv4 message (echo layout).
+#[derive(Debug, Clone)]
+pub struct IcmpPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> IcmpPacket<T> {
+    /// Wrap a buffer, validating the minimum length.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        Ok(Self { buffer })
+    }
+
+    /// Wrap without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Self { buffer }
+    }
+
+    /// Message type.
+    pub fn msg_type(&self) -> u8 {
+        self.buffer.as_ref()[field::TYPE]
+    }
+
+    /// Message code.
+    pub fn code(&self) -> u8 {
+        self.buffer.as_ref()[field::CODE]
+    }
+
+    /// Checksum field.
+    pub fn checksum(&self) -> u16 {
+        let b = &self.buffer.as_ref()[field::CHECKSUM];
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Echo identifier.
+    pub fn ident(&self) -> u16 {
+        let b = &self.buffer.as_ref()[field::IDENT];
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Echo sequence number.
+    pub fn seq(&self) -> u16 {
+        let b = &self.buffer.as_ref()[field::SEQ];
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Echo payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+
+    /// Verify the checksum over the whole message.
+    pub fn verify_checksum(&self) -> bool {
+        checksum::verify(self.buffer.as_ref())
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> IcmpPacket<T> {
+    /// Set the message type.
+    pub fn set_msg_type(&mut self, t: u8) {
+        self.buffer.as_mut()[field::TYPE] = t;
+    }
+
+    /// Set the message code.
+    pub fn set_code(&mut self, c: u8) {
+        self.buffer.as_mut()[field::CODE] = c;
+    }
+
+    /// Set the echo identifier.
+    pub fn set_ident(&mut self, i: u16) {
+        self.buffer.as_mut()[field::IDENT].copy_from_slice(&i.to_be_bytes());
+    }
+
+    /// Set the echo sequence number.
+    pub fn set_seq(&mut self, s: u16) {
+        self.buffer.as_mut()[field::SEQ].copy_from_slice(&s.to_be_bytes());
+    }
+
+    /// Compute and fill the checksum.
+    pub fn fill_checksum(&mut self) {
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&[0, 0]);
+        let csum = checksum::checksum(self.buffer.as_ref());
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&csum.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn echo_roundtrip() {
+        let mut buf = [0u8; HEADER_LEN + 8];
+        let mut p = IcmpPacket::new_unchecked(&mut buf[..]);
+        p.set_msg_type(msg_type::ECHO_REQUEST);
+        p.set_code(0);
+        p.set_ident(0x1234);
+        p.set_seq(7);
+        p.fill_checksum();
+        let p = IcmpPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.msg_type(), msg_type::ECHO_REQUEST);
+        assert_eq!(p.ident(), 0x1234);
+        assert_eq!(p.seq(), 7);
+        assert!(p.verify_checksum());
+    }
+
+    #[test]
+    fn corrupt_detected() {
+        let mut buf = [0u8; HEADER_LEN];
+        {
+            let mut p = IcmpPacket::new_unchecked(&mut buf[..]);
+            p.set_msg_type(msg_type::ECHO_REPLY);
+            p.fill_checksum();
+        }
+        buf[7] ^= 0xff;
+        assert!(!IcmpPacket::new_checked(&buf[..]).unwrap().verify_checksum());
+    }
+
+    #[test]
+    fn truncated() {
+        assert_eq!(
+            IcmpPacket::new_checked(&[0u8; 7][..]).unwrap_err(),
+            ParseError::Truncated
+        );
+    }
+}

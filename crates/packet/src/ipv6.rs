@@ -1,0 +1,192 @@
+//! IPv6 packets (fixed header; extension headers are not interpreted,
+//! matching what the OVS flow extractor needs).
+
+use crate::{ParseError, Result};
+
+mod field {
+    pub const VER_TC_FL: core::ops::Range<usize> = 0..4;
+    pub const PAYLOAD_LEN: core::ops::Range<usize> = 4..6;
+    pub const NEXT_HEADER: usize = 6;
+    pub const HOP_LIMIT: usize = 7;
+    pub const SRC: core::ops::Range<usize> = 8..24;
+    pub const DST: core::ops::Range<usize> = 24..40;
+}
+
+/// Fixed IPv6 header length.
+pub const HEADER_LEN: usize = 40;
+
+/// A typed view over an IPv6 packet.
+#[derive(Debug, Clone)]
+pub struct Ipv6Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Ipv6Packet<T> {
+    /// Wrap a buffer, validating version and lengths.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let p = Self { buffer };
+        if p.version() != 6 {
+            return Err(ParseError::Unsupported);
+        }
+        if HEADER_LEN + p.payload_len() as usize > len {
+            return Err(ParseError::BadLength);
+        }
+        Ok(p)
+    }
+
+    /// Wrap without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Self { buffer }
+    }
+
+    /// IP version (must be 6).
+    pub fn version(&self) -> u8 {
+        self.buffer.as_ref()[0] >> 4
+    }
+
+    /// Traffic class.
+    pub fn traffic_class(&self) -> u8 {
+        let b = &self.buffer.as_ref()[field::VER_TC_FL];
+        (b[0] << 4) | (b[1] >> 4)
+    }
+
+    /// Flow label (20 bits).
+    pub fn flow_label(&self) -> u32 {
+        let b = &self.buffer.as_ref()[field::VER_TC_FL];
+        u32::from_be_bytes([0, b[1] & 0x0f, b[2], b[3]])
+    }
+
+    /// Payload length field.
+    pub fn payload_len(&self) -> u16 {
+        let b = &self.buffer.as_ref()[field::PAYLOAD_LEN];
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Next-header protocol number.
+    pub fn next_header(&self) -> u8 {
+        self.buffer.as_ref()[field::NEXT_HEADER]
+    }
+
+    /// Hop limit.
+    pub fn hop_limit(&self) -> u8 {
+        self.buffer.as_ref()[field::HOP_LIMIT]
+    }
+
+    /// Source address.
+    pub fn src(&self) -> [u8; 16] {
+        self.buffer.as_ref()[field::SRC].try_into().unwrap()
+    }
+
+    /// Destination address.
+    pub fn dst(&self) -> [u8; 16] {
+        self.buffer.as_ref()[field::DST].try_into().unwrap()
+    }
+
+    /// Payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        let end = HEADER_LEN + self.payload_len() as usize;
+        &self.buffer.as_ref()[HEADER_LEN..end]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv6Packet<T> {
+    /// Set version=6, traffic class, and flow label.
+    pub fn set_ver_tc_fl(&mut self, tc: u8, fl: u32) {
+        let b = self.buffer.as_mut();
+        b[0] = 0x60 | (tc >> 4);
+        b[1] = ((tc & 0x0f) << 4) | ((fl >> 16) as u8 & 0x0f);
+        b[2] = (fl >> 8) as u8;
+        b[3] = fl as u8;
+    }
+
+    /// Set the payload length.
+    pub fn set_payload_len(&mut self, len: u16) {
+        self.buffer.as_mut()[field::PAYLOAD_LEN].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Set the next-header protocol.
+    pub fn set_next_header(&mut self, nh: u8) {
+        self.buffer.as_mut()[field::NEXT_HEADER] = nh;
+    }
+
+    /// Set the hop limit.
+    pub fn set_hop_limit(&mut self, hl: u8) {
+        self.buffer.as_mut()[field::HOP_LIMIT] = hl;
+    }
+
+    /// Set the source address.
+    pub fn set_src(&mut self, a: [u8; 16]) {
+        self.buffer.as_mut()[field::SRC].copy_from_slice(&a);
+    }
+
+    /// Set the destination address.
+    pub fn set_dst(&mut self, a: [u8; 16]) {
+        self.buffer.as_mut()[field::DST].copy_from_slice(&a);
+    }
+
+    /// Mutable payload bytes.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let end = HEADER_LEN + self.payload_len() as usize;
+        &mut self.buffer.as_mut()[HEADER_LEN..end]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = [0u8; HEADER_LEN + 6];
+        let mut p = Ipv6Packet::new_unchecked(&mut buf[..]);
+        p.set_ver_tc_fl(0x2c, 0xabcde);
+        p.set_payload_len(6);
+        p.set_next_header(17);
+        p.set_hop_limit(64);
+        p.set_src([1; 16]);
+        p.set_dst([2; 16]);
+        let p = Ipv6Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.version(), 6);
+        assert_eq!(p.traffic_class(), 0x2c);
+        assert_eq!(p.flow_label(), 0xabcde);
+        assert_eq!(p.payload_len(), 6);
+        assert_eq!(p.next_header(), 17);
+        assert_eq!(p.hop_limit(), 64);
+        assert_eq!(p.src(), [1; 16]);
+        assert_eq!(p.dst(), [2; 16]);
+        assert_eq!(p.payload().len(), 6);
+    }
+
+    #[test]
+    fn rejects_v4() {
+        let mut buf = [0u8; HEADER_LEN];
+        buf[0] = 0x45;
+        assert_eq!(
+            Ipv6Packet::new_checked(&buf[..]).unwrap_err(),
+            ParseError::Unsupported
+        );
+    }
+
+    #[test]
+    fn rejects_overlong_payload() {
+        let mut buf = [0u8; HEADER_LEN];
+        buf[0] = 0x60;
+        buf[4..6].copy_from_slice(&10u16.to_be_bytes());
+        assert_eq!(
+            Ipv6Packet::new_checked(&buf[..]).unwrap_err(),
+            ParseError::BadLength
+        );
+    }
+
+    #[test]
+    fn truncated() {
+        assert_eq!(
+            Ipv6Packet::new_checked(&[0u8; 39][..]).unwrap_err(),
+            ParseError::Truncated
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Ethernet MAC addresses.
+
+use std::fmt;
+
+/// A 48-bit IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    /// The all-zero address.
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Construct from the six octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8, e: u8, f: u8) -> Self {
+        MacAddr([a, b, c, d, e, f])
+    }
+
+    /// Parse from a slice of at least 6 bytes.
+    pub fn from_slice(s: &[u8]) -> Option<Self> {
+        let bytes: [u8; 6] = s.get(..6)?.try_into().ok()?;
+        Some(MacAddr(bytes))
+    }
+
+    /// The raw octets.
+    pub fn as_bytes(&self) -> &[u8; 6] {
+        &self.0
+    }
+
+    /// True for group (multicast/broadcast) addresses: I/G bit set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// True for the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// True for a unicast (non-group) address.
+    pub fn is_unicast(&self) -> bool {
+        !self.is_multicast()
+    }
+
+    /// True for locally administered addresses: U/L bit set.
+    pub fn is_local(&self) -> bool {
+        self.0[0] & 0x02 != 0
+    }
+
+    /// The address as a u64 (high 16 bits zero), useful for table keys.
+    pub fn to_u64(&self) -> u64 {
+        let mut v = [0u8; 8];
+        v[2..8].copy_from_slice(&self.0);
+        u64::from_be_bytes(v)
+    }
+
+    /// Inverse of [`MacAddr::to_u64`]; the top 16 bits are ignored.
+    pub fn from_u64(v: u64) -> Self {
+        let b = v.to_be_bytes();
+        MacAddr([b[2], b[3], b[4], b[5], b[6], b[7]])
+    }
+}
+
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            self.0[0], self.0[1], self.0[2], self.0[3], self.0[4], self.0[5]
+        )
+    }
+}
+
+impl From<[u8; 6]> for MacAddr {
+    fn from(b: [u8; 6]) -> Self {
+        MacAddr(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format() {
+        let m = MacAddr::new(0xde, 0xad, 0xbe, 0xef, 0x00, 0x01);
+        assert_eq!(m.to_string(), "de:ad:be:ef:00:01");
+    }
+
+    #[test]
+    fn broadcast_and_multicast() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(MacAddr::new(0x01, 0, 0x5e, 0, 0, 1).is_multicast());
+        assert!(MacAddr::new(0x02, 0, 0, 0, 0, 1).is_unicast());
+        assert!(MacAddr::new(0x02, 0, 0, 0, 0, 1).is_local());
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let m = MacAddr::new(1, 2, 3, 4, 5, 6);
+        assert_eq!(MacAddr::from_u64(m.to_u64()), m);
+        assert_eq!(m.to_u64(), 0x0102_0304_0506);
+    }
+
+    #[test]
+    fn from_slice_checks_len() {
+        assert!(MacAddr::from_slice(&[1, 2, 3]).is_none());
+        assert_eq!(
+            MacAddr::from_slice(&[1, 2, 3, 4, 5, 6, 7]),
+            Some(MacAddr::new(1, 2, 3, 4, 5, 6))
+        );
+    }
+}

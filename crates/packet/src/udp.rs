@@ -1,0 +1,175 @@
+//! UDP datagrams.
+
+use crate::checksum;
+use crate::{ParseError, Result};
+
+mod field {
+    pub const SRC_PORT: core::ops::Range<usize> = 0..2;
+    pub const DST_PORT: core::ops::Range<usize> = 2..4;
+    pub const LENGTH: core::ops::Range<usize> = 4..6;
+    pub const CHECKSUM: core::ops::Range<usize> = 6..8;
+}
+
+/// UDP header length.
+pub const HEADER_LEN: usize = 8;
+
+/// A typed view over a UDP datagram.
+#[derive(Debug, Clone)]
+pub struct UdpDatagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpDatagram<T> {
+    /// Wrap a buffer, validating lengths.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        let len = buffer.as_ref().len();
+        if len < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let d = Self { buffer };
+        let l = d.length() as usize;
+        if l < HEADER_LEN || l > len {
+            return Err(ParseError::BadLength);
+        }
+        Ok(d)
+    }
+
+    /// Wrap without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Self { buffer }
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let b = &self.buffer.as_ref()[field::SRC_PORT];
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let b = &self.buffer.as_ref()[field::DST_PORT];
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Length field (header + payload).
+    pub fn length(&self) -> u16 {
+        let b = &self.buffer.as_ref()[field::LENGTH];
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Checksum field (0 = not computed, legal for IPv4).
+    pub fn checksum(&self) -> u16 {
+        let b = &self.buffer.as_ref()[field::CHECKSUM];
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// Payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..self.length() as usize]
+    }
+
+    /// Verify the checksum against an IPv4 pseudo-header. A zero checksum
+    /// passes (checksum not computed).
+    pub fn verify_checksum_ipv4(&self, src: [u8; 4], dst: [u8; 4]) -> bool {
+        if self.checksum() == 0 {
+            return true;
+        }
+        let data = &self.buffer.as_ref()[..self.length() as usize];
+        let pseudo = checksum::pseudo_header_ipv4(src, dst, crate::ipv4::protocol::UDP, self.length());
+        checksum::combine(&[pseudo, checksum::ones_complement_sum(data)]) == 0xffff
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> UdpDatagram<T> {
+    /// Set the source port.
+    pub fn set_src_port(&mut self, p: u16) {
+        self.buffer.as_mut()[field::SRC_PORT].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Set the destination port.
+    pub fn set_dst_port(&mut self, p: u16) {
+        self.buffer.as_mut()[field::DST_PORT].copy_from_slice(&p.to_be_bytes());
+    }
+
+    /// Set the length field.
+    pub fn set_length(&mut self, l: u16) {
+        self.buffer.as_mut()[field::LENGTH].copy_from_slice(&l.to_be_bytes());
+    }
+
+    /// Write the checksum field.
+    pub fn set_checksum(&mut self, c: u16) {
+        self.buffer.as_mut()[field::CHECKSUM].copy_from_slice(&c.to_be_bytes());
+    }
+
+    /// Compute and fill the checksum over an IPv4 pseudo-header.
+    /// A computed value of 0 is transmitted as 0xffff, per RFC 768.
+    pub fn fill_checksum_ipv4(&mut self, src: [u8; 4], dst: [u8; 4]) {
+        self.set_checksum(0);
+        let len = self.length();
+        let data = &self.buffer.as_ref()[..len as usize];
+        let pseudo = checksum::pseudo_header_ipv4(src, dst, crate::ipv4::protocol::UDP, len);
+        let csum = !checksum::combine(&[pseudo, checksum::ones_complement_sum(data)]);
+        self.set_checksum(if csum == 0 { 0xffff } else { csum });
+    }
+
+    /// Mutable payload bytes.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let len = self.length() as usize;
+        &mut self.buffer.as_mut()[HEADER_LEN..len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut buf = vec![0u8; HEADER_LEN + 4];
+        let mut d = UdpDatagram::new_unchecked(&mut buf[..]);
+        d.set_src_port(1234);
+        d.set_dst_port(4789);
+        d.set_length(12);
+        d.payload_mut().copy_from_slice(b"abcd");
+        d.fill_checksum_ipv4([10, 0, 0, 1], [10, 0, 0, 2]);
+        buf
+    }
+
+    #[test]
+    fn roundtrip_and_checksum() {
+        let buf = sample();
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(d.src_port(), 1234);
+        assert_eq!(d.dst_port(), 4789);
+        assert_eq!(d.length(), 12);
+        assert_eq!(d.payload(), b"abcd");
+        assert!(d.verify_checksum_ipv4([10, 0, 0, 1], [10, 0, 0, 2]));
+        // Wrong pseudo-header fails.
+        assert!(!d.verify_checksum_ipv4([10, 0, 0, 1], [10, 0, 0, 3]));
+    }
+
+    #[test]
+    fn zero_checksum_passes() {
+        let mut buf = sample();
+        buf[6..8].copy_from_slice(&[0, 0]);
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(d.verify_checksum_ipv4([1, 1, 1, 1], [2, 2, 2, 2]));
+    }
+
+    #[test]
+    fn rejects_bad_length_field() {
+        let mut buf = sample();
+        buf[4..6].copy_from_slice(&100u16.to_be_bytes());
+        assert_eq!(
+            UdpDatagram::new_checked(&buf[..]).unwrap_err(),
+            ParseError::BadLength
+        );
+    }
+
+    #[test]
+    fn truncated() {
+        assert_eq!(
+            UdpDatagram::new_checked(&[0u8; 7][..]).unwrap_err(),
+            ParseError::Truncated
+        );
+    }
+}

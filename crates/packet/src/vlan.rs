@@ -1,0 +1,116 @@
+//! 802.1Q VLAN tags.
+
+use crate::{EtherType, ParseError, Result};
+
+/// Length of the 802.1Q tag that follows the Ethernet source address:
+/// 2 bytes TCI + 2 bytes inner EtherType.
+pub const TAG_LEN: usize = 4;
+
+/// A typed view over the 4 bytes following a `0x8100` EtherType:
+/// tag control information plus the encapsulated EtherType.
+#[derive(Debug, Clone)]
+pub struct VlanTag<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> VlanTag<T> {
+    /// Wrap a buffer, validating the minimum length.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        if buffer.as_ref().len() < TAG_LEN {
+            return Err(ParseError::Truncated);
+        }
+        Ok(Self { buffer })
+    }
+
+    /// Tag control information: PCP(3) | DEI(1) | VID(12).
+    pub fn tci(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    /// VLAN identifier (12 bits).
+    pub fn vid(&self) -> u16 {
+        self.tci() & 0x0fff
+    }
+
+    /// Priority code point (3 bits).
+    pub fn pcp(&self) -> u8 {
+        (self.tci() >> 13) as u8
+    }
+
+    /// Drop-eligible indicator.
+    pub fn dei(&self) -> bool {
+        self.tci() & 0x1000 != 0
+    }
+
+    /// EtherType of the encapsulated payload.
+    pub fn inner_ethertype(&self) -> EtherType {
+        let b = self.buffer.as_ref();
+        EtherType::from_u16(u16::from_be_bytes([b[2], b[3]]))
+    }
+
+    /// Payload after the tag.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[TAG_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> VlanTag<T> {
+    /// Set the tag control information.
+    pub fn set_tci(&mut self, tci: u16) {
+        self.buffer.as_mut()[0..2].copy_from_slice(&tci.to_be_bytes());
+    }
+
+    /// Set VID, preserving PCP/DEI.
+    pub fn set_vid(&mut self, vid: u16) {
+        let tci = (self.tci() & !0x0fff) | (vid & 0x0fff);
+        self.set_tci(tci);
+    }
+
+    /// Set PCP, preserving VID/DEI.
+    pub fn set_pcp(&mut self, pcp: u8) {
+        let tci = (self.tci() & !0xe000) | (u16::from(pcp & 0x7) << 13);
+        self.set_tci(tci);
+    }
+
+    /// Set the encapsulated EtherType.
+    pub fn set_inner_ethertype(&mut self, ty: EtherType) {
+        self.buffer.as_mut()[2..4].copy_from_slice(&ty.to_u16().to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = [0u8; TAG_LEN];
+        let mut tag = VlanTag::new_checked(&mut buf[..]).unwrap();
+        tag.set_vid(100);
+        tag.set_pcp(5);
+        tag.set_inner_ethertype(EtherType::Ipv4);
+        let tag = VlanTag::new_checked(&buf[..]).unwrap();
+        assert_eq!(tag.vid(), 100);
+        assert_eq!(tag.pcp(), 5);
+        assert!(!tag.dei());
+        assert_eq!(tag.inner_ethertype(), EtherType::Ipv4);
+    }
+
+    #[test]
+    fn vid_masked_to_12_bits() {
+        let mut buf = [0u8; TAG_LEN];
+        let mut tag = VlanTag::new_checked(&mut buf[..]).unwrap();
+        tag.set_vid(0xffff);
+        assert_eq!(tag.vid(), 0x0fff);
+        assert_eq!(tag.pcp(), 0);
+    }
+
+    #[test]
+    fn truncated() {
+        assert_eq!(
+            VlanTag::new_checked(&[0u8; 3][..]).unwrap_err(),
+            ParseError::Truncated
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! VXLAN encapsulation headers (RFC 7348).
+
+use crate::{ParseError, Result};
+
+/// The IANA UDP destination port for VXLAN.
+pub const UDP_PORT: u16 = 4789;
+
+/// VXLAN header length.
+pub const HEADER_LEN: usize = 8;
+
+/// A typed view over a VXLAN header plus inner Ethernet payload.
+#[derive(Debug, Clone)]
+pub struct VxlanPacket<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> VxlanPacket<T> {
+    /// Wrap a buffer, validating length and the I flag.
+    pub fn new_checked(buffer: T) -> Result<Self> {
+        if buffer.as_ref().len() < HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let p = Self { buffer };
+        if !p.vni_valid() {
+            return Err(ParseError::Unsupported);
+        }
+        Ok(p)
+    }
+
+    /// Wrap without validation.
+    pub fn new_unchecked(buffer: T) -> Self {
+        Self { buffer }
+    }
+
+    /// The "I" flag: VNI field is valid. Must be set on data packets.
+    pub fn vni_valid(&self) -> bool {
+        self.buffer.as_ref()[0] & 0x08 != 0
+    }
+
+    /// Virtual network identifier (24 bits).
+    pub fn vni(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([0, b[4], b[5], b[6]])
+    }
+
+    /// Inner Ethernet frame.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[HEADER_LEN..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> VxlanPacket<T> {
+    /// Initialize flags (I bit set, all reserved fields zero) and VNI.
+    pub fn init(&mut self, vni: u32) {
+        debug_assert!(vni <= 0x00ff_ffff);
+        let b = self.buffer.as_mut();
+        b[..HEADER_LEN].fill(0);
+        b[0] = 0x08;
+        let v = vni.to_be_bytes();
+        b[4..7].copy_from_slice(&v[1..4]);
+    }
+
+    /// Mutable inner payload.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[HEADER_LEN..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = [0u8; HEADER_LEN + 3];
+        let mut p = VxlanPacket::new_unchecked(&mut buf[..]);
+        p.init(42);
+        p.payload_mut().copy_from_slice(&[9, 9, 9]);
+        let p = VxlanPacket::new_checked(&buf[..]).unwrap();
+        assert!(p.vni_valid());
+        assert_eq!(p.vni(), 42);
+        assert_eq!(p.payload(), &[9, 9, 9]);
+    }
+
+    #[test]
+    fn missing_i_flag_rejected() {
+        let buf = [0u8; HEADER_LEN];
+        assert_eq!(
+            VxlanPacket::new_checked(&buf[..]).unwrap_err(),
+            ParseError::Unsupported
+        );
+    }
+
+    #[test]
+    fn truncated() {
+        assert_eq!(
+            VxlanPacket::new_checked(&[0u8; 4][..]).unwrap_err(),
+            ParseError::Truncated
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests: parsers must be total (no panics) on arbitrary
+//! bytes, builders must produce parseable output, and flow mask algebra
+//! must obey its invariants.
+
+use ovs_packet::builder;
+use ovs_packet::flow::{extract_flow_key, FlowKey, FlowMask, WORDS};
+use ovs_packet::{arp, geneve, gre, icmp, ipv4, ipv6, tcp, udp, vlan};
+use ovs_packet::{DpPacket, EthernetFrame, MacAddr};
+use proptest::prelude::*;
+
+proptest! {
+    /// No parser panics on arbitrary input; they return Ok or Err.
+    #[test]
+    fn parsers_are_total(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = EthernetFrame::new_checked(&data[..]);
+        let _ = vlan::VlanTag::new_checked(&data[..]);
+        let _ = arp::ArpPacket::new_checked(&data[..]);
+        let _ = ipv4::Ipv4Packet::new_checked(&data[..]);
+        let _ = ipv6::Ipv6Packet::new_checked(&data[..]);
+        let _ = tcp::TcpSegment::new_checked(&data[..]);
+        let _ = udp::UdpDatagram::new_checked(&data[..]);
+        let _ = icmp::IcmpPacket::new_checked(&data[..]);
+        let _ = geneve::GenevePacket::new_checked(&data[..]);
+        let _ = gre::GrePacket::new_checked(&data[..]);
+    }
+
+    /// Flow extraction is total on arbitrary bytes.
+    #[test]
+    fn extraction_is_total(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut pkt = DpPacket::from_data(&data);
+        let _ = extract_flow_key(&mut pkt);
+    }
+
+    /// Built UDP frames always parse back with the same addressing, and
+    /// checksums verify.
+    #[test]
+    fn udp_builder_roundtrip(
+        sip in any::<[u8; 4]>(),
+        dip in any::<[u8; 4]>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let f = builder::udp_ipv4(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            sip, dip, sport, dport, &payload,
+        );
+        let eth = EthernetFrame::new_checked(&f[..]).unwrap();
+        let ip = ipv4::Ipv4Packet::new_checked(eth.payload()).unwrap();
+        prop_assert!(ip.verify_checksum());
+        prop_assert_eq!(ip.src(), sip);
+        prop_assert_eq!(ip.dst(), dip);
+        let u = udp::UdpDatagram::new_checked(ip.payload()).unwrap();
+        prop_assert!(u.verify_checksum_ipv4(sip, dip));
+        prop_assert_eq!(u.src_port(), sport);
+        prop_assert_eq!(u.dst_port(), dport);
+        prop_assert_eq!(u.payload(), &payload[..]);
+    }
+
+    /// Extraction agrees with the builder inputs.
+    #[test]
+    fn extraction_matches_builder(
+        sip in any::<[u8; 4]>(),
+        dip in any::<[u8; 4]>(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+    ) {
+        let f = builder::udp_ipv4(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            sip, dip, sport, dport, b"abc",
+        );
+        let mut pkt = DpPacket::from_data(&f);
+        let key = extract_flow_key(&mut pkt);
+        prop_assert_eq!(key.nw_src_v4(), sip);
+        prop_assert_eq!(key.nw_dst_v4(), dip);
+        prop_assert_eq!(key.tp_src(), sport);
+        prop_assert_eq!(key.tp_dst(), dport);
+        prop_assert_eq!(key.nw_proto(), ipv4::protocol::UDP);
+    }
+
+    /// Masking is idempotent and `matches` is equivalent to masked
+    /// equality.
+    #[test]
+    fn mask_algebra(
+        kw in proptest::array::uniform12(any::<u64>()),
+        rw in proptest::array::uniform12(any::<u64>()),
+        mw in proptest::array::uniform12(any::<u64>()),
+    ) {
+        let key = FlowKey::from_words(kw);
+        let rule = FlowKey::from_words(rw);
+        let mask = FlowMask::from_words(mw);
+        prop_assert_eq!(key.masked(&mask).masked(&mask), key.masked(&mask));
+        prop_assert_eq!(
+            key.matches(&rule, &mask),
+            key.masked(&mask) == rule.masked(&mask)
+        );
+        // Hash under mask agrees for masked-equal keys.
+        if key.matches(&rule, &mask) {
+            prop_assert_eq!(key.hash_masked(&mask), rule.hash_masked(&mask));
+        }
+    }
+
+    /// `unite` produces a superset mask; `subset_of` is reflexive and
+    /// consistent with `unite`.
+    #[test]
+    fn mask_unite_subset(
+        aw in proptest::array::uniform12(any::<u64>()),
+        bw in proptest::array::uniform12(any::<u64>()),
+    ) {
+        let a = FlowMask::from_words(aw);
+        let b = FlowMask::from_words(bw);
+        let mut u = a;
+        u.unite(&b);
+        prop_assert!(a.subset_of(&u));
+        prop_assert!(b.subset_of(&u));
+        prop_assert!(a.subset_of(&a));
+        prop_assert!(u.bit_count() >= a.bit_count().max(b.bit_count()));
+    }
+
+    /// Geneve encapsulation preserves the inner frame exactly.
+    #[test]
+    fn geneve_preserves_inner(
+        vni in 0u32..0x00ff_ffff,
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let inner = builder::udp_ipv4(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            [10, 0, 0, 1], [10, 0, 0, 2], 1, 2, &payload,
+        );
+        let outer = builder::geneve_encap(
+            MacAddr::new(4, 0, 0, 0, 0, 1),
+            MacAddr::new(4, 0, 0, 0, 0, 2),
+            [172, 16, 0, 1], [172, 16, 0, 2], 40000, vni, &inner,
+        );
+        let ip = ipv4::Ipv4Packet::new_checked(&outer[14..]).unwrap();
+        let u = udp::UdpDatagram::new_checked(ip.payload()).unwrap();
+        let g = geneve::GenevePacket::new_checked(u.payload()).unwrap();
+        prop_assert_eq!(g.vni(), vni);
+        prop_assert_eq!(g.payload(), &inner[..]);
+    }
+
+    /// DpPacket push/pull front are inverses.
+    #[test]
+    fn dp_packet_push_pull(
+        data in proptest::collection::vec(any::<u8>(), 1..128),
+        hdr in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let mut p = DpPacket::from_data(&data);
+        p.push_front(hdr.len()).copy_from_slice(&hdr);
+        prop_assert_eq!(p.len(), data.len() + hdr.len());
+        prop_assert_eq!(&p.data()[..hdr.len()], &hdr[..]);
+        p.pull_front(hdr.len());
+        prop_assert_eq!(p.data(), &data[..]);
+    }
+
+    /// FlowKey words roundtrip through from_words/words.
+    #[test]
+    fn flow_key_words_roundtrip(w in proptest::array::uniform12(any::<u64>())) {
+        let k = FlowKey::from_words(w);
+        prop_assert_eq!(*k.words(), w);
+        prop_assert_eq!(k.words().len(), WORDS);
+    }
+}

@@ -1,0 +1,62 @@
+//! The simulation context bundle every substrate charges against.
+
+use crate::clock::VirtualClock;
+use crate::costs::CostModel;
+use crate::cpu::{Context, CpuSet};
+
+/// Clock + CPUs + cost model, threaded through the simulated kernel, the
+/// AF_XDP sockets, and the DPDK-style PMD.
+#[derive(Debug, Clone)]
+pub struct SimCtx {
+    /// Virtual wall clock (advanced by experiment harnesses).
+    pub clock: VirtualClock,
+    /// The machine's hyperthreads with per-context accounting.
+    pub cpus: CpuSet,
+    /// The calibrated cost model.
+    pub costs: CostModel,
+}
+
+impl SimCtx {
+    /// A context with `n_cpus` hyperthreads and the paper-testbed costs.
+    pub fn new(n_cpus: usize) -> Self {
+        let costs = CostModel::paper_testbed();
+        Self {
+            clock: VirtualClock::new(),
+            cpus: CpuSet::new(n_cpus, costs.cpu_hz),
+            costs,
+        }
+    }
+
+    /// Charge `ns` to `(core, ctx)`.
+    pub fn charge(&mut self, core: usize, ctx: Context, ns: f64) {
+        self.cpus.charge(core, ctx, ns);
+    }
+
+    /// Reset all CPU accounting (between experiment runs).
+    pub fn reset(&mut self) {
+        self.cpus.reset();
+        self.clock = VirtualClock::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_flows_through() {
+        let mut sim = SimCtx::new(4);
+        sim.charge(1, Context::Softirq, 500.0);
+        assert_eq!(sim.cpus.core(1).ns(Context::Softirq), 500.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut sim = SimCtx::new(2);
+        sim.charge(0, Context::User, 10.0);
+        sim.clock.advance(99);
+        sim.reset();
+        assert_eq!(sim.cpus.core(0).total_ns(), 0.0);
+        assert_eq!(sim.clock.now_ns(), 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # ovs-sim — virtual time and the calibrated cost model
+//!
+//! Every simulated substrate in this workspace (the Linux-kernel model, the
+//! AF_XDP sockets, the DPDK-style PMD) executes its *data structures* for real
+//! — rings are popped, checksums are summed, eBPF bytecode is interpreted —
+//! but the *time* that kernel- and hardware-side work would take on the
+//! paper's testbed is accounted against a [`VirtualClock`] using the constants
+//! in [`costs`]. This makes throughput and latency results deterministic and
+//! machine-independent while keeping the code paths honest.
+//!
+//! The accounting mirrors how Linux attributes CPU time (`/proc/stat`), which
+//! is exactly what Table 4 of the paper reports: `user`, `system` (syscalls),
+//! `softirq` (kernel packet processing), and `guest` (vCPU time).
+//!
+//! ## Example
+//!
+//! ```
+//! use ovs_sim::{CpuSet, Context, costs::CostModel};
+//!
+//! let costs = CostModel::paper_testbed();
+//! let mut cpus = CpuSet::new(16, costs.cpu_hz);
+//! // Charge one sendto() syscall to core 0, as system time.
+//! cpus.charge(0, Context::System, costs.syscall_sendto_ns);
+//! assert_eq!(cpus.core(0).total_ns(), costs.syscall_sendto_ns);
+//! ```
+
+pub mod clock;
+pub mod costs;
+pub mod cpu;
+pub mod ctx;
+pub mod rate;
+pub mod rng;
+pub mod stats;
+
+pub use clock::VirtualClock;
+pub use cpu::{Context, Core, CpuSet, CpuUsage};
+pub use ctx::SimCtx;
+pub use rate::{gbps_to_mpps, line_rate_mpps, mpps_to_gbps, LineRate};
+pub use rng::SimRng;
+pub use stats::Percentiles;

@@ -1,0 +1,150 @@
+//! A small, self-contained deterministic RNG.
+//!
+//! Experiments must be bit-for-bit reproducible across machines and across
+//! `rand` crate upgrades, so the simulation core uses this fixed SplitMix64
+//! generator instead of `rand`'s (whose `StdRng` algorithm is allowed to
+//! change between major versions). Workload crates that only need "some"
+//! randomness may still use `rand`, seeded, but anything that feeds reported
+//! numbers goes through [`SimRng`].
+
+/// Deterministic SplitMix64 generator with Box–Muller normal sampling.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: u64,
+    spare_normal: Option<f64>,
+}
+
+impl SimRng {
+    /// Create a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            state: seed,
+            spare_normal: None,
+        }
+    }
+
+    /// Next raw 64-bit value (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, n)`. `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift rejection-free mapping; bias is negligible for the
+        // small moduli used in workloads (<= millions).
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(hi > lo);
+        lo + self.below(hi - lo)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len() as u64) as usize]
+    }
+
+    /// Standard normal sample (Box–Muller, with the spare cached).
+    pub fn std_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Avoid ln(0).
+        let u1 = loop {
+            let u = self.f64();
+            if u > 1e-12 {
+                break u;
+            }
+        };
+        let u2 = self.f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal(&mut self, mean: f64, sd: f64) -> f64 {
+        mean + sd * self.std_normal()
+    }
+
+    /// Log-normal sample: `exp(N(mu, sigma))`. Used for latency jitter,
+    /// which is right-skewed (long tail at P99).
+    pub fn log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.normal(mu, sigma).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut r = SimRng::new(3);
+        for _ in 0..10_000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = SimRng::new(4);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut r = SimRng::new(5);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut r = SimRng::new(6);
+        for _ in 0..1_000 {
+            assert!(r.log_normal(0.0, 1.0) > 0.0);
+        }
+    }
+}

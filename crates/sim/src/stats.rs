@@ -1,0 +1,98 @@
+//! Percentile and summary statistics for latency experiments.
+//!
+//! Figures 10 and 11 report P50/P90/P99 latency and transactions per second
+//! from `netperf TCP_RR`; [`Percentiles`] reproduces netperf's reporting
+//! from a vector of per-transaction round-trip times.
+
+/// Summary of a latency sample set, in the sample's own unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub count: usize,
+}
+
+impl Percentiles {
+    /// Compute summary statistics from samples. Returns `None` when empty.
+    ///
+    /// Percentiles use the nearest-rank method on the sorted samples, the
+    /// same definition netperf's omni tests use.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let rank = |p: f64| -> f64 {
+            let idx = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+            sorted[idx.clamp(1, sorted.len()) - 1]
+        };
+        Some(Self {
+            p50: rank(50.0),
+            p90: rank(90.0),
+            p99: rank(99.0),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            count: sorted.len(),
+        })
+    }
+
+    /// Transactions per second for round-trip samples given in microseconds:
+    /// the request/response loop is closed-loop, so TPS = 1e6 / mean RTT.
+    pub fn transactions_per_sec_us(&self) -> f64 {
+        if self.mean <= 0.0 {
+            return 0.0;
+        }
+        1e6 / self.mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Percentiles::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let p = Percentiles::from_samples(&[5.0]).unwrap();
+        assert_eq!(p.p50, 5.0);
+        assert_eq!(p.p99, 5.0);
+        assert_eq!(p.mean, 5.0);
+        assert_eq!(p.count, 1);
+    }
+
+    #[test]
+    fn percentiles_of_1_to_100() {
+        let samples: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        let p = Percentiles::from_samples(&samples).unwrap();
+        assert_eq!(p.p50, 50.0);
+        assert_eq!(p.p90, 90.0);
+        assert_eq!(p.p99, 99.0);
+        assert_eq!(p.min, 1.0);
+        assert_eq!(p.max, 100.0);
+    }
+
+    #[test]
+    fn unsorted_input_ok() {
+        let p = Percentiles::from_samples(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(p.p50, 2.0);
+        assert_eq!(p.min, 1.0);
+        assert_eq!(p.max, 3.0);
+    }
+
+    #[test]
+    fn tps_from_mean_rtt() {
+        let p = Percentiles::from_samples(&[100.0, 100.0]).unwrap();
+        // 100 us mean RTT -> 10,000 transactions/s.
+        assert!((p.transactions_per_sec_us() - 10_000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,84 @@
+//! Stateless flood generation (the TRex role).
+
+use ovs_packet::flow::extract_flow_key;
+use ovs_packet::{builder, DpPacket, MacAddr};
+use ovs_sim::SimRng;
+
+/// Source MAC of generated traffic.
+pub const GEN_SRC_MAC: MacAddr = MacAddr([2, 0, 0, 0, 0, 0xAA]);
+/// Destination MAC of generated traffic (the DUT's port MAC).
+pub const GEN_DST_MAC: MacAddr = MacAddr([2, 0, 0, 0, 0, 0xBB]);
+
+/// Build `n_flows` distinct UDP frames of `frame_len` bytes. Flow 0 is
+/// fixed; with `n_flows > 1` each flow gets random source and destination
+/// addresses out of the 10.0.0.0/8 space ("we assigned each packet random
+/// source and destination IPs out of 1,000 possibilities", §5.2).
+pub fn make_flows(n_flows: usize, frame_len: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SimRng::new(seed);
+    (0..n_flows.max(1))
+        .map(|i| {
+            let (src, dst, sport, dport) = if i == 0 {
+                ([10, 0, 0, 1], [10, 0, 0, 2], 1000, 2000)
+            } else {
+                (
+                    [10, rng.below(250) as u8 + 1, rng.below(250) as u8, rng.below(250) as u8 + 1],
+                    [10, rng.below(250) as u8 + 1, rng.below(250) as u8, rng.below(250) as u8 + 1],
+                    1024 + rng.below(50_000) as u16,
+                    1024 + rng.below(50_000) as u16,
+                )
+            };
+            builder::udp_ipv4_frame(GEN_SRC_MAC, GEN_DST_MAC, src, dst, sport, dport, frame_len)
+        })
+        .collect()
+}
+
+/// The NIC's RSS queue selection for a frame: hash of the 5-tuple modulo
+/// the queue count, as receive-side scaling does in hardware.
+pub fn rss_queue(frame: &[u8], queues: usize) -> usize {
+    if queues <= 1 {
+        return 0;
+    }
+    let mut p = DpPacket::from_data(frame);
+    (extract_flow_key(&mut p).rss_hash() as usize) % queues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flows_are_distinct_and_sized() {
+        let flows = make_flows(100, 64, 1);
+        assert_eq!(flows.len(), 100);
+        for f in &flows {
+            assert_eq!(f.len(), 64);
+        }
+        let mut keys: Vec<&Vec<u8>> = flows.iter().collect();
+        keys.sort();
+        keys.dedup();
+        assert!(keys.len() > 95, "flows are (nearly) all distinct");
+    }
+
+    #[test]
+    fn single_flow_is_deterministic() {
+        assert_eq!(make_flows(1, 64, 1), make_flows(1, 64, 999));
+    }
+
+    #[test]
+    fn rss_spreads_many_flows() {
+        let flows = make_flows(1000, 64, 7);
+        let mut per_queue = [0usize; 4];
+        for f in &flows {
+            per_queue[rss_queue(f, 4)] += 1;
+        }
+        for (q, &n) in per_queue.iter().enumerate() {
+            assert!(n > 150, "queue {q} got {n}/1000 — RSS should spread");
+        }
+        // One flow always lands on one queue.
+        let one = make_flows(1, 64, 7);
+        let q = rss_queue(&one[0], 4);
+        for _ in 0..10 {
+            assert_eq!(rss_queue(&one[0], 4), q);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # ovs-tgen — traffic generation and measurement
+//!
+//! The workload and measurement layer of the evaluation (§5):
+//!
+//! * [`flood`] — TRex-style stateless floods: 64 B/1518 B UDP frames, 1 or
+//!   1,000 flows with random addresses (§5.2's worst case for the OVS
+//!   caching layer), plus the NIC RSS queue-selection model.
+//! * [`measure`] — converts cycle accounting into the numbers the paper
+//!   reports: maximum lossless packet rate, Gbps, and per-context CPU
+//!   usage in hyperthread units (Table 4).
+//! * [`scenarios`] — the loopback benchmark topologies of §5.2/§5.4/§5.5:
+//!   physical-to-physical (P2P), physical-VM-physical (PVP), and
+//!   physical-container-physical (PCP), each buildable over the kernel,
+//!   AF_XDP, or DPDK datapaths; plus the Table 2 optimization-ladder rig,
+//!   the Fig 2 single-core comparison, and the Table 5 XDP task rig.
+//! * [`iperf`] — bulk-TCP throughput over the two-host NSX deployment
+//!   (Fig 8's three scenarios with offload variants).
+//! * [`netperf`] — TCP_RR latency/transaction-rate modelling (Fig 10/11).
+
+pub mod flood;
+pub mod iperf;
+pub mod measure;
+pub mod netperf;
+pub mod scenarios;
+
+pub use flood::{make_flows, rss_queue};
+pub use measure::RateMeasurement;
+pub use scenarios::{DpKind, PathKind, ScenarioConfig, VmAttach};

@@ -1,0 +1,90 @@
+//! Rate and CPU-usage derivation.
+//!
+//! A scenario runs `n` packets through the full code path; every modelled
+//! operation charged its core. The **maximum lossless rate** is then the
+//! service rate of the bottleneck core (the pipeline stage that saturates
+//! first), capped at line rate; CPU usage is each context's busy time over
+//! the interval implied by operating *at* that rate — exactly how Table 4
+//! counts hyperthreads.
+
+use ovs_sim::rate::LineRate;
+use ovs_sim::{CpuUsage, SimCtx};
+
+/// A throughput measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct RateMeasurement {
+    /// Maximum lossless packet rate, Mpps.
+    pub mpps: f64,
+    /// The same rate as frame-bits throughput, Gbps.
+    pub gbps: f64,
+    /// Whether the wire, not the CPU, was the limit.
+    pub line_limited: bool,
+    /// CPU usage at the lossless operating point (hyperthread units).
+    pub usage: CpuUsage,
+}
+
+impl RateMeasurement {
+    /// Derive the measurement from a finished simulation.
+    pub fn from_sim(sim: &SimCtx, n_pkts: usize, frame_len: usize, link_gbps: f64) -> Self {
+        let line = LineRate::gbps(link_gbps);
+        let busy_ns = sim.cpus.bottleneck_ns();
+        let svc_pps = if busy_ns > 0.0 {
+            n_pkts as f64 / busy_ns * 1e9
+        } else {
+            f64::INFINITY
+        };
+        let line_pps = line.max_pps(frame_len);
+        let line_limited = line_pps <= svc_pps;
+        let pps = svc_pps.min(line_pps);
+        // Duration of the run if offered exactly the lossless rate.
+        let duration_ns = n_pkts as f64 / pps * 1e9;
+        Self {
+            mpps: pps / 1e6,
+            gbps: pps * (frame_len * 8) as f64 / 1e9,
+            line_limited,
+            usage: sim.cpus.usage(duration_ns),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ovs_sim::Context;
+
+    #[test]
+    fn cpu_bound_rate() {
+        let mut sim = SimCtx::new(4);
+        // 1000 packets, 500 ns each on core 0 => 2 Mpps.
+        sim.charge(0, Context::Softirq, 500_000.0);
+        let m = RateMeasurement::from_sim(&sim, 1000, 64, 100.0);
+        assert!((m.mpps - 2.0).abs() < 1e-9);
+        assert!(!m.line_limited);
+        // Bottleneck core is 100% busy at the operating point.
+        assert!((m.usage.softirq - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn line_limited_rate() {
+        let mut sim = SimCtx::new(2);
+        // 10 ns per packet of CPU: far faster than a 10G line at 64 B.
+        sim.charge(0, Context::User, 10_000.0);
+        let m = RateMeasurement::from_sim(&sim, 1000, 64, 10.0);
+        assert!(m.line_limited);
+        assert!((m.mpps - 14.88).abs() < 0.01);
+        // At the line-limited point the core is mostly idle.
+        assert!(m.usage.user < 0.2);
+    }
+
+    #[test]
+    fn multi_core_bottleneck() {
+        let mut sim = SimCtx::new(4);
+        sim.charge(0, Context::Softirq, 200_000.0); // 200 ns/pkt
+        sim.charge(1, Context::User, 400_000.0); // 400 ns/pkt <- bottleneck
+        let m = RateMeasurement::from_sim(&sim, 1000, 64, 100.0);
+        assert!((m.mpps - 2.5).abs() < 1e-9);
+        assert!((m.usage.user - 1.0).abs() < 1e-9);
+        assert!((m.usage.softirq - 0.5).abs() < 1e-9);
+        assert!((m.usage.total() - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,205 @@
+//! TCP_RR latency and transaction rate — the Fig 10/11 engine.
+//!
+//! `netperf TCP_RR` ping-pongs one byte between a client and a server and
+//! reports the latency distribution. The round-trip time is the sum of
+//! per-hop costs along the configuration's path (taken from the cost
+//! model) plus right-skewed jitter: interrupt-driven paths wait on IRQ
+//! moderation and scheduler wakeups whose variance dominates the P99,
+//! while polling paths are tight. Each percentile set comes from 20,000
+//! sampled transactions.
+
+use ovs_sim::costs::CostModel;
+use ovs_sim::{Percentiles, SimRng};
+
+/// Which switch configuration carries the RR traffic (§5.3's three).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RrConfig {
+    /// Kernel OVS; VMs on tap, containers on veth.
+    Kernel,
+    /// OVS-DPDK; VMs on vhostuser, containers via the af_packet vdev.
+    Dpdk,
+    /// OVS AF_XDP; VMs on vhostuser, containers via XDP programs.
+    Afxdp,
+}
+
+/// The measured distribution plus netperf's transaction rate.
+#[derive(Debug, Clone, Copy)]
+pub struct RrResult {
+    /// Round-trip latency percentiles, microseconds.
+    pub latency_us: Percentiles,
+    /// Transactions per second (closed loop: 1e6 / mean RTT).
+    pub tps: f64,
+}
+
+/// Per-transaction client-side overhead outside the switch: netperf's
+/// send/recv syscalls, two process wakeups, and the guest's TCP stack.
+/// **[calibrated]** to Fig 10's DPDK floor (36 µs P50).
+const RR_GUEST_OVERHEAD_NS: f64 = 19_700.0;
+
+/// Extra one-way cost of the AF_XDP VM path over DPDK's (XSK poll
+/// latency and software checksums — "mainly because AF_XDP lacks
+/// hardware checksum support", §5.3). **[calibrated]** to Fig 10.
+const AFXDP_RR_EXTRA_NS: f64 = 1_900.0;
+
+/// One-way host-side processing time for the inter-host VM scenario, ns.
+fn vm_one_way_ns(cfg: RrConfig, c: &CostModel) -> f64 {
+    // Guest side: netperf syscall + guest stack + vCPU wakeup.
+    let guest = 2.0 * c.guest_tcp_segment_ns + RR_GUEST_OVERHEAD_NS;
+    match cfg {
+        RrConfig::Kernel => {
+            // NIC interrupt (moderated) -> softirq -> kernel OVS ->
+            // tap -> vhost-net -> guest.
+            guest
+                + c.irq_moderation_ns
+                + c.driver_rx_ns
+                + c.skb_alloc_ns
+                + c.kernel_ovs_flow_ns
+                + c.tap_kernel_ns
+                + c.vhost_net_ns
+                + c.context_switch_ns
+        }
+        RrConfig::Dpdk => {
+            // Busy-polled end to end: PMD picks the packet up immediately.
+            guest + c.dpdk_io_ns + c.emc_hit_ns + c.vhostuser_ring_ns + c.vhost_kick_ns
+        }
+        RrConfig::Afxdp => {
+            // Busy-polled too, plus the XDP hook, XSK hop and software
+            // rxhash that trail DPDK slightly (§5.3: no hardware checksum
+            // support is most of the gap).
+            guest
+                + c.driver_rx_ns
+                + c.xdp_dispatch_ns
+                + c.xsk_deliver_ns
+                + c.xsk_ring_ns
+                + c.sw_rxhash_ns
+                + c.csum_ns(64)
+                + c.emc_hit_ns
+                + c.vhostuser_ring_ns
+                + c.vhost_kick_ns
+                + AFXDP_RR_EXTRA_NS
+        }
+    }
+}
+
+/// Per-transaction overhead of a containerized netperf: socket syscalls,
+/// scheduler wakeups, host stack. **[calibrated]** to Fig 11's 15 µs floor.
+const RR_CONTAINER_OVERHEAD_NS: f64 = 6_400.0;
+
+/// Extra round-trip stall when DPDK reaches containers through af_packet:
+/// each transaction waits on the PMD/socket handoff and scheduler.
+/// **[calibrated]** to Fig 11's 81 µs DPDK P50.
+const DPDK_CONTAINER_RR_EXTRA_NS: f64 = 22_000.0;
+
+/// One-way host-side processing for the intra-host container scenario, ns.
+fn container_one_way_ns(cfg: RrConfig, c: &CostModel) -> f64 {
+    // Container app: socket syscalls + host-kernel stack.
+    let app = 2.0 * c.kernel_tcp_segment_ns + RR_CONTAINER_OVERHEAD_NS;
+    match cfg {
+        // Kernel and AF_XDP both keep container traffic inside the
+        // kernel (veth / XDP redirect): cheap and equal, per Fig 11.
+        RrConfig::Kernel => app + c.veth_xmit_ns + c.kernel_ovs_flow_ns,
+        RrConfig::Afxdp => app + c.veth_xmit_ns + c.xdp_dispatch_ns + c.xdp_redirect_ns,
+        // DPDK must cross user/kernel twice per direction through the
+        // af_packet socket, with copies — the Fig 11 disaster.
+        RrConfig::Dpdk => {
+            app + 2.0 * c.dpdk_af_packet_ns
+                + 2.0 * c.context_switch_ns
+                + DPDK_CONTAINER_RR_EXTRA_NS
+        }
+    }
+}
+
+/// Log-normal sigma of the jitter for a configuration: interrupt paths
+/// spread far more than polled ones. **[calibrated]** to the paper's
+/// P99/P50 ratios (Fig 10: kernel 1.6×, AF_XDP 1.35×, DPDK 1.25×;
+/// Fig 11: DPDK's af_packet path 3×).
+fn sigma(cfg: RrConfig, containers: bool) -> f64 {
+    match (cfg, containers) {
+        (RrConfig::Kernel, false) => 0.21,
+        (RrConfig::Afxdp, false) => 0.13,
+        (RrConfig::Dpdk, false) => 0.095,
+        (RrConfig::Kernel, true) | (RrConfig::Afxdp, true) => 0.12,
+        (RrConfig::Dpdk, true) => 0.47,
+    }
+}
+
+const TRANSACTIONS: usize = 20_000;
+
+fn sample(base_rtt_ns: f64, sigma: f64, seed: u64) -> RrResult {
+    let mut rng = SimRng::new(seed);
+    let samples: Vec<f64> = (0..TRANSACTIONS)
+        .map(|_| {
+            // Median-preserving log-normal jitter.
+            let jitter = rng.log_normal(0.0, sigma);
+            base_rtt_ns * jitter / 1_000.0 // -> us
+        })
+        .collect();
+    let latency_us = Percentiles::from_samples(&samples).expect("nonempty");
+    RrResult {
+        tps: latency_us.transactions_per_sec_us(),
+        latency_us,
+    }
+}
+
+/// Fig 10: TCP_RR between a host and a VM on another host.
+pub fn vm_rr(cfg: RrConfig) -> RrResult {
+    let c = CostModel::paper_testbed();
+    // RTT: both directions of wire + both hosts' one-way costs. The
+    // server side is a plain host netperf (no VM), modelled as half the
+    // guest-side cost.
+    let one_way = vm_one_way_ns(cfg, &c);
+    let server_side = one_way * 0.55;
+    let rtt = 2.0 * c.wire_latency_ns + one_way + server_side;
+    sample(rtt, sigma(cfg, false), 0x0f16_0010)
+}
+
+/// Fig 11: TCP_RR between two containers on one host.
+pub fn container_rr(cfg: RrConfig) -> RrResult {
+    let c = CostModel::paper_testbed();
+    let rtt = 2.0 * container_one_way_ns(cfg, &c);
+    sample(rtt, sigma(cfg, true), 0x0f16_0011)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_orderings() {
+        let k = vm_rr(RrConfig::Kernel);
+        let d = vm_rr(RrConfig::Dpdk);
+        let a = vm_rr(RrConfig::Afxdp);
+        // Paper: kernel 58/68/94, DPDK 36/38/45, AF_XDP 39/41/53 us.
+        assert!(d.latency_us.p50 < a.latency_us.p50, "DPDK fastest");
+        assert!(a.latency_us.p50 < k.latency_us.p50, "AF_XDP barely trails DPDK, kernel slowest");
+        assert!(
+            a.latency_us.p50 < d.latency_us.p50 * 1.25,
+            "AF_XDP within ~15% of DPDK: {} vs {}",
+            a.latency_us.p50,
+            d.latency_us.p50
+        );
+        // Tails: kernel spreads most.
+        assert!(k.latency_us.p99 / k.latency_us.p50 > a.latency_us.p99 / a.latency_us.p50);
+        // Transaction rates invert the latency order.
+        assert!(d.tps > a.tps && a.tps > k.tps);
+    }
+
+    #[test]
+    fn fig11_dpdk_is_the_outlier() {
+        let k = container_rr(RrConfig::Kernel);
+        let a = container_rr(RrConfig::Afxdp);
+        let d = container_rr(RrConfig::Dpdk);
+        // Paper: kernel ~= AF_XDP at 15/16/20 us; DPDK at 81/136/241 us.
+        let ratio = (k.latency_us.p50 - a.latency_us.p50).abs() / k.latency_us.p50;
+        assert!(ratio < 0.25, "kernel and AF_XDP comparable: {} vs {}", k.latency_us.p50, a.latency_us.p50);
+        assert!(d.latency_us.p50 > 4.0 * k.latency_us.p50, "DPDK much slower: {}", d.latency_us.p50);
+        assert!(d.latency_us.p99 > 2.0 * d.latency_us.p50, "DPDK long tail");
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let a = vm_rr(RrConfig::Afxdp);
+        let b = vm_rr(RrConfig::Afxdp);
+        assert_eq!(a.latency_us.p99, b.latency_us.p99);
+    }
+}

@@ -1,0 +1,710 @@
+//! The §5 benchmark topologies, runnable over every datapath.
+//!
+//! All three loopback shapes receive packets from the generator on one
+//! NIC port, carry them across a scenario-specific internal path, and send
+//! them out the other port (§5.2):
+//!
+//! * **P2P** — NIC → switch → NIC (pure packet-I/O cost);
+//! * **PVP** — adds a round trip through a VM (tap or vhostuser);
+//! * **PCP** — adds a round trip through a container (veth; AF_XDP uses
+//!   the in-kernel XDP redirect fast path, Fig 5 path C).
+//!
+//! Plus the special rigs: the Table 2 optimization ladder (NIC → OVS
+//! userspace receive path), the Fig 2 single-core datapath comparison,
+//! and the Table 5 XDP-task ladder.
+
+use crate::flood::{self, make_flows, rss_queue};
+use crate::measure::RateMeasurement;
+use ovs_afxdp::{AfxdpPort, OptLevel};
+use ovs_core::dpif::{DpifNetdev, PortNo, PortType};
+use ovs_core::ofproto::{OfAction, OfRule};
+use ovs_dpdk::{AfPacketDev, EthDev, VhostUserDev};
+use ovs_ebpf::maps::{DevMap, HashMap as BpfHashMap, Map};
+use ovs_ebpf::programs;
+use ovs_kernel::dev::{Attachment, DeviceKind, NetDevice, XdpMode};
+use ovs_kernel::guest::{Guest, GuestRole, VirtioBackend};
+use ovs_kernel::namespace::ContainerRole;
+use ovs_kernel::ovs_module::{KAction, Vport};
+use ovs_kernel::Kernel;
+use ovs_packet::flow::{fields, FlowKey, FlowMask};
+use ovs_packet::MacAddr;
+use ovs_sim::Context;
+
+/// Which datapath the scenario exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DpKind {
+    /// The OVS kernel module (baseline).
+    Kernel,
+    /// The userspace datapath over AF_XDP at an optimization level.
+    Afxdp(OptLevel),
+    /// The DPDK-style PMD comparator.
+    Dpdk,
+}
+
+/// VM attachment for PVP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmAttach {
+    Tap,
+    VhostUser,
+}
+
+/// The loopback path shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathKind {
+    P2p,
+    Pvp(VmAttach),
+    Pcp,
+}
+
+/// A benchmark scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioConfig {
+    pub dp: DpKind,
+    pub path: PathKind,
+    /// Flow count (1 or 1000 in the paper).
+    pub flows: usize,
+    /// Frame length in bytes.
+    pub frame_len: usize,
+    /// NIC queues (and PMD threads for userspace datapaths).
+    pub queues: usize,
+    /// Link speed.
+    pub link_gbps: f64,
+    /// Packets to drive through the path.
+    pub n_pkts: usize,
+}
+
+impl ScenarioConfig {
+    /// The §5.2 microbenchmark defaults: 64 B frames on 25 GbE.
+    pub fn micro(dp: DpKind, path: PathKind, flows: usize) -> Self {
+        Self {
+            dp,
+            path,
+            flows,
+            frame_len: 64,
+            queues: 1,
+            link_gbps: 25.0,
+            n_pkts: 8_192,
+        }
+    }
+}
+
+const CPUS: usize = 16;
+/// Base hyperthread for PMD threads.
+const PMD_BASE: usize = 8;
+/// Hyperthread running guest vCPUs.
+const GUEST_CORE: usize = 14;
+/// Hyperthread for vhost-net/host-stack work.
+const HOST_CORE: usize = 6;
+
+const NIC0_MAC: MacAddr = flood::GEN_DST_MAC;
+const NIC1_MAC: MacAddr = MacAddr([2, 0, 0, 0, 0, 0xCC]);
+
+/// Run a scenario, returning the lossless rate and CPU usage.
+pub fn run(cfg: &ScenarioConfig) -> RateMeasurement {
+    match cfg.dp {
+        DpKind::Kernel => run_kernel(cfg),
+        DpKind::Afxdp(opt) => match cfg.path {
+            PathKind::Pcp => run_afxdp_pcp(cfg),
+            _ => run_userspace(cfg, UserIo::Afxdp(opt)),
+        },
+        DpKind::Dpdk => run_userspace(cfg, UserIo::Dpdk),
+    }
+}
+
+fn port_forward_rule(in_port: PortNo, out_port: PortNo) -> OfRule {
+    let mut key = FlowKey::default();
+    key.set_in_port(in_port);
+    OfRule {
+        table: 0,
+        priority: 10,
+        key,
+        mask: FlowMask::of_fields(&[&fields::IN_PORT]),
+        actions: vec![OfAction::Output(out_port)],
+        cookie: 0,
+    }
+}
+
+// ----------------------------------------------------------------------
+// Kernel datapath scenarios
+// ----------------------------------------------------------------------
+
+fn run_kernel(cfg: &ScenarioConfig) -> RateMeasurement {
+    let mut k = Kernel::new(CPUS);
+    // RSS: one flow stays on one queue/core; many flows spread across all
+    // hyperthreads and pay the contention penalty (Table 4's 9.7 softirq
+    // threads).
+    let spread = cfg.flows > 1;
+    let hw_queues = if spread { 10 } else { 1 };
+    k.config.rss_cores = (0..hw_queues.min(10)).collect();
+    k.config.host_stack_core = HOST_CORE;
+    if spread {
+        // Full RSS contention only bites the pure-forwarding P2P path;
+        // the VM/container paths serialize elsewhere first.
+        k.config.softirq_scale = match cfg.path {
+            PathKind::P2p => k.sim.costs.kernel_rss_penalty,
+            _ => 1.5,
+        };
+    }
+
+    let nic0 = k.add_device(NetDevice::new("eth0", NIC0_MAC, DeviceKind::Phys { link_gbps: cfg.link_gbps }, hw_queues));
+    let nic1 = k.add_device(NetDevice::new("eth1", NIC1_MAC, DeviceKind::Phys { link_gbps: cfg.link_gbps }, hw_queues));
+    let p0 = k.ovs.add_vport(Vport::Netdev { ifindex: nic0 });
+    let p1 = k.ovs.add_vport(Vport::Netdev { ifindex: nic1 });
+    k.dev_mut(nic0).attachment = Attachment::OvsBridge { port: p0 };
+    k.dev_mut(nic1).attachment = Attachment::OvsBridge { port: p1 };
+
+    let mask = FlowMask::of_fields(&[&fields::IN_PORT]);
+    let mut key = FlowKey::default();
+    key.set_in_port(p0);
+
+    let mut guest = None;
+    match cfg.path {
+        PathKind::P2p => {
+            k.ovs.install_flow(&key, &mask, vec![KAction::Output(p1)]);
+        }
+        PathKind::Pvp(_) => {
+            // Kernel mode always attaches VMs over tap + vhost-net.
+            let tap = k.add_device(NetDevice::new("tap0", MacAddr::new(2, 0, 0, 0, 1, 1), DeviceKind::Tap, 1));
+            let pt = k.ovs.add_vport(Vport::Netdev { ifindex: tap });
+            k.dev_mut(tap).attachment = Attachment::OvsBridge { port: pt };
+            let g = k.add_guest(Guest::new(
+                "vm0",
+                MacAddr::new(2, 0, 0, 0, 1, 1),
+                [10, 99, 0, 2],
+                GuestRole::PmdForwarder,
+                VirtioBackend::VhostNet { tap_ifindex: tap },
+                GUEST_CORE,
+            ));
+            guest = Some(g);
+            k.ovs.install_flow(&key, &mask, vec![KAction::Output(pt)]);
+            let mut kt = FlowKey::default();
+            kt.set_in_port(pt);
+            k.ovs.install_flow(&kt, &mask, vec![KAction::Output(p1)]);
+        }
+        PathKind::Pcp => {
+            let (host_if, _inner, _ns) = k.add_container(
+                "c0",
+                [10, 88, 0, 2],
+                MacAddr::new(6, 0, 0, 0, 1, 1),
+                ContainerRole::Echo,
+            );
+            let pc = k.ovs.add_vport(Vport::Netdev { ifindex: host_if });
+            k.dev_mut(host_if).attachment = Attachment::OvsBridge { port: pc };
+            k.ovs.install_flow(&key, &mask, vec![KAction::Output(pc)]);
+            let mut kc = FlowKey::default();
+            kc.set_in_port(pc);
+            k.ovs.install_flow(&kc, &mask, vec![KAction::Output(p1)]);
+        }
+    }
+
+    let flows = make_flows(cfg.flows, cfg.frame_len, 42);
+    for i in 0..cfg.n_pkts {
+        let f = &flows[i % flows.len()];
+        let q = rss_queue(f, hw_queues);
+        k.receive(nic0, q, f.clone());
+        if let Some(g) = guest {
+            k.vhost_net_service(g);
+        }
+        if i % 64 == 0 {
+            k.dev_mut(nic1).tx_wire.clear();
+        }
+    }
+    RateMeasurement::from_sim(&k.sim, cfg.n_pkts, cfg.frame_len, cfg.link_gbps)
+}
+
+// ----------------------------------------------------------------------
+// Userspace datapath scenarios (AF_XDP / DPDK)
+// ----------------------------------------------------------------------
+
+enum UserIo {
+    Afxdp(OptLevel),
+    Dpdk,
+}
+
+fn run_userspace(cfg: &ScenarioConfig, io: UserIo) -> RateMeasurement {
+    let mut k = Kernel::new(CPUS);
+    // Eight softirq affinity slots: each NIC queue's RX and the TX-drain
+    // side land on distinct hyperthreads, as irqbalance would arrange.
+    k.config.rss_cores = (0..8).collect();
+    k.config.host_stack_core = HOST_CORE;
+
+    let nic0 = k.add_device(NetDevice::new("eth0", NIC0_MAC, DeviceKind::Phys { link_gbps: cfg.link_gbps }, cfg.queues));
+    let nic1 = k.add_device(NetDevice::new("eth1", NIC1_MAC, DeviceKind::Phys { link_gbps: cfg.link_gbps }, cfg.queues));
+
+    let mut dp = DpifNetdev::new();
+    let (p0, p1) = match &io {
+        UserIo::Afxdp(opt) => {
+            let a0 = AfxdpPort::open(&mut k, nic0, 4096, *opt).expect("afxdp nic0");
+            let a1 = AfxdpPort::open(&mut k, nic1, 4096, *opt).expect("afxdp nic1");
+            (
+                dp.add_port("eth0", PortType::Afxdp(a0)),
+                dp.add_port("eth1", PortType::Afxdp(a1)),
+            )
+        }
+        UserIo::Dpdk => {
+            let d0 = EthDev::probe(&mut k, "eth0", 8192).expect("dpdk nic0");
+            let d1 = EthDev::probe(&mut k, "eth1", 8192).expect("dpdk nic1");
+            (
+                dp.add_port("eth0", PortType::Dpdk(d0)),
+                dp.add_port("eth1", PortType::Dpdk(d1)),
+            )
+        }
+    };
+
+    let mut guest = None;
+    match cfg.path {
+        PathKind::P2p => {
+            dp.ofproto.add_rule(port_forward_rule(p0, p1));
+        }
+        PathKind::Pvp(attach) => {
+            let gmac = MacAddr::new(2, 0, 0, 0, 1, 1);
+            match attach {
+                VmAttach::VhostUser => {
+                    let g = k.add_guest(Guest::new(
+                        "vm0", gmac, [10, 99, 0, 2], GuestRole::PmdForwarder,
+                        VirtioBackend::VhostUser, GUEST_CORE,
+                    ));
+                    let pv = dp.add_port("vhost0", PortType::VhostUser(VhostUserDev::new(g)));
+                    dp.ofproto.add_rule(port_forward_rule(p0, pv));
+                    dp.ofproto.add_rule(port_forward_rule(pv, p1));
+                    guest = Some((g, pv));
+                }
+                VmAttach::Tap => {
+                    let tap = k.add_device(NetDevice::new("tap0", gmac, DeviceKind::Tap, 1));
+                    let g = k.add_guest(Guest::new(
+                        "vm0", gmac, [10, 99, 0, 2], GuestRole::PmdForwarder,
+                        VirtioBackend::VhostNet { tap_ifindex: tap }, GUEST_CORE,
+                    ));
+                    let pv = dp.add_port("tap0", PortType::Tap { ifindex: tap });
+                    dp.ofproto.add_rule(port_forward_rule(p0, pv));
+                    dp.ofproto.add_rule(port_forward_rule(pv, p1));
+                    guest = Some((g, pv));
+                }
+            }
+        }
+        PathKind::Pcp => {
+            // DPDK reaches containers over af_packet on the veth.
+            let (host_if, _inner, _ns) = k.add_container(
+                "c0",
+                [10, 88, 0, 2],
+                MacAddr::new(6, 0, 0, 0, 1, 1),
+                ContainerRole::Echo,
+            );
+            let pc = dp.add_port("c0", PortType::AfPacket(AfPacketDev::bind(host_if)));
+            dp.ofproto.add_rule(port_forward_rule(p0, pc));
+            dp.ofproto.add_rule(port_forward_rule(pc, p1));
+            guest = Some((usize::MAX, pc));
+        }
+    }
+
+    let flows = make_flows(cfg.flows, cfg.frame_len, 42);
+    let queues = cfg.queues.max(1);
+    let mut injected = 0usize;
+    while injected < cfg.n_pkts {
+        // Inject one batch.
+        let burst = 32.min(cfg.n_pkts - injected);
+        for _ in 0..burst {
+            let f = &flows[injected % flows.len()];
+            let q = rss_queue(f, queues);
+            k.receive(nic0, q, f.clone());
+            injected += 1;
+        }
+        for q in 0..queues {
+            dp.pmd_poll(&mut k, p0, q, PMD_BASE + q);
+        }
+        if let Some((g, pv)) = guest {
+            if g != usize::MAX {
+                k.run_guest(g);
+            }
+            dp.pmd_poll(&mut k, pv, 0, PMD_BASE);
+        }
+        if injected.is_multiple_of(2048) {
+            k.dev_mut(nic1).tx_wire.clear();
+        }
+    }
+
+    // Multi-queue contention penalty (Fig 12): each PMD pays for sharing
+    // umem/tx state with the others.
+    if queues > 1 {
+        let per_pkt = match &io {
+            UserIo::Afxdp(_) => k.sim.costs.afxdp_queue_contention_ns,
+            UserIo::Dpdk => k.sim.costs.dpdk_queue_contention_ns,
+        } * (queues - 1) as f64;
+        let per_queue: Vec<(usize, u64)> = match (&io, dp.port(p0)) {
+            (UserIo::Afxdp(_), Some(port)) => {
+                if let PortType::Afxdp(a) = &port.ty {
+                    a.sockets.iter().enumerate().map(|(q, s)| (q, s.stats.rx_packets)).collect()
+                } else {
+                    vec![]
+                }
+            }
+            _ => (0..queues).map(|q| (q, (cfg.n_pkts / queues) as u64)).collect(),
+        };
+        for (q, n) in per_queue {
+            k.sim.charge(PMD_BASE + q, Context::User, per_pkt * n as f64);
+        }
+    }
+
+    RateMeasurement::from_sim(&k.sim, cfg.n_pkts, cfg.frame_len, cfg.link_gbps)
+}
+
+// ----------------------------------------------------------------------
+// AF_XDP PCP: the in-kernel XDP redirect fast path (Fig 5 path C)
+// ----------------------------------------------------------------------
+
+fn run_afxdp_pcp(cfg: &ScenarioConfig) -> RateMeasurement {
+    let mut k = Kernel::new(CPUS);
+    k.config.rss_cores = vec![0];
+    k.config.host_stack_core = HOST_CORE;
+
+    let nic0 = k.add_device(NetDevice::new("eth0", NIC0_MAC, DeviceKind::Phys { link_gbps: cfg.link_gbps }, 1));
+    let nic1 = k.add_device(NetDevice::new("eth1", NIC1_MAC, DeviceKind::Phys { link_gbps: cfg.link_gbps }, 1));
+    let cip = [10, 88, 0, 2];
+    let (host_if, _inner, _ns) = k.add_container("c0", cip, MacAddr::new(6, 0, 0, 0, 1, 1), ContainerRole::Echo);
+    // veth drivers support native XDP (the paper's [67]).
+    k.dev_mut(host_if).caps.native_xdp = true;
+
+    // NIC -> veth devmap; veth -> NIC1 devmap.
+    let mut to_veth = DevMap::new(2);
+    to_veth.set(0, host_if).unwrap();
+    let to_veth_fd = k.maps.add(Map::Dev(to_veth));
+    let mut to_nic = DevMap::new(2);
+    to_nic.set(0, nic1).unwrap();
+    let to_nic_fd = k.maps.add(Map::Dev(to_nic));
+    // Everything non-container still needs an xskmap target; unused here.
+    let xsk_fd = k.maps.add(Map::Xsk(ovs_ebpf::maps::XskMap::new(1)));
+
+    k.attach_xdp(nic0, programs::container_redirect(to_veth_fd, 0, cip, xsk_fd), XdpMode::Native, None)
+        .unwrap();
+    k.attach_xdp(host_if, programs::redirect_all_to_dev(to_nic_fd, 0), XdpMode::Native, None)
+        .unwrap();
+
+    let flows = make_flows_to(cfg.flows, cfg.frame_len, cip);
+    for i in 0..cfg.n_pkts {
+        let f = &flows[i % flows.len()];
+        k.receive(nic0, 0, f.clone());
+        if i % 64 == 0 {
+            k.dev_mut(nic1).tx_wire.clear();
+        }
+    }
+    RateMeasurement::from_sim(&k.sim, cfg.n_pkts, cfg.frame_len, cfg.link_gbps)
+}
+
+/// Flows addressed *to* a given destination IP (PCP traffic must reach
+/// the container).
+fn make_flows_to(n_flows: usize, frame_len: usize, dst: [u8; 4]) -> Vec<Vec<u8>> {
+    let mut rng = ovs_sim::SimRng::new(43);
+    (0..n_flows.max(1))
+        .map(|i| {
+            let (src, sport) = if i == 0 {
+                ([10, 0, 0, 1], 1000)
+            } else {
+                (
+                    [10, rng.below(250) as u8 + 1, rng.below(250) as u8, rng.below(250) as u8 + 1],
+                    1024 + rng.below(50_000) as u16,
+                )
+            };
+            ovs_packet::builder::udp_ipv4_frame(
+                flood::GEN_SRC_MAC,
+                MacAddr::new(6, 0, 0, 0, 1, 1),
+                src,
+                dst,
+                sport,
+                7,
+                frame_len,
+            )
+        })
+        .collect()
+}
+
+/// Future-work ablation (Outcome #2): preferred busy polling [64] runs the
+/// kernel-side XSK work inline on the PMD cores. Returns (baseline,
+/// busy-poll) measurements: the rate dips slightly (the PMD absorbs the
+/// softirq work) but total CPU drops toward DPDK's footprint.
+pub fn run_busy_poll_ablation(flows: usize) -> (RateMeasurement, RateMeasurement) {
+    let baseline = run(&ScenarioConfig::micro(DpKind::Afxdp(OptLevel::O5), PathKind::P2p, flows));
+
+    // Re-run with busy polling enabled on every socket.
+    let cfg = ScenarioConfig::micro(DpKind::Afxdp(OptLevel::O5), PathKind::P2p, flows);
+    let mut k = Kernel::new(CPUS);
+    k.config.rss_cores = (0..8).collect();
+    k.config.host_stack_core = HOST_CORE;
+    let nic0 = k.add_device(NetDevice::new("eth0", NIC0_MAC, DeviceKind::Phys { link_gbps: cfg.link_gbps }, 1));
+    let nic1 = k.add_device(NetDevice::new("eth1", NIC1_MAC, DeviceKind::Phys { link_gbps: cfg.link_gbps }, 1));
+    let mut dp = DpifNetdev::new();
+    let mut a0 = AfxdpPort::open(&mut k, nic0, 4096, OptLevel::O5).unwrap();
+    let mut a1 = AfxdpPort::open(&mut k, nic1, 4096, OptLevel::O5).unwrap();
+    for s in a0.sockets.iter_mut().chain(a1.sockets.iter_mut()) {
+        s.enable_busy_poll(PMD_BASE);
+    }
+    let p0 = dp.add_port("eth0", PortType::Afxdp(a0));
+    let p1 = dp.add_port("eth1", PortType::Afxdp(a1));
+    dp.ofproto.add_rule(port_forward_rule(p0, p1));
+
+    let flows_v = make_flows(cfg.flows, cfg.frame_len, 42);
+    let mut injected = 0usize;
+    while injected < cfg.n_pkts {
+        for _ in 0..32.min(cfg.n_pkts - injected) {
+            let f = &flows_v[injected % flows_v.len()];
+            k.receive(nic0, 0, f.clone());
+            injected += 1;
+        }
+        dp.pmd_poll(&mut k, p0, 0, PMD_BASE);
+        if injected.is_multiple_of(2048) {
+            k.dev_mut(nic1).tx_wire.clear();
+        }
+    }
+    let busy = RateMeasurement::from_sim(&k.sim, cfg.n_pkts, cfg.frame_len, cfg.link_gbps);
+    (baseline, busy)
+}
+
+// ----------------------------------------------------------------------
+// Table 2: the optimization ladder (NIC -> OVS userspace receive path)
+// ----------------------------------------------------------------------
+
+/// Measure the Table 2 row for one optimization level: a single 64-byte
+/// UDP flow forwarded between the physical NIC and OVS userspace.
+pub fn run_ladder(opt: OptLevel) -> RateMeasurement {
+    run_userspace(
+        &ScenarioConfig::micro(DpKind::Afxdp(opt), PathKind::P2p, 1),
+        UserIo::Afxdp(opt),
+    )
+}
+
+// ----------------------------------------------------------------------
+// Fig 2: single-core 64B forwarding, kernel vs eBPF(tc) vs DPDK
+// ----------------------------------------------------------------------
+
+/// Fig 2 kernel bar: the OVS kernel module on one core.
+pub fn run_fig2_kernel() -> RateMeasurement {
+    run_kernel(&ScenarioConfig::micro(DpKind::Kernel, PathKind::P2p, 1))
+}
+
+/// Fig 2 eBPF bar: the tc-hook eBPF datapath (flow-map lookup + devmap
+/// forward) on one core.
+pub fn run_fig2_ebpf() -> RateMeasurement {
+    let n_pkts = 8_192;
+    let mut k = Kernel::new(CPUS);
+    k.config.rss_cores = vec![0];
+    let nic0 = k.add_device(NetDevice::new("eth0", NIC0_MAC, DeviceKind::Phys { link_gbps: 10.0 }, 1));
+    let nic1 = k.add_device(NetDevice::new("eth1", NIC1_MAC, DeviceKind::Phys { link_gbps: 10.0 }, 1));
+    let flow_fd = k.maps.add(Map::Hash(BpfHashMap::new(16, 8, 1024)));
+    let mut dm = DevMap::new(2);
+    dm.set(1, nic1).unwrap();
+    let dev_fd = k.maps.add(Map::Dev(dm));
+    // Install the single benchmark flow: -> devmap slot 1.
+    if let Some(Map::Hash(h)) = k.maps.get_mut(flow_fd) {
+        let key = programs::dp_flow_key([10, 0, 0, 1], [10, 0, 0, 2], 1000, 2000, 17);
+        h.update(&key, &1u64.to_le_bytes()).unwrap();
+    }
+    k.dev_mut(nic0).tc_bpf = Some(programs::ebpf_datapath(flow_fd, dev_fd));
+
+    let flows = make_flows(1, 64, 42);
+    for i in 0..n_pkts {
+        k.receive(nic0, 0, flows[0].clone());
+        if i % 64 == 0 {
+            k.dev_mut(nic1).tx_wire.clear();
+        }
+    }
+    RateMeasurement::from_sim(&k.sim, n_pkts, 64, 10.0)
+}
+
+/// Fig 2 DPDK bar: the userspace PMD on one core.
+pub fn run_fig2_dpdk() -> RateMeasurement {
+    run_userspace(
+        &ScenarioConfig {
+            link_gbps: 10.0,
+            ..ScenarioConfig::micro(DpKind::Dpdk, PathKind::P2p, 1)
+        },
+        UserIo::Dpdk,
+    )
+}
+
+// ----------------------------------------------------------------------
+// Table 5: single-core XDP processing tasks
+// ----------------------------------------------------------------------
+
+/// The Table 5 task ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XdpTask {
+    /// A: drop without looking.
+    Drop,
+    /// B: parse Ethernet/IPv4, then drop.
+    ParseDrop,
+    /// C: parse + L2 hash-map lookup, then drop.
+    ParseLookupDrop,
+    /// D: parse, swap MACs, transmit back out.
+    SwapFwd,
+}
+
+/// Run one Table 5 task at 10 GbE line-rate input on a single core.
+pub fn run_xdp_task(task: XdpTask) -> RateMeasurement {
+    let n_pkts = 8_192;
+    let mut k = Kernel::new(4);
+    k.config.rss_cores = vec![0];
+    let nic0 = k.add_device(NetDevice::new("eth0", NIC0_MAC, DeviceKind::Phys { link_gbps: 10.0 }, 1));
+    let l2_fd = k.maps.add(Map::Hash(BpfHashMap::new(8, 8, 1024)));
+    if let Some(Map::Hash(h)) = k.maps.get_mut(l2_fd) {
+        h.update(&programs::l2_key(NIC0_MAC.0), &1u64.to_le_bytes()).unwrap();
+    }
+    let prog = match task {
+        XdpTask::Drop => programs::task_a_drop(),
+        XdpTask::ParseDrop => programs::task_b_parse_drop(),
+        XdpTask::ParseLookupDrop => programs::task_c_parse_lookup_drop(l2_fd),
+        XdpTask::SwapFwd => programs::task_d_swap_fwd(),
+    };
+    k.attach_xdp(nic0, prog, XdpMode::Native, None).unwrap();
+
+    let flows = make_flows(1, 64, 42);
+    for i in 0..n_pkts {
+        k.receive(nic0, 0, flows[0].clone());
+        if i % 64 == 0 {
+            k.dev_mut(nic0).tx_wire.clear();
+        }
+    }
+    RateMeasurement::from_sim(&k.sim, n_pkts, 64, 10.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p2p_all_datapaths_produce_rates() {
+        for dp in [DpKind::Kernel, DpKind::Afxdp(OptLevel::O5), DpKind::Dpdk] {
+            let m = run(&ScenarioConfig::micro(dp, PathKind::P2p, 1));
+            assert!(m.mpps > 0.5, "{dp:?}: {} Mpps", m.mpps);
+            assert!(m.mpps < 40.0);
+            assert!(m.usage.total() > 0.0);
+        }
+    }
+
+    #[test]
+    fn dpdk_fastest_afxdp_between_kernel_single_flow() {
+        let kern = run(&ScenarioConfig::micro(DpKind::Kernel, PathKind::P2p, 1));
+        let afx = run(&ScenarioConfig::micro(DpKind::Afxdp(OptLevel::O5), PathKind::P2p, 1));
+        let dpdk = run(&ScenarioConfig::micro(DpKind::Dpdk, PathKind::P2p, 1));
+        assert!(dpdk.mpps > afx.mpps, "dpdk {} > afxdp {}", dpdk.mpps, afx.mpps);
+        assert!(afx.mpps > kern.mpps, "afxdp {} > kernel {}", afx.mpps, kern.mpps);
+    }
+
+    #[test]
+    fn thousand_flows_slower_for_userspace_faster_for_kernel() {
+        let a1 = run(&ScenarioConfig::micro(DpKind::Afxdp(OptLevel::O5), PathKind::P2p, 1));
+        let a1000 = run(&ScenarioConfig::micro(DpKind::Afxdp(OptLevel::O5), PathKind::P2p, 1000));
+        assert!(a1000.mpps < a1.mpps, "userspace: 1000 flows slower");
+        let k1 = run(&ScenarioConfig::micro(DpKind::Kernel, PathKind::P2p, 1));
+        let k1000 = run(&ScenarioConfig::micro(DpKind::Kernel, PathKind::P2p, 1000));
+        assert!(k1000.mpps > k1.mpps, "kernel: RSS makes 1000 flows faster");
+        assert!(
+            k1000.usage.total() > 4.0,
+            "kernel RSS is fast but not efficient: {} HT",
+            k1000.usage.total()
+        );
+    }
+
+    #[test]
+    fn pvp_slower_than_p2p() {
+        let p2p = run(&ScenarioConfig::micro(DpKind::Afxdp(OptLevel::O5), PathKind::P2p, 1));
+        let pvp = run(&ScenarioConfig::micro(
+            DpKind::Afxdp(OptLevel::O5),
+            PathKind::Pvp(VmAttach::VhostUser),
+            1,
+        ));
+        assert!(pvp.mpps < p2p.mpps);
+        assert!(pvp.usage.guest > 0.0, "guest time accounted");
+    }
+
+    #[test]
+    fn pvp_vhostuser_beats_tap() {
+        let vh = run(&ScenarioConfig::micro(
+            DpKind::Afxdp(OptLevel::O5),
+            PathKind::Pvp(VmAttach::VhostUser),
+            1,
+        ));
+        let tap = run(&ScenarioConfig::micro(
+            DpKind::Afxdp(OptLevel::O5),
+            PathKind::Pvp(VmAttach::Tap),
+            1,
+        ));
+        assert!(vh.mpps > tap.mpps, "vhostuser {} > tap {}", vh.mpps, tap.mpps);
+    }
+
+    #[test]
+    fn pcp_afxdp_beats_kernel_and_dpdk() {
+        let afx = run(&ScenarioConfig::micro(DpKind::Afxdp(OptLevel::O5), PathKind::Pcp, 1));
+        let kern = run(&ScenarioConfig::micro(DpKind::Kernel, PathKind::Pcp, 1));
+        let dpdk = run(&ScenarioConfig::micro(DpKind::Dpdk, PathKind::Pcp, 1));
+        assert!(afx.mpps > kern.mpps, "afxdp {} > kernel {}", afx.mpps, kern.mpps);
+        assert!(afx.mpps > dpdk.mpps, "afxdp {} > dpdk {}", afx.mpps, dpdk.mpps);
+    }
+
+    #[test]
+    fn ladder_is_monotonic() {
+        let mut prev = 0.0;
+        for opt in OptLevel::LADDER {
+            let m = run_ladder(opt);
+            assert!(m.mpps > prev, "{}: {} !> {}", opt.label(), m.mpps, prev);
+            prev = m.mpps;
+        }
+    }
+
+    #[test]
+    fn fig2_ordering_kernel_vs_ebpf_vs_dpdk() {
+        let kern = run_fig2_kernel();
+        let ebpf = run_fig2_ebpf();
+        let dpdk = run_fig2_dpdk();
+        assert!(ebpf.mpps < kern.mpps, "eBPF {} slower than kernel {}", ebpf.mpps, kern.mpps);
+        assert!(
+            ebpf.mpps > kern.mpps * 0.7,
+            "eBPF only 10-20% slower, not catastrophically: {} vs {}",
+            ebpf.mpps,
+            kern.mpps
+        );
+        assert!(dpdk.mpps > kern.mpps * 2.0, "DPDK much faster");
+    }
+
+    #[test]
+    fn xdp_task_ladder_decreases() {
+        let a = run_xdp_task(XdpTask::Drop);
+        let b = run_xdp_task(XdpTask::ParseDrop);
+        let c = run_xdp_task(XdpTask::ParseLookupDrop);
+        let d = run_xdp_task(XdpTask::SwapFwd);
+        assert!(a.mpps >= b.mpps);
+        assert!(b.mpps > c.mpps);
+        assert!(c.mpps > d.mpps);
+        assert!(a.line_limited, "task A reaches 10G line rate");
+    }
+
+    #[test]
+    fn busy_polling_cuts_total_cpu() {
+        let (base, busy) = run_busy_poll_ablation(1000);
+        assert!(
+            busy.usage.total() < base.usage.total(),
+            "busy polling reduces total CPU: {:.2} vs {:.2}",
+            busy.usage.total(),
+            base.usage.total()
+        );
+        // Throughput stays in the same ballpark.
+        assert!(busy.mpps > base.mpps * 0.6);
+    }
+
+    #[test]
+    fn multi_queue_scales_but_sublinearly_for_afxdp() {
+        let one = run(&ScenarioConfig {
+            queues: 1,
+            ..ScenarioConfig::micro(DpKind::Afxdp(OptLevel::O5), PathKind::P2p, 1000)
+        });
+        let four = run(&ScenarioConfig {
+            queues: 4,
+            ..ScenarioConfig::micro(DpKind::Afxdp(OptLevel::O5), PathKind::P2p, 1000)
+        });
+        assert!(four.mpps > one.mpps, "more queues, more rate");
+        assert!(
+            four.mpps < one.mpps * 3.9,
+            "contention keeps scaling sublinear: {} vs {}",
+            four.mpps,
+            one.mpps
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! Table 1, live: the standard Linux tools keep working on a NIC whose
+//! traffic feeds OVS through AF_XDP, and stop existing the moment a
+//! DPDK-style driver takes the device over.
+//!
+//! Run with: `cargo run --example tool_compat`
+
+use ovs_dpdk::EthDev;
+use ovs_ebpf::maps::{Map, XskMap};
+use ovs_ebpf::programs;
+use ovs_kernel::dev::{DeviceKind, NetDevice, XdpMode};
+use ovs_kernel::{tools, Kernel};
+use ovs_packet::MacAddr;
+
+fn main() {
+    let mut k = Kernel::new(4);
+    let eth0 = k.add_device(NetDevice::new(
+        "eth0",
+        MacAddr::new(2, 0, 0, 0, 0, 1),
+        DeviceKind::Phys { link_gbps: 10.0 },
+        2,
+    ));
+    k.add_addr(eth0, [10, 0, 0, 1], 24);
+    tools::ip_neigh_add(&mut k, [10, 0, 0, 2], MacAddr::new(2, 0, 0, 0, 0, 2), "eth0").unwrap();
+
+    // Phase 1: the device is kernel-managed with the OVS AF_XDP hook on.
+    let fd = k.maps.add(Map::Xsk(XskMap::new(2)));
+    k.attach_xdp(eth0, programs::ovs_xsk_redirect(fd), XdpMode::Native, None)
+        .unwrap();
+    println!("--- eth0 kernel-managed, OVS AF_XDP hook attached ---");
+    print!("{}", tools::ip_link(&k, Some("eth0")).unwrap());
+    print!("{}", tools::ip_addr(&k, Some("eth0")).unwrap());
+    print!("{}", tools::ip_route(&k).unwrap());
+    print!("{}", tools::ip_neigh(&k).unwrap());
+    let ping = tools::ping(&mut k, [10, 0, 0, 2]).unwrap();
+    println!("ping 10.0.0.2: {:.1} us", ping.rtt_us);
+    let mac = tools::arping(&mut k, "eth0", [10, 0, 0, 2]).unwrap();
+    println!("arping 10.0.0.2: {mac}");
+
+    // Phase 2: a DPDK-style driver takes the NIC.
+    let mut dpdk = EthDev::probe(&mut k, "eth0", 256).unwrap();
+    println!("\n--- eth0 taken over by the userspace PMD ---");
+    for (cmd, result) in [
+        ("ip link show eth0", tools::ip_link(&k, Some("eth0")).err()),
+        ("ip addr show eth0", tools::ip_addr(&k, Some("eth0")).err()),
+        ("arping -I eth0", tools::arping(&mut k, "eth0", [10, 0, 0, 2]).err()),
+        ("tcpdump -i eth0", tools::tcpdump(&mut k, "eth0", 1).err()),
+    ] {
+        println!("{cmd}: {}", result.expect("must fail"));
+    }
+    println!(
+        "ping 10.0.0.2: {}",
+        tools::ping(&mut k, [10, 0, 0, 2]).unwrap_err()
+    );
+    println!("(the DPDK-native replacement: {})", ovs_dpdk::testpmd::proc_info(&dpdk));
+
+    // Phase 3: release it, and everything returns.
+    dpdk.close(&mut k);
+    println!("\n--- eth0 released back to the kernel ---");
+    print!("{}", tools::ip_link(&k, Some("eth0")).unwrap());
+    println!("ok");
+}

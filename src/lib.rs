@@ -1,0 +1,15 @@
+//! Umbrella crate re-exporting the whole `ovs-afxdp-rs` workspace.
+//!
+//! Examples and cross-crate integration tests depend on this crate; library
+//! users normally depend on the individual crates instead.
+
+pub use ovs_afxdp as afxdp;
+pub use ovs_core as ovs;
+pub use ovs_dpdk as dpdk;
+pub use ovs_ebpf as ebpf;
+pub use ovs_kernel as kernel;
+pub use ovs_nsx as nsx;
+pub use ovs_packet as packet;
+pub use ovs_ring as ring;
+pub use ovs_sim as sim;
+pub use ovs_tgen as tgen;

@@ -47,7 +47,11 @@ impl AfxdpPort {
             sockets.push(sock);
         }
         let xskmap_fd = kernel.maps.add(Map::Xsk(xmap));
-        let mode = if native { XdpMode::Native } else { XdpMode::Generic };
+        let mode = if native {
+            XdpMode::Native
+        } else {
+            XdpMode::Generic
+        };
         kernel.attach_xdp(ifindex, programs::ovs_xsk_redirect(xskmap_fd), mode, None)?;
         Ok(Self {
             ifindex,
@@ -101,8 +105,12 @@ mod tests {
     #[test]
     fn multi_queue_port_routes_by_queue() {
         let mut k = Kernel::new(8);
-        let eth0 =
-            k.add_device(NetDevice::new("eth0", M1, DeviceKind::Phys { link_gbps: 25.0 }, 4));
+        let eth0 = k.add_device(NetDevice::new(
+            "eth0",
+            M1,
+            DeviceKind::Phys { link_gbps: 25.0 },
+            4,
+        ));
         let mut port = AfxdpPort::open(&mut k, eth0, 64, OptLevel::O5).unwrap();
         assert_eq!(port.num_queues(), 4);
         for q in 0..4 {
@@ -118,8 +126,12 @@ mod tests {
     #[test]
     fn generic_fallback_when_no_native_xdp() {
         let mut k = Kernel::new(2);
-        let eth0 =
-            k.add_device(NetDevice::new("eth0", M1, DeviceKind::Phys { link_gbps: 10.0 }, 1));
+        let eth0 = k.add_device(NetDevice::new(
+            "eth0",
+            M1,
+            DeviceKind::Phys { link_gbps: 10.0 },
+            1,
+        ));
         k.dev_mut(eth0).caps.native_xdp = false; // old driver
         let mut port = AfxdpPort::open(&mut k, eth0, 32, OptLevel::O5).unwrap();
         k.receive(eth0, 0, frame());
@@ -130,8 +142,12 @@ mod tests {
     #[test]
     fn close_detaches_hook() {
         let mut k = Kernel::new(2);
-        let eth0 =
-            k.add_device(NetDevice::new("eth0", M1, DeviceKind::Phys { link_gbps: 10.0 }, 1));
+        let eth0 = k.add_device(NetDevice::new(
+            "eth0",
+            M1,
+            DeviceKind::Phys { link_gbps: 10.0 },
+            1,
+        ));
         let mut port = AfxdpPort::open(&mut k, eth0, 32, OptLevel::O5).unwrap();
         assert!(k.device(eth0).xdp.is_some());
         port.close(&mut k);

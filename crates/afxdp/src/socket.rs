@@ -2,6 +2,7 @@
 
 use ovs_kernel::xsk::{XskBinding, XskHandle};
 use ovs_kernel::Kernel;
+use ovs_obs::coverage;
 use ovs_packet::flow::extract_flow_key;
 use ovs_packet::OffloadFlags;
 use ovs_ring::{Desc, DpPacketPool, LockStrategy, PacketBatch, UmemPool, BATCH_SIZE};
@@ -202,6 +203,8 @@ impl XskSocket {
         }
         self.stats.rx_batches += 1;
         self.stats.rx_packets += n as u64;
+        coverage!("xsk_rx_batch");
+        coverage!("xsk_rx_packet", n as u64);
 
         if self.interrupt_mode {
             // Blocked in poll(); the kernel had to wake us per batch.
@@ -231,6 +234,7 @@ impl XskSocket {
                 };
             } else {
                 self.stats.csum_sw_verified += 1;
+                coverage!("xsk_csum_sw_verify");
             }
             let _ = batch.push(pkt);
             // Frame ownership returns to the pool; the refill below posts
@@ -272,6 +276,7 @@ impl XskSocket {
         for (pkt, frame) in batch.into_iter().zip(frames.iter().copied()) {
             if !tx_csum_hw {
                 self.stats.csum_sw_filled += 1;
+                coverage!("xsk_csum_sw_fill");
             }
             bytes += pkt.len();
             let mut b = self.handle.borrow_mut();
@@ -305,10 +310,12 @@ impl XskSocket {
         kernel.sim.charge(core, Context::User, ns);
         if need_kick {
             self.stats.tx_kicks += 1;
+            coverage!("xsk_tx_kick");
             let kick = sent as f64 * kernel.sim.costs.xsk_tx_kick_ns;
             kernel.sim.charge(core, Context::System, kick);
         }
         self.stats.tx_packets += sent as u64;
+        coverage!("xsk_tx_packet", sent as u64);
         kernel.xsk_tx_drain(self.xsk_id, sent);
 
         // Reclaim completions back into the pool.
@@ -336,13 +343,23 @@ mod tests {
 
     fn setup(opt: OptLevel) -> (Kernel, XskSocket, u32) {
         let mut k = Kernel::new(4);
-        let eth0 = k.add_device(NetDevice::new("eth0", M1, DeviceKind::Phys { link_gbps: 25.0 }, 1));
+        let eth0 = k.add_device(NetDevice::new(
+            "eth0",
+            M1,
+            DeviceKind::Phys { link_gbps: 25.0 },
+            1,
+        ));
         let sock = XskSocket::bind(&mut k, eth0, 0, 64, opt);
         let mut xmap = XskMap::new(4);
         xmap.set(0, sock.xsk_id).unwrap();
         let fd = k.maps.add(Map::Xsk(xmap));
-        k.attach_xdp(eth0, ovs_ebpf::programs::ovs_xsk_redirect(fd), XdpMode::Native, None)
-            .unwrap();
+        k.attach_xdp(
+            eth0,
+            ovs_ebpf::programs::ovs_xsk_redirect(fd),
+            XdpMode::Native,
+            None,
+        )
+        .unwrap();
         (k, sock, eth0)
     }
 
@@ -416,11 +433,7 @@ mod tests {
             let batch = sock.rx_burst(&mut k, 1);
             assert_eq!(batch.len(), 32);
             let user_ns = k.sim.cpus.core(1).ns(Context::User);
-            assert!(
-                user_ns < prev,
-                "{}: {user_ns} !< {prev}",
-                opt.label()
-            );
+            assert!(user_ns < prev, "{}: {user_ns} !< {prev}", opt.label());
             prev = user_ns;
         }
     }
@@ -428,7 +441,10 @@ mod tests {
     #[test]
     fn lock_strategy_follows_level() {
         assert_eq!(OptLevel::O1.lock_strategy(), LockStrategy::MutexPerPacket);
-        assert_eq!(OptLevel::O2.lock_strategy(), LockStrategy::SpinlockPerPacket);
+        assert_eq!(
+            OptLevel::O2.lock_strategy(),
+            LockStrategy::SpinlockPerPacket
+        );
         assert_eq!(OptLevel::O3.lock_strategy(), LockStrategy::SpinlockBatched);
         assert!(!OptLevel::O0.pmd_thread());
         assert!(OptLevel::O5.csum_offload());
@@ -470,6 +486,10 @@ mod tests {
         let (mut k, mut sock, _eth0) = setup(OptLevel::O5);
         let batch = sock.rx_burst(&mut k, 1);
         assert!(batch.is_empty());
-        assert_eq!(k.sim.cpus.core(1).ns(Context::User), 0.0, "empty poll is free here");
+        assert_eq!(
+            k.sim.cpus.core(1).ns(Context::User),
+            0.0,
+            "empty poll is free here"
+        );
     }
 }

@@ -26,7 +26,10 @@ fn build(subtables: usize, per_table: usize) -> Classifier<u32> {
         }
         for r in 0..per_table {
             c.insert(Rule {
-                key: key([10, (s % 250) as u8, (r >> 8) as u8, r as u8], (r % 1000) as u16),
+                key: key(
+                    [10, (s % 250) as u8, (r >> 8) as u8, r as u8],
+                    (r % 1000) as u16,
+                ),
                 mask,
                 priority: (s * 10) as i32,
                 value: (s * per_table + r) as u32,
@@ -41,9 +44,11 @@ fn bench_subtable_scaling(c: &mut Criterion) {
     for subtables in [1usize, 4, 16, 40] {
         let mut cls = build(subtables, 256);
         let probe = key([10, 0, 0, 1], 80);
-        g.bench_with_input(BenchmarkId::from_parameter(subtables), &subtables, |b, _| {
-            b.iter(|| black_box(cls.lookup(black_box(&probe)).is_some()))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(subtables),
+            &subtables,
+            |b, _| b.iter(|| black_box(cls.lookup(black_box(&probe)).is_some())),
+        );
     }
     g.finish();
 }

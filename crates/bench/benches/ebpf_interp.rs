@@ -31,7 +31,10 @@ fn bench_task_ladder(c: &mut Criterion) {
     let progs = [
         ("A_drop", programs::task_a_drop()),
         ("B_parse_drop", programs::task_b_parse_drop()),
-        ("C_parse_lookup_drop", programs::task_c_parse_lookup_drop(l2)),
+        (
+            "C_parse_lookup_drop",
+            programs::task_c_parse_lookup_drop(l2),
+        ),
         ("D_swap_fwd", programs::task_d_swap_fwd()),
     ];
     let mut vm = Vm::new();
@@ -39,7 +42,9 @@ fn bench_task_ladder(c: &mut Criterion) {
     for (name, prog) in progs {
         g.bench_function(name, |b| {
             b.iter(|| {
-                let r = prog.run(&mut vm, black_box(&mut pkt), 0, &mut maps).unwrap();
+                let r = prog
+                    .run(&mut vm, black_box(&mut pkt), 0, &mut maps)
+                    .unwrap();
                 black_box(r.insns)
             })
         });

@@ -10,7 +10,9 @@ fn bench_batch_sizes(c: &mut Criterion) {
     let mut g = c.benchmark_group("xsk_ring/batch_transfer");
     for batch in [1usize, 4, 16, 32, 64] {
         let ring = SpscRing::new(1024);
-        let descs: Vec<Desc> = (0..batch as u32).map(|i| Desc { frame: i, len: 64 }).collect();
+        let descs: Vec<Desc> = (0..batch as u32)
+            .map(|i| Desc { frame: i, len: 64 })
+            .collect();
         let mut out = vec![Desc { frame: 0, len: 0 }; batch];
         g.throughput(Throughput::Elements(batch as u64));
         g.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, _| {

@@ -87,11 +87,15 @@ fn ablation() {
     let (base, busy) = scenarios::run_busy_poll_ablation(1000);
     println!(
         "  baseline AF_XDP P2P:   {:>5.2} Mpps, {:.2} HT total ({:.2} softirq)",
-        base.mpps, base.usage.total(), base.usage.softirq
+        base.mpps,
+        base.usage.total(),
+        base.usage.softirq
     );
     println!(
         "  with busy polling:     {:>5.2} Mpps, {:.2} HT total ({:.2} softirq)",
-        busy.mpps, busy.usage.total(), busy.usage.softirq
+        busy.mpps,
+        busy.usage.total(),
+        busy.usage.softirq
     );
 }
 
@@ -121,19 +125,39 @@ fn table1() {
         2,
     ));
     k.add_addr(eth0, [10, 0, 0, 1], 24);
-    tools::ip_neigh_add(&mut k, [10, 0, 0, 2], MacAddr::new(2, 0, 0, 0, 0, 2), "eth0").unwrap();
+    tools::ip_neigh_add(
+        &mut k,
+        [10, 0, 0, 2],
+        MacAddr::new(2, 0, 0, 0, 0, 2),
+        "eth0",
+    )
+    .unwrap();
     // Attach the OVS AF_XDP hook: the compatibility claim is that this
     // changes nothing for the tools.
-    let fd = k.maps.add(ovs_ebpf::maps::Map::Xsk(ovs_ebpf::maps::XskMap::new(2)));
-    k.attach_xdp(eth0, ovs_ebpf::programs::ovs_xsk_redirect(fd), XdpMode::Native, None)
-        .unwrap();
+    let fd = k
+        .maps
+        .add(ovs_ebpf::maps::Map::Xsk(ovs_ebpf::maps::XskMap::new(2)));
+    k.attach_xdp(
+        eth0,
+        ovs_ebpf::programs::ovs_xsk_redirect(fd),
+        XdpMode::Native,
+        None,
+    )
+    .unwrap();
 
     let run_all = |k: &mut Kernel| -> Vec<(&'static str, bool)> {
         vec![
             ("ip link", tools::ip_link(k, Some("eth0")).is_ok()),
             ("ip address", tools::ip_addr(k, Some("eth0")).is_ok()),
-            ("ip route", tools::ip_route_add(k, [10, 1, 0, 0], 16, Some([10, 0, 0, 2]), "eth0").is_ok()),
-            ("ip neigh", tools::ip_neigh_add(k, [10, 0, 0, 9], MacAddr::new(2, 0, 0, 0, 0, 9), "eth0").is_ok()),
+            (
+                "ip route",
+                tools::ip_route_add(k, [10, 1, 0, 0], 16, Some([10, 0, 0, 2]), "eth0").is_ok(),
+            ),
+            (
+                "ip neigh",
+                tools::ip_neigh_add(k, [10, 0, 0, 9], MacAddr::new(2, 0, 0, 0, 0, 9), "eth0")
+                    .is_ok(),
+            ),
             ("ping", tools::ping(k, [10, 0, 0, 2]).is_ok()),
             ("arping", tools::arping(k, "eth0", [10, 0, 0, 2]).is_ok()),
             ("nstat", !tools::nstat(k).is_empty()),
@@ -149,7 +173,10 @@ fn table1() {
     k.take_device(eth0, "dpdk");
     let with_dpdk = run_all(&mut k);
 
-    println!("  {:<12} {:>16} {:>16}", "command", "kernel+AF_XDP", "DPDK-owned");
+    println!(
+        "  {:<12} {:>16} {:>16}",
+        "command", "kernel+AF_XDP", "DPDK-owned"
+    );
     for ((cmd, a), (_, b)) in with_xdp.iter().zip(with_dpdk.iter()) {
         println!(
             "  {:<12} {:>16} {:>16}",
@@ -186,21 +213,42 @@ fn table3() {
     };
     let mut of = ovs_core::Ofproto::new();
     let stats = ruleset::install(&cfg, &ports, 1, 2, &mut of);
-    println!("  Geneve tunnels                  {:>8}", stats.geneve_tunnels);
+    println!(
+        "  Geneve tunnels                  {:>8}",
+        stats.geneve_tunnels
+    );
     println!("  VMs (two interfaces per VM)     {:>8}", stats.vms);
     println!("  OpenFlow rules                  {:>8}", stats.rules);
     println!("  OpenFlow tables                 {:>8}", stats.tables);
-    println!("  matching fields among all rules {:>8}", stats.matching_fields);
+    println!(
+        "  matching fields among all rules {:>8}",
+        stats.matching_fields
+    );
 }
 
 fn fig8a() {
     section("Figure 8(a) — VM-to-VM cross-host TCP (paper: 2.2 / 1.9 / 3.0 / 4.4 / 6.5 Gbps)");
     let rows = [
-        ("kernel + tap", iperf::fig8a_cross_host(DatapathKind::Kernel, VmAttachment::Tap)),
-        ("AF_XDP interrupt + tap", iperf::fig8a_cross_host(AFXDP_INTR, VmAttachment::Tap)),
-        ("AF_XDP polling + tap", iperf::fig8a_cross_host(AFXDP_NO_CSUM, VmAttachment::Tap)),
-        ("AF_XDP + vhostuser", iperf::fig8a_cross_host(AFXDP_NO_CSUM, VmAttachment::VhostUser)),
-        ("AF_XDP + vhostuser + csum", iperf::fig8a_cross_host(AFXDP_POLL, VmAttachment::VhostUser)),
+        (
+            "kernel + tap",
+            iperf::fig8a_cross_host(DatapathKind::Kernel, VmAttachment::Tap),
+        ),
+        (
+            "AF_XDP interrupt + tap",
+            iperf::fig8a_cross_host(AFXDP_INTR, VmAttachment::Tap),
+        ),
+        (
+            "AF_XDP polling + tap",
+            iperf::fig8a_cross_host(AFXDP_NO_CSUM, VmAttachment::Tap),
+        ),
+        (
+            "AF_XDP + vhostuser",
+            iperf::fig8a_cross_host(AFXDP_NO_CSUM, VmAttachment::VhostUser),
+        ),
+        (
+            "AF_XDP + vhostuser + csum",
+            iperf::fig8a_cross_host(AFXDP_POLL, VmAttachment::VhostUser),
+        ),
     ];
     for (l, t) in rows {
         println!("  {l:<28} {:>6.2} Gbps", t.gbps);
@@ -210,10 +258,22 @@ fn fig8a() {
 fn fig8b() {
     section("Figure 8(b) — VM-to-VM within host TCP (paper: 12 / 3.8 / 8.4 / 29 Gbps)");
     let rows = [
-        ("kernel + tap (TSO+csum)", iperf::fig8b_intra_host(DatapathKind::Kernel, VmAttachment::Tap, Offloads::FULL)),
-        ("AF_XDP + vhostuser", iperf::fig8b_intra_host(AFXDP_NO_CSUM, VmAttachment::VhostUser, Offloads::NONE)),
-        ("AF_XDP + vhostuser + csum", iperf::fig8b_intra_host(AFXDP_POLL, VmAttachment::VhostUser, Offloads::CSUM)),
-        ("AF_XDP + vhostuser + csum+TSO", iperf::fig8b_intra_host(AFXDP_POLL, VmAttachment::VhostUser, Offloads::FULL)),
+        (
+            "kernel + tap (TSO+csum)",
+            iperf::fig8b_intra_host(DatapathKind::Kernel, VmAttachment::Tap, Offloads::FULL),
+        ),
+        (
+            "AF_XDP + vhostuser",
+            iperf::fig8b_intra_host(AFXDP_NO_CSUM, VmAttachment::VhostUser, Offloads::NONE),
+        ),
+        (
+            "AF_XDP + vhostuser + csum",
+            iperf::fig8b_intra_host(AFXDP_POLL, VmAttachment::VhostUser, Offloads::CSUM),
+        ),
+        (
+            "AF_XDP + vhostuser + csum+TSO",
+            iperf::fig8b_intra_host(AFXDP_POLL, VmAttachment::VhostUser, Offloads::FULL),
+        ),
     ];
     for (l, t) in rows {
         println!("  {l:<30} {:>6.2} Gbps", t.gbps);
@@ -221,13 +281,30 @@ fn fig8b() {
 }
 
 fn fig8c() {
-    section("Figure 8(c) — container-to-container TCP (paper: 5.9 / 49 / 5.7 / 4.1 / 5.0 / 8.0 Gbps)");
+    section(
+        "Figure 8(c) — container-to-container TCP (paper: 5.9 / 49 / 5.7 / 4.1 / 5.0 / 8.0 Gbps)",
+    );
     let rows = [
-        ("kernel veth (no offload)", iperf::fig8c_containers(CcMode::Kernel, Offloads::NONE)),
-        ("kernel veth (csum+TSO)", iperf::fig8c_containers(CcMode::Kernel, Offloads::FULL)),
-        ("XDP redirect", iperf::fig8c_containers(CcMode::XdpRedirect, Offloads::NONE)),
-        ("AF_XDP userspace", iperf::fig8c_containers(CcMode::AfxdpUserspace(OptLevel::O4), Offloads::NONE)),
-        ("AF_XDP userspace + csum", iperf::fig8c_containers(CcMode::AfxdpUserspace(OptLevel::O5), Offloads::CSUM)),
+        (
+            "kernel veth (no offload)",
+            iperf::fig8c_containers(CcMode::Kernel, Offloads::NONE),
+        ),
+        (
+            "kernel veth (csum+TSO)",
+            iperf::fig8c_containers(CcMode::Kernel, Offloads::FULL),
+        ),
+        (
+            "XDP redirect",
+            iperf::fig8c_containers(CcMode::XdpRedirect, Offloads::NONE),
+        ),
+        (
+            "AF_XDP userspace",
+            iperf::fig8c_containers(CcMode::AfxdpUserspace(OptLevel::O4), Offloads::NONE),
+        ),
+        (
+            "AF_XDP userspace + csum",
+            iperf::fig8c_containers(CcMode::AfxdpUserspace(OptLevel::O5), Offloads::CSUM),
+        ),
     ];
     for (l, t) in rows {
         println!("  {l:<28} {:>6.2} Gbps", t.gbps);
@@ -235,7 +312,9 @@ fn fig8c() {
 }
 
 fn fig9_table4() {
-    section("Figure 9 + Table 4 — P2P/PVP/PCP forwarding rate and CPU (1,000-flow CPU in HT units)");
+    section(
+        "Figure 9 + Table 4 — P2P/PVP/PCP forwarding rate and CPU (1,000-flow CPU in HT units)",
+    );
     println!(
         "  {:<34} {:>7} {:>7}   {:>6} {:>8} {:>6} {:>6} {:>6}",
         "configuration", "1 flow", "1k flow", "system", "softirq", "guest", "user", "total"
@@ -260,33 +339,57 @@ fn fig9_table4() {
     row("DPDK", DpKind::Dpdk, PathKind::P2p);
     println!("  -- PVP --");
     row("kernel + tap", DpKind::Kernel, PathKind::Pvp(VmAttach::Tap));
-    row("AF_XDP + tap", DpKind::Afxdp(OptLevel::O5), PathKind::Pvp(VmAttach::Tap));
-    row("AF_XDP + vhostuser", DpKind::Afxdp(OptLevel::O5), PathKind::Pvp(VmAttach::VhostUser));
-    row("DPDK + vhostuser", DpKind::Dpdk, PathKind::Pvp(VmAttach::VhostUser));
+    row(
+        "AF_XDP + tap",
+        DpKind::Afxdp(OptLevel::O5),
+        PathKind::Pvp(VmAttach::Tap),
+    );
+    row(
+        "AF_XDP + vhostuser",
+        DpKind::Afxdp(OptLevel::O5),
+        PathKind::Pvp(VmAttach::VhostUser),
+    );
+    row(
+        "DPDK + vhostuser",
+        DpKind::Dpdk,
+        PathKind::Pvp(VmAttach::VhostUser),
+    );
     println!("  -- PCP --");
     row("kernel + veth", DpKind::Kernel, PathKind::Pcp);
-    row("AF_XDP (XDP redirect)", DpKind::Afxdp(OptLevel::O5), PathKind::Pcp);
+    row(
+        "AF_XDP (XDP redirect)",
+        DpKind::Afxdp(OptLevel::O5),
+        PathKind::Pcp,
+    );
     row("DPDK (af_packet)", DpKind::Dpdk, PathKind::Pcp);
 }
 
 fn fig10() {
     section("Figure 10 — inter-host VM latency & transactions (paper: K 58/68/94, D 36/38/45, A 39/41/53 us)");
-    for (label, cfg) in [("kernel", RrConfig::Kernel), ("AF_XDP", RrConfig::Afxdp), ("DPDK", RrConfig::Dpdk)] {
+    for (label, cfg) in [
+        ("kernel", RrConfig::Kernel),
+        ("AF_XDP", RrConfig::Afxdp),
+        ("DPDK", RrConfig::Dpdk),
+    ] {
         let r = netperf::vm_rr(cfg);
         println!(
-            "  {label:<8} P50/P90/P99 = {:>3.0}/{:>3.0}/{:>3.0} us   {:>6.0} transactions/s",
-            r.latency_us.p50, r.latency_us.p90, r.latency_us.p99, r.tps
+            "  {label:<8} P50/P90/P99/P99.9 = {:>3.0}/{:>3.0}/{:>3.0}/{:>3.0} us   {:>6.0} transactions/s",
+            r.latency_us.p50, r.latency_us.p90, r.latency_us.p99, r.latency_us.p999, r.tps
         );
     }
 }
 
 fn fig11() {
     section("Figure 11 — intra-host container latency & transactions (paper: K 15/16/20, A ~same, D 81/136/241 us)");
-    for (label, cfg) in [("kernel", RrConfig::Kernel), ("AF_XDP", RrConfig::Afxdp), ("DPDK", RrConfig::Dpdk)] {
+    for (label, cfg) in [
+        ("kernel", RrConfig::Kernel),
+        ("AF_XDP", RrConfig::Afxdp),
+        ("DPDK", RrConfig::Dpdk),
+    ] {
         let r = netperf::container_rr(cfg);
         println!(
-            "  {label:<8} P50/P90/P99 = {:>3.0}/{:>3.0}/{:>3.0} us   {:>6.0} transactions/s",
-            r.latency_us.p50, r.latency_us.p90, r.latency_us.p99, r.tps
+            "  {label:<8} P50/P90/P99/P99.9 = {:>3.0}/{:>3.0}/{:>3.0}/{:>3.0} us   {:>6.0} transactions/s",
+            r.latency_us.p50, r.latency_us.p90, r.latency_us.p99, r.latency_us.p999, r.tps
         );
     }
 }

@@ -21,11 +21,31 @@ pub struct YearChurn {
 
 /// The 2015–2019 series, as read off Figure 1.
 pub const CHURN: [YearChurn; 5] = [
-    YearChurn { year: 2015, new_features: 5_000, backports: 6_000 },
-    YearChurn { year: 2016, new_features: 18_000, backports: 9_000 },
-    YearChurn { year: 2017, new_features: 9_000, backports: 5_500 },
-    YearChurn { year: 2018, new_features: 13_000, backports: 11_000 },
-    YearChurn { year: 2019, new_features: 5_500, backports: 9_000 },
+    YearChurn {
+        year: 2015,
+        new_features: 5_000,
+        backports: 6_000,
+    },
+    YearChurn {
+        year: 2016,
+        new_features: 18_000,
+        backports: 9_000,
+    },
+    YearChurn {
+        year: 2017,
+        new_features: 9_000,
+        backports: 5_500,
+    },
+    YearChurn {
+        year: 2018,
+        new_features: 13_000,
+        backports: 11_000,
+    },
+    YearChurn {
+        year: 2019,
+        new_features: 5_500,
+        backports: 9_000,
+    },
 ];
 
 /// Render the figure as an ASCII bar chart.

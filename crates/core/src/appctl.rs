@@ -1,0 +1,135 @@
+//! The `ovs-appctl` dispatch surface.
+//!
+//! One entry point, [`dispatch`], maps command strings to the
+//! observability handlers the rest of the crate exposes — the same wire
+//! a real `ovs-appctl` invocation rides over the vswitchd unixctl
+//! socket. The paper's §6 "easier troubleshooting" lesson is that moving
+//! the datapath to userspace makes this surface the *primary* window
+//! into the fast path; this module is that window.
+
+use crate::dpif::{DpifNetdev, PortNo};
+use ovs_kernel::Kernel;
+
+/// Commands understood by [`dispatch`], one per line.
+pub const COMMANDS: &[&str] = &[
+    "coverage/show",
+    "dpif-netdev/pmd-perf-show",
+    "dpif-netdev/pmd-stats-show",
+    "dpif-netdev/pmd-stats-clear",
+    "dpctl/dump-flows",
+    "ofproto/trace",
+    "list-commands",
+];
+
+/// Run one appctl command against a datapath. `args` are the
+/// space-separated operands after the command name.
+///
+/// `ofproto/trace` takes `in_port=<N> <hex frame>`: the frame (hex, no
+/// separators) is injected on port `N` and the rendered trace returned.
+pub fn dispatch(
+    dpif: &mut DpifNetdev,
+    kernel: &mut Kernel,
+    cmd: &str,
+    args: &[&str],
+) -> Result<String, String> {
+    match cmd {
+        "coverage/show" => Ok(ovs_obs::coverage::show()),
+        "dpif-netdev/pmd-perf-show" => Ok(dpif.pmd_perf_show(kernel.sim.cpus.hz)),
+        "dpif-netdev/pmd-stats-show" => Ok(dpif.pmd_stats()),
+        "dpif-netdev/pmd-stats-clear" => {
+            dpif.pmd_stats_clear();
+            Ok("statistics cleared\n".to_string())
+        }
+        "dpctl/dump-flows" => Ok(dpif.dump_flows()),
+        "ofproto/trace" => {
+            let usage = "usage: ofproto/trace in_port=<N> <hex frame>";
+            let [port_arg, hex] = args else {
+                return Err(usage.to_string());
+            };
+            let in_port: PortNo = port_arg
+                .strip_prefix("in_port=")
+                .unwrap_or(port_arg)
+                .parse()
+                .map_err(|_| usage.to_string())?;
+            let frame = parse_hex(hex).ok_or_else(|| usage.to_string())?;
+            Ok(dpif.ofproto_trace(kernel, &frame, in_port, 0))
+        }
+        "list-commands" => {
+            let mut out = String::new();
+            for c in COMMANDS {
+                out.push_str(c);
+                out.push('\n');
+            }
+            Ok(out)
+        }
+        other => Err(format!("\"{other}\" is not a valid command")),
+    }
+}
+
+fn parse_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let mut dpif = DpifNetdev::new();
+        let mut kernel = Kernel::new(1);
+        let err = dispatch(&mut dpif, &mut kernel, "no/such", &[]).unwrap_err();
+        assert!(err.contains("not a valid command"), "{err}");
+    }
+
+    #[test]
+    fn list_commands_lists_everything() {
+        let mut dpif = DpifNetdev::new();
+        let mut kernel = Kernel::new(1);
+        let out = dispatch(&mut dpif, &mut kernel, "list-commands", &[]).unwrap();
+        for c in COMMANDS {
+            assert!(out.contains(c), "missing {c}");
+        }
+    }
+
+    #[test]
+    fn coverage_show_and_stats_clear_round_trip() {
+        let mut dpif = DpifNetdev::new();
+        let mut kernel = Kernel::new(1);
+        ovs_obs::coverage::reset();
+        ovs_obs::coverage!("appctl_test_evt");
+        let out = dispatch(&mut dpif, &mut kernel, "coverage/show", &[]).unwrap();
+        assert!(out.contains("appctl_test_evt"), "{out}");
+        let out = dispatch(&mut dpif, &mut kernel, "dpif-netdev/pmd-stats-clear", &[]).unwrap();
+        assert!(out.contains("cleared"));
+        ovs_obs::coverage::reset();
+    }
+
+    #[test]
+    fn trace_usage_errors() {
+        let mut dpif = DpifNetdev::new();
+        let mut kernel = Kernel::new(1);
+        assert!(dispatch(&mut dpif, &mut kernel, "ofproto/trace", &[]).is_err());
+        assert!(dispatch(
+            &mut dpif,
+            &mut kernel,
+            "ofproto/trace",
+            &["in_port=0", "zz"]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn hex_parsing() {
+        assert_eq!(parse_hex("0aff"), Some(vec![0x0a, 0xff]));
+        assert_eq!(parse_hex("0af"), None);
+        assert_eq!(parse_hex("zz"), None);
+        assert_eq!(parse_hex(""), Some(vec![]));
+    }
+}

@@ -106,7 +106,8 @@ impl<V> Classifier<V> {
         }
         // Keep subtables ordered by descending max priority so lookups can
         // stop early (OVS's pvector).
-        self.subtables.sort_by_key(|s| std::cmp::Reverse(s.max_priority));
+        self.subtables
+            .sort_by_key(|s| std::cmp::Reverse(s.max_priority));
     }
 
     /// Remove rules matching (key, mask); returns how many were removed.
@@ -285,7 +286,12 @@ mod tests {
         c.insert(rule([10, 0, 0, 0], 8, 1, 1));
         let mut m2 = FlowMask::EMPTY;
         m2.set_field(&fields::TP_DST);
-        c.insert(Rule { key: FlowKey::default(), mask: m2, priority: 2, value: 9 });
+        c.insert(Rule {
+            key: FlowKey::default(),
+            mask: m2,
+            priority: 2,
+            value: 9,
+        });
         let total = c.total_mask();
         assert!(m2.subset_of(&total));
         let mut m1 = FlowMask::EMPTY;
@@ -296,7 +302,12 @@ mod tests {
     #[test]
     fn wildcard_all_rule_matches_everything() {
         let mut c = Classifier::new();
-        c.insert(Rule { key: FlowKey::default(), mask: FlowMask::EMPTY, priority: 0, value: 7 });
+        c.insert(Rule {
+            key: FlowKey::default(),
+            mask: FlowMask::EMPTY,
+            priority: 0,
+            value: 7,
+        });
         assert_eq!(c.lookup(&key_dst([8, 8, 8, 8])).unwrap().value, 7);
         let mut k = FlowKey::default();
         k.set_tp_src(9999);

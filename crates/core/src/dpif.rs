@@ -20,10 +20,57 @@ use ovs_dpdk::{AfPacketDev, EthDev, VhostUserDev};
 use ovs_kernel::conntrack::{ConnKey, Conntrack, CtAction};
 use ovs_kernel::rtnetlink::RtnlCache;
 use ovs_kernel::Kernel;
+use ovs_obs::{coverage, PmdPerf, Stage, StageTimer, TraceCtx};
 use ovs_packet::flow::extract_flow_key;
+use ovs_packet::flow::FlowKey;
 use ovs_packet::{builder, DpPacket, MacAddr};
 use ovs_sim::Context;
+use std::collections::BTreeMap;
 use std::rc::Rc;
+
+/// Core busy time as an integer nanosecond snapshot for stage
+/// attribution. Rounding is monotone, and integer deltas telescope, so
+/// per-stage times sum *exactly* to the poll total.
+fn core_ns(kernel: &Kernel, core: usize) -> u64 {
+    kernel.sim.cpus.core(core).total_ns().round() as u64
+}
+
+/// One line of `ofproto/trace` flow description.
+fn describe_key(key: &FlowKey) -> String {
+    let s = key.nw_src_v4();
+    let d = key.nw_dst_v4();
+    let mut out = format!(
+        "in_port={},eth_type=0x{:04x}",
+        key.in_port(),
+        key.eth_type_raw()
+    );
+    if s != [0, 0, 0, 0] || d != [0, 0, 0, 0] {
+        out.push_str(&format!(
+            ",nw_src={}.{}.{}.{},nw_dst={}.{}.{}.{},nw_proto={},tp_src={},tp_dst={}",
+            s[0],
+            s[1],
+            s[2],
+            s[3],
+            d[0],
+            d[1],
+            d[2],
+            d[3],
+            key.nw_proto(),
+            key.tp_src(),
+            key.tp_dst()
+        ));
+    }
+    if key.tun_id() != 0 {
+        out.push_str(&format!(",tun_id={}", key.tun_id()));
+    }
+    if key.recirc_id() != 0 {
+        out.push_str(&format!(",recirc_id=0x{:x}", key.recirc_id()));
+    }
+    if key.ct_state() != 0 {
+        out.push_str(&format!(",ct_state=0x{:02x}", key.ct_state()));
+    }
+    out
+}
 
 /// A datapath port number.
 pub type PortNo = u32;
@@ -36,7 +83,10 @@ const MAX_RECIRC: usize = 8;
 #[derive(Debug, Clone, PartialEq)]
 pub enum DpAction {
     Output(PortNo),
-    SetTunnel { id: u64, dst: [u8; 4] },
+    SetTunnel {
+        id: u64,
+        dst: [u8; 4],
+    },
     SetEthSrc(MacAddr),
     SetEthDst(MacAddr),
     PushVlan(u16),
@@ -108,6 +158,9 @@ impl Port {
 pub struct DpifStats {
     pub rx_packets: u64,
     pub tx_packets: u64,
+    /// Packets entering the pipeline (`process_packet` calls). Unlike
+    /// `rx_packets` this also counts directly injected packets.
+    pub packets_processed: u64,
     pub emc_hits: u64,
     pub megaflow_hits: u64,
     pub upcalls: u64,
@@ -117,6 +170,16 @@ pub struct DpifStats {
     pub tunnel_decaps: u64,
     pub tso_segments: u64,
     pub meter_drops: u64,
+}
+
+impl DpifStats {
+    /// Lookup accounting invariant: every pipeline pass consults exactly
+    /// one cache tier, and passes are packets plus the recirculations
+    /// that re-entered the pipeline.
+    pub fn coherent(&self) -> bool {
+        self.emc_hits + self.megaflow_hits + self.upcalls
+            == self.packets_processed + self.recirculations
+    }
 }
 
 /// The userspace datapath (`dpif-netdev`).
@@ -137,6 +200,11 @@ pub struct DpifNetdev {
     pub mirrors: Vec<MirrorSession>,
     /// Counters.
     pub stats: DpifStats,
+    /// Per-PMD (per-core) stage cycle attribution.
+    pub perf: BTreeMap<usize, PmdPerf>,
+    /// Active `ofproto/trace` context, attached to the packet currently
+    /// in flight. `None` on the fast path — tracing costs nothing then.
+    pub trace: Option<TraceCtx>,
 }
 
 impl Default for DpifNetdev {
@@ -158,12 +226,17 @@ impl DpifNetdev {
             rtnl: RtnlCache::new(),
             mirrors: Vec::new(),
             stats: DpifStats::default(),
+            perf: BTreeMap::new(),
+            trace: None,
         }
     }
 
     /// Add a port, returning its port number.
     pub fn add_port(&mut self, name: &str, ty: PortType) -> PortNo {
-        self.ports.push(Some(Port { name: name.to_string(), ty }));
+        self.ports.push(Some(Port {
+            name: name.to_string(),
+            ty,
+        }));
         (self.ports.len() - 1) as PortNo
     }
 
@@ -229,7 +302,13 @@ impl DpifNetdev {
     pub fn pmd_stats(&self) -> String {
         let s = &self.stats;
         let lookups = s.emc_hits + s.megaflow_hits + s.upcalls;
-        let pct = |n: u64| if lookups == 0 { 0.0 } else { 100.0 * n as f64 / lookups as f64 };
+        let pct = |n: u64| {
+            if lookups == 0 {
+                0.0
+            } else {
+                100.0 * n as f64 / lookups as f64
+            }
+        };
         format!(
             "packets received: {}
 packets transmitted: {}
@@ -243,13 +322,72 @@ tso segments: {}
 dropped: {}
 megaflows installed: {}
 ",
-            s.rx_packets, s.tx_packets,
-            s.emc_hits, pct(s.emc_hits),
-            s.megaflow_hits, pct(s.megaflow_hits),
-            s.upcalls, pct(s.upcalls),
-            s.recirculations, s.tunnel_encaps, s.tunnel_decaps,
-            s.tso_segments, s.meter_drops, s.dropped, self.megaflow_count(),
+            s.rx_packets,
+            s.tx_packets,
+            s.emc_hits,
+            pct(s.emc_hits),
+            s.megaflow_hits,
+            pct(s.megaflow_hits),
+            s.upcalls,
+            pct(s.upcalls),
+            s.recirculations,
+            s.tunnel_encaps,
+            s.tunnel_decaps,
+            s.tso_segments,
+            s.meter_drops,
+            s.dropped,
+            self.megaflow_count(),
         )
+    }
+
+    /// `ovs-appctl dpif-netdev/pmd-perf-show` equivalent: per-PMD stage
+    /// cycle attribution plus a merged all-PMD summary.
+    pub fn pmd_perf_show(&self, cpu_hz: u64) -> String {
+        let mut out = String::new();
+        let mut merged = PmdPerf::new();
+        for (core, perf) in &self.perf {
+            out.push_str(&perf.render(&format!("pmd thread core {core}"), cpu_hz));
+            merged.merge(perf);
+        }
+        if self.perf.len() != 1 {
+            out.push_str(&merged.render("all pmd threads", cpu_hz));
+        }
+        if self.perf.is_empty() {
+            out.push_str("(no pmd activity)\n");
+        }
+        out
+    }
+
+    /// `ovs-appctl dpif-netdev/pmd-stats-clear` equivalent: zero both the
+    /// datapath counters and the per-PMD perf accumulation.
+    pub fn pmd_stats_clear(&mut self) {
+        self.stats = DpifStats::default();
+        self.perf.clear();
+    }
+
+    /// `ovs-appctl ofproto/trace` equivalent: run `frame` through the
+    /// full pipeline as if received on `in_port`, recording every
+    /// decision, and render the trace. The packet is really forwarded
+    /// (caches warm, counters move) — same as tracing with a live
+    /// datapath in OVS.
+    pub fn ofproto_trace(
+        &mut self,
+        kernel: &mut Kernel,
+        frame: &[u8],
+        in_port: PortNo,
+        core: usize,
+    ) -> String {
+        let mut t = TraceCtx::new();
+        t.note(format!(
+            "Trace: {} byte frame on in_port={in_port}",
+            frame.len()
+        ));
+        self.trace = Some(t);
+        let mut pkt = DpPacket::from_data(frame);
+        pkt.in_port = in_port;
+        self.process_packet(kernel, pkt, core);
+        let t = self.trace.take().expect("trace ctx survives the pipeline");
+        t.render()
     }
 
     /// `ovs-appctl dpctl/dump-flows` equivalent: one line per installed
@@ -283,7 +421,12 @@ megaflows installed: {}
             if k.tun_id() != 0 {
                 let _ = write!(out, ",tun_id({})", k.tun_id());
             }
-            let _ = write!(out, " packets:{} mask_bits:{}", e.hits.get(), e.mask.bit_count());
+            let _ = write!(
+                out,
+                " packets:{} mask_bits:{}",
+                e.hits.get(),
+                e.mask.bit_count()
+            );
             let _ = writeln!(out, " actions:{:?}", e.actions);
         }
         out
@@ -298,12 +441,20 @@ megaflows installed: {}
         queue: usize,
         core: usize,
     ) -> usize {
+        let mut timer = StageTimer::new(core_ns(kernel, core));
         let pkts = self.port_rx(kernel, port, queue, core);
+        timer.mark(Stage::Rx, core_ns(kernel, core));
         let n = pkts.len();
         for mut pkt in pkts {
             pkt.in_port = port;
-            self.process_packet(kernel, pkt, core);
+            self.process_packet_timed(kernel, pkt, core, &mut timer);
         }
+        self.perf.entry(core).or_default().commit(&timer, n as u64);
+        debug_assert!(
+            self.stats.coherent(),
+            "dpif stats drifted: {:?}",
+            self.stats
+        );
         n
     }
 
@@ -346,7 +497,10 @@ megaflows installed: {}
                     out.push(pkt);
                 }
             }
-            PortType::Tap { ifindex } | PortType::Internal { tap_ifindex: ifindex } => {
+            PortType::Tap { ifindex }
+            | PortType::Internal {
+                tap_ifindex: ifindex,
+            } => {
                 // OVS reaches the tap's *kernel* side over a raw socket
                 // (the fd side belongs to the VM's vhost backend).
                 let ifx = *ifindex;
@@ -373,44 +527,114 @@ megaflows installed: {}
             PortType::Tunnel(_) => {}
         }
         self.stats.rx_packets += out.len() as u64;
+        coverage!("dpif_rx", out.len());
         out
     }
 
     /// Run one packet through decap, the cache hierarchy, and actions.
-    pub fn process_packet(&mut self, kernel: &mut Kernel, mut pkt: DpPacket, core: usize) {
+    pub fn process_packet(&mut self, kernel: &mut Kernel, pkt: DpPacket, core: usize) {
+        let mut timer = StageTimer::new(core_ns(kernel, core));
+        self.process_packet_timed(kernel, pkt, core, &mut timer);
+        self.perf.entry(core).or_default().commit(&timer, 1);
+        debug_assert!(
+            self.stats.coherent(),
+            "dpif stats drifted: {:?}",
+            self.stats
+        );
+    }
+
+    /// The pipeline proper, attributing spans of core time to `timer`.
+    fn process_packet_timed(
+        &mut self,
+        kernel: &mut Kernel,
+        mut pkt: DpPacket,
+        core: usize,
+        timer: &mut StageTimer,
+    ) {
+        self.stats.packets_processed += 1;
+        coverage!("dpif_packet");
         // Tunnel reception: if the frame targets one of our tunnel
         // endpoints, decapsulate and re-address it to the tunnel port.
         self.try_tunnel_rx(kernel, &mut pkt, core);
+        timer.mark(Stage::Parse, core_ns(kernel, core));
 
-        for _ in 0..MAX_RECIRC {
+        for pass in 0..=MAX_RECIRC {
+            if pass == MAX_RECIRC {
+                // Recirculation limit exceeded.
+                self.stats.dropped += 1;
+                coverage!("dpif_recirc_limit");
+                if let Some(t) = self.trace.as_mut() {
+                    t.note(format!("recirculation limit ({MAX_RECIRC}) exceeded: drop"));
+                }
+                return;
+            }
+            if pass > 0 {
+                self.stats.recirculations += 1;
+                coverage!("dpif_recirc");
+            }
             let key = extract_flow_key(&mut pkt);
             let c = kernel.sim.costs.dpif_extract_ns;
             kernel.sim.charge(core, Context::User, c);
+            timer.mark(Stage::Parse, core_ns(kernel, core));
+            if let Some(t) = self.trace.as_mut() {
+                t.enter(format!("pass {}: flow {}", pass + 1, describe_key(&key)));
+            }
 
             // Level 1: EMC.
             let actions: Rc<Vec<DpAction>> = if let Some(e) = self.emc.lookup(&key) {
                 self.stats.emc_hits += 1;
+                coverage!("dpif_emc_hit");
                 let mut c = kernel.sim.costs.emc_hit_ns;
                 if self.emc.len() > kernel.sim.costs.emc_pressure_threshold {
                     c += kernel.sim.costs.emc_pressure_ns;
                 }
                 kernel.sim.charge(core, Context::User, c);
+                timer.mark(Stage::EmcLookup, core_ns(kernel, core));
+                if let Some(t) = self.trace.as_mut() {
+                    t.note("cache: EMC hit (exact match)");
+                }
                 Rc::new(e.actions.clone())
             } else if let Some(e) = self.megaflow.lookup(&key) {
                 // Level 2: megaflow cache.
                 self.stats.megaflow_hits += 1;
+                coverage!("dpif_megaflow_hit");
                 let c = kernel.sim.costs.emc_hit_ns + kernel.sim.costs.dpcls_lookup_ns;
                 kernel.sim.charge(core, Context::User, c);
+                timer.mark(Stage::MegaflowLookup, core_ns(kernel, core));
+                if let Some(t) = self.trace.as_mut() {
+                    t.note(format!(
+                        "cache: megaflow hit (mask {} bits)",
+                        e.mask.bit_count()
+                    ));
+                }
                 self.emc.maybe_insert(key, Rc::clone(&e));
                 Rc::new(e.actions.clone())
             } else {
-                // Level 3: upcall into ofproto.
+                // Level 3: upcall into ofproto. The EMC and dpcls misses
+                // are paid first, then the translation itself.
                 self.stats.upcalls += 1;
-                let t = self.ofproto.translate(&key);
-                let c = kernel.sim.costs.emc_hit_ns
-                    + kernel.sim.costs.dpcls_lookup_ns
-                    + t.tables_visited as f64 * kernel.sim.costs.upcall_per_table_ns;
+                coverage!("dpif_upcall");
+                let c = kernel.sim.costs.emc_hit_ns;
                 kernel.sim.charge(core, Context::User, c);
+                timer.mark(Stage::EmcLookup, core_ns(kernel, core));
+                let c = kernel.sim.costs.dpcls_lookup_ns;
+                kernel.sim.charge(core, Context::User, c);
+                timer.mark(Stage::MegaflowLookup, core_ns(kernel, core));
+                if let Some(t) = self.trace.as_mut() {
+                    t.enter("cache: miss, upcall to ofproto");
+                }
+                let t = self.ofproto.translate_traced(&key, self.trace.as_mut());
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.exit();
+                    tr.note(format!(
+                        "megaflow installed: {} tables visited, mask {} bits",
+                        t.tables_visited,
+                        t.mask.bit_count()
+                    ));
+                }
+                let c = t.tables_visited as f64 * kernel.sim.costs.upcall_per_table_ns;
+                kernel.sim.charge(core, Context::User, c);
+                timer.mark(Stage::Upcall, core_ns(kernel, core));
                 let entry = self.megaflow.install(key, t.mask, t.actions.clone());
                 self.emc.maybe_insert(key, entry);
                 Rc::new(t.actions)
@@ -418,18 +642,25 @@ megaflows installed: {}
 
             if actions.is_empty() {
                 self.stats.dropped += 1;
+                coverage!("dpif_drop");
+                if let Some(t) = self.trace.as_mut() {
+                    t.note("Datapath actions: drop");
+                    t.exit();
+                }
                 return;
             }
-            match self.execute_actions(kernel, pkt, &actions, core) {
-                Some(recirculated) => {
-                    self.stats.recirculations += 1;
-                    pkt = recirculated;
-                }
+            if let Some(t) = self.trace.as_mut() {
+                t.note(format!("Datapath actions: {actions:?}"));
+            }
+            let recirculated = self.execute_actions(kernel, pkt, &actions, core, timer);
+            if let Some(t) = self.trace.as_mut() {
+                t.exit();
+            }
+            match recirculated {
+                Some(p) => pkt = p,
                 None => return,
             }
         }
-        // Recirculation limit exceeded.
-        self.stats.dropped += 1;
     }
 
     /// Execute actions; returns `Some(pkt)` if the packet recirculates.
@@ -439,13 +670,16 @@ megaflows installed: {}
         mut pkt: DpPacket,
         actions: &[DpAction],
         core: usize,
+        timer: &mut StageTimer,
     ) -> Option<DpPacket> {
         for (i, act) in actions.iter().enumerate() {
             match act {
                 DpAction::Output(p) => {
+                    timer.mark(Stage::Actions, core_ns(kernel, core));
                     let last = i + 1 == actions.len();
                     if last {
                         self.port_send(kernel, *p, pkt, core);
+                        timer.mark(Stage::Tx, core_ns(kernel, core));
                         return None;
                     }
                     let clone = DpPacket::from_data(pkt.data());
@@ -453,6 +687,7 @@ megaflows installed: {}
                     clone.tunnel = pkt.tunnel;
                     clone.offloads = pkt.offloads;
                     self.port_send(kernel, *p, clone, core);
+                    timer.mark(Stage::Tx, core_ns(kernel, core));
                 }
                 DpAction::SetTunnel { id, dst } => {
                     pkt.tunnel = Some(ovs_packet::dp_packet::TunnelMetadata {
@@ -501,13 +736,31 @@ megaflows installed: {}
                     };
                     let v = self.ct.process(
                         ck,
-                        CtAction { zone: *zone, commit: *commit, mark: None, nat: *nat },
+                        CtAction {
+                            zone: *zone,
+                            commit: *commit,
+                            mark: None,
+                            nat: *nat,
+                        },
                         kernel.sim.clock.now_ns(),
                     );
+                    coverage!("dpif_ct_lookup");
                     pkt.ct_state = v.state;
                     pkt.ct_zone = *zone;
                     pkt.ct_mark = v.mark;
+                    if let Some(t) = self.trace.as_mut() {
+                        t.note(format!(
+                            "ct(zone={zone},commit={commit}): verdict ct_state=0x{:02x}{}",
+                            v.state,
+                            if v.nat.is_some() {
+                                ", nat rewrite applied"
+                            } else {
+                                ""
+                            }
+                        ));
+                    }
                     if let Some(rw) = v.nat {
+                        coverage!("dpif_ct_nat");
                         ovs_kernel::conntrack::apply_rewrite(pkt.data_mut(), &rw);
                         let c = kernel.sim.costs.csum_ns(pkt.len());
                         kernel.sim.charge(core, Context::User, c);
@@ -517,19 +770,31 @@ megaflows installed: {}
                 }
                 DpAction::Recirc(rid) => {
                     pkt.recirc_id = *rid;
+                    timer.mark(Stage::Actions, core_ns(kernel, core));
                     let c = kernel.sim.costs.recirc_ns;
                     kernel.sim.charge(core, Context::User, c);
+                    timer.mark(Stage::Recirc, core_ns(kernel, core));
+                    if let Some(t) = self.trace.as_mut() {
+                        t.note(format!("recirc(0x{rid:x})"));
+                    }
                     return Some(pkt);
                 }
                 DpAction::Meter(id) => {
                     let now = kernel.sim.clock.now_ns();
                     if !self.meters.offer(*id, now, pkt.len()) {
                         self.stats.meter_drops += 1;
+                        self.stats.dropped += 1;
+                        coverage!("dpif_meter_drop");
+                        timer.mark(Stage::Actions, core_ns(kernel, core));
+                        if let Some(t) = self.trace.as_mut() {
+                            t.note(format!("meter({id}): rate exceeded, drop"));
+                        }
                         return None;
                     }
                 }
             }
         }
+        timer.mark(Stage::Actions, core_ns(kernel, core));
         None
     }
 
@@ -540,15 +805,27 @@ megaflows installed: {}
             .iter()
             .enumerate()
             .filter_map(|(no, p)| match p {
-                Some(Port { ty: PortType::Tunnel(cfg), .. }) => Some((no as PortNo, *cfg)),
+                Some(Port {
+                    ty: PortType::Tunnel(cfg),
+                    ..
+                }) => Some((no as PortNo, *cfg)),
                 _ => None,
             })
             .collect();
         for (no, cfg) in configs {
             if let Some((inner, meta)) = tunnel::try_decap(&cfg, pkt.data()) {
                 self.stats.tunnel_decaps += 1;
+                coverage!("dpif_tunnel_decap");
                 let c = kernel.sim.costs.userspace_tunnel_ns;
                 kernel.sim.charge(core, Context::User, c);
+                if let Some(t) = self.trace.as_mut() {
+                    t.note(format!(
+                        "tunnel decap ({:?}): tun_id={}, inner {} bytes, in_port={no}",
+                        cfg.kind,
+                        meta.tun_id,
+                        inner.len()
+                    ));
+                }
                 pkt.set_data(&inner);
                 pkt.tunnel = Some(meta);
                 pkt.in_port = no;
@@ -561,7 +838,10 @@ megaflows installed: {}
     fn port_send(&mut self, kernel: &mut Kernel, port: PortNo, pkt: DpPacket, core: usize) {
         // Tunnel output: encapsulate, then re-send on the egress port.
         let tunnel_cfg = match self.ports.get(port as usize) {
-            Some(Some(Port { ty: PortType::Tunnel(cfg), .. })) => Some(*cfg),
+            Some(Some(Port {
+                ty: PortType::Tunnel(cfg),
+                ..
+            })) => Some(*cfg),
             _ => None,
         };
         if let Some(cfg) = tunnel_cfg {
@@ -599,6 +879,19 @@ megaflows installed: {}
             match tunnel::encap(&cfg, &self.rtnl, &dev_macs, &meta, pkt.data(), entropy) {
                 Ok(enc) => {
                     self.stats.tunnel_encaps += 1;
+                    coverage!("dpif_tunnel_encap");
+                    if let Some(t) = self.trace.as_mut() {
+                        t.note(format!(
+                            "tunnel encap ({:?}): tun_id={}, dst={}.{}.{}.{}, outer {} bytes",
+                            cfg.kind,
+                            meta.tun_id,
+                            meta.dst[0],
+                            meta.dst[1],
+                            meta.dst[2],
+                            meta.dst[3],
+                            enc.frame.len()
+                        ));
+                    }
                     let egress = self
                         .ports
                         .iter()
@@ -624,9 +917,7 @@ megaflows installed: {}
             Some(p) => match &p.ty {
                 // XDP/AF_XDP has no TSO yet (§6) — segment in software.
                 PortType::Afxdp(_) | PortType::AfPacket(_) => pkt.len() > 1514,
-                PortType::Dpdk(d) => {
-                    pkt.len() > 1514 && !kernel.device(d.ifindex).caps.tso
-                }
+                PortType::Dpdk(d) => pkt.len() > 1514 && !kernel.device(d.ifindex).caps.tso,
                 // virtio (vhostuser, tap with vnet headers) passes
                 // super-frames through.
                 PortType::VhostUser(_) | PortType::Tap { .. } | PortType::Internal { .. } => false,
@@ -637,6 +928,13 @@ megaflows installed: {}
         if needs_segmentation {
             let segs = tso::segment(pkt.data(), 1460);
             self.stats.tso_segments += segs.len() as u64;
+            coverage!("dpif_tso_segment", segs.len());
+            if let Some(t) = self.trace.as_mut() {
+                t.note(format!(
+                    "software TSO: segmented into {} frames",
+                    segs.len()
+                ));
+            }
             for seg in segs {
                 let mut p = DpPacket::from_data(&seg);
                 p.offloads = pkt.offloads;
@@ -665,9 +963,17 @@ megaflows installed: {}
         }
         let Some(Some(p)) = self.ports.get_mut(port as usize) else {
             self.stats.dropped += 1;
+            coverage!("dpif_tx_no_port");
             return;
         };
         self.stats.tx_packets += 1;
+        coverage!("dpif_tx");
+        if let Some(t) = self.trace.as_mut() {
+            t.note(format!("output: port {port} ({}, {:?})", p.name, p.ty));
+            // Let packet-level tools correlate the transmitted frame with
+            // this trace (`tcpdump` prints a "[traced]" tag).
+            kernel.mark_traced(pkt.data());
+        }
         match &mut p.ty {
             PortType::Afxdp(a) => {
                 let mut batch = ovs_ring::PacketBatch::new();
@@ -683,7 +989,10 @@ megaflows installed: {}
                     self.stats.dropped += 1;
                 }
             }
-            PortType::Tap { ifindex } | PortType::Internal { tap_ifindex: ifindex } => {
+            PortType::Tap { ifindex }
+            | PortType::Internal {
+                tap_ifindex: ifindex,
+            } => {
                 let ifx = *ifindex;
                 kernel.raw_socket_send(ifx, pkt.data().to_vec(), core);
             }
@@ -810,8 +1119,18 @@ mod tests {
     /// Two AF_XDP physical ports, forwarding p0 -> p1 (the P2P shape).
     fn p2p_setup() -> (Kernel, DpifNetdev, u32, u32) {
         let mut k = Kernel::new(8);
-        let eth0 = k.add_device(NetDevice::new("eth0", M1, DeviceKind::Phys { link_gbps: 25.0 }, 1));
-        let eth1 = k.add_device(NetDevice::new("eth1", M2, DeviceKind::Phys { link_gbps: 25.0 }, 1));
+        let eth0 = k.add_device(NetDevice::new(
+            "eth0",
+            M1,
+            DeviceKind::Phys { link_gbps: 25.0 },
+            1,
+        ));
+        let eth1 = k.add_device(NetDevice::new(
+            "eth1",
+            M2,
+            DeviceKind::Phys { link_gbps: 25.0 },
+            1,
+        ));
         let mut dp = DpifNetdev::new();
         let a0 = AfxdpPort::open(&mut k, eth0, 256, OptLevel::O5).unwrap();
         let a1 = AfxdpPort::open(&mut k, eth1, 256, OptLevel::O5).unwrap();
@@ -914,7 +1233,12 @@ mod tests {
             priority: 10,
             key,
             mask: FlowMask::of_fields(&[&fields::IN_PORT]),
-            actions: vec![OfAction::Ct { zone: 5, commit: true, resume_table: 1, nat: None }],
+            actions: vec![OfAction::Ct {
+                zone: 5,
+                commit: true,
+                resume_table: 1,
+                nat: None,
+            }],
             cookie: 0,
         });
         // Table 1: tracked packets out port 1.
@@ -938,9 +1262,19 @@ mod tests {
     fn vhostuser_pvp_roundtrip() {
         // phys -> vm (vhostuser, PMD forwarder) -> phys: the PVP loop.
         let mut k = Kernel::new(8);
-        let eth0 = k.add_device(NetDevice::new("eth0", M1, DeviceKind::Phys { link_gbps: 25.0 }, 1));
+        let eth0 = k.add_device(NetDevice::new(
+            "eth0",
+            M1,
+            DeviceKind::Phys { link_gbps: 25.0 },
+            1,
+        ));
         let g = k.add_guest(Guest::new(
-            "vm0", M2, [10, 0, 0, 2], GuestRole::PmdForwarder, VirtioBackend::VhostUser, 4,
+            "vm0",
+            M2,
+            [10, 0, 0, 2],
+            GuestRole::PmdForwarder,
+            VirtioBackend::VhostUser,
+            4,
         ));
         let mut dp = DpifNetdev::new();
         let a0 = AfxdpPort::open(&mut k, eth0, 256, OptLevel::O5).unwrap();
@@ -963,10 +1297,26 @@ mod tests {
     fn geneve_tunnel_tx_and_rx() {
         // Overlay: port 0 (afxdp "vm-facing") -> geneve tunnel -> uplink.
         let mut k = Kernel::new(4);
-        let eth0 = k.add_device(NetDevice::new("eth0", M1, DeviceKind::Phys { link_gbps: 10.0 }, 1));
-        let uplink = k.add_device(NetDevice::new("uplink", M2, DeviceKind::Phys { link_gbps: 10.0 }, 1));
+        let eth0 = k.add_device(NetDevice::new(
+            "eth0",
+            M1,
+            DeviceKind::Phys { link_gbps: 10.0 },
+            1,
+        ));
+        let uplink = k.add_device(NetDevice::new(
+            "uplink",
+            M2,
+            DeviceKind::Phys { link_gbps: 10.0 },
+            1,
+        ));
         k.add_addr(uplink, [172, 16, 0, 1], 24);
-        ovs_kernel::tools::ip_neigh_add(&mut k, [172, 16, 0, 2], MacAddr::new(4, 0, 0, 0, 0, 2), "uplink").unwrap();
+        ovs_kernel::tools::ip_neigh_add(
+            &mut k,
+            [172, 16, 0, 2],
+            MacAddr::new(4, 0, 0, 0, 0, 2),
+            "uplink",
+        )
+        .unwrap();
 
         let mut dp = DpifNetdev::new();
         let a0 = AfxdpPort::open(&mut k, eth0, 128, OptLevel::O5).unwrap();
@@ -990,7 +1340,10 @@ mod tests {
             key,
             mask: FlowMask::of_fields(&[&fields::IN_PORT]),
             actions: vec![
-                OfAction::SetTunnel { id: 5001, dst: [172, 16, 0, 2] },
+                OfAction::SetTunnel {
+                    id: 5001,
+                    dst: [172, 16, 0, 2],
+                },
                 OfAction::Output(pt),
             ],
             cookie: 0,
@@ -999,7 +1352,11 @@ mod tests {
         k.receive(eth0, 0, frame64());
         dp.pmd_poll(&mut k, p0, 0, 1);
         assert_eq!(dp.stats.tunnel_encaps, 1);
-        let outer = k.dev_mut(uplink).tx_wire.pop_front().expect("encapsulated frame on uplink");
+        let outer = k
+            .dev_mut(uplink)
+            .tx_wire
+            .pop_front()
+            .expect("encapsulated frame on uplink");
         // Decap side: a second datapath with the remote endpoint.
         let mut dp2 = DpifNetdev::new();
         let pt2 = dp2.add_port(
@@ -1031,13 +1388,24 @@ mod tests {
         // A 4380-byte TCP super-frame injected directly.
         let payload = vec![0u8; 4380];
         let f = builder::tcp_ipv4(
-            M1, M2, [10, 0, 0, 1], [10, 0, 0, 2], 1, 2, 100, 0,
-            ovs_packet::tcp::flags::ACK, &payload,
+            M1,
+            M2,
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            1,
+            2,
+            100,
+            0,
+            ovs_packet::tcp::flags::ACK,
+            &payload,
         );
         let mut pkt = DpPacket::from_data(&f);
         pkt.in_port = 0;
         dp.process_packet(&mut k, pkt, 1);
-        assert_eq!(dp.stats.tso_segments, 3, "segmented to MSS on AF_XDP egress");
+        assert_eq!(
+            dp.stats.tso_segments, 3,
+            "segmented to MSS on AF_XDP egress"
+        );
         assert_eq!(k.device(eth1).tx_wire.len(), 3);
     }
 
@@ -1066,13 +1434,120 @@ mod tests {
     }
 
     #[test]
+    fn stats_invariant_coherent_across_paths() {
+        // Exercise every accounting path: upcalls, cache hits, ct
+        // recirculation, and meter drops — the invariant must hold after
+        // each poll (it is also debug_asserted inside the datapath).
+        let (mut k, mut dp, eth0, _eth1) = p2p_setup();
+        dp.ofproto = Ofproto::new();
+        let mut key = FlowKey::default();
+        key.set_in_port(0);
+        dp.ofproto.add_rule(OfRule {
+            table: 0,
+            priority: 10,
+            key,
+            mask: FlowMask::of_fields(&[&fields::IN_PORT]),
+            actions: vec![
+                OfAction::Meter(1),
+                OfAction::Ct {
+                    zone: 5,
+                    commit: true,
+                    resume_table: 1,
+                    nat: None,
+                },
+            ],
+            cookie: 0,
+        });
+        dp.ofproto.add_rule(OfRule {
+            table: 1,
+            priority: 0,
+            key: FlowKey::default(),
+            mask: FlowMask::EMPTY,
+            actions: vec![OfAction::Output(1)],
+            cookie: 0,
+        });
+        dp.meters.set(1, crate::meter::Meter::new(1_000, 512));
+        for _ in 0..6 {
+            k.receive(eth0, 0, frame64());
+            dp.pmd_poll(&mut k, 0, 0, 1);
+            assert!(dp.stats.coherent(), "{:?}", dp.stats);
+        }
+        assert!(dp.stats.meter_drops > 0, "meter engaged");
+        assert!(dp.stats.recirculations > 0, "ct recirculated");
+        let s = dp.stats;
+        assert_eq!(
+            s.emc_hits + s.megaflow_hits + s.upcalls,
+            s.packets_processed + s.recirculations
+        );
+    }
+
+    #[test]
+    fn trace_renders_pipeline_decisions() {
+        let (mut k, mut dp, _eth0, eth1) = p2p_setup();
+        // Cold caches: the trace shows the upcall and the translation.
+        let cold = dp.ofproto_trace(&mut k, &frame64(), 0, 0);
+        assert!(cold.contains("Trace: "), "{cold}");
+        assert!(cold.contains("upcall to ofproto"), "{cold}");
+        assert!(cold.contains("table 0: matched priority 10"), "{cold}");
+        assert!(cold.contains("megaflow installed"), "{cold}");
+        assert!(cold.contains("output: port 1"), "{cold}");
+        // The traced packet was really forwarded.
+        assert_eq!(k.device(eth1).tx_wire.len(), 1);
+        assert!(dp.trace.is_none(), "trace detached after rendering");
+        // Warm caches: the same packet now shows a cache hit, no upcall.
+        let warm = dp.ofproto_trace(&mut k, &frame64(), 0, 0);
+        assert!(
+            warm.contains("EMC hit") || warm.contains("megaflow hit"),
+            "{warm}"
+        );
+        assert!(!warm.contains("upcall"), "{warm}");
+    }
+
+    #[test]
+    fn perf_stage_cycles_sum_exactly_to_poll_total() {
+        let (mut k, mut dp, eth0, _eth1) = p2p_setup();
+        for _ in 0..20 {
+            k.receive(eth0, 0, frame64());
+            dp.pmd_poll(&mut k, 0, 0, 1);
+        }
+        let perf = dp.perf.get(&1).expect("core 1 polled");
+        assert!(perf.poll_ns_total() > 0, "sim time advanced");
+        assert_eq!(
+            perf.stage_ns_total(),
+            perf.poll_ns_total(),
+            "exact attribution"
+        );
+        let show = dp.pmd_perf_show(k.sim.cpus.hz);
+        assert!(show.contains("pmd thread core 1"), "{show}");
+        assert!(show.contains("emc lookup"), "{show}");
+        // Clearing zeroes both counters and perf.
+        dp.pmd_stats_clear();
+        assert!(dp.perf.is_empty());
+        assert_eq!(dp.stats.rx_packets, 0);
+    }
+
+    #[test]
     fn netlink_dpif_installs_kernel_flows() {
         // Kernel datapath baseline: miss -> upcall -> install -> fast path.
         let mut k = Kernel::new(4);
-        let eth0 = k.add_device(NetDevice::new("eth0", M1, DeviceKind::Phys { link_gbps: 10.0 }, 1));
-        let eth1 = k.add_device(NetDevice::new("eth1", M2, DeviceKind::Phys { link_gbps: 10.0 }, 1));
-        let p0 = k.ovs.add_vport(ovs_kernel::ovs_module::Vport::Netdev { ifindex: eth0 });
-        let p1 = k.ovs.add_vport(ovs_kernel::ovs_module::Vport::Netdev { ifindex: eth1 });
+        let eth0 = k.add_device(NetDevice::new(
+            "eth0",
+            M1,
+            DeviceKind::Phys { link_gbps: 10.0 },
+            1,
+        ));
+        let eth1 = k.add_device(NetDevice::new(
+            "eth1",
+            M2,
+            DeviceKind::Phys { link_gbps: 10.0 },
+            1,
+        ));
+        let p0 = k
+            .ovs
+            .add_vport(ovs_kernel::ovs_module::Vport::Netdev { ifindex: eth0 });
+        let p1 = k
+            .ovs
+            .add_vport(ovs_kernel::ovs_module::Vport::Netdev { ifindex: eth1 });
         k.dev_mut(eth0).attachment = ovs_kernel::Attachment::OvsBridge { port: p0 };
         k.dev_mut(eth1).attachment = ovs_kernel::Attachment::OvsBridge { port: p1 };
 

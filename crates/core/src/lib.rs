@@ -25,7 +25,10 @@
 //! * [`mirror`] — ERSPAN port mirroring (the §2.1.1 backporting example).
 //! * [`ofctl`] — the `ovs-ofctl add-flow` text syntax.
 //! * [`tso`] — software segmentation for egress devices without TSO.
+//! * [`appctl`] — the `ovs-appctl` dispatch surface: `coverage/show`,
+//!   `dpif-netdev/pmd-perf-show`, `ofproto/trace`, and friends.
 
+pub mod appctl;
 pub mod cache;
 pub mod classifier;
 pub mod dpif;

@@ -38,8 +38,7 @@ impl Meter {
     pub fn offer(&mut self, now_ns: u64, len: usize) -> bool {
         let elapsed = now_ns.saturating_sub(self.last_ns);
         self.last_ns = now_ns;
-        self.tokens_bits = (self.tokens_bits
-            + elapsed as f64 * self.rate_bps as f64 / 1e9)
+        self.tokens_bits = (self.tokens_bits + elapsed as f64 * self.rate_bps as f64 / 1e9)
             .min(self.burst_bits as f64);
         let need = (len * 8) as f64;
         if self.tokens_bits >= need {
@@ -117,7 +116,10 @@ mod tests {
         }
         // 10 ms at 80 Mbps = 800,000 bits = ~1562 packets of 512 bits.
         let expected = 800_000 / 512;
-        assert!((passed as i64 - expected as i64).abs() < 50, "passed {passed}, expected ~{expected}");
+        assert!(
+            (passed as i64 - expected as i64).abs() < 50,
+            "passed {passed}, expected ~{expected}"
+        );
     }
 
     #[test]

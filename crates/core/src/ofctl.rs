@@ -34,7 +34,10 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(token: &str, reason: &'static str) -> ParseError {
-    ParseError { token: token.to_string(), reason }
+    ParseError {
+        token: token.to_string(),
+        reason,
+    }
 }
 
 fn parse_ip(s: &str) -> Result<[u8; 4], ParseError> {
@@ -160,7 +163,12 @@ fn parse_ct_action(body: &str) -> Result<OfAction, ParseError> {
             return Err(err(p, "unknown ct() argument"));
         }
     }
-    Ok(OfAction::Ct { zone, commit, resume_table: table, nat })
+    Ok(OfAction::Ct {
+        zone,
+        commit,
+        resume_table: table,
+        nat,
+    })
 }
 
 fn parse_action(tok: &str) -> Result<OfAction, ParseError> {
@@ -176,8 +184,13 @@ fn parse_action(tok: &str) -> Result<OfAction, ParseError> {
     }
     if let Some(v) = tok.strip_prefix("set_tunnel:") {
         // set_tunnel:VNI->a.b.c.d
-        let (id, dst) = v.split_once("->").ok_or(err(v, "expected VNI->remote_ip"))?;
-        return Ok(OfAction::SetTunnel { id: parse_u(id)?, dst: parse_ip(dst)? });
+        let (id, dst) = v
+            .split_once("->")
+            .ok_or(err(v, "expected VNI->remote_ip"))?;
+        return Ok(OfAction::SetTunnel {
+            id: parse_u(id)?,
+            dst: parse_ip(dst)?,
+        });
     }
     if let Some(v) = tok.strip_prefix("write_metadata:") {
         return Ok(OfAction::SetMetadata(parse_u(v)?));
@@ -219,7 +232,11 @@ pub fn parse_flow(spec: &str) -> Result<OfRule, ParseError> {
         None => return Err(err(spec, "missing actions=")),
     };
 
-    for tok in matches.split(',').map(|t| t.trim()).filter(|t| !t.is_empty()) {
+    for tok in matches
+        .split(',')
+        .map(|t| t.trim())
+        .filter(|t| !t.is_empty())
+    {
         if let Some(v) = tok.strip_prefix("table=") {
             rule.table = parse_u(v)?;
         } else if let Some(v) = tok.strip_prefix("priority=") {
@@ -369,7 +386,10 @@ mod tests {
                 zone: 5,
                 commit: true,
                 resume_table: 2,
-                nat: Some(NatSpec::Dnat { ip: [192, 168, 1, 10], port: Some(8080) }),
+                nat: Some(NatSpec::Dnat {
+                    ip: [192, 168, 1, 10],
+                    port: Some(8080)
+                }),
             }]
         );
     }
@@ -381,7 +401,10 @@ mod tests {
         // Both bits significant: +est must be set, -new must be clear.
         let mut probe = FlowKey::default();
         probe.set_ct_state(ct_state::ESTABLISHED | ct_state::TRACKED);
-        assert!(probe.matches(&r.key, &r.mask), "est+trk matches (trk not constrained)");
+        assert!(
+            probe.matches(&r.key, &r.mask),
+            "est+trk matches (trk not constrained)"
+        );
         probe.set_ct_state(ct_state::ESTABLISHED | ct_state::NEW);
         assert!(!probe.matches(&r.key, &r.mask), "-new excludes new");
     }
@@ -396,7 +419,10 @@ mod tests {
         assert_eq!(
             r.actions,
             vec![
-                OfAction::SetTunnel { id: 5001, dst: [172, 16, 0, 2] },
+                OfAction::SetTunnel {
+                    id: 5001,
+                    dst: [172, 16, 0, 2]
+                },
                 OfAction::Output(1)
             ]
         );
@@ -404,10 +430,9 @@ mod tests {
 
     #[test]
     fn vlan_and_metadata() {
-        let r = parse_flow(
-            "vlan_vid=100, metadata=7, actions=pop_vlan,write_metadata:9,goto_table:3",
-        )
-        .unwrap();
+        let r =
+            parse_flow("vlan_vid=100, metadata=7, actions=pop_vlan,write_metadata:9,goto_table:3")
+                .unwrap();
         assert_eq!(r.key.vlan_tci() & 0xfff, 100);
         assert_eq!(r.key.metadata(), 7);
         assert_eq!(r.actions.len(), 3);

@@ -163,6 +163,16 @@ impl Ofproto {
     /// Translate one flow through the pipeline from table 0 (or the
     /// recirculation continuation if `key.recirc_id() != 0`).
     pub fn translate(&mut self, key: &FlowKey) -> Translation {
+        self.translate_traced(key, None)
+    }
+
+    /// [`translate`](Self::translate), recording each table decision into
+    /// an `ofproto/trace` context when one is attached.
+    pub fn translate_traced(
+        &mut self,
+        key: &FlowKey,
+        mut trace: Option<&mut ovs_obs::TraceCtx>,
+    ) -> Translation {
         self.stats.translations += 1;
         let mut wc = FlowMask::of_fields(&[&fields::IN_PORT, &fields::RECIRC_ID]);
         let mut actions = Vec::new();
@@ -172,11 +182,26 @@ impl Ofproto {
             match self.recirc.get(&key.recirc_id()) {
                 Some(ctx) => {
                     work_key.set_metadata(ctx.metadata);
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.note(format!(
+                            "resuming at table {} (recirc_id 0x{:x}, metadata 0x{:x})",
+                            ctx.table,
+                            key.recirc_id(),
+                            ctx.metadata
+                        ));
+                    }
                     ctx.table
                 }
                 None => {
                     // Stale recirc id: drop.
-                    return Translation { actions, mask: wc, tables_visited: 0 };
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.note(format!("stale recirc_id 0x{:x}: drop", key.recirc_id()));
+                    }
+                    return Translation {
+                        actions,
+                        mask: wc,
+                        tables_visited: 0,
+                    };
                 }
             }
         } else {
@@ -190,6 +215,9 @@ impl Ofproto {
             let Some(cls) = self.tables.get_mut(&table) else {
                 // Empty table: miss -> drop. Nothing here could have
                 // matched anything, so no extra wildcards.
+                if let Some(t) = trace.as_deref_mut() {
+                    t.note(format!("table {table}: empty, miss -> drop"));
+                }
                 break;
             };
             let (rule, rule_mask) = match cls.lookup(&work_key) {
@@ -199,10 +227,19 @@ impl Ofproto {
                     // have matched in this table.
                     let tm = cls.total_mask();
                     wc.unite(&tm);
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.note(format!("table {table}: no match -> drop"));
+                    }
                     break;
                 }
             };
             wc.unite(&rule_mask);
+            if let Some(t) = trace.as_deref_mut() {
+                t.note(format!(
+                    "table {table}: matched priority {} cookie 0x{:x}, actions {:?}",
+                    rule.priority, rule.cookie, rule.actions
+                ));
+            }
 
             let mut next_table: Option<u8> = None;
             for act in &rule.actions {
@@ -221,15 +258,37 @@ impl Ofproto {
                     OfAction::PushVlan(tci) => actions.push(DpAction::PushVlan(*tci)),
                     OfAction::PopVlan => actions.push(DpAction::PopVlan),
                     OfAction::Meter(id) => actions.push(DpAction::Meter(*id)),
-                    OfAction::Ct { zone, commit, resume_table, nat } => {
+                    OfAction::Ct {
+                        zone,
+                        commit,
+                        resume_table,
+                        nat,
+                    } => {
                         // Freeze: conntrack + recirculate; translation of
                         // the rest happens on the next upcall.
                         let rid = self.alloc_recirc(*resume_table, work_key.metadata());
-                        actions.push(DpAction::Ct { zone: *zone, commit: *commit, nat: *nat });
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.note(format!(
+                                "ct(zone={zone}): freeze, resume at table {resume_table} \
+                                 via recirc(0x{rid:x})"
+                            ));
+                        }
+                        actions.push(DpAction::Ct {
+                            zone: *zone,
+                            commit: *commit,
+                            nat: *nat,
+                        });
                         actions.push(DpAction::Recirc(rid));
-                        return Translation { actions, mask: wc, tables_visited: visited };
+                        return Translation {
+                            actions,
+                            mask: wc,
+                            tables_visited: visited,
+                        };
                     }
                     OfAction::Drop => {
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.note(format!("table {table}: explicit drop"));
+                        }
                         return Translation {
                             actions: Vec::new(),
                             mask: wc,
@@ -243,7 +302,11 @@ impl Ofproto {
                 None => break,
             }
         }
-        Translation { actions, mask: wc, tables_visited: visited }
+        Translation {
+            actions,
+            mask: wc,
+            tables_visited: visited,
+        }
     }
 
     fn alloc_recirc(&mut self, table: u8, metadata: u64) -> u32 {
@@ -349,7 +412,12 @@ mod tests {
             0,
             10,
             1,
-            vec![OfAction::Ct { zone: 7, commit: true, resume_table: 20, nat: None }],
+            vec![OfAction::Ct {
+                zone: 7,
+                commit: true,
+                resume_table: 20,
+                nat: None,
+            }],
         ));
         of.add_rule(OfRule {
             table: 20,
@@ -360,7 +428,11 @@ mod tests {
             cookie: 0,
         });
         let t1 = of.translate(&key_on_port(1));
-        let [DpAction::Ct { zone: 7, commit: true, nat: None }, DpAction::Recirc(rid)] = t1.actions[..]
+        let [DpAction::Ct {
+            zone: 7,
+            commit: true,
+            nat: None,
+        }, DpAction::Recirc(rid)] = t1.actions[..]
         else {
             panic!("expected ct+recirc, got {:?}", t1.actions);
         };
@@ -378,7 +450,12 @@ mod tests {
             0,
             10,
             1,
-            vec![OfAction::Ct { zone: 1, commit: false, resume_table: 9, nat: None }],
+            vec![OfAction::Ct {
+                zone: 1,
+                commit: false,
+                resume_table: 9,
+                nat: None,
+            }],
         ));
         let t1 = of.translate(&key_on_port(1));
         let t2 = of.translate(&key_on_port(1));

@@ -88,7 +88,16 @@ mod tests {
     fn super_frame(payload_len: usize) -> Vec<u8> {
         let payload: Vec<u8> = (0..payload_len).map(|i| i as u8).collect();
         builder::tcp_ipv4(
-            A, B, [10, 0, 0, 1], [10, 0, 0, 2], 1000, 80, 5000, 0, flags::ACK, &payload,
+            A,
+            B,
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            1000,
+            80,
+            5000,
+            0,
+            flags::ACK,
+            &payload,
         )
     }
 

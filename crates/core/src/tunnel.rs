@@ -74,17 +74,20 @@ pub fn encap(
     let sport = 0xc000 | (entropy & 0x3fff);
     let vni = (meta.tun_id & 0x00ff_ffff) as u32;
     let frame = match cfg.kind {
-        TunnelKind::Geneve => builder::geneve_encap(
+        TunnelKind::Geneve => {
+            builder::geneve_encap(src_mac, dst_mac, cfg.local_ip, meta.dst, sport, vni, inner)
+        }
+        TunnelKind::Vxlan => {
+            vxlan_encap(src_mac, dst_mac, cfg.local_ip, meta.dst, sport, vni, inner)
+        }
+        TunnelKind::Gre => gre_encap(
             src_mac,
             dst_mac,
             cfg.local_ip,
             meta.dst,
-            sport,
-            vni,
+            meta.tun_id as u32,
             inner,
         ),
-        TunnelKind::Vxlan => vxlan_encap(src_mac, dst_mac, cfg.local_ip, meta.dst, sport, vni, inner),
-        TunnelKind::Gre => gre_encap(src_mac, dst_mac, cfg.local_ip, meta.dst, meta.tun_id as u32, inner),
     };
     Ok(EncapResult {
         egress_ifindex: route.ifindex,
@@ -190,7 +193,15 @@ fn vxlan_encap(
         v.init(vni);
         v.payload_mut().copy_from_slice(inner);
     }
-    builder::udp_ipv4(src_mac, dst_mac, src_ip, dst_ip, sport, vxlan::UDP_PORT, &payload)
+    builder::udp_ipv4(
+        src_mac,
+        dst_mac,
+        src_ip,
+        dst_ip,
+        sport,
+        vxlan::UDP_PORT,
+        &payload,
+    )
 }
 
 #[cfg(test)]
@@ -243,13 +254,19 @@ mod tests {
 
     #[test]
     fn geneve_encap_decap_roundtrip() {
-        let cfg_tx = TunnelConfig { kind: TunnelKind::Geneve, local_ip: [172, 16, 0, 1] };
+        let cfg_tx = TunnelConfig {
+            kind: TunnelKind::Geneve,
+            local_ip: [172, 16, 0, 1],
+        };
         let cache = replica();
         let macs = [(10u32, MacAddr::new(4, 0, 0, 0, 0, 1))];
         let enc = encap(&cfg_tx, &cache, &macs, &meta(), &inner(), 0x1234).unwrap();
         assert_eq!(enc.egress_ifindex, 10);
 
-        let cfg_rx = TunnelConfig { kind: TunnelKind::Geneve, local_ip: [172, 16, 0, 2] };
+        let cfg_rx = TunnelConfig {
+            kind: TunnelKind::Geneve,
+            local_ip: [172, 16, 0, 2],
+        };
         let (dec, m) = try_decap(&cfg_rx, &enc.frame).unwrap();
         assert_eq!(dec, inner());
         assert_eq!(m.tun_id, 5001);
@@ -258,11 +275,17 @@ mod tests {
 
     #[test]
     fn vxlan_encap_decap_roundtrip() {
-        let cfg_tx = TunnelConfig { kind: TunnelKind::Vxlan, local_ip: [172, 16, 0, 1] };
+        let cfg_tx = TunnelConfig {
+            kind: TunnelKind::Vxlan,
+            local_ip: [172, 16, 0, 1],
+        };
         let cache = replica();
         let macs = [(10u32, MacAddr::new(4, 0, 0, 0, 0, 1))];
         let enc = encap(&cfg_tx, &cache, &macs, &meta(), &inner(), 7).unwrap();
-        let cfg_rx = TunnelConfig { kind: TunnelKind::Vxlan, local_ip: [172, 16, 0, 2] };
+        let cfg_rx = TunnelConfig {
+            kind: TunnelKind::Vxlan,
+            local_ip: [172, 16, 0, 2],
+        };
         let (dec, m) = try_decap(&cfg_rx, &enc.frame).unwrap();
         assert_eq!(dec, inner());
         assert_eq!(m.tun_id, 5001);
@@ -270,7 +293,10 @@ mod tests {
 
     #[test]
     fn gre_encap_decap_roundtrip() {
-        let cfg_tx = TunnelConfig { kind: TunnelKind::Gre, local_ip: [172, 16, 0, 1] };
+        let cfg_tx = TunnelConfig {
+            kind: TunnelKind::Gre,
+            local_ip: [172, 16, 0, 1],
+        };
         let cache = replica();
         let macs = [(10u32, MacAddr::new(4, 0, 0, 0, 0, 1))];
         let enc = encap(&cfg_tx, &cache, &macs, &meta(), &inner(), 3).unwrap();
@@ -278,18 +304,27 @@ mod tests {
         let ip = ipv4::Ipv4Packet::new_checked(&enc.frame[14..]).unwrap();
         assert_eq!(ip.protocol(), ipv4::protocol::GRE);
         assert!(ip.verify_checksum());
-        let cfg_rx = TunnelConfig { kind: TunnelKind::Gre, local_ip: [172, 16, 0, 2] };
+        let cfg_rx = TunnelConfig {
+            kind: TunnelKind::Gre,
+            local_ip: [172, 16, 0, 2],
+        };
         let (dec, m) = try_decap(&cfg_rx, &enc.frame).unwrap();
         assert_eq!(dec, inner());
         assert_eq!(m.tun_id, 5001);
         // A Geneve endpoint ignores GRE traffic.
-        let gnv = TunnelConfig { kind: TunnelKind::Geneve, local_ip: [172, 16, 0, 2] };
+        let gnv = TunnelConfig {
+            kind: TunnelKind::Geneve,
+            local_ip: [172, 16, 0, 2],
+        };
         assert!(try_decap(&gnv, &enc.frame).is_none());
     }
 
     #[test]
     fn missing_route_and_arp_reported() {
-        let cfg = TunnelConfig { kind: TunnelKind::Geneve, local_ip: [172, 16, 0, 1] };
+        let cfg = TunnelConfig {
+            kind: TunnelKind::Geneve,
+            local_ip: [172, 16, 0, 1],
+        };
         let empty = RtnlCache::new();
         let macs = [(10u32, MacAddr::new(4, 0, 0, 0, 0, 1))];
         assert_eq!(
@@ -312,15 +347,24 @@ mod tests {
 
     #[test]
     fn decap_ignores_foreign_traffic() {
-        let cfg = TunnelConfig { kind: TunnelKind::Geneve, local_ip: [172, 16, 0, 2] };
+        let cfg = TunnelConfig {
+            kind: TunnelKind::Geneve,
+            local_ip: [172, 16, 0, 2],
+        };
         // Plain UDP to another port isn't decapsulated.
         assert!(try_decap(&cfg, &inner()).is_none());
         // Wrong local IP isn't ours.
         let cache = replica();
         let macs = [(10u32, MacAddr::new(4, 0, 0, 0, 0, 1))];
-        let cfg_tx = TunnelConfig { kind: TunnelKind::Geneve, local_ip: [172, 16, 0, 1] };
+        let cfg_tx = TunnelConfig {
+            kind: TunnelKind::Geneve,
+            local_ip: [172, 16, 0, 1],
+        };
         let enc = encap(&cfg_tx, &cache, &macs, &meta(), &inner(), 0).unwrap();
-        let wrong = TunnelConfig { kind: TunnelKind::Geneve, local_ip: [9, 9, 9, 9] };
+        let wrong = TunnelConfig {
+            kind: TunnelKind::Geneve,
+            local_ip: [9, 9, 9, 9],
+        };
         assert!(try_decap(&wrong, &enc.frame).is_none());
     }
 }

@@ -60,9 +60,10 @@ fn ipv6_flows_classify_and_forward() {
             DeviceKind::Phys { link_gbps: 10.0 },
             1,
         ));
-        dp.add_port(&format!("eth{i}"), PortType::Afxdp(
-            AfxdpPort::open(&mut k, nic, 128, OptLevel::O5).unwrap(),
-        ));
+        dp.add_port(
+            &format!("eth{i}"),
+            PortType::Afxdp(AfxdpPort::open(&mut k, nic, 128, OptLevel::O5).unwrap()),
+        );
         nics.push(nic);
     }
 
@@ -107,9 +108,20 @@ fn ipv6_flows_classify_and_forward() {
 fn unmatched_ipv6_dropped() {
     let mut k = Kernel::new(4);
     let mut dp = DpifNetdev::new();
-    let nic = k.add_device(NetDevice::new("eth0", MacAddr::new(2, 0, 0, 0, 0, 1), DeviceKind::Phys { link_gbps: 10.0 }, 1));
-    dp.add_port("eth0", PortType::Afxdp(AfxdpPort::open(&mut k, nic, 64, OptLevel::O5).unwrap()));
+    let nic = k.add_device(NetDevice::new(
+        "eth0",
+        MacAddr::new(2, 0, 0, 0, 0, 1),
+        DeviceKind::Phys { link_gbps: 10.0 },
+        1,
+    ));
+    dp.add_port(
+        "eth0",
+        PortType::Afxdp(AfxdpPort::open(&mut k, nic, 64, OptLevel::O5).unwrap()),
+    );
     k.receive(nic, 0, v6_udp_frame(addr(1), addr(9), 1, 2));
     dp.pmd_poll(&mut k, 0, 0, 1);
-    assert_eq!(dp.stats.dropped, 1, "empty pipeline drops (OpenFlow 1.3 default)");
+    assert_eq!(
+        dp.stats.dropped, 1,
+        "empty pipeline drops (OpenFlow 1.3 default)"
+    );
 }

@@ -16,11 +16,27 @@ const BACKEND: [u8; 4] = [192, 168, 1, 10];
 
 fn setup() -> (Kernel, DpifNetdev, u32, u32) {
     let mut k = Kernel::new(8);
-    let eth0 = k.add_device(NetDevice::new("eth0", SWITCH_MAC, DeviceKind::Phys { link_gbps: 10.0 }, 1));
-    let eth1 = k.add_device(NetDevice::new("eth1", MacAddr::new(2, 0, 0, 0, 0, 2), DeviceKind::Phys { link_gbps: 10.0 }, 1));
+    let eth0 = k.add_device(NetDevice::new(
+        "eth0",
+        SWITCH_MAC,
+        DeviceKind::Phys { link_gbps: 10.0 },
+        1,
+    ));
+    let eth1 = k.add_device(NetDevice::new(
+        "eth1",
+        MacAddr::new(2, 0, 0, 0, 0, 2),
+        DeviceKind::Phys { link_gbps: 10.0 },
+        1,
+    ));
     let mut dp = DpifNetdev::new();
-    let p0 = dp.add_port("eth0", PortType::Afxdp(AfxdpPort::open(&mut k, eth0, 256, OptLevel::O5).unwrap()));
-    let p1 = dp.add_port("eth1", PortType::Afxdp(AfxdpPort::open(&mut k, eth1, 256, OptLevel::O5).unwrap()));
+    let p0 = dp.add_port(
+        "eth0",
+        PortType::Afxdp(AfxdpPort::open(&mut k, eth0, 256, OptLevel::O5).unwrap()),
+    );
+    let p1 = dp.add_port(
+        "eth1",
+        PortType::Afxdp(AfxdpPort::open(&mut k, eth1, 256, OptLevel::O5).unwrap()),
+    );
 
     // Table 0, from eth0: traffic to the VIP goes through ct with DNAT to
     // the backend, then resumes at table 1 which outputs to eth1.
@@ -39,7 +55,10 @@ fn setup() -> (Kernel, DpifNetdev, u32, u32) {
             zone: 1,
             commit: true,
             resume_table: 1,
-            nat: Some(NatSpec::Dnat { ip: BACKEND, port: Some(8080) }),
+            nat: Some(NatSpec::Dnat {
+                ip: BACKEND,
+                port: Some(8080),
+            }),
         }],
         cookie: 1,
     });
@@ -51,7 +70,12 @@ fn setup() -> (Kernel, DpifNetdev, u32, u32) {
         priority: 50,
         key: rkey,
         mask: FlowMask::of_fields(&[&fields::IN_PORT]),
-        actions: vec![OfAction::Ct { zone: 1, commit: false, resume_table: 2, nat: None }],
+        actions: vec![OfAction::Ct {
+            zone: 1,
+            commit: false,
+            resume_table: 2,
+            nat: None,
+        }],
         cookie: 2,
     });
     dp.ofproto.add_rule(OfRule {
@@ -87,7 +111,10 @@ fn dnat_rewrites_forward_and_reply() {
     assert!(ip.verify_checksum(), "IP checksum repaired");
     let u = udp::UdpDatagram::new_checked(ip.payload()).unwrap();
     assert_eq!(u.dst_port(), 8080, "port rewritten");
-    assert!(u.verify_checksum_ipv4(ip.src(), ip.dst()), "L4 checksum repaired");
+    assert!(
+        u.verify_checksum_ipv4(ip.src(), ip.dst()),
+        "L4 checksum repaired"
+    );
 
     // Backend replies (to the client, from its own address).
     let reply = builder::udp_ipv4(
@@ -101,7 +128,11 @@ fn dnat_rewrites_forward_and_reply() {
     );
     k.receive(eth1, 0, reply);
     dp.pmd_poll(&mut k, 1, 0, 1);
-    let back = k.dev_mut(eth0).tx_wire.pop_front().expect("reply forwarded");
+    let back = k
+        .dev_mut(eth0)
+        .tx_wire
+        .pop_front()
+        .expect("reply forwarded");
     let ip = ipv4::Ipv4Packet::new_checked(&back[14..]).unwrap();
     assert_eq!(ip.src(), VIP, "reply source un-NATed back to the VIP");
     let u = udp::UdpDatagram::new_checked(ip.payload()).unwrap();
@@ -119,13 +150,19 @@ fn dump_flows_shows_the_installed_megaflows() {
     let dump = dp.dump_flows();
     assert!(dump.contains("in_port(0)"), "{dump}");
     assert!(dump.contains("Ct"), "ct action visible: {dump}");
-    assert!(dump.lines().count() >= 2, "two pipeline passes -> two megaflows:\n{dump}");
+    assert!(
+        dump.lines().count() >= 2,
+        "two pipeline passes -> two megaflows:\n{dump}"
+    );
     // Hit counters move on subsequent traffic.
     let req2 = builder::udp_ipv4(CLIENT_MAC, SWITCH_MAC, [10, 0, 0, 9], VIP, 5555, 80, b"y");
     k.receive(eth0, 0, req2);
     dp.pmd_poll(&mut k, 0, 0, 1);
     let dump2 = dp.dump_flows();
-    assert!(dump2.contains("packets:1") || dump2.contains("packets:2"), "{dump2}");
+    assert!(
+        dump2.contains("packets:1") || dump2.contains("packets:2"),
+        "{dump2}"
+    );
 }
 
 #[test]
@@ -151,8 +188,14 @@ fn conntrack_state_bits_flow_into_megaflow_keys() {
     // The recirculated pipeline passes produced their own megaflows,
     // keyed by recirculation id.
     let dump = dp.dump_flows();
-    assert!(dump.contains("recirc(1)"), "forward resume pass cached:\n{dump}");
-    assert!(dump.contains("recirc(2)"), "reply resume pass cached:\n{dump}");
+    assert!(
+        dump.contains("recirc(1)"),
+        "forward resume pass cached:\n{dump}"
+    );
+    assert!(
+        dump.contains("recirc(2)"),
+        "reply resume pass cached:\n{dump}"
+    );
     // And the NAT action is visible to the operator.
     assert!(dump.contains("Dnat"), "{dump}");
 }

@@ -2,8 +2,8 @@
 //! agree with a brute-force linear scan on every lookup, and cache
 //! install/lookup must be consistent.
 
-use ovs_core::classifier::{Classifier, Rule};
 use ovs_core::cache::MegaflowCache;
+use ovs_core::classifier::{Classifier, Rule};
 use ovs_core::meter::Meter;
 use ovs_packet::flow::{FlowKey, FlowMask, WORDS};
 use proptest::prelude::*;
@@ -39,7 +39,12 @@ fn arb_rule() -> impl Strategy<Value = Rule<u32>> {
                 }
                 _ => { /* match-all */ }
             }
-            Rule { key, mask, priority, value }
+            Rule {
+                key,
+                mask,
+                priority,
+                value,
+            }
         })
 }
 

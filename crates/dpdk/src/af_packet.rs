@@ -34,8 +34,7 @@ impl AfPacketDev {
     /// Send a frame toward the container: one syscall + copy, then the
     /// kernel veth/namespace path runs as usual.
     pub fn send(&mut self, kernel: &mut Kernel, frame: Vec<u8>, core: usize) {
-        let c = kernel.sim.costs.dpdk_af_packet_ns / 2.0
-            + kernel.sim.costs.copy_ns(frame.len());
+        let c = kernel.sim.costs.dpdk_af_packet_ns / 2.0 + kernel.sim.costs.copy_ns(frame.len());
         kernel.sim.charge(core, Context::System, c);
         self.tx_packets += 1;
         kernel.transmit(self.ifindex, frame, core);

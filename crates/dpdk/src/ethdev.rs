@@ -90,8 +90,7 @@ impl EthDev {
             self.stats.tx_packets += 1;
         }
         let c = &kernel.sim.costs;
-        let ns = n as f64 * c.dpdk_io_ns
-            + bytes.saturating_sub(64 * n) as f64 * c.dpdk_per_byte_ns;
+        let ns = n as f64 * c.dpdk_io_ns + bytes.saturating_sub(64 * n) as f64 * c.dpdk_per_byte_ns;
         kernel.sim.charge(core, Context::User, ns);
         n
     }
@@ -108,7 +107,12 @@ mod tests {
 
     fn setup() -> (Kernel, EthDev) {
         let mut k = Kernel::new(4);
-        k.add_device(NetDevice::new("eth0", M1, DeviceKind::Phys { link_gbps: 25.0 }, 2));
+        k.add_device(NetDevice::new(
+            "eth0",
+            M1,
+            DeviceKind::Phys { link_gbps: 25.0 },
+            2,
+        ));
         let dev = EthDev::probe(&mut k, "eth0", 128).unwrap();
         (k, dev)
     }
@@ -120,7 +124,10 @@ mod tests {
     #[test]
     fn probe_takes_ownership() {
         let (mut k, mut dev) = setup();
-        assert!(tools::ip_link(&k, Some("eth0")).is_err(), "kernel lost the device");
+        assert!(
+            tools::ip_link(&k, Some("eth0")).is_err(),
+            "kernel lost the device"
+        );
         dev.close(&mut k);
         assert!(tools::ip_link(&k, Some("eth0")).is_ok());
     }
@@ -145,7 +152,12 @@ mod tests {
     #[test]
     fn pool_exhaustion_counts_nombuf() {
         let mut k = Kernel::new(2);
-        k.add_device(NetDevice::new("eth0", M1, DeviceKind::Phys { link_gbps: 10.0 }, 1));
+        k.add_device(NetDevice::new(
+            "eth0",
+            M1,
+            DeviceKind::Phys { link_gbps: 10.0 },
+            1,
+        ));
         let mut dev = EthDev::probe(&mut k, "eth0", 2).unwrap();
         for _ in 0..4 {
             k.receive(dev.ifindex, 0, frame());

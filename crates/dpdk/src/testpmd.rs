@@ -28,11 +28,7 @@ pub fn poll_iteration(
     for (src, dst) in [(0usize, 1usize), (1, 0)] {
         let devs = [&mut *a, &mut *b];
         let _ = devs;
-        let (rx_dev, tx_dev): (&mut EthDev, &mut EthDev) = if src == 0 {
-            (a, b)
-        } else {
-            (b, a)
-        };
+        let (rx_dev, tx_dev): (&mut EthDev, &mut EthDev) = if src == 0 { (a, b) } else { (b, a) };
         let _ = dst;
         let mut mbufs = rx_dev.rx_burst(kernel, 0, core);
         if mbufs.is_empty() {
@@ -83,8 +79,18 @@ mod tests {
     #[test]
     fn io_mode_forwards_between_ports() {
         let mut k = Kernel::new(2);
-        k.add_device(NetDevice::new("eth0", MacAddr::new(2, 0, 0, 0, 0, 1), DeviceKind::Phys { link_gbps: 10.0 }, 1));
-        k.add_device(NetDevice::new("eth1", MacAddr::new(2, 0, 0, 0, 0, 2), DeviceKind::Phys { link_gbps: 10.0 }, 1));
+        k.add_device(NetDevice::new(
+            "eth0",
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            DeviceKind::Phys { link_gbps: 10.0 },
+            1,
+        ));
+        k.add_device(NetDevice::new(
+            "eth1",
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            DeviceKind::Phys { link_gbps: 10.0 },
+            1,
+        ));
         let mut a = EthDev::probe(&mut k, "eth0", 64).unwrap();
         let mut b = EthDev::probe(&mut k, "eth1", 64).unwrap();
         let f = builder::udp_ipv4_frame(
@@ -106,8 +112,18 @@ mod tests {
     #[test]
     fn macswap_bounces_back() {
         let mut k = Kernel::new(2);
-        k.add_device(NetDevice::new("eth0", MacAddr::new(2, 0, 0, 0, 0, 1), DeviceKind::Phys { link_gbps: 10.0 }, 1));
-        k.add_device(NetDevice::new("eth1", MacAddr::new(2, 0, 0, 0, 0, 2), DeviceKind::Phys { link_gbps: 10.0 }, 1));
+        k.add_device(NetDevice::new(
+            "eth0",
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            DeviceKind::Phys { link_gbps: 10.0 },
+            1,
+        ));
+        k.add_device(NetDevice::new(
+            "eth1",
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            DeviceKind::Phys { link_gbps: 10.0 },
+            1,
+        ));
         let mut a = EthDev::probe(&mut k, "eth0", 64).unwrap();
         let mut b = EthDev::probe(&mut k, "eth1", 64).unwrap();
         let f = builder::udp_ipv4_frame(

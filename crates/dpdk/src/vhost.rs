@@ -51,8 +51,8 @@ impl VhostUserDev {
 mod tests {
     use super::*;
     use ovs_kernel::guest::{Guest, GuestRole, VirtioBackend};
-    use ovs_sim::Context;
     use ovs_packet::{builder, MacAddr};
+    use ovs_sim::Context;
 
     #[test]
     fn pvp_through_guest_pmd() {

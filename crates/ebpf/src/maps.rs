@@ -182,7 +182,10 @@ impl DevMap {
 
     /// Set slot `idx` to interface `ifindex`.
     pub fn set(&mut self, idx: u32, ifindex: u32) -> Result<(), MapError> {
-        *self.entries.get_mut(idx as usize).ok_or(MapError::NotFound)? = Some(ifindex);
+        *self
+            .entries
+            .get_mut(idx as usize)
+            .ok_or(MapError::NotFound)? = Some(ifindex);
         Ok(())
     }
 
@@ -209,7 +212,10 @@ impl XskMap {
 
     /// Bind queue `idx` to socket `xsk_id`.
     pub fn set(&mut self, idx: u32, xsk_id: u32) -> Result<(), MapError> {
-        *self.entries.get_mut(idx as usize).ok_or(MapError::NotFound)? = Some(xsk_id);
+        *self
+            .entries
+            .get_mut(idx as usize)
+            .ok_or(MapError::NotFound)? = Some(xsk_id);
         Ok(())
     }
 
@@ -337,7 +343,10 @@ mod tests {
     #[test]
     fn hash_map_size_checks() {
         let mut h = HashMap::new(4, 8, 4);
-        assert_eq!(h.update(b"toolong!", &0u64.to_le_bytes()), Err(MapError::BadSize));
+        assert_eq!(
+            h.update(b"toolong!", &0u64.to_le_bytes()),
+            Err(MapError::BadSize)
+        );
         assert_eq!(h.update(b"key1", b"short"), Err(MapError::BadSize));
         assert_eq!(h.lookup(b"xy"), None);
     }

@@ -103,9 +103,9 @@ pub fn task_d_swap_fwd() -> XdpProgram {
             /* 2 */ Alu64(Mov, R4, Reg(R2)),
             /* 3 */ Alu64(Add, R4, Imm(14)),
             /* 4 */ JmpIf(Gt, R4, Reg(R3), 10), // -> 15 drop
-            /* 5 */ Load(W, R5, R2, 0),  // dst mac lo
-            /* 6 */ Load(H, R6, R2, 4),  // dst mac hi
-            /* 7 */ Load(W, R7, R2, 6),  // src mac lo
+            /* 5 */ Load(W, R5, R2, 0), // dst mac lo
+            /* 6 */ Load(H, R6, R2, 4), // dst mac hi
+            /* 7 */ Load(W, R7, R2, 6), // src mac lo
             /* 8 */ Load(H, R8, R2, 10), // src mac hi
             /* 9 */ Store(W, R2, 0, Reg(R7)),
             /*10 */ Store(H, R2, 4, Reg(R8)),
@@ -387,7 +387,9 @@ mod tests {
         let mut maps = MapSet::new();
         let mut vm = Vm::new();
         let mut frame = udp_frame();
-        task_d_swap_fwd().run(&mut vm, &mut frame, 0, &mut maps).unwrap();
+        task_d_swap_fwd()
+            .run(&mut vm, &mut frame, 0, &mut maps)
+            .unwrap();
         assert_eq!(&frame[0..6], &[2, 0, 0, 0, 0, 1], "dst is now old src");
         assert_eq!(&frame[6..12], &[2, 0, 0, 0, 0, 2], "src is now old dst");
     }
@@ -397,7 +399,8 @@ mod tests {
         let mut maps = MapSet::new();
         let l2fd = maps.add(Map::Hash(HashMap::new(8, 8, 16)));
         if let Some(Map::Hash(h)) = maps.get_mut(l2fd) {
-            h.update(&l2_key([2, 0, 0, 0, 0, 2]), &7u64.to_le_bytes()).unwrap();
+            h.update(&l2_key([2, 0, 0, 0, 0, 2]), &7u64.to_le_bytes())
+                .unwrap();
         }
         let prog = task_c_parse_lookup_drop(l2fd);
         let mut vm = Vm::new();

@@ -232,8 +232,8 @@ fn jump_target(pc: usize, off: i16, len: usize) -> Result<usize, VerifyError> {
 mod tests {
     use super::*;
     use crate::insn::reg::*;
-    use crate::insn::{AluOp::*, CmpOp, Insn::*, Size};
     use crate::insn::Operand::{Imm, Reg};
+    use crate::insn::{AluOp::*, CmpOp, Insn::*, Size};
 
     #[test]
     fn minimal_program_verifies() {

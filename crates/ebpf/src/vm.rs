@@ -23,6 +23,7 @@
 
 use crate::insn::{reg, AluOp, CmpOp, Helper, Insn, Operand, Reg, Size, STACK_SIZE};
 use crate::maps::MapSet;
+use ovs_obs::coverage;
 
 /// Stack region base address.
 pub const STACK_BASE: u64 = 0x1_0000_0000;
@@ -142,9 +143,9 @@ impl Vm {
                     if in_region(addr, PACKET_BASE, packet.len()).is_some() {
                         pkt_accesses += 1;
                     }
-                    let v = self.mem_read(addr, size, packet, maps).ok_or(
-                        ExecError::BadAccess { pc: cur, addr },
-                    )?;
+                    let v = self
+                        .mem_read(addr, size, packet, maps)
+                        .ok_or(ExecError::BadAccess { pc: cur, addr })?;
                     self.set_reg(dst, v);
                 }
                 Insn::Store(size, base, off, src) => {
@@ -167,17 +168,22 @@ impl Vm {
                     }
                 }
                 Insn::Call(h) => {
+                    coverage!("bpf_helper_call");
                     match h {
                         Helper::MapLookup => {
                             map_lookups += 1;
+                            coverage!("bpf_map_lookup");
                             let fd = self.reg(reg::R1);
                             let key_ptr = self.reg(reg::R2);
                             let Some(ks) = maps.key_size(fd as u32) else {
                                 return Err(ExecError::BadMapFd { pc: cur, fd });
                             };
-                            let key = self
-                                .read_bytes(key_ptr, ks, packet, maps)
-                                .ok_or(ExecError::BadAccess { pc: cur, addr: key_ptr })?;
+                            let key = self.read_bytes(key_ptr, ks, packet, maps).ok_or(
+                                ExecError::BadAccess {
+                                    pc: cur,
+                                    addr: key_ptr,
+                                },
+                            )?;
                             let r = maps
                                 .lookup_slot(fd as u32, &key)
                                 .map(|slot| mapval_addr(fd as u32, slot))
@@ -188,20 +194,32 @@ impl Vm {
                             let fd = self.reg(reg::R1) as u32;
                             let key_ptr = self.reg(reg::R2);
                             let val_ptr = self.reg(reg::R3);
-                            let ks = maps
-                                .key_size(fd)
-                                .ok_or(ExecError::BadMapFd { pc: cur, fd: fd as u64 })?;
-                            let key = self
-                                .read_bytes(key_ptr, ks, packet, maps)
-                                .ok_or(ExecError::BadAccess { pc: cur, addr: key_ptr })?;
+                            let ks = maps.key_size(fd).ok_or(ExecError::BadMapFd {
+                                pc: cur,
+                                fd: fd as u64,
+                            })?;
+                            let key = self.read_bytes(key_ptr, ks, packet, maps).ok_or(
+                                ExecError::BadAccess {
+                                    pc: cur,
+                                    addr: key_ptr,
+                                },
+                            )?;
                             let vs = match maps.get(fd) {
                                 Some(crate::maps::Map::Hash(h)) => h.value_size(),
                                 Some(crate::maps::Map::Array(a)) => a.value_size(),
-                                _ => return Err(ExecError::BadMapFd { pc: cur, fd: fd as u64 }),
+                                _ => {
+                                    return Err(ExecError::BadMapFd {
+                                        pc: cur,
+                                        fd: fd as u64,
+                                    })
+                                }
                             };
-                            let val = self
-                                .read_bytes(val_ptr, vs, packet, maps)
-                                .ok_or(ExecError::BadAccess { pc: cur, addr: val_ptr })?;
+                            let val = self.read_bytes(val_ptr, vs, packet, maps).ok_or(
+                                ExecError::BadAccess {
+                                    pc: cur,
+                                    addr: val_ptr,
+                                },
+                            )?;
                             let ok = match maps.get_mut(fd) {
                                 Some(crate::maps::Map::Hash(h)) => h.update(&key, &val).is_ok(),
                                 Some(crate::maps::Map::Array(a)) => {
@@ -232,6 +250,8 @@ impl Vm {
                     }
                 }
                 Insn::Exit => {
+                    coverage!("bpf_prog_run");
+                    coverage!("bpf_insn_executed", insns);
                     return Ok(ExecResult {
                         ret: self.reg(reg::R0),
                         insns,
@@ -267,13 +287,7 @@ impl Vm {
         }
     }
 
-    fn read_bytes(
-        &self,
-        addr: u64,
-        len: usize,
-        packet: &[u8],
-        maps: &MapSet,
-    ) -> Option<Vec<u8>> {
+    fn read_bytes(&self, addr: u64, len: usize, packet: &[u8], maps: &MapSet) -> Option<Vec<u8>> {
         let mut out = Vec::with_capacity(len);
         for i in 0..len {
             out.push(self.byte_at(addr + i as u64, packet, maps)?);
@@ -429,8 +443,8 @@ fn compare(op: CmpOp, d: u64, s: u64) -> bool {
 mod tests {
     use super::*;
     use crate::insn::reg::*;
-    use crate::insn::{AluOp::*, CmpOp, Insn::*};
     use crate::insn::Operand::{Imm, Reg};
+    use crate::insn::{AluOp::*, CmpOp, Insn::*};
     use crate::maps::{ArrayMap, Map, MapSet};
 
     fn run(prog: &[Insn], packet: &mut [u8]) -> ExecResult {
@@ -464,21 +478,13 @@ mod tests {
 
     #[test]
     fn alu32_truncates() {
-        let prog = [
-            LoadImm64(R0, 0xffff_ffff),
-            Alu32(Add, R0, Imm(1)),
-            Exit,
-        ];
+        let prog = [LoadImm64(R0, 0xffff_ffff), Alu32(Add, R0, Imm(1)), Exit];
         assert_eq!(run(&prog, &mut []).ret, 0);
     }
 
     #[test]
     fn to_be_16() {
-        let prog = [
-            Alu64(Mov, R0, Imm(0x0800)),
-            Alu64(ToBe, R0, Imm(16)),
-            Exit,
-        ];
+        let prog = [Alu64(Mov, R0, Imm(0x0800)), Alu64(ToBe, R0, Imm(16)), Exit];
         assert_eq!(run(&prog, &mut []).ret, 0x0008);
     }
 

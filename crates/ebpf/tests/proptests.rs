@@ -16,21 +16,36 @@ fn arb_insn() -> impl Strategy<Value = Insn> {
         any::<i32>().prop_map(|i| Imm(i as i64)),
     ];
     let alu = prop_oneof![
-        Just(AluOp::Add), Just(AluOp::Sub), Just(AluOp::Mul), Just(AluOp::Div),
-        Just(AluOp::Or), Just(AluOp::And), Just(AluOp::Lsh), Just(AluOp::Rsh),
-        Just(AluOp::Mov), Just(AluOp::Xor), Just(AluOp::Mod), Just(AluOp::Arsh),
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Lsh),
+        Just(AluOp::Rsh),
+        Just(AluOp::Mov),
+        Just(AluOp::Xor),
+        Just(AluOp::Mod),
+        Just(AluOp::Arsh),
     ];
     let size = prop_oneof![Just(Size::B), Just(Size::H), Just(Size::W), Just(Size::DW)];
     let cmp = prop_oneof![
-        Just(CmpOp::Eq), Just(CmpOp::Ne), Just(CmpOp::Gt), Just(CmpOp::Lt),
-        Just(CmpOp::Set), Just(CmpOp::SGe),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Set),
+        Just(CmpOp::SGe),
     ];
     prop_oneof![
         (alu.clone(), reg.clone(), operand.clone()).prop_map(|(o, r, s)| Insn::Alu64(o, r, s)),
         (alu, reg.clone(), operand.clone()).prop_map(|(o, r, s)| Insn::Alu32(o, r, s)),
         (reg.clone(), any::<u64>()).prop_map(|(r, v)| Insn::LoadImm64(r, v)),
-        (size.clone(), reg.clone(), reg.clone(), -64i16..64).prop_map(|(s, d, b, o)| Insn::Load(s, d, b, o)),
-        (size, reg.clone(), -64i16..64, operand.clone()).prop_map(|(s, b, o, v)| Insn::Store(s, b, o, v)),
+        (size.clone(), reg.clone(), reg.clone(), -64i16..64)
+            .prop_map(|(s, d, b, o)| Insn::Load(s, d, b, o)),
+        (size, reg.clone(), -64i16..64, operand.clone())
+            .prop_map(|(s, b, o, v)| Insn::Store(s, b, o, v)),
         (-8i16..16).prop_map(Insn::Jmp),
         (cmp, reg, operand, -8i16..16).prop_map(|(c, r, o, off)| Insn::JmpIf(c, r, o, off)),
         Just(Insn::Exit),

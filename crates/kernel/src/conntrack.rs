@@ -75,12 +75,22 @@ pub struct CtAction {
 impl CtAction {
     /// A plain tracking action for `zone`.
     pub fn track(zone: u16) -> Self {
-        Self { zone, commit: false, mark: None, nat: None }
+        Self {
+            zone,
+            commit: false,
+            mark: None,
+            nat: None,
+        }
     }
 
     /// A committing action for `zone`.
     pub fn commit(zone: u16) -> Self {
-        Self { zone, commit: true, mark: None, nat: None }
+        Self {
+            zone,
+            commit: true,
+            mark: None,
+            nat: None,
+        }
     }
 }
 
@@ -154,7 +164,10 @@ impl Conntrack {
     /// expiry, as with the default kernel behaviour at this fidelity).
     pub fn process(&mut self, key: ConnKey, action: CtAction, now_ns: u64) -> CtVerdict {
         self.ops += 1;
-        let key = ConnKey { zone: action.zone, ..key };
+        let key = ConnKey {
+            zone: action.zone,
+            ..key
+        };
         // Original direction?
         if let Some(conn) = self.conns.get_mut(&key) {
             conn.last_seen_ns = now_ns;
@@ -224,7 +237,8 @@ impl Conntrack {
             );
             if let Some(nat) = action.nat {
                 // Index the translated 5-tuple so replies can be matched.
-                self.nat_index.insert(translated_reply_key(&key, nat), (key, nat));
+                self.nat_index
+                    .insert(translated_reply_key(&key, nat), (key, nat));
             }
         }
         CtVerdict {
@@ -386,8 +400,18 @@ mod tests {
         }
     }
 
-    const COMMIT: CtAction = CtAction { zone: 1, commit: true, mark: None, nat: None };
-    const TRACK: CtAction = CtAction { zone: 1, commit: false, mark: None, nat: None };
+    const COMMIT: CtAction = CtAction {
+        zone: 1,
+        commit: true,
+        mark: None,
+        nat: None,
+    };
+    const TRACK: CtAction = CtAction {
+        zone: 1,
+        commit: false,
+        mark: None,
+        nat: None,
+    };
 
     #[test]
     fn new_then_reply_establishes() {
@@ -438,7 +462,10 @@ mod tests {
         let mut k3 = key(1);
         k3.src_port = 1002;
         let v = ct.process(k3, COMMIT, 0);
-        assert!(v.state & ct_state::INVALID != 0, "over-limit commit marked invalid");
+        assert!(
+            v.state & ct_state::INVALID != 0,
+            "over-limit commit marked invalid"
+        );
         assert_eq!(ct.limit_drops, 1);
         assert_eq!(ct.len(), 2);
     }
@@ -460,11 +487,25 @@ mod tests {
     #[test]
     fn snat_forward_and_reply_rewrites() {
         let mut ct = Conntrack::new();
-        let nat = NatSpec::Snat { ip: [203, 0, 113, 1], port: Some(40_000) };
-        let act = CtAction { zone: 1, commit: true, mark: None, nat: Some(nat) };
+        let nat = NatSpec::Snat {
+            ip: [203, 0, 113, 1],
+            port: Some(40_000),
+        };
+        let act = CtAction {
+            zone: 1,
+            commit: true,
+            mark: None,
+            nat: Some(nat),
+        };
         // Forward: rewrite source to the public address.
         let v = ct.process(key(1), act, 0);
-        assert_eq!(v.nat, Some(NatRewrite::Src { ip: [203, 0, 113, 1], port: Some(40_000) }));
+        assert_eq!(
+            v.nat,
+            Some(NatRewrite::Src {
+                ip: [203, 0, 113, 1],
+                port: Some(40_000)
+            })
+        );
 
         // The reply arrives addressed to the *translated* source.
         let reply = ConnKey {
@@ -476,18 +517,42 @@ mod tests {
             proto: 6,
         };
         let v = ct.process(reply, CtAction::track(1), 1);
-        assert!(v.state & ct_state::REPLY != 0, "recognized as reply: {:02x}", v.state);
+        assert!(
+            v.state & ct_state::REPLY != 0,
+            "recognized as reply: {:02x}",
+            v.state
+        );
         // ... and must be rewritten back to the original private address.
-        assert_eq!(v.nat, Some(NatRewrite::Dst { ip: [10, 0, 0, 1], port: Some(1234) }));
+        assert_eq!(
+            v.nat,
+            Some(NatRewrite::Dst {
+                ip: [10, 0, 0, 1],
+                port: Some(1234)
+            })
+        );
     }
 
     #[test]
     fn dnat_maps_vip_to_backend() {
         let mut ct = Conntrack::new();
-        let nat = NatSpec::Dnat { ip: [192, 168, 1, 10], port: Some(8080) };
-        let act = CtAction { zone: 9, commit: true, mark: None, nat: Some(nat) };
+        let nat = NatSpec::Dnat {
+            ip: [192, 168, 1, 10],
+            port: Some(8080),
+        };
+        let act = CtAction {
+            zone: 9,
+            commit: true,
+            mark: None,
+            nat: Some(nat),
+        };
         let v = ct.process(key(9), CtAction { zone: 9, ..act }, 0);
-        assert_eq!(v.nat, Some(NatRewrite::Dst { ip: [192, 168, 1, 10], port: Some(8080) }));
+        assert_eq!(
+            v.nat,
+            Some(NatRewrite::Dst {
+                ip: [192, 168, 1, 10],
+                port: Some(8080)
+            })
+        );
         // Reply comes FROM the backend.
         let reply = ConnKey {
             zone: 9,
@@ -500,7 +565,13 @@ mod tests {
         let v = ct.process(reply, CtAction::track(9), 1);
         assert!(v.state & ct_state::REPLY != 0);
         // Restored to the VIP the client originally targeted.
-        assert_eq!(v.nat, Some(NatRewrite::Src { ip: [10, 0, 0, 2], port: Some(80) }));
+        assert_eq!(
+            v.nat,
+            Some(NatRewrite::Src {
+                ip: [10, 0, 0, 2],
+                port: Some(80)
+            })
+        );
     }
 
     #[test]
@@ -517,7 +588,10 @@ mod tests {
         );
         assert!(apply_rewrite(
             &mut f,
-            &NatRewrite::Src { ip: [203, 0, 113, 7], port: Some(55_555) }
+            &NatRewrite::Src {
+                ip: [203, 0, 113, 7],
+                port: Some(55_555)
+            }
         ));
         let ip = ovs_packet::ipv4::Ipv4Packet::new_checked(&f[14..]).unwrap();
         assert_eq!(ip.src(), [203, 0, 113, 7]);
@@ -531,8 +605,20 @@ mod tests {
     fn nat_index_cleaned_on_expiry() {
         let mut ct = Conntrack::new();
         ct.timeout_ns = 10;
-        let nat = NatSpec::Snat { ip: [203, 0, 113, 1], port: None };
-        ct.process(key(1), CtAction { zone: 1, commit: true, mark: None, nat: Some(nat) }, 0);
+        let nat = NatSpec::Snat {
+            ip: [203, 0, 113, 1],
+            port: None,
+        };
+        ct.process(
+            key(1),
+            CtAction {
+                zone: 1,
+                commit: true,
+                mark: None,
+                nat: Some(nat),
+            },
+            0,
+        );
         assert_eq!(ct.expire(100), 1);
         // Reply after expiry is just a new, untracked flow.
         let reply = ConnKey {
@@ -551,7 +637,16 @@ mod tests {
     #[test]
     fn mark_set_on_commit_and_returned() {
         let mut ct = Conntrack::new();
-        ct.process(key(1), CtAction { zone: 1, commit: true, mark: Some(0xbeef), nat: None }, 0);
+        ct.process(
+            key(1),
+            CtAction {
+                zone: 1,
+                commit: true,
+                mark: Some(0xbeef),
+                nat: None,
+            },
+            0,
+        );
         let v = ct.process(key(1).reversed(), TRACK, 1);
         assert_eq!(v.mark, 0xbeef);
     }

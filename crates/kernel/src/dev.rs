@@ -269,7 +269,12 @@ mod tests {
 
     #[test]
     fn phys_device_defaults() {
-        let d = NetDevice::new("eth0", MacAddr::new(2, 0, 0, 0, 0, 1), DeviceKind::Phys { link_gbps: 25.0 }, 4);
+        let d = NetDevice::new(
+            "eth0",
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            DeviceKind::Phys { link_gbps: 25.0 },
+            4,
+        );
         assert!(d.caps.native_xdp);
         assert!(d.caps.tso);
         assert_eq!(d.link_gbps(), Some(25.0));

@@ -7,9 +7,7 @@
 //! charges the cost model through `self.sim`.
 
 use crate::conntrack::Conntrack;
-use crate::dev::{
-    Attachment, DeviceKind, NetDevice, Owner, XdpAttachment, XdpMode,
-};
+use crate::dev::{Attachment, DeviceKind, NetDevice, Owner, XdpAttachment, XdpMode};
 use crate::guest::{Guest, GuestRole, VirtioBackend};
 use crate::namespace::{reflect_frame, ContainerRole, Namespace};
 use crate::neigh::{NeighState, NeighTable, Neighbor};
@@ -125,6 +123,9 @@ pub struct Kernel {
     pub udp_sockets: HashMap<([u8; 4], u16), VecDeque<Vec<u8>>>,
     /// Per-device packet captures (`tcpdump`). Key: ifindex.
     captures: HashMap<u32, Vec<Vec<u8>>>,
+    /// Frames flagged by an active `ofproto/trace`; `tcpdump` tags
+    /// matching captures with `[traced]`.
+    traced_frames: Vec<Vec<u8>>,
 }
 
 impl Kernel {
@@ -150,7 +151,23 @@ impl Kernel {
             nstat: BTreeMap::new(),
             udp_sockets: HashMap::new(),
             captures: HashMap::new(),
+            traced_frames: Vec::new(),
         }
+    }
+
+    /// Flag a frame as belonging to a packet trace so capture tools can
+    /// correlate it. Bounded: only the most recent flags are kept.
+    pub fn mark_traced(&mut self, frame: &[u8]) {
+        const MAX_TRACED: usize = 64;
+        if self.traced_frames.len() >= MAX_TRACED {
+            self.traced_frames.remove(0);
+        }
+        self.traced_frames.push(frame.to_vec());
+    }
+
+    /// Whether `frame` was flagged by [`mark_traced`](Self::mark_traced).
+    pub fn is_traced(&self, frame: &[u8]) -> bool {
+        self.traced_frames.iter().any(|f| f == frame)
     }
 
     /// Charge softirq time with the configured contention scaling.
@@ -187,8 +204,18 @@ impl Kernel {
         mac_a: MacAddr,
         mac_b: MacAddr,
     ) -> (u32, u32) {
-        let a = self.add_device(NetDevice::new(name_a, mac_a, DeviceKind::Veth { peer: 0 }, 1));
-        let b = self.add_device(NetDevice::new(name_b, mac_b, DeviceKind::Veth { peer: a }, 1));
+        let a = self.add_device(NetDevice::new(
+            name_a,
+            mac_a,
+            DeviceKind::Veth { peer: 0 },
+            1,
+        ));
+        let b = self.add_device(NetDevice::new(
+            name_b,
+            mac_b,
+            DeviceKind::Veth { peer: a },
+            1,
+        ));
         if let DeviceKind::Veth { peer } = &mut self.dev_mut(a).kind {
             *peer = b;
         }
@@ -234,7 +261,11 @@ impl Kernel {
             gateway: None,
             ifindex,
         });
-        self.events.push(RtnlEvent::AddrAdd { ifindex, ip, prefix_len });
+        self.events.push(RtnlEvent::AddrAdd {
+            ifindex,
+            ip,
+            prefix_len,
+        });
     }
 
     /// Addresses on a device.
@@ -486,11 +517,7 @@ impl Kernel {
                     self.dev_mut(ifindex).stats.xdp_redirect += 1;
                     // Preferred busy polling: the XSK delivery work runs
                     // inline on the application's core.
-                    let deliver_core = self
-                        .xsk(id)
-                        .borrow()
-                        .busy_poll_core
-                        .unwrap_or(core);
+                    let deliver_core = self.xsk(id).borrow().busy_poll_core.unwrap_or(core);
                     let c = self.sim.costs.xsk_deliver_ns;
                     self.charge_softirq(deliver_core, c);
                     let h = self.xsk(id);
@@ -616,7 +643,10 @@ impl Kernel {
         let mut outcome = RxOutcome::Bridged;
         for v in verdicts {
             match v {
-                DpVerdict::Emit { ifindex: out_if, frame } => {
+                DpVerdict::Emit {
+                    ifindex: out_if,
+                    frame,
+                } => {
                     self.transmit_at(out_if, frame, core, depth + 1);
                 }
                 DpVerdict::ToHost { frame } => {
@@ -850,9 +880,7 @@ impl Kernel {
     /// guest app, and inject its output back through the tap. Returns
     /// the total packets moved (tap→guest, guest app, guest→kernel).
     pub fn vhost_net_service(&mut self, guest_idx: usize) -> usize {
-        let VirtioBackend::VhostNet { tap_ifindex } =
-            self.guests[guest_idx].backend
-        else {
+        let VirtioBackend::VhostNet { tap_ifindex } = self.guests[guest_idx].backend else {
             return self.run_guest(guest_idx);
         };
         // vhost-net kthread: tap fd -> guest rx ring.
@@ -1027,7 +1055,12 @@ mod tests {
     const M2: MacAddr = MacAddr([2, 0, 0, 0, 0, 2]);
 
     fn phys(k: &mut Kernel, name: &str, mac: MacAddr) -> u32 {
-        k.add_device(NetDevice::new(name, mac, DeviceKind::Phys { link_gbps: 10.0 }, 4))
+        k.add_device(NetDevice::new(
+            name,
+            mac,
+            DeviceKind::Phys { link_gbps: 10.0 },
+            4,
+        ))
     }
 
     fn udp64() -> Vec<u8> {
@@ -1041,7 +1074,10 @@ mod tests {
         k.take_device(eth0, "dpdk");
         assert_eq!(k.receive(eth0, 0, udp64()), RxOutcome::UserOwned);
         assert_eq!(k.device(eth0).user_rx[0].len(), 1);
-        assert!(k.device_by_name("eth0").is_none(), "invisible to the kernel");
+        assert!(
+            k.device_by_name("eth0").is_none(),
+            "invisible to the kernel"
+        );
         assert!(k.device_by_name_any("eth0").is_some());
         k.release_device(eth0);
         assert!(k.device_by_name("eth0").is_some());
@@ -1051,8 +1087,13 @@ mod tests {
     fn xdp_drop_counts_and_charges_softirq() {
         let mut k = Kernel::new(2);
         let eth0 = phys(&mut k, "eth0", M1);
-        k.attach_xdp(eth0, ovs_ebpf::programs::task_a_drop(), XdpMode::Native, None)
-            .unwrap();
+        k.attach_xdp(
+            eth0,
+            ovs_ebpf::programs::task_a_drop(),
+            XdpMode::Native,
+            None,
+        )
+        .unwrap();
         assert_eq!(k.receive(eth0, 0, udp64()), RxOutcome::XdpDrop);
         assert_eq!(k.device(eth0).stats.xdp_drop, 1);
         assert!(k.sim.cpus.core(0).ns(Context::Softirq) > 0.0);
@@ -1063,8 +1104,13 @@ mod tests {
     fn xdp_tx_bounces_out_same_nic() {
         let mut k = Kernel::new(2);
         let eth0 = phys(&mut k, "eth0", M1);
-        k.attach_xdp(eth0, ovs_ebpf::programs::task_d_swap_fwd(), XdpMode::Native, None)
-            .unwrap();
+        k.attach_xdp(
+            eth0,
+            ovs_ebpf::programs::task_d_swap_fwd(),
+            XdpMode::Native,
+            None,
+        )
+        .unwrap();
         assert_eq!(k.receive(eth0, 0, udp64()), RxOutcome::XdpTx);
         let out = k.dev_mut(eth0).tx_wire.pop_front().unwrap();
         assert_eq!(&out[0..6], M1.as_bytes(), "MACs swapped by the program");
@@ -1076,14 +1122,23 @@ mod tests {
         let eth0 = phys(&mut k, "eth0", M1);
         let h = XskBinding::new(eth0, 0, 16, 2048, true).into_handle();
         for i in 0..8 {
-            h.borrow().umem.fill.push(Desc { frame: i, len: 0 }).unwrap();
+            h.borrow()
+                .umem
+                .fill
+                .push(Desc { frame: i, len: 0 })
+                .unwrap();
         }
         let xsk_id = k.register_xsk(std::rc::Rc::clone(&h));
         let mut xmap = XskMap::new(4);
         xmap.set(0, xsk_id).unwrap();
         let fd = k.maps.add(Map::Xsk(xmap));
-        k.attach_xdp(eth0, ovs_ebpf::programs::ovs_xsk_redirect(fd), XdpMode::Native, None)
-            .unwrap();
+        k.attach_xdp(
+            eth0,
+            ovs_ebpf::programs::ovs_xsk_redirect(fd),
+            XdpMode::Native,
+            None,
+        )
+        .unwrap();
 
         let f = udp64();
         assert_eq!(k.receive(eth0, 0, f.clone()), RxOutcome::ToXsk(xsk_id));
@@ -1101,8 +1156,13 @@ mod tests {
         let mut xmap = XskMap::new(4);
         xmap.set(0, xsk_id).unwrap();
         let fd = k.maps.add(Map::Xsk(xmap));
-        k.attach_xdp(eth0, ovs_ebpf::programs::ovs_xsk_redirect(fd), XdpMode::Native, None)
-            .unwrap();
+        k.attach_xdp(
+            eth0,
+            ovs_ebpf::programs::ovs_xsk_redirect(fd),
+            XdpMode::Native,
+            None,
+        )
+        .unwrap();
         assert_eq!(k.receive(eth0, 0, udp64()), RxOutcome::XskDropped(xsk_id));
         assert_eq!(h.borrow().stats.rx_dropped, 1);
     }
@@ -1166,7 +1226,11 @@ mod tests {
         k.add_addr(eth0, [192, 168, 1, 1], 24);
         let req = builder::icmp_echo(M2, M1, [192, 168, 1, 2], [192, 168, 1, 1], false, 1, 1);
         assert_eq!(k.receive(eth0, 0, req), RxOutcome::ToHost);
-        let reply = k.dev_mut(eth0).tx_wire.pop_front().expect("echo reply sent");
+        let reply = k
+            .dev_mut(eth0)
+            .tx_wire
+            .pop_front()
+            .expect("echo reply sent");
         let ip = ipv4::Ipv4Packet::new_checked(&reply[14..]).unwrap();
         assert_eq!(ip.dst(), [192, 168, 1, 2]);
         assert_eq!(k.nstat["IcmpInEchos"], 1);
@@ -1233,7 +1297,10 @@ mod tests {
         assert_eq!(k.device(tap).fd_queue.len(), 1);
         let n = k.vhost_net_service(g);
         assert_eq!(n, 3, "tap->guest, guest app, guest->kernel");
-        assert!(k.sim.cpus.core(2).ns(Context::Guest) > 0.0, "guest time charged");
+        assert!(
+            k.sim.cpus.core(2).ns(Context::Guest) > 0.0,
+            "guest time charged"
+        );
         // The forwarded frame re-entered the kernel through the tap and,
         // with no bridge attached, landed in the tap's stack path.
         assert_eq!(k.guests[g].rx_count, 1);
@@ -1245,20 +1312,35 @@ mod tests {
         let eth0 = phys(&mut k, "eth0", M1);
         k.dev_mut(eth0).caps.per_queue_xdp = false; // Intel model
         let err = k
-            .attach_xdp(eth0, ovs_ebpf::programs::task_a_drop(), XdpMode::Native, Some(vec![1]))
+            .attach_xdp(
+                eth0,
+                ovs_ebpf::programs::task_a_drop(),
+                XdpMode::Native,
+                Some(vec![1]),
+            )
             .unwrap_err();
         assert!(err.contains("whole-device"));
         // Whole-device attach works.
-        k.attach_xdp(eth0, ovs_ebpf::programs::task_a_drop(), XdpMode::Native, None)
-            .unwrap();
+        k.attach_xdp(
+            eth0,
+            ovs_ebpf::programs::task_a_drop(),
+            XdpMode::Native,
+            None,
+        )
+        .unwrap();
     }
 
     #[test]
     fn per_queue_attach_only_covers_selected_queues() {
         let mut k = Kernel::new(2);
         let eth0 = phys(&mut k, "eth0", M1);
-        k.attach_xdp(eth0, ovs_ebpf::programs::task_a_drop(), XdpMode::Native, Some(vec![2, 3]))
-            .unwrap();
+        k.attach_xdp(
+            eth0,
+            ovs_ebpf::programs::task_a_drop(),
+            XdpMode::Native,
+            Some(vec![2, 3]),
+        )
+        .unwrap();
         assert_eq!(k.receive(eth0, 2, udp64()), RxOutcome::XdpDrop);
         // Queue 0 bypasses the program and goes to the stack.
         assert_eq!(k.receive(eth0, 0, udp64()), RxOutcome::ToHost);
@@ -1269,11 +1351,21 @@ mod tests {
         let mut k = Kernel::new(2);
         let tap = k.add_device(NetDevice::new("tap0", M2, DeviceKind::Tap, 1));
         let err = k
-            .attach_xdp(tap, ovs_ebpf::programs::task_a_drop(), XdpMode::Native, None)
+            .attach_xdp(
+                tap,
+                ovs_ebpf::programs::task_a_drop(),
+                XdpMode::Native,
+                None,
+            )
             .unwrap_err();
         assert!(err.contains("native XDP"));
-        k.attach_xdp(tap, ovs_ebpf::programs::task_a_drop(), XdpMode::Generic, None)
-            .unwrap();
+        k.attach_xdp(
+            tap,
+            ovs_ebpf::programs::task_a_drop(),
+            XdpMode::Generic,
+            None,
+        )
+        .unwrap();
     }
 
     #[test]
@@ -1297,7 +1389,10 @@ mod tests {
             k.receive(eth0, q, udp64());
         }
         for c in 0..4 {
-            assert!(k.sim.cpus.core(c).ns(Context::Softirq) > 0.0, "core {c} idle");
+            assert!(
+                k.sim.cpus.core(c).ns(Context::Softirq) > 0.0,
+                "core {c} idle"
+            );
         }
     }
 }

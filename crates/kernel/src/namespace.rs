@@ -157,7 +157,10 @@ mod tests {
         let u = UdpDatagram::new_checked(ip.payload()).unwrap();
         assert_eq!(u.src_port(), 2222);
         assert_eq!(u.dst_port(), 1111);
-        assert!(u.verify_checksum_ipv4(ip.src(), ip.dst()), "swap preserves checksum");
+        assert!(
+            u.verify_checksum_ipv4(ip.src(), ip.dst()),
+            "swap preserves checksum"
+        );
         assert_eq!(ns.rx_count, 1);
     }
 
@@ -193,8 +196,16 @@ mod tests {
     #[test]
     fn reflect_tcp_checksum_still_valid() {
         let f = builder::tcp_ipv4(
-            A, B, [10, 0, 0, 1], [10, 0, 0, 2], 40000, 80, 1, 2,
-            ovs_packet::tcp::flags::ACK, b"data",
+            A,
+            B,
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            40000,
+            80,
+            1,
+            2,
+            ovs_packet::tcp::flags::ACK,
+            b"data",
         );
         let r = reflect_frame(&f).unwrap();
         let ip = Ipv4Packet::new_checked(&r[14..]).unwrap();

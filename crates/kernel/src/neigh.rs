@@ -81,7 +81,10 @@ mod tests {
             ifindex: 1,
             state: NeighState::Reachable,
         });
-        assert_eq!(t.lookup([10, 0, 0, 2]).unwrap().mac, MacAddr::new(2, 0, 0, 0, 0, 2));
+        assert_eq!(
+            t.lookup([10, 0, 0, 2]).unwrap().mac,
+            MacAddr::new(2, 0, 0, 0, 0, 2)
+        );
         assert!(t.lookup([10, 0, 0, 3]).is_none());
         assert!(t.del([10, 0, 0, 2]));
         assert!(!t.del([10, 0, 0, 2]));

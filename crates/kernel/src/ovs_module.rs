@@ -11,6 +11,7 @@
 use crate::conntrack::{ConnKey, Conntrack, CtAction};
 use crate::neigh::NeighTable;
 use crate::route::RouteTable;
+use ovs_obs::coverage;
 use ovs_packet::dp_packet::TunnelMetadata;
 use ovs_packet::flow::extract_flow_key;
 use ovs_packet::{builder, geneve, ipv4, udp, DpPacket, EthernetFrame, FlowKey, FlowMask, MacAddr};
@@ -159,7 +160,10 @@ impl OvsModule {
 
     /// The port number of a netdev vport by ifindex.
     pub fn port_of_ifindex(&self, ifindex: u32) -> Option<u32> {
-        self.vports.iter().position(|v| matches!(v, Vport::Netdev { ifindex: i } if *i == ifindex)).map(|p| p as u32)
+        self.vports
+            .iter()
+            .position(|v| matches!(v, Vport::Netdev { ifindex: i } if *i == ifindex))
+            .map(|p| p as u32)
     }
 
     /// The Geneve vport (port number and local IP), if configured.
@@ -220,15 +224,19 @@ impl OvsModule {
     /// Megaflow lookup: probe each mask's table. Returns the actions.
     fn lookup(&mut self, key: &FlowKey) -> Option<Vec<KAction>> {
         self.stats.lookups += 1;
+        coverage!("kmod_flow_lookup");
         for (i, mask) in self.masks.iter().enumerate() {
             self.stats.masks_probed += 1;
+            coverage!("kmod_mask_probe");
             if let Some(flow) = self.flows.get_mut(&(i, key.masked(mask))) {
                 flow.hits += 1;
                 self.stats.hits += 1;
+                coverage!("kmod_megaflow_hit");
                 return Some(flow.actions.clone());
             }
         }
         self.stats.misses += 1;
+        coverage!("kmod_megaflow_miss");
         None
     }
 
@@ -255,6 +263,7 @@ impl OvsModule {
         if let Some((gport, local_ip)) = self.geneve_vport() {
             if let Some((inner, meta)) = try_geneve_decap(pkt.data(), local_ip) {
                 self.stats.tunnel_decaps += 1;
+                coverage!("kmod_tunnel_decap");
                 pkt = DpPacket::from_data(&inner);
                 pkt.tunnel = Some(meta);
                 in_port = gport;
@@ -290,6 +299,7 @@ impl OvsModule {
             rounds += 1;
             if rounds > MAX_RECIRC {
                 self.stats.recirculations += 1;
+                coverage!("kmod_recirc_limit");
                 out.push(DpVerdict::Drop);
                 return out;
             }
@@ -307,6 +317,7 @@ impl OvsModule {
             match self.apply_actions(&mut pkt, &actions, &mut tunnel_out, env, &mut out) {
                 Some(recirc_id) => {
                     self.stats.recirculations += 1;
+                    coverage!("kmod_recirc");
                     pkt.recirc_id = recirc_id;
                     // Loop: re-extract and re-lookup.
                 }
@@ -363,7 +374,12 @@ impl OvsModule {
                         pkt.set_data(&untagged);
                     }
                 }
-                KAction::Ct { zone, commit, mark, nat } => {
+                KAction::Ct {
+                    zone,
+                    commit,
+                    mark,
+                    nat,
+                } => {
                     let mut tmp = DpPacket::from_data(pkt.data());
                     let key = extract_flow_key(&mut tmp);
                     let ck = ConnKey {
@@ -376,7 +392,12 @@ impl OvsModule {
                     };
                     let v = env.conntrack.process(
                         ck,
-                        CtAction { zone: *zone, commit: *commit, mark: *mark, nat: *nat },
+                        CtAction {
+                            zone: *zone,
+                            commit: *commit,
+                            mark: *mark,
+                            nat: *nat,
+                        },
                         env.now_ns,
                     );
                     pkt.ct_state = v.state;
@@ -399,39 +420,38 @@ impl OvsModule {
                         f.set_dst(*mac);
                     }
                 }
-                KAction::Output(port) => {
-                    match self.vports.get(*port as usize).cloned() {
-                        Some(Vport::Netdev { ifindex }) => out.push(DpVerdict::Emit {
-                            ifindex,
-                            frame: pkt.data().to_vec(),
-                        }),
-                        Some(Vport::Internal) => out.push(DpVerdict::ToHost {
-                            frame: pkt.data().to_vec(),
-                        }),
-                        Some(Vport::Geneve { .. }) => {
-                            let Some(spec) = tunnel_out.or_else(|| {
-                                pkt.tunnel.map(|t| TunnelSpec {
-                                    id: t.tun_id,
-                                    src: t.src,
-                                    dst: t.dst,
-                                    tos: t.tos,
-                                    ttl: t.ttl,
-                                })
-                            }) else {
-                                out.push(DpVerdict::Drop);
-                                continue;
-                            };
-                            match self.geneve_encap_out(pkt, spec, env) {
-                                Some(v) => {
-                                    self.stats.tunnel_encaps += 1;
-                                    out.push(v);
-                                }
-                                None => out.push(DpVerdict::Drop),
+                KAction::Output(port) => match self.vports.get(*port as usize).cloned() {
+                    Some(Vport::Netdev { ifindex }) => out.push(DpVerdict::Emit {
+                        ifindex,
+                        frame: pkt.data().to_vec(),
+                    }),
+                    Some(Vport::Internal) => out.push(DpVerdict::ToHost {
+                        frame: pkt.data().to_vec(),
+                    }),
+                    Some(Vport::Geneve { .. }) => {
+                        let Some(spec) = tunnel_out.or_else(|| {
+                            pkt.tunnel.map(|t| TunnelSpec {
+                                id: t.tun_id,
+                                src: t.src,
+                                dst: t.dst,
+                                tos: t.tos,
+                                ttl: t.ttl,
+                            })
+                        }) else {
+                            out.push(DpVerdict::Drop);
+                            continue;
+                        };
+                        match self.geneve_encap_out(pkt, spec, env) {
+                            Some(v) => {
+                                self.stats.tunnel_encaps += 1;
+                                coverage!("kmod_tunnel_encap");
+                                out.push(v);
                             }
+                            None => out.push(DpVerdict::Drop),
                         }
-                        None => out.push(DpVerdict::Drop),
                     }
-                }
+                    None => out.push(DpVerdict::Drop),
+                },
             }
         }
         None
@@ -574,7 +594,13 @@ mod tests {
         let mut env = test_env(&routes, &neigh, &mut ct, &macs);
         let f = frame([10, 0, 0, 2]);
         let v = m.receive(f.clone(), 1, &mut env);
-        assert_eq!(v, vec![DpVerdict::Emit { ifindex: 2, frame: f }]);
+        assert_eq!(
+            v,
+            vec![DpVerdict::Emit {
+                ifindex: 2,
+                frame: f
+            }]
+        );
         assert_eq!(m.stats.hits, 1);
     }
 
@@ -594,7 +620,12 @@ mod tests {
             &k0,
             &mask,
             vec![
-                KAction::Ct { zone: 5, commit: true, mark: None, nat: None },
+                KAction::Ct {
+                    zone: 5,
+                    commit: true,
+                    mark: None,
+                    nat: None,
+                },
                 KAction::Recirc(1),
             ],
         );
@@ -619,7 +650,9 @@ mod tests {
         // Host A: overlay frame in on port 0 -> set_tunnel + output geneve.
         let mut m = OvsModule::new();
         let p_vm = m.add_vport(Vport::Netdev { ifindex: 1 });
-        let _p_gnv = m.add_vport(Vport::Geneve { local_ip: [172, 16, 0, 1] });
+        let _p_gnv = m.add_vport(Vport::Geneve {
+            local_ip: [172, 16, 0, 1],
+        });
 
         let mut key = FlowKey::default();
         key.set_in_port(p_vm);
@@ -640,7 +673,12 @@ mod tests {
         );
 
         let mut routes = RouteTable::new();
-        routes.add(Route { dst: [172, 16, 0, 0], prefix_len: 24, gateway: None, ifindex: 10 });
+        routes.add(Route {
+            dst: [172, 16, 0, 0],
+            prefix_len: 24,
+            gateway: None,
+            ifindex: 10,
+        });
         let mut neigh = NeighTable::new();
         neigh.add(Neighbor {
             ip: [172, 16, 0, 2],
@@ -654,7 +692,11 @@ mod tests {
 
         let inner = frame([10, 0, 0, 2]);
         let v = m.receive(inner.clone(), 1, &mut env);
-        let DpVerdict::Emit { ifindex, frame: outer } = &v[0] else {
+        let DpVerdict::Emit {
+            ifindex,
+            frame: outer,
+        } = &v[0]
+        else {
             panic!("expected emit, got {v:?}");
         };
         assert_eq!(*ifindex, 10);
@@ -665,7 +707,9 @@ mod tests {
         let mut m2 = OvsModule::new();
         let p_uplink = m2.add_vport(Vport::Netdev { ifindex: 20 });
         let _ = p_uplink;
-        let gport = m2.add_vport(Vport::Geneve { local_ip: [172, 16, 0, 2] });
+        let gport = m2.add_vport(Vport::Geneve {
+            local_ip: [172, 16, 0, 2],
+        });
         m2.add_vport(Vport::Netdev { ifindex: 21 });
         let mut gkey = FlowKey::default();
         gkey.set_in_port(gport);
@@ -680,8 +724,14 @@ mod tests {
         let mut env2 = test_env(&routes2, &neigh2, &mut ct2, &macs2);
         let v2 = m2.receive(outer.clone(), 20, &mut env2);
         match &v2[..] {
-            [DpVerdict::Emit { ifindex: 21, frame: delivered }] => {
-                assert_eq!(delivered, &inner, "inner frame preserved through the tunnel");
+            [DpVerdict::Emit {
+                ifindex: 21,
+                frame: delivered,
+            }] => {
+                assert_eq!(
+                    delivered, &inner,
+                    "inner frame preserved through the tunnel"
+                );
             }
             other => panic!("expected decap+emit, got {other:?}"),
         }

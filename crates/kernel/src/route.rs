@@ -54,7 +54,8 @@ impl RouteTable {
     /// many were removed.
     pub fn del(&mut self, dst: [u8; 4], prefix_len: u8) -> usize {
         let before = self.routes.len();
-        self.routes.retain(|r| !(r.dst == dst && r.prefix_len == prefix_len));
+        self.routes
+            .retain(|r| !(r.dst == dst && r.prefix_len == prefix_len));
         before - self.routes.len()
     }
 
@@ -89,9 +90,24 @@ mod tests {
     #[test]
     fn longest_prefix_wins() {
         let mut t = RouteTable::new();
-        t.add(Route { dst: [0, 0, 0, 0], prefix_len: 0, gateway: Some([10, 0, 0, 1]), ifindex: 1 });
-        t.add(Route { dst: [10, 1, 0, 0], prefix_len: 16, gateway: None, ifindex: 2 });
-        t.add(Route { dst: [10, 1, 2, 0], prefix_len: 24, gateway: None, ifindex: 3 });
+        t.add(Route {
+            dst: [0, 0, 0, 0],
+            prefix_len: 0,
+            gateway: Some([10, 0, 0, 1]),
+            ifindex: 1,
+        });
+        t.add(Route {
+            dst: [10, 1, 0, 0],
+            prefix_len: 16,
+            gateway: None,
+            ifindex: 2,
+        });
+        t.add(Route {
+            dst: [10, 1, 2, 0],
+            prefix_len: 24,
+            gateway: None,
+            ifindex: 3,
+        });
 
         assert_eq!(t.lookup([10, 1, 2, 3]).unwrap().ifindex, 3);
         assert_eq!(t.lookup([10, 1, 9, 9]).unwrap().ifindex, 2);
@@ -101,7 +117,12 @@ mod tests {
     #[test]
     fn no_default_route_misses() {
         let mut t = RouteTable::new();
-        t.add(Route { dst: [192, 168, 0, 0], prefix_len: 24, gateway: None, ifindex: 1 });
+        t.add(Route {
+            dst: [192, 168, 0, 0],
+            prefix_len: 24,
+            gateway: None,
+            ifindex: 1,
+        });
         assert!(t.lookup([8, 8, 8, 8]).is_none());
         assert!(t.lookup([192, 168, 0, 77]).is_some());
     }
@@ -109,8 +130,18 @@ mod tests {
     #[test]
     fn del_removes_exact() {
         let mut t = RouteTable::new();
-        t.add(Route { dst: [10, 0, 0, 0], prefix_len: 8, gateway: None, ifindex: 1 });
-        t.add(Route { dst: [10, 0, 0, 0], prefix_len: 16, gateway: None, ifindex: 1 });
+        t.add(Route {
+            dst: [10, 0, 0, 0],
+            prefix_len: 8,
+            gateway: None,
+            ifindex: 1,
+        });
+        t.add(Route {
+            dst: [10, 0, 0, 0],
+            prefix_len: 16,
+            gateway: None,
+            ifindex: 1,
+        });
         assert_eq!(t.del([10, 0, 0, 0], 8), 1);
         assert_eq!(t.len(), 1);
         assert_eq!(t.lookup([10, 0, 0, 1]).unwrap().prefix_len, 16);

@@ -13,13 +13,27 @@ use crate::route::{Route, RouteTable};
 /// A netlink notification.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RtnlEvent {
-    LinkAdd { ifindex: u32, name: String },
-    LinkDel { ifindex: u32 },
-    AddrAdd { ifindex: u32, ip: [u8; 4], prefix_len: u8 },
+    LinkAdd {
+        ifindex: u32,
+        name: String,
+    },
+    LinkDel {
+        ifindex: u32,
+    },
+    AddrAdd {
+        ifindex: u32,
+        ip: [u8; 4],
+        prefix_len: u8,
+    },
     RouteAdd(Route),
-    RouteDel { dst: [u8; 4], prefix_len: u8 },
+    RouteDel {
+        dst: [u8; 4],
+        prefix_len: u8,
+    },
     NeighAdd(Neighbor),
-    NeighDel { ip: [u8; 4] },
+    NeighDel {
+        ip: [u8; 4],
+    },
 }
 
 /// Userspace replica of the kernel route/neighbour/link tables.
@@ -62,7 +76,11 @@ impl RtnlCache {
             RtnlEvent::LinkDel { ifindex } => {
                 self.links.retain(|(i, _)| i != ifindex);
             }
-            RtnlEvent::AddrAdd { ifindex, ip, prefix_len } => {
+            RtnlEvent::AddrAdd {
+                ifindex,
+                ip,
+                prefix_len,
+            } => {
                 // Addresses imply connected routes, as the kernel does.
                 self.routes.add(Route {
                     dst: *ip,
@@ -92,8 +110,15 @@ mod tests {
     #[test]
     fn cache_mirrors_events() {
         let events = vec![
-            RtnlEvent::LinkAdd { ifindex: 1, name: "eth0".into() },
-            RtnlEvent::AddrAdd { ifindex: 1, ip: [10, 0, 0, 1], prefix_len: 24 },
+            RtnlEvent::LinkAdd {
+                ifindex: 1,
+                name: "eth0".into(),
+            },
+            RtnlEvent::AddrAdd {
+                ifindex: 1,
+                ip: [10, 0, 0, 1],
+                prefix_len: 24,
+            },
             RtnlEvent::RouteAdd(Route {
                 dst: [0, 0, 0, 0],
                 prefix_len: 0,
@@ -110,7 +135,10 @@ mod tests {
         let mut cache = RtnlCache::new();
         assert_eq!(cache.sync(&events), 4);
         assert_eq!(cache.links.len(), 1);
-        assert_eq!(cache.routes.lookup([8, 8, 8, 8]).unwrap().gateway, Some([10, 0, 0, 254]));
+        assert_eq!(
+            cache.routes.lookup([8, 8, 8, 8]).unwrap().gateway,
+            Some([10, 0, 0, 254])
+        );
         assert!(cache.neighbors.lookup([10, 0, 0, 254]).is_some());
         // Re-sync with no new events is a no-op.
         assert_eq!(cache.sync(&events), 0);
@@ -118,7 +146,10 @@ mod tests {
 
     #[test]
     fn incremental_sync() {
-        let mut events = vec![RtnlEvent::LinkAdd { ifindex: 1, name: "a".into() }];
+        let mut events = vec![RtnlEvent::LinkAdd {
+            ifindex: 1,
+            name: "a".into(),
+        }];
         let mut cache = RtnlCache::new();
         cache.sync(&events);
         events.push(RtnlEvent::LinkDel { ifindex: 1 });
@@ -129,8 +160,16 @@ mod tests {
     #[test]
     fn route_del_mirrored() {
         let events = vec![
-            RtnlEvent::RouteAdd(Route { dst: [10, 0, 0, 0], prefix_len: 8, gateway: None, ifindex: 1 }),
-            RtnlEvent::RouteDel { dst: [10, 0, 0, 0], prefix_len: 8 },
+            RtnlEvent::RouteAdd(Route {
+                dst: [10, 0, 0, 0],
+                prefix_len: 8,
+                gateway: None,
+                ifindex: 1,
+            }),
+            RtnlEvent::RouteDel {
+                dst: [10, 0, 0, 0],
+                prefix_len: 8,
+            },
         ];
         let mut cache = RtnlCache::new();
         cache.sync(&events);

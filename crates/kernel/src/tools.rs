@@ -50,14 +50,7 @@ pub fn ip_link(k: &Kernel, dev: Option<&str>) -> Result<String, ToolError> {
         let _ = writeln!(
             out,
             "{}: {}: <{}> mtu {} state {}\n    link/ether {} rx {} tx {}",
-            d.ifindex,
-            d.name,
-            state,
-            d.mtu,
-            state,
-            d.mac,
-            d.stats.rx_packets,
-            d.stats.tx_packets,
+            d.ifindex, d.name, state, d.mtu, state, d.mac, d.stats.rx_packets, d.stats.tx_packets,
         );
     }
     Ok(out)
@@ -75,14 +68,23 @@ pub fn ip_addr(k: &Kernel, dev: Option<&str>) -> Result<String, ToolError> {
     for d in devices {
         let _ = writeln!(out, "{}: {}:", d.ifindex, d.name);
         for (ip, plen) in k.addrs_of(d.ifindex) {
-            let _ = writeln!(out, "    inet {}.{}.{}.{}/{}", ip[0], ip[1], ip[2], ip[3], plen);
+            let _ = writeln!(
+                out,
+                "    inet {}.{}.{}.{}/{}",
+                ip[0], ip[1], ip[2], ip[3], plen
+            );
         }
     }
     Ok(out)
 }
 
 /// `ip address add <ip>/<plen> dev <name>`.
-pub fn ip_addr_add(k: &mut Kernel, dev: &str, ip: [u8; 4], prefix_len: u8) -> Result<(), ToolError> {
+pub fn ip_addr_add(
+    k: &mut Kernel,
+    dev: &str,
+    ip: [u8; 4],
+    prefix_len: u8,
+) -> Result<(), ToolError> {
     let ifindex = k
         .device_by_name(dev)
         .ok_or_else(|| ToolError::NoSuchDevice(dev.to_string()))?
@@ -105,8 +107,16 @@ pub fn ip_route(k: &Kernel) -> Result<String, ToolError> {
                 let _ = writeln!(
                     out,
                     "{}.{}.{}.{}/{} via {}.{}.{}.{} dev {}",
-                    r.dst[0], r.dst[1], r.dst[2], r.dst[3], r.prefix_len,
-                    gw[0], gw[1], gw[2], gw[3], dev
+                    r.dst[0],
+                    r.dst[1],
+                    r.dst[2],
+                    r.dst[3],
+                    r.prefix_len,
+                    gw[0],
+                    gw[1],
+                    gw[2],
+                    gw[3],
+                    dev
                 );
             }
             None => {
@@ -133,7 +143,12 @@ pub fn ip_route_add(
         .device_by_name(dev)
         .ok_or_else(|| ToolError::NoSuchDevice(dev.to_string()))?
         .ifindex;
-    let route = Route { dst, prefix_len, gateway, ifindex };
+    let route = Route {
+        dst,
+        prefix_len,
+        gateway,
+        ifindex,
+    };
     k.routes.add(route);
     k.events.push(crate::rtnetlink::RtnlEvent::RouteAdd(route));
     Ok(())
@@ -163,7 +178,12 @@ pub fn ip_neigh_add(k: &mut Kernel, ip: [u8; 4], mac: MacAddr, dev: &str) -> Res
         .device_by_name(dev)
         .ok_or_else(|| ToolError::NoSuchDevice(dev.to_string()))?
         .ifindex;
-    let n = Neighbor { ip, mac, ifindex, state: NeighState::Permanent };
+    let n = Neighbor {
+        ip,
+        mac,
+        ifindex,
+        state: NeighState::Permanent,
+    };
     k.neighbors.add(n);
     k.events.push(crate::rtnetlink::RtnlEvent::NeighAdd(n));
     Ok(())
@@ -180,7 +200,10 @@ pub struct PingResult {
 /// device is kernel-managed, a resolvable next hop or target, and a
 /// responder owning the address (a local device, container, or guest).
 pub fn ping(k: &mut Kernel, target: [u8; 4]) -> Result<PingResult, ToolError> {
-    let route = k.routes.lookup(target).ok_or(ToolError::NetworkUnreachable)?;
+    let route = k
+        .routes
+        .lookup(target)
+        .ok_or(ToolError::NetworkUnreachable)?;
     let egress = route.ifindex;
     if k.kernel_devices().all(|d| d.ifindex != egress) {
         return Err(ToolError::NetworkUnreachable);
@@ -197,10 +220,12 @@ pub fn ping(k: &mut Kernel, target: [u8; 4]) -> Result<PingResult, ToolError> {
     *k.nstat.entry("IcmpInEchoReps".into()).or_insert(0) += 1;
     // RTT: two stack traversals + two driver passes + wire, both ways.
     let c = &k.sim.costs;
-    let rtt_ns =
-        2.0 * (c.kernel_tcp_segment_ns + c.driver_rx_ns + c.driver_tx_ns + c.wire_latency_ns)
-            + c.irq_moderation_ns;
-    Ok(PingResult { rtt_us: rtt_ns / 1000.0 })
+    let rtt_ns = 2.0
+        * (c.kernel_tcp_segment_ns + c.driver_rx_ns + c.driver_tx_ns + c.wire_latency_ns)
+        + c.irq_moderation_ns;
+    Ok(PingResult {
+        rtt_us: rtt_ns / 1000.0,
+    })
 }
 
 /// `arping -I <dev> <target>`: L2 reachability check.
@@ -220,17 +245,24 @@ pub fn arping(k: &mut Kernel, dev: &str, target: [u8; 4]) -> Result<MacAddr, Too
     Err(ToolError::Timeout)
 }
 
-/// `ethtool -S <dev>`: NIC statistics, including XDP counters.
+/// `ethtool -S <dev>`: NIC statistics, including XDP counters and the
+/// datapath coverage counters relevant at the driver boundary.
 pub fn ethtool_stats(k: &Kernel, dev: &str) -> Result<String, ToolError> {
     let d = k
         .device_by_name(dev)
         .ok_or_else(|| ToolError::NoSuchDevice(dev.to_string()))?;
     let s = d.stats;
-    Ok(format!(
+    let mut out = format!(
         "NIC statistics for {}:\n     rx_packets: {}\n     rx_bytes: {}\n     rx_dropped: {}\n     tx_packets: {}\n     tx_bytes: {}\n     xdp_drop: {}\n     xdp_tx: {}\n     xdp_redirect: {}\n     xdp_pass: {}\n",
         d.name, s.rx_packets, s.rx_bytes, s.rx_dropped, s.tx_packets, s.tx_bytes,
         s.xdp_drop, s.xdp_tx, s.xdp_redirect, s.xdp_pass,
-    ))
+    );
+    for (name, v) in ovs_obs::coverage::snapshot() {
+        if name.starts_with("xsk_") || name.starts_with("kmod_") {
+            let _ = writeln!(out, "     {name}: {v}");
+        }
+    }
+    Ok(out)
 }
 
 /// `ethtool -n <dev>`: show the ntuple steering rules (Fig 6b's hardware
@@ -243,8 +275,12 @@ pub fn ethtool_show_ntuple(k: &Kernel, dev: &str) -> Result<String, ToolError> {
     for (i, r) in d.ntuple.iter().enumerate() {
         out.push_str(&format!(
             "  filter {i}: proto {} dst-port {} -> queue {}\n",
-            r.ip_proto.map(|p| p.to_string()).unwrap_or_else(|| "any".into()),
-            r.tp_dst.map(|p| p.to_string()).unwrap_or_else(|| "any".into()),
+            r.ip_proto
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "any".into()),
+            r.tp_dst
+                .map(|p| p.to_string())
+                .unwrap_or_else(|| "any".into()),
             r.queue
         ));
     }
@@ -265,10 +301,15 @@ pub fn ethtool_add_ntuple(
     Ok(())
 }
 
-/// `nstat`: dump the SNMP-style counters.
+/// `nstat`: dump the SNMP-style counters, followed by the datapath
+/// coverage counters (the userspace equivalent of the module's
+/// `/proc` statistics).
 pub fn nstat(k: &Kernel) -> String {
     let mut out = String::new();
     for (name, v) in &k.nstat {
+        let _ = writeln!(out, "{name:<24} {v}");
+    }
+    for (name, v) in ovs_obs::coverage::snapshot() {
         let _ = writeln!(out, "{name:<24} {v}");
     }
     out
@@ -285,7 +326,15 @@ pub fn tcpdump(k: &mut Kernel, dev: &str, count: usize) -> Result<Vec<String>, T
     Ok(frames
         .iter()
         .take(count)
-        .map(|f| summarize_frame(f))
+        .map(|f| {
+            let mut line = summarize_frame(f);
+            // Frames flagged by an active ofproto/trace get tagged so a
+            // capture can be correlated with the rendered trace.
+            if k.is_traced(f) {
+                line.push_str(" [traced]");
+            }
+            line
+        })
         .collect())
 }
 
@@ -302,7 +351,14 @@ fn summarize_frame(frame: &[u8]) -> String {
                 let d = ip.dst();
                 format!(
                     "IP {}.{}.{}.{} > {}.{}.{}.{}: proto {} length {}",
-                    s[0], s[1], s[2], s[3], d[0], d[1], d[2], d[3],
+                    s[0],
+                    s[1],
+                    s[2],
+                    s[3],
+                    d[0],
+                    d[1],
+                    d[2],
+                    d[3],
                     ip.protocol(),
                     ip.total_len()
                 )
@@ -338,7 +394,13 @@ mod tests {
     #[test]
     fn table1_all_commands_work_on_kernel_nic() {
         let (mut k, eth0) = kernel_with_nic();
-        ip_neigh_add(&mut k, [10, 0, 0, 2], MacAddr::new(2, 0, 0, 0, 0, 2), "eth0").unwrap();
+        ip_neigh_add(
+            &mut k,
+            [10, 0, 0, 2],
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            "eth0",
+        )
+        .unwrap();
         ip_route_add(&mut k, [10, 1, 0, 0], 16, Some([10, 0, 0, 2]), "eth0").unwrap();
 
         assert!(ip_link(&k, Some("eth0")).unwrap().contains("eth0"));
@@ -383,7 +445,10 @@ mod tests {
         assert!(arping(&mut k, "eth0", [10, 0, 0, 2]).is_err());
         assert!(tcpdump(&mut k, "eth0", 1).is_err());
         // Pinging through the (gone) device fails with unreachable.
-        assert_eq!(ping(&mut k, [10, 0, 0, 2]).unwrap_err(), ToolError::NetworkUnreachable);
+        assert_eq!(
+            ping(&mut k, [10, 0, 0, 2]).unwrap_err(),
+            ToolError::NetworkUnreachable
+        );
     }
 
     #[test]
@@ -406,7 +471,13 @@ mod tests {
         assert!(ip_addr(&k, Some("eth0")).is_ok());
         assert!(ip_route(&k).is_ok());
         assert!(ip_neigh(&k).is_ok());
-        ip_neigh_add(&mut k, [10, 0, 0, 3], MacAddr::new(2, 0, 0, 0, 0, 3), "eth0").unwrap();
+        ip_neigh_add(
+            &mut k,
+            [10, 0, 0, 3],
+            MacAddr::new(2, 0, 0, 0, 0, 3),
+            "eth0",
+        )
+        .unwrap();
         assert!(ping(&mut k, [10, 0, 0, 3]).is_ok());
     }
 
@@ -429,14 +500,31 @@ mod tests {
     #[test]
     fn ethtool_stats_and_ntuple() {
         let (mut k, eth0) = kernel_with_nic();
-        k.receive(eth0, 0, builder::udp_ipv4_frame(
-            MacAddr::new(2, 0, 0, 0, 0, 9), M1, [10, 0, 0, 9], [10, 0, 0, 1], 1, 2, 64,
-        ));
+        k.receive(
+            eth0,
+            0,
+            builder::udp_ipv4_frame(
+                MacAddr::new(2, 0, 0, 0, 0, 9),
+                M1,
+                [10, 0, 0, 9],
+                [10, 0, 0, 1],
+                1,
+                2,
+                64,
+            ),
+        );
         let s = ethtool_stats(&k, "eth0").unwrap();
         assert!(s.contains("rx_packets: 1"), "{s}");
-        ethtool_add_ntuple(&mut k, "eth0", crate::dev::NtupleRule {
-            tp_dst: Some(22), ip_proto: Some(6), queue: 0,
-        }).unwrap();
+        ethtool_add_ntuple(
+            &mut k,
+            "eth0",
+            crate::dev::NtupleRule {
+                tp_dst: Some(22),
+                ip_proto: Some(6),
+                queue: 0,
+            },
+        )
+        .unwrap();
         let n = ethtool_show_ntuple(&k, "eth0").unwrap();
         assert!(n.contains("dst-port 22 -> queue 0"), "{n}");
         // And like everything else, it dies with a DPDK takeover.
@@ -447,6 +535,9 @@ mod tests {
     #[test]
     fn ping_unroutable_is_unreachable() {
         let (mut k, _) = kernel_with_nic();
-        assert_eq!(ping(&mut k, [8, 8, 8, 8]).unwrap_err(), ToolError::NetworkUnreachable);
+        assert_eq!(
+            ping(&mut k, [8, 8, 8, 8]).unwrap_err(),
+            ToolError::NetworkUnreachable
+        );
     }
 }

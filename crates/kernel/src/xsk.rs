@@ -57,7 +57,13 @@ impl XskBinding {
     /// Create a binding with `nframes` frames of `frame_size` bytes, all
     /// initially on neither ring (userspace must post them to the fill
     /// ring through its frame pool).
-    pub fn new(ifindex: u32, queue: usize, nframes: usize, frame_size: usize, zero_copy: bool) -> Self {
+    pub fn new(
+        ifindex: u32,
+        queue: usize,
+        nframes: usize,
+        frame_size: usize,
+        zero_copy: bool,
+    ) -> Self {
         Self {
             umem: Umem::new(nframes, frame_size),
             rx: SpscRing::new(nframes),
@@ -116,7 +122,10 @@ impl XskBinding {
             let Some(d) = self.tx.pop() else { break };
             out.push(self.umem.frame(d.frame)[..d.len as usize].to_vec());
             // Completion: frame ownership returns to userspace.
-            let _ = self.umem.comp.push(Desc { frame: d.frame, len: 0 });
+            let _ = self.umem.comp.push(Desc {
+                frame: d.frame,
+                len: 0,
+            });
             self.stats.tx_completed += 1;
         }
         out
@@ -130,7 +139,13 @@ mod tests {
     fn binding_with_fill(n: usize) -> XskBinding {
         let b = XskBinding::new(1, 0, 8, 2048, true);
         for i in 0..n {
-            b.umem.fill.push(Desc { frame: i as u32, len: 0 }).unwrap();
+            b.umem
+                .fill
+                .push(Desc {
+                    frame: i as u32,
+                    len: 0,
+                })
+                .unwrap();
         }
         b
     }
@@ -160,7 +175,13 @@ mod tests {
         assert!(!b.deliver(b"c"), "no fill descriptors left");
         // Userspace consumes RX and reposts the frame.
         let d = b.rx.pop().unwrap();
-        b.umem.fill.push(Desc { frame: d.frame, len: 0 }).unwrap();
+        b.umem
+            .fill
+            .push(Desc {
+                frame: d.frame,
+                len: 0,
+            })
+            .unwrap();
         assert!(b.deliver(b"c"));
     }
 

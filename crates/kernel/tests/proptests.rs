@@ -9,7 +9,14 @@ use ovs_packet::MacAddr;
 use proptest::prelude::*;
 
 fn arb_key() -> impl Strategy<Value = ConnKey> {
-    (any::<u16>(), any::<[u8; 4]>(), any::<[u8; 4]>(), any::<u16>(), any::<u16>(), any::<u8>())
+    (
+        any::<u16>(),
+        any::<[u8; 4]>(),
+        any::<[u8; 4]>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u8>(),
+    )
         .prop_map(|(zone, s, d, sp, dp, proto)| ConnKey {
             zone: zone % 8,
             src_ip: s,

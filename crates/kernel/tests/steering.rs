@@ -44,14 +44,23 @@ fn mgmt_frame() -> Vec<u8> {
 
 fn kernel_with_xsk(queues: usize) -> (Kernel, u32, u32) {
     let mut k = Kernel::new(4);
-    let eth0 = k.add_device(NetDevice::new("eth0", NIC_MAC, DeviceKind::Phys { link_gbps: 25.0 }, queues));
+    let eth0 = k.add_device(NetDevice::new(
+        "eth0",
+        NIC_MAC,
+        DeviceKind::Phys { link_gbps: 25.0 },
+        queues,
+    ));
     k.add_addr(eth0, [10, 0, 0, 1], 24);
     let mut xmap = XskMap::new(queues);
     for q in 0..queues {
         // One socket id per queue; ids are fake but resolvable.
         let h = ovs_kernel::XskBinding::new(eth0, q, 16, 2048, true).into_handle();
         for i in 0..8 {
-            h.borrow().umem.fill.push(ovs_ring::Desc { frame: i, len: 0 }).unwrap();
+            h.borrow()
+                .umem
+                .fill
+                .push(ovs_ring::Desc { frame: i, len: 0 })
+                .unwrap();
         }
         let id = k.register_xsk(h);
         xmap.set(q as u32, id).unwrap();
@@ -64,13 +73,26 @@ fn kernel_with_xsk(queues: usize) -> (Kernel, u32, u32) {
 fn mellanox_model_steers_management_around_xdp() {
     let (mut k, eth0, fd) = kernel_with_xsk(4);
     // XDP only on queues 2 and 3 (Fig 6b).
-    k.attach_xdp(eth0, programs::ovs_xsk_redirect(fd), XdpMode::Native, Some(vec![2, 3]))
-        .unwrap();
+    k.attach_xdp(
+        eth0,
+        programs::ovs_xsk_redirect(fd),
+        XdpMode::Native,
+        Some(vec![2, 3]),
+    )
+    .unwrap();
     // Hardware steering: SSH (tcp/22) to queue 0; overlay UDP/4789 to
     // queue 2.
     k.dev_mut(eth0).ntuple = vec![
-        NtupleRule { tp_dst: Some(22), ip_proto: Some(6), queue: 0 },
-        NtupleRule { tp_dst: Some(4789), ip_proto: Some(17), queue: 2 },
+        NtupleRule {
+            tp_dst: Some(22),
+            ip_proto: Some(6),
+            queue: 0,
+        },
+        NtupleRule {
+            tp_dst: Some(4789),
+            ip_proto: Some(17),
+            queue: 2,
+        },
     ];
 
     // Management traffic reaches the stack (queue 0 has no XDP).
@@ -86,8 +108,8 @@ fn mellanox_model_steers_management_around_xdp() {
 fn intel_model_needs_program_logic() {
     let (mut k, eth0, fd) = kernel_with_xsk(1);
     k.dev_mut(eth0).caps.per_queue_xdp = false; // Intel model
-    // Whole-device attach: EVERY packet runs the program — management
-    // included — so a plain redirect-all hook swallows SSH too.
+                                                // Whole-device attach: EVERY packet runs the program — management
+                                                // included — so a plain redirect-all hook swallows SSH too.
     k.attach_xdp(eth0, programs::ovs_xsk_redirect(fd), XdpMode::Native, None)
         .unwrap();
     assert!(matches!(
@@ -124,5 +146,8 @@ fn rss_spreads_when_no_ntuple_matches() {
         );
         queues_hit.insert(k.device(eth0).hw_queue_for(&f));
     }
-    assert!(queues_hit.len() >= 3, "RSS uses multiple queues: {queues_hit:?}");
+    assert!(
+        queues_hit.len() >= 3,
+        "RSS uses multiple queues: {queues_hit:?}"
+    );
 }

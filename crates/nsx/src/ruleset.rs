@@ -135,29 +135,37 @@ pub fn install(
     // Tunnel traffic → tunnel ingress processing.
     let mut k = FlowKey::default();
     k.set_in_port(ports.tunnel);
-    add(of, &mut rules, OfRule {
-        table: tables::CLASSIFY,
-        priority: 100,
-        key: k,
-        mask: FlowMask::of_fields(&[&fields::IN_PORT]),
-        actions: vec![OfAction::Goto(tables::TUN_INGRESS)],
-        cookie: 0,
-    });
+    add(
+        of,
+        &mut rules,
+        OfRule {
+            table: tables::CLASSIFY,
+            priority: 100,
+            key: k,
+            mask: FlowMask::of_fields(&[&fields::IN_PORT]),
+            actions: vec![OfAction::Goto(tables::TUN_INGRESS)],
+            cookie: 0,
+        },
+    );
     // Per-VIF classification: stamp the logical-switch metadata.
     for (i, &vif) in ports.vifs.iter().enumerate() {
         let mut k = FlowKey::default();
         k.set_in_port(vif);
-        add(of, &mut rules, OfRule {
-            table: tables::CLASSIFY,
-            priority: 90,
-            key: k,
-            mask: FlowMask::of_fields(&[&fields::IN_PORT]),
-            actions: vec![
-                OfAction::SetMetadata(vni_of(i % cfg.vms)),
-                OfAction::Goto(*tables::SERVICE_CHAIN.start()),
-            ],
-            cookie: 1,
-        });
+        add(
+            of,
+            &mut rules,
+            OfRule {
+                table: tables::CLASSIFY,
+                priority: 90,
+                key: k,
+                mask: FlowMask::of_fields(&[&fields::IN_PORT]),
+                actions: vec![
+                    OfAction::SetMetadata(vni_of(i % cfg.vms)),
+                    OfAction::Goto(*tables::SERVICE_CHAIN.start()),
+                ],
+                cookie: 1,
+            },
+        );
     }
 
     // ---------------- Tables 4–9: service-insertion chain ----------------
@@ -169,33 +177,41 @@ pub fn install(
         } else {
             t + 1
         };
-        add(of, &mut rules, OfRule {
-            table: t,
-            priority: 0,
-            key: FlowKey::default(),
-            mask: FlowMask::EMPTY,
-            actions: vec![OfAction::Goto(next)],
-            cookie: 11,
-        });
+        add(
+            of,
+            &mut rules,
+            OfRule {
+                table: t,
+                priority: 0,
+                key: FlowKey::default(),
+                mask: FlowMask::EMPTY,
+                actions: vec![OfAction::Goto(next)],
+                cookie: 11,
+            },
+        );
     }
 
     // ---------------- Table 1: egress DFW conntrack ----------------
     for (i, &vif) in ports.vifs.iter().enumerate() {
         let mut k = FlowKey::default();
         k.set_in_port(vif);
-        add(of, &mut rules, OfRule {
-            table: tables::EGRESS_CT,
-            priority: 50,
-            key: k,
-            mask: FlowMask::of_fields(&[&fields::IN_PORT]),
-            actions: vec![OfAction::Ct {
-                zone: (i + 1) as u16,
-                commit: false,
-                resume_table: tables::EGRESS_VERDICT,
-                nat: None,
-            }],
-            cookie: 2,
-        });
+        add(
+            of,
+            &mut rules,
+            OfRule {
+                table: tables::EGRESS_CT,
+                priority: 50,
+                key: k,
+                mask: FlowMask::of_fields(&[&fields::IN_PORT]),
+                actions: vec![OfAction::Ct {
+                    zone: (i + 1) as u16,
+                    commit: false,
+                    resume_table: tables::EGRESS_VERDICT,
+                    nat: None,
+                }],
+                cookie: 2,
+            },
+        );
     }
 
     // ---------------- Table 2: tunnel ingress (per-VNI) ----------------
@@ -203,33 +219,41 @@ pub fn install(
         let mut k = FlowKey::default();
         k.set_in_port(ports.tunnel);
         k.set_tun_id(vni_of(t));
-        add(of, &mut rules, OfRule {
-            table: tables::TUN_INGRESS,
-            priority: 50,
-            key: k,
-            mask: FlowMask::of_fields(&[&fields::IN_PORT, &fields::TUN_ID]),
-            actions: vec![
-                OfAction::SetMetadata(vni_of(t % cfg.vms)),
-                OfAction::Goto(tables::INGRESS_CT),
-            ],
-            cookie: 3,
-        });
+        add(
+            of,
+            &mut rules,
+            OfRule {
+                table: tables::TUN_INGRESS,
+                priority: 50,
+                key: k,
+                mask: FlowMask::of_fields(&[&fields::IN_PORT, &fields::TUN_ID]),
+                actions: vec![
+                    OfAction::SetMetadata(vni_of(t % cfg.vms)),
+                    OfAction::Goto(tables::INGRESS_CT),
+                ],
+                cookie: 3,
+            },
+        );
     }
 
     // ---------------- Table 3: ingress DFW conntrack ----------------
-    add(of, &mut rules, OfRule {
-        table: tables::INGRESS_CT,
-        priority: 0,
-        key: FlowKey::default(),
-        mask: FlowMask::EMPTY,
-        actions: vec![OfAction::Ct {
-            zone: 100,
-            commit: false,
-            resume_table: tables::INGRESS_VERDICT,
-            nat: None,
-        }],
-        cookie: 4,
-    });
+    add(
+        of,
+        &mut rules,
+        OfRule {
+            table: tables::INGRESS_CT,
+            priority: 0,
+            key: FlowKey::default(),
+            mask: FlowMask::EMPTY,
+            actions: vec![OfAction::Ct {
+                zone: 100,
+                commit: false,
+                resume_table: tables::INGRESS_VERDICT,
+                nat: None,
+            }],
+            cookie: 4,
+        },
+    );
 
     // ---------------- DFW verdicts ----------------
     for (verdict_table, section_start) in [
@@ -240,25 +264,33 @@ pub fn install(
         // (ct_state=+est, a single-bit match).
         let mut k = FlowKey::default();
         k.set_ct_state(ovs_packet::dp_packet::ct_state::ESTABLISHED);
-        add(of, &mut rules, OfRule {
-            table: verdict_table,
-            priority: 200,
-            key: k,
-            mask: ct_state_bit_mask(ovs_packet::dp_packet::ct_state::ESTABLISHED),
-            actions: vec![OfAction::Goto(tables::FORWARD)],
-            cookie: 5,
-        });
+        add(
+            of,
+            &mut rules,
+            OfRule {
+                table: verdict_table,
+                priority: 200,
+                key: k,
+                mask: ct_state_bit_mask(ovs_packet::dp_packet::ct_state::ESTABLISHED),
+                actions: vec![OfAction::Goto(tables::FORWARD)],
+                cookie: 5,
+            },
+        );
         // New connections walk the firewall sections (ct_state=+new).
         let mut k = FlowKey::default();
         k.set_ct_state(ovs_packet::dp_packet::ct_state::NEW);
-        add(of, &mut rules, OfRule {
-            table: verdict_table,
-            priority: 150,
-            key: k,
-            mask: ct_state_bit_mask(ovs_packet::dp_packet::ct_state::NEW),
-            actions: vec![OfAction::Goto(section_start)],
-            cookie: 5,
-        });
+        add(
+            of,
+            &mut rules,
+            OfRule {
+                table: verdict_table,
+                priority: 150,
+                key: k,
+                mask: ct_state_bit_mask(ovs_packet::dp_packet::ct_state::NEW),
+                actions: vec![OfAction::Goto(section_start)],
+                cookie: 5,
+            },
+        );
     }
 
     // ---------------- DFW allow rules (functional) ----------------
@@ -267,60 +299,79 @@ pub fn install(
     // simple and still exercises ct.
     let mut k = FlowKey::default();
     k.set_eth_type(EtherType::Ipv4);
-    add(of, &mut rules, OfRule {
-        table: *tables::EGRESS_SECTIONS.start(),
-        priority: 10,
-        key: k,
-        mask: FlowMask::of_fields(&[&fields::ETH_TYPE]),
-        actions: vec![OfAction::Ct {
-            zone: 100,
-            commit: true,
-            resume_table: tables::FORWARD,
-            nat: None,
-        }],
-        cookie: 6,
-    });
+    add(
+        of,
+        &mut rules,
+        OfRule {
+            table: *tables::EGRESS_SECTIONS.start(),
+            priority: 10,
+            key: k,
+            mask: FlowMask::of_fields(&[&fields::ETH_TYPE]),
+            actions: vec![OfAction::Ct {
+                zone: 100,
+                commit: true,
+                resume_table: tables::FORWARD,
+                nat: None,
+            }],
+            cookie: 6,
+        },
+    );
 
     // ---------------- Table 20: forwarding ----------------
     // Local VMs by destination MAC.
     for (i, &vif) in ports.vifs.iter().enumerate() {
         let mut k = FlowKey::default();
         k.set_dl_dst(vm_mac(local_host, i / 2, i % 2));
-        add(of, &mut rules, OfRule {
-            table: tables::FORWARD,
-            priority: 60,
-            key: k,
-            mask: FlowMask::of_fields(&[&fields::DL_DST]),
-            actions: vec![OfAction::Output(vif)],
-            cookie: 7,
-        });
+        add(
+            of,
+            &mut rules,
+            OfRule {
+                table: tables::FORWARD,
+                priority: 60,
+                key: k,
+                mask: FlowMask::of_fields(&[&fields::DL_DST]),
+                actions: vec![OfAction::Output(vif)],
+                cookie: 7,
+            },
+        );
     }
     // Remote VMs: tunnel out. One rule per remote interface.
     for i in 0..cfg.vms * 2 {
         let mut k = FlowKey::default();
         k.set_dl_dst(vm_mac(remote_host, i / 2, i % 2));
-        add(of, &mut rules, OfRule {
-            table: tables::FORWARD,
-            priority: 60,
-            key: k,
-            mask: FlowMask::of_fields(&[&fields::DL_DST]),
-            actions: vec![
-                OfAction::SetTunnel { id: vni_of(i % cfg.vms), dst: cfg.remote_vtep },
-                OfAction::Goto(tables::TUN_OUTPUT),
-            ],
-            cookie: 8,
-        });
+        add(
+            of,
+            &mut rules,
+            OfRule {
+                table: tables::FORWARD,
+                priority: 60,
+                key: k,
+                mask: FlowMask::of_fields(&[&fields::DL_DST]),
+                actions: vec![
+                    OfAction::SetTunnel {
+                        id: vni_of(i % cfg.vms),
+                        dst: cfg.remote_vtep,
+                    },
+                    OfAction::Goto(tables::TUN_OUTPUT),
+                ],
+                cookie: 8,
+            },
+        );
     }
 
     // ---------------- Table 39: tunnel output ----------------
-    add(of, &mut rules, OfRule {
-        table: tables::TUN_OUTPUT,
-        priority: 0,
-        key: FlowKey::default(),
-        mask: FlowMask::EMPTY,
-        actions: vec![OfAction::Output(ports.tunnel)],
-        cookie: 9,
-    });
+    add(
+        of,
+        &mut rules,
+        OfRule {
+            table: tables::TUN_OUTPUT,
+            priority: 0,
+            key: FlowKey::default(),
+            mask: FlowMask::EMPTY,
+            actions: vec![OfAction::Output(ports.tunnel)],
+            cookie: 9,
+        },
+    );
 
     // ---------------- Field-coverage rules ----------------
     // A handful of never-matching rules whose masks ensure the rule set
@@ -329,7 +380,12 @@ pub fn install(
     // functional rules.
     let coverage_masks: Vec<FlowMask> = vec![
         FlowMask::of_fields(&[&fields::DL_SRC, &fields::VLAN_TCI]),
-        FlowMask::of_fields(&[&fields::NW_SRC_HI, &fields::NW_SRC_LO64, &fields::NW_DST_HI, &fields::NW_DST_LO64]),
+        FlowMask::of_fields(&[
+            &fields::NW_SRC_HI,
+            &fields::NW_SRC_LO64,
+            &fields::NW_DST_HI,
+            &fields::NW_DST_LO64,
+        ]),
         FlowMask::of_fields(&[&fields::NW_TOS, &fields::NW_TTL, &fields::NW_PROTO]),
         FlowMask::of_fields(&[&fields::TP_SRC, &fields::TP_DST]),
         FlowMask::of_fields(&[&fields::TUN_SRC, &fields::TUN_DST]),
@@ -345,14 +401,18 @@ pub fn install(
         k.set_ct_zone(60000);
         k.set_ct_state(0xff);
         k.set_recirc_id(0xdead_0000 + i as u32);
-        add(of, &mut rules, OfRule {
-            table: *tables::SERVICES.start(),
-            priority: 1,
-            key: k,
-            mask: *m,
-            actions: vec![OfAction::Drop],
-            cookie: 10,
-        });
+        add(
+            of,
+            &mut rules,
+            OfRule {
+                table: *tables::SERVICES.start(),
+                priority: 1,
+                key: k,
+                mask: *m,
+                actions: vec![OfAction::Drop],
+                cookie: 10,
+            },
+        );
     }
 
     // ---------------- Filler: DFW sections + address sets ----------------
@@ -366,11 +426,8 @@ pub fn install(
     // Sanity: together with the backbone tables this makes 40 populated
     // tables (0,1,2,3,10..=19,20,21..=38,39).
     let budget = cfg.target_rules.saturating_sub(rules);
-    let mut five_tuple_mask = FlowMask::of_fields(&[
-        &fields::ETH_TYPE,
-        &fields::NW_PROTO,
-        &fields::TP_DST,
-    ]);
+    let mut five_tuple_mask =
+        FlowMask::of_fields(&[&fields::ETH_TYPE, &fields::NW_PROTO, &fields::TP_DST]);
     five_tuple_mask.set_nw_src_v4_prefix(32);
     five_tuple_mask.set_nw_dst_v4_prefix(32);
     let mut addrset_mask = FlowMask::of_fields(&[&fields::ETH_TYPE, &fields::METADATA]);
@@ -386,31 +443,39 @@ pub fn install(
         if n % 3 == 0 {
             k.set_nw_dst_v4([198, 18, (n >> 8) as u8, 0]);
             k.set_metadata(0x1_0000_0000 | n as u64); // unique address-set id
-            add(of, &mut rules, OfRule {
-                table,
-                priority: 5 + (n % 50) as i32,
-                key: k,
-                mask: addrset_mask,
-                actions: vec![OfAction::Drop],
-                cookie: 0xf00d,
-            });
+            add(
+                of,
+                &mut rules,
+                OfRule {
+                    table,
+                    priority: 5 + (n % 50) as i32,
+                    key: k,
+                    mask: addrset_mask,
+                    actions: vec![OfAction::Drop],
+                    cookie: 0xf00d,
+                },
+            );
         } else {
             k.set_nw_src_v4([198, 18, (n >> 8) as u8, n as u8]);
             k.set_nw_dst_v4([198, 19, (n >> 16) as u8, 1]);
             k.set_nw_proto(if n % 2 == 0 { 6 } else { 17 });
             k.set_tp_dst(1024 + (rng.below(50_000) as u16));
-            add(of, &mut rules, OfRule {
-                table,
-                priority: 5 + (n % 50) as i32,
-                key: k,
-                mask: five_tuple_mask,
-                actions: vec![if n % 7 == 0 {
-                    OfAction::Drop
-                } else {
-                    OfAction::Goto(tables::FORWARD)
-                }],
-                cookie: 0xf00d,
-            });
+            add(
+                of,
+                &mut rules,
+                OfRule {
+                    table,
+                    priority: 5 + (n % 50) as i32,
+                    key: k,
+                    mask: five_tuple_mask,
+                    actions: vec![if n % 7 == 0 {
+                        OfAction::Drop
+                    } else {
+                        OfAction::Goto(tables::FORWARD)
+                    }],
+                    cookie: 0xf00d,
+                },
+            );
         }
     }
 
@@ -511,7 +576,9 @@ mod tests {
         // Pass 2: new connection through the DFW.
         let mut k2 = k;
         k2.set_recirc_id(*r1);
-        k2.set_ct_state(ovs_packet::dp_packet::ct_state::TRACKED | ovs_packet::dp_packet::ct_state::NEW);
+        k2.set_ct_state(
+            ovs_packet::dp_packet::ct_state::TRACKED | ovs_packet::dp_packet::ct_state::NEW,
+        );
         let t2 = of.translate(&k2);
         let Some(ovs_core::DpAction::Recirc(r2)) = t2.actions.last() else {
             panic!("pass 2 must end in recirc: {:?}", t2.actions);
@@ -520,17 +587,19 @@ mod tests {
         let mut k3 = k;
         k3.set_recirc_id(*r2);
         k3.set_ct_state(
-            ovs_packet::dp_packet::ct_state::TRACKED
-                | ovs_packet::dp_packet::ct_state::ESTABLISHED,
+            ovs_packet::dp_packet::ct_state::TRACKED | ovs_packet::dp_packet::ct_state::ESTABLISHED,
         );
         let t3 = of.translate(&k3);
         assert!(
-            t3.actions.iter().any(|a| matches!(a, ovs_core::DpAction::SetTunnel { .. })),
+            t3.actions
+                .iter()
+                .any(|a| matches!(a, ovs_core::DpAction::SetTunnel { .. })),
             "pass 3 sets tunnel metadata: {:?}",
             t3.actions
         );
         assert!(
-            t3.actions.contains(&ovs_core::DpAction::Output(ports.tunnel)),
+            t3.actions
+                .contains(&ovs_core::DpAction::Output(ports.tunnel)),
             "pass 3 outputs to the tunnel port"
         );
     }
@@ -562,8 +631,7 @@ mod tests {
         let mut k2 = k;
         k2.set_recirc_id(*r1);
         k2.set_ct_state(
-            ovs_packet::dp_packet::ct_state::TRACKED
-                | ovs_packet::dp_packet::ct_state::ESTABLISHED,
+            ovs_packet::dp_packet::ct_state::TRACKED | ovs_packet::dp_packet::ct_state::ESTABLISHED,
         );
         let t2 = of.translate(&k2);
         // Established: verdict table jumps straight to forwarding — two

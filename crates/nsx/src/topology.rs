@@ -32,10 +32,7 @@ pub enum DatapathKind {
     /// The traditional split design: OVS kernel module + upcalls.
     Kernel,
     /// The paper's design: userspace datapath fed by AF_XDP.
-    UserspaceAfxdp {
-        opt: OptLevel,
-        interrupt_mode: bool,
-    },
+    UserspaceAfxdp { opt: OptLevel, interrupt_mode: bool },
 }
 
 /// Host construction parameters.
@@ -119,7 +116,9 @@ impl Host {
         let uplink_if = kernel.add_device(NetDevice::new(
             "eth0",
             uplink_mac,
-            DeviceKind::Phys { link_gbps: cfg.nic_gbps },
+            DeviceKind::Phys {
+                link_gbps: cfg.nic_gbps,
+            },
             1,
         ));
         kernel.add_addr(uplink_if, cfg.vtep_ip, 24);
@@ -178,10 +177,13 @@ impl Host {
         };
 
         let (dp, netlink, ruleset_stats) = match cfg.datapath {
-            DatapathKind::UserspaceAfxdp { opt, interrupt_mode } => {
+            DatapathKind::UserspaceAfxdp {
+                opt,
+                interrupt_mode,
+            } => {
                 let mut dp = DpifNetdev::new();
-                let mut aport = AfxdpPort::open(&mut kernel, uplink_if, 4096, opt)
-                    .expect("uplink afxdp");
+                let mut aport =
+                    AfxdpPort::open(&mut kernel, uplink_if, 4096, opt).expect("uplink afxdp");
                 if interrupt_mode {
                     for s in &mut aport.sockets {
                         s.interrupt_mode = true;
@@ -217,7 +219,9 @@ impl Host {
                 // Kernel datapath: uplink + geneve vport + taps as vports.
                 let p_up = kernel.ovs.add_vport(Vport::Netdev { ifindex: uplink_if });
                 assert_eq!(p_up, ports.uplink);
-                let p_tun = kernel.ovs.add_vport(Vport::Geneve { local_ip: cfg.vtep_ip });
+                let p_tun = kernel.ovs.add_vport(Vport::Geneve {
+                    local_ip: cfg.vtep_ip,
+                });
                 assert_eq!(p_tun, ports.tunnel);
                 kernel.dev_mut(uplink_if).attachment = Attachment::OvsBridge { port: p_up };
                 for (i, tap) in taps.iter().enumerate() {
@@ -227,13 +231,8 @@ impl Host {
                     kernel.dev_mut(t).attachment = Attachment::OvsBridge { port: p };
                 }
                 let mut nl = DpifNetlink::new(cfg.vtep_ip);
-                let stats = ruleset::install(
-                    &cfg.nsx,
-                    &ports,
-                    cfg.id,
-                    cfg.remote_id,
-                    &mut nl.ofproto,
-                );
+                let stats =
+                    ruleset::install(&cfg.nsx, &ports, cfg.id, cfg.remote_id, &mut nl.ofproto);
                 (None, Some(nl), stats)
             }
         };
@@ -306,7 +305,11 @@ impl Host {
 
     /// Take all frames this host has put on the uplink wire.
     pub fn wire_take(&mut self) -> Vec<Vec<u8>> {
-        self.kernel.dev_mut(self.uplink_if).tx_wire.drain(..).collect()
+        self.kernel
+            .dev_mut(self.uplink_if)
+            .tx_wire
+            .drain(..)
+            .collect()
     }
 
     /// Deliver one frame arriving on the uplink.
@@ -368,7 +371,10 @@ mod tests {
 
     #[test]
     fn cross_host_vm_traffic_userspace_datapath() {
-        let dpk = DatapathKind::UserspaceAfxdp { opt: OptLevel::O5, interrupt_mode: false };
+        let dpk = DatapathKind::UserspaceAfxdp {
+            opt: OptLevel::O5,
+            interrupt_mode: false,
+        };
         let mut h1 = small_host(1, dpk, VmAttachment::VhostUser);
         let mut h2 = small_host(2, dpk, VmAttachment::VhostUser);
         h1.peer([172, 16, 0, 2], h2.uplink_mac());
@@ -385,7 +391,10 @@ mod tests {
         assert!(dp2.stats.tunnel_decaps >= 1, "ingress was decapsulated");
         // The destination guest received the frame (echo also replied).
         let g2 = h2.guest_of_vif[0];
-        assert!(h2.kernel.guests[g2].rx_count >= 1, "remote VM got the packet");
+        assert!(
+            h2.kernel.guests[g2].rx_count >= 1,
+            "remote VM got the packet"
+        );
         // Firewall tracked the connection on both hosts.
         assert!(!dp1.ct.is_empty());
         assert!(dp1.stats.recirculations >= 2, "three datapath passes");
@@ -402,16 +411,28 @@ mod tests {
         h1.kernel.guests[g].tx_ring.push_back(vm_frame(1, 2));
         run_pair(&mut h1, &mut h2);
 
-        assert!(h1.kernel.ovs.stats.tunnel_encaps >= 1, "kernel dp tunnelled");
+        assert!(
+            h1.kernel.ovs.stats.tunnel_encaps >= 1,
+            "kernel dp tunnelled"
+        );
         assert!(h2.kernel.ovs.stats.tunnel_decaps >= 1);
-        assert!(h1.kernel.ovs.flow_count() >= 1, "megaflows installed in the kernel");
+        assert!(
+            h1.kernel.ovs.flow_count() >= 1,
+            "megaflows installed in the kernel"
+        );
         let g2 = h2.guest_of_vif[0];
-        assert!(h2.kernel.guests[g2].rx_count >= 1, "remote VM got the packet");
+        assert!(
+            h2.kernel.guests[g2].rx_count >= 1,
+            "remote VM got the packet"
+        );
     }
 
     #[test]
     fn intra_host_vm_to_vm() {
-        let dpk = DatapathKind::UserspaceAfxdp { opt: OptLevel::O5, interrupt_mode: false };
+        let dpk = DatapathKind::UserspaceAfxdp {
+            opt: OptLevel::O5,
+            interrupt_mode: false,
+        };
         let mut h1 = small_host(1, dpk, VmAttachment::VhostUser);
         // VM0 iface0 -> VM0 iface1 (both local).
         let f = builder::udp_ipv4_frame(
@@ -428,7 +449,10 @@ mod tests {
         h1.pump();
         let g1 = h1.guest_of_vif[1];
         assert!(h1.kernel.guests[g1].rx_count >= 1, "local delivery");
-        assert_eq!(h1.dp.as_ref().unwrap().stats.tunnel_encaps, 0, "no tunnel for local");
+        assert_eq!(
+            h1.dp.as_ref().unwrap().stats.tunnel_encaps,
+            0,
+            "no tunnel for local"
+        );
     }
 }
-

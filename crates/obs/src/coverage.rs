@@ -1,0 +1,172 @@
+//! Coverage counters, modeled on OVS's `COVERAGE_INC` /
+//! `ovs-appctl coverage/show`.
+//!
+//! A coverage counter is a named, process-wide event count that is cheap
+//! enough to bump on every packet. Counters register themselves on first
+//! use — callers just write `coverage!("emc_hit")` — and `coverage/show`
+//! renders totals plus rates over the last epochs.
+//!
+//! The registry is thread-local: the workspace's datapaths are
+//! single-threaded (`Rc`-based), and the Rust test harness runs each
+//! test on its own thread, which gives tests isolation for free.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Number of closed epochs retained for the rate window.
+pub const EPOCH_WINDOW: usize = 5;
+
+#[derive(Debug, Default, Clone)]
+struct Counter {
+    total: u64,
+    /// Total at the moment the current epoch opened.
+    epoch_open: u64,
+    /// Deltas of the most recent closed epochs, newest first.
+    window: Vec<u64>,
+}
+
+thread_local! {
+    static REGISTRY: RefCell<BTreeMap<&'static str, Counter>> =
+        const { RefCell::new(BTreeMap::new()) };
+    /// Count of closed epochs, and the sim-time length of the last one
+    /// (for per-second rates when the caller supplies durations).
+    static EPOCHS: RefCell<u64> = const { RefCell::new(0) };
+}
+
+/// Bump `name` by one.
+#[inline]
+pub fn inc(name: &'static str) {
+    add(name, 1);
+}
+
+/// Bump `name` by `n`.
+#[inline]
+pub fn add(name: &'static str, n: u64) {
+    REGISTRY.with(|r| r.borrow_mut().entry(name).or_default().total += n);
+}
+
+/// Current total for `name` (0 if never bumped).
+pub fn total(name: &'static str) -> u64 {
+    REGISTRY.with(|r| r.borrow().get(name).map(|c| c.total).unwrap_or(0))
+}
+
+/// Close the current epoch: each counter's delta since the last call is
+/// pushed into its rate window. Pollers call this once per quiesce
+/// period (OVS ties this to the main loop; here the appctl layer or a
+/// scenario driver decides).
+pub fn epoch() {
+    REGISTRY.with(|r| {
+        for c in r.borrow_mut().values_mut() {
+            let delta = c.total - c.epoch_open;
+            c.epoch_open = c.total;
+            c.window.insert(0, delta);
+            c.window.truncate(EPOCH_WINDOW);
+        }
+    });
+    EPOCHS.with(|e| *e.borrow_mut() += 1);
+}
+
+/// Number of closed epochs so far.
+pub fn epochs() -> u64 {
+    EPOCHS.with(|e| *e.borrow())
+}
+
+/// Forget every counter and epoch (test isolation / `pmd-stats-clear`).
+pub fn reset() {
+    REGISTRY.with(|r| r.borrow_mut().clear());
+    EPOCHS.with(|e| *e.borrow_mut() = 0);
+}
+
+/// Render the `coverage/show` text: one line per counter that has ever
+/// fired, sorted by name, with the total, the delta in the current
+/// (open) epoch, and the average over the last closed epochs.
+pub fn show() -> String {
+    REGISTRY.with(|r| {
+        let reg = r.borrow();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>12} {:>12} {:>12}\n",
+            "counter", "total", "epoch", "avg/epoch"
+        ));
+        for (name, c) in reg.iter() {
+            let open = c.total - c.epoch_open;
+            let avg = if c.window.is_empty() {
+                open as f64
+            } else {
+                c.window.iter().sum::<u64>() as f64 / c.window.len() as f64
+            };
+            out.push_str(&format!(
+                "{:<28} {:>12} {:>12} {:>12.1}\n",
+                name, c.total, open, avg
+            ));
+        }
+        if reg.is_empty() {
+            out.push_str("(no events)\n");
+        }
+        out
+    })
+}
+
+/// Snapshot of all counters, for wiring into `nstat`-style tools.
+pub fn snapshot() -> Vec<(&'static str, u64)> {
+    REGISTRY.with(|r| r.borrow().iter().map(|(n, c)| (*n, c.total)).collect())
+}
+
+/// `coverage!("name")` / `coverage!("name", n)` — the `COVERAGE_INC`
+/// equivalent.
+#[macro_export]
+macro_rules! coverage {
+    ($name:literal) => {
+        $crate::coverage::inc($name)
+    };
+    ($name:literal, $n:expr) => {
+        $crate::coverage::add($name, $n as u64)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_epochs() {
+        reset();
+        inc("a");
+        inc("a");
+        add("b", 10);
+        assert_eq!(total("a"), 2);
+        assert_eq!(total("b"), 10);
+        assert_eq!(total("never"), 0);
+        epoch();
+        inc("a");
+        let text = show();
+        assert!(text.contains('a'), "{text}");
+        // 'a': total 3, open epoch delta 1, one closed epoch of 2.
+        let a_line = text.lines().find(|l| l.starts_with("a ")).unwrap();
+        assert!(a_line.contains('3') && a_line.contains('1'), "{a_line}");
+        assert_eq!(epochs(), 1);
+        reset();
+        assert_eq!(total("a"), 0);
+    }
+
+    #[test]
+    fn macro_forms() {
+        reset();
+        coverage!("evt");
+        coverage!("evt", 4);
+        assert_eq!(total("evt"), 5);
+        reset();
+    }
+
+    #[test]
+    fn window_caps_at_five() {
+        reset();
+        for _ in 0..10 {
+            inc("w");
+            epoch();
+        }
+        let snap = snapshot();
+        assert_eq!(snap, vec![("w", 10)]);
+        reset();
+    }
+}

@@ -1,0 +1,187 @@
+//! Log2-bucketed histograms, the shape OVS's `pmd-perf-show` uses for
+//! per-iteration cycle distributions: cheap to record (one increment),
+//! mergeable across PMDs, and good enough for tail percentiles.
+
+/// A histogram whose bucket `i` counts samples in `[2^(i-1), 2^i)`
+/// (bucket 0 counts zeros and ones).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Hist {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Hist {
+    fn default() -> Self {
+        Log2Hist {
+            buckets: [0; 64],
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Log2Hist {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        let b = (64 - v.leading_zeros() as usize).min(63);
+        self.buckets[b] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Combine another histogram into this one (per-PMD merge).
+    pub fn merge(&mut self, other: &Log2Hist) {
+        if other.count == 0 {
+            return;
+        }
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Approximate percentile: the upper bound of the bucket holding the
+    /// nearest-rank sample (exact min/max are substituted at the edges).
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let hi = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << i).saturating_sub(1).max(1)
+                };
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Reset to empty.
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Render occupied buckets as `[lo, hi): count` lines with a bar.
+    pub fn render(&self, indent: &str) -> String {
+        let mut out = String::new();
+        let peak = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        for (i, n) in self.buckets.iter().enumerate() {
+            if *n == 0 {
+                continue;
+            }
+            let lo = if i == 0 { 0 } else { 1u64 << (i - 1) };
+            let hi = if i >= 63 { u64::MAX } else { (1u64 << i) - 1 };
+            let bar = "#".repeat(((n * 40) / peak).max(1) as usize);
+            out.push_str(&format!("{indent}[{lo:>12}, {hi:>12}] {n:>10} {bar}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_stats() {
+        let mut h = Log2Hist::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1106);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert!(h.mean() > 200.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Log2Hist::new();
+        let mut b = Log2Hist::new();
+        a.record(10);
+        b.record(1000);
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 1000);
+        assert_eq!(a.sum(), 1015);
+    }
+
+    #[test]
+    fn percentiles_bracket_samples() {
+        let mut h = Log2Hist::new();
+        for _ in 0..99 {
+            h.record(100);
+        }
+        h.record(10_000);
+        let p50 = h.percentile(50.0);
+        assert!((64..=255).contains(&p50), "p50 bucket bound, got {p50}");
+        assert!(h.percentile(99.9) >= 8191, "tail lands in the big bucket");
+        assert!(h.percentile(99.9) <= 10_000);
+    }
+
+    #[test]
+    fn render_marks_occupied_buckets() {
+        let mut h = Log2Hist::new();
+        h.record(7);
+        let text = h.render("  ");
+        assert!(text.contains('#'), "{text}");
+        assert_eq!(text.lines().count(), 1);
+    }
+}

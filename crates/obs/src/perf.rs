@@ -1,0 +1,296 @@
+//! Per-PMD per-stage cycle attribution — the `dpif-netdev/pmd-perf-show`
+//! substrate.
+//!
+//! The datapath snapshots its core's accumulated sim-time at every stage
+//! boundary and feeds the snapshots to a [`StageTimer`]; because each
+//! delta between consecutive snapshots is attributed to exactly one
+//! stage, the per-stage totals sum **exactly** to the total poll time —
+//! the invariant the golden test asserts.
+//!
+//! All accumulation is in sim-nanoseconds (the native unit of the
+//! deterministic clock); cycles are derived at render time from the
+//! configured core frequency.
+
+use crate::hist::Log2Hist;
+
+/// The pipeline stages a `pmd_poll` iteration passes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Pulling the RX batch off the port backend.
+    Rx,
+    /// Flow key extraction (miniflow_extract equivalent).
+    Parse,
+    /// Exact-match cache probe.
+    EmcLookup,
+    /// Megaflow (dpcls) lookup.
+    MegaflowLookup,
+    /// Upcall: ofproto translation + megaflow install.
+    Upcall,
+    /// Action execution (set-field, ct, tunnel push/pop, meter).
+    Actions,
+    /// Recirculation bookkeeping between passes.
+    Recirc,
+    /// Handing frames to the TX backend.
+    Tx,
+}
+
+/// All stages, in display order.
+pub const STAGES: [Stage; 8] = [
+    Stage::Rx,
+    Stage::Parse,
+    Stage::EmcLookup,
+    Stage::MegaflowLookup,
+    Stage::Upcall,
+    Stage::Actions,
+    Stage::Recirc,
+    Stage::Tx,
+];
+
+impl Stage {
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Rx => "rx",
+            Stage::Parse => "parse",
+            Stage::EmcLookup => "emc lookup",
+            Stage::MegaflowLookup => "megaflow lookup",
+            Stage::Upcall => "upcall/translate",
+            Stage::Actions => "actions",
+            Stage::Recirc => "recirc",
+            Stage::Tx => "tx",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Rx => 0,
+            Stage::Parse => 1,
+            Stage::EmcLookup => 2,
+            Stage::MegaflowLookup => 3,
+            Stage::Upcall => 4,
+            Stage::Actions => 5,
+            Stage::Recirc => 6,
+            Stage::Tx => 7,
+        }
+    }
+}
+
+/// Attributes spans of core time to stages. Construct one per
+/// `pmd_poll` with the core's time at entry; call [`mark`](Self::mark)
+/// with the core's time after finishing each stage's work.
+#[derive(Debug, Clone)]
+pub struct StageTimer {
+    start_ns: u64,
+    last_ns: u64,
+    stage_ns: [u64; STAGES.len()],
+}
+
+impl StageTimer {
+    pub fn new(now_ns: u64) -> Self {
+        StageTimer {
+            start_ns: now_ns,
+            last_ns: now_ns,
+            stage_ns: [0; STAGES.len()],
+        }
+    }
+
+    /// Attribute everything since the previous mark to `stage`.
+    pub fn mark(&mut self, stage: Stage, now_ns: u64) {
+        debug_assert!(now_ns >= self.last_ns, "core time went backwards");
+        self.stage_ns[stage.index()] += now_ns - self.last_ns;
+        self.last_ns = now_ns;
+    }
+
+    /// Total time covered so far.
+    pub fn total_ns(&self) -> u64 {
+        self.last_ns - self.start_ns
+    }
+
+    pub fn stage_ns(&self, stage: Stage) -> u64 {
+        self.stage_ns[stage.index()]
+    }
+}
+
+/// Accumulated perf state for one PMD (one polling core).
+#[derive(Debug, Clone, Default)]
+pub struct PmdPerf {
+    stage_ns: [u64; STAGES.len()],
+    poll_ns: u64,
+    polls: u64,
+    packets: u64,
+    /// Per-poll busy time distribution (only polls that moved packets).
+    pub poll_hist: Log2Hist,
+    /// Per-packet processing time distribution.
+    pub pkt_hist: Log2Hist,
+}
+
+impl PmdPerf {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one finished poll's timer in. `packets` is the batch size.
+    pub fn commit(&mut self, timer: &StageTimer, packets: u64) {
+        let total = timer.total_ns();
+        for (acc, ns) in self.stage_ns.iter_mut().zip(timer.stage_ns.iter()) {
+            *acc += ns;
+        }
+        self.poll_ns += total;
+        self.polls += 1;
+        self.packets += packets;
+        if let Some(per_pkt) = total.checked_div(packets) {
+            self.poll_hist.record(total);
+            self.pkt_hist.record(per_pkt);
+        }
+    }
+
+    pub fn stage_ns(&self, stage: Stage) -> u64 {
+        self.stage_ns[stage.index()]
+    }
+
+    /// Sum over all stage buckets.
+    pub fn stage_ns_total(&self) -> u64 {
+        self.stage_ns.iter().sum()
+    }
+
+    /// Total time across all committed polls. Equal to
+    /// [`stage_ns_total`](Self::stage_ns_total) by construction.
+    pub fn poll_ns_total(&self) -> u64 {
+        self.poll_ns
+    }
+
+    pub fn polls(&self) -> u64 {
+        self.polls
+    }
+
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    pub fn clear(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Merge another PMD's accumulation into this one (for the
+    /// cross-PMD summary at the bottom of `pmd-perf-show`).
+    pub fn merge(&mut self, other: &PmdPerf) {
+        for (a, b) in self.stage_ns.iter_mut().zip(other.stage_ns.iter()) {
+            *a += b;
+        }
+        self.poll_ns += other.poll_ns;
+        self.polls += other.polls;
+        self.packets += other.packets;
+        self.poll_hist.merge(&other.poll_hist);
+        self.pkt_hist.merge(&other.pkt_hist);
+    }
+
+    /// Render one PMD's block of `pmd-perf-show`, with cycles derived
+    /// from `cpu_hz`.
+    pub fn render(&self, title: &str, cpu_hz: u64) -> String {
+        let cycles = |ns: u64| (ns as u128 * cpu_hz as u128 / 1_000_000_000) as u64;
+        let mut out = String::new();
+        out.push_str(&format!("{title}:\n"));
+        out.push_str(&format!(
+            "  iterations: {}  packets: {}  busy: {} ns ({} cycles)\n",
+            self.polls,
+            self.packets,
+            self.poll_ns,
+            cycles(self.poll_ns)
+        ));
+        if self.packets > 0 {
+            out.push_str(&format!(
+                "  avg cycles/pkt: {:.1}\n",
+                cycles(self.poll_ns) as f64 / self.packets as f64
+            ));
+        }
+        let total = self.stage_ns_total().max(1);
+        for stage in STAGES {
+            let ns = self.stage_ns(stage);
+            out.push_str(&format!(
+                "  {:<18} {:>14} ns {:>14} cycles  {:>5.1}%\n",
+                stage.label(),
+                ns,
+                cycles(ns),
+                ns as f64 * 100.0 / total as f64
+            ));
+        }
+        if self.pkt_hist.count() > 0 {
+            out.push_str(&format!(
+                "  per-packet ns: p50 {} p90 {} p99 {} p99.9 {} max {}\n",
+                self.pkt_hist.percentile(50.0),
+                self.pkt_hist.percentile(90.0),
+                self.pkt_hist.percentile(99.0),
+                self.pkt_hist.percentile(99.9),
+                self.pkt_hist.max()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_attributes_every_nanosecond() {
+        let mut t = StageTimer::new(1000);
+        t.mark(Stage::Rx, 1100);
+        t.mark(Stage::Parse, 1100); // zero-width stage is fine
+        t.mark(Stage::EmcLookup, 1175);
+        t.mark(Stage::Tx, 1200);
+        assert_eq!(t.stage_ns(Stage::Rx), 100);
+        assert_eq!(t.stage_ns(Stage::Parse), 0);
+        assert_eq!(t.stage_ns(Stage::EmcLookup), 75);
+        assert_eq!(t.stage_ns(Stage::Tx), 25);
+        assert_eq!(t.total_ns(), 200);
+        let sum: u64 = STAGES.iter().map(|s| t.stage_ns(*s)).sum();
+        assert_eq!(sum, t.total_ns(), "exact attribution");
+    }
+
+    #[test]
+    fn perf_commit_preserves_exactness() {
+        let mut p = PmdPerf::new();
+        for i in 0..10u64 {
+            let base = i * 1000;
+            let mut t = StageTimer::new(base);
+            t.mark(Stage::Rx, base + 10);
+            t.mark(Stage::Parse, base + 35);
+            t.mark(Stage::Actions, base + 95);
+            t.mark(Stage::Tx, base + 120);
+            p.commit(&t, 4);
+        }
+        assert_eq!(p.polls(), 10);
+        assert_eq!(p.packets(), 40);
+        assert_eq!(p.stage_ns_total(), p.poll_ns_total());
+        assert_eq!(p.poll_ns_total(), 1200);
+    }
+
+    #[test]
+    fn merge_keeps_sums_exact() {
+        let mut a = PmdPerf::new();
+        let mut b = PmdPerf::new();
+        let mut t = StageTimer::new(0);
+        t.mark(Stage::Rx, 7);
+        a.commit(&t, 1);
+        let mut t = StageTimer::new(100);
+        t.mark(Stage::Tx, 113);
+        b.commit(&t, 2);
+        a.merge(&b);
+        assert_eq!(a.packets(), 3);
+        assert_eq!(a.stage_ns_total(), a.poll_ns_total());
+        assert_eq!(a.poll_ns_total(), 20);
+    }
+
+    #[test]
+    fn render_contains_stages_and_percentiles() {
+        let mut p = PmdPerf::new();
+        let mut t = StageTimer::new(0);
+        t.mark(Stage::EmcLookup, 30);
+        p.commit(&t, 1);
+        let text = p.render("pmd core 0", 2_400_000_000);
+        assert!(text.contains("emc lookup"), "{text}");
+        assert!(text.contains("p99.9"), "{text}");
+        // 30 ns at 2.4 GHz = 72 cycles.
+        assert!(text.contains("72"), "{text}");
+    }
+}

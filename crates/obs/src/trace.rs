@@ -1,0 +1,101 @@
+//! Packet tracing — the `ofproto/trace` equivalent.
+//!
+//! A [`TraceCtx`] rides alongside one packet through the datapath and
+//! records every pipeline decision as an indented line: flow extraction,
+//! which cache tier answered, the matched rule, conntrack verdicts,
+//! tunnel push/pop, recirculations, and the final action list. The
+//! datapath only pays for formatting when a trace is attached.
+
+/// Records one packet's walk through the pipeline.
+#[derive(Debug, Default, Clone)]
+pub struct TraceCtx {
+    lines: Vec<(usize, String)>,
+    depth: usize,
+}
+
+impl TraceCtx {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one decision at the current depth.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.lines.push((self.depth, text.into()));
+    }
+
+    /// Open a nested scope (bridge, recirculation, tunnel interior):
+    /// the heading is recorded at the current depth and subsequent notes
+    /// indent one level deeper.
+    pub fn enter(&mut self, heading: impl Into<String>) {
+        self.lines.push((self.depth, heading.into()));
+        self.depth += 1;
+    }
+
+    /// Close the innermost scope.
+    pub fn exit(&mut self) {
+        self.depth = self.depth.saturating_sub(1);
+    }
+
+    /// Number of recorded lines.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// True if any recorded line contains `needle` (test helper).
+    pub fn contains(&self, needle: &str) -> bool {
+        self.lines.iter().any(|(_, l)| l.contains(needle))
+    }
+
+    /// Render the multi-line trace text, four spaces per depth level.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (depth, line) in &self.lines {
+            for _ in 0..*depth {
+                out.push_str("    ");
+            }
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_rendering() {
+        let mut t = TraceCtx::new();
+        t.note("Flow: in_port=1,tcp,nw_dst=10.0.0.2");
+        t.enter("bridge(\"br-int\")");
+        t.note("0. table 0: priority 100");
+        t.enter("recirc(0x1)");
+        t.note("ct(state=+trk+new)");
+        t.exit();
+        t.note("output:2");
+        t.exit();
+        let text = t.render();
+        let expected = "Flow: in_port=1,tcp,nw_dst=10.0.0.2\n\
+                        bridge(\"br-int\")\n    \
+                        0. table 0: priority 100\n    \
+                        recirc(0x1)\n        \
+                        ct(state=+trk+new)\n    \
+                        output:2\n";
+        assert_eq!(text, expected);
+        assert!(t.contains("recirc"));
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn exit_never_underflows() {
+        let mut t = TraceCtx::new();
+        t.exit();
+        t.note("still at depth zero");
+        assert_eq!(t.render(), "still at depth zero\n");
+    }
+}

@@ -72,9 +72,14 @@ pub fn udp_ipv4_frame(
     frame_len: usize,
 ) -> Vec<u8> {
     let min = ethernet::HEADER_LEN + ipv4::HEADER_LEN + udp::HEADER_LEN;
-    assert!(frame_len >= min, "frame_len {frame_len} below minimum {min}");
+    assert!(
+        frame_len >= min,
+        "frame_len {frame_len} below minimum {min}"
+    );
     let payload = vec![0x5au8; frame_len - min];
-    udp_ipv4(src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, &payload)
+    udp_ipv4(
+        src_mac, dst_mac, src_ip, dst_ip, src_port, dst_port, &payload,
+    )
 }
 
 /// Build a TCP-in-IPv4-in-Ethernet frame with valid checksums.
@@ -293,8 +298,16 @@ mod tests {
     #[test]
     fn tcp_frame_is_valid() {
         let f = tcp_ipv4(
-            SRC, DST, [1, 1, 1, 1], [2, 2, 2, 2], 10, 20, 1000, 2000,
-            tcp::flags::ACK | tcp::flags::PSH, b"x",
+            SRC,
+            DST,
+            [1, 1, 1, 1],
+            [2, 2, 2, 2],
+            10,
+            20,
+            1000,
+            2000,
+            tcp::flags::ACK | tcp::flags::PSH,
+            b"x",
         );
         let ip = Ipv4Packet::new_checked(&f[ethernet::HEADER_LEN..]).unwrap();
         let t = TcpSegment::new_checked(ip.payload()).unwrap();
@@ -314,7 +327,15 @@ mod tests {
 
     #[test]
     fn arp_frame_parses() {
-        let f = arp_frame(SRC, MacAddr::BROADCAST, arp::op::REQUEST, SRC, [1, 1, 1, 1], MacAddr::ZERO, [2, 2, 2, 2]);
+        let f = arp_frame(
+            SRC,
+            MacAddr::BROADCAST,
+            arp::op::REQUEST,
+            SRC,
+            [1, 1, 1, 1],
+            MacAddr::ZERO,
+            [2, 2, 2, 2],
+        );
         let a = arp::ArpPacket::new_checked(&f[ethernet::HEADER_LEN..]).unwrap();
         assert_eq!(a.oper(), arp::op::REQUEST);
         assert_eq!(a.target_ip(), [2, 2, 2, 2]);

@@ -87,7 +87,10 @@ mod tests {
 
     #[test]
     fn verify_roundtrip() {
-        let mut data = vec![0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0x00, 0x00, 10, 0, 0, 1, 10, 0, 0, 2];
+        let mut data = vec![
+            0x45, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0x00, 0x00, 10, 0, 0, 1,
+            10, 0, 0, 2,
+        ];
         let csum = checksum(&data);
         data[10..12].copy_from_slice(&csum.to_be_bytes());
         assert!(verify(&data));

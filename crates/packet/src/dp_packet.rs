@@ -166,7 +166,11 @@ impl DpPacket {
     /// Used by tunnel encapsulation. Panics if headroom is exhausted —
     /// callers size [`DEFAULT_HEADROOM`] for the deepest supported stack.
     pub fn push_front(&mut self, n: usize) -> &mut [u8] {
-        assert!(n <= self.head, "headroom exhausted: need {n}, have {}", self.head);
+        assert!(
+            n <= self.head,
+            "headroom exhausted: need {n}, have {}",
+            self.head
+        );
         self.head -= n;
         self.len += n;
         &mut self.buf[self.head..self.head + n]

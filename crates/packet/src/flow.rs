@@ -74,21 +74,109 @@ impl FlowKey {
         Self { words }
     }
 
-    word_field!(in_port, set_in_port, 0, 32, u32, 0xffff_ffff, "Datapath input port.");
-    word_field!(recirc_id, set_recirc_id, 0, 0, u32, 0xffff_ffff, "Recirculation id.");
-    word_field!(eth_type_raw, set_eth_type_raw, 1, 0, u16, 0xffff, "Raw EtherType.");
-    word_field!(vlan_tci, set_vlan_tci, 2, 0, u16, 0xffff, "VLAN TCI (0 = untagged).");
-    word_field!(nw_proto, set_nw_proto, 7, 56, u8, 0xff, "IP protocol / ARP opcode.");
+    word_field!(
+        in_port,
+        set_in_port,
+        0,
+        32,
+        u32,
+        0xffff_ffff,
+        "Datapath input port."
+    );
+    word_field!(
+        recirc_id,
+        set_recirc_id,
+        0,
+        0,
+        u32,
+        0xffff_ffff,
+        "Recirculation id."
+    );
+    word_field!(
+        eth_type_raw,
+        set_eth_type_raw,
+        1,
+        0,
+        u16,
+        0xffff,
+        "Raw EtherType."
+    );
+    word_field!(
+        vlan_tci,
+        set_vlan_tci,
+        2,
+        0,
+        u16,
+        0xffff,
+        "VLAN TCI (0 = untagged)."
+    );
+    word_field!(
+        nw_proto,
+        set_nw_proto,
+        7,
+        56,
+        u8,
+        0xff,
+        "IP protocol / ARP opcode."
+    );
     word_field!(nw_tos, set_nw_tos, 7, 48, u8, 0xff, "IP TOS byte.");
     word_field!(nw_ttl, set_nw_ttl, 7, 40, u8, 0xff, "IP TTL / hop limit.");
-    word_field!(nw_frag, set_nw_frag, 7, 32, u8, 0xff, "Fragment state bits.");
+    word_field!(
+        nw_frag,
+        set_nw_frag,
+        7,
+        32,
+        u8,
+        0xff,
+        "Fragment state bits."
+    );
     word_field!(tp_src, set_tp_src, 7, 16, u16, 0xffff, "L4 source port.");
-    word_field!(tp_dst, set_tp_dst, 7, 0, u16, 0xffff, "L4 destination port.");
-    word_field!(tun_src, set_tun_src_raw, 9, 32, u32, 0xffff_ffff, "Outer tunnel source IPv4 (as u32).");
-    word_field!(tun_dst, set_tun_dst_raw, 9, 0, u32, 0xffff_ffff, "Outer tunnel destination IPv4 (as u32).");
-    word_field!(ct_state, set_ct_state, 10, 56, u8, 0xff, "Conntrack state bits.");
+    word_field!(
+        tp_dst,
+        set_tp_dst,
+        7,
+        0,
+        u16,
+        0xffff,
+        "L4 destination port."
+    );
+    word_field!(
+        tun_src,
+        set_tun_src_raw,
+        9,
+        32,
+        u32,
+        0xffff_ffff,
+        "Outer tunnel source IPv4 (as u32)."
+    );
+    word_field!(
+        tun_dst,
+        set_tun_dst_raw,
+        9,
+        0,
+        u32,
+        0xffff_ffff,
+        "Outer tunnel destination IPv4 (as u32)."
+    );
+    word_field!(
+        ct_state,
+        set_ct_state,
+        10,
+        56,
+        u8,
+        0xff,
+        "Conntrack state bits."
+    );
     word_field!(ct_zone, set_ct_zone, 10, 32, u16, 0xffff, "Conntrack zone.");
-    word_field!(ct_mark, set_ct_mark, 10, 0, u32, 0xffff_ffff, "Conntrack mark.");
+    word_field!(
+        ct_mark,
+        set_ct_mark,
+        10,
+        0,
+        u32,
+        0xffff_ffff,
+        "Conntrack mark."
+    );
 
     /// EtherType as an enum.
     pub fn eth_type(&self) -> EtherType {
@@ -358,46 +446,202 @@ pub struct Field {
 pub mod fields {
     use super::Field;
 
-    pub const IN_PORT: Field = Field { name: "in_port", word: 0, mask: 0xffff_ffff_0000_0000 };
-    pub const RECIRC_ID: Field = Field { name: "recirc_id", word: 0, mask: 0x0000_0000_ffff_ffff };
-    pub const DL_SRC: Field = Field { name: "dl_src", word: 1, mask: 0xffff_ffff_ffff_0000 };
-    pub const ETH_TYPE: Field = Field { name: "eth_type", word: 1, mask: 0x0000_0000_0000_ffff };
-    pub const DL_DST: Field = Field { name: "dl_dst", word: 2, mask: 0xffff_ffff_ffff_0000 };
-    pub const VLAN_TCI: Field = Field { name: "vlan_tci", word: 2, mask: 0x0000_0000_0000_ffff };
-    pub const VLAN_VID: Field = Field { name: "vlan_vid", word: 2, mask: 0x0000_0000_0000_0fff };
-    pub const VLAN_PCP: Field = Field { name: "vlan_pcp", word: 2, mask: 0x0000_0000_0000_e000 };
-    pub const NW_SRC_HI: Field = Field { name: "ipv6_src_hi", word: 3, mask: u64::MAX };
-    pub const NW_SRC: Field = Field { name: "nw_src", word: 4, mask: 0x0000_0000_ffff_ffff };
-    pub const NW_SRC_LO64: Field = Field { name: "ipv6_src_lo", word: 4, mask: u64::MAX };
-    pub const NW_DST_HI: Field = Field { name: "ipv6_dst_hi", word: 5, mask: u64::MAX };
-    pub const NW_DST: Field = Field { name: "nw_dst", word: 6, mask: 0x0000_0000_ffff_ffff };
-    pub const NW_DST_LO64: Field = Field { name: "ipv6_dst_lo", word: 6, mask: u64::MAX };
-    pub const NW_PROTO: Field = Field { name: "nw_proto", word: 7, mask: 0xff00_0000_0000_0000 };
-    pub const NW_TOS: Field = Field { name: "nw_tos", word: 7, mask: 0x00ff_0000_0000_0000 };
-    pub const NW_TTL: Field = Field { name: "nw_ttl", word: 7, mask: 0x0000_ff00_0000_0000 };
-    pub const NW_FRAG: Field = Field { name: "nw_frag", word: 7, mask: 0x0000_00ff_0000_0000 };
-    pub const TP_SRC: Field = Field { name: "tp_src", word: 7, mask: 0x0000_0000_ffff_0000 };
-    pub const TP_DST: Field = Field { name: "tp_dst", word: 7, mask: 0x0000_0000_0000_ffff };
-    pub const TUN_ID: Field = Field { name: "tun_id", word: 8, mask: u64::MAX };
-    pub const TUN_SRC: Field = Field { name: "tun_src", word: 9, mask: 0xffff_ffff_0000_0000 };
-    pub const TUN_DST: Field = Field { name: "tun_dst", word: 9, mask: 0x0000_0000_ffff_ffff };
-    pub const CT_STATE: Field = Field { name: "ct_state", word: 10, mask: 0xff00_0000_0000_0000 };
-    pub const CT_ZONE: Field = Field { name: "ct_zone", word: 10, mask: 0x0000_ffff_0000_0000 };
-    pub const CT_MARK: Field = Field { name: "ct_mark", word: 10, mask: 0x0000_0000_ffff_ffff };
-    pub const METADATA: Field = Field { name: "metadata", word: 11, mask: u64::MAX };
+    pub const IN_PORT: Field = Field {
+        name: "in_port",
+        word: 0,
+        mask: 0xffff_ffff_0000_0000,
+    };
+    pub const RECIRC_ID: Field = Field {
+        name: "recirc_id",
+        word: 0,
+        mask: 0x0000_0000_ffff_ffff,
+    };
+    pub const DL_SRC: Field = Field {
+        name: "dl_src",
+        word: 1,
+        mask: 0xffff_ffff_ffff_0000,
+    };
+    pub const ETH_TYPE: Field = Field {
+        name: "eth_type",
+        word: 1,
+        mask: 0x0000_0000_0000_ffff,
+    };
+    pub const DL_DST: Field = Field {
+        name: "dl_dst",
+        word: 2,
+        mask: 0xffff_ffff_ffff_0000,
+    };
+    pub const VLAN_TCI: Field = Field {
+        name: "vlan_tci",
+        word: 2,
+        mask: 0x0000_0000_0000_ffff,
+    };
+    pub const VLAN_VID: Field = Field {
+        name: "vlan_vid",
+        word: 2,
+        mask: 0x0000_0000_0000_0fff,
+    };
+    pub const VLAN_PCP: Field = Field {
+        name: "vlan_pcp",
+        word: 2,
+        mask: 0x0000_0000_0000_e000,
+    };
+    pub const NW_SRC_HI: Field = Field {
+        name: "ipv6_src_hi",
+        word: 3,
+        mask: u64::MAX,
+    };
+    pub const NW_SRC: Field = Field {
+        name: "nw_src",
+        word: 4,
+        mask: 0x0000_0000_ffff_ffff,
+    };
+    pub const NW_SRC_LO64: Field = Field {
+        name: "ipv6_src_lo",
+        word: 4,
+        mask: u64::MAX,
+    };
+    pub const NW_DST_HI: Field = Field {
+        name: "ipv6_dst_hi",
+        word: 5,
+        mask: u64::MAX,
+    };
+    pub const NW_DST: Field = Field {
+        name: "nw_dst",
+        word: 6,
+        mask: 0x0000_0000_ffff_ffff,
+    };
+    pub const NW_DST_LO64: Field = Field {
+        name: "ipv6_dst_lo",
+        word: 6,
+        mask: u64::MAX,
+    };
+    pub const NW_PROTO: Field = Field {
+        name: "nw_proto",
+        word: 7,
+        mask: 0xff00_0000_0000_0000,
+    };
+    pub const NW_TOS: Field = Field {
+        name: "nw_tos",
+        word: 7,
+        mask: 0x00ff_0000_0000_0000,
+    };
+    pub const NW_TTL: Field = Field {
+        name: "nw_ttl",
+        word: 7,
+        mask: 0x0000_ff00_0000_0000,
+    };
+    pub const NW_FRAG: Field = Field {
+        name: "nw_frag",
+        word: 7,
+        mask: 0x0000_00ff_0000_0000,
+    };
+    pub const TP_SRC: Field = Field {
+        name: "tp_src",
+        word: 7,
+        mask: 0x0000_0000_ffff_0000,
+    };
+    pub const TP_DST: Field = Field {
+        name: "tp_dst",
+        word: 7,
+        mask: 0x0000_0000_0000_ffff,
+    };
+    pub const TUN_ID: Field = Field {
+        name: "tun_id",
+        word: 8,
+        mask: u64::MAX,
+    };
+    pub const TUN_SRC: Field = Field {
+        name: "tun_src",
+        word: 9,
+        mask: 0xffff_ffff_0000_0000,
+    };
+    pub const TUN_DST: Field = Field {
+        name: "tun_dst",
+        word: 9,
+        mask: 0x0000_0000_ffff_ffff,
+    };
+    pub const CT_STATE: Field = Field {
+        name: "ct_state",
+        word: 10,
+        mask: 0xff00_0000_0000_0000,
+    };
+    pub const CT_ZONE: Field = Field {
+        name: "ct_zone",
+        word: 10,
+        mask: 0x0000_ffff_0000_0000,
+    };
+    pub const CT_MARK: Field = Field {
+        name: "ct_mark",
+        word: 10,
+        mask: 0x0000_0000_ffff_ffff,
+    };
+    pub const METADATA: Field = Field {
+        name: "metadata",
+        word: 11,
+        mask: u64::MAX,
+    };
     /// ARP aliases, matching OVS naming (same storage as the IP fields).
-    pub const ARP_OP: Field = Field { name: "arp_op", word: 7, mask: 0xff00_0000_0000_0000 };
-    pub const ARP_SPA: Field = Field { name: "arp_spa", word: 4, mask: 0x0000_0000_ffff_ffff };
-    pub const ARP_TPA: Field = Field { name: "arp_tpa", word: 6, mask: 0x0000_0000_ffff_ffff };
-    pub const ICMP_TYPE: Field = Field { name: "icmp_type", word: 7, mask: 0x0000_0000_ffff_0000 };
-    pub const ICMP_CODE: Field = Field { name: "icmp_code", word: 7, mask: 0x0000_0000_0000_ffff };
+    pub const ARP_OP: Field = Field {
+        name: "arp_op",
+        word: 7,
+        mask: 0xff00_0000_0000_0000,
+    };
+    pub const ARP_SPA: Field = Field {
+        name: "arp_spa",
+        word: 4,
+        mask: 0x0000_0000_ffff_ffff,
+    };
+    pub const ARP_TPA: Field = Field {
+        name: "arp_tpa",
+        word: 6,
+        mask: 0x0000_0000_ffff_ffff,
+    };
+    pub const ICMP_TYPE: Field = Field {
+        name: "icmp_type",
+        word: 7,
+        mask: 0x0000_0000_ffff_0000,
+    };
+    pub const ICMP_CODE: Field = Field {
+        name: "icmp_code",
+        word: 7,
+        mask: 0x0000_0000_0000_ffff,
+    };
 
     /// Every distinct named field above.
     pub const ALL: &[Field] = &[
-        IN_PORT, RECIRC_ID, DL_SRC, ETH_TYPE, DL_DST, VLAN_TCI, VLAN_VID, VLAN_PCP,
-        NW_SRC_HI, NW_SRC, NW_SRC_LO64, NW_DST_HI, NW_DST, NW_DST_LO64, NW_PROTO,
-        NW_TOS, NW_TTL, NW_FRAG, TP_SRC, TP_DST, TUN_ID, TUN_SRC, TUN_DST, CT_STATE,
-        CT_ZONE, CT_MARK, METADATA, ARP_OP, ARP_SPA, ARP_TPA, ICMP_TYPE, ICMP_CODE,
+        IN_PORT,
+        RECIRC_ID,
+        DL_SRC,
+        ETH_TYPE,
+        DL_DST,
+        VLAN_TCI,
+        VLAN_VID,
+        VLAN_PCP,
+        NW_SRC_HI,
+        NW_SRC,
+        NW_SRC_LO64,
+        NW_DST_HI,
+        NW_DST,
+        NW_DST_LO64,
+        NW_PROTO,
+        NW_TOS,
+        NW_TTL,
+        NW_FRAG,
+        TP_SRC,
+        TP_DST,
+        TUN_ID,
+        TUN_SRC,
+        TUN_DST,
+        CT_STATE,
+        CT_ZONE,
+        CT_MARK,
+        METADATA,
+        ARP_OP,
+        ARP_SPA,
+        ARP_TPA,
+        ICMP_TYPE,
+        ICMP_CODE,
     ];
 }
 

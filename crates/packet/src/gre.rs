@@ -83,7 +83,12 @@ impl<T: AsRef<[u8]>> GrePacket<T> {
         }
         let off = 4 + if self.has_checksum() { 4 } else { 0 };
         let b = self.buffer.as_ref();
-        Some(u32::from_be_bytes([b[off], b[off + 1], b[off + 2], b[off + 3]]))
+        Some(u32::from_be_bytes([
+            b[off],
+            b[off + 1],
+            b[off + 2],
+            b[off + 3],
+        ]))
     }
 
     /// Sequence number, if present.
@@ -91,11 +96,14 @@ impl<T: AsRef<[u8]>> GrePacket<T> {
         if !self.has_seq() {
             return None;
         }
-        let off = 4
-            + if self.has_checksum() { 4 } else { 0 }
-            + if self.has_key() { 4 } else { 0 };
+        let off = 4 + if self.has_checksum() { 4 } else { 0 } + if self.has_key() { 4 } else { 0 };
         let b = self.buffer.as_ref();
-        Some(u32::from_be_bytes([b[off], b[off + 1], b[off + 2], b[off + 3]]))
+        Some(u32::from_be_bytes([
+            b[off],
+            b[off + 1],
+            b[off + 2],
+            b[off + 3],
+        ]))
     }
 
     /// Payload after the header.

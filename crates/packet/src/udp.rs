@@ -75,7 +75,8 @@ impl<T: AsRef<[u8]>> UdpDatagram<T> {
             return true;
         }
         let data = &self.buffer.as_ref()[..self.length() as usize];
-        let pseudo = checksum::pseudo_header_ipv4(src, dst, crate::ipv4::protocol::UDP, self.length());
+        let pseudo =
+            checksum::pseudo_header_ipv4(src, dst, crate::ipv4::protocol::UDP, self.length());
         checksum::combine(&[pseudo, checksum::ones_complement_sum(data)]) == 0xffff
     }
 }

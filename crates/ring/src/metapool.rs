@@ -26,7 +26,9 @@ impl DpPacketPool {
     /// packet room, with packet-independent fields already initialized.
     pub fn with_preallocated(n: usize, data_capacity: usize) -> Self {
         Self {
-            free: (0..n).map(|_| DpPacket::with_capacity(data_capacity)).collect(),
+            free: (0..n)
+                .map(|_| DpPacket::with_capacity(data_capacity))
+                .collect(),
             capacity_hint: data_capacity,
             reuses: 0,
             fresh_allocs: 0,

@@ -146,7 +146,10 @@ mod tests {
 
     #[test]
     fn desc_pack_roundtrip() {
-        let d = Desc { frame: 0xdead_beef, len: 1518 };
+        let d = Desc {
+            frame: 0xdead_beef,
+            len: 1518,
+        };
         assert_eq!(Desc::from_u64(d.to_u64()), d);
     }
 
@@ -161,10 +164,20 @@ mod tests {
     fn fifo_order() {
         let r = SpscRing::new(8);
         for i in 0..5u32 {
-            r.push(Desc { frame: i, len: i * 10 }).unwrap();
+            r.push(Desc {
+                frame: i,
+                len: i * 10,
+            })
+            .unwrap();
         }
         for i in 0..5u32 {
-            assert_eq!(r.pop(), Some(Desc { frame: i, len: i * 10 }));
+            assert_eq!(
+                r.pop(),
+                Some(Desc {
+                    frame: i,
+                    len: i * 10
+                })
+            );
         }
         assert_eq!(r.pop(), None);
     }
@@ -195,7 +208,11 @@ mod tests {
     fn wraparound() {
         let r = SpscRing::new(4);
         for round in 0..100u32 {
-            r.push(Desc { frame: round, len: 1 }).unwrap();
+            r.push(Desc {
+                frame: round,
+                len: 1,
+            })
+            .unwrap();
             assert_eq!(r.pop().unwrap().frame, round);
         }
         assert!(r.is_empty());
@@ -210,7 +227,12 @@ mod tests {
             std::thread::spawn(move || {
                 for i in 0..n {
                     loop {
-                        if r.push(Desc { frame: i, len: i ^ 0xff }).is_ok() {
+                        if r.push(Desc {
+                            frame: i,
+                            len: i ^ 0xff,
+                        })
+                        .is_ok()
+                        {
                             break;
                         }
                         std::hint::spin_loop();

@@ -3,8 +3,8 @@
 
 use crate::spinlock::{LockStrategy, RawSpinlock};
 use crate::spsc::SpscRing;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Default frame size: one 2 KiB chunk per packet, AF_XDP's default.
 pub const DEFAULT_FRAME_SIZE: usize = 2048;
@@ -59,7 +59,10 @@ impl Umem {
     /// Panics if the packet exceeds the frame size — callers must respect
     /// the MTU contract.
     pub fn write_frame(&mut self, idx: u32, pkt: &[u8]) -> u32 {
-        assert!(pkt.len() <= self.frame_size, "packet larger than umem frame");
+        assert!(
+            pkt.len() <= self.frame_size,
+            "packet larger than umem frame"
+        );
         let start = idx as usize * self.frame_size;
         self.data[start..start + pkt.len()].copy_from_slice(pkt);
         pkt.len() as u32
@@ -119,7 +122,7 @@ impl UmemPool {
         self.stats.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
         match self.strategy {
             LockStrategy::MutexPerPacket => {
-                let mut g = self.free.lock();
+                let mut g = self.free.lock().unwrap();
                 f(&mut g)
             }
             LockStrategy::SpinlockPerPacket | LockStrategy::SpinlockBatched => {
@@ -195,7 +198,9 @@ impl UmemPool {
                 }
             }
         }
-        self.stats.frees.fetch_add(frames.len() as u64, Ordering::Relaxed);
+        self.stats
+            .frees
+            .fetch_add(frames.len() as u64, Ordering::Relaxed);
     }
 }
 
@@ -229,7 +234,12 @@ mod tests {
         // "Kernel": take a fill descriptor, write the packet, complete it.
         let d = u.fill.pop().unwrap();
         let len = u.write_frame(d.frame, b"packet!");
-        u.comp.push(Desc { frame: d.frame, len }).unwrap();
+        u.comp
+            .push(Desc {
+                frame: d.frame,
+                len,
+            })
+            .unwrap();
         // "Userspace": read completion, find the data.
         let done = u.comp.pop().unwrap();
         assert_eq!(done.frame, 3);

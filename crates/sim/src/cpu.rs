@@ -249,6 +249,9 @@ mod tests {
 
     #[test]
     fn context_labels_match_table4() {
-        assert_eq!(Context::ALL.map(|c| c.label()), ["system", "softirq", "guest", "user"]);
+        assert_eq!(
+            Context::ALL.map(|c| c.label()),
+            ["system", "softirq", "guest", "user"]
+        );
     }
 }

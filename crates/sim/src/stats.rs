@@ -10,6 +10,9 @@ pub struct Percentiles {
     pub p50: f64,
     pub p90: f64,
     pub p99: f64,
+    /// P99.9 — the tail the paper's latency story turns on: interrupt
+    /// coalescing and scheduler noise live out here, not at the median.
+    pub p999: f64,
     pub mean: f64,
     pub min: f64,
     pub max: f64,
@@ -35,11 +38,39 @@ impl Percentiles {
             p50: rank(50.0),
             p90: rank(90.0),
             p99: rank(99.0),
+            p999: rank(99.9),
             mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
             min: sorted[0],
             max: sorted[sorted.len() - 1],
             count: sorted.len(),
         })
+    }
+
+    /// Combine two summaries (e.g. per-connection sample sets) into one.
+    ///
+    /// Means, min/max, and counts combine exactly. Percentiles of a
+    /// merged population are not derivable from the two summaries alone,
+    /// so each is the count-weighted average — the standard approximation
+    /// when the raw samples are gone.
+    pub fn merge(&self, other: &Percentiles) -> Percentiles {
+        if other.count == 0 {
+            return *self;
+        }
+        if self.count == 0 {
+            return *other;
+        }
+        let (n1, n2) = (self.count as f64, other.count as f64);
+        let w = |a: f64, b: f64| (a * n1 + b * n2) / (n1 + n2);
+        Percentiles {
+            p50: w(self.p50, other.p50),
+            p90: w(self.p90, other.p90),
+            p99: w(self.p99, other.p99),
+            p999: w(self.p999, other.p999),
+            mean: w(self.mean, other.mean),
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            count: self.count + other.count,
+        }
     }
 
     /// Transactions per second for round-trip samples given in microseconds:
@@ -77,8 +108,35 @@ mod tests {
         assert_eq!(p.p50, 50.0);
         assert_eq!(p.p90, 90.0);
         assert_eq!(p.p99, 99.0);
+        assert_eq!(p.p999, 100.0);
         assert_eq!(p.min, 1.0);
         assert_eq!(p.max, 100.0);
+    }
+
+    #[test]
+    fn p999_separates_from_p99() {
+        // 999 fast samples and one slow one: p99 stays fast, p99.9 sees it.
+        let mut samples = vec![10.0; 999];
+        samples.push(10_000.0);
+        let p = Percentiles::from_samples(&samples).unwrap();
+        assert_eq!(p.p99, 10.0);
+        assert_eq!(p.p999, 10_000.0);
+    }
+
+    #[test]
+    fn merge_weighted_and_exact_fields() {
+        let a = Percentiles::from_samples(&[1.0, 2.0, 3.0]).unwrap();
+        let b = Percentiles::from_samples(&[10.0]).unwrap();
+        let m = a.merge(&b);
+        assert_eq!(m.count, 4);
+        assert_eq!(m.min, 1.0);
+        assert_eq!(m.max, 10.0);
+        // Mean is exact under count-weighting: (1+2+3+10)/4.
+        assert!((m.mean - 4.0).abs() < 1e-9);
+        // Merging with an empty side is the identity.
+        let empty = Percentiles { count: 0, ..b };
+        assert_eq!(a.merge(&empty), a);
+        assert_eq!(empty.merge(&a), a);
     }
 
     #[test]

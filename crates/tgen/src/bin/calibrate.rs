@@ -8,9 +8,18 @@ use ovs_tgen::netperf::{self, RrConfig};
 use ovs_tgen::scenarios::{self, DpKind, PathKind, ScenarioConfig, VmAttach, XdpTask};
 
 fn main() {
-    let poll = DatapathKind::UserspaceAfxdp { opt: OptLevel::O5, interrupt_mode: false };
-    let nocsum = DatapathKind::UserspaceAfxdp { opt: OptLevel::O4, interrupt_mode: false };
-    let intr = DatapathKind::UserspaceAfxdp { opt: OptLevel::O4, interrupt_mode: true };
+    let poll = DatapathKind::UserspaceAfxdp {
+        opt: OptLevel::O5,
+        interrupt_mode: false,
+    };
+    let nocsum = DatapathKind::UserspaceAfxdp {
+        opt: OptLevel::O4,
+        interrupt_mode: false,
+    };
+    let intr = DatapathKind::UserspaceAfxdp {
+        opt: OptLevel::O4,
+        interrupt_mode: true,
+    };
 
     println!("== Table 2 ladder (target 0.8/4.8/6.0/6.3/6.6/7.1) ==");
     for opt in OptLevel::LADDER {
@@ -19,11 +28,20 @@ fn main() {
     }
 
     println!("== Fig 2 (target kernel ~1.9, ebpf 10-20% less, dpdk ~9) ==");
-    println!("  kernel {:.2}  ebpf {:.2}  dpdk {:.2}",
-        scenarios::run_fig2_kernel().mpps, scenarios::run_fig2_ebpf().mpps, scenarios::run_fig2_dpdk().mpps);
+    println!(
+        "  kernel {:.2}  ebpf {:.2}  dpdk {:.2}",
+        scenarios::run_fig2_kernel().mpps,
+        scenarios::run_fig2_ebpf().mpps,
+        scenarios::run_fig2_dpdk().mpps
+    );
 
     println!("== Table 5 (target 14/8.1/7.1/4.7) ==");
-    for t in [XdpTask::Drop, XdpTask::ParseDrop, XdpTask::ParseLookupDrop, XdpTask::SwapFwd] {
+    for t in [
+        XdpTask::Drop,
+        XdpTask::ParseDrop,
+        XdpTask::ParseLookupDrop,
+        XdpTask::SwapFwd,
+    ] {
         println!("  {:?}: {:.2} Mpps", t, scenarios::run_xdp_task(t).mpps);
     }
 
@@ -36,8 +54,12 @@ fn main() {
         }
     }
     println!("== Fig 9 PVP ==");
-    for (dp, at) in [(DpKind::Kernel, VmAttach::Tap), (DpKind::Afxdp(OptLevel::O5), VmAttach::Tap),
-                     (DpKind::Afxdp(OptLevel::O5), VmAttach::VhostUser), (DpKind::Dpdk, VmAttach::VhostUser)] {
+    for (dp, at) in [
+        (DpKind::Kernel, VmAttach::Tap),
+        (DpKind::Afxdp(OptLevel::O5), VmAttach::Tap),
+        (DpKind::Afxdp(OptLevel::O5), VmAttach::VhostUser),
+        (DpKind::Dpdk, VmAttach::VhostUser),
+    ] {
         for flows in [1usize, 1000] {
             let m = scenarios::run(&ScenarioConfig::micro(dp, PathKind::Pvp(at), flows));
             println!("  {dp:?}/{at:?} f{flows}: {:.2} Mpps  cpu sys={:.1} softirq={:.1} guest={:.1} user={:.1} tot={:.1}",
@@ -47,25 +69,60 @@ fn main() {
     println!("== Fig 9 PCP ==");
     for dp in [DpKind::Kernel, DpKind::Afxdp(OptLevel::O5), DpKind::Dpdk] {
         let m = scenarios::run(&ScenarioConfig::micro(dp, PathKind::Pcp, 1000));
-        println!("  {dp:?}: {:.2} Mpps  cpu sys={:.1} softirq={:.1} guest={:.1} user={:.1} tot={:.1}",
-            m.mpps, m.usage.system, m.usage.softirq, m.usage.guest, m.usage.user, m.usage.total());
+        println!(
+            "  {dp:?}: {:.2} Mpps  cpu sys={:.1} softirq={:.1} guest={:.1} user={:.1} tot={:.1}",
+            m.mpps,
+            m.usage.system,
+            m.usage.softirq,
+            m.usage.guest,
+            m.usage.user,
+            m.usage.total()
+        );
     }
 
     println!("== Fig 12 queue scaling (64B: afxdp tops ~12, dpdk higher; 1518B afxdp line@6q) ==");
     for q in [1usize, 2, 4, 6] {
         for len in [64usize, 1518] {
-            let a = scenarios::run(&ScenarioConfig { queues: q, frame_len: len, ..ScenarioConfig::micro(DpKind::Afxdp(OptLevel::O5), PathKind::P2p, 1000) });
-            let d = scenarios::run(&ScenarioConfig { queues: q, frame_len: len, ..ScenarioConfig::micro(DpKind::Dpdk, PathKind::P2p, 1000) });
-            println!("  q{q} {len}B: afxdp {:.2} Mpps ({:.1} Gbps)  dpdk {:.2} Mpps ({:.1} Gbps)", a.mpps, a.gbps, d.mpps, d.gbps);
+            let a = scenarios::run(&ScenarioConfig {
+                queues: q,
+                frame_len: len,
+                ..ScenarioConfig::micro(DpKind::Afxdp(OptLevel::O5), PathKind::P2p, 1000)
+            });
+            let d = scenarios::run(&ScenarioConfig {
+                queues: q,
+                frame_len: len,
+                ..ScenarioConfig::micro(DpKind::Dpdk, PathKind::P2p, 1000)
+            });
+            println!(
+                "  q{q} {len}B: afxdp {:.2} Mpps ({:.1} Gbps)  dpdk {:.2} Mpps ({:.1} Gbps)",
+                a.mpps, a.gbps, d.mpps, d.gbps
+            );
         }
     }
 
-    println!("== Fig 8a (target: intr 1.9 < kernel 2.2 < poll-tap 3.0 < vhost 4.4 < vhost+csum 6.5) ==");
-    println!("  kernel+tap     {:.2}", iperf::fig8a_cross_host(DatapathKind::Kernel, VmAttachment::Tap).gbps);
-    println!("  afxdp intr+tap {:.2}", iperf::fig8a_cross_host(intr, VmAttachment::Tap).gbps);
-    println!("  afxdp poll+tap {:.2}", iperf::fig8a_cross_host(nocsum, VmAttachment::Tap).gbps);
-    println!("  afxdp vhost    {:.2}", iperf::fig8a_cross_host(nocsum, VmAttachment::VhostUser).gbps);
-    println!("  afxdp vhost+cs {:.2}", iperf::fig8a_cross_host(poll, VmAttachment::VhostUser).gbps);
+    println!(
+        "== Fig 8a (target: intr 1.9 < kernel 2.2 < poll-tap 3.0 < vhost 4.4 < vhost+csum 6.5) =="
+    );
+    println!(
+        "  kernel+tap     {:.2}",
+        iperf::fig8a_cross_host(DatapathKind::Kernel, VmAttachment::Tap).gbps
+    );
+    println!(
+        "  afxdp intr+tap {:.2}",
+        iperf::fig8a_cross_host(intr, VmAttachment::Tap).gbps
+    );
+    println!(
+        "  afxdp poll+tap {:.2}",
+        iperf::fig8a_cross_host(nocsum, VmAttachment::Tap).gbps
+    );
+    println!(
+        "  afxdp vhost    {:.2}",
+        iperf::fig8a_cross_host(nocsum, VmAttachment::VhostUser).gbps
+    );
+    println!(
+        "  afxdp vhost+cs {:.2}",
+        iperf::fig8a_cross_host(poll, VmAttachment::VhostUser).gbps
+    );
 
     if std::env::args().any(|a| a == "--debug-8a") {
         println!("== 8a debug: afxdp poll+tap ==");
@@ -75,26 +132,59 @@ fn main() {
     }
 
     println!("== Fig 8b (target: kernel 12, vhost 3.8 / 8.4 / 29) ==");
-    println!("  kernel+tap TSO {:.2}", iperf::fig8b_intra_host(DatapathKind::Kernel, VmAttachment::Tap, Offloads::FULL).gbps);
-    println!("  vhost none     {:.2}", iperf::fig8b_intra_host(nocsum, VmAttachment::VhostUser, Offloads::NONE).gbps);
-    println!("  vhost csum     {:.2}", iperf::fig8b_intra_host(poll, VmAttachment::VhostUser, Offloads::CSUM).gbps);
-    println!("  vhost csum+tso {:.2}", iperf::fig8b_intra_host(poll, VmAttachment::VhostUser, Offloads::FULL).gbps);
+    println!(
+        "  kernel+tap TSO {:.2}",
+        iperf::fig8b_intra_host(DatapathKind::Kernel, VmAttachment::Tap, Offloads::FULL).gbps
+    );
+    println!(
+        "  vhost none     {:.2}",
+        iperf::fig8b_intra_host(nocsum, VmAttachment::VhostUser, Offloads::NONE).gbps
+    );
+    println!(
+        "  vhost csum     {:.2}",
+        iperf::fig8b_intra_host(poll, VmAttachment::VhostUser, Offloads::CSUM).gbps
+    );
+    println!(
+        "  vhost csum+tso {:.2}",
+        iperf::fig8b_intra_host(poll, VmAttachment::VhostUser, Offloads::FULL).gbps
+    );
 
     println!("== Fig 8c (target: kernel 5.9/49, xdp 5.7, afxdp 4.1/5.0/8.0) ==");
-    println!("  kernel none    {:.2}", iperf::fig8c_containers(CcMode::Kernel, Offloads::NONE).gbps);
-    println!("  kernel full    {:.2}", iperf::fig8c_containers(CcMode::Kernel, Offloads::FULL).gbps);
-    println!("  xdp redirect   {:.2}", iperf::fig8c_containers(CcMode::XdpRedirect, Offloads::NONE).gbps);
-    println!("  afxdp none     {:.2}", iperf::fig8c_containers(CcMode::AfxdpUserspace(OptLevel::O4), Offloads::NONE).gbps);
-    println!("  afxdp csum     {:.2}", iperf::fig8c_containers(CcMode::AfxdpUserspace(OptLevel::O5), Offloads::CSUM).gbps);
+    println!(
+        "  kernel none    {:.2}",
+        iperf::fig8c_containers(CcMode::Kernel, Offloads::NONE).gbps
+    );
+    println!(
+        "  kernel full    {:.2}",
+        iperf::fig8c_containers(CcMode::Kernel, Offloads::FULL).gbps
+    );
+    println!(
+        "  xdp redirect   {:.2}",
+        iperf::fig8c_containers(CcMode::XdpRedirect, Offloads::NONE).gbps
+    );
+    println!(
+        "  afxdp none     {:.2}",
+        iperf::fig8c_containers(CcMode::AfxdpUserspace(OptLevel::O4), Offloads::NONE).gbps
+    );
+    println!(
+        "  afxdp csum     {:.2}",
+        iperf::fig8c_containers(CcMode::AfxdpUserspace(OptLevel::O5), Offloads::CSUM).gbps
+    );
 
     println!("== Fig 10 (target k 58/68/94, d 36/38/45, a 39/41/53) ==");
     for cfg in [RrConfig::Kernel, RrConfig::Dpdk, RrConfig::Afxdp] {
         let r = netperf::vm_rr(cfg);
-        println!("  {cfg:?}: {:.0}/{:.0}/{:.0} us  {:.0} tps", r.latency_us.p50, r.latency_us.p90, r.latency_us.p99, r.tps);
+        println!(
+            "  {cfg:?}: {:.0}/{:.0}/{:.0}/{:.0} us  {:.0} tps",
+            r.latency_us.p50, r.latency_us.p90, r.latency_us.p99, r.latency_us.p999, r.tps
+        );
     }
     println!("== Fig 11 (target k 15/16/20, a 15/16/20, d 81/136/241) ==");
     for cfg in [RrConfig::Kernel, RrConfig::Afxdp, RrConfig::Dpdk] {
         let r = netperf::container_rr(cfg);
-        println!("  {cfg:?}: {:.0}/{:.0}/{:.0} us  {:.0} tps", r.latency_us.p50, r.latency_us.p90, r.latency_us.p99, r.tps);
+        println!(
+            "  {cfg:?}: {:.0}/{:.0}/{:.0}/{:.0} us  {:.0} tps",
+            r.latency_us.p50, r.latency_us.p90, r.latency_us.p99, r.latency_us.p999, r.tps
+        );
     }
 }

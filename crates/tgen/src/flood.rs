@@ -21,8 +21,18 @@ pub fn make_flows(n_flows: usize, frame_len: usize, seed: u64) -> Vec<Vec<u8>> {
                 ([10, 0, 0, 1], [10, 0, 0, 2], 1000, 2000)
             } else {
                 (
-                    [10, rng.below(250) as u8 + 1, rng.below(250) as u8, rng.below(250) as u8 + 1],
-                    [10, rng.below(250) as u8 + 1, rng.below(250) as u8, rng.below(250) as u8 + 1],
+                    [
+                        10,
+                        rng.below(250) as u8 + 1,
+                        rng.below(250) as u8,
+                        rng.below(250) as u8 + 1,
+                    ],
+                    [
+                        10,
+                        rng.below(250) as u8 + 1,
+                        rng.below(250) as u8,
+                        rng.below(250) as u8 + 1,
+                    ],
                     1024 + rng.below(50_000) as u16,
                     1024 + rng.below(50_000) as u16,
                 )

@@ -27,9 +27,18 @@ pub struct Offloads {
 }
 
 impl Offloads {
-    pub const NONE: Offloads = Offloads { csum: false, tso: false };
-    pub const CSUM: Offloads = Offloads { csum: true, tso: false };
-    pub const FULL: Offloads = Offloads { csum: true, tso: true };
+    pub const NONE: Offloads = Offloads {
+        csum: false,
+        tso: false,
+    };
+    pub const CSUM: Offloads = Offloads {
+        csum: true,
+        tso: false,
+    };
+    pub const FULL: Offloads = Offloads {
+        csum: true,
+        tso: true,
+    };
 }
 
 /// A Fig 8 throughput result.
@@ -122,8 +131,14 @@ fn throughput(h1: &Host, h2: &Host, payload_bytes: usize, link_gbps: Option<f64>
         f64::INFINITY
     };
     match link_gbps {
-        Some(l) if l < gbps_cpu => TcpThroughput { gbps: l, line_limited: true },
-        _ => TcpThroughput { gbps: gbps_cpu, line_limited: false },
+        Some(l) if l < gbps_cpu => TcpThroughput {
+            gbps: l,
+            line_limited: true,
+        },
+        _ => TcpThroughput {
+            gbps: gbps_cpu,
+            line_limited: false,
+        },
     }
 }
 
@@ -185,7 +200,11 @@ pub fn fig8b_intra_host(
     offloads: Offloads,
 ) -> TcpThroughput {
     let mut h1 = host(1, datapath, attachment);
-    let payload = if offloads.tso { TSO_PAYLOAD } else { MTU_PAYLOAD };
+    let payload = if offloads.tso {
+        TSO_PAYLOAD
+    } else {
+        MTU_PAYLOAD
+    };
     // Sender VM0-if0 -> receiver VM1-if0, both local.
     let data = vec![0x42u8; payload];
     let frames: Vec<Vec<u8>> = (0..WRITES)
@@ -268,8 +287,16 @@ pub fn fig8c_containers(mode: CcMode, offloads: Offloads) -> TcpThroughput {
     let frames: Vec<Vec<u8>> = (0..WRITES)
         .map(|i| {
             builder::tcp_ipv4(
-                mac_a, mac_b, [10, 77, 0, 1], [10, 77, 0, 2],
-                40_000, 5201, (i * payload) as u32, 0, flags::ACK, &data,
+                mac_a,
+                mac_b,
+                [10, 77, 0, 1],
+                [10, 77, 0, 2],
+                40_000,
+                5201,
+                (i * payload) as u32,
+                0,
+                flags::ACK,
+                &data,
             )
         })
         .collect();
@@ -300,10 +327,20 @@ pub fn fig8c_containers(mode: CcMode, offloads: Offloads) -> TcpThroughput {
             let mut to_a = DevMap::new(1);
             to_a.set(0, host_a).unwrap();
             let fd_a = k.maps.add(Map::Dev(to_a));
-            k.attach_xdp(host_a, ovs_ebpf::programs::redirect_all_to_dev(fd_b, 0), XdpMode::Native, None)
-                .unwrap();
-            k.attach_xdp(host_b, ovs_ebpf::programs::redirect_all_to_dev(fd_a, 0), XdpMode::Native, None)
-                .unwrap();
+            k.attach_xdp(
+                host_a,
+                ovs_ebpf::programs::redirect_all_to_dev(fd_b, 0),
+                XdpMode::Native,
+                None,
+            )
+            .unwrap();
+            k.attach_xdp(
+                host_b,
+                ovs_ebpf::programs::redirect_all_to_dev(fd_a, 0),
+                XdpMode::Native,
+                None,
+            )
+            .unwrap();
         }
         CcMode::AfxdpUserspace(opt) => {
             let mut dpn = DpifNetdev::new();
@@ -315,14 +352,22 @@ pub fn fig8c_containers(mode: CcMode, offloads: Offloads) -> TcpThroughput {
             let mut ka = FlowKey::default();
             ka.set_in_port(pa);
             dpn.ofproto.add_rule(OfRule {
-                table: 0, priority: 1, key: ka, mask,
-                actions: vec![OfAction::Output(pb)], cookie: 0,
+                table: 0,
+                priority: 1,
+                key: ka,
+                mask,
+                actions: vec![OfAction::Output(pb)],
+                cookie: 0,
             });
             let mut kb = FlowKey::default();
             kb.set_in_port(pb);
             dpn.ofproto.add_rule(OfRule {
-                table: 0, priority: 1, key: kb, mask,
-                actions: vec![OfAction::Output(pa)], cookie: 0,
+                table: 0,
+                priority: 1,
+                key: kb,
+                mask,
+                actions: vec![OfAction::Output(pa)],
+                cookie: 0,
             });
             dp = Some(dpn);
         }
@@ -382,10 +427,30 @@ mod tests {
         let vhost = fig8a_cross_host(AFXDP_NO_CSUM, VmAttachment::VhostUser);
         let vhost_csum = fig8a_cross_host(AFXDP_POLL, VmAttachment::VhostUser);
         // Paper: 1.9 < 2.2 < 3.0 < 4.4 < 6.5 Gbps.
-        assert!(intr.gbps < kernel.gbps, "interrupt afxdp {} < kernel {}", intr.gbps, kernel.gbps);
-        assert!(kernel.gbps < poll_tap.gbps, "kernel {} < polling {}", kernel.gbps, poll_tap.gbps);
-        assert!(poll_tap.gbps < vhost.gbps, "tap {} < vhostuser {}", poll_tap.gbps, vhost.gbps);
-        assert!(vhost.gbps < vhost_csum.gbps, "no-csum {} < csum {}", vhost.gbps, vhost_csum.gbps);
+        assert!(
+            intr.gbps < kernel.gbps,
+            "interrupt afxdp {} < kernel {}",
+            intr.gbps,
+            kernel.gbps
+        );
+        assert!(
+            kernel.gbps < poll_tap.gbps,
+            "kernel {} < polling {}",
+            kernel.gbps,
+            poll_tap.gbps
+        );
+        assert!(
+            poll_tap.gbps < vhost.gbps,
+            "tap {} < vhostuser {}",
+            poll_tap.gbps,
+            vhost.gbps
+        );
+        assert!(
+            vhost.gbps < vhost_csum.gbps,
+            "no-csum {} < csum {}",
+            vhost.gbps,
+            vhost_csum.gbps
+        );
         assert!(vhost_csum.gbps < 10.0, "under the 10G wire");
     }
 
@@ -398,8 +463,16 @@ mod tests {
         // Paper: vhost 3.8 < csum 8.4 < kernel 12 < vhost+TSO 29.
         assert!(vhost_none.gbps < vhost_csum.gbps);
         assert!(vhost_csum.gbps < vhost_tso.gbps);
-        assert!(kernel.gbps < vhost_tso.gbps, "vhostuser+TSO beats the kernel: {} vs {}", vhost_tso.gbps, kernel.gbps);
-        assert!(kernel.gbps > vhost_none.gbps, "kernel TSO beats offload-less vhost");
+        assert!(
+            kernel.gbps < vhost_tso.gbps,
+            "vhostuser+TSO beats the kernel: {} vs {}",
+            vhost_tso.gbps,
+            kernel.gbps
+        );
+        assert!(
+            kernel.gbps > vhost_none.gbps,
+            "kernel TSO beats offload-less vhost"
+        );
     }
 
     #[test]
@@ -410,8 +483,21 @@ mod tests {
         let afx = fig8c_containers(CcMode::AfxdpUserspace(OptLevel::O5), Offloads::CSUM);
         // Paper: 5.9 (kernel, no offload) ~ 5.7 (xdp) > 5.0 (afxdp+csum);
         // 49 (kernel full offload) dwarfs everything.
-        assert!(kern_on.gbps > 3.0 * kern_off.gbps, "TSO+csum decisive: {} vs {}", kern_on.gbps, kern_off.gbps);
-        assert!(kern_on.gbps > xdp.gbps, "kernel with offloads beats XDP redirect");
-        assert!(xdp.gbps > afx.gbps, "xdp redirect {} > afxdp userspace {}", xdp.gbps, afx.gbps);
+        assert!(
+            kern_on.gbps > 3.0 * kern_off.gbps,
+            "TSO+csum decisive: {} vs {}",
+            kern_on.gbps,
+            kern_off.gbps
+        );
+        assert!(
+            kern_on.gbps > xdp.gbps,
+            "kernel with offloads beats XDP redirect"
+        );
+        assert!(
+            xdp.gbps > afx.gbps,
+            "xdp redirect {} > afxdp userspace {}",
+            xdp.gbps,
+            afx.gbps
+        );
     }
 }

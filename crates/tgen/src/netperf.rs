@@ -31,6 +31,17 @@ pub struct RrResult {
     pub tps: f64,
 }
 
+impl RrResult {
+    /// One-line netperf-style report: P50/P90/P99/P99.9 latency and TPS.
+    pub fn summary(&self) -> String {
+        let l = &self.latency_us;
+        format!(
+            "p50 {:.0} us  p90 {:.0} us  p99 {:.0} us  p99.9 {:.0} us  {:.0} tps",
+            l.p50, l.p90, l.p99, l.p999, self.tps
+        )
+    }
+}
+
 /// Per-transaction client-side overhead outside the switch: netperf's
 /// send/recv syscalls, two process wakeups, and the guest's TCP stack.
 /// **[calibrated]** to Fig 10's DPDK floor (36 µs P50).
@@ -102,9 +113,7 @@ fn container_one_way_ns(cfg: RrConfig, c: &CostModel) -> f64 {
         // DPDK must cross user/kernel twice per direction through the
         // af_packet socket, with copies — the Fig 11 disaster.
         RrConfig::Dpdk => {
-            app + 2.0 * c.dpdk_af_packet_ns
-                + 2.0 * c.context_switch_ns
-                + DPDK_CONTAINER_RR_EXTRA_NS
+            app + 2.0 * c.dpdk_af_packet_ns + 2.0 * c.context_switch_ns + DPDK_CONTAINER_RR_EXTRA_NS
         }
     }
 }
@@ -171,7 +180,10 @@ mod tests {
         let a = vm_rr(RrConfig::Afxdp);
         // Paper: kernel 58/68/94, DPDK 36/38/45, AF_XDP 39/41/53 us.
         assert!(d.latency_us.p50 < a.latency_us.p50, "DPDK fastest");
-        assert!(a.latency_us.p50 < k.latency_us.p50, "AF_XDP barely trails DPDK, kernel slowest");
+        assert!(
+            a.latency_us.p50 < k.latency_us.p50,
+            "AF_XDP barely trails DPDK, kernel slowest"
+        );
         assert!(
             a.latency_us.p50 < d.latency_us.p50 * 1.25,
             "AF_XDP within ~15% of DPDK: {} vs {}",
@@ -191,8 +203,17 @@ mod tests {
         let d = container_rr(RrConfig::Dpdk);
         // Paper: kernel ~= AF_XDP at 15/16/20 us; DPDK at 81/136/241 us.
         let ratio = (k.latency_us.p50 - a.latency_us.p50).abs() / k.latency_us.p50;
-        assert!(ratio < 0.25, "kernel and AF_XDP comparable: {} vs {}", k.latency_us.p50, a.latency_us.p50);
-        assert!(d.latency_us.p50 > 4.0 * k.latency_us.p50, "DPDK much slower: {}", d.latency_us.p50);
+        assert!(
+            ratio < 0.25,
+            "kernel and AF_XDP comparable: {} vs {}",
+            k.latency_us.p50,
+            a.latency_us.p50
+        );
+        assert!(
+            d.latency_us.p50 > 4.0 * k.latency_us.p50,
+            "DPDK much slower: {}",
+            d.latency_us.p50
+        );
         assert!(d.latency_us.p99 > 2.0 * d.latency_us.p50, "DPDK long tail");
     }
 
@@ -201,5 +222,15 @@ mod tests {
         let a = vm_rr(RrConfig::Afxdp);
         let b = vm_rr(RrConfig::Afxdp);
         assert_eq!(a.latency_us.p99, b.latency_us.p99);
+        assert_eq!(a.latency_us.p999, b.latency_us.p999);
+    }
+
+    #[test]
+    fn summary_reports_the_tail() {
+        let r = vm_rr(RrConfig::Kernel);
+        assert!(r.latency_us.p999 >= r.latency_us.p99, "tail is ordered");
+        let s = r.summary();
+        assert!(s.contains("p99.9"), "{s}");
+        assert!(s.contains("tps"), "{s}");
     }
 }

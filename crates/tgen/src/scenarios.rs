@@ -146,8 +146,22 @@ fn run_kernel(cfg: &ScenarioConfig) -> RateMeasurement {
         };
     }
 
-    let nic0 = k.add_device(NetDevice::new("eth0", NIC0_MAC, DeviceKind::Phys { link_gbps: cfg.link_gbps }, hw_queues));
-    let nic1 = k.add_device(NetDevice::new("eth1", NIC1_MAC, DeviceKind::Phys { link_gbps: cfg.link_gbps }, hw_queues));
+    let nic0 = k.add_device(NetDevice::new(
+        "eth0",
+        NIC0_MAC,
+        DeviceKind::Phys {
+            link_gbps: cfg.link_gbps,
+        },
+        hw_queues,
+    ));
+    let nic1 = k.add_device(NetDevice::new(
+        "eth1",
+        NIC1_MAC,
+        DeviceKind::Phys {
+            link_gbps: cfg.link_gbps,
+        },
+        hw_queues,
+    ));
     let p0 = k.ovs.add_vport(Vport::Netdev { ifindex: nic0 });
     let p1 = k.ovs.add_vport(Vport::Netdev { ifindex: nic1 });
     k.dev_mut(nic0).attachment = Attachment::OvsBridge { port: p0 };
@@ -164,7 +178,12 @@ fn run_kernel(cfg: &ScenarioConfig) -> RateMeasurement {
         }
         PathKind::Pvp(_) => {
             // Kernel mode always attaches VMs over tap + vhost-net.
-            let tap = k.add_device(NetDevice::new("tap0", MacAddr::new(2, 0, 0, 0, 1, 1), DeviceKind::Tap, 1));
+            let tap = k.add_device(NetDevice::new(
+                "tap0",
+                MacAddr::new(2, 0, 0, 0, 1, 1),
+                DeviceKind::Tap,
+                1,
+            ));
             let pt = k.ovs.add_vport(Vport::Netdev { ifindex: tap });
             k.dev_mut(tap).attachment = Attachment::OvsBridge { port: pt };
             let g = k.add_guest(Guest::new(
@@ -228,8 +247,22 @@ fn run_userspace(cfg: &ScenarioConfig, io: UserIo) -> RateMeasurement {
     k.config.rss_cores = (0..8).collect();
     k.config.host_stack_core = HOST_CORE;
 
-    let nic0 = k.add_device(NetDevice::new("eth0", NIC0_MAC, DeviceKind::Phys { link_gbps: cfg.link_gbps }, cfg.queues));
-    let nic1 = k.add_device(NetDevice::new("eth1", NIC1_MAC, DeviceKind::Phys { link_gbps: cfg.link_gbps }, cfg.queues));
+    let nic0 = k.add_device(NetDevice::new(
+        "eth0",
+        NIC0_MAC,
+        DeviceKind::Phys {
+            link_gbps: cfg.link_gbps,
+        },
+        cfg.queues,
+    ));
+    let nic1 = k.add_device(NetDevice::new(
+        "eth1",
+        NIC1_MAC,
+        DeviceKind::Phys {
+            link_gbps: cfg.link_gbps,
+        },
+        cfg.queues,
+    ));
 
     let mut dp = DpifNetdev::new();
     let (p0, p1) = match &io {
@@ -261,8 +294,12 @@ fn run_userspace(cfg: &ScenarioConfig, io: UserIo) -> RateMeasurement {
             match attach {
                 VmAttach::VhostUser => {
                     let g = k.add_guest(Guest::new(
-                        "vm0", gmac, [10, 99, 0, 2], GuestRole::PmdForwarder,
-                        VirtioBackend::VhostUser, GUEST_CORE,
+                        "vm0",
+                        gmac,
+                        [10, 99, 0, 2],
+                        GuestRole::PmdForwarder,
+                        VirtioBackend::VhostUser,
+                        GUEST_CORE,
                     ));
                     let pv = dp.add_port("vhost0", PortType::VhostUser(VhostUserDev::new(g)));
                     dp.ofproto.add_rule(port_forward_rule(p0, pv));
@@ -272,8 +309,12 @@ fn run_userspace(cfg: &ScenarioConfig, io: UserIo) -> RateMeasurement {
                 VmAttach::Tap => {
                     let tap = k.add_device(NetDevice::new("tap0", gmac, DeviceKind::Tap, 1));
                     let g = k.add_guest(Guest::new(
-                        "vm0", gmac, [10, 99, 0, 2], GuestRole::PmdForwarder,
-                        VirtioBackend::VhostNet { tap_ifindex: tap }, GUEST_CORE,
+                        "vm0",
+                        gmac,
+                        [10, 99, 0, 2],
+                        GuestRole::PmdForwarder,
+                        VirtioBackend::VhostNet { tap_ifindex: tap },
+                        GUEST_CORE,
                     ));
                     let pv = dp.add_port("tap0", PortType::Tap { ifindex: tap });
                     dp.ofproto.add_rule(port_forward_rule(p0, pv));
@@ -333,15 +374,22 @@ fn run_userspace(cfg: &ScenarioConfig, io: UserIo) -> RateMeasurement {
         let per_queue: Vec<(usize, u64)> = match (&io, dp.port(p0)) {
             (UserIo::Afxdp(_), Some(port)) => {
                 if let PortType::Afxdp(a) = &port.ty {
-                    a.sockets.iter().enumerate().map(|(q, s)| (q, s.stats.rx_packets)).collect()
+                    a.sockets
+                        .iter()
+                        .enumerate()
+                        .map(|(q, s)| (q, s.stats.rx_packets))
+                        .collect()
                 } else {
                     vec![]
                 }
             }
-            _ => (0..queues).map(|q| (q, (cfg.n_pkts / queues) as u64)).collect(),
+            _ => (0..queues)
+                .map(|q| (q, (cfg.n_pkts / queues) as u64))
+                .collect(),
         };
         for (q, n) in per_queue {
-            k.sim.charge(PMD_BASE + q, Context::User, per_pkt * n as f64);
+            k.sim
+                .charge(PMD_BASE + q, Context::User, per_pkt * n as f64);
         }
     }
 
@@ -357,10 +405,29 @@ fn run_afxdp_pcp(cfg: &ScenarioConfig) -> RateMeasurement {
     k.config.rss_cores = vec![0];
     k.config.host_stack_core = HOST_CORE;
 
-    let nic0 = k.add_device(NetDevice::new("eth0", NIC0_MAC, DeviceKind::Phys { link_gbps: cfg.link_gbps }, 1));
-    let nic1 = k.add_device(NetDevice::new("eth1", NIC1_MAC, DeviceKind::Phys { link_gbps: cfg.link_gbps }, 1));
+    let nic0 = k.add_device(NetDevice::new(
+        "eth0",
+        NIC0_MAC,
+        DeviceKind::Phys {
+            link_gbps: cfg.link_gbps,
+        },
+        1,
+    ));
+    let nic1 = k.add_device(NetDevice::new(
+        "eth1",
+        NIC1_MAC,
+        DeviceKind::Phys {
+            link_gbps: cfg.link_gbps,
+        },
+        1,
+    ));
     let cip = [10, 88, 0, 2];
-    let (host_if, _inner, _ns) = k.add_container("c0", cip, MacAddr::new(6, 0, 0, 0, 1, 1), ContainerRole::Echo);
+    let (host_if, _inner, _ns) = k.add_container(
+        "c0",
+        cip,
+        MacAddr::new(6, 0, 0, 0, 1, 1),
+        ContainerRole::Echo,
+    );
     // veth drivers support native XDP (the paper's [67]).
     k.dev_mut(host_if).caps.native_xdp = true;
 
@@ -374,10 +441,20 @@ fn run_afxdp_pcp(cfg: &ScenarioConfig) -> RateMeasurement {
     // Everything non-container still needs an xskmap target; unused here.
     let xsk_fd = k.maps.add(Map::Xsk(ovs_ebpf::maps::XskMap::new(1)));
 
-    k.attach_xdp(nic0, programs::container_redirect(to_veth_fd, 0, cip, xsk_fd), XdpMode::Native, None)
-        .unwrap();
-    k.attach_xdp(host_if, programs::redirect_all_to_dev(to_nic_fd, 0), XdpMode::Native, None)
-        .unwrap();
+    k.attach_xdp(
+        nic0,
+        programs::container_redirect(to_veth_fd, 0, cip, xsk_fd),
+        XdpMode::Native,
+        None,
+    )
+    .unwrap();
+    k.attach_xdp(
+        host_if,
+        programs::redirect_all_to_dev(to_nic_fd, 0),
+        XdpMode::Native,
+        None,
+    )
+    .unwrap();
 
     let flows = make_flows_to(cfg.flows, cfg.frame_len, cip);
     for i in 0..cfg.n_pkts {
@@ -400,7 +477,12 @@ fn make_flows_to(n_flows: usize, frame_len: usize, dst: [u8; 4]) -> Vec<Vec<u8>>
                 ([10, 0, 0, 1], 1000)
             } else {
                 (
-                    [10, rng.below(250) as u8 + 1, rng.below(250) as u8, rng.below(250) as u8 + 1],
+                    [
+                        10,
+                        rng.below(250) as u8 + 1,
+                        rng.below(250) as u8,
+                        rng.below(250) as u8 + 1,
+                    ],
                     1024 + rng.below(50_000) as u16,
                 )
             };
@@ -422,15 +504,33 @@ fn make_flows_to(n_flows: usize, frame_len: usize, dst: [u8; 4]) -> Vec<Vec<u8>>
 /// busy-poll) measurements: the rate dips slightly (the PMD absorbs the
 /// softirq work) but total CPU drops toward DPDK's footprint.
 pub fn run_busy_poll_ablation(flows: usize) -> (RateMeasurement, RateMeasurement) {
-    let baseline = run(&ScenarioConfig::micro(DpKind::Afxdp(OptLevel::O5), PathKind::P2p, flows));
+    let baseline = run(&ScenarioConfig::micro(
+        DpKind::Afxdp(OptLevel::O5),
+        PathKind::P2p,
+        flows,
+    ));
 
     // Re-run with busy polling enabled on every socket.
     let cfg = ScenarioConfig::micro(DpKind::Afxdp(OptLevel::O5), PathKind::P2p, flows);
     let mut k = Kernel::new(CPUS);
     k.config.rss_cores = (0..8).collect();
     k.config.host_stack_core = HOST_CORE;
-    let nic0 = k.add_device(NetDevice::new("eth0", NIC0_MAC, DeviceKind::Phys { link_gbps: cfg.link_gbps }, 1));
-    let nic1 = k.add_device(NetDevice::new("eth1", NIC1_MAC, DeviceKind::Phys { link_gbps: cfg.link_gbps }, 1));
+    let nic0 = k.add_device(NetDevice::new(
+        "eth0",
+        NIC0_MAC,
+        DeviceKind::Phys {
+            link_gbps: cfg.link_gbps,
+        },
+        1,
+    ));
+    let nic1 = k.add_device(NetDevice::new(
+        "eth1",
+        NIC1_MAC,
+        DeviceKind::Phys {
+            link_gbps: cfg.link_gbps,
+        },
+        1,
+    ));
     let mut dp = DpifNetdev::new();
     let mut a0 = AfxdpPort::open(&mut k, nic0, 4096, OptLevel::O5).unwrap();
     let mut a1 = AfxdpPort::open(&mut k, nic1, 4096, OptLevel::O5).unwrap();
@@ -486,8 +586,18 @@ pub fn run_fig2_ebpf() -> RateMeasurement {
     let n_pkts = 8_192;
     let mut k = Kernel::new(CPUS);
     k.config.rss_cores = vec![0];
-    let nic0 = k.add_device(NetDevice::new("eth0", NIC0_MAC, DeviceKind::Phys { link_gbps: 10.0 }, 1));
-    let nic1 = k.add_device(NetDevice::new("eth1", NIC1_MAC, DeviceKind::Phys { link_gbps: 10.0 }, 1));
+    let nic0 = k.add_device(NetDevice::new(
+        "eth0",
+        NIC0_MAC,
+        DeviceKind::Phys { link_gbps: 10.0 },
+        1,
+    ));
+    let nic1 = k.add_device(NetDevice::new(
+        "eth1",
+        NIC1_MAC,
+        DeviceKind::Phys { link_gbps: 10.0 },
+        1,
+    ));
     let flow_fd = k.maps.add(Map::Hash(BpfHashMap::new(16, 8, 1024)));
     let mut dm = DevMap::new(2);
     dm.set(1, nic1).unwrap();
@@ -542,10 +652,16 @@ pub fn run_xdp_task(task: XdpTask) -> RateMeasurement {
     let n_pkts = 8_192;
     let mut k = Kernel::new(4);
     k.config.rss_cores = vec![0];
-    let nic0 = k.add_device(NetDevice::new("eth0", NIC0_MAC, DeviceKind::Phys { link_gbps: 10.0 }, 1));
+    let nic0 = k.add_device(NetDevice::new(
+        "eth0",
+        NIC0_MAC,
+        DeviceKind::Phys { link_gbps: 10.0 },
+        1,
+    ));
     let l2_fd = k.maps.add(Map::Hash(BpfHashMap::new(8, 8, 1024)));
     if let Some(Map::Hash(h)) = k.maps.get_mut(l2_fd) {
-        h.update(&programs::l2_key(NIC0_MAC.0), &1u64.to_le_bytes()).unwrap();
+        h.update(&programs::l2_key(NIC0_MAC.0), &1u64.to_le_bytes())
+            .unwrap();
     }
     let prog = match task {
         XdpTask::Drop => programs::task_a_drop(),
@@ -582,16 +698,38 @@ mod tests {
     #[test]
     fn dpdk_fastest_afxdp_between_kernel_single_flow() {
         let kern = run(&ScenarioConfig::micro(DpKind::Kernel, PathKind::P2p, 1));
-        let afx = run(&ScenarioConfig::micro(DpKind::Afxdp(OptLevel::O5), PathKind::P2p, 1));
+        let afx = run(&ScenarioConfig::micro(
+            DpKind::Afxdp(OptLevel::O5),
+            PathKind::P2p,
+            1,
+        ));
         let dpdk = run(&ScenarioConfig::micro(DpKind::Dpdk, PathKind::P2p, 1));
-        assert!(dpdk.mpps > afx.mpps, "dpdk {} > afxdp {}", dpdk.mpps, afx.mpps);
-        assert!(afx.mpps > kern.mpps, "afxdp {} > kernel {}", afx.mpps, kern.mpps);
+        assert!(
+            dpdk.mpps > afx.mpps,
+            "dpdk {} > afxdp {}",
+            dpdk.mpps,
+            afx.mpps
+        );
+        assert!(
+            afx.mpps > kern.mpps,
+            "afxdp {} > kernel {}",
+            afx.mpps,
+            kern.mpps
+        );
     }
 
     #[test]
     fn thousand_flows_slower_for_userspace_faster_for_kernel() {
-        let a1 = run(&ScenarioConfig::micro(DpKind::Afxdp(OptLevel::O5), PathKind::P2p, 1));
-        let a1000 = run(&ScenarioConfig::micro(DpKind::Afxdp(OptLevel::O5), PathKind::P2p, 1000));
+        let a1 = run(&ScenarioConfig::micro(
+            DpKind::Afxdp(OptLevel::O5),
+            PathKind::P2p,
+            1,
+        ));
+        let a1000 = run(&ScenarioConfig::micro(
+            DpKind::Afxdp(OptLevel::O5),
+            PathKind::P2p,
+            1000,
+        ));
         assert!(a1000.mpps < a1.mpps, "userspace: 1000 flows slower");
         let k1 = run(&ScenarioConfig::micro(DpKind::Kernel, PathKind::P2p, 1));
         let k1000 = run(&ScenarioConfig::micro(DpKind::Kernel, PathKind::P2p, 1000));
@@ -605,7 +743,11 @@ mod tests {
 
     #[test]
     fn pvp_slower_than_p2p() {
-        let p2p = run(&ScenarioConfig::micro(DpKind::Afxdp(OptLevel::O5), PathKind::P2p, 1));
+        let p2p = run(&ScenarioConfig::micro(
+            DpKind::Afxdp(OptLevel::O5),
+            PathKind::P2p,
+            1,
+        ));
         let pvp = run(&ScenarioConfig::micro(
             DpKind::Afxdp(OptLevel::O5),
             PathKind::Pvp(VmAttach::VhostUser),
@@ -627,16 +769,35 @@ mod tests {
             PathKind::Pvp(VmAttach::Tap),
             1,
         ));
-        assert!(vh.mpps > tap.mpps, "vhostuser {} > tap {}", vh.mpps, tap.mpps);
+        assert!(
+            vh.mpps > tap.mpps,
+            "vhostuser {} > tap {}",
+            vh.mpps,
+            tap.mpps
+        );
     }
 
     #[test]
     fn pcp_afxdp_beats_kernel_and_dpdk() {
-        let afx = run(&ScenarioConfig::micro(DpKind::Afxdp(OptLevel::O5), PathKind::Pcp, 1));
+        let afx = run(&ScenarioConfig::micro(
+            DpKind::Afxdp(OptLevel::O5),
+            PathKind::Pcp,
+            1,
+        ));
         let kern = run(&ScenarioConfig::micro(DpKind::Kernel, PathKind::Pcp, 1));
         let dpdk = run(&ScenarioConfig::micro(DpKind::Dpdk, PathKind::Pcp, 1));
-        assert!(afx.mpps > kern.mpps, "afxdp {} > kernel {}", afx.mpps, kern.mpps);
-        assert!(afx.mpps > dpdk.mpps, "afxdp {} > dpdk {}", afx.mpps, dpdk.mpps);
+        assert!(
+            afx.mpps > kern.mpps,
+            "afxdp {} > kernel {}",
+            afx.mpps,
+            kern.mpps
+        );
+        assert!(
+            afx.mpps > dpdk.mpps,
+            "afxdp {} > dpdk {}",
+            afx.mpps,
+            dpdk.mpps
+        );
     }
 
     #[test]
@@ -654,7 +815,12 @@ mod tests {
         let kern = run_fig2_kernel();
         let ebpf = run_fig2_ebpf();
         let dpdk = run_fig2_dpdk();
-        assert!(ebpf.mpps < kern.mpps, "eBPF {} slower than kernel {}", ebpf.mpps, kern.mpps);
+        assert!(
+            ebpf.mpps < kern.mpps,
+            "eBPF {} slower than kernel {}",
+            ebpf.mpps,
+            kern.mpps
+        );
         assert!(
             ebpf.mpps > kern.mpps * 0.7,
             "eBPF only 10-20% slower, not catastrophically: {} vs {}",

@@ -29,8 +29,14 @@ fn buggy_parser(pkt: &DpPacket) {
 /// that's the point.
 fn start_ovs(kernel: &mut Kernel, eth0: u32, eth1: u32) -> DpifNetdev {
     let mut dp = DpifNetdev::new();
-    let p0 = dp.add_port("eth0", PortType::Afxdp(AfxdpPort::open(kernel, eth0, 256, OptLevel::O5).unwrap()));
-    let p1 = dp.add_port("eth1", PortType::Afxdp(AfxdpPort::open(kernel, eth1, 256, OptLevel::O5).unwrap()));
+    let p0 = dp.add_port(
+        "eth0",
+        PortType::Afxdp(AfxdpPort::open(kernel, eth0, 256, OptLevel::O5).unwrap()),
+    );
+    let p1 = dp.add_port(
+        "eth1",
+        PortType::Afxdp(AfxdpPort::open(kernel, eth1, 256, OptLevel::O5).unwrap()),
+    );
     let mut key = FlowKey::default();
     key.set_in_port(p0);
     dp.ofproto.add_rule(OfRule {
@@ -46,39 +52,61 @@ fn start_ovs(kernel: &mut Kernel, eth0: u32, eth1: u32) -> DpifNetdev {
 
 fn main() {
     let mut kernel = Kernel::new(4);
-    let eth0 = kernel.add_device(NetDevice::new("eth0", MacAddr::new(2, 0, 0, 0, 0, 1), DeviceKind::Phys { link_gbps: 10.0 }, 1));
-    let eth1 = kernel.add_device(NetDevice::new("eth1", MacAddr::new(2, 0, 0, 0, 0, 2), DeviceKind::Phys { link_gbps: 10.0 }, 1));
+    let eth0 = kernel.add_device(NetDevice::new(
+        "eth0",
+        MacAddr::new(2, 0, 0, 0, 0, 1),
+        DeviceKind::Phys { link_gbps: 10.0 },
+        1,
+    ));
+    let eth1 = kernel.add_device(NetDevice::new(
+        "eth1",
+        MacAddr::new(2, 0, 0, 0, 0, 2),
+        DeviceKind::Phys { link_gbps: 10.0 },
+        1,
+    ));
     let mut ovs = start_ovs(&mut kernel, eth0, eth1);
     let mut restarts = 0;
 
     let good = builder::udp_ipv4(
         MacAddr::new(2, 0, 0, 0, 9, 9),
         MacAddr::new(2, 0, 0, 0, 0, 1),
-        [10, 0, 0, 1], [10, 0, 0, 2], 1, 2, b"fine",
+        [10, 0, 0, 1],
+        [10, 0, 0, 2],
+        1,
+        2,
+        b"fine",
     );
     let poison = builder::udp_ipv4(
         MacAddr::new(2, 0, 0, 0, 9, 9),
         MacAddr::new(2, 0, 0, 0, 0, 1),
-        [10, 0, 0, 1], [10, 0, 0, 2], 1, 2, b"\xde\xad\xbe\xef",
+        [10, 0, 0, 1],
+        [10, 0, 0, 2],
+        1,
+        2,
+        b"\xde\xad\xbe\xef",
     );
 
     let mut delivered = 0;
     for i in 0..100 {
-        let frame = if i == 50 { poison.clone() } else { good.clone() };
+        let frame = if i == 50 {
+            poison.clone()
+        } else {
+            good.clone()
+        };
         kernel.receive(eth0, 0, frame);
 
         // The health monitor supervises the OVS "process": a panic is
         // caught, a core dump would be written, and OVS restarts.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            
-            ovs
-                .pmd_poll_collect(&mut kernel, 0, 0, 1, &mut buggy_parser)
+            ovs.pmd_poll_collect(&mut kernel, 0, 0, 1, &mut buggy_parser)
         }));
         match result {
             Ok(n) => delivered += n,
             Err(_) => {
                 restarts += 1;
-                eprintln!("[health-monitor] ovs-vswitchd crashed (packet {i}); core dumped; restarting");
+                eprintln!(
+                    "[health-monitor] ovs-vswitchd crashed (packet {i}); core dumped; restarting"
+                );
                 // Detach the old hook and bring OVS back up. Kernel state
                 // (devices, neighbours, guests) is untouched.
                 ovs.del_port(&mut kernel, 0);

@@ -20,7 +20,13 @@ fn main() {
         2,
     ));
     k.add_addr(eth0, [10, 0, 0, 1], 24);
-    tools::ip_neigh_add(&mut k, [10, 0, 0, 2], MacAddr::new(2, 0, 0, 0, 0, 2), "eth0").unwrap();
+    tools::ip_neigh_add(
+        &mut k,
+        [10, 0, 0, 2],
+        MacAddr::new(2, 0, 0, 0, 0, 2),
+        "eth0",
+    )
+    .unwrap();
 
     // Phase 1: the device is kernel-managed with the OVS AF_XDP hook on.
     let fd = k.maps.add(Map::Xsk(XskMap::new(2)));
@@ -42,7 +48,10 @@ fn main() {
     for (cmd, result) in [
         ("ip link show eth0", tools::ip_link(&k, Some("eth0")).err()),
         ("ip addr show eth0", tools::ip_addr(&k, Some("eth0")).err()),
-        ("arping -I eth0", tools::arping(&mut k, "eth0", [10, 0, 0, 2]).err()),
+        (
+            "arping -I eth0",
+            tools::arping(&mut k, "eth0", [10, 0, 0, 2]).err(),
+        ),
         ("tcpdump -i eth0", tools::tcpdump(&mut k, "eth0", 1).err()),
     ] {
         println!("{cmd}: {}", result.expect("must fail"));
@@ -51,7 +60,10 @@ fn main() {
         "ping 10.0.0.2: {}",
         tools::ping(&mut k, [10, 0, 0, 2]).unwrap_err()
     );
-    println!("(the DPDK-native replacement: {})", ovs_dpdk::testpmd::proc_info(&dpdk));
+    println!(
+        "(the DPDK-native replacement: {})",
+        ovs_dpdk::testpmd::proc_info(&dpdk)
+    );
 
     // Phase 3: release it, and everything returns.
     dpdk.close(&mut k);

@@ -32,13 +32,19 @@ fn main() {
         prog.name(),
         prog.len()
     );
-    kernel.attach_xdp(eth0, prog, XdpMode::Native, None).unwrap();
+    kernel
+        .attach_xdp(eth0, prog, XdpMode::Native, None)
+        .unwrap();
 
     let mut balanced = 0;
     let mut passed = 0;
     for i in 0..1000u16 {
         // Every third packet targets the VIP; the rest is other traffic.
-        let (dst, port) = if i % 3 == 0 { (vip, vport) } else { ([10, 0, 0, 50], 443) };
+        let (dst, port) = if i % 3 == 0 {
+            (vip, vport)
+        } else {
+            ([10, 0, 0, 50], 443)
+        };
         let frame = builder::udp_ipv4_frame(
             MacAddr::new(2, 0, 0, 0, 1, 1),
             MacAddr::new(2, 0, 0, 0, 0, 1),

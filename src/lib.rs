@@ -9,6 +9,7 @@ pub use ovs_dpdk as dpdk;
 pub use ovs_ebpf as ebpf;
 pub use ovs_kernel as kernel;
 pub use ovs_nsx as nsx;
+pub use ovs_obs as obs;
 pub use ovs_packet as packet;
 pub use ovs_ring as ring;
 pub use ovs_sim as sim;

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_hierarchy-11b9b97b28bf9922.d: crates/bench/benches/cache_hierarchy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_hierarchy-11b9b97b28bf9922.rmeta: crates/bench/benches/cache_hierarchy.rs Cargo.toml
+
+crates/bench/benches/cache_hierarchy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

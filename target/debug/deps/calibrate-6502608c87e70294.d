@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-6502608c87e70294.d: crates/tgen/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-6502608c87e70294: crates/tgen/src/bin/calibrate.rs
+
+crates/tgen/src/bin/calibrate.rs:

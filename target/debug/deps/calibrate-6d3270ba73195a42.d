@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibrate-6d3270ba73195a42.d: crates/tgen/src/bin/calibrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibrate-6d3270ba73195a42.rmeta: crates/tgen/src/bin/calibrate.rs Cargo.toml
+
+crates/tgen/src/bin/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/calibrate-94d8b05d36f4ffb5.d: crates/tgen/src/bin/calibrate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcalibrate-94d8b05d36f4ffb5.rmeta: crates/tgen/src/bin/calibrate.rs Cargo.toml
+
+crates/tgen/src/bin/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

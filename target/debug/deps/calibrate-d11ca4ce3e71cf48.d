@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-d11ca4ce3e71cf48.d: crates/tgen/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-d11ca4ce3e71cf48: crates/tgen/src/bin/calibrate.rs
+
+crates/tgen/src/bin/calibrate.rs:

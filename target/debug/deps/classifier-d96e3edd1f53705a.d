@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/classifier-d96e3edd1f53705a.d: crates/bench/benches/classifier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libclassifier-d96e3edd1f53705a.rmeta: crates/bench/benches/classifier.rs Cargo.toml
+
+crates/bench/benches/classifier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

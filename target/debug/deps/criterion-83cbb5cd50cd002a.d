@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-83cbb5cd50cd002a.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-83cbb5cd50cd002a: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

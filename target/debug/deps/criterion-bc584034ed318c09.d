@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-bc584034ed318c09.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-bc584034ed318c09.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-bc584034ed318c09.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

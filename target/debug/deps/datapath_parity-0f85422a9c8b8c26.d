@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datapath_parity-0f85422a9c8b8c26.d: tests/datapath_parity.rs
+
+/root/repo/target/debug/deps/datapath_parity-0f85422a9c8b8c26: tests/datapath_parity.rs
+
+tests/datapath_parity.rs:

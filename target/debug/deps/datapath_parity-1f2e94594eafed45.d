@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/datapath_parity-1f2e94594eafed45.d: tests/datapath_parity.rs
+
+/root/repo/target/debug/deps/datapath_parity-1f2e94594eafed45: tests/datapath_parity.rs
+
+tests/datapath_parity.rs:

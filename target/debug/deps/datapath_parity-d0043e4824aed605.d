@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/datapath_parity-d0043e4824aed605.d: tests/datapath_parity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatapath_parity-d0043e4824aed605.rmeta: tests/datapath_parity.rs Cargo.toml
+
+tests/datapath_parity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dp_packet_alloc-ed6656d87b684ad9.d: crates/bench/benches/dp_packet_alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdp_packet_alloc-ed6656d87b684ad9.rmeta: crates/bench/benches/dp_packet_alloc.rs Cargo.toml
+
+crates/bench/benches/dp_packet_alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

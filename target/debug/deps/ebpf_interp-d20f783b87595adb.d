@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ebpf_interp-d20f783b87595adb.d: crates/bench/benches/ebpf_interp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libebpf_interp-d20f783b87595adb.rmeta: crates/bench/benches/ebpf_interp.rs Cargo.toml
+
+crates/bench/benches/ebpf_interp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-18844456dffd58bf.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-18844456dffd58bf: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-1f598c175f015c86.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-1f598c175f015c86: tests/end_to_end.rs
+
+tests/end_to_end.rs:

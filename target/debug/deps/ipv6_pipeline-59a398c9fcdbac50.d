@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ipv6_pipeline-59a398c9fcdbac50.d: crates/core/tests/ipv6_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libipv6_pipeline-59a398c9fcdbac50.rmeta: crates/core/tests/ipv6_pipeline.rs Cargo.toml
+
+crates/core/tests/ipv6_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipv6_pipeline-75a8f3f4eaf7d36d.d: crates/core/tests/ipv6_pipeline.rs
+
+/root/repo/target/debug/deps/ipv6_pipeline-75a8f3f4eaf7d36d: crates/core/tests/ipv6_pipeline.rs
+
+crates/core/tests/ipv6_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ipv6_pipeline-85f66478be5bb3b3.d: crates/core/tests/ipv6_pipeline.rs
+
+/root/repo/target/debug/deps/ipv6_pipeline-85f66478be5bb3b3: crates/core/tests/ipv6_pipeline.rs
+
+crates/core/tests/ipv6_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mirror_and_revalidation-126834f80cc9b159.d: crates/core/tests/mirror_and_revalidation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmirror_and_revalidation-126834f80cc9b159.rmeta: crates/core/tests/mirror_and_revalidation.rs Cargo.toml
+
+crates/core/tests/mirror_and_revalidation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mirror_and_revalidation-5cd9f80ee6299c0e.d: crates/core/tests/mirror_and_revalidation.rs
+
+/root/repo/target/debug/deps/mirror_and_revalidation-5cd9f80ee6299c0e: crates/core/tests/mirror_and_revalidation.rs
+
+crates/core/tests/mirror_and_revalidation.rs:

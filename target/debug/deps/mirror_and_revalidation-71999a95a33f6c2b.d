@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mirror_and_revalidation-71999a95a33f6c2b.d: crates/core/tests/mirror_and_revalidation.rs
+
+/root/repo/target/debug/deps/mirror_and_revalidation-71999a95a33f6c2b: crates/core/tests/mirror_and_revalidation.rs
+
+crates/core/tests/mirror_and_revalidation.rs:

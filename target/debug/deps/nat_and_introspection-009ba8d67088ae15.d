@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nat_and_introspection-009ba8d67088ae15.d: crates/core/tests/nat_and_introspection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnat_and_introspection-009ba8d67088ae15.rmeta: crates/core/tests/nat_and_introspection.rs Cargo.toml
+
+crates/core/tests/nat_and_introspection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

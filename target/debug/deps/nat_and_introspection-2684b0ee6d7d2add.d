@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nat_and_introspection-2684b0ee6d7d2add.d: crates/core/tests/nat_and_introspection.rs
+
+/root/repo/target/debug/deps/nat_and_introspection-2684b0ee6d7d2add: crates/core/tests/nat_and_introspection.rs
+
+crates/core/tests/nat_and_introspection.rs:

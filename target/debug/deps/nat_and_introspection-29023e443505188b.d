@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nat_and_introspection-29023e443505188b.d: crates/core/tests/nat_and_introspection.rs
+
+/root/repo/target/debug/deps/nat_and_introspection-29023e443505188b: crates/core/tests/nat_and_introspection.rs
+
+crates/core/tests/nat_and_introspection.rs:

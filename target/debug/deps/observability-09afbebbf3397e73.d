@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-09afbebbf3397e73.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-09afbebbf3397e73: tests/observability.rs
+
+tests/observability.rs:

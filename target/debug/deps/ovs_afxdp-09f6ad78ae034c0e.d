@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ovs_afxdp-09f6ad78ae034c0e.d: crates/afxdp/src/lib.rs crates/afxdp/src/port.rs crates/afxdp/src/socket.rs
+
+/root/repo/target/debug/deps/ovs_afxdp-09f6ad78ae034c0e: crates/afxdp/src/lib.rs crates/afxdp/src/port.rs crates/afxdp/src/socket.rs
+
+crates/afxdp/src/lib.rs:
+crates/afxdp/src/port.rs:
+crates/afxdp/src/socket.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ovs_afxdp-48b84d0cd54b900f.d: crates/afxdp/src/lib.rs crates/afxdp/src/port.rs crates/afxdp/src/socket.rs
+
+/root/repo/target/debug/deps/libovs_afxdp-48b84d0cd54b900f.rlib: crates/afxdp/src/lib.rs crates/afxdp/src/port.rs crates/afxdp/src/socket.rs
+
+/root/repo/target/debug/deps/libovs_afxdp-48b84d0cd54b900f.rmeta: crates/afxdp/src/lib.rs crates/afxdp/src/port.rs crates/afxdp/src/socket.rs
+
+crates/afxdp/src/lib.rs:
+crates/afxdp/src/port.rs:
+crates/afxdp/src/socket.rs:

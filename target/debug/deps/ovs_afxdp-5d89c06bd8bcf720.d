@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ovs_afxdp-5d89c06bd8bcf720.d: crates/afxdp/src/lib.rs crates/afxdp/src/port.rs crates/afxdp/src/socket.rs Cargo.toml
+
+/root/repo/target/debug/deps/libovs_afxdp-5d89c06bd8bcf720.rmeta: crates/afxdp/src/lib.rs crates/afxdp/src/port.rs crates/afxdp/src/socket.rs Cargo.toml
+
+crates/afxdp/src/lib.rs:
+crates/afxdp/src/port.rs:
+crates/afxdp/src/socket.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ovs_afxdp-e56fec6a33b30519.d: crates/afxdp/src/lib.rs crates/afxdp/src/port.rs crates/afxdp/src/socket.rs
+
+/root/repo/target/debug/deps/ovs_afxdp-e56fec6a33b30519: crates/afxdp/src/lib.rs crates/afxdp/src/port.rs crates/afxdp/src/socket.rs
+
+crates/afxdp/src/lib.rs:
+crates/afxdp/src/port.rs:
+crates/afxdp/src/socket.rs:

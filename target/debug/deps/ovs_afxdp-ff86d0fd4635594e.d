@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ovs_afxdp-ff86d0fd4635594e.d: crates/afxdp/src/lib.rs crates/afxdp/src/port.rs crates/afxdp/src/socket.rs
+
+/root/repo/target/debug/deps/libovs_afxdp-ff86d0fd4635594e.rlib: crates/afxdp/src/lib.rs crates/afxdp/src/port.rs crates/afxdp/src/socket.rs
+
+/root/repo/target/debug/deps/libovs_afxdp-ff86d0fd4635594e.rmeta: crates/afxdp/src/lib.rs crates/afxdp/src/port.rs crates/afxdp/src/socket.rs
+
+crates/afxdp/src/lib.rs:
+crates/afxdp/src/port.rs:
+crates/afxdp/src/socket.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ovs_afxdp_repro-1a0944539f197319.d: src/lib.rs
+
+/root/repo/target/debug/deps/ovs_afxdp_repro-1a0944539f197319: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ovs_afxdp_repro-2b6badc01e11a342.d: src/lib.rs
+
+/root/repo/target/debug/deps/ovs_afxdp_repro-2b6badc01e11a342: src/lib.rs
+
+src/lib.rs:

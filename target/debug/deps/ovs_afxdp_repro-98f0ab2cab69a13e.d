@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ovs_afxdp_repro-98f0ab2cab69a13e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libovs_afxdp_repro-98f0ab2cab69a13e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ovs_afxdp_repro-caef5fff5fbed593.d: src/lib.rs
+
+/root/repo/target/debug/deps/libovs_afxdp_repro-caef5fff5fbed593.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libovs_afxdp_repro-caef5fff5fbed593.rmeta: src/lib.rs
+
+src/lib.rs:

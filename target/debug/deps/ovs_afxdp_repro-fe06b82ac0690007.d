@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ovs_afxdp_repro-fe06b82ac0690007.d: src/lib.rs
+
+/root/repo/target/debug/deps/libovs_afxdp_repro-fe06b82ac0690007.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libovs_afxdp_repro-fe06b82ac0690007.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ovs_bench-1391ce5c25fa2566.d: crates/bench/src/lib.rs crates/bench/src/fig1.rs
+
+/root/repo/target/debug/deps/ovs_bench-1391ce5c25fa2566: crates/bench/src/lib.rs crates/bench/src/fig1.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/fig1.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ovs_bench-703608ce38ff8e02.d: crates/bench/src/lib.rs crates/bench/src/fig1.rs
+
+/root/repo/target/debug/deps/libovs_bench-703608ce38ff8e02.rlib: crates/bench/src/lib.rs crates/bench/src/fig1.rs
+
+/root/repo/target/debug/deps/libovs_bench-703608ce38ff8e02.rmeta: crates/bench/src/lib.rs crates/bench/src/fig1.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/fig1.rs:

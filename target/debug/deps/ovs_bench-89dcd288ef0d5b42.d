@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ovs_bench-89dcd288ef0d5b42.d: crates/bench/src/lib.rs crates/bench/src/fig1.rs
+
+/root/repo/target/debug/deps/ovs_bench-89dcd288ef0d5b42: crates/bench/src/lib.rs crates/bench/src/fig1.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/fig1.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ovs_bench-d3ef603f869e70d0.d: crates/bench/src/lib.rs crates/bench/src/fig1.rs
+
+/root/repo/target/debug/deps/libovs_bench-d3ef603f869e70d0.rlib: crates/bench/src/lib.rs crates/bench/src/fig1.rs
+
+/root/repo/target/debug/deps/libovs_bench-d3ef603f869e70d0.rmeta: crates/bench/src/lib.rs crates/bench/src/fig1.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/fig1.rs:

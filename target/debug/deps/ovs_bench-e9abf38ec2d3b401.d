@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ovs_bench-e9abf38ec2d3b401.d: crates/bench/src/lib.rs crates/bench/src/fig1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libovs_bench-e9abf38ec2d3b401.rmeta: crates/bench/src/lib.rs crates/bench/src/fig1.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/fig1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

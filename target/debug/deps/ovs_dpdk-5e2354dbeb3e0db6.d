@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ovs_dpdk-5e2354dbeb3e0db6.d: crates/dpdk/src/lib.rs crates/dpdk/src/af_packet.rs crates/dpdk/src/ethdev.rs crates/dpdk/src/mbuf.rs crates/dpdk/src/testpmd.rs crates/dpdk/src/vhost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libovs_dpdk-5e2354dbeb3e0db6.rmeta: crates/dpdk/src/lib.rs crates/dpdk/src/af_packet.rs crates/dpdk/src/ethdev.rs crates/dpdk/src/mbuf.rs crates/dpdk/src/testpmd.rs crates/dpdk/src/vhost.rs Cargo.toml
+
+crates/dpdk/src/lib.rs:
+crates/dpdk/src/af_packet.rs:
+crates/dpdk/src/ethdev.rs:
+crates/dpdk/src/mbuf.rs:
+crates/dpdk/src/testpmd.rs:
+crates/dpdk/src/vhost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ovs_dpdk-6f31b474f277917f.d: crates/dpdk/src/lib.rs crates/dpdk/src/af_packet.rs crates/dpdk/src/ethdev.rs crates/dpdk/src/mbuf.rs crates/dpdk/src/testpmd.rs crates/dpdk/src/vhost.rs
+
+/root/repo/target/debug/deps/ovs_dpdk-6f31b474f277917f: crates/dpdk/src/lib.rs crates/dpdk/src/af_packet.rs crates/dpdk/src/ethdev.rs crates/dpdk/src/mbuf.rs crates/dpdk/src/testpmd.rs crates/dpdk/src/vhost.rs
+
+crates/dpdk/src/lib.rs:
+crates/dpdk/src/af_packet.rs:
+crates/dpdk/src/ethdev.rs:
+crates/dpdk/src/mbuf.rs:
+crates/dpdk/src/testpmd.rs:
+crates/dpdk/src/vhost.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ovs_dpdk-c37fcaac4b4a1cde.d: crates/dpdk/src/lib.rs crates/dpdk/src/af_packet.rs crates/dpdk/src/ethdev.rs crates/dpdk/src/mbuf.rs crates/dpdk/src/testpmd.rs crates/dpdk/src/vhost.rs
+
+/root/repo/target/debug/deps/libovs_dpdk-c37fcaac4b4a1cde.rlib: crates/dpdk/src/lib.rs crates/dpdk/src/af_packet.rs crates/dpdk/src/ethdev.rs crates/dpdk/src/mbuf.rs crates/dpdk/src/testpmd.rs crates/dpdk/src/vhost.rs
+
+/root/repo/target/debug/deps/libovs_dpdk-c37fcaac4b4a1cde.rmeta: crates/dpdk/src/lib.rs crates/dpdk/src/af_packet.rs crates/dpdk/src/ethdev.rs crates/dpdk/src/mbuf.rs crates/dpdk/src/testpmd.rs crates/dpdk/src/vhost.rs
+
+crates/dpdk/src/lib.rs:
+crates/dpdk/src/af_packet.rs:
+crates/dpdk/src/ethdev.rs:
+crates/dpdk/src/mbuf.rs:
+crates/dpdk/src/testpmd.rs:
+crates/dpdk/src/vhost.rs:

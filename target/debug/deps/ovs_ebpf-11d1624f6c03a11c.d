@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ovs_ebpf-11d1624f6c03a11c.d: crates/ebpf/src/lib.rs crates/ebpf/src/insn.rs crates/ebpf/src/maps.rs crates/ebpf/src/programs.rs crates/ebpf/src/verifier.rs crates/ebpf/src/vm.rs crates/ebpf/src/xdp.rs
+
+/root/repo/target/debug/deps/libovs_ebpf-11d1624f6c03a11c.rlib: crates/ebpf/src/lib.rs crates/ebpf/src/insn.rs crates/ebpf/src/maps.rs crates/ebpf/src/programs.rs crates/ebpf/src/verifier.rs crates/ebpf/src/vm.rs crates/ebpf/src/xdp.rs
+
+/root/repo/target/debug/deps/libovs_ebpf-11d1624f6c03a11c.rmeta: crates/ebpf/src/lib.rs crates/ebpf/src/insn.rs crates/ebpf/src/maps.rs crates/ebpf/src/programs.rs crates/ebpf/src/verifier.rs crates/ebpf/src/vm.rs crates/ebpf/src/xdp.rs
+
+crates/ebpf/src/lib.rs:
+crates/ebpf/src/insn.rs:
+crates/ebpf/src/maps.rs:
+crates/ebpf/src/programs.rs:
+crates/ebpf/src/verifier.rs:
+crates/ebpf/src/vm.rs:
+crates/ebpf/src/xdp.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ovs_ebpf-2e644a8c471e3c59.d: crates/ebpf/src/lib.rs crates/ebpf/src/insn.rs crates/ebpf/src/maps.rs crates/ebpf/src/programs.rs crates/ebpf/src/verifier.rs crates/ebpf/src/vm.rs crates/ebpf/src/xdp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libovs_ebpf-2e644a8c471e3c59.rmeta: crates/ebpf/src/lib.rs crates/ebpf/src/insn.rs crates/ebpf/src/maps.rs crates/ebpf/src/programs.rs crates/ebpf/src/verifier.rs crates/ebpf/src/vm.rs crates/ebpf/src/xdp.rs Cargo.toml
+
+crates/ebpf/src/lib.rs:
+crates/ebpf/src/insn.rs:
+crates/ebpf/src/maps.rs:
+crates/ebpf/src/programs.rs:
+crates/ebpf/src/verifier.rs:
+crates/ebpf/src/vm.rs:
+crates/ebpf/src/xdp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ovs_ebpf-45bfff03f17f52a1.d: crates/ebpf/src/lib.rs crates/ebpf/src/insn.rs crates/ebpf/src/maps.rs crates/ebpf/src/programs.rs crates/ebpf/src/verifier.rs crates/ebpf/src/vm.rs crates/ebpf/src/xdp.rs
+
+/root/repo/target/debug/deps/libovs_ebpf-45bfff03f17f52a1.rlib: crates/ebpf/src/lib.rs crates/ebpf/src/insn.rs crates/ebpf/src/maps.rs crates/ebpf/src/programs.rs crates/ebpf/src/verifier.rs crates/ebpf/src/vm.rs crates/ebpf/src/xdp.rs
+
+/root/repo/target/debug/deps/libovs_ebpf-45bfff03f17f52a1.rmeta: crates/ebpf/src/lib.rs crates/ebpf/src/insn.rs crates/ebpf/src/maps.rs crates/ebpf/src/programs.rs crates/ebpf/src/verifier.rs crates/ebpf/src/vm.rs crates/ebpf/src/xdp.rs
+
+crates/ebpf/src/lib.rs:
+crates/ebpf/src/insn.rs:
+crates/ebpf/src/maps.rs:
+crates/ebpf/src/programs.rs:
+crates/ebpf/src/verifier.rs:
+crates/ebpf/src/vm.rs:
+crates/ebpf/src/xdp.rs:

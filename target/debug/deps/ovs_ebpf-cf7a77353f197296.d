@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ovs_ebpf-cf7a77353f197296.d: crates/ebpf/src/lib.rs crates/ebpf/src/insn.rs crates/ebpf/src/maps.rs crates/ebpf/src/programs.rs crates/ebpf/src/verifier.rs crates/ebpf/src/vm.rs crates/ebpf/src/xdp.rs
+
+/root/repo/target/debug/deps/ovs_ebpf-cf7a77353f197296: crates/ebpf/src/lib.rs crates/ebpf/src/insn.rs crates/ebpf/src/maps.rs crates/ebpf/src/programs.rs crates/ebpf/src/verifier.rs crates/ebpf/src/vm.rs crates/ebpf/src/xdp.rs
+
+crates/ebpf/src/lib.rs:
+crates/ebpf/src/insn.rs:
+crates/ebpf/src/maps.rs:
+crates/ebpf/src/programs.rs:
+crates/ebpf/src/verifier.rs:
+crates/ebpf/src/vm.rs:
+crates/ebpf/src/xdp.rs:

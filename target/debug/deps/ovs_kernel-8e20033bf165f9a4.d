@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/ovs_kernel-8e20033bf165f9a4.d: crates/kernel/src/lib.rs crates/kernel/src/conntrack.rs crates/kernel/src/dev.rs crates/kernel/src/guest.rs crates/kernel/src/kernel.rs crates/kernel/src/namespace.rs crates/kernel/src/neigh.rs crates/kernel/src/ovs_module.rs crates/kernel/src/route.rs crates/kernel/src/rtnetlink.rs crates/kernel/src/tools.rs crates/kernel/src/xsk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libovs_kernel-8e20033bf165f9a4.rmeta: crates/kernel/src/lib.rs crates/kernel/src/conntrack.rs crates/kernel/src/dev.rs crates/kernel/src/guest.rs crates/kernel/src/kernel.rs crates/kernel/src/namespace.rs crates/kernel/src/neigh.rs crates/kernel/src/ovs_module.rs crates/kernel/src/route.rs crates/kernel/src/rtnetlink.rs crates/kernel/src/tools.rs crates/kernel/src/xsk.rs Cargo.toml
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/conntrack.rs:
+crates/kernel/src/dev.rs:
+crates/kernel/src/guest.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/namespace.rs:
+crates/kernel/src/neigh.rs:
+crates/kernel/src/ovs_module.rs:
+crates/kernel/src/route.rs:
+crates/kernel/src/rtnetlink.rs:
+crates/kernel/src/tools.rs:
+crates/kernel/src/xsk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

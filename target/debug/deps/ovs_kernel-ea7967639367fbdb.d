@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ovs_kernel-ea7967639367fbdb.d: crates/kernel/src/lib.rs crates/kernel/src/conntrack.rs crates/kernel/src/dev.rs crates/kernel/src/guest.rs crates/kernel/src/kernel.rs crates/kernel/src/namespace.rs crates/kernel/src/neigh.rs crates/kernel/src/ovs_module.rs crates/kernel/src/route.rs crates/kernel/src/rtnetlink.rs crates/kernel/src/tools.rs crates/kernel/src/xsk.rs
+
+/root/repo/target/debug/deps/ovs_kernel-ea7967639367fbdb: crates/kernel/src/lib.rs crates/kernel/src/conntrack.rs crates/kernel/src/dev.rs crates/kernel/src/guest.rs crates/kernel/src/kernel.rs crates/kernel/src/namespace.rs crates/kernel/src/neigh.rs crates/kernel/src/ovs_module.rs crates/kernel/src/route.rs crates/kernel/src/rtnetlink.rs crates/kernel/src/tools.rs crates/kernel/src/xsk.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/conntrack.rs:
+crates/kernel/src/dev.rs:
+crates/kernel/src/guest.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/namespace.rs:
+crates/kernel/src/neigh.rs:
+crates/kernel/src/ovs_module.rs:
+crates/kernel/src/route.rs:
+crates/kernel/src/rtnetlink.rs:
+crates/kernel/src/tools.rs:
+crates/kernel/src/xsk.rs:

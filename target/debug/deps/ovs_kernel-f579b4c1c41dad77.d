@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ovs_kernel-f579b4c1c41dad77.d: crates/kernel/src/lib.rs crates/kernel/src/conntrack.rs crates/kernel/src/dev.rs crates/kernel/src/guest.rs crates/kernel/src/kernel.rs crates/kernel/src/namespace.rs crates/kernel/src/neigh.rs crates/kernel/src/ovs_module.rs crates/kernel/src/route.rs crates/kernel/src/rtnetlink.rs crates/kernel/src/tools.rs crates/kernel/src/xsk.rs
+
+/root/repo/target/debug/deps/libovs_kernel-f579b4c1c41dad77.rlib: crates/kernel/src/lib.rs crates/kernel/src/conntrack.rs crates/kernel/src/dev.rs crates/kernel/src/guest.rs crates/kernel/src/kernel.rs crates/kernel/src/namespace.rs crates/kernel/src/neigh.rs crates/kernel/src/ovs_module.rs crates/kernel/src/route.rs crates/kernel/src/rtnetlink.rs crates/kernel/src/tools.rs crates/kernel/src/xsk.rs
+
+/root/repo/target/debug/deps/libovs_kernel-f579b4c1c41dad77.rmeta: crates/kernel/src/lib.rs crates/kernel/src/conntrack.rs crates/kernel/src/dev.rs crates/kernel/src/guest.rs crates/kernel/src/kernel.rs crates/kernel/src/namespace.rs crates/kernel/src/neigh.rs crates/kernel/src/ovs_module.rs crates/kernel/src/route.rs crates/kernel/src/rtnetlink.rs crates/kernel/src/tools.rs crates/kernel/src/xsk.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/conntrack.rs:
+crates/kernel/src/dev.rs:
+crates/kernel/src/guest.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/namespace.rs:
+crates/kernel/src/neigh.rs:
+crates/kernel/src/ovs_module.rs:
+crates/kernel/src/route.rs:
+crates/kernel/src/rtnetlink.rs:
+crates/kernel/src/tools.rs:
+crates/kernel/src/xsk.rs:

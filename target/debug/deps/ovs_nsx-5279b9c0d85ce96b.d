@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ovs_nsx-5279b9c0d85ce96b.d: crates/nsx/src/lib.rs crates/nsx/src/ruleset.rs crates/nsx/src/topology.rs
+
+/root/repo/target/debug/deps/libovs_nsx-5279b9c0d85ce96b.rlib: crates/nsx/src/lib.rs crates/nsx/src/ruleset.rs crates/nsx/src/topology.rs
+
+/root/repo/target/debug/deps/libovs_nsx-5279b9c0d85ce96b.rmeta: crates/nsx/src/lib.rs crates/nsx/src/ruleset.rs crates/nsx/src/topology.rs
+
+crates/nsx/src/lib.rs:
+crates/nsx/src/ruleset.rs:
+crates/nsx/src/topology.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ovs_nsx-547aad77150cb62a.d: crates/nsx/src/lib.rs crates/nsx/src/ruleset.rs crates/nsx/src/topology.rs
+
+/root/repo/target/debug/deps/ovs_nsx-547aad77150cb62a: crates/nsx/src/lib.rs crates/nsx/src/ruleset.rs crates/nsx/src/topology.rs
+
+crates/nsx/src/lib.rs:
+crates/nsx/src/ruleset.rs:
+crates/nsx/src/topology.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ovs_nsx-5cb30822dd80fc75.d: crates/nsx/src/lib.rs crates/nsx/src/ruleset.rs crates/nsx/src/topology.rs
+
+/root/repo/target/debug/deps/ovs_nsx-5cb30822dd80fc75: crates/nsx/src/lib.rs crates/nsx/src/ruleset.rs crates/nsx/src/topology.rs
+
+crates/nsx/src/lib.rs:
+crates/nsx/src/ruleset.rs:
+crates/nsx/src/topology.rs:

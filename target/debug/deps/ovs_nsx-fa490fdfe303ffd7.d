@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ovs_nsx-fa490fdfe303ffd7.d: crates/nsx/src/lib.rs crates/nsx/src/ruleset.rs crates/nsx/src/topology.rs
+
+/root/repo/target/debug/deps/libovs_nsx-fa490fdfe303ffd7.rlib: crates/nsx/src/lib.rs crates/nsx/src/ruleset.rs crates/nsx/src/topology.rs
+
+/root/repo/target/debug/deps/libovs_nsx-fa490fdfe303ffd7.rmeta: crates/nsx/src/lib.rs crates/nsx/src/ruleset.rs crates/nsx/src/topology.rs
+
+crates/nsx/src/lib.rs:
+crates/nsx/src/ruleset.rs:
+crates/nsx/src/topology.rs:

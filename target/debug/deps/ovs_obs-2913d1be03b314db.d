@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ovs_obs-2913d1be03b314db.d: crates/obs/src/lib.rs crates/obs/src/coverage.rs crates/obs/src/hist.rs crates/obs/src/perf.rs crates/obs/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libovs_obs-2913d1be03b314db.rmeta: crates/obs/src/lib.rs crates/obs/src/coverage.rs crates/obs/src/hist.rs crates/obs/src/perf.rs crates/obs/src/trace.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/coverage.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/perf.rs:
+crates/obs/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ovs_obs-32a734b9f937e06d.d: crates/obs/src/lib.rs crates/obs/src/coverage.rs crates/obs/src/hist.rs crates/obs/src/perf.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libovs_obs-32a734b9f937e06d.rlib: crates/obs/src/lib.rs crates/obs/src/coverage.rs crates/obs/src/hist.rs crates/obs/src/perf.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/libovs_obs-32a734b9f937e06d.rmeta: crates/obs/src/lib.rs crates/obs/src/coverage.rs crates/obs/src/hist.rs crates/obs/src/perf.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/coverage.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/perf.rs:
+crates/obs/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ovs_obs-656f34f2931e002d.d: crates/obs/src/lib.rs crates/obs/src/coverage.rs crates/obs/src/hist.rs crates/obs/src/perf.rs crates/obs/src/trace.rs
+
+/root/repo/target/debug/deps/ovs_obs-656f34f2931e002d: crates/obs/src/lib.rs crates/obs/src/coverage.rs crates/obs/src/hist.rs crates/obs/src/perf.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/coverage.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/perf.rs:
+crates/obs/src/trace.rs:

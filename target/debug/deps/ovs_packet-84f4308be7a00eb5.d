@@ -1,0 +1,25 @@
+/root/repo/target/debug/deps/ovs_packet-84f4308be7a00eb5.d: crates/packet/src/lib.rs crates/packet/src/arp.rs crates/packet/src/builder.rs crates/packet/src/checksum.rs crates/packet/src/dp_packet.rs crates/packet/src/ethernet.rs crates/packet/src/flow.rs crates/packet/src/geneve.rs crates/packet/src/gre.rs crates/packet/src/icmp.rs crates/packet/src/ipv4.rs crates/packet/src/ipv6.rs crates/packet/src/mac.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/vlan.rs crates/packet/src/vxlan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libovs_packet-84f4308be7a00eb5.rmeta: crates/packet/src/lib.rs crates/packet/src/arp.rs crates/packet/src/builder.rs crates/packet/src/checksum.rs crates/packet/src/dp_packet.rs crates/packet/src/ethernet.rs crates/packet/src/flow.rs crates/packet/src/geneve.rs crates/packet/src/gre.rs crates/packet/src/icmp.rs crates/packet/src/ipv4.rs crates/packet/src/ipv6.rs crates/packet/src/mac.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/vlan.rs crates/packet/src/vxlan.rs Cargo.toml
+
+crates/packet/src/lib.rs:
+crates/packet/src/arp.rs:
+crates/packet/src/builder.rs:
+crates/packet/src/checksum.rs:
+crates/packet/src/dp_packet.rs:
+crates/packet/src/ethernet.rs:
+crates/packet/src/flow.rs:
+crates/packet/src/geneve.rs:
+crates/packet/src/gre.rs:
+crates/packet/src/icmp.rs:
+crates/packet/src/ipv4.rs:
+crates/packet/src/ipv6.rs:
+crates/packet/src/mac.rs:
+crates/packet/src/tcp.rs:
+crates/packet/src/udp.rs:
+crates/packet/src/vlan.rs:
+crates/packet/src/vxlan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ovs_packet-aa9cc9c5e65f2316.d: crates/packet/src/lib.rs crates/packet/src/arp.rs crates/packet/src/builder.rs crates/packet/src/checksum.rs crates/packet/src/dp_packet.rs crates/packet/src/ethernet.rs crates/packet/src/flow.rs crates/packet/src/geneve.rs crates/packet/src/gre.rs crates/packet/src/icmp.rs crates/packet/src/ipv4.rs crates/packet/src/ipv6.rs crates/packet/src/mac.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/vlan.rs crates/packet/src/vxlan.rs
+
+/root/repo/target/debug/deps/ovs_packet-aa9cc9c5e65f2316: crates/packet/src/lib.rs crates/packet/src/arp.rs crates/packet/src/builder.rs crates/packet/src/checksum.rs crates/packet/src/dp_packet.rs crates/packet/src/ethernet.rs crates/packet/src/flow.rs crates/packet/src/geneve.rs crates/packet/src/gre.rs crates/packet/src/icmp.rs crates/packet/src/ipv4.rs crates/packet/src/ipv6.rs crates/packet/src/mac.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/vlan.rs crates/packet/src/vxlan.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/arp.rs:
+crates/packet/src/builder.rs:
+crates/packet/src/checksum.rs:
+crates/packet/src/dp_packet.rs:
+crates/packet/src/ethernet.rs:
+crates/packet/src/flow.rs:
+crates/packet/src/geneve.rs:
+crates/packet/src/gre.rs:
+crates/packet/src/icmp.rs:
+crates/packet/src/ipv4.rs:
+crates/packet/src/ipv6.rs:
+crates/packet/src/mac.rs:
+crates/packet/src/tcp.rs:
+crates/packet/src/udp.rs:
+crates/packet/src/vlan.rs:
+crates/packet/src/vxlan.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ovs_ring-1083bafa013111d2.d: crates/ring/src/lib.rs crates/ring/src/batch.rs crates/ring/src/metapool.rs crates/ring/src/spinlock.rs crates/ring/src/spsc.rs crates/ring/src/umem.rs Cargo.toml
+
+/root/repo/target/debug/deps/libovs_ring-1083bafa013111d2.rmeta: crates/ring/src/lib.rs crates/ring/src/batch.rs crates/ring/src/metapool.rs crates/ring/src/spinlock.rs crates/ring/src/spsc.rs crates/ring/src/umem.rs Cargo.toml
+
+crates/ring/src/lib.rs:
+crates/ring/src/batch.rs:
+crates/ring/src/metapool.rs:
+crates/ring/src/spinlock.rs:
+crates/ring/src/spsc.rs:
+crates/ring/src/umem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

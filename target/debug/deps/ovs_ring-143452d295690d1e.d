@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ovs_ring-143452d295690d1e.d: crates/ring/src/lib.rs crates/ring/src/batch.rs crates/ring/src/metapool.rs crates/ring/src/spinlock.rs crates/ring/src/spsc.rs crates/ring/src/umem.rs
+
+/root/repo/target/debug/deps/libovs_ring-143452d295690d1e.rlib: crates/ring/src/lib.rs crates/ring/src/batch.rs crates/ring/src/metapool.rs crates/ring/src/spinlock.rs crates/ring/src/spsc.rs crates/ring/src/umem.rs
+
+/root/repo/target/debug/deps/libovs_ring-143452d295690d1e.rmeta: crates/ring/src/lib.rs crates/ring/src/batch.rs crates/ring/src/metapool.rs crates/ring/src/spinlock.rs crates/ring/src/spsc.rs crates/ring/src/umem.rs
+
+crates/ring/src/lib.rs:
+crates/ring/src/batch.rs:
+crates/ring/src/metapool.rs:
+crates/ring/src/spinlock.rs:
+crates/ring/src/spsc.rs:
+crates/ring/src/umem.rs:

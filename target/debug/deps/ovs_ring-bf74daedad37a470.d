@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ovs_ring-bf74daedad37a470.d: crates/ring/src/lib.rs crates/ring/src/batch.rs crates/ring/src/metapool.rs crates/ring/src/spinlock.rs crates/ring/src/spsc.rs crates/ring/src/umem.rs
+
+/root/repo/target/debug/deps/ovs_ring-bf74daedad37a470: crates/ring/src/lib.rs crates/ring/src/batch.rs crates/ring/src/metapool.rs crates/ring/src/spinlock.rs crates/ring/src/spsc.rs crates/ring/src/umem.rs
+
+crates/ring/src/lib.rs:
+crates/ring/src/batch.rs:
+crates/ring/src/metapool.rs:
+crates/ring/src/spinlock.rs:
+crates/ring/src/spsc.rs:
+crates/ring/src/umem.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ovs_sim-702811a70fbd4512.d: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/costs.rs crates/sim/src/cpu.rs crates/sim/src/ctx.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libovs_sim-702811a70fbd4512.rmeta: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/costs.rs crates/sim/src/cpu.rs crates/sim/src/ctx.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/stats.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/costs.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/ctx.rs:
+crates/sim/src/rate.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ovs_sim-93be13fa563d278b.d: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/costs.rs crates/sim/src/cpu.rs crates/sim/src/ctx.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/libovs_sim-93be13fa563d278b.rlib: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/costs.rs crates/sim/src/cpu.rs crates/sim/src/ctx.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/libovs_sim-93be13fa563d278b.rmeta: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/costs.rs crates/sim/src/cpu.rs crates/sim/src/ctx.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/costs.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/ctx.rs:
+crates/sim/src/rate.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:

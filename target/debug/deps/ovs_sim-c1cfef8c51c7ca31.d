@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ovs_sim-c1cfef8c51c7ca31.d: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/costs.rs crates/sim/src/cpu.rs crates/sim/src/ctx.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+/root/repo/target/debug/deps/ovs_sim-c1cfef8c51c7ca31: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/costs.rs crates/sim/src/cpu.rs crates/sim/src/ctx.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/costs.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/ctx.rs:
+crates/sim/src/rate.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ovs_tgen-9a3f8144c4edb566.d: crates/tgen/src/lib.rs crates/tgen/src/flood.rs crates/tgen/src/iperf.rs crates/tgen/src/measure.rs crates/tgen/src/netperf.rs crates/tgen/src/scenarios.rs
+
+/root/repo/target/debug/deps/ovs_tgen-9a3f8144c4edb566: crates/tgen/src/lib.rs crates/tgen/src/flood.rs crates/tgen/src/iperf.rs crates/tgen/src/measure.rs crates/tgen/src/netperf.rs crates/tgen/src/scenarios.rs
+
+crates/tgen/src/lib.rs:
+crates/tgen/src/flood.rs:
+crates/tgen/src/iperf.rs:
+crates/tgen/src/measure.rs:
+crates/tgen/src/netperf.rs:
+crates/tgen/src/scenarios.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ovs_tgen-ec02ca50b275349e.d: crates/tgen/src/lib.rs crates/tgen/src/flood.rs crates/tgen/src/iperf.rs crates/tgen/src/measure.rs crates/tgen/src/netperf.rs crates/tgen/src/scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libovs_tgen-ec02ca50b275349e.rmeta: crates/tgen/src/lib.rs crates/tgen/src/flood.rs crates/tgen/src/iperf.rs crates/tgen/src/measure.rs crates/tgen/src/netperf.rs crates/tgen/src/scenarios.rs Cargo.toml
+
+crates/tgen/src/lib.rs:
+crates/tgen/src/flood.rs:
+crates/tgen/src/iperf.rs:
+crates/tgen/src/measure.rs:
+crates/tgen/src/netperf.rs:
+crates/tgen/src/scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

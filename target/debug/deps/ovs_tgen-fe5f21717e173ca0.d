@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ovs_tgen-fe5f21717e173ca0.d: crates/tgen/src/lib.rs crates/tgen/src/flood.rs crates/tgen/src/iperf.rs crates/tgen/src/measure.rs crates/tgen/src/netperf.rs crates/tgen/src/scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libovs_tgen-fe5f21717e173ca0.rmeta: crates/tgen/src/lib.rs crates/tgen/src/flood.rs crates/tgen/src/iperf.rs crates/tgen/src/measure.rs crates/tgen/src/netperf.rs crates/tgen/src/scenarios.rs Cargo.toml
+
+crates/tgen/src/lib.rs:
+crates/tgen/src/flood.rs:
+crates/tgen/src/iperf.rs:
+crates/tgen/src/measure.rs:
+crates/tgen/src/netperf.rs:
+crates/tgen/src/scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/packet_parse-14456f20967c9d55.d: crates/bench/benches/packet_parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpacket_parse-14456f20967c9d55.rmeta: crates/bench/benches/packet_parse.rs Cargo.toml
+
+crates/bench/benches/packet_parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_outcomes-018192c6dcfd9923.d: tests/paper_outcomes.rs
+
+/root/repo/target/debug/deps/paper_outcomes-018192c6dcfd9923: tests/paper_outcomes.rs
+
+tests/paper_outcomes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_outcomes-41ea04f95b47c8ff.d: tests/paper_outcomes.rs
+
+/root/repo/target/debug/deps/paper_outcomes-41ea04f95b47c8ff: tests/paper_outcomes.rs
+
+tests/paper_outcomes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_outcomes-9080ee62b2ba7b2b.d: tests/paper_outcomes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_outcomes-9080ee62b2ba7b2b.rmeta: tests/paper_outcomes.rs Cargo.toml
+
+tests/paper_outcomes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

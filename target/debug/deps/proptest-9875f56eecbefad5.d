@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-9875f56eecbefad5.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9875f56eecbefad5.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9875f56eecbefad5.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

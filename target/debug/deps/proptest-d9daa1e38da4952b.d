@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-d9daa1e38da4952b.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-d9daa1e38da4952b: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-06176c6175d9e69a.d: crates/ebpf/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-06176c6175d9e69a.rmeta: crates/ebpf/tests/proptests.rs Cargo.toml
+
+crates/ebpf/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-288e64da2e22c51d.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-288e64da2e22c51d: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-3d3df86ff7db1c35.d: crates/kernel/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-3d3df86ff7db1c35.rmeta: crates/kernel/tests/proptests.rs Cargo.toml
+
+crates/kernel/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-3d4dd82b8e09e0c0.d: crates/kernel/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-3d4dd82b8e09e0c0: crates/kernel/tests/proptests.rs
+
+crates/kernel/tests/proptests.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-46f3259f2d03e0bd.d: crates/ring/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-46f3259f2d03e0bd.rmeta: crates/ring/tests/proptests.rs Cargo.toml
+
+crates/ring/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-69577e9e86865cde.d: crates/ebpf/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-69577e9e86865cde: crates/ebpf/tests/proptests.rs
+
+crates/ebpf/tests/proptests.rs:

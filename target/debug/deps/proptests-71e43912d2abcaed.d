@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-71e43912d2abcaed.d: crates/ebpf/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-71e43912d2abcaed: crates/ebpf/tests/proptests.rs
+
+crates/ebpf/tests/proptests.rs:

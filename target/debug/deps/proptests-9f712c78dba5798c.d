@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-9f712c78dba5798c.d: crates/packet/tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-9f712c78dba5798c.rmeta: crates/packet/tests/proptests.rs Cargo.toml
+
+crates/packet/tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b928ac411c21eb74.d: crates/kernel/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b928ac411c21eb74: crates/kernel/tests/proptests.rs
+
+crates/kernel/tests/proptests.rs:

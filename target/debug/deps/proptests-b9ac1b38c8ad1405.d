@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-b9ac1b38c8ad1405.d: crates/packet/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-b9ac1b38c8ad1405: crates/packet/tests/proptests.rs
+
+crates/packet/tests/proptests.rs:

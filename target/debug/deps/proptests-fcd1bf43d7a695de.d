@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-fcd1bf43d7a695de.d: crates/ring/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-fcd1bf43d7a695de: crates/ring/tests/proptests.rs
+
+crates/ring/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-2e4b4c22f0ac56c7.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-2e4b4c22f0ac56c7: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

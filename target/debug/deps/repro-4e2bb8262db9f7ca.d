@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-4e2bb8262db9f7ca.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-4e2bb8262db9f7ca: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/steering-4d10786e863da9d0.d: crates/kernel/tests/steering.rs
+
+/root/repo/target/debug/deps/steering-4d10786e863da9d0: crates/kernel/tests/steering.rs
+
+crates/kernel/tests/steering.rs:

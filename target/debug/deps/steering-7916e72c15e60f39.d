@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/steering-7916e72c15e60f39.d: crates/kernel/tests/steering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsteering-7916e72c15e60f39.rmeta: crates/kernel/tests/steering.rs Cargo.toml
+
+crates/kernel/tests/steering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

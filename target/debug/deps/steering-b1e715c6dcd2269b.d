@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/steering-b1e715c6dcd2269b.d: crates/kernel/tests/steering.rs
+
+/root/repo/target/debug/deps/steering-b1e715c6dcd2269b: crates/kernel/tests/steering.rs
+
+crates/kernel/tests/steering.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/umem_locks-d2b200848a9db984.d: crates/bench/benches/umem_locks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libumem_locks-d2b200848a9db984.rmeta: crates/bench/benches/umem_locks.rs Cargo.toml
+
+crates/bench/benches/umem_locks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

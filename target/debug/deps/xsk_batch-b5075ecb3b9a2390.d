@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xsk_batch-b5075ecb3b9a2390.d: crates/bench/benches/xsk_batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxsk_batch-b5075ecb3b9a2390.rmeta: crates/bench/benches/xsk_batch.rs Cargo.toml
+
+crates/bench/benches/xsk_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_recovery-e3dbd71d3ee28c5f.d: examples/crash_recovery.rs
+
+/root/repo/target/debug/examples/crash_recovery-e3dbd71d3ee28c5f: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/crash_recovery-fb7eea3842b76a7f.d: examples/crash_recovery.rs
+
+/root/repo/target/debug/examples/crash_recovery-fb7eea3842b76a7f: examples/crash_recovery.rs
+
+examples/crash_recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nsx_deployment-47f3b077e7e43e0f.d: examples/nsx_deployment.rs
+
+/root/repo/target/debug/examples/nsx_deployment-47f3b077e7e43e0f: examples/nsx_deployment.rs
+
+examples/nsx_deployment.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nsx_deployment-6d1d3a364ca909f3.d: examples/nsx_deployment.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnsx_deployment-6d1d3a364ca909f3.rmeta: examples/nsx_deployment.rs Cargo.toml
+
+examples/nsx_deployment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

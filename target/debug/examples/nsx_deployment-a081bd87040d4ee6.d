@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nsx_deployment-a081bd87040d4ee6.d: examples/nsx_deployment.rs
+
+/root/repo/target/debug/examples/nsx_deployment-a081bd87040d4ee6: examples/nsx_deployment.rs
+
+examples/nsx_deployment.rs:

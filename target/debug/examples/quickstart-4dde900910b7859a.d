@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4dde900910b7859a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4dde900910b7859a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-793d8e9124505d74.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-793d8e9124505d74: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tool_compat-4b697543d8f279ef.d: examples/tool_compat.rs
+
+/root/repo/target/debug/examples/tool_compat-4b697543d8f279ef: examples/tool_compat.rs
+
+examples/tool_compat.rs:

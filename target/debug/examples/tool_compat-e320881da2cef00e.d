@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tool_compat-e320881da2cef00e.d: examples/tool_compat.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtool_compat-e320881da2cef00e.rmeta: examples/tool_compat.rs Cargo.toml
+
+examples/tool_compat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tool_compat-e7dd8850e138af7e.d: examples/tool_compat.rs
+
+/root/repo/target/debug/examples/tool_compat-e7dd8850e138af7e: examples/tool_compat.rs
+
+examples/tool_compat.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/xdp_loadbalancer-0030439ab7e4e6dd.d: examples/xdp_loadbalancer.rs
+
+/root/repo/target/debug/examples/xdp_loadbalancer-0030439ab7e4e6dd: examples/xdp_loadbalancer.rs
+
+examples/xdp_loadbalancer.rs:

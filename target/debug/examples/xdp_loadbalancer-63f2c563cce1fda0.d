@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/xdp_loadbalancer-63f2c563cce1fda0.d: examples/xdp_loadbalancer.rs
+
+/root/repo/target/debug/examples/xdp_loadbalancer-63f2c563cce1fda0: examples/xdp_loadbalancer.rs
+
+examples/xdp_loadbalancer.rs:

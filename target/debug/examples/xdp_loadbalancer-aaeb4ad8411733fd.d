@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/xdp_loadbalancer-aaeb4ad8411733fd.d: examples/xdp_loadbalancer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libxdp_loadbalancer-aaeb4ad8411733fd.rmeta: examples/xdp_loadbalancer.rs Cargo.toml
+
+examples/xdp_loadbalancer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

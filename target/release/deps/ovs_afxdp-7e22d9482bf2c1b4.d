@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ovs_afxdp-7e22d9482bf2c1b4.d: crates/afxdp/src/lib.rs crates/afxdp/src/port.rs crates/afxdp/src/socket.rs
+
+/root/repo/target/release/deps/libovs_afxdp-7e22d9482bf2c1b4.rlib: crates/afxdp/src/lib.rs crates/afxdp/src/port.rs crates/afxdp/src/socket.rs
+
+/root/repo/target/release/deps/libovs_afxdp-7e22d9482bf2c1b4.rmeta: crates/afxdp/src/lib.rs crates/afxdp/src/port.rs crates/afxdp/src/socket.rs
+
+crates/afxdp/src/lib.rs:
+crates/afxdp/src/port.rs:
+crates/afxdp/src/socket.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ovs_afxdp-8a69e98ec7e73d9f.d: crates/afxdp/src/lib.rs crates/afxdp/src/port.rs crates/afxdp/src/socket.rs
+
+/root/repo/target/release/deps/libovs_afxdp-8a69e98ec7e73d9f.rlib: crates/afxdp/src/lib.rs crates/afxdp/src/port.rs crates/afxdp/src/socket.rs
+
+/root/repo/target/release/deps/libovs_afxdp-8a69e98ec7e73d9f.rmeta: crates/afxdp/src/lib.rs crates/afxdp/src/port.rs crates/afxdp/src/socket.rs
+
+crates/afxdp/src/lib.rs:
+crates/afxdp/src/port.rs:
+crates/afxdp/src/socket.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ovs_afxdp_repro-6956b54e19615bf4.d: src/lib.rs
+
+/root/repo/target/release/deps/libovs_afxdp_repro-6956b54e19615bf4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libovs_afxdp_repro-6956b54e19615bf4.rmeta: src/lib.rs
+
+src/lib.rs:

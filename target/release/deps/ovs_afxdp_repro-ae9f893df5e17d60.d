@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ovs_afxdp_repro-ae9f893df5e17d60.d: src/lib.rs
+
+/root/repo/target/release/deps/libovs_afxdp_repro-ae9f893df5e17d60.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libovs_afxdp_repro-ae9f893df5e17d60.rmeta: src/lib.rs
+
+src/lib.rs:

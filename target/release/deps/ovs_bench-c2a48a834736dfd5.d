@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ovs_bench-c2a48a834736dfd5.d: crates/bench/src/lib.rs crates/bench/src/fig1.rs
+
+/root/repo/target/release/deps/libovs_bench-c2a48a834736dfd5.rlib: crates/bench/src/lib.rs crates/bench/src/fig1.rs
+
+/root/repo/target/release/deps/libovs_bench-c2a48a834736dfd5.rmeta: crates/bench/src/lib.rs crates/bench/src/fig1.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/fig1.rs:

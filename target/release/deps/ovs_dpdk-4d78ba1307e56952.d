@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ovs_dpdk-4d78ba1307e56952.d: crates/dpdk/src/lib.rs crates/dpdk/src/af_packet.rs crates/dpdk/src/ethdev.rs crates/dpdk/src/mbuf.rs crates/dpdk/src/testpmd.rs crates/dpdk/src/vhost.rs
+
+/root/repo/target/release/deps/libovs_dpdk-4d78ba1307e56952.rlib: crates/dpdk/src/lib.rs crates/dpdk/src/af_packet.rs crates/dpdk/src/ethdev.rs crates/dpdk/src/mbuf.rs crates/dpdk/src/testpmd.rs crates/dpdk/src/vhost.rs
+
+/root/repo/target/release/deps/libovs_dpdk-4d78ba1307e56952.rmeta: crates/dpdk/src/lib.rs crates/dpdk/src/af_packet.rs crates/dpdk/src/ethdev.rs crates/dpdk/src/mbuf.rs crates/dpdk/src/testpmd.rs crates/dpdk/src/vhost.rs
+
+crates/dpdk/src/lib.rs:
+crates/dpdk/src/af_packet.rs:
+crates/dpdk/src/ethdev.rs:
+crates/dpdk/src/mbuf.rs:
+crates/dpdk/src/testpmd.rs:
+crates/dpdk/src/vhost.rs:

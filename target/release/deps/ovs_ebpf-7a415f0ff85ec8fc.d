@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ovs_ebpf-7a415f0ff85ec8fc.d: crates/ebpf/src/lib.rs crates/ebpf/src/insn.rs crates/ebpf/src/maps.rs crates/ebpf/src/programs.rs crates/ebpf/src/verifier.rs crates/ebpf/src/vm.rs crates/ebpf/src/xdp.rs
+
+/root/repo/target/release/deps/libovs_ebpf-7a415f0ff85ec8fc.rlib: crates/ebpf/src/lib.rs crates/ebpf/src/insn.rs crates/ebpf/src/maps.rs crates/ebpf/src/programs.rs crates/ebpf/src/verifier.rs crates/ebpf/src/vm.rs crates/ebpf/src/xdp.rs
+
+/root/repo/target/release/deps/libovs_ebpf-7a415f0ff85ec8fc.rmeta: crates/ebpf/src/lib.rs crates/ebpf/src/insn.rs crates/ebpf/src/maps.rs crates/ebpf/src/programs.rs crates/ebpf/src/verifier.rs crates/ebpf/src/vm.rs crates/ebpf/src/xdp.rs
+
+crates/ebpf/src/lib.rs:
+crates/ebpf/src/insn.rs:
+crates/ebpf/src/maps.rs:
+crates/ebpf/src/programs.rs:
+crates/ebpf/src/verifier.rs:
+crates/ebpf/src/vm.rs:
+crates/ebpf/src/xdp.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/ovs_kernel-d651cc72fdeaad7f.d: crates/kernel/src/lib.rs crates/kernel/src/conntrack.rs crates/kernel/src/dev.rs crates/kernel/src/guest.rs crates/kernel/src/kernel.rs crates/kernel/src/namespace.rs crates/kernel/src/neigh.rs crates/kernel/src/ovs_module.rs crates/kernel/src/route.rs crates/kernel/src/rtnetlink.rs crates/kernel/src/tools.rs crates/kernel/src/xsk.rs
+
+/root/repo/target/release/deps/libovs_kernel-d651cc72fdeaad7f.rlib: crates/kernel/src/lib.rs crates/kernel/src/conntrack.rs crates/kernel/src/dev.rs crates/kernel/src/guest.rs crates/kernel/src/kernel.rs crates/kernel/src/namespace.rs crates/kernel/src/neigh.rs crates/kernel/src/ovs_module.rs crates/kernel/src/route.rs crates/kernel/src/rtnetlink.rs crates/kernel/src/tools.rs crates/kernel/src/xsk.rs
+
+/root/repo/target/release/deps/libovs_kernel-d651cc72fdeaad7f.rmeta: crates/kernel/src/lib.rs crates/kernel/src/conntrack.rs crates/kernel/src/dev.rs crates/kernel/src/guest.rs crates/kernel/src/kernel.rs crates/kernel/src/namespace.rs crates/kernel/src/neigh.rs crates/kernel/src/ovs_module.rs crates/kernel/src/route.rs crates/kernel/src/rtnetlink.rs crates/kernel/src/tools.rs crates/kernel/src/xsk.rs
+
+crates/kernel/src/lib.rs:
+crates/kernel/src/conntrack.rs:
+crates/kernel/src/dev.rs:
+crates/kernel/src/guest.rs:
+crates/kernel/src/kernel.rs:
+crates/kernel/src/namespace.rs:
+crates/kernel/src/neigh.rs:
+crates/kernel/src/ovs_module.rs:
+crates/kernel/src/route.rs:
+crates/kernel/src/rtnetlink.rs:
+crates/kernel/src/tools.rs:
+crates/kernel/src/xsk.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ovs_nsx-645a6abd6a1f8f42.d: crates/nsx/src/lib.rs crates/nsx/src/ruleset.rs crates/nsx/src/topology.rs
+
+/root/repo/target/release/deps/libovs_nsx-645a6abd6a1f8f42.rlib: crates/nsx/src/lib.rs crates/nsx/src/ruleset.rs crates/nsx/src/topology.rs
+
+/root/repo/target/release/deps/libovs_nsx-645a6abd6a1f8f42.rmeta: crates/nsx/src/lib.rs crates/nsx/src/ruleset.rs crates/nsx/src/topology.rs
+
+crates/nsx/src/lib.rs:
+crates/nsx/src/ruleset.rs:
+crates/nsx/src/topology.rs:

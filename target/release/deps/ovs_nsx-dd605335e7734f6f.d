@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ovs_nsx-dd605335e7734f6f.d: crates/nsx/src/lib.rs crates/nsx/src/ruleset.rs crates/nsx/src/topology.rs
+
+/root/repo/target/release/deps/libovs_nsx-dd605335e7734f6f.rlib: crates/nsx/src/lib.rs crates/nsx/src/ruleset.rs crates/nsx/src/topology.rs
+
+/root/repo/target/release/deps/libovs_nsx-dd605335e7734f6f.rmeta: crates/nsx/src/lib.rs crates/nsx/src/ruleset.rs crates/nsx/src/topology.rs
+
+crates/nsx/src/lib.rs:
+crates/nsx/src/ruleset.rs:
+crates/nsx/src/topology.rs:

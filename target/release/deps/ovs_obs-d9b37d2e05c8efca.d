@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ovs_obs-d9b37d2e05c8efca.d: crates/obs/src/lib.rs crates/obs/src/coverage.rs crates/obs/src/hist.rs crates/obs/src/perf.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libovs_obs-d9b37d2e05c8efca.rlib: crates/obs/src/lib.rs crates/obs/src/coverage.rs crates/obs/src/hist.rs crates/obs/src/perf.rs crates/obs/src/trace.rs
+
+/root/repo/target/release/deps/libovs_obs-d9b37d2e05c8efca.rmeta: crates/obs/src/lib.rs crates/obs/src/coverage.rs crates/obs/src/hist.rs crates/obs/src/perf.rs crates/obs/src/trace.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/coverage.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/perf.rs:
+crates/obs/src/trace.rs:

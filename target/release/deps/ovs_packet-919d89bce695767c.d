@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/ovs_packet-919d89bce695767c.d: crates/packet/src/lib.rs crates/packet/src/arp.rs crates/packet/src/builder.rs crates/packet/src/checksum.rs crates/packet/src/dp_packet.rs crates/packet/src/ethernet.rs crates/packet/src/flow.rs crates/packet/src/geneve.rs crates/packet/src/gre.rs crates/packet/src/icmp.rs crates/packet/src/ipv4.rs crates/packet/src/ipv6.rs crates/packet/src/mac.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/vlan.rs crates/packet/src/vxlan.rs
+
+/root/repo/target/release/deps/libovs_packet-919d89bce695767c.rlib: crates/packet/src/lib.rs crates/packet/src/arp.rs crates/packet/src/builder.rs crates/packet/src/checksum.rs crates/packet/src/dp_packet.rs crates/packet/src/ethernet.rs crates/packet/src/flow.rs crates/packet/src/geneve.rs crates/packet/src/gre.rs crates/packet/src/icmp.rs crates/packet/src/ipv4.rs crates/packet/src/ipv6.rs crates/packet/src/mac.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/vlan.rs crates/packet/src/vxlan.rs
+
+/root/repo/target/release/deps/libovs_packet-919d89bce695767c.rmeta: crates/packet/src/lib.rs crates/packet/src/arp.rs crates/packet/src/builder.rs crates/packet/src/checksum.rs crates/packet/src/dp_packet.rs crates/packet/src/ethernet.rs crates/packet/src/flow.rs crates/packet/src/geneve.rs crates/packet/src/gre.rs crates/packet/src/icmp.rs crates/packet/src/ipv4.rs crates/packet/src/ipv6.rs crates/packet/src/mac.rs crates/packet/src/tcp.rs crates/packet/src/udp.rs crates/packet/src/vlan.rs crates/packet/src/vxlan.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/arp.rs:
+crates/packet/src/builder.rs:
+crates/packet/src/checksum.rs:
+crates/packet/src/dp_packet.rs:
+crates/packet/src/ethernet.rs:
+crates/packet/src/flow.rs:
+crates/packet/src/geneve.rs:
+crates/packet/src/gre.rs:
+crates/packet/src/icmp.rs:
+crates/packet/src/ipv4.rs:
+crates/packet/src/ipv6.rs:
+crates/packet/src/mac.rs:
+crates/packet/src/tcp.rs:
+crates/packet/src/udp.rs:
+crates/packet/src/vlan.rs:
+crates/packet/src/vxlan.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ovs_ring-52aa40066e993b58.d: crates/ring/src/lib.rs crates/ring/src/batch.rs crates/ring/src/metapool.rs crates/ring/src/spinlock.rs crates/ring/src/spsc.rs crates/ring/src/umem.rs
+
+/root/repo/target/release/deps/libovs_ring-52aa40066e993b58.rlib: crates/ring/src/lib.rs crates/ring/src/batch.rs crates/ring/src/metapool.rs crates/ring/src/spinlock.rs crates/ring/src/spsc.rs crates/ring/src/umem.rs
+
+/root/repo/target/release/deps/libovs_ring-52aa40066e993b58.rmeta: crates/ring/src/lib.rs crates/ring/src/batch.rs crates/ring/src/metapool.rs crates/ring/src/spinlock.rs crates/ring/src/spsc.rs crates/ring/src/umem.rs
+
+crates/ring/src/lib.rs:
+crates/ring/src/batch.rs:
+crates/ring/src/metapool.rs:
+crates/ring/src/spinlock.rs:
+crates/ring/src/spsc.rs:
+crates/ring/src/umem.rs:

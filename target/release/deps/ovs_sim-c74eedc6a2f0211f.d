@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ovs_sim-c74eedc6a2f0211f.d: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/costs.rs crates/sim/src/cpu.rs crates/sim/src/ctx.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+/root/repo/target/release/deps/libovs_sim-c74eedc6a2f0211f.rlib: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/costs.rs crates/sim/src/cpu.rs crates/sim/src/ctx.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+/root/repo/target/release/deps/libovs_sim-c74eedc6a2f0211f.rmeta: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/costs.rs crates/sim/src/cpu.rs crates/sim/src/ctx.rs crates/sim/src/rate.rs crates/sim/src/rng.rs crates/sim/src/stats.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/costs.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/ctx.rs:
+crates/sim/src/rate.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ovs_tgen-9ce37a961c2be773.d: crates/tgen/src/lib.rs crates/tgen/src/flood.rs crates/tgen/src/iperf.rs crates/tgen/src/measure.rs crates/tgen/src/netperf.rs crates/tgen/src/scenarios.rs
+
+/root/repo/target/release/deps/libovs_tgen-9ce37a961c2be773.rlib: crates/tgen/src/lib.rs crates/tgen/src/flood.rs crates/tgen/src/iperf.rs crates/tgen/src/measure.rs crates/tgen/src/netperf.rs crates/tgen/src/scenarios.rs
+
+/root/repo/target/release/deps/libovs_tgen-9ce37a961c2be773.rmeta: crates/tgen/src/lib.rs crates/tgen/src/flood.rs crates/tgen/src/iperf.rs crates/tgen/src/measure.rs crates/tgen/src/netperf.rs crates/tgen/src/scenarios.rs
+
+crates/tgen/src/lib.rs:
+crates/tgen/src/flood.rs:
+crates/tgen/src/iperf.rs:
+crates/tgen/src/measure.rs:
+crates/tgen/src/netperf.rs:
+crates/tgen/src/scenarios.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ovs_tgen-a7e5c4a10aaa85f8.d: crates/tgen/src/lib.rs crates/tgen/src/flood.rs crates/tgen/src/iperf.rs crates/tgen/src/measure.rs crates/tgen/src/netperf.rs crates/tgen/src/scenarios.rs
+
+/root/repo/target/release/deps/libovs_tgen-a7e5c4a10aaa85f8.rlib: crates/tgen/src/lib.rs crates/tgen/src/flood.rs crates/tgen/src/iperf.rs crates/tgen/src/measure.rs crates/tgen/src/netperf.rs crates/tgen/src/scenarios.rs
+
+/root/repo/target/release/deps/libovs_tgen-a7e5c4a10aaa85f8.rmeta: crates/tgen/src/lib.rs crates/tgen/src/flood.rs crates/tgen/src/iperf.rs crates/tgen/src/measure.rs crates/tgen/src/netperf.rs crates/tgen/src/scenarios.rs
+
+crates/tgen/src/lib.rs:
+crates/tgen/src/flood.rs:
+crates/tgen/src/iperf.rs:
+crates/tgen/src/measure.rs:
+crates/tgen/src/netperf.rs:
+crates/tgen/src/scenarios.rs:

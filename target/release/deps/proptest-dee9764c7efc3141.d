@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-dee9764c7efc3141.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-dee9764c7efc3141.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-dee9764c7efc3141.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

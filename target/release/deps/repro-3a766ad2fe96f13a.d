@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-3a766ad2fe96f13a.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-3a766ad2fe96f13a: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

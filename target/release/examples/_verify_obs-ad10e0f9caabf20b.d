@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_obs-ad10e0f9caabf20b.d: examples/_verify_obs.rs
+
+/root/repo/target/release/examples/_verify_obs-ad10e0f9caabf20b: examples/_verify_obs.rs
+
+examples/_verify_obs.rs:

@@ -93,9 +93,10 @@ fn run_userspace(frames: &[Vec<u8>]) -> Vec<Option<(u32, Vec<u8>)>> {
             DeviceKind::Phys { link_gbps: 10.0 },
             1,
         ));
-        let port = dp.add_port(&format!("eth{p}"), PortType::Afxdp(
-            AfxdpPort::open(&mut k, nic, 512, OptLevel::O5).unwrap(),
-        ));
+        let port = dp.add_port(
+            &format!("eth{p}"),
+            PortType::Afxdp(AfxdpPort::open(&mut k, nic, 512, OptLevel::O5).unwrap()),
+        );
         assert_eq!(port, p);
         nics.push(nic);
     }

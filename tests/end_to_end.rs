@@ -53,7 +53,10 @@ fn request(seq: u16) -> Vec<u8> {
 
 #[test]
 fn afxdp_overlay_round_trip_with_firewall() {
-    let dpk = DatapathKind::UserspaceAfxdp { opt: OptLevel::O5, interrupt_mode: false };
+    let dpk = DatapathKind::UserspaceAfxdp {
+        opt: OptLevel::O5,
+        interrupt_mode: false,
+    };
     let mut h1 = build_host(1, dpk, VmAttachment::VhostUser);
     let mut h2 = build_host(2, dpk, VmAttachment::VhostUser);
     h1.peer([172, 16, 0, 2], h2.uplink_mac());
@@ -118,7 +121,10 @@ fn kernel_datapath_overlay_round_trip() {
 
 #[test]
 fn outer_frames_on_the_wire_are_valid_geneve() {
-    let dpk = DatapathKind::UserspaceAfxdp { opt: OptLevel::O5, interrupt_mode: false };
+    let dpk = DatapathKind::UserspaceAfxdp {
+        opt: OptLevel::O5,
+        interrupt_mode: false,
+    };
     let mut h1 = build_host(1, dpk, VmAttachment::VhostUser);
     let mut h2 = build_host(2, dpk, VmAttachment::VhostUser);
     h1.peer([172, 16, 0, 2], h2.uplink_mac());
@@ -146,7 +152,10 @@ fn outer_frames_on_the_wire_are_valid_geneve() {
 
 #[test]
 fn intra_host_traffic_never_touches_the_tunnel() {
-    let dpk = DatapathKind::UserspaceAfxdp { opt: OptLevel::O5, interrupt_mode: false };
+    let dpk = DatapathKind::UserspaceAfxdp {
+        opt: OptLevel::O5,
+        interrupt_mode: false,
+    };
     let mut h1 = build_host(1, dpk, VmAttachment::VhostUser);
     let sender = h1.guest_of_vif[0];
     h1.kernel.guests[sender].role = GuestRole::Sink;
@@ -167,7 +176,10 @@ fn intra_host_traffic_never_touches_the_tunnel() {
         }
     }
     let receiver = h1.guest_of_vif[2]; // VM1 iface 0
-    assert!(h1.kernel.guests[receiver].rx_count >= 1, "locally delivered");
+    assert!(
+        h1.kernel.guests[receiver].rx_count >= 1,
+        "locally delivered"
+    );
     assert_eq!(h1.dp.as_ref().unwrap().stats.tunnel_encaps, 0);
     assert!(h1.wire_take().is_empty(), "nothing left the host");
 }

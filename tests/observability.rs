@@ -1,0 +1,203 @@
+//! Golden observability test: a deterministic two-host NSX scenario
+//! exercises the full datapath, then asserts the rendered `coverage/show`
+//! and `dpif-netdev/pmd-perf-show` text, the exact per-stage cycle
+//! attribution, and the `ofproto/trace` of a Geneve-tunnelled VM frame
+//! through the NSX pipeline.
+//!
+//! Coverage counters are thread-local and the sim clock is virtual, so
+//! every number below is exactly reproducible; if a datapath change
+//! legitimately shifts one, update the golden alongside it.
+
+use ovs_afxdp::OptLevel;
+use ovs_afxdp_repro::kernel::tools;
+use ovs_afxdp_repro::nsx::ruleset::{self, NsxConfig};
+use ovs_afxdp_repro::nsx::topology::{DatapathKind, Host, HostConfig, VmAttachment};
+use ovs_afxdp_repro::obs::coverage;
+use ovs_afxdp_repro::ovs::appctl;
+use ovs_afxdp_repro::packet::builder;
+
+/// The deterministic 2-VM NSX host pair on the userspace AF_XDP datapath.
+fn build_host(id: u8) -> Host {
+    let dpk = DatapathKind::UserspaceAfxdp {
+        opt: OptLevel::O5,
+        interrupt_mode: false,
+    };
+    let mut cfg = HostConfig::nsx_default(id, dpk, VmAttachment::VhostUser);
+    cfg.nsx = NsxConfig {
+        vms: 2,
+        tunnels: 4,
+        target_rules: 800,
+        local_vtep: [172, 16, 0, id],
+        remote_vtep: [172, 16, 0, 3 - id],
+        ..NsxConfig::default()
+    };
+    Host::build(&cfg)
+}
+
+fn vm_frame(src_host: u8, dst_host: u8) -> Vec<u8> {
+    builder::udp_ipv4_frame(
+        ruleset::vm_mac(src_host, 0, 0),
+        ruleset::vm_mac(dst_host, 0, 0),
+        ruleset::vm_ip(src_host, 0, 0),
+        ruleset::vm_ip(dst_host, 0, 0),
+        3333,
+        4444,
+        200,
+    )
+}
+
+/// Shuttle frames between the two hosts until quiescent.
+fn run_pair(a: &mut Host, b: &mut Host) {
+    for _ in 0..32 {
+        let mut moved = a.pump() + b.pump();
+        for f in a.wire_take() {
+            b.wire_inject(f);
+            moved += 1;
+        }
+        for f in b.wire_take() {
+            a.wire_inject(f);
+            moved += 1;
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+}
+
+const GOLDEN_COVERAGE: &str = "\
+counter                             total        epoch    avg/epoch
+bpf_helper_call                        32           32         32.0
+bpf_insn_executed                     192          192        192.0
+bpf_prog_run                           32           32         32.0
+dpif_ct_lookup                         96           96         96.0
+dpif_megaflow_hit                     147          147        147.0
+dpif_packet                            63           63         63.0
+dpif_recirc                            96           96         96.0
+dpif_rx                                63           63         63.0
+dpif_tunnel_decap                      31           31         31.0
+dpif_tunnel_encap                      32           32         32.0
+dpif_tx                                63           63         63.0
+dpif_upcall                            12           12         12.0
+xsk_rx_batch                           31           31         31.0
+xsk_rx_packet                          31           31         31.0
+xsk_tx_kick                            32           32         32.0
+xsk_tx_packet                          32           32         32.0
+";
+
+const GOLDEN_PERF: &str = "\
+pmd thread core 1:
+  iterations: 504  packets: 31  busy: 41314 ns (99153 cycles)
+  avg cycles/pkt: 3198.5
+  rx                           2447 ns           5872 cycles    5.9%
+  parse                        4650 ns          11160 cycles   11.3%
+  emc lookup                    150 ns            360 cycles    0.4%
+  megaflow lookup              8430 ns          20232 cycles   20.4%
+  upcall/translate            13600 ns          32640 cycles   32.9%
+  actions                      5640 ns          13536 cycles   13.7%
+  recirc                       1645 ns           3948 cycles    4.0%
+  tx                           4752 ns          11404 cycles   11.5%
+  per-packet ns: p50 1023 p90 1023 p99 10563 p99.9 10563 max 10563
+";
+
+const GOLDEN_TRACE: &str = "\
+Trace: 200 byte frame on in_port=2
+pass 1: flow in_port=2,eth_type=0x0800,nw_src=10.101.0.2,nw_dst=10.102.0.2,nw_proto=17,tp_src=3333,tp_dst=4444
+    cache: megaflow hit (mask 128 bits)
+    Datapath actions: [Ct { zone: 1, commit: false, nat: None }, Recirc(1)]
+    ct(zone=1,commit=false): verdict ct_state=0x03
+    recirc(0x1)
+pass 2: flow in_port=2,eth_type=0x0800,nw_src=10.101.0.2,nw_dst=10.102.0.2,nw_proto=17,tp_src=3333,tp_dst=4444,recirc_id=0x1,ct_state=0x03
+    cache: megaflow hit (mask 81 bits)
+    Datapath actions: [Ct { zone: 100, commit: true, nat: None }, Recirc(2)]
+    ct(zone=100,commit=true): verdict ct_state=0x05
+    recirc(0x2)
+pass 3: flow in_port=2,eth_type=0x0800,nw_src=10.101.0.2,nw_dst=10.102.0.2,nw_proto=17,tp_src=3333,tp_dst=4444,recirc_id=0x2,ct_state=0x05
+    cache: megaflow hit (mask 112 bits)
+    Datapath actions: [SetTunnel { id: 5000, dst: [172, 16, 0, 2] }, Output(1)]
+    tunnel encap (Geneve): tun_id=5000, dst=172.16.0.2, outer 250 bytes
+    output: port 0 (eth0, afxdp(if1))
+";
+
+#[test]
+fn golden_observability_two_host_nsx() {
+    coverage::reset();
+    let mut h1 = build_host(1);
+    let mut h2 = build_host(2);
+    h1.peer([172, 16, 0, 2], h2.uplink_mac());
+    h2.peer([172, 16, 0, 1], h1.uplink_mac());
+
+    // VM0 on host 1 sends one UDP datagram to VM0 on host 2; the echo
+    // guest answers, so the flow crosses the overlay in both directions.
+    let g = h1.guest_of_vif[0];
+    h1.kernel.guests[g].tx_ring.push_back(vm_frame(1, 2));
+    run_pair(&mut h1, &mut h2);
+
+    // --- pmd-perf-show: exact stage attribution --------------------
+    let dp1 = h1.dp.as_ref().unwrap();
+    let perf = dp1.perf.get(&h1.switch_core).expect("switch core polled");
+    assert!(perf.poll_ns_total() > 0, "sim time advanced");
+    assert_eq!(
+        perf.stage_ns_total(),
+        perf.poll_ns_total(),
+        "per-stage cycles sum exactly to total pmd_poll cycles"
+    );
+
+    let dp1 = h1.dp.as_mut().unwrap();
+    let show = appctl::dispatch(dp1, &mut h1.kernel, "dpif-netdev/pmd-perf-show", &[]).unwrap();
+    assert_eq!(show, GOLDEN_PERF, "pmd-perf-show golden drifted:\n{show}");
+
+    // --- coverage/show --------------------------------------------
+    let dp1 = h1.dp.as_mut().unwrap();
+    let cov = appctl::dispatch(dp1, &mut h1.kernel, "coverage/show", &[]).unwrap();
+    assert_eq!(cov, GOLDEN_COVERAGE, "coverage/show golden drifted:\n{cov}");
+
+    // --- ofproto/trace of the Geneve path -------------------------
+    // The flow is warm, so each pass hits the megaflow cache; the trace
+    // shows the two firewall ct/recirc passes and the Geneve encap —
+    // the NSX two-bridge pipeline end to end.
+    h1.kernel.capture_start(h1.uplink_if);
+    let dp1 = h1.dp.as_mut().unwrap();
+    let vif0 = h1.ports.vifs[0];
+    let trace = dp1.ofproto_trace(&mut h1.kernel, &vm_frame(1, 2), vif0, h1.switch_core);
+    assert_eq!(
+        trace, GOLDEN_TRACE,
+        "ofproto/trace golden drifted:\n{trace}"
+    );
+
+    // Attribution stays exact with the traced packet folded in.
+    let dp1 = h1.dp.as_ref().unwrap();
+    let perf = dp1.perf.get(&h1.switch_core).unwrap();
+    assert_eq!(perf.stage_ns_total(), perf.poll_ns_total());
+
+    // --- tcpdump correlates the traced frame ----------------------
+    // The encapsulated outer frame left on the uplink while the trace
+    // was attached, so the capture tags it.
+    let lines = tools::tcpdump(&mut h1.kernel, "eth0", 64).unwrap();
+    let tagged: Vec<_> = lines.iter().filter(|l| l.contains("[traced]")).collect();
+    assert_eq!(
+        tagged.len(),
+        1,
+        "exactly the traced egress is tagged: {lines:?}"
+    );
+    assert!(
+        tagged[0].contains("172.16.0.1 > 172.16.0.2"),
+        "outer Geneve header: {}",
+        tagged[0]
+    );
+
+    // --- nstat carries the coverage counters ----------------------
+    let ns = tools::nstat(&h1.kernel);
+    assert!(ns.contains("dpif_tunnel_encap"), "{ns}");
+    assert!(ns.contains("xsk_tx_packet"), "{ns}");
+
+    // --- ethtool -S shows driver-boundary coverage ----------------
+    let es = tools::ethtool_stats(&h1.kernel, "eth0").unwrap();
+    assert!(es.contains("xsk_rx_batch"), "{es}");
+
+    // --- pmd-stats-clear resets both stats and perf ---------------
+    let dp1 = h1.dp.as_mut().unwrap();
+    let out = appctl::dispatch(dp1, &mut h1.kernel, "dpif-netdev/pmd-stats-clear", &[]).unwrap();
+    assert!(out.contains("cleared"));
+    assert!(dp1.perf.is_empty());
+    assert_eq!(dp1.stats.rx_packets, 0);
+}

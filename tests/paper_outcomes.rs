@@ -61,7 +61,11 @@ fn outcome2_containers_afxdp_else_dpdk() {
         let p2p = |dp| scenarios::run(&ScenarioConfig::micro(dp, PathKind::P2p, flows));
         assert!(p2p(DpKind::Dpdk).mpps > p2p(DpKind::Afxdp(OptLevel::O5)).mpps);
         let pvp = |dp| {
-            scenarios::run(&ScenarioConfig::micro(dp, PathKind::Pvp(VmAttach::VhostUser), flows))
+            scenarios::run(&ScenarioConfig::micro(
+                dp,
+                PathKind::Pvp(VmAttach::VhostUser),
+                flows,
+            ))
         };
         assert!(pvp(DpKind::Dpdk).mpps > pvp(DpKind::Afxdp(OptLevel::O5)).mpps);
     }
@@ -103,14 +107,22 @@ fn outcome4_xdp_complexity_costs() {
     let b = scenarios::run_xdp_task(XdpTask::ParseDrop).mpps;
     let c = scenarios::run_xdp_task(XdpTask::ParseLookupDrop).mpps;
     let d = scenarios::run_xdp_task(XdpTask::SwapFwd).mpps;
-    assert!(a > b && b > c && c > d, "each added task step costs: {a} {b} {c} {d}");
+    assert!(
+        a > b && b > c && c > d,
+        "each added task step costs: {a} {b} {c} {d}"
+    );
     // The userspace datapath's P2P rate beats the in-XDP forwarding task:
     // userspace isn't always slower than XDP.
     let user = scenarios::run(&ScenarioConfig {
         link_gbps: 10.0,
         ..ScenarioConfig::micro(DpKind::Afxdp(OptLevel::O5), PathKind::P2p, 1)
     });
-    assert!(user.mpps > d, "userspace {:.1} vs XDP fwd {:.1}", user.mpps, d);
+    assert!(
+        user.mpps > d,
+        "userspace {:.1} vs XDP fwd {:.1}",
+        user.mpps,
+        d
+    );
 }
 
 /// Outcome #5: "AF_XDP does not yet provide the performance of DPDK but
@@ -134,7 +146,10 @@ fn outcome5_line_rate_with_large_packets() {
         frame_len: 64,
         ..ScenarioConfig::micro(DpKind::Dpdk, PathKind::P2p, 1000)
     });
-    assert!(dpdk_small.mpps > small.mpps, "DPDK consistently outperforms at 64B");
+    assert!(
+        dpdk_small.mpps > small.mpps,
+        "DPDK consistently outperforms at 64B"
+    );
 }
 
 /// Takeaway #4: "eBPF solves maintainability issues but it is too slow

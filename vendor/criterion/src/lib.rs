@@ -1,0 +1,291 @@
+//! A minimal, dependency-free stand-in for the subset of the `criterion`
+//! API this workspace's benches use. No registry access is available in
+//! the container or CI, so the real criterion cannot be resolved; this
+//! keeps `cargo bench` compiling and producing useful (if simpler)
+//! wall-clock numbers: a fixed warm-up, then a timed measurement window,
+//! reporting mean ns/iter and throughput when configured.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level bench driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(700),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Honors a single positional substring filter and ignores the
+    /// harness flags cargo passes (`--bench`, etc.).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" => {}
+                "--measurement-time" => {
+                    if let Some(secs) = args.next().and_then(|v| v.parse::<f64>().ok()) {
+                        self.measurement = Duration::from_secs_f64(secs);
+                    }
+                }
+                "--warm-up-time" => {
+                    if let Some(secs) = args.next().and_then(|v| v.parse::<f64>().ok()) {
+                        self.warm_up = Duration::from_secs_f64(secs);
+                    }
+                }
+                f if !f.starts_with('-') => self.filter = Some(f.to_string()),
+                _ => {}
+            }
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let group = name.to_string();
+        run_one(self, &group, None, None, f);
+        self
+    }
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchId,
+        f: F,
+    ) -> &mut Self {
+        let (name, throughput) = (self.name.clone(), self.throughput);
+        run_one(
+            self.criterion,
+            &name,
+            Some(&id.into_bench_id()),
+            throughput,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Accept both `&str` and `BenchmarkId` where criterion does.
+pub trait IntoBenchId {
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the closure; `iter` runs the routine under timing.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    /// (iterations, elapsed) recorded by the last `iter` call.
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let target =
+            ((self.measurement.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, u64::MAX);
+        let start = Instant::now();
+        for _ in 0..target {
+            black_box(routine());
+        }
+        self.result = Some((target, start.elapsed()));
+    }
+
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut iters = 0u64;
+        let mut total = Duration::ZERO;
+        let deadline = Instant::now() + self.measurement;
+        while Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+        }
+        self.result = Some((iters.max(1), total));
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    criterion: &Criterion,
+    group: &str,
+    id: Option<&str>,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let full = match id {
+        Some(id) => format!("{group}/{id}"),
+        None => group.to_string(),
+    };
+    if let Some(filter) = &criterion.filter {
+        if !full.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        warm_up: criterion.warm_up,
+        measurement: criterion.measurement,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((iters, elapsed)) => {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            let rate = throughput.map(|t| match t {
+                Throughput::Bytes(n) => {
+                    format!("  {:.1} MiB/s", n as f64 / ns * 1e9 / (1024.0 * 1024.0))
+                }
+                Throughput::Elements(n) => format!("  {:.1} Melem/s", n as f64 / ns * 1e9 / 1e6),
+            });
+            println!("{full:<50} {ns:>12.1} ns/iter{}", rate.unwrap_or_default());
+        }
+        None => println!("{full:<50} (no measurement)"),
+    }
+}
+
+/// Both the `name/config/targets` form and the positional form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -7,6 +7,7 @@
 //!
 //! Flags: --fig1 --table1 --fig2 --table2 --table3 --fig8a --fig8b
 //!        --fig8c --fig9 --table4 --fig10 --fig11 --table5 --fig12
+//!        --ablation --churn
 
 use ovs_afxdp::OptLevel;
 use ovs_bench::fig1;
@@ -80,6 +81,34 @@ fn main() {
     if want("--ablation") {
         ablation();
     }
+    if want("--churn") {
+        churn();
+    }
+}
+
+fn churn() {
+    section("Extension — revalidator flow-churn soak (100k distinct flows vs a 4,096-flow limit)");
+    let r = scenarios::run_churn(100_000, 4_096);
+    println!("  flows offered                {:>10}", r.flows_offered);
+    println!(
+        "  peak megaflows               {:>10}   (limit {})",
+        r.peak_flows, r.flow_limit
+    );
+    println!("  installs refused at limit    {:>10}", r.limit_hits);
+    println!("  deleted idle                 {:>10}", r.deleted_idle);
+    println!("  evicted (LRU / overload)     {:>10}", r.evicted);
+    println!("  revalidator sweeps           {:>10}", r.sweeps);
+    println!("  flows left after drain       {:>10}", r.final_flows);
+    println!("  legitimate frames delivered  {:>10}", r.legit_forwarded);
+    assert!(
+        r.peak_flows <= r.flow_limit,
+        "megaflow table exceeded the flow limit under churn"
+    );
+    assert_eq!(r.final_flows, 0, "idle expiry failed to drain the table");
+    assert!(
+        r.legit_forwarded > 0,
+        "legitimate traffic starved during churn"
+    );
 }
 
 fn ablation() {

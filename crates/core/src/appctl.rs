@@ -18,6 +18,8 @@ pub const COMMANDS: &[&str] = &[
     "dpif-netdev/pmd-stats-clear",
     "dpctl/dump-flows",
     "ofproto/trace",
+    "upcall/show",
+    "revalidator/wait",
     "list-commands",
 ];
 
@@ -40,7 +42,34 @@ pub fn dispatch(
             dpif.pmd_stats_clear();
             Ok("statistics cleared\n".to_string())
         }
-        "dpctl/dump-flows" => Ok(dpif.dump_flows()),
+        // `dpctl/dump-flows` dumps the userspace datapath; with the
+        // `system` operand it dumps the in-kernel module's table instead
+        // (the `system@ovs-system` datapath in OVS terms).
+        "dpctl/dump-flows" => match args {
+            ["system", ..] => Ok(kernel.ovs.dump_flows(kernel.sim.clock.now_ns())),
+            _ => Ok(dpif.dump_flows(kernel.sim.clock.now_ns())),
+        },
+        // Flow counts against the dynamic flow limit, dump duration, and
+        // sweep totals — `ovs-appctl upcall/show`.
+        "upcall/show" => Ok(dpif.upcall_show()),
+        // Run one synchronous revalidator sweep and report what it did —
+        // the blocking analogue of `ovs-appctl revalidator/wait`.
+        "revalidator/wait" => {
+            let s = dpif.revalidate(kernel, 0);
+            Ok(format!(
+                "revalidation complete: {} flows dumped, {} deleted \
+                 ({} idle, {} hard, {} changed, {} evicted), \
+                 flow limit {}, dump duration {}ms\n",
+                s.dumped,
+                s.deleted(),
+                s.deleted_idle,
+                s.deleted_hard,
+                s.deleted_changed,
+                s.evicted,
+                s.flow_limit,
+                s.dump_duration_ms,
+            ))
+        }
         "ofproto/trace" => {
             let usage = "usage: ofproto/trace in_port=<N> <hex frame>";
             let [port_arg, hex] = args else {

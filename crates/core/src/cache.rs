@@ -15,11 +15,13 @@
 
 use crate::classifier::{Classifier, Rule};
 use ovs_packet::{FlowKey, FlowMask};
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
 /// A cached megaflow: the actions to run and the wildcard mask it was
-/// installed under.
+/// installed under, plus the per-flow stats the revalidator dumps
+/// (`n_packets`/`n_bytes`/`used`, as in `dpctl/dump-flows`).
 #[derive(Debug, PartialEq)]
 pub struct MegaflowEntry<A> {
     /// Masked match key.
@@ -28,8 +30,41 @@ pub struct MegaflowEntry<A> {
     pub mask: FlowMask,
     /// Datapath actions.
     pub actions: A,
-    /// Hits.
-    pub hits: std::cell::Cell<u64>,
+    /// Hits (`n_packets`).
+    pub hits: Cell<u64>,
+    /// Bytes forwarded (`n_bytes`).
+    pub bytes: Cell<u64>,
+    /// Sim-time of the last hit (`used`); 0 = never.
+    pub used_ns: Cell<u64>,
+    /// Sim-time of installation (hard-timeout base).
+    pub created_ns: Cell<u64>,
+    /// Set when the megaflow is removed from the cache while an EMC
+    /// slot (or other holder of the `Rc`) may still reference it; a dead
+    /// entry must never forward a packet.
+    pub dead: Cell<bool>,
+}
+
+impl<A> MegaflowEntry<A> {
+    /// A fresh entry created at sim-time `now_ns`.
+    pub fn new(key: FlowKey, mask: FlowMask, actions: A, now_ns: u64) -> Self {
+        Self {
+            key,
+            mask,
+            actions,
+            hits: Cell::new(0),
+            bytes: Cell::new(0),
+            used_ns: Cell::new(now_ns),
+            created_ns: Cell::new(now_ns),
+            dead: Cell::new(false),
+        }
+    }
+
+    /// Record one forwarded packet of `len` bytes at sim-time `now_ns`.
+    /// (The packet count itself is bumped by the cache lookup.)
+    pub fn note_use(&self, len: usize, now_ns: u64) {
+        self.bytes.set(self.bytes.get() + len as u64);
+        self.used_ns.set(now_ns);
+    }
 }
 
 /// Default EMC capacity, as in OVS (`EM_FLOW_HASH_ENTRIES`).
@@ -82,11 +117,19 @@ impl<A> Emc<A> {
         self.occupied == 0
     }
 
-    /// Look up the full (unmasked) key.
+    /// Look up the full (unmasked) key. A slot whose megaflow has been
+    /// revalidated away ([`MegaflowEntry::dead`]) counts as a miss and is
+    /// reclaimed, so a stale EMC entry can never forward a packet.
     pub fn lookup(&mut self, key: &FlowKey) -> Option<Rc<MegaflowEntry<A>>> {
         let slot = (key.hash() as usize) & self.mask;
         match &self.slots[slot] {
             Some((k, e)) if k == key => {
+                if e.dead.get() {
+                    self.slots[slot] = None;
+                    self.occupied -= 1;
+                    self.misses += 1;
+                    return None;
+                }
                 self.hits += 1;
                 e.hits.set(e.hits.get() + 1);
                 Some(Rc::clone(e))
@@ -126,6 +169,20 @@ impl<A> Emc<A> {
         }
         self.occupied = 0;
     }
+
+    /// Reclaim every slot whose megaflow is dead (end-of-sweep cleanup;
+    /// the lookup path also reclaims lazily). Returns slots freed.
+    pub fn purge_dead(&mut self) -> usize {
+        let mut freed = 0;
+        for s in &mut self.slots {
+            if matches!(s, Some((_, e)) if e.dead.get()) {
+                *s = None;
+                freed += 1;
+            }
+        }
+        self.occupied -= freed;
+        freed
+    }
 }
 
 impl<A> Default for Emc<A> {
@@ -139,8 +196,8 @@ impl<A> Default for Emc<A> {
 #[derive(Debug)]
 pub struct MegaflowCache<A> {
     cls: Classifier<Rc<MegaflowEntry<A>>>,
-    /// Exact map for removal bookkeeping: masked key → presence.
-    installed: HashMap<FlowKey, FlowMask>,
+    /// Exact map for removal bookkeeping: masked key → entry.
+    installed: HashMap<FlowKey, Rc<MegaflowEntry<A>>>,
     /// Hits.
     pub hits: u64,
     /// Misses (upcalls).
@@ -194,35 +251,65 @@ impl<A> MegaflowCache<A> {
         }
     }
 
-    /// Install a megaflow produced by translation.
+    /// Install a megaflow produced by translation (created/used = 0; the
+    /// datapath uses [`install_at`](Self::install_at)).
     pub fn install(&mut self, key: FlowKey, mask: FlowMask, actions: A) -> Rc<MegaflowEntry<A>> {
+        self.install_at(key, mask, actions, 0)
+    }
+
+    /// Install a megaflow produced by translation at sim-time `now_ns`.
+    /// Reinstalling over an existing masked key kills the old entry
+    /// (any EMC reference to it must not survive the replacement).
+    pub fn install_at(
+        &mut self,
+        key: FlowKey,
+        mask: FlowMask,
+        actions: A,
+        now_ns: u64,
+    ) -> Rc<MegaflowEntry<A>> {
         let masked = key.masked(&mask);
-        let entry = Rc::new(MegaflowEntry {
-            key: masked,
-            mask,
-            actions,
-            hits: std::cell::Cell::new(0),
-        });
+        let entry = Rc::new(MegaflowEntry::new(masked, mask, actions, now_ns));
+        if let Some(old) = self.installed.remove(&masked) {
+            old.dead.set(true);
+            self.cls.remove(&masked, &old.mask);
+        }
         self.cls.insert(Rule {
             key: masked,
             mask,
             priority: 0,
             value: Rc::clone(&entry),
         });
-        self.installed.insert(masked, mask);
+        self.installed.insert(masked, entry.clone());
         entry
     }
 
-    /// Remove one megaflow.
+    /// Whether a megaflow with this masked key is installed.
+    pub fn contains(&self, masked_key: &FlowKey) -> bool {
+        self.installed.contains_key(masked_key)
+    }
+
+    /// The installed entry for a masked key, if any.
+    pub fn get(&self, masked_key: &FlowKey) -> Option<&Rc<MegaflowEntry<A>>> {
+        self.installed.get(masked_key)
+    }
+
+    /// Remove one megaflow, marking the entry dead for any EMC holders.
     pub fn remove(&mut self, masked_key: &FlowKey) -> bool {
         match self.installed.remove(masked_key) {
-            Some(mask) => self.cls.remove(masked_key, &mask) > 0,
+            Some(e) => {
+                e.dead.set(true);
+                self.cls.remove(masked_key, &e.mask) > 0
+            }
             None => false,
         }
     }
 
-    /// Drop everything (OpenFlow table change revalidation).
+    /// Drop everything (OpenFlow table change revalidation). All entries
+    /// are marked dead so EMC references cannot forward stale flows.
     pub fn flush(&mut self) {
+        for e in self.installed.values() {
+            e.dead.set(true);
+        }
         self.cls.clear();
         self.installed.clear();
     }
@@ -254,12 +341,7 @@ mod tests {
     #[test]
     fn emc_hit_after_insert() {
         let mut emc: Emc<u32> = Emc::with_capacity(64);
-        let e = Rc::new(MegaflowEntry {
-            key: key(1),
-            mask: FlowMask::EXACT,
-            actions: 42,
-            hits: std::cell::Cell::new(0),
-        });
+        let e = Rc::new(MegaflowEntry::new(key(1), FlowMask::EXACT, 42, 0));
         assert!(emc.lookup(&key(1)).is_none());
         emc.insert(key(1), Rc::clone(&e));
         let hit = emc.lookup(&key(1)).unwrap();
@@ -273,12 +355,7 @@ mod tests {
     fn emc_probabilistic_insertion() {
         let mut emc: Emc<u32> = Emc::with_capacity(1024);
         emc.insert_inv_prob = 10;
-        let e = Rc::new(MegaflowEntry {
-            key: key(1),
-            mask: FlowMask::EXACT,
-            actions: 0,
-            hits: std::cell::Cell::new(0),
-        });
+        let e = Rc::new(MegaflowEntry::new(key(1), FlowMask::EXACT, 0, 0));
         let mut inserted = 0;
         for i in 0..100u8 {
             if emc.maybe_insert(key(i.wrapping_mul(7)), Rc::clone(&e)) {
@@ -291,12 +368,7 @@ mod tests {
     #[test]
     fn emc_slot_replacement_not_growth() {
         let mut emc: Emc<u32> = Emc::with_capacity(2);
-        let e = Rc::new(MegaflowEntry {
-            key: key(1),
-            mask: FlowMask::EXACT,
-            actions: 0,
-            hits: std::cell::Cell::new(0),
-        });
+        let e = Rc::new(MegaflowEntry::new(key(1), FlowMask::EXACT, 0, 0));
         for i in 0..50u8 {
             emc.insert(key(i), Rc::clone(&e));
         }
@@ -332,14 +404,59 @@ mod tests {
     }
 
     #[test]
+    fn emc_never_serves_dead_entries() {
+        let mut emc: Emc<u32> = Emc::with_capacity(64);
+        let mut mf: MegaflowCache<u32> = MegaflowCache::new();
+        let e = mf.install_at(key(1), FlowMask::EXACT, 9, 100);
+        emc.insert(key(1), Rc::clone(&e));
+        assert!(emc.lookup(&key(1)).is_some());
+        // Revalidation removes the megaflow: the EMC alias must miss.
+        assert!(mf.remove(&e.key));
+        assert!(emc.lookup(&key(1)).is_none(), "dead entry served from EMC");
+        assert!(emc.is_empty(), "dead slot reclaimed on lookup");
+    }
+
+    #[test]
+    fn emc_purge_dead_reclaims_slots() {
+        let mut emc: Emc<u32> = Emc::with_capacity(64);
+        let mut mf: MegaflowCache<u32> = MegaflowCache::new();
+        for i in 0..8u8 {
+            let e = mf.install_at(key(i), FlowMask::EXACT, u32::from(i), 0);
+            emc.insert(key(i), e);
+        }
+        mf.flush(); // marks everything dead
+        assert_eq!(emc.purge_dead(), 8);
+        assert!(emc.is_empty());
+    }
+
+    #[test]
+    fn reinstall_kills_replaced_entry() {
+        let mut mf: MegaflowCache<u32> = MegaflowCache::new();
+        let mask = FlowMask::of_fields(&[&fields::NW_DST]);
+        let old = mf.install_at(key(5), mask, 1, 10);
+        let new = mf.install_at(key(5), mask, 2, 20);
+        assert!(old.dead.get(), "replaced entry is dead");
+        assert!(!new.dead.get());
+        assert_eq!(mf.len(), 1, "replacement, not growth");
+        assert_eq!(mf.lookup(&key(5)).unwrap().actions, 2);
+    }
+
+    #[test]
+    fn entry_stats_accumulate() {
+        let mut mf: MegaflowCache<u32> = MegaflowCache::new();
+        let e = mf.install_at(key(5), FlowMask::EXACT, 1, 50);
+        assert_eq!(e.created_ns.get(), 50);
+        assert_eq!(e.used_ns.get(), 50);
+        e.note_use(100, 60);
+        e.note_use(50, 75);
+        assert_eq!(e.bytes.get(), 150);
+        assert_eq!(e.used_ns.get(), 75);
+    }
+
+    #[test]
     fn emc_flush() {
         let mut emc: Emc<u32> = Emc::with_capacity(16);
-        let e = Rc::new(MegaflowEntry {
-            key: key(1),
-            mask: FlowMask::EXACT,
-            actions: 0,
-            hits: std::cell::Cell::new(0),
-        });
+        let e = Rc::new(MegaflowEntry::new(key(1), FlowMask::EXACT, 0, 0));
         emc.insert(key(1), e);
         emc.flush();
         assert!(emc.is_empty());

@@ -13,6 +13,7 @@ use crate::cache::{Emc, MegaflowCache};
 use crate::meter::MeterSet;
 use crate::mirror::MirrorSession;
 use crate::ofproto::Ofproto;
+use crate::revalidator::{DeleteReason, Revalidator, SweepSummary, Ukey};
 use crate::tso;
 use crate::tunnel::{self, TunnelConfig};
 use ovs_afxdp::AfxdpPort;
@@ -70,6 +71,17 @@ fn describe_key(key: &FlowKey) -> String {
         out.push_str(&format!(",ct_state=0x{:02x}", key.ct_state()));
     }
     out
+}
+
+/// The `used:` column of a `dpctl/dump-flows` line: `never` for a flow
+/// that has not forwarded a packet, otherwise the age of the last use in
+/// seconds — OVS's format.
+fn format_used(now_ns: u64, used_ns: u64, hits: u64) -> String {
+    if hits == 0 {
+        "never".to_string()
+    } else {
+        format!("{:.3}s", now_ns.saturating_sub(used_ns) as f64 / 1e9)
+    }
 }
 
 /// A datapath port number.
@@ -170,15 +182,25 @@ pub struct DpifStats {
     pub tunnel_decaps: u64,
     pub tso_segments: u64,
     pub meter_drops: u64,
+    /// Megaflows installed into the datapath over its lifetime.
+    pub flows_installed: u64,
+    /// Megaflows removed (expired, changed, evicted, or flushed).
+    pub flows_deleted: u64,
+    /// Upcalls that skipped installation because the datapath was at the
+    /// dynamic flow limit (the packet is still forwarded).
+    pub flow_limit_hits: u64,
 }
 
 impl DpifStats {
     /// Lookup accounting invariant: every pipeline pass consults exactly
     /// one cache tier, and passes are packets plus the recirculations
-    /// that re-entered the pipeline.
+    /// that re-entered the pipeline. Flow lifecycle accounting must also
+    /// balance — a flow cannot be deleted more than once, so deletions
+    /// (expiry, eviction, flushes) never outrun installs.
     pub fn coherent(&self) -> bool {
         self.emc_hits + self.megaflow_hits + self.upcalls
             == self.packets_processed + self.recirculations
+            && self.flows_deleted <= self.flows_installed
     }
 }
 
@@ -205,6 +227,10 @@ pub struct DpifNetdev {
     /// Active `ofproto/trace` context, attached to the packet currently
     /// in flight. `None` on the fast path — tracing costs nothing then.
     pub trace: Option<TraceCtx>,
+    /// udpif revalidator state: ukeys (one per installed megaflow, with
+    /// the rule refs stats push back to), the dynamic flow limit, and
+    /// sweep accounting.
+    pub revalidator: Revalidator<Vec<DpAction>>,
 }
 
 impl Default for DpifNetdev {
@@ -228,6 +254,7 @@ impl DpifNetdev {
             stats: DpifStats::default(),
             perf: BTreeMap::new(),
             trace: None,
+            revalidator: Revalidator::new(),
         }
     }
 
@@ -267,8 +294,16 @@ impl DpifNetdev {
         self.megaflow.len()
     }
 
-    /// Flush both cache levels (triggered by rule changes).
+    /// Flush both cache levels. Residual per-flow stats are pushed up to
+    /// the OpenFlow rules first so no `n_packets` are lost, then every
+    /// ukey is dropped with its flow.
     pub fn flush_caches(&mut self) {
+        for e in self.megaflow.iter() {
+            self.revalidator
+                .push_stats(&e.key, e.hits.get(), e.bytes.get());
+        }
+        self.stats.flows_deleted += self.megaflow.len() as u64;
+        self.revalidator.clear_ukeys();
         self.emc.flush();
         self.megaflow.flush();
     }
@@ -279,23 +314,212 @@ impl DpifNetdev {
     }
 
     /// Install a batch of flows from `ovs-ofctl` text (one per line) and
-    /// revalidate. Returns the number of rules installed.
+    /// selectively revalidate the caches. Returns the number of rules
+    /// installed.
     pub fn add_flows(&mut self, text: &str) -> Result<usize, crate::ofctl::ParseError> {
         let rules = crate::ofctl::parse_flows(text)?;
         let n = rules.len();
         for r in rules {
             self.ofproto.add_rule(r);
         }
-        self.flush_caches();
+        self.revalidate_changed();
         Ok(n)
     }
 
-    /// Install or modify an OpenFlow rule at runtime and **revalidate**:
-    /// cached megaflows may embed decisions the new rule changes, so both
-    /// cache levels are flushed, exactly as OVS's revalidator threads do.
+    /// Install or modify an OpenFlow rule at runtime and **selectively
+    /// revalidate**: every cached megaflow is re-translated against the
+    /// updated tables and only the flows whose translation actually
+    /// changed are deleted — OVS revalidator semantics, replacing the
+    /// old flush-the-world behaviour. Unaffected flows keep their cache
+    /// entries (and their hit streaks).
     pub fn flow_mod(&mut self, rule: crate::ofproto::OfRule) {
         self.ofproto.add_rule(rule);
-        self.flush_caches();
+        self.revalidate_changed();
+    }
+
+    /// Re-translate every installed megaflow against the current tables
+    /// and delete the ones whose datapath actions or wildcard mask
+    /// changed. Returns the number deleted. Re-translating the *masked*
+    /// key is sound because a megaflow's mask covers every field its
+    /// translation consulted, so the masked key takes the same pipeline
+    /// path as any packet the megaflow matches. Pure control-plane
+    /// bookkeeping — the periodic, cost-charged pass is
+    /// [`revalidate`](Self::revalidate).
+    pub fn revalidate_changed(&mut self) -> usize {
+        let keys: Vec<FlowKey> = self.megaflow.iter().map(|e| e.key).collect();
+        let mut deleted = 0;
+        for k in keys {
+            coverage!("revalidate_flow");
+            self.revalidator.stats.flows_dumped += 1;
+            let t = self.ofproto.translate(&k);
+            let stale = match self.megaflow.get(&k) {
+                Some(e) => t.actions != e.actions || t.mask != e.mask,
+                None => continue,
+            };
+            if stale {
+                coverage!("revalidate_changed");
+                self.revalidator.note_delete(DeleteReason::Changed);
+                self.delete_megaflow(&k);
+                deleted += 1;
+            } else {
+                // The flow survives, but the rules backing it may have
+                // changed; push pending stats to the old rules, then
+                // swap in the fresh xlate cache.
+                if let Some(e) = self.megaflow.get(&k) {
+                    self.revalidator.push_stats(&k, e.hits.get(), e.bytes.get());
+                }
+                self.revalidator.refresh_rules(&k, t.rules);
+            }
+        }
+        self.emc.purge_dead();
+        deleted
+    }
+
+    /// Delete one megaflow (by masked key), pushing its outstanding
+    /// stats up to the OpenFlow rules first. Returns whether it existed.
+    fn delete_megaflow(&mut self, masked: &FlowKey) -> bool {
+        if let Some(e) = self.megaflow.get(masked) {
+            self.revalidator
+                .push_stats(masked, e.hits.get(), e.bytes.get());
+        }
+        self.revalidator.forget(masked);
+        if self.megaflow.remove(masked) {
+            self.stats.flows_deleted += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// One full revalidator round over the userspace datapath: dump
+    /// every megaflow, push its stats up to the OpenFlow rules, delete
+    /// flows that are idle past the (effective) idle timeout, older than
+    /// the hard timeout, or whose re-translation changed, then evict
+    /// LRU-first down to the dynamic flow limit. The simulated dump
+    /// duration feeds [`Revalidator::note_dump`], which adjusts the
+    /// limit for the next round — OVS's `udpif_revalidator` loop.
+    pub fn revalidate(&mut self, kernel: &mut Kernel, core: usize) -> SweepSummary {
+        let t0 = core_ns(kernel, core);
+        let mut timer = StageTimer::new(t0);
+        let now = kernel.sim.clock.now_ns();
+        let n_flows = self.megaflow.len();
+        let max_idle = self.revalidator.effective_max_idle_ns(n_flows);
+        let hard = self.revalidator.hard_timeout_ns();
+        let kill_all = n_flows > 2 * self.revalidator.flow_limit;
+        let mut summary = SweepSummary::default();
+
+        let keys: Vec<FlowKey> = self.megaflow.iter().map(|e| e.key).collect();
+        for k in keys {
+            coverage!("revalidate_flow");
+            self.revalidator.stats.flows_dumped += 1;
+            summary.dumped += 1;
+            let c = kernel.sim.costs.revalidate_flow_ns;
+            kernel.sim.charge(core, Context::User, c);
+            let (hits, bytes, used, created) = match self.megaflow.get(&k) {
+                Some(e) => (
+                    e.hits.get(),
+                    e.bytes.get(),
+                    e.used_ns.get(),
+                    e.created_ns.get(),
+                ),
+                None => continue,
+            };
+            // Push stats before any delete decision so counters survive
+            // the flow.
+            self.revalidator.push_stats(&k, hits, bytes);
+            let reason = if kill_all {
+                Some(DeleteReason::Evicted)
+            } else if now.saturating_sub(used) > max_idle {
+                Some(DeleteReason::Idle)
+            } else if hard > 0 && now.saturating_sub(created) > hard {
+                Some(DeleteReason::Hard)
+            } else {
+                let t = self.ofproto.translate(&k);
+                let stale = self
+                    .megaflow
+                    .get(&k)
+                    .map(|e| t.actions != e.actions || t.mask != e.mask)
+                    .unwrap_or(false);
+                if stale {
+                    Some(DeleteReason::Changed)
+                } else {
+                    self.revalidator.refresh_rules(&k, t.rules);
+                    None
+                }
+            };
+            if let Some(reason) = reason {
+                match reason {
+                    DeleteReason::Idle => {
+                        coverage!("revalidate_idle");
+                        summary.deleted_idle += 1;
+                    }
+                    DeleteReason::Hard => {
+                        coverage!("revalidate_hard");
+                        summary.deleted_hard += 1;
+                    }
+                    DeleteReason::Changed => {
+                        coverage!("revalidate_changed");
+                        summary.deleted_changed += 1;
+                    }
+                    DeleteReason::Evicted => {
+                        coverage!("flow_evicted");
+                        summary.evicted += 1;
+                    }
+                }
+                self.revalidator.note_delete(reason);
+                self.delete_megaflow(&k);
+            }
+        }
+
+        // Still over the limit: evict least-recently-used flows. Sorted
+        // by (used, key hash) so eviction order never depends on
+        // HashMap iteration order.
+        if self.megaflow.len() > self.revalidator.flow_limit {
+            let mut lru: Vec<(u64, u64, FlowKey)> = self
+                .megaflow
+                .iter()
+                .map(|e| (e.used_ns.get(), e.key.hash(), e.key))
+                .collect();
+            lru.sort_unstable_by_key(|(used, h, _)| (*used, *h));
+            let excess = self.megaflow.len() - self.revalidator.flow_limit;
+            for (_, _, k) in lru.into_iter().take(excess) {
+                coverage!("flow_evicted");
+                self.revalidator.note_delete(DeleteReason::Evicted);
+                summary.evicted += 1;
+                self.delete_megaflow(&k);
+            }
+        }
+        self.emc.purge_dead();
+
+        // The simulated dump duration drives the dynamic flow limit.
+        let dump_ms = (core_ns(kernel, core) - t0) / 1_000_000;
+        self.revalidator.note_dump(n_flows, dump_ms);
+        summary.flow_limit = self.revalidator.flow_limit;
+        summary.dump_duration_ms = self.revalidator.dump_duration_ms;
+
+        timer.mark(Stage::Revalidate, core_ns(kernel, core));
+        self.perf.entry(core).or_default().commit(&timer, 0);
+        debug_assert!(
+            self.stats.coherent(),
+            "dpif stats drifted: {:?}",
+            self.stats
+        );
+        debug_assert_eq!(
+            self.megaflow.len() as u64,
+            self.stats.flows_installed - self.stats.flows_deleted,
+            "flow lifecycle accounting drifted"
+        );
+        summary
+    }
+
+    /// `ovs-appctl upcall/show` equivalent: flow counts against the
+    /// dynamic flow limit, last dump duration, and sweep totals.
+    pub fn upcall_show(&self) -> String {
+        self.revalidator.show(
+            "netdev@ovs-netdev",
+            self.megaflow.len(),
+            self.stats.flow_limit_hits,
+        )
     }
 
     /// `ovs-appctl dpif-netdev/pmd-stats-show` equivalent.
@@ -391,14 +615,18 @@ megaflows installed: {}
     }
 
     /// `ovs-appctl dpctl/dump-flows` equivalent: one line per installed
-    /// megaflow with its significant fields, hit count, and actions. The
-    /// userspace datapath makes this kind of introspection trivial — one
-    /// of the paper's "easier troubleshooting" lessons (§6).
-    pub fn dump_flows(&self) -> String {
+    /// megaflow with its significant fields, packet/byte counters, time
+    /// since last use (`used:`), and actions, sorted so the output is
+    /// deterministic. The userspace datapath makes this kind of
+    /// introspection trivial — one of the paper's "easier
+    /// troubleshooting" lessons (§6). `now_ns` is the current sim-time
+    /// the `used:` ages are computed against.
+    pub fn dump_flows(&self, now_ns: u64) -> String {
         use std::fmt::Write as _;
-        let mut out = String::new();
+        let mut lines: Vec<String> = Vec::new();
         for e in self.megaflow.iter() {
             let k = e.key;
+            let mut out = String::new();
             let _ = write!(
                 out,
                 "in_port({}),recirc({}),eth_type(0x{:04x})",
@@ -423,11 +651,19 @@ megaflows installed: {}
             }
             let _ = write!(
                 out,
-                " packets:{} mask_bits:{}",
+                " packets:{} bytes:{} used:{} mask_bits:{}",
                 e.hits.get(),
+                e.bytes.get(),
+                format_used(now_ns, e.used_ns.get(), e.hits.get()),
                 e.mask.bit_count()
             );
-            let _ = writeln!(out, " actions:{:?}", e.actions);
+            let _ = write!(out, " actions:{:?}", e.actions);
+            lines.push(out);
+        }
+        lines.sort_unstable();
+        let mut out = String::new();
+        for l in lines {
+            let _ = writeln!(out, "{l}");
         }
         out
     }
@@ -593,6 +829,7 @@ megaflows installed: {}
                 if let Some(t) = self.trace.as_mut() {
                     t.note("cache: EMC hit (exact match)");
                 }
+                e.note_use(pkt.len(), kernel.sim.clock.now_ns());
                 Rc::new(e.actions.clone())
             } else if let Some(e) = self.megaflow.lookup(&key) {
                 // Level 2: megaflow cache.
@@ -607,6 +844,7 @@ megaflows installed: {}
                         e.mask.bit_count()
                     ));
                 }
+                e.note_use(pkt.len(), kernel.sim.clock.now_ns());
                 self.emc.maybe_insert(key, Rc::clone(&e));
                 Rc::new(e.actions.clone())
             } else {
@@ -635,8 +873,43 @@ megaflows installed: {}
                 let c = t.tables_visited as f64 * kernel.sim.costs.upcall_per_table_ns;
                 kernel.sim.charge(core, Context::User, c);
                 timer.mark(Stage::Upcall, core_ns(kernel, core));
-                let entry = self.megaflow.install(key, t.mask, t.actions.clone());
-                self.emc.maybe_insert(key, entry);
+                // The upcalled packet is credited at translation time;
+                // everything after it is credited by stats pushback.
+                for r in &t.rules {
+                    r.credit(1, pkt.len() as u64);
+                }
+                let now = kernel.sim.clock.now_ns();
+                let masked = key.masked(&t.mask);
+                if self.megaflow.contains(&masked) {
+                    // Masked-key collision under a different mask:
+                    // replace the stale flow.
+                    self.delete_megaflow(&masked);
+                }
+                if self.revalidator.should_install(self.megaflow.len()) {
+                    let entry = self
+                        .megaflow
+                        .install_at(key, t.mask, t.actions.clone(), now);
+                    self.stats.flows_installed += 1;
+                    self.revalidator.register(Ukey::new(
+                        masked,
+                        t.mask,
+                        t.actions.clone(),
+                        t.rules,
+                        now,
+                    ));
+                    self.emc.maybe_insert(key, entry);
+                } else {
+                    // At the dynamic flow limit: forward without
+                    // installing (OVS upcall handlers do the same).
+                    self.stats.flow_limit_hits += 1;
+                    coverage!("flow_limit_hit");
+                    if let Some(tr) = self.trace.as_mut() {
+                        tr.note(format!(
+                            "flow limit reached ({}): megaflow not installed",
+                            self.revalidator.flow_limit
+                        ));
+                    }
+                }
                 Rc::new(t.actions)
             };
 
@@ -1017,6 +1290,10 @@ pub struct DpifNetlink {
     pub tunnel_local_ip: [u8; 4],
     /// Upcalls handled.
     pub upcalls_handled: u64,
+    /// Upcalls that skipped installation at the dynamic flow limit.
+    pub flow_limit_hits: u64,
+    /// udpif revalidator state over the kernel flow table.
+    pub revalidator: Revalidator<Vec<ovs_kernel::KAction>>,
 }
 
 impl DpifNetlink {
@@ -1027,6 +1304,8 @@ impl DpifNetlink {
             ofproto: Ofproto::new(),
             tunnel_local_ip,
             upcalls_handled: 0,
+            flow_limit_hits: 0,
+            revalidator: Revalidator::new(),
         }
     }
 
@@ -1041,8 +1320,28 @@ impl DpifNetlink {
             let t = self.ofproto.translate(&u.key);
             let c = t.tables_visited as f64 * kernel.sim.costs.upcall_per_table_ns;
             kernel.sim.charge(core, Context::User, c);
+            // Credit the upcalled packet itself; the installed flow's
+            // later hits arrive via revalidator stats pushback.
+            for r in &t.rules {
+                r.credit(1, u.frame.len() as u64);
+            }
             let kactions = self.map_actions(&t.actions);
-            kernel.ovs.install_flow(&u.key, &t.mask, kactions.clone());
+            if self.revalidator.should_install(kernel.ovs.flow_count()) {
+                let now = kernel.sim.clock.now_ns();
+                kernel
+                    .ovs
+                    .install_flow_at(&u.key, &t.mask, kactions.clone(), now);
+                self.revalidator.register(Ukey::new(
+                    u.key.masked(&t.mask),
+                    t.mask,
+                    kactions.clone(),
+                    t.rules,
+                    now,
+                ));
+            } else {
+                self.flow_limit_hits += 1;
+                coverage!("flow_limit_hit");
+            }
             let mut pkt = DpPacket::from_data(&u.frame);
             pkt.in_port = u.in_port;
             pkt.tunnel = u.tunnel;
@@ -1050,6 +1349,123 @@ impl DpifNetlink {
             kernel.ovs_execute(pkt, &kactions, core);
         }
         handled
+    }
+
+    /// One full revalidator round over the **kernel** flow table, via the
+    /// ukeys recorded at upcall time — the same dump/revalidate/sweep
+    /// loop as [`DpifNetdev::revalidate`], driven over Netlink in real
+    /// OVS. Flows installed behind the dpif's back (e.g. pre-warmed
+    /// scenario flows) have no ukey and are left alone.
+    pub fn revalidate(&mut self, kernel: &mut Kernel, core: usize) -> SweepSummary {
+        let t0 = core_ns(kernel, core);
+        let now = kernel.sim.clock.now_ns();
+        let n_flows = kernel.ovs.flow_count();
+        let max_idle = self.revalidator.effective_max_idle_ns(n_flows);
+        let hard = self.revalidator.hard_timeout_ns();
+        let kill_all = n_flows > 2 * self.revalidator.flow_limit;
+        let mut summary = SweepSummary::default();
+
+        for k in self.revalidator.keys() {
+            coverage!("revalidate_flow");
+            self.revalidator.stats.flows_dumped += 1;
+            summary.dumped += 1;
+            let c = kernel.sim.costs.revalidate_flow_ns;
+            kernel.sim.charge(core, Context::User, c);
+            let mask = match self.revalidator.ukey(&k) {
+                Some(uk) => uk.mask,
+                None => continue,
+            };
+            let Some((hits, bytes, used, created)) = kernel.ovs.flow_stats(&k, &mask) else {
+                // The kernel flow is gone (flushed); drop the ukey.
+                self.revalidator.forget(&k);
+                continue;
+            };
+            self.revalidator.push_stats(&k, hits, bytes);
+            let reason = if kill_all {
+                Some(DeleteReason::Evicted)
+            } else if now.saturating_sub(used) > max_idle {
+                Some(DeleteReason::Idle)
+            } else if hard > 0 && now.saturating_sub(created) > hard {
+                Some(DeleteReason::Hard)
+            } else {
+                let t = self.ofproto.translate(&k);
+                let kactions = self.map_actions(&t.actions);
+                let stale = self
+                    .revalidator
+                    .ukey(&k)
+                    .map(|uk| kactions != uk.actions || t.mask != uk.mask)
+                    .unwrap_or(false);
+                if stale {
+                    Some(DeleteReason::Changed)
+                } else {
+                    self.revalidator.refresh_rules(&k, t.rules);
+                    None
+                }
+            };
+            if let Some(reason) = reason {
+                match reason {
+                    DeleteReason::Idle => {
+                        coverage!("revalidate_idle");
+                        summary.deleted_idle += 1;
+                    }
+                    DeleteReason::Hard => {
+                        coverage!("revalidate_hard");
+                        summary.deleted_hard += 1;
+                    }
+                    DeleteReason::Changed => {
+                        coverage!("revalidate_changed");
+                        summary.deleted_changed += 1;
+                    }
+                    DeleteReason::Evicted => {
+                        coverage!("flow_evicted");
+                        summary.evicted += 1;
+                    }
+                }
+                self.revalidator.note_delete(reason);
+                kernel.ovs.remove_flow(&k, &mask);
+                self.revalidator.forget(&k);
+            }
+        }
+
+        // Evict LRU-first down to the limit (only dpif-installed flows —
+        // the ones with ukeys — are candidates).
+        if kernel.ovs.flow_count() > self.revalidator.flow_limit {
+            let mut lru: Vec<(u64, u64, FlowKey)> = self
+                .revalidator
+                .keys()
+                .into_iter()
+                .filter_map(|k| {
+                    let mask = self.revalidator.ukey(&k)?.mask;
+                    let (_, _, used, _) = kernel.ovs.flow_stats(&k, &mask)?;
+                    Some((used, k.hash(), k))
+                })
+                .collect();
+            lru.sort_unstable_by_key(|(used, h, _)| (*used, *h));
+            let excess = kernel.ovs.flow_count() - self.revalidator.flow_limit;
+            for (_, _, k) in lru.into_iter().take(excess) {
+                coverage!("flow_evicted");
+                self.revalidator.note_delete(DeleteReason::Evicted);
+                summary.evicted += 1;
+                if let Some(uk) = self.revalidator.forget(&k) {
+                    kernel.ovs.remove_flow(&k, &uk.mask);
+                }
+            }
+        }
+
+        let dump_ms = (core_ns(kernel, core) - t0) / 1_000_000;
+        self.revalidator.note_dump(n_flows, dump_ms);
+        summary.flow_limit = self.revalidator.flow_limit;
+        summary.dump_duration_ms = self.revalidator.dump_duration_ms;
+        summary
+    }
+
+    /// `ovs-appctl upcall/show` equivalent for the kernel datapath.
+    pub fn upcall_show(&self, kernel: &Kernel) -> String {
+        self.revalidator.show(
+            "system@ovs-system",
+            kernel.ovs.flow_count(),
+            self.flow_limit_hits,
+        )
     }
 
     fn map_actions(&self, actions: &[DpAction]) -> Vec<ovs_kernel::KAction> {

@@ -25,6 +25,10 @@
 //! * [`mirror`] — ERSPAN port mirroring (the §2.1.1 backporting example).
 //! * [`ofctl`] — the `ovs-ofctl add-flow` text syntax.
 //! * [`tso`] — software segmentation for egress devices without TSO.
+//! * [`revalidator`] — the udpif revalidator: megaflow lifecycle
+//!   (idle/hard expiry, selective invalidation on `flow_mod`), the
+//!   dynamic flow-limit algorithm, and stats pushback into OpenFlow
+//!   rule counters.
 //! * [`appctl`] — the `ovs-appctl` dispatch surface: `coverage/show`,
 //!   `dpif-netdev/pmd-perf-show`, `ofproto/trace`, and friends.
 
@@ -36,6 +40,7 @@ pub mod meter;
 pub mod mirror;
 pub mod ofctl;
 pub mod ofproto;
+pub mod revalidator;
 pub mod tso;
 pub mod tunnel;
 
@@ -44,5 +49,6 @@ pub use classifier::{Classifier, Rule};
 pub use dpif::{DpAction, DpifNetdev, DpifNetlink, PortNo, PortType};
 pub use meter::{Meter, MeterSet};
 pub use mirror::MirrorSession;
-pub use ofctl::{parse_flow, parse_flows};
-pub use ofproto::{OfAction, OfRule, Ofproto};
+pub use ofctl::{dump_flows, parse_flow, parse_flows};
+pub use ofproto::{OfAction, OfRule, Ofproto, RuleEntry};
+pub use revalidator::{Revalidator, RevalidatorConfig, SweepSummary, Ukey};

@@ -66,6 +66,27 @@ pub struct OfRule {
     pub cookie: u64,
 }
 
+/// An installed rule plus the stats the revalidator pushes back into it
+/// (`n_packets`/`n_bytes`, what `ovs-ofctl dump-flows` reports). OVS
+/// calls this `rule_dpif`; stats flow up from the caches via
+/// `xlate_push_stats`, never down.
+#[derive(Debug, PartialEq)]
+pub struct RuleEntry {
+    pub rule: OfRule,
+    /// Packets attributed to this rule (upcalled + cache-pushed).
+    pub n_packets: std::cell::Cell<u64>,
+    /// Bytes attributed to this rule.
+    pub n_bytes: std::cell::Cell<u64>,
+}
+
+impl RuleEntry {
+    /// Credit `packets`/`bytes` to this rule's OpenFlow stats.
+    pub fn credit(&self, packets: u64, bytes: u64) {
+        self.n_packets.set(self.n_packets.get() + packets);
+        self.n_bytes.set(self.n_bytes.get() + bytes);
+    }
+}
+
 /// The outcome of a slow-path traversal: the megaflow to install.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Translation {
@@ -75,6 +96,10 @@ pub struct Translation {
     pub mask: FlowMask,
     /// Tables visited.
     pub tables_visited: u32,
+    /// Every rule the traversal matched, in match order — the xlate
+    /// cache that stats pushback credits (each rule on the path sees
+    /// every packet the megaflow forwards).
+    pub rules: Vec<Rc<RuleEntry>>,
 }
 
 /// Continuation state for a recirculation id.
@@ -93,7 +118,7 @@ pub struct OfprotoStats {
 
 /// The OpenFlow switch model.
 pub struct Ofproto {
-    tables: HashMap<u8, Classifier<Rc<OfRule>>>,
+    tables: HashMap<u8, Classifier<Rc<RuleEntry>>>,
     recirc: HashMap<u32, ResumeCtx>,
     next_recirc_id: u32,
     /// Counters.
@@ -124,8 +149,21 @@ impl Ofproto {
             key: rule.key,
             mask: rule.mask,
             priority: rule.priority,
-            value: Rc::new(rule),
+            value: Rc::new(RuleEntry {
+                rule,
+                n_packets: std::cell::Cell::new(0),
+                n_bytes: std::cell::Cell::new(0),
+            }),
         });
+    }
+
+    /// Iterate every installed rule (for `ovs-ofctl dump-flows`).
+    pub fn iter_rules(&self) -> impl Iterator<Item = &Rc<RuleEntry>> + '_ {
+        let mut tables: Vec<_> = self.tables.iter().collect();
+        tables.sort_by_key(|(t, _)| **t);
+        tables
+            .into_iter()
+            .flat_map(|(_, cls)| cls.iter().map(|r| &r.value))
     }
 
     /// Total rules across tables.
@@ -176,6 +214,7 @@ impl Ofproto {
         self.stats.translations += 1;
         let mut wc = FlowMask::of_fields(&[&fields::IN_PORT, &fields::RECIRC_ID]);
         let mut actions = Vec::new();
+        let mut matched: Vec<Rc<RuleEntry>> = Vec::new();
         let mut work_key = *key;
 
         let mut table = if key.recirc_id() != 0 {
@@ -201,6 +240,7 @@ impl Ofproto {
                         actions,
                         mask: wc,
                         tables_visited: 0,
+                        rules: matched,
                     };
                 }
             }
@@ -220,7 +260,7 @@ impl Ofproto {
                 }
                 break;
             };
-            let (rule, rule_mask) = match cls.lookup(&work_key) {
+            let (entry, rule_mask) = match cls.lookup(&work_key) {
                 Some(r) => (Rc::clone(&r.value), r.mask),
                 None => {
                     // A miss must be as specific as anything that could
@@ -234,6 +274,8 @@ impl Ofproto {
                 }
             };
             wc.unite(&rule_mask);
+            matched.push(Rc::clone(&entry));
+            let rule = &entry.rule;
             if let Some(t) = trace.as_deref_mut() {
                 t.note(format!(
                     "table {table}: matched priority {} cookie 0x{:x}, actions {:?}",
@@ -283,6 +325,7 @@ impl Ofproto {
                             actions,
                             mask: wc,
                             tables_visited: visited,
+                            rules: matched,
                         };
                     }
                     OfAction::Drop => {
@@ -293,6 +336,7 @@ impl Ofproto {
                             actions: Vec::new(),
                             mask: wc,
                             tables_visited: visited,
+                            rules: matched,
                         };
                     }
                 }
@@ -306,6 +350,7 @@ impl Ofproto {
             actions,
             mask: wc,
             tables_visited: visited,
+            rules: matched,
         }
     }
 
@@ -517,6 +562,31 @@ mod tests {
         of.translate(&key_on_port(1));
         assert_eq!(of.stats.translations, 1);
         assert!(of.distinct_match_fields() >= 1);
+    }
+
+    #[test]
+    fn translation_records_matched_rules_for_stats_pushback() {
+        let mut of = Ofproto::new();
+        of.add_rule(simple_rule(0, 10, 1, vec![OfAction::Goto(5)]));
+        let mut k5 = FlowKey::default();
+        k5.set_nw_dst_v4([10, 0, 0, 2]);
+        of.add_rule(OfRule {
+            table: 5,
+            priority: 1,
+            key: k5,
+            mask: FlowMask::of_fields(&[&NW_DST]),
+            actions: vec![OfAction::Output(3)],
+            cookie: 0,
+        });
+        let t = of.translate(&key_on_port(1));
+        assert_eq!(t.rules.len(), 2, "every rule on the path is recorded");
+        for r in &t.rules {
+            r.credit(7, 700);
+        }
+        let pkts: Vec<u64> = of.iter_rules().map(|r| r.n_packets.get()).collect();
+        assert_eq!(pkts, vec![7, 7], "both rules credited");
+        let bytes: u64 = of.iter_rules().map(|r| r.n_bytes.get()).sum();
+        assert_eq!(bytes, 1400);
     }
 
     #[test]

@@ -90,24 +90,44 @@ fn erspan_mirror_copies_watched_traffic() {
 fn flow_mod_revalidates_cached_megaflows() {
     let (mut k, mut dp, nics) = setup();
     dp.ofproto.add_rule(fwd_rule(0, 1, 10));
-    // Warm the caches toward eth1.
+    // An unrelated flow in the other direction, cached alongside.
+    dp.ofproto.add_rule(fwd_rule(1, 0, 10));
+    // Warm the caches toward eth1, and the reverse flow toward eth0.
     for _ in 0..3 {
         k.receive(nics[0], 0, frame());
         dp.pmd_poll(&mut k, 0, 0, 1);
+        k.receive(nics[1], 0, frame());
+        dp.pmd_poll(&mut k, 1, 0, 1);
     }
     assert_eq!(k.dev_mut(nics[1]).tx_wire.drain(..).count(), 3);
-    assert!(dp.megaflow_count() >= 1);
+    assert_eq!(k.dev_mut(nics[0]).tx_wire.drain(..).count(), 3);
+    assert_eq!(dp.megaflow_count(), 2);
 
-    // Redirect the same traffic to eth2 at higher priority. Without
-    // revalidation the stale megaflow would keep winning.
+    // Redirect port 0's traffic to eth2 at higher priority. Without
+    // revalidation the stale megaflow would keep winning. Revalidation
+    // is *selective*: only the flow whose translation changed dies — the
+    // unrelated port-1 flow keeps its cache entry.
     dp.flow_mod(fwd_rule(0, 2, 50));
-    assert_eq!(dp.megaflow_count(), 0, "caches flushed");
+    assert_eq!(
+        dp.megaflow_count(),
+        1,
+        "only the changed megaflow was deleted"
+    );
+    let upcalls_before = dp.stats.upcalls;
     for _ in 0..3 {
         k.receive(nics[0], 0, frame());
         dp.pmd_poll(&mut k, 0, 0, 1);
+        k.receive(nics[1], 0, frame());
+        dp.pmd_poll(&mut k, 1, 0, 1);
     }
     assert_eq!(k.device(nics[1]).tx_wire.len(), 0, "old path unused");
     assert_eq!(k.device(nics[2]).tx_wire.len(), 3, "new rule in effect");
+    assert_eq!(k.device(nics[0]).tx_wire.len(), 3, "reverse flow intact");
+    assert_eq!(
+        dp.stats.upcalls,
+        upcalls_before + 1,
+        "exactly one re-translation upcall: the surviving flow stayed hot"
+    );
 }
 
 #[test]

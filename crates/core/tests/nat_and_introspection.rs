@@ -147,7 +147,7 @@ fn dump_flows_shows_the_installed_megaflows() {
     k.receive(eth0, 0, req);
     dp.pmd_poll(&mut k, 0, 0, 1);
 
-    let dump = dp.dump_flows();
+    let dump = dp.dump_flows(k.sim.clock.now_ns());
     assert!(dump.contains("in_port(0)"), "{dump}");
     assert!(dump.contains("Ct"), "ct action visible: {dump}");
     assert!(
@@ -158,7 +158,7 @@ fn dump_flows_shows_the_installed_megaflows() {
     let req2 = builder::udp_ipv4(CLIENT_MAC, SWITCH_MAC, [10, 0, 0, 9], VIP, 5555, 80, b"y");
     k.receive(eth0, 0, req2);
     dp.pmd_poll(&mut k, 0, 0, 1);
-    let dump2 = dp.dump_flows();
+    let dump2 = dp.dump_flows(k.sim.clock.now_ns());
     assert!(
         dump2.contains("packets:1") || dump2.contains("packets:2"),
         "{dump2}"
@@ -187,7 +187,7 @@ fn conntrack_state_bits_flow_into_megaflow_keys() {
     assert_eq!(dp.ct.len(), 1);
     // The recirculated pipeline passes produced their own megaflows,
     // keyed by recirculation id.
-    let dump = dp.dump_flows();
+    let dump = dp.dump_flows(k.sim.clock.now_ns());
     assert!(
         dump.contains("recirc(1)"),
         "forward resume pass cached:\n{dump}"

@@ -132,6 +132,12 @@ struct Megaflow {
     actions: Vec<KAction>,
     /// Packet hit counter (visible via `ovs-dpctl dump-flows` analogues).
     hits: u64,
+    /// Bytes forwarded.
+    bytes: u64,
+    /// Sim-time of the last hit (`used`).
+    used_ns: u64,
+    /// Sim-time of installation.
+    created_ns: u64,
 }
 
 /// The kernel datapath.
@@ -140,6 +146,9 @@ pub struct OvsModule {
     vports: Vec<Vport>,
     /// Mask list; each lookup probes masks in insertion order.
     masks: Vec<FlowMask>,
+    /// Flows referencing each mask; a mask with zero references is dead
+    /// (skipped by lookup, reusable by install).
+    mask_refs: Vec<usize>,
     /// Flows keyed by `(mask index, masked key)`.
     flows: HashMap<(usize, FlowKey), Megaflow>,
     /// Statistics.
@@ -174,23 +183,77 @@ impl OvsModule {
         })
     }
 
-    /// Install a megaflow. The mask is added to the mask list if new.
+    /// Install a megaflow with creation time 0 (pre-warmed static flows;
+    /// the upcall path uses [`install_flow_at`](Self::install_flow_at)).
     pub fn install_flow(&mut self, key: &FlowKey, mask: &FlowMask, actions: Vec<KAction>) {
+        self.install_flow_at(key, mask, actions, 0);
+    }
+
+    /// Install a megaflow at sim-time `now_ns`. The mask is added to the
+    /// mask list if new (dead masks' slots are reused first).
+    pub fn install_flow_at(
+        &mut self,
+        key: &FlowKey,
+        mask: &FlowMask,
+        actions: Vec<KAction>,
+        now_ns: u64,
+    ) {
         let mask_idx = match self.masks.iter().position(|m| m == mask) {
             Some(i) => i,
-            None => {
-                self.masks.push(*mask);
-                self.masks.len() - 1
-            }
+            None => match self.mask_refs.iter().position(|r| *r == 0) {
+                Some(i) => {
+                    self.masks[i] = *mask;
+                    i
+                }
+                None => {
+                    self.masks.push(*mask);
+                    self.mask_refs.push(0);
+                    self.masks.len() - 1
+                }
+            },
         };
+        let old = self.flows.insert(
+            (mask_idx, key.masked(mask)),
+            Megaflow {
+                actions,
+                hits: 0,
+                bytes: 0,
+                used_ns: now_ns,
+                created_ns: now_ns,
+            },
+        );
+        if old.is_none() {
+            self.mask_refs[mask_idx] += 1;
+        }
+    }
+
+    /// Remove one megaflow; releases its mask reference. Returns whether
+    /// the flow existed.
+    pub fn remove_flow(&mut self, key: &FlowKey, mask: &FlowMask) -> bool {
+        let Some(mask_idx) = self.masks.iter().position(|m| m == mask) else {
+            return false;
+        };
+        if self.flows.remove(&(mask_idx, key.masked(mask))).is_some() {
+            self.mask_refs[mask_idx] = self.mask_refs[mask_idx].saturating_sub(1);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A flow's `(packets, bytes, used_ns, created_ns)`, if installed.
+    pub fn flow_stats(&self, key: &FlowKey, mask: &FlowMask) -> Option<(u64, u64, u64, u64)> {
+        let mask_idx = self.masks.iter().position(|m| m == mask)?;
         self.flows
-            .insert((mask_idx, key.masked(mask)), Megaflow { actions, hits: 0 });
+            .get(&(mask_idx, key.masked(mask)))
+            .map(|f| (f.hits, f.bytes, f.used_ns, f.created_ns))
     }
 
     /// Remove all flows (`ovs-dpctl del-flows`).
     pub fn flush_flows(&mut self) {
         self.flows.clear();
         self.masks.clear();
+        self.mask_refs.clear();
     }
 
     /// Number of installed megaflows.
@@ -198,38 +261,60 @@ impl OvsModule {
         self.flows.len()
     }
 
-    /// Number of distinct masks.
+    /// Number of live (referenced) masks.
     pub fn mask_count(&self) -> usize {
-        self.masks.len()
+        self.mask_refs.iter().filter(|r| **r > 0).count()
     }
 
-    /// `ovs-dpctl dump-flows` equivalent for the kernel datapath.
-    pub fn dump_flows(&self) -> String {
+    /// `ovs-dpctl dump-flows` equivalent for the kernel datapath, with
+    /// per-flow counters and `used:` ages against sim-time `now_ns`,
+    /// sorted so the output is deterministic.
+    pub fn dump_flows(&self, now_ns: u64) -> String {
         use std::fmt::Write as _;
+        let mut lines: Vec<String> = self
+            .flows
+            .iter()
+            .map(|((mask_idx, key), flow)| {
+                let used = if flow.hits == 0 {
+                    "never".to_string()
+                } else {
+                    format!("{:.3}s", now_ns.saturating_sub(flow.used_ns) as f64 / 1e9)
+                };
+                format!(
+                    "in_port({}),recirc({}) mask#{} packets:{} bytes:{} used:{} actions:{:?}",
+                    key.in_port(),
+                    key.recirc_id(),
+                    mask_idx,
+                    flow.hits,
+                    flow.bytes,
+                    used,
+                    flow.actions
+                )
+            })
+            .collect();
+        lines.sort_unstable();
         let mut out = String::new();
-        for ((mask_idx, key), flow) in &self.flows {
-            let _ = writeln!(
-                out,
-                "in_port({}),recirc({}) mask#{} packets:{} actions:{:?}",
-                key.in_port(),
-                key.recirc_id(),
-                mask_idx,
-                flow.hits,
-                flow.actions
-            );
+        for l in lines {
+            let _ = writeln!(out, "{l}");
         }
         out
     }
 
-    /// Megaflow lookup: probe each mask's table. Returns the actions.
-    fn lookup(&mut self, key: &FlowKey) -> Option<Vec<KAction>> {
+    /// Megaflow lookup: probe each live mask's table. Returns the
+    /// actions; `len`/`now_ns` feed the hit flow's counters.
+    fn lookup(&mut self, key: &FlowKey, len: usize, now_ns: u64) -> Option<Vec<KAction>> {
         self.stats.lookups += 1;
         coverage!("kmod_flow_lookup");
         for (i, mask) in self.masks.iter().enumerate() {
+            if self.mask_refs[i] == 0 {
+                continue;
+            }
             self.stats.masks_probed += 1;
             coverage!("kmod_mask_probe");
             if let Some(flow) = self.flows.get_mut(&(i, key.masked(mask))) {
                 flow.hits += 1;
+                flow.bytes += len as u64;
+                flow.used_ns = now_ns;
                 self.stats.hits += 1;
                 coverage!("kmod_megaflow_hit");
                 return Some(flow.actions.clone());
@@ -304,7 +389,7 @@ impl OvsModule {
                 return out;
             }
             let key = extract_flow_key(&mut pkt);
-            let Some(actions) = self.lookup(&key) else {
+            let Some(actions) = self.lookup(&key, pkt.len(), env.now_ns) else {
                 out.push(DpVerdict::Upcall(Upcall {
                     in_port: pkt.in_port,
                     key,

@@ -32,10 +32,12 @@ pub enum Stage {
     Recirc,
     /// Handing frames to the TX backend.
     Tx,
+    /// Revalidator sweep: megaflow dump, re-translation, sweep.
+    Revalidate,
 }
 
 /// All stages, in display order.
-pub const STAGES: [Stage; 8] = [
+pub const STAGES: [Stage; 9] = [
     Stage::Rx,
     Stage::Parse,
     Stage::EmcLookup,
@@ -44,6 +46,7 @@ pub const STAGES: [Stage; 8] = [
     Stage::Actions,
     Stage::Recirc,
     Stage::Tx,
+    Stage::Revalidate,
 ];
 
 impl Stage {
@@ -57,6 +60,7 @@ impl Stage {
             Stage::Actions => "actions",
             Stage::Recirc => "recirc",
             Stage::Tx => "tx",
+            Stage::Revalidate => "revalidate",
         }
     }
 
@@ -70,6 +74,7 @@ impl Stage {
             Stage::Actions => 5,
             Stage::Recirc => 6,
             Stage::Tx => 7,
+            Stage::Revalidate => 8,
         }
     }
 }

@@ -182,6 +182,12 @@ pub struct CostModel {
     /// Full upcall: slow-path trip through the OpenFlow tables, per table
     /// pass. Only hit on megaflow misses. **[estimate]**
     pub upcall_per_table_ns: f64,
+    /// Revalidator work per dumped datapath flow: fetch the flow + stats,
+    /// re-translate its masked key, compare actions, push stats. Drives
+    /// the simulated dump duration that feeds the dynamic flow-limit
+    /// algorithm. **[estimate]** (OVS revalidates a few hundred thousand
+    /// flows per second per thread ⇒ a few µs each.)
+    pub revalidate_flow_ns: f64,
     /// Executing a simple action list (output). **[estimate]**
     pub action_output_ns: f64,
     /// Userspace conntrack lookup/update. **[estimate]**
@@ -297,6 +303,7 @@ impl CostModel {
             emc_pressure_threshold: 256,
             dpcls_lookup_ns: 80.0,
             upcall_per_table_ns: 800.0,
+            revalidate_flow_ns: 2_500.0,
             action_output_ns: 15.0,
             userspace_ct_ns: 120.0,
             userspace_tunnel_ns: 180.0,

@@ -681,6 +681,143 @@ pub fn run_xdp_task(task: XdpTask) -> RateMeasurement {
     RateMeasurement::from_sim(&k.sim, n_pkts, 64, 10.0)
 }
 
+// ----------------------------------------------------------------------
+// Flow-churn soak (revalidator)
+// ----------------------------------------------------------------------
+
+/// Outcome of a [`run_churn`] soak.
+#[derive(Debug)]
+pub struct ChurnReport {
+    /// Distinct 5-tuples offered.
+    pub flows_offered: usize,
+    /// Largest megaflow table observed at any point.
+    pub peak_flows: usize,
+    /// The configured flow-limit ceiling.
+    pub flow_limit: usize,
+    /// Upcalls that forwarded without installing (table at the limit).
+    pub limit_hits: u64,
+    /// Flows reaped by idle expiry across all sweeps.
+    pub deleted_idle: u64,
+    /// Flows evicted over the limit across all sweeps.
+    pub evicted: u64,
+    /// Revalidator sweeps run.
+    pub sweeps: u64,
+    /// Megaflows left after the final drain sweep.
+    pub final_flows: usize,
+    /// Legitimate VM-to-VM frames that left the uplink during the churn.
+    pub legit_forwarded: usize,
+}
+
+/// Flow-churn soak: `n_flows` distinct flows sent by a VM cross the
+/// full NSX pipeline. Each flow carries a fresh destination MAC — the
+/// field the NSX forwarding table matches on — so every flow wants its
+/// own megaflow: the Tuple-Space-Explosion shape (Csikor et al.,
+/// attacker varies exactly the fields the classifier consults). The
+/// revalidator's flow limit must bound the table throughout, legitimate
+/// traffic interleaved with the churn must keep flowing, and the final
+/// sweep after the churn stops must drain the table.
+pub fn run_churn(n_flows: usize, flow_limit: usize) -> ChurnReport {
+    use ovs_nsx::ruleset::{self as nsx_ruleset, NsxConfig};
+    use ovs_nsx::topology::{DatapathKind, Host, HostConfig, VmAttachment};
+
+    let dpk = DatapathKind::UserspaceAfxdp {
+        opt: OptLevel::O5,
+        interrupt_mode: false,
+    };
+    let mut cfg = HostConfig::nsx_default(1, dpk, VmAttachment::VhostUser);
+    cfg.nsx = NsxConfig {
+        vms: 2,
+        tunnels: 4,
+        target_rules: 800,
+        local_vtep: [172, 16, 0, 1],
+        remote_vtep: [172, 16, 0, 2],
+        ..NsxConfig::default()
+    };
+    let mut h = Host::build(&cfg);
+    h.peer([172, 16, 0, 2], MacAddr::new(2, 0, 0, 0, 0, 0xEE));
+    {
+        let dp = h.dp.as_mut().expect("userspace datapath");
+        dp.revalidator.cfg.flow_limit_max = flow_limit;
+        dp.revalidator.flow_limit = flow_limit;
+    }
+
+    let g = h.guest_of_vif[0];
+    let core = h.switch_core;
+    let mut peak = 0usize;
+    const BATCH: usize = 64;
+    // One revalidator round roughly every 300 ms of virtual time.
+    const SWEEP_EVERY_BATCHES: usize = 32;
+
+    let mut offered = 0usize;
+    let mut batch_no = 0usize;
+    let mut legit_out = 0usize;
+    while offered < n_flows {
+        let burst = BATCH.min(n_flows - offered);
+        for i in 0..burst {
+            // The first frame of every batch is legitimate VM-to-VM
+            // traffic; the rest walk fresh destination MACs.
+            let dst = if i == 0 {
+                nsx_ruleset::vm_mac(2, 0, 0)
+            } else {
+                MacAddr::new(
+                    0x0e,
+                    0x99,
+                    (offered >> 24) as u8,
+                    (offered >> 16) as u8,
+                    (offered >> 8) as u8,
+                    offered as u8,
+                )
+            };
+            let f = ovs_packet::builder::udp_ipv4_frame(
+                nsx_ruleset::vm_mac(1, 0, 0),
+                dst,
+                nsx_ruleset::vm_ip(1, 0, 0),
+                nsx_ruleset::vm_ip(2, 0, 0),
+                5000,
+                4444,
+                64,
+            );
+            h.kernel.guests[g].tx_ring.push_back(f);
+            offered += 1;
+        }
+        h.pump();
+        // Legitimate traffic keeps crossing the overlay while the churn
+        // hammers the flow table: every batch's VM-to-VM frame leaves
+        // the uplink Geneve-encapsulated.
+        legit_out += h.wire_take().len();
+        h.kernel.sim.clock.advance(10_000_000); // 10 ms per batch
+        batch_no += 1;
+
+        let dp = h.dp.as_mut().expect("userspace datapath");
+        peak = peak.max(dp.megaflow_count());
+        assert!(
+            dp.megaflow_count() <= flow_limit,
+            "megaflow table {} exploded past the flow limit {}",
+            dp.megaflow_count(),
+            flow_limit
+        );
+        if batch_no.is_multiple_of(SWEEP_EVERY_BATCHES) {
+            dp.revalidate(&mut h.kernel, core);
+        }
+    }
+
+    // Churn over: everything idles out and the table drains.
+    h.kernel.sim.clock.advance(11_000_000_000);
+    let dp = h.dp.as_mut().expect("userspace datapath");
+    dp.revalidate(&mut h.kernel, core);
+    ChurnReport {
+        flows_offered: offered,
+        peak_flows: peak,
+        flow_limit,
+        limit_hits: dp.stats.flow_limit_hits,
+        deleted_idle: dp.revalidator.stats.deleted_idle,
+        evicted: dp.revalidator.stats.evicted,
+        sweeps: dp.revalidator.stats.sweeps,
+        final_flows: dp.megaflow_count(),
+        legit_forwarded: legit_out,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -840,6 +977,30 @@ mod tests {
         assert!(b.mpps > c.mpps);
         assert!(c.mpps > d.mpps);
         assert!(a.line_limited, "task A reaches 10G line rate");
+    }
+
+    #[test]
+    fn churn_stays_under_the_flow_limit_and_drains() {
+        let r = run_churn(6_000, 512);
+        assert_eq!(r.flows_offered, 6_000);
+        assert!(
+            r.peak_flows <= r.flow_limit,
+            "peak {} > limit {}",
+            r.peak_flows,
+            r.flow_limit
+        );
+        assert!(r.peak_flows > 0, "traffic actually installed megaflows");
+        assert!(
+            r.limit_hits > 0,
+            "6k conntracked tuples against a 512-flow limit must hit it"
+        );
+        assert_eq!(r.final_flows, 0, "idle expiry drains the table");
+        assert!(r.deleted_idle > 0);
+        assert!(r.sweeps >= 2);
+        assert!(
+            r.legit_forwarded > 0,
+            "legitimate traffic keeps flowing during the churn"
+        );
     }
 
     #[test]

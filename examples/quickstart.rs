@@ -69,7 +69,10 @@ fn main() {
         dp.stats.upcalls, dp.stats.megaflow_hits, dp.stats.emc_hits
     );
     println!("megaflows installed: {}", dp.megaflow_count());
-    println!("--- dpctl/dump-flows ---\n{}", dp.dump_flows());
+    println!(
+        "--- dpctl/dump-flows ---\n{}",
+        dp.dump_flows(kernel.sim.clock.now_ns())
+    );
     println!(
         "virtual CPU cost: {:.0} ns user, {:.0} ns softirq",
         kernel.sim.cpus.core(1).ns(ovs_sim::Context::User),

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-7b98b1a9134f7fa1.d: crates/tgen/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-7b98b1a9134f7fa1: crates/tgen/src/bin/calibrate.rs
+
+crates/tgen/src/bin/calibrate.rs:

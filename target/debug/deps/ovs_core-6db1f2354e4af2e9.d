@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/ovs_core-6db1f2354e4af2e9.d: crates/core/src/lib.rs crates/core/src/appctl.rs crates/core/src/cache.rs crates/core/src/classifier.rs crates/core/src/dpif.rs crates/core/src/meter.rs crates/core/src/mirror.rs crates/core/src/ofctl.rs crates/core/src/ofproto.rs crates/core/src/tso.rs crates/core/src/tunnel.rs Cargo.toml
+/root/repo/target/debug/deps/ovs_core-6db1f2354e4af2e9.d: crates/core/src/lib.rs crates/core/src/appctl.rs crates/core/src/cache.rs crates/core/src/classifier.rs crates/core/src/dpif.rs crates/core/src/meter.rs crates/core/src/mirror.rs crates/core/src/ofctl.rs crates/core/src/ofproto.rs crates/core/src/revalidator.rs crates/core/src/tso.rs crates/core/src/tunnel.rs Cargo.toml
 
-/root/repo/target/debug/deps/libovs_core-6db1f2354e4af2e9.rmeta: crates/core/src/lib.rs crates/core/src/appctl.rs crates/core/src/cache.rs crates/core/src/classifier.rs crates/core/src/dpif.rs crates/core/src/meter.rs crates/core/src/mirror.rs crates/core/src/ofctl.rs crates/core/src/ofproto.rs crates/core/src/tso.rs crates/core/src/tunnel.rs Cargo.toml
+/root/repo/target/debug/deps/libovs_core-6db1f2354e4af2e9.rmeta: crates/core/src/lib.rs crates/core/src/appctl.rs crates/core/src/cache.rs crates/core/src/classifier.rs crates/core/src/dpif.rs crates/core/src/meter.rs crates/core/src/mirror.rs crates/core/src/ofctl.rs crates/core/src/ofproto.rs crates/core/src/revalidator.rs crates/core/src/tso.rs crates/core/src/tunnel.rs Cargo.toml
 
 crates/core/src/lib.rs:
 crates/core/src/appctl.rs:
@@ -11,6 +11,7 @@ crates/core/src/meter.rs:
 crates/core/src/mirror.rs:
 crates/core/src/ofctl.rs:
 crates/core/src/ofproto.rs:
+crates/core/src/revalidator.rs:
 crates/core/src/tso.rs:
 crates/core/src/tunnel.rs:
 Cargo.toml:

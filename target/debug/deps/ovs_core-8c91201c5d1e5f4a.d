@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/ovs_core-8c91201c5d1e5f4a.d: crates/core/src/lib.rs crates/core/src/appctl.rs crates/core/src/cache.rs crates/core/src/classifier.rs crates/core/src/dpif.rs crates/core/src/meter.rs crates/core/src/mirror.rs crates/core/src/ofctl.rs crates/core/src/ofproto.rs crates/core/src/tso.rs crates/core/src/tunnel.rs
+/root/repo/target/debug/deps/ovs_core-8c91201c5d1e5f4a.d: crates/core/src/lib.rs crates/core/src/appctl.rs crates/core/src/cache.rs crates/core/src/classifier.rs crates/core/src/dpif.rs crates/core/src/meter.rs crates/core/src/mirror.rs crates/core/src/ofctl.rs crates/core/src/ofproto.rs crates/core/src/revalidator.rs crates/core/src/tso.rs crates/core/src/tunnel.rs
 
-/root/repo/target/debug/deps/ovs_core-8c91201c5d1e5f4a: crates/core/src/lib.rs crates/core/src/appctl.rs crates/core/src/cache.rs crates/core/src/classifier.rs crates/core/src/dpif.rs crates/core/src/meter.rs crates/core/src/mirror.rs crates/core/src/ofctl.rs crates/core/src/ofproto.rs crates/core/src/tso.rs crates/core/src/tunnel.rs
+/root/repo/target/debug/deps/ovs_core-8c91201c5d1e5f4a: crates/core/src/lib.rs crates/core/src/appctl.rs crates/core/src/cache.rs crates/core/src/classifier.rs crates/core/src/dpif.rs crates/core/src/meter.rs crates/core/src/mirror.rs crates/core/src/ofctl.rs crates/core/src/ofproto.rs crates/core/src/revalidator.rs crates/core/src/tso.rs crates/core/src/tunnel.rs
 
 crates/core/src/lib.rs:
 crates/core/src/appctl.rs:
@@ -11,5 +11,6 @@ crates/core/src/meter.rs:
 crates/core/src/mirror.rs:
 crates/core/src/ofctl.rs:
 crates/core/src/ofproto.rs:
+crates/core/src/revalidator.rs:
 crates/core/src/tso.rs:
 crates/core/src/tunnel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-9720818bd94038cf.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-9720818bd94038cf: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/revalidate-1a066c7542ca3e93.d: crates/bench/benches/revalidate.rs Cargo.toml
+
+/root/repo/target/debug/deps/librevalidate-1a066c7542ca3e93.rmeta: crates/bench/benches/revalidate.rs Cargo.toml
+
+crates/bench/benches/revalidate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

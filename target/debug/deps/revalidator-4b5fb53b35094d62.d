@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/revalidator-4b5fb53b35094d62.d: tests/revalidator.rs
+
+/root/repo/target/debug/deps/revalidator-4b5fb53b35094d62: tests/revalidator.rs
+
+tests/revalidator.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/revalidator-e46197f7a72212b8.d: tests/revalidator.rs Cargo.toml
+
+/root/repo/target/debug/deps/librevalidator-e46197f7a72212b8.rmeta: tests/revalidator.rs Cargo.toml
+
+tests/revalidator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/revalidator_lifecycle-05b616b1389795e9.d: crates/core/tests/revalidator_lifecycle.rs Cargo.toml
+
+/root/repo/target/debug/deps/librevalidator_lifecycle-05b616b1389795e9.rmeta: crates/core/tests/revalidator_lifecycle.rs Cargo.toml
+
+crates/core/tests/revalidator_lifecycle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/revalidator_lifecycle-fa8d55dadce31bb4.d: crates/core/tests/revalidator_lifecycle.rs
+
+/root/repo/target/debug/deps/revalidator_lifecycle-fa8d55dadce31bb4: crates/core/tests/revalidator_lifecycle.rs
+
+crates/core/tests/revalidator_lifecycle.rs:

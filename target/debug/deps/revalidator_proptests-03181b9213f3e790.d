@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/revalidator_proptests-03181b9213f3e790.d: crates/core/tests/revalidator_proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/librevalidator_proptests-03181b9213f3e790.rmeta: crates/core/tests/revalidator_proptests.rs Cargo.toml
+
+crates/core/tests/revalidator_proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/revalidator_proptests-c06c0d263cc102cd.d: crates/core/tests/revalidator_proptests.rs
+
+/root/repo/target/debug/deps/revalidator_proptests-c06c0d263cc102cd: crates/core/tests/revalidator_proptests.rs
+
+crates/core/tests/revalidator_proptests.rs:

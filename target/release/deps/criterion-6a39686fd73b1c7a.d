@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-6a39686fd73b1c7a.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-6a39686fd73b1c7a.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-6a39686fd73b1c7a.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

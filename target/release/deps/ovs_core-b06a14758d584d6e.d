@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/ovs_core-b06a14758d584d6e.d: crates/core/src/lib.rs crates/core/src/appctl.rs crates/core/src/cache.rs crates/core/src/classifier.rs crates/core/src/dpif.rs crates/core/src/meter.rs crates/core/src/mirror.rs crates/core/src/ofctl.rs crates/core/src/ofproto.rs crates/core/src/tso.rs crates/core/src/tunnel.rs
+/root/repo/target/release/deps/ovs_core-b06a14758d584d6e.d: crates/core/src/lib.rs crates/core/src/appctl.rs crates/core/src/cache.rs crates/core/src/classifier.rs crates/core/src/dpif.rs crates/core/src/meter.rs crates/core/src/mirror.rs crates/core/src/ofctl.rs crates/core/src/ofproto.rs crates/core/src/revalidator.rs crates/core/src/tso.rs crates/core/src/tunnel.rs
 
-/root/repo/target/release/deps/libovs_core-b06a14758d584d6e.rlib: crates/core/src/lib.rs crates/core/src/appctl.rs crates/core/src/cache.rs crates/core/src/classifier.rs crates/core/src/dpif.rs crates/core/src/meter.rs crates/core/src/mirror.rs crates/core/src/ofctl.rs crates/core/src/ofproto.rs crates/core/src/tso.rs crates/core/src/tunnel.rs
+/root/repo/target/release/deps/libovs_core-b06a14758d584d6e.rlib: crates/core/src/lib.rs crates/core/src/appctl.rs crates/core/src/cache.rs crates/core/src/classifier.rs crates/core/src/dpif.rs crates/core/src/meter.rs crates/core/src/mirror.rs crates/core/src/ofctl.rs crates/core/src/ofproto.rs crates/core/src/revalidator.rs crates/core/src/tso.rs crates/core/src/tunnel.rs
 
-/root/repo/target/release/deps/libovs_core-b06a14758d584d6e.rmeta: crates/core/src/lib.rs crates/core/src/appctl.rs crates/core/src/cache.rs crates/core/src/classifier.rs crates/core/src/dpif.rs crates/core/src/meter.rs crates/core/src/mirror.rs crates/core/src/ofctl.rs crates/core/src/ofproto.rs crates/core/src/tso.rs crates/core/src/tunnel.rs
+/root/repo/target/release/deps/libovs_core-b06a14758d584d6e.rmeta: crates/core/src/lib.rs crates/core/src/appctl.rs crates/core/src/cache.rs crates/core/src/classifier.rs crates/core/src/dpif.rs crates/core/src/meter.rs crates/core/src/mirror.rs crates/core/src/ofctl.rs crates/core/src/ofproto.rs crates/core/src/revalidator.rs crates/core/src/tso.rs crates/core/src/tunnel.rs
 
 crates/core/src/lib.rs:
 crates/core/src/appctl.rs:
@@ -13,5 +13,6 @@ crates/core/src/meter.rs:
 crates/core/src/mirror.rs:
 crates/core/src/ofctl.rs:
 crates/core/src/ofproto.rs:
+crates/core/src/revalidator.rs:
 crates/core/src/tso.rs:
 crates/core/src/tunnel.rs:

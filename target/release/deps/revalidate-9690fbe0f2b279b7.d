@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/revalidate-9690fbe0f2b279b7.d: crates/bench/benches/revalidate.rs
+
+/root/repo/target/release/deps/revalidate-9690fbe0f2b279b7: crates/bench/benches/revalidate.rs
+
+crates/bench/benches/revalidate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_verify_revalidator-f7b99795b7eeec87.d: examples/_verify_revalidator.rs
+
+/root/repo/target/release/examples/_verify_revalidator-f7b99795b7eeec87: examples/_verify_revalidator.rs
+
+examples/_verify_revalidator.rs:

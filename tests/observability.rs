@@ -96,6 +96,7 @@ pmd thread core 1:
   actions                      5640 ns          13536 cycles   13.7%
   recirc                       1645 ns           3948 cycles    4.0%
   tx                           4752 ns          11404 cycles   11.5%
+  revalidate                      0 ns              0 cycles    0.0%
   per-packet ns: p50 1023 p90 1023 p99 10563 p99.9 10563 max 10563
 ";
 

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ipv6_pipeline-452929e80a58752f.d: crates/core/tests/ipv6_pipeline.rs
+
+/root/repo/target/release/deps/ipv6_pipeline-452929e80a58752f: crates/core/tests/ipv6_pipeline.rs
+
+crates/core/tests/ipv6_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mirror_and_revalidation-ac8276c162f0fda9.d: crates/core/tests/mirror_and_revalidation.rs
+
+/root/repo/target/release/deps/mirror_and_revalidation-ac8276c162f0fda9: crates/core/tests/mirror_and_revalidation.rs
+
+crates/core/tests/mirror_and_revalidation.rs:

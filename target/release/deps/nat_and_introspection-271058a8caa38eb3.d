@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nat_and_introspection-271058a8caa38eb3.d: crates/core/tests/nat_and_introspection.rs
+
+/root/repo/target/release/deps/nat_and_introspection-271058a8caa38eb3: crates/core/tests/nat_and_introspection.rs
+
+crates/core/tests/nat_and_introspection.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ovs_core-7311deec0c9e58e5.d: crates/core/src/lib.rs crates/core/src/appctl.rs crates/core/src/cache.rs crates/core/src/classifier.rs crates/core/src/dpif.rs crates/core/src/meter.rs crates/core/src/mirror.rs crates/core/src/ofctl.rs crates/core/src/ofproto.rs crates/core/src/revalidator.rs crates/core/src/tso.rs crates/core/src/tunnel.rs
+
+/root/repo/target/release/deps/ovs_core-7311deec0c9e58e5: crates/core/src/lib.rs crates/core/src/appctl.rs crates/core/src/cache.rs crates/core/src/classifier.rs crates/core/src/dpif.rs crates/core/src/meter.rs crates/core/src/mirror.rs crates/core/src/ofctl.rs crates/core/src/ofproto.rs crates/core/src/revalidator.rs crates/core/src/tso.rs crates/core/src/tunnel.rs
+
+crates/core/src/lib.rs:
+crates/core/src/appctl.rs:
+crates/core/src/cache.rs:
+crates/core/src/classifier.rs:
+crates/core/src/dpif.rs:
+crates/core/src/meter.rs:
+crates/core/src/mirror.rs:
+crates/core/src/ofctl.rs:
+crates/core/src/ofproto.rs:
+crates/core/src/revalidator.rs:
+crates/core/src/tso.rs:
+crates/core/src/tunnel.rs:

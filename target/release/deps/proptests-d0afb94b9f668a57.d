@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-d0afb94b9f668a57.d: crates/core/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-d0afb94b9f668a57: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/revalidator_lifecycle-8339260771d1c65e.d: crates/core/tests/revalidator_lifecycle.rs
+
+/root/repo/target/release/deps/revalidator_lifecycle-8339260771d1c65e: crates/core/tests/revalidator_lifecycle.rs
+
+crates/core/tests/revalidator_lifecycle.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/revalidator_proptests-c3ea15ea0e3e7c57.d: crates/core/tests/revalidator_proptests.rs
+
+/root/repo/target/release/deps/revalidator_proptests-c3ea15ea0e3e7c57: crates/core/tests/revalidator_proptests.rs
+
+crates/core/tests/revalidator_proptests.rs:

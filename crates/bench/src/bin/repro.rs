@@ -7,7 +7,7 @@
 //!
 //! Flags: --fig1 --table1 --fig2 --table2 --table3 --fig8a --fig8b
 //!        --fig8c --fig9 --table4 --fig10 --fig11 --table5 --fig12
-//!        --ablation --churn
+//!        --ablation --churn --fastpath
 
 use ovs_afxdp::OptLevel;
 use ovs_bench::fig1;
@@ -84,6 +84,81 @@ fn main() {
     if want("--churn") {
         churn();
     }
+    if want("--fastpath") {
+        fastpath();
+    }
+}
+
+fn fastpath() {
+    use ovs_tgen::scenarios::FastpathMode;
+    section("Extension — batched fast path ablation (scalar vs dfc batching vs batching+SMC)");
+    const N_FLOWS: usize = 512;
+    const N_PKTS: usize = 4096;
+    let mut rows = Vec::new();
+    for burst in [1usize, 8, 32] {
+        for mode in [
+            FastpathMode::Scalar,
+            FastpathMode::Batched,
+            FastpathMode::BatchedSmc,
+        ] {
+            let r = scenarios::run_fastpath(mode, burst, N_FLOWS, N_PKTS);
+            println!(
+                "  {:<12} burst {:>2}: {:>7.1} ns/pkt  {:>5.2} Mpps  \
+                 (emc {} smc {} dpcls {} subtables {})",
+                r.mode,
+                r.burst,
+                r.ns_per_pkt,
+                r.mpps,
+                r.emc_hits,
+                r.smc_hits,
+                r.megaflow_hits,
+                r.subtables_probed
+            );
+            rows.push(r);
+        }
+    }
+    let scalar32 = rows
+        .iter()
+        .find(|r| r.mode == "scalar" && r.burst == 32)
+        .unwrap();
+    let smc32 = rows
+        .iter()
+        .find(|r| r.mode == "batched_smc" && r.burst == 32)
+        .unwrap();
+    let speedup = scalar32.ns_per_pkt / smc32.ns_per_pkt;
+    println!("  batched+SMC speedup over scalar at burst 32: {speedup:.2}x");
+
+    // Machine-readable results for CI trend tracking (hand-rolled JSON —
+    // the workspace deliberately carries no serde dependency).
+    let mut json = String::from("{\n  \"bench\": \"fastpath\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"burst\": {}, \"n_flows\": {}, \"n_pkts\": {}, \
+             \"ns_per_pkt\": {:.2}, \"mpps\": {:.4}, \"emc_hits\": {}, \"smc_hits\": {}, \
+             \"megaflow_hits\": {}, \"upcalls\": {}, \"subtables_probed\": {}}}{}\n",
+            r.mode,
+            r.burst,
+            r.n_flows,
+            r.n_pkts,
+            r.ns_per_pkt,
+            r.mpps,
+            r.emc_hits,
+            r.smc_hits,
+            r.megaflow_hits,
+            r.upcalls,
+            r.subtables_probed,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"speedup_smc_vs_scalar_burst32\": {speedup:.3}\n}}\n"
+    ));
+    std::fs::write("BENCH_fastpath.json", &json).expect("write BENCH_fastpath.json");
+    println!("  wrote BENCH_fastpath.json");
+    assert!(
+        speedup >= 1.5,
+        "batched+SMC must beat scalar by >= 1.5x at burst 32 (got {speedup:.2}x)"
+    );
 }
 
 fn churn() {

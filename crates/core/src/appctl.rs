@@ -16,6 +16,9 @@ pub const COMMANDS: &[&str] = &[
     "dpif-netdev/pmd-perf-show",
     "dpif-netdev/pmd-stats-show",
     "dpif-netdev/pmd-stats-clear",
+    "dpif-netdev/subtable-ranking",
+    "dpif-netdev/emc-insert-inv-prob",
+    "dpif-netdev/smc-enable",
     "dpctl/dump-flows",
     "ofproto/trace",
     "upcall/show",
@@ -42,6 +45,41 @@ pub fn dispatch(
             dpif.pmd_stats_clear();
             Ok("statistics cleared\n".to_string())
         }
+        // The dpcls subtable probe order with per-subtable hit counts.
+        "dpif-netdev/subtable-ranking" => Ok(dpif.subtable_ranking_show()),
+        // Get/set `other_config:emc-insert-inv-prob` (no operand reads
+        // the current value; 0 disables EMC insertion).
+        "dpif-netdev/emc-insert-inv-prob" => match args {
+            [] => Ok(format!(
+                "emc-insert-inv-prob: {}\n",
+                dpif.emc_insert_inv_prob()
+            )),
+            [p] => {
+                let p: u64 = p
+                    .parse()
+                    .map_err(|_| "usage: dpif-netdev/emc-insert-inv-prob [N]".to_string())?;
+                dpif.set_emc_insert_inv_prob(p);
+                Ok(format!("emc-insert-inv-prob set to {p}\n"))
+            }
+            _ => Err("usage: dpif-netdev/emc-insert-inv-prob [N]".to_string()),
+        },
+        // Get/toggle `other_config:smc-enable`.
+        "dpif-netdev/smc-enable" => match args {
+            [] => Ok(format!(
+                "smc-enable: {} ({} entries)\n",
+                if dpif.smc_enable { "true" } else { "false" },
+                dpif.smc_count()
+            )),
+            ["on" | "true"] => {
+                dpif.smc_enable = true;
+                Ok("smc-enable set to true\n".to_string())
+            }
+            ["off" | "false"] => {
+                dpif.smc_enable = false;
+                Ok("smc-enable set to false\n".to_string())
+            }
+            _ => Err("usage: dpif-netdev/smc-enable [on|off]".to_string()),
+        },
         // `dpctl/dump-flows` dumps the userspace datapath; with the
         // `system` operand it dumps the in-kernel module's table instead
         // (the `system@ovs-system` datapath in OVS terms).
@@ -152,6 +190,57 @@ mod tests {
             &["in_port=0", "zz"]
         )
         .is_err());
+    }
+
+    #[test]
+    fn emc_insert_inv_prob_get_set() {
+        let mut dpif = DpifNetdev::new();
+        let mut kernel = Kernel::new(1);
+        let out = dispatch(
+            &mut dpif,
+            &mut kernel,
+            "dpif-netdev/emc-insert-inv-prob",
+            &[],
+        )
+        .unwrap();
+        assert!(out.contains("100"), "default inv prob: {out}");
+        let out = dispatch(
+            &mut dpif,
+            &mut kernel,
+            "dpif-netdev/emc-insert-inv-prob",
+            &["1"],
+        )
+        .unwrap();
+        assert!(out.contains("set to 1"), "{out}");
+        assert_eq!(dpif.emc_insert_inv_prob(), 1);
+        assert!(dispatch(
+            &mut dpif,
+            &mut kernel,
+            "dpif-netdev/emc-insert-inv-prob",
+            &["nope"]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn smc_enable_toggle() {
+        let mut dpif = DpifNetdev::new();
+        let mut kernel = Kernel::new(1);
+        let out = dispatch(&mut dpif, &mut kernel, "dpif-netdev/smc-enable", &[]).unwrap();
+        assert!(out.contains("false"), "off by default: {out}");
+        dispatch(&mut dpif, &mut kernel, "dpif-netdev/smc-enable", &["on"]).unwrap();
+        assert!(dpif.smc_enable);
+        dispatch(&mut dpif, &mut kernel, "dpif-netdev/smc-enable", &["off"]).unwrap();
+        assert!(!dpif.smc_enable);
+        assert!(dispatch(&mut dpif, &mut kernel, "dpif-netdev/smc-enable", &["maybe"]).is_err());
+    }
+
+    #[test]
+    fn subtable_ranking_renders() {
+        let mut dpif = DpifNetdev::new();
+        let mut kernel = Kernel::new(1);
+        let out = dispatch(&mut dpif, &mut kernel, "dpif-netdev/subtable-ranking", &[]).unwrap();
+        assert!(out.contains("0 subtables"), "{out}");
     }
 
     #[test]

@@ -1,12 +1,17 @@
-//! The datapath flow caches: exact-match cache (EMC) and megaflow cache.
+//! The datapath flow caches: exact-match cache (EMC), signature match
+//! cache (SMC), and megaflow cache.
 //!
-//! The fast path is a three-level hierarchy (§5.2, [56]):
+//! The fast path is a multi-level hierarchy (§5.2, [56]):
 //!
 //! 1. **EMC** — a small exact-match hash over the full flow key; one probe,
 //!    no masking.
-//! 2. **Megaflow cache** — a tuple-space-search table over the wildcarded
+//! 2. **SMC** — a larger, denser cache of 16-bit hash *signatures* pointing
+//!    at megaflows; a hit still verifies the masked key against the
+//!    megaflow, so it can never forward on a colliding signature. OVS's
+//!    `smc-enable` tier, off by default.
+//! 3. **Megaflow cache** — a tuple-space-search table over the wildcarded
 //!    entries produced by slow-path translation.
-//! 3. **Upcall** — the full OpenFlow pipeline (`ofproto`), which installs a
+//! 4. **Upcall** — the full OpenFlow pipeline (`ofproto`), which installs a
 //!    new megaflow.
 //!
 //! Note that level 2 is exactly the structure the kernel maintainers
@@ -191,6 +196,150 @@ impl<A> Default for Emc<A> {
     }
 }
 
+/// Default SMC bucket count. Real OVS sizes the SMC at 1M entries in
+/// 4-way buckets (`SMC_ENTRIES`); scaled here to stay proportional to
+/// the 8k-entry EMC while remaining several times larger.
+pub const SMC_BUCKETS: usize = 16384;
+
+/// Associativity of one SMC bucket.
+pub const SMC_WAYS: usize = 4;
+
+/// The signature match cache: a large, dense cache mapping the upper 16
+/// bits of the flow hash to a megaflow reference. Because only a
+/// signature is stored, a probe must verify the candidate megaflow's
+/// masked key against the packet before trusting it — which also makes
+/// revalidator dead-flagging safe: a hit on a dead megaflow misses (and
+/// reclaims the slot), exactly like the EMC.
+/// One SMC way: the 16-bit signature and the megaflow it vouches for.
+type SmcWay<A> = Option<(u16, Rc<MegaflowEntry<A>>)>;
+
+#[derive(Debug)]
+pub struct Smc<A> {
+    buckets: Vec<[SmcWay<A>; SMC_WAYS]>,
+    mask: usize,
+    /// Lookup hits.
+    pub hits: u64,
+    /// Lookup misses.
+    pub misses: u64,
+    occupied: usize,
+}
+
+impl<A> Smc<A> {
+    /// An SMC with the default geometry.
+    pub fn new() -> Self {
+        Self::with_buckets(SMC_BUCKETS)
+    }
+
+    /// An SMC with `n` buckets (rounded to a power of two) of
+    /// [`SMC_WAYS`] ways each.
+    pub fn with_buckets(n: usize) -> Self {
+        let cap = n.max(2).next_power_of_two();
+        Self {
+            buckets: (0..cap).map(|_| [const { None }; SMC_WAYS]).collect(),
+            mask: cap - 1,
+            hits: 0,
+            misses: 0,
+            occupied: 0,
+        }
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.occupied
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+
+    fn slot(hash: u64, mask: usize) -> (usize, u16) {
+        ((hash as usize) & mask, (hash >> 16) as u16)
+    }
+
+    /// Probe for `key`. A signature match alone is not a hit: the masked
+    /// key must equal the megaflow's install key, and the megaflow must
+    /// be alive. Dead entries are reclaimed in place.
+    pub fn lookup(&mut self, key: &FlowKey) -> Option<Rc<MegaflowEntry<A>>> {
+        let (b, sig) = Self::slot(key.hash(), self.mask);
+        for way in self.buckets[b].iter_mut() {
+            let Some((s, e)) = way else { continue };
+            if *s != sig {
+                continue;
+            }
+            if e.dead.get() {
+                *way = None;
+                self.occupied -= 1;
+                continue;
+            }
+            if key.masked(&e.mask) == e.key {
+                self.hits += 1;
+                let e = Rc::clone(e);
+                e.hits.set(e.hits.get() + 1);
+                return Some(e);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Insert a megaflow reference under `key`'s signature. Prefers an
+    /// empty or same-signature way, then a dead one; otherwise replaces
+    /// a way chosen deterministically from the hash (OVS picks a random
+    /// way — the simulation must stay reproducible).
+    pub fn insert(&mut self, key: &FlowKey, entry: Rc<MegaflowEntry<A>>) {
+        let hash = key.hash();
+        let (b, sig) = Self::slot(hash, self.mask);
+        let bucket = &mut self.buckets[b];
+        let victim = bucket
+            .iter()
+            .position(|w| matches!(w, Some((s, _)) if *s == sig))
+            .or_else(|| bucket.iter().position(|w| w.is_none()))
+            .or_else(|| {
+                bucket
+                    .iter()
+                    .position(|w| matches!(w, Some((_, e)) if e.dead.get()))
+            })
+            .unwrap_or(((hash >> 32) as usize) % SMC_WAYS);
+        if bucket[victim].is_none() {
+            self.occupied += 1;
+        }
+        bucket[victim] = Some((sig, entry));
+    }
+
+    /// Drop everything (flow-table revalidation).
+    pub fn flush(&mut self) {
+        for b in &mut self.buckets {
+            for w in b.iter_mut() {
+                *w = None;
+            }
+        }
+        self.occupied = 0;
+    }
+
+    /// Reclaim every way whose megaflow is dead (end-of-sweep cleanup;
+    /// the lookup path also reclaims lazily). Returns slots freed.
+    pub fn purge_dead(&mut self) -> usize {
+        let mut freed = 0;
+        for b in &mut self.buckets {
+            for w in b.iter_mut() {
+                if matches!(w, Some((_, e)) if e.dead.get()) {
+                    *w = None;
+                    freed += 1;
+                }
+            }
+        }
+        self.occupied -= freed;
+        freed
+    }
+}
+
+impl<A> Default for Smc<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// The megaflow cache: a priority-free tuple-space-search table of
 /// [`MegaflowEntry`]s.
 #[derive(Debug)]
@@ -233,6 +382,18 @@ impl<A> MegaflowCache<A> {
     /// Subtables probed so far (work metric).
     pub fn subtables_probed(&self) -> u64 {
         self.cls.stats.subtables_probed
+    }
+
+    /// Snapshot of the dpcls subtables in probe (rank) order, for
+    /// `dpif-netdev/subtable-ranking`.
+    pub fn subtable_info(&self) -> Vec<crate::classifier::SubtableInfo> {
+        self.cls.subtable_info()
+    }
+
+    /// How often the classifier re-sorts its subtable probe order
+    /// (lookups between re-ranks).
+    pub fn set_rank_interval(&mut self, interval: u64) {
+        self.cls.rank_interval = interval.max(1);
     }
 
     /// Look up a key.
@@ -451,6 +612,68 @@ mod tests {
         e.note_use(50, 75);
         assert_eq!(e.bytes.get(), 150);
         assert_eq!(e.used_ns.get(), 75);
+    }
+
+    #[test]
+    fn smc_hit_verifies_masked_key() {
+        let mut smc: Smc<u32> = Smc::with_buckets(64);
+        let mut mf: MegaflowCache<u32> = MegaflowCache::new();
+        let mask = FlowMask::of_fields(&[&fields::NW_DST]);
+        let e = mf.install_at(key(5), mask, 55, 0);
+        smc.insert(&key(5), Rc::clone(&e));
+        // The same full key hits via its signature.
+        let hit = smc.lookup(&key(5)).expect("smc hit");
+        assert_eq!(hit.actions, 55);
+        assert_eq!(smc.hits, 1);
+        // A different key (different signature and masked key) misses.
+        assert!(smc.lookup(&key(6)).is_none());
+        assert_eq!(smc.misses, 1);
+    }
+
+    #[test]
+    fn smc_never_serves_dead_entries() {
+        let mut smc: Smc<u32> = Smc::with_buckets(64);
+        let mut mf: MegaflowCache<u32> = MegaflowCache::new();
+        let e = mf.install_at(key(1), FlowMask::EXACT, 9, 100);
+        smc.insert(&key(1), Rc::clone(&e));
+        assert!(smc.lookup(&key(1)).is_some());
+        // Revalidation removes the megaflow: the SMC alias must miss
+        // and the slot is reclaimed in place.
+        assert!(mf.remove(&e.key));
+        assert!(smc.lookup(&key(1)).is_none(), "dead entry served from SMC");
+        assert!(smc.is_empty(), "dead slot reclaimed on lookup");
+    }
+
+    #[test]
+    fn smc_purge_dead_and_flush() {
+        let mut smc: Smc<u32> = Smc::with_buckets(64);
+        let mut mf: MegaflowCache<u32> = MegaflowCache::new();
+        for i in 0..8u8 {
+            let e = mf.install_at(key(i), FlowMask::EXACT, u32::from(i), 0);
+            smc.insert(&key(i), e);
+        }
+        assert_eq!(smc.len(), 8);
+        mf.flush(); // marks everything dead
+        assert_eq!(smc.purge_dead(), 8);
+        assert!(smc.is_empty());
+        let e = mf.install_at(key(9), FlowMask::EXACT, 9, 0);
+        smc.insert(&key(9), e);
+        smc.flush();
+        assert!(smc.is_empty());
+        assert!(smc.lookup(&key(9)).is_none());
+    }
+
+    #[test]
+    fn smc_bounded_by_associativity() {
+        // Every insert lands in a 4-way bucket of a 2-bucket SMC: the
+        // occupancy can never exceed buckets * ways.
+        let mut smc: Smc<u32> = Smc::with_buckets(2);
+        let mut mf: MegaflowCache<u32> = MegaflowCache::new();
+        for i in 0..64u8 {
+            let e = mf.install_at(key(i), FlowMask::EXACT, u32::from(i), 0);
+            smc.insert(&key(i), e);
+        }
+        assert!(smc.len() <= 2 * SMC_WAYS, "bounded by geometry");
     }
 
     #[test]

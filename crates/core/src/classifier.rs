@@ -6,6 +6,12 @@
 //! and can stop as soon as a match outranks every remaining subtable —
 //! the structure whose per-subtable probing cost shows up in the 1 vs
 //! 1,000 flow results (§5.2) and in the `classifier` ablation bench.
+//!
+//! Within a priority tier, subtables are additionally *ranked* by hit
+//! count and periodically re-sorted (OVS's `dpcls_sort_subtable_vector`),
+//! so skewed traffic probes its hot subtable first. For the megaflow
+//! cache — where every entry has priority 0 and a lookup stops at the
+//! first match — ranking directly cuts `subtables_probed`.
 
 use ovs_packet::{FlowKey, FlowMask};
 use std::collections::HashMap;
@@ -31,6 +37,22 @@ struct Subtable<V> {
     rules: HashMap<FlowKey, Vec<Rule<V>>>,
     max_priority: i32,
     rule_count: usize,
+    /// Lookups this subtable answered (the ranking key).
+    hits: u64,
+}
+
+/// One subtable's entry in the ranked probe vector, as dumped by
+/// `dpif-netdev/subtable-ranking`.
+#[derive(Debug, Clone, Copy)]
+pub struct SubtableInfo {
+    /// The subtable's wildcard mask.
+    pub mask: FlowMask,
+    /// Highest rule priority in the subtable (primary sort key).
+    pub max_priority: i32,
+    /// Lookup hits (secondary sort key).
+    pub hits: u64,
+    /// Rules sharing this mask.
+    pub rules: usize,
 }
 
 /// Statistics from lookups.
@@ -40,12 +62,19 @@ pub struct ClassifierStats {
     pub subtables_probed: u64,
 }
 
+/// Lookups between subtable-ranking re-sorts (OVS re-sorts its pvector
+/// once per second; a lookup count is the deterministic stand-in).
+pub const DEFAULT_RANK_INTERVAL: u64 = 256;
+
 /// The tuple-space-search classifier.
 #[derive(Debug)]
 pub struct Classifier<V> {
     subtables: Vec<Subtable<V>>,
     /// Probe counters.
     pub stats: ClassifierStats,
+    /// Lookups between hit-count re-sorts of the subtable vector.
+    pub rank_interval: u64,
+    since_rank: u64,
 }
 
 impl<V> Default for Classifier<V> {
@@ -60,6 +89,8 @@ impl<V> Classifier<V> {
         Self {
             subtables: Vec::new(),
             stats: ClassifierStats::default(),
+            rank_interval: DEFAULT_RANK_INTERVAL,
+            since_rank: 0,
         }
     }
 
@@ -89,6 +120,7 @@ impl<V> Classifier<V> {
                     rules: HashMap::new(),
                     max_priority: i32::MIN,
                     rule_count: 0,
+                    hits: 0,
                 });
                 self.subtables.len() - 1
             }
@@ -106,8 +138,38 @@ impl<V> Classifier<V> {
         }
         // Keep subtables ordered by descending max priority so lookups can
         // stop early (OVS's pvector).
+        self.sort_subtables();
+    }
+
+    /// Sort the subtable vector: priority first (early-exit correctness),
+    /// hit count within a priority tier (the ranking). Stable under
+    /// equal keys so re-sorting without new hits is a no-op.
+    fn sort_subtables(&mut self) {
         self.subtables
-            .sort_by_key(|s| std::cmp::Reverse(s.max_priority));
+            .sort_by_key(|s| (std::cmp::Reverse(s.max_priority), std::cmp::Reverse(s.hits)));
+    }
+
+    /// Re-rank every `rank_interval` lookups. Runs *before* the probe
+    /// loop so subtable indices stay stable for the rest of a lookup.
+    fn maybe_rerank(&mut self) {
+        self.since_rank += 1;
+        if self.since_rank >= self.rank_interval {
+            self.since_rank = 0;
+            self.sort_subtables();
+        }
+    }
+
+    /// The ranked probe vector, in current probe order.
+    pub fn subtable_info(&self) -> Vec<SubtableInfo> {
+        self.subtables
+            .iter()
+            .map(|s| SubtableInfo {
+                mask: s.mask,
+                max_priority: s.max_priority,
+                hits: s.hits,
+                rules: s.rule_count,
+            })
+            .collect()
     }
 
     /// Remove rules matching (key, mask); returns how many were removed.
@@ -130,12 +192,14 @@ impl<V> Classifier<V> {
     }
 
     /// Find the highest-priority matching rule. Also reports how many
-    /// subtables were probed (the classifier's work metric).
+    /// subtables were probed (the classifier's work metric), and feeds
+    /// the hit-count ranking that periodically re-sorts the vector.
     pub fn lookup(&mut self, key: &FlowKey) -> Option<&Rule<V>> {
         self.stats.lookups += 1;
-        let mut best: Option<(usize, &FlowKey, i32)> = None;
+        self.maybe_rerank();
+        let mut best: Option<(usize, i32)> = None;
         for (i, st) in self.subtables.iter().enumerate() {
-            if let Some((_, _, bp)) = best {
+            if let Some((_, bp)) = best {
                 if st.max_priority <= bp {
                     break; // no remaining subtable can outrank the match
                 }
@@ -146,14 +210,15 @@ impl<V> Classifier<V> {
                 // Buckets are sorted by descending priority.
                 let r = &bucket[0];
                 match best {
-                    Some((_, _, bp)) if bp >= r.priority => {}
-                    _ => best = Some((i, bucket[0].key_ref(), r.priority)),
+                    Some((_, bp)) if bp >= r.priority => {}
+                    _ => best = Some((i, r.priority)),
                 }
             }
         }
-        let (i, key_ref, prio) = best?;
+        let (i, prio) = best?;
+        self.subtables[i].hits += 1;
         let st = &self.subtables[i];
-        let masked = key_ref.masked(&st.mask);
+        let masked = key.masked(&st.mask);
         st.rules
             .get(&masked)
             .and_then(|b| b.iter().find(|r| r.priority == prio))
@@ -175,12 +240,6 @@ impl<V> Classifier<V> {
         self.subtables
             .iter()
             .flat_map(|s| s.rules.values().flatten())
-    }
-}
-
-impl<V> Rule<V> {
-    fn key_ref(&self) -> &FlowKey {
-        &self.key
     }
 }
 
@@ -297,6 +356,59 @@ mod tests {
         let mut m1 = FlowMask::EMPTY;
         m1.set_nw_dst_v4_prefix(8);
         assert!(m1.subset_of(&total));
+    }
+
+    #[test]
+    fn ranking_cuts_probes_under_skewed_traffic() {
+        // Eight same-priority subtables (/32 .. /25 on distinct octet
+        // patterns); traffic hits only the last-inserted one, which
+        // starts at the back of the probe vector.
+        let mut c = Classifier::new();
+        c.rank_interval = 16;
+        for (i, plen) in (25..=32).rev().enumerate() {
+            c.insert(rule([10, i as u8, 0, 0], plen, 5, i as u32));
+        }
+        assert_eq!(c.subtable_count(), 8);
+        let hot = key_dst([10, 7, 0, 0]); // matches the /25 inserted last
+        c.stats = ClassifierStats::default();
+        for _ in 0..15 {
+            assert_eq!(c.lookup(&hot).unwrap().value, 7);
+        }
+        assert_eq!(
+            c.stats.subtables_probed,
+            15 * 8,
+            "hot subtable probed last, pre-rank"
+        );
+        // The 16th lookup triggers the re-rank: the hot subtable now
+        // leads the vector and every lookup stops after one probe.
+        assert_eq!(c.lookup(&hot).unwrap().value, 7);
+        c.stats = ClassifierStats::default();
+        for _ in 0..8 {
+            assert_eq!(c.lookup(&hot).unwrap().value, 7);
+        }
+        assert_eq!(c.stats.subtables_probed, 8, "ranked: one probe each");
+        let info = c.subtable_info();
+        assert_eq!(info[0].hits, 24, "hot subtable leads the dump");
+        assert_eq!(info[0].rules, 1);
+    }
+
+    #[test]
+    fn ranking_never_reorders_across_priorities() {
+        // A hammered low-priority subtable must not outrank a
+        // higher-priority one — early exit depends on priority order.
+        let mut c = Classifier::new();
+        c.rank_interval = 4;
+        c.insert(rule([10, 1, 0, 0], 16, 10, 1)); // high priority
+        c.insert(rule([10, 0, 0, 0], 8, 1, 2)); // low priority, hot
+        for _ in 0..32 {
+            // Hits only the /8 (outside the /16).
+            assert_eq!(c.lookup(&key_dst([10, 9, 9, 9])).unwrap().value, 2);
+        }
+        // The /16 keeps probe precedence despite zero hits, so a key
+        // matching both still gets the high-priority rule.
+        assert_eq!(c.lookup(&key_dst([10, 1, 2, 3])).unwrap().value, 1);
+        let info = c.subtable_info();
+        assert_eq!(info[0].max_priority, 10, "priority order preserved");
     }
 
     #[test]

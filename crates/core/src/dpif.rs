@@ -1,15 +1,24 @@
 //! The datapath interface layer.
 //!
 //! [`DpifNetdev`] is the paper's userspace datapath: PMD-style polling
-//! over AF_XDP / DPDK / tap / vhostuser ports, the EMC → megaflow →
-//! upcall cache hierarchy, userspace conntrack, tunnelling via the
+//! over AF_XDP / DPDK / tap / vhostuser ports, the EMC → SMC → megaflow
+//! → upcall cache hierarchy, userspace conntrack, tunnelling via the
 //! Netlink replica, meters, and software TSO fallback.
+//!
+//! The receive path is OVS's two-phase burst pipeline: `dfc_processing`
+//! runs the datapath flow cache (EMC, then the optional signature match
+//! cache) over the whole rx burst and sorts hits into per-megaflow
+//! batches; `fast_path_processing` resolves the misses through the
+//! megaflow classifier and the upcall slow path; then each batch's
+//! actions execute once per batch and transmitted packets leave as real
+//! per-port bursts — the per-batch amortization the paper's Fig 6/7
+//! throughput depends on.
 //!
 //! [`DpifNetlink`] drives the in-kernel datapath module instead — the
 //! baseline architecture: it consumes kernel upcalls, translates through
 //! the same `ofproto`, and installs megaflows into the kernel.
 
-use crate::cache::{Emc, MegaflowCache};
+use crate::cache::{Emc, MegaflowCache, MegaflowEntry, Smc};
 use crate::meter::MeterSet;
 use crate::mirror::MirrorSession;
 use crate::ofproto::Ofproto;
@@ -90,6 +99,43 @@ pub type PortNo = u32;
 /// Maximum recirculations per packet.
 const MAX_RECIRC: usize = 8;
 
+/// A packet mid-pipeline: the frame plus how many recirculation passes
+/// it has already made.
+struct BurstPkt {
+    pkt: DpPacket,
+    pass: usize,
+}
+
+/// One per-megaflow packet batch accumulated by `dfc_processing` /
+/// `fast_path_processing` and executed in one go — OVS's
+/// `packet_batch_per_flow`. Packets of the same megaflow pay the batch
+/// fixed cost once instead of once per packet.
+struct FlowBatch {
+    /// The megaflow the packets hit, when they hit one (upcalls at the
+    /// flow limit execute one-off actions with no backing flow).
+    entry: Option<Rc<MegaflowEntry<Vec<DpAction>>>>,
+    actions: Rc<Vec<DpAction>>,
+    pkts: Vec<BurstPkt>,
+}
+
+/// Per-egress-port accumulated output. Packets queue here during action
+/// execution and leave as one real burst per port at the end of the
+/// rx burst — the batched-tx half of the fast path (replacing the old
+/// one-packet `tx_burst` calls).
+#[derive(Default)]
+struct TxAccum {
+    ports: Vec<(PortNo, Vec<DpPacket>)>,
+}
+
+impl TxAccum {
+    fn push(&mut self, port: PortNo, pkt: DpPacket) {
+        match self.ports.iter_mut().find(|(p, _)| *p == port) {
+            Some((_, v)) => v.push(pkt),
+            None => self.ports.push((port, vec![pkt])),
+        }
+    }
+}
+
 /// Datapath actions — the output language of translation and the payload
 /// of megaflow entries.
 #[derive(Debug, Clone, PartialEq)]
@@ -166,7 +212,7 @@ impl Port {
 }
 
 /// Datapath counters.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DpifStats {
     pub rx_packets: u64,
     pub tx_packets: u64,
@@ -174,6 +220,8 @@ pub struct DpifStats {
     /// `rx_packets` this also counts directly injected packets.
     pub packets_processed: u64,
     pub emc_hits: u64,
+    /// Signature match cache hits (the tier between the EMC and dpcls).
+    pub smc_hits: u64,
     pub megaflow_hits: u64,
     pub upcalls: u64,
     pub recirculations: u64,
@@ -198,7 +246,7 @@ impl DpifStats {
     /// balance — a flow cannot be deleted more than once, so deletions
     /// (expiry, eviction, flushes) never outrun installs.
     pub fn coherent(&self) -> bool {
-        self.emc_hits + self.megaflow_hits + self.upcalls
+        self.emc_hits + self.smc_hits + self.megaflow_hits + self.upcalls
             == self.packets_processed + self.recirculations
             && self.flows_deleted <= self.flows_installed
     }
@@ -208,6 +256,10 @@ impl DpifStats {
 pub struct DpifNetdev {
     ports: Vec<Option<Port>>,
     emc: Emc<Vec<DpAction>>,
+    smc: Smc<Vec<DpAction>>,
+    /// Whether the signature match cache tier is consulted
+    /// (`other_config:smc-enable` — off by default, as in OVS).
+    pub smc_enable: bool,
     megaflow: MegaflowCache<Vec<DpAction>>,
     /// The OpenFlow pipeline above the caches.
     pub ofproto: Ofproto,
@@ -245,6 +297,8 @@ impl DpifNetdev {
         Self {
             ports: Vec::new(),
             emc: Emc::new(),
+            smc: Smc::new(),
+            smc_enable: false,
             megaflow: MegaflowCache::new(),
             ofproto: Ofproto::new(),
             ct: Conntrack::new(),
@@ -294,6 +348,11 @@ impl DpifNetdev {
         self.megaflow.len()
     }
 
+    /// dpcls subtables probed since start (classifier work metric).
+    pub fn subtables_probed(&self) -> u64 {
+        self.megaflow.subtables_probed()
+    }
+
     /// Flush both cache levels. Residual per-flow stats are pushed up to
     /// the OpenFlow rules first so no `n_packets` are lost, then every
     /// ukey is dropped with its flow.
@@ -305,7 +364,50 @@ impl DpifNetdev {
         self.stats.flows_deleted += self.megaflow.len() as u64;
         self.revalidator.clear_ukeys();
         self.emc.flush();
+        self.smc.flush();
         self.megaflow.flush();
+    }
+
+    /// Set the probabilistic EMC insertion knob
+    /// (`other_config:emc-insert-inv-prob`): insert roughly 1 in `p`
+    /// misses; 0 disables EMC insertion entirely.
+    pub fn set_emc_insert_inv_prob(&mut self, p: u64) {
+        self.emc.insert_inv_prob = p;
+    }
+
+    /// Current EMC insertion inverse probability.
+    pub fn emc_insert_inv_prob(&self) -> u64 {
+        self.emc.insert_inv_prob
+    }
+
+    /// Entries currently live in the signature match cache.
+    pub fn smc_count(&self) -> usize {
+        self.smc.len()
+    }
+
+    /// `dpif-netdev/subtable-ranking` render: the dpcls subtable probe
+    /// order (hit-count sorted within each priority band), with per-
+    /// subtable hit counts — shows why `subtables_probed` stays low on
+    /// skewed traffic.
+    pub fn subtable_ranking_show(&self) -> String {
+        use std::fmt::Write as _;
+        let info = self.megaflow.subtable_info();
+        let mut out = format!(
+            "megaflow classifier: {} subtables, {} probed since start\n",
+            info.len(),
+            self.megaflow.subtables_probed()
+        );
+        for (rank, s) in info.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  rank {rank}: mask_bits={} max_priority={} hits={} rules={}",
+                s.mask.bit_count(),
+                s.max_priority,
+                s.hits,
+                s.rules
+            );
+        }
+        out
     }
 
     /// Sync the Netlink replica from the kernel's event stream.
@@ -372,6 +474,7 @@ impl DpifNetdev {
             }
         }
         self.emc.purge_dead();
+        self.smc.purge_dead();
         deleted
     }
 
@@ -490,6 +593,7 @@ impl DpifNetdev {
             }
         }
         self.emc.purge_dead();
+        self.smc.purge_dead();
 
         // The simulated dump duration drives the dynamic flow limit.
         let dump_ms = (core_ns(kernel, core) - t0) / 1_000_000;
@@ -525,7 +629,7 @@ impl DpifNetdev {
     /// `ovs-appctl dpif-netdev/pmd-stats-show` equivalent.
     pub fn pmd_stats(&self) -> String {
         let s = &self.stats;
-        let lookups = s.emc_hits + s.megaflow_hits + s.upcalls;
+        let lookups = s.emc_hits + s.smc_hits + s.megaflow_hits + s.upcalls;
         let pct = |n: u64| {
             if lookups == 0 {
                 0.0
@@ -537,6 +641,7 @@ impl DpifNetdev {
             "packets received: {}
 packets transmitted: {}
              emc hits: {} ({:.1}%)
+smc hits: {} ({:.1}%)
 megaflow hits: {} ({:.1}%)
              upcalls (miss): {} ({:.1}%)
 recirculations: {}
@@ -550,6 +655,8 @@ megaflows installed: {}
             s.tx_packets,
             s.emc_hits,
             pct(s.emc_hits),
+            s.smc_hits,
+            pct(s.smc_hits),
             s.megaflow_hits,
             pct(s.megaflow_hits),
             s.upcalls,
@@ -669,7 +776,8 @@ megaflows installed: {}
     }
 
     /// One PMD iteration over one port queue: receive a burst and run
-    /// every packet through the datapath. Returns packets processed.
+    /// it through the two-phase batched pipeline. Returns packets
+    /// processed.
     pub fn pmd_poll(
         &mut self,
         kernel: &mut Kernel,
@@ -678,13 +786,13 @@ megaflows installed: {}
         core: usize,
     ) -> usize {
         let mut timer = StageTimer::new(core_ns(kernel, core));
-        let pkts = self.port_rx(kernel, port, queue, core);
+        let mut pkts = self.port_rx(kernel, port, queue, core);
         timer.mark(Stage::Rx, core_ns(kernel, core));
         let n = pkts.len();
-        for mut pkt in pkts {
+        for pkt in &mut pkts {
             pkt.in_port = port;
-            self.process_packet_timed(kernel, pkt, core, &mut timer);
         }
+        self.process_burst_timed(kernel, pkts, core, &mut timer);
         self.perf.entry(core).or_default().commit(&timer, n as u64);
         debug_assert!(
             self.stats.coherent(),
@@ -767,11 +875,19 @@ megaflows installed: {}
         out
     }
 
-    /// Run one packet through decap, the cache hierarchy, and actions.
+    /// Run one packet through decap, the cache hierarchy, and actions —
+    /// a burst of one through the batched pipeline.
     pub fn process_packet(&mut self, kernel: &mut Kernel, pkt: DpPacket, core: usize) {
+        self.process_burst(kernel, vec![pkt], core);
+    }
+
+    /// Run an injected burst through the full two-phase pipeline,
+    /// committing perf attribution. `pmd_poll` is this plus the rx.
+    pub fn process_burst(&mut self, kernel: &mut Kernel, pkts: Vec<DpPacket>, core: usize) {
         let mut timer = StageTimer::new(core_ns(kernel, core));
-        self.process_packet_timed(kernel, pkt, core, &mut timer);
-        self.perf.entry(core).or_default().commit(&timer, 1);
+        let n = pkts.len();
+        self.process_burst_timed(kernel, pkts, core, &mut timer);
+        self.perf.entry(core).or_default().commit(&timer, n as u64);
         debug_assert!(
             self.stats.coherent(),
             "dpif stats drifted: {:?}",
@@ -779,45 +895,77 @@ megaflows installed: {}
         );
     }
 
-    /// The pipeline proper, attributing spans of core time to `timer`.
-    fn process_packet_timed(
+    /// The pipeline proper, attributing spans of core time to `timer`:
+    /// classify the whole burst into per-megaflow batches
+    /// (`dfc_processing` + `fast_path_processing`), execute each batch's
+    /// actions once, loop recirculated packets back as a sub-burst, and
+    /// finally flush the accumulated output as real per-port tx bursts.
+    fn process_burst_timed(
         &mut self,
         kernel: &mut Kernel,
-        mut pkt: DpPacket,
+        pkts: Vec<DpPacket>,
         core: usize,
         timer: &mut StageTimer,
     ) {
-        self.stats.packets_processed += 1;
-        coverage!("dpif_packet");
-        // Tunnel reception: if the frame targets one of our tunnel
-        // endpoints, decapsulate and re-address it to the tunnel port.
-        self.try_tunnel_rx(kernel, &mut pkt, core);
+        let mut burst: Vec<BurstPkt> = Vec::with_capacity(pkts.len());
+        for mut pkt in pkts {
+            self.stats.packets_processed += 1;
+            coverage!("dpif_packet");
+            // Tunnel reception: if the frame targets one of our tunnel
+            // endpoints, decapsulate and re-address it to the tunnel
+            // port.
+            self.try_tunnel_rx(kernel, &mut pkt, core);
+            burst.push(BurstPkt { pkt, pass: 0 });
+        }
         timer.mark(Stage::Parse, core_ns(kernel, core));
 
-        for pass in 0..=MAX_RECIRC {
-            if pass == MAX_RECIRC {
+        let mut tx = TxAccum::default();
+        while !burst.is_empty() {
+            let mut batches: Vec<FlowBatch> = Vec::new();
+            let mut misses: Vec<(BurstPkt, FlowKey)> = Vec::new();
+            self.dfc_processing(kernel, burst, &mut batches, &mut misses, core, timer);
+            self.fast_path_processing(kernel, misses, &mut batches, core, timer);
+            burst = self.execute_batches(kernel, batches, &mut tx, core, timer);
+        }
+        self.flush_tx(kernel, tx, core, timer);
+    }
+
+    /// Phase one: probe the datapath flow caches (EMC, then SMC) for
+    /// every packet of the burst, in order, sorting hits into
+    /// per-megaflow batches and collecting misses for the fast path.
+    fn dfc_processing(
+        &mut self,
+        kernel: &mut Kernel,
+        burst: Vec<BurstPkt>,
+        batches: &mut Vec<FlowBatch>,
+        misses: &mut Vec<(BurstPkt, FlowKey)>,
+        core: usize,
+        timer: &mut StageTimer,
+    ) {
+        for mut bp in burst {
+            if bp.pass == MAX_RECIRC {
                 // Recirculation limit exceeded.
                 self.stats.dropped += 1;
                 coverage!("dpif_recirc_limit");
                 if let Some(t) = self.trace.as_mut() {
                     t.note(format!("recirculation limit ({MAX_RECIRC}) exceeded: drop"));
                 }
-                return;
+                continue;
             }
-            if pass > 0 {
+            if bp.pass > 0 {
                 self.stats.recirculations += 1;
                 coverage!("dpif_recirc");
             }
-            let key = extract_flow_key(&mut pkt);
+            let key = extract_flow_key(&mut bp.pkt);
             let c = kernel.sim.costs.dpif_extract_ns;
             kernel.sim.charge(core, Context::User, c);
             timer.mark(Stage::Parse, core_ns(kernel, core));
             if let Some(t) = self.trace.as_mut() {
-                t.enter(format!("pass {}: flow {}", pass + 1, describe_key(&key)));
+                t.enter(format!("pass {}: flow {}", bp.pass + 1, describe_key(&key)));
             }
 
-            // Level 1: EMC.
-            let actions: Rc<Vec<DpAction>> = if let Some(e) = self.emc.lookup(&key) {
+            // Level 1: EMC. Hit or miss, the probe is paid here.
+            if let Some(e) = self.emc.lookup(&key) {
                 self.stats.emc_hits += 1;
                 coverage!("dpif_emc_hit");
                 let mut c = kernel.sim.costs.emc_hit_ns;
@@ -829,114 +977,317 @@ megaflows installed: {}
                 if let Some(t) = self.trace.as_mut() {
                     t.note("cache: EMC hit (exact match)");
                 }
-                e.note_use(pkt.len(), kernel.sim.clock.now_ns());
-                Rc::new(e.actions.clone())
-            } else if let Some(e) = self.megaflow.lookup(&key) {
-                // Level 2: megaflow cache.
+                e.note_use(bp.pkt.len(), kernel.sim.clock.now_ns());
+                let actions = Rc::new(e.actions.clone());
+                self.enqueue_classified(batches, Some(&e), actions, bp);
+                continue;
+            }
+            let c = kernel.sim.costs.emc_hit_ns;
+            kernel.sim.charge(core, Context::User, c);
+            timer.mark(Stage::EmcLookup, core_ns(kernel, core));
+
+            // Level 2: signature match cache, when enabled.
+            if self.smc_enable {
+                let c = kernel.sim.costs.smc_hit_ns;
+                kernel.sim.charge(core, Context::User, c);
+                let hit = self.smc.lookup(&key);
+                timer.mark(Stage::SmcLookup, core_ns(kernel, core));
+                if let Some(e) = hit {
+                    self.stats.smc_hits += 1;
+                    coverage!("smc_hit");
+                    if let Some(t) = self.trace.as_mut() {
+                        t.note(format!("cache: SMC hit (mask {} bits)", e.mask.bit_count()));
+                    }
+                    e.note_use(bp.pkt.len(), kernel.sim.clock.now_ns());
+                    // SMC hits feed the EMC, like dpcls hits.
+                    self.emc.maybe_insert(key, Rc::clone(&e));
+                    let actions = Rc::new(e.actions.clone());
+                    self.enqueue_classified(batches, Some(&e), actions, bp);
+                    continue;
+                }
+                coverage!("smc_miss");
+            }
+            misses.push((bp, key));
+        }
+    }
+
+    /// Phase two: resolve the dfc misses, in original packet order,
+    /// through the megaflow classifier and the upcall slow path. The
+    /// flow caches are re-probed first (uncharged — the probes were paid
+    /// in phase one) because an earlier miss in the same burst may have
+    /// installed or promoted the flow.
+    fn fast_path_processing(
+        &mut self,
+        kernel: &mut Kernel,
+        misses: Vec<(BurstPkt, FlowKey)>,
+        batches: &mut Vec<FlowBatch>,
+        core: usize,
+        timer: &mut StageTimer,
+    ) {
+        for (bp, key) in misses {
+            if let Some(e) = self.emc.lookup(&key) {
+                self.stats.emc_hits += 1;
+                coverage!("dpif_emc_hit");
+                if let Some(t) = self.trace.as_mut() {
+                    t.note("cache: EMC hit (exact match)");
+                }
+                e.note_use(bp.pkt.len(), kernel.sim.clock.now_ns());
+                let actions = Rc::new(e.actions.clone());
+                self.enqueue_classified(batches, Some(&e), actions, bp);
+                continue;
+            }
+            if self.smc_enable {
+                if let Some(e) = self.smc.lookup(&key) {
+                    self.stats.smc_hits += 1;
+                    coverage!("smc_hit");
+                    if let Some(t) = self.trace.as_mut() {
+                        t.note(format!("cache: SMC hit (mask {} bits)", e.mask.bit_count()));
+                    }
+                    e.note_use(bp.pkt.len(), kernel.sim.clock.now_ns());
+                    self.emc.maybe_insert(key, Rc::clone(&e));
+                    let actions = Rc::new(e.actions.clone());
+                    self.enqueue_classified(batches, Some(&e), actions, bp);
+                    continue;
+                }
+            }
+
+            // Level 3: megaflow classifier. The first subtable probe is
+            // folded into the base lookup cost; every additional
+            // subtable probed pays the incremental cost — the work
+            // subtable ranking cuts on skewed traffic.
+            let probed_before = self.megaflow.subtables_probed();
+            let hit = self.megaflow.lookup(&key);
+            let probed = self.megaflow.subtables_probed() - probed_before;
+            let c = kernel.sim.costs.dpcls_lookup_ns
+                + kernel.sim.costs.dpcls_subtable_extra_ns * probed.saturating_sub(1) as f64;
+            kernel.sim.charge(core, Context::User, c);
+            timer.mark(Stage::MegaflowLookup, core_ns(kernel, core));
+            if let Some(e) = hit {
                 self.stats.megaflow_hits += 1;
                 coverage!("dpif_megaflow_hit");
-                let c = kernel.sim.costs.emc_hit_ns + kernel.sim.costs.dpcls_lookup_ns;
-                kernel.sim.charge(core, Context::User, c);
-                timer.mark(Stage::MegaflowLookup, core_ns(kernel, core));
                 if let Some(t) = self.trace.as_mut() {
                     t.note(format!(
                         "cache: megaflow hit (mask {} bits)",
                         e.mask.bit_count()
                     ));
                 }
-                e.note_use(pkt.len(), kernel.sim.clock.now_ns());
+                e.note_use(bp.pkt.len(), kernel.sim.clock.now_ns());
+                if self.smc_enable {
+                    self.smc.insert(&key, Rc::clone(&e));
+                }
                 self.emc.maybe_insert(key, Rc::clone(&e));
-                Rc::new(e.actions.clone())
-            } else {
-                // Level 3: upcall into ofproto. The EMC and dpcls misses
-                // are paid first, then the translation itself.
-                self.stats.upcalls += 1;
-                coverage!("dpif_upcall");
-                let c = kernel.sim.costs.emc_hit_ns;
-                kernel.sim.charge(core, Context::User, c);
-                timer.mark(Stage::EmcLookup, core_ns(kernel, core));
-                let c = kernel.sim.costs.dpcls_lookup_ns;
-                kernel.sim.charge(core, Context::User, c);
-                timer.mark(Stage::MegaflowLookup, core_ns(kernel, core));
-                if let Some(t) = self.trace.as_mut() {
-                    t.enter("cache: miss, upcall to ofproto");
-                }
-                let t = self.ofproto.translate_traced(&key, self.trace.as_mut());
-                if let Some(tr) = self.trace.as_mut() {
-                    tr.exit();
-                    tr.note(format!(
-                        "megaflow installed: {} tables visited, mask {} bits",
-                        t.tables_visited,
-                        t.mask.bit_count()
-                    ));
-                }
-                let c = t.tables_visited as f64 * kernel.sim.costs.upcall_per_table_ns;
-                kernel.sim.charge(core, Context::User, c);
-                timer.mark(Stage::Upcall, core_ns(kernel, core));
-                // The upcalled packet is credited at translation time;
-                // everything after it is credited by stats pushback.
-                for r in &t.rules {
-                    r.credit(1, pkt.len() as u64);
-                }
-                let now = kernel.sim.clock.now_ns();
-                let masked = key.masked(&t.mask);
-                if self.megaflow.contains(&masked) {
-                    // Masked-key collision under a different mask:
-                    // replace the stale flow.
-                    self.delete_megaflow(&masked);
-                }
-                if self.revalidator.should_install(self.megaflow.len()) {
-                    let entry = self
-                        .megaflow
-                        .install_at(key, t.mask, t.actions.clone(), now);
-                    self.stats.flows_installed += 1;
-                    self.revalidator.register(Ukey::new(
-                        masked,
-                        t.mask,
-                        t.actions.clone(),
-                        t.rules,
-                        now,
-                    ));
-                    self.emc.maybe_insert(key, entry);
-                } else {
-                    // At the dynamic flow limit: forward without
-                    // installing (OVS upcall handlers do the same).
-                    self.stats.flow_limit_hits += 1;
-                    coverage!("flow_limit_hit");
-                    if let Some(tr) = self.trace.as_mut() {
-                        tr.note(format!(
-                            "flow limit reached ({}): megaflow not installed",
-                            self.revalidator.flow_limit
-                        ));
-                    }
-                }
-                Rc::new(t.actions)
-            };
+                let actions = Rc::new(e.actions.clone());
+                self.enqueue_classified(batches, Some(&e), actions, bp);
+                continue;
+            }
 
-            if actions.is_empty() {
-                self.stats.dropped += 1;
-                coverage!("dpif_drop");
-                if let Some(t) = self.trace.as_mut() {
-                    t.note("Datapath actions: drop");
-                    t.exit();
+            // Level 4: upcall into ofproto.
+            self.stats.upcalls += 1;
+            coverage!("dpif_upcall");
+            if let Some(t) = self.trace.as_mut() {
+                t.enter("cache: miss, upcall to ofproto");
+            }
+            let t = self.ofproto.translate_traced(&key, self.trace.as_mut());
+            if let Some(tr) = self.trace.as_mut() {
+                tr.exit();
+                tr.note(format!(
+                    "megaflow installed: {} tables visited, mask {} bits",
+                    t.tables_visited,
+                    t.mask.bit_count()
+                ));
+            }
+            let c = t.tables_visited as f64 * kernel.sim.costs.upcall_per_table_ns;
+            kernel.sim.charge(core, Context::User, c);
+            timer.mark(Stage::Upcall, core_ns(kernel, core));
+            // The upcalled packet is credited at translation time;
+            // everything after it is credited by stats pushback.
+            for r in &t.rules {
+                r.credit(1, bp.pkt.len() as u64);
+            }
+            let now = kernel.sim.clock.now_ns();
+            let masked = key.masked(&t.mask);
+            if self.megaflow.contains(&masked) {
+                // Masked-key collision under a different mask: replace
+                // the stale flow.
+                self.delete_megaflow(&masked);
+            }
+            if self.revalidator.should_install(self.megaflow.len()) {
+                let entry = self
+                    .megaflow
+                    .install_at(key, t.mask, t.actions.clone(), now);
+                self.stats.flows_installed += 1;
+                self.revalidator.register(Ukey::new(
+                    masked,
+                    t.mask,
+                    t.actions.clone(),
+                    t.rules,
+                    now,
+                ));
+                if self.smc_enable {
+                    self.smc.insert(&key, Rc::clone(&entry));
                 }
-                return;
-            }
-            if let Some(t) = self.trace.as_mut() {
-                t.note(format!("Datapath actions: {actions:?}"));
-            }
-            let recirculated = self.execute_actions(kernel, pkt, &actions, core, timer);
-            if let Some(t) = self.trace.as_mut() {
-                t.exit();
-            }
-            match recirculated {
-                Some(p) => pkt = p,
-                None => return,
+                self.emc.maybe_insert(key, Rc::clone(&entry));
+                let actions = Rc::new(t.actions);
+                self.enqueue_classified(batches, Some(&entry), actions, bp);
+            } else {
+                // At the dynamic flow limit: forward without installing
+                // (OVS upcall handlers do the same).
+                self.stats.flow_limit_hits += 1;
+                coverage!("flow_limit_hit");
+                if let Some(tr) = self.trace.as_mut() {
+                    tr.note(format!(
+                        "flow limit reached ({}): megaflow not installed",
+                        self.revalidator.flow_limit
+                    ));
+                }
+                let actions = Rc::new(t.actions);
+                self.enqueue_classified(batches, None, actions, bp);
             }
         }
     }
 
+    /// Sort one classified packet into its per-megaflow batch, creating
+    /// the batch on first use. Empty action lists drop here.
+    fn enqueue_classified(
+        &mut self,
+        batches: &mut Vec<FlowBatch>,
+        entry: Option<&Rc<MegaflowEntry<Vec<DpAction>>>>,
+        actions: Rc<Vec<DpAction>>,
+        bp: BurstPkt,
+    ) {
+        if actions.is_empty() {
+            self.stats.dropped += 1;
+            coverage!("dpif_drop");
+            if let Some(t) = self.trace.as_mut() {
+                t.note("Datapath actions: drop");
+                t.exit();
+            }
+            return;
+        }
+        if let Some(e) = entry {
+            if let Some(b) = batches
+                .iter_mut()
+                .find(|b| b.entry.as_ref().is_some_and(|be| Rc::ptr_eq(be, e)))
+            {
+                b.pkts.push(bp);
+                return;
+            }
+        }
+        batches.push(FlowBatch {
+            entry: entry.cloned(),
+            actions,
+            pkts: vec![bp],
+        });
+    }
+
+    /// Phase three: execute each batch's actions — the per-batch fixed
+    /// cost is paid once per megaflow, not once per packet. Returns the
+    /// recirculated packets (the next sub-burst).
+    fn execute_batches(
+        &mut self,
+        kernel: &mut Kernel,
+        batches: Vec<FlowBatch>,
+        tx: &mut TxAccum,
+        core: usize,
+        timer: &mut StageTimer,
+    ) -> Vec<BurstPkt> {
+        let mut next = Vec::new();
+        for b in batches {
+            let c = kernel.sim.costs.dp_batch_fixed_ns
+                + kernel.sim.costs.dp_batch_pkt_ns * b.pkts.len() as f64;
+            kernel.sim.charge(core, Context::User, c);
+            timer.mark(Stage::Batch, core_ns(kernel, core));
+            coverage!("batch_flush");
+            let actions = b.actions;
+            for bp in b.pkts {
+                if let Some(t) = self.trace.as_mut() {
+                    t.note(format!("Datapath actions: {actions:?}"));
+                }
+                let pass = bp.pass;
+                if let Some(p) = self.execute_actions(kernel, bp.pkt, &actions, core, timer, tx) {
+                    next.push(BurstPkt {
+                        pkt: p,
+                        pass: pass + 1,
+                    });
+                }
+                if let Some(t) = self.trace.as_mut() {
+                    t.exit();
+                }
+            }
+        }
+        next
+    }
+
+    /// Flush the accumulated output as one real tx burst per port —
+    /// the batched replacement for the old per-packet backend calls.
+    fn flush_tx(&mut self, kernel: &mut Kernel, tx: TxAccum, core: usize, timer: &mut StageTimer) {
+        for (port, pkts) in tx.ports {
+            let mut dropped = 0u64;
+            let Some(Some(p)) = self.ports.get_mut(port as usize) else {
+                // The port vanished after accumulation (cannot happen
+                // within one burst, but stay defensive).
+                self.stats.dropped += pkts.len() as u64;
+                continue;
+            };
+            match &mut p.ty {
+                PortType::Afxdp(a) => {
+                    // TX on queue 0 of the egress port (single-queue TX
+                    // model), in chunks of the ring burst size.
+                    let mut batch = ovs_ring::PacketBatch::new();
+                    for pkt in pkts {
+                        if let Err(pkt) = batch.push(pkt) {
+                            a.tx_burst(kernel, 0, core, batch);
+                            batch = ovs_ring::PacketBatch::new();
+                            let _ = batch.push(pkt);
+                        }
+                    }
+                    if !batch.is_empty() {
+                        a.tx_burst(kernel, 0, core, batch);
+                    }
+                }
+                PortType::Dpdk(d) => {
+                    let mut mbufs = Vec::with_capacity(pkts.len());
+                    for pkt in &pkts {
+                        match d.pool.alloc() {
+                            Some(mut m) => {
+                                m.set_data(pkt.data());
+                                mbufs.push(m);
+                            }
+                            None => dropped += 1,
+                        }
+                    }
+                    if !mbufs.is_empty() {
+                        d.tx_burst(kernel, mbufs, core);
+                    }
+                }
+                PortType::Tap { ifindex }
+                | PortType::Internal {
+                    tap_ifindex: ifindex,
+                } => {
+                    let ifx = *ifindex;
+                    for pkt in pkts {
+                        kernel.raw_socket_send(ifx, pkt.data().to_vec(), core);
+                    }
+                }
+                PortType::VhostUser(v) => {
+                    let frames: Vec<Vec<u8>> = pkts.iter().map(|p| p.data().to_vec()).collect();
+                    v.enqueue_burst(kernel, frames, core);
+                }
+                PortType::AfPacket(a) => {
+                    for pkt in pkts {
+                        a.send(kernel, pkt.data().to_vec(), core);
+                    }
+                }
+                PortType::Tunnel(_) => unreachable!("tunnel handled in port_send"),
+            }
+            self.stats.dropped += dropped;
+            timer.mark(Stage::Tx, core_ns(kernel, core));
+        }
+    }
+
     /// Execute actions; returns `Some(pkt)` if the packet recirculates.
+    /// Output actions queue frames on `tx` (tunnel encap and software
+    /// TSO still run here); the real burst leaves in `flush_tx`.
     fn execute_actions(
         &mut self,
         kernel: &mut Kernel,
@@ -944,6 +1295,7 @@ megaflows installed: {}
         actions: &[DpAction],
         core: usize,
         timer: &mut StageTimer,
+        tx: &mut TxAccum,
     ) -> Option<DpPacket> {
         for (i, act) in actions.iter().enumerate() {
             match act {
@@ -951,7 +1303,7 @@ megaflows installed: {}
                     timer.mark(Stage::Actions, core_ns(kernel, core));
                     let last = i + 1 == actions.len();
                     if last {
-                        self.port_send(kernel, *p, pkt, core);
+                        self.port_send(kernel, *p, pkt, core, tx);
                         timer.mark(Stage::Tx, core_ns(kernel, core));
                         return None;
                     }
@@ -959,7 +1311,7 @@ megaflows installed: {}
                     let mut clone = clone;
                     clone.tunnel = pkt.tunnel;
                     clone.offloads = pkt.offloads;
-                    self.port_send(kernel, *p, clone, core);
+                    self.port_send(kernel, *p, clone, core, tx);
                     timer.mark(Stage::Tx, core_ns(kernel, core));
                 }
                 DpAction::SetTunnel { id, dst } => {
@@ -1107,8 +1459,16 @@ megaflows installed: {}
         }
     }
 
-    /// Send a packet out a port, segmenting for TSO-less egress.
-    fn port_send(&mut self, kernel: &mut Kernel, port: PortNo, pkt: DpPacket, core: usize) {
+    /// Send a packet out a port, segmenting for TSO-less egress. The
+    /// frame(s) land on `tx` for the end-of-burst flush.
+    fn port_send(
+        &mut self,
+        kernel: &mut Kernel,
+        port: PortNo,
+        pkt: DpPacket,
+        core: usize,
+        tx: &mut TxAccum,
+    ) {
         // Tunnel output: encapsulate, then re-send on the egress port.
         let tunnel_cfg = match self.ports.get(port as usize) {
             Some(Some(Port {
@@ -1128,7 +1488,7 @@ megaflows installed: {}
                         let mut p = DpPacket::from_data(&seg);
                         p.tunnel = pkt.tunnel;
                         p.offloads = pkt.offloads;
-                        self.port_send(kernel, port, p, core);
+                        self.port_send(kernel, port, p, core, tx);
                     }
                     return;
                 }
@@ -1175,7 +1535,7 @@ megaflows installed: {}
                     match egress {
                         Some(e) => {
                             let out = DpPacket::from_data(&enc.frame);
-                            self.port_send(kernel, e, out, core);
+                            self.port_send(kernel, e, out, core, tx);
                         }
                         None => self.stats.dropped += 1,
                     }
@@ -1211,14 +1571,23 @@ megaflows installed: {}
             for seg in segs {
                 let mut p = DpPacket::from_data(&seg);
                 p.offloads = pkt.offloads;
-                self.port_tx_raw(kernel, port, p, core);
+                self.port_tx_raw(kernel, port, p, core, tx);
             }
             return;
         }
-        self.port_tx_raw(kernel, port, pkt, core);
+        self.port_tx_raw(kernel, port, pkt, core, tx);
     }
 
-    fn port_tx_raw(&mut self, kernel: &mut Kernel, port: PortNo, pkt: DpPacket, core: usize) {
+    /// Account and queue one outgoing frame. The backend I/O happens in
+    /// `flush_tx`, once per port per burst.
+    fn port_tx_raw(
+        &mut self,
+        kernel: &mut Kernel,
+        port: PortNo,
+        pkt: DpPacket,
+        core: usize,
+        tx: &mut TxAccum,
+    ) {
         // ERSPAN mirroring: copy watched traffic toward its collector
         // before normal transmission.
         let mirror_jobs: Vec<(usize, PortNo)> = self
@@ -1232,7 +1601,7 @@ megaflows installed: {}
             let wrapped = self.mirrors[i].encapsulate(pkt.data());
             let c = kernel.sim.costs.userspace_tunnel_ns + kernel.sim.costs.copy_ns(pkt.len());
             kernel.sim.charge(core, Context::User, c);
-            self.port_tx_raw(kernel, out, DpPacket::from_data(&wrapped), core);
+            self.port_tx_raw(kernel, out, DpPacket::from_data(&wrapped), core, tx);
         }
         let Some(Some(p)) = self.ports.get_mut(port as usize) else {
             self.stats.dropped += 1;
@@ -1247,36 +1616,7 @@ megaflows installed: {}
             // this trace (`tcpdump` prints a "[traced]" tag).
             kernel.mark_traced(pkt.data());
         }
-        match &mut p.ty {
-            PortType::Afxdp(a) => {
-                let mut batch = ovs_ring::PacketBatch::new();
-                let _ = batch.push(pkt);
-                // TX on queue 0 of the egress port (single-queue TX model).
-                a.tx_burst(kernel, 0, core, batch);
-            }
-            PortType::Dpdk(d) => {
-                if let Some(mut m) = d.pool.alloc() {
-                    m.set_data(pkt.data());
-                    d.tx_burst(kernel, vec![m], core);
-                } else {
-                    self.stats.dropped += 1;
-                }
-            }
-            PortType::Tap { ifindex }
-            | PortType::Internal {
-                tap_ifindex: ifindex,
-            } => {
-                let ifx = *ifindex;
-                kernel.raw_socket_send(ifx, pkt.data().to_vec(), core);
-            }
-            PortType::VhostUser(v) => {
-                v.enqueue_burst(kernel, vec![pkt.data().to_vec()], core);
-            }
-            PortType::AfPacket(a) => {
-                a.send(kernel, pkt.data().to_vec(), core);
-            }
-            PortType::Tunnel(_) => unreachable!("tunnel handled in port_send"),
-        }
+        tx.push(port, pkt);
     }
 }
 

@@ -22,10 +22,14 @@ pub enum Stage {
     Parse,
     /// Exact-match cache probe.
     EmcLookup,
+    /// Signature match cache probe (between the EMC and dpcls tiers).
+    SmcLookup,
     /// Megaflow (dpcls) lookup.
     MegaflowLookup,
     /// Upcall: ofproto translation + megaflow install.
     Upcall,
+    /// Per-megaflow batch setup/flush (the amortized fixed cost).
+    Batch,
     /// Action execution (set-field, ct, tunnel push/pop, meter).
     Actions,
     /// Recirculation bookkeeping between passes.
@@ -37,12 +41,14 @@ pub enum Stage {
 }
 
 /// All stages, in display order.
-pub const STAGES: [Stage; 9] = [
+pub const STAGES: [Stage; 11] = [
     Stage::Rx,
     Stage::Parse,
     Stage::EmcLookup,
+    Stage::SmcLookup,
     Stage::MegaflowLookup,
     Stage::Upcall,
+    Stage::Batch,
     Stage::Actions,
     Stage::Recirc,
     Stage::Tx,
@@ -55,8 +61,10 @@ impl Stage {
             Stage::Rx => "rx",
             Stage::Parse => "parse",
             Stage::EmcLookup => "emc lookup",
+            Stage::SmcLookup => "smc lookup",
             Stage::MegaflowLookup => "megaflow lookup",
             Stage::Upcall => "upcall/translate",
+            Stage::Batch => "batch setup/flush",
             Stage::Actions => "actions",
             Stage::Recirc => "recirc",
             Stage::Tx => "tx",
@@ -69,12 +77,14 @@ impl Stage {
             Stage::Rx => 0,
             Stage::Parse => 1,
             Stage::EmcLookup => 2,
-            Stage::MegaflowLookup => 3,
-            Stage::Upcall => 4,
-            Stage::Actions => 5,
-            Stage::Recirc => 6,
-            Stage::Tx => 7,
-            Stage::Revalidate => 8,
+            Stage::SmcLookup => 3,
+            Stage::MegaflowLookup => 4,
+            Stage::Upcall => 5,
+            Stage::Batch => 6,
+            Stage::Actions => 7,
+            Stage::Recirc => 8,
+            Stage::Tx => 9,
+            Stage::Revalidate => 10,
         }
     }
 }

@@ -307,13 +307,21 @@ impl FlowKey {
     }
 
     /// A fast 64-bit hash of the key under `mask` (FNV-1a over the masked
-    /// words). Deterministic across runs.
+    /// words, with an avalanche finalizer). Deterministic across runs.
+    ///
+    /// The finalizer matters: FNV's multiply only propagates entropy
+    /// *upward*, so without it two keys differing in a high-order field
+    /// (a port, a recirc id) share their low hash bits — and the EMC and
+    /// SMC index their buckets with exactly those bits.
     pub fn hash_masked(&self, mask: &FlowMask) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for (k, m) in self.words.iter().zip(mask.words.iter()) {
             h ^= k & m;
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
         h
     }
 

@@ -25,4 +25,4 @@ pub mod scenarios;
 
 pub use flood::{make_flows, rss_queue};
 pub use measure::RateMeasurement;
-pub use scenarios::{DpKind, PathKind, ScenarioConfig, VmAttach};
+pub use scenarios::{DpKind, FastpathMode, FastpathReport, PathKind, ScenarioConfig, VmAttach};

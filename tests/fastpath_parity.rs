@@ -1,0 +1,283 @@
+//! Parity between the scalar and batched receive paths: `process_burst`
+//! must make bit-for-bit the same forwarding decisions — and count the
+//! same datapath statistics — as the packets run one at a time through
+//! `process_packet`, for any traffic mix and any burst partitioning.
+//! Batching may only change *when* work happens (amortized per-batch
+//! costs), never *what* the datapath does.
+//!
+//! Also pins the SMC lifecycle guarantee the revalidator relies on: once
+//! a sweep invalidates a megaflow, the signature match cache must never
+//! serve it again.
+
+use ovs_afxdp_repro::afxdp::{AfxdpPort, OptLevel};
+use ovs_afxdp_repro::kernel::dev::{DeviceKind, NetDevice};
+use ovs_afxdp_repro::kernel::Kernel;
+use ovs_afxdp_repro::ovs::dpif::{DpifNetdev, PortType};
+use ovs_afxdp_repro::ovs::ofproto::{OfAction, OfRule, Ofproto};
+use ovs_afxdp_repro::packet::flow::{fields, FlowKey, FlowMask};
+use ovs_afxdp_repro::packet::{builder, DpPacket, MacAddr};
+use proptest::prelude::*;
+
+const N_PORTS: u32 = 4;
+
+/// The multi-table pipeline from the datapath-parity suite: traffic from
+/// port 0 is classified by destination /16 (with an overlapping /17 at
+/// higher priority), VLAN-tagged, and delivered to ports 1–3 or dropped.
+fn pipeline() -> Ofproto {
+    let mut of = Ofproto::new();
+    let mut k = FlowKey::default();
+    k.set_in_port(0);
+    of.add_rule(OfRule {
+        table: 0,
+        priority: 10,
+        key: k,
+        mask: FlowMask::of_fields(&[&fields::IN_PORT]),
+        actions: vec![OfAction::SetMetadata(7), OfAction::Goto(1)],
+        cookie: 1,
+    });
+    let dests: [([u8; 4], u8, i32, u32); 4] = [
+        ([10, 1, 0, 0], 16, 10, 1),
+        ([10, 2, 0, 0], 16, 10, 2),
+        ([10, 2, 128, 0], 17, 20, 3),
+        ([10, 3, 0, 0], 16, 10, 3),
+    ];
+    for (ip, plen, prio, port) in dests {
+        let mut key = FlowKey::default();
+        key.set_nw_dst_v4(ip);
+        key.set_metadata(7);
+        let mut mask = FlowMask::of_fields(&[&fields::METADATA]);
+        mask.set_nw_dst_v4_prefix(plen);
+        of.add_rule(OfRule {
+            table: 1,
+            priority: prio,
+            key,
+            mask,
+            actions: vec![OfAction::PushVlan(100), OfAction::Output(port)],
+            cookie: 2,
+        });
+    }
+    of
+}
+
+struct Rig {
+    kernel: Kernel,
+    dp: DpifNetdev,
+    nics: Vec<u32>,
+}
+
+fn build_rig(smc: bool) -> Rig {
+    let mut kernel = Kernel::new(8);
+    let mut dp = DpifNetdev::new();
+    let mut nics = Vec::new();
+    for p in 0..N_PORTS {
+        let nic = kernel.add_device(NetDevice::new(
+            &format!("eth{p}"),
+            MacAddr::new(2, 0, 0, 0, 0, p as u8 + 1),
+            DeviceKind::Phys { link_gbps: 10.0 },
+            1,
+        ));
+        let port = dp.add_port(
+            &format!("eth{p}"),
+            PortType::Afxdp(AfxdpPort::open(&mut kernel, nic, 512, OptLevel::O5).unwrap()),
+        );
+        assert_eq!(port, p);
+        nics.push(nic);
+    }
+    dp.ofproto = pipeline();
+    dp.smc_enable = smc;
+    // Deterministic EMC insertion so both paths populate the cache on
+    // exactly the same packets.
+    dp.set_emc_insert_inv_prob(1);
+    Rig { kernel, dp, nics }
+}
+
+impl Rig {
+    /// Drain every NIC's wire into per-port frame lists.
+    fn drain(&mut self, out: &mut [Vec<Vec<u8>>]) {
+        for (p, &nic) in self.nics.iter().enumerate() {
+            while let Some(f) = self.kernel.dev_mut(nic).tx_wire.pop_front() {
+                out[p].push(f);
+            }
+        }
+    }
+}
+
+/// Run `frames` through a rig, partitioned into `bursts` (scalar when
+/// `burst_of` yields 1s). Returns per-port delivered frames (sorted —
+/// batching reorders across flows within a burst, never within one) and
+/// the final datapath counters.
+fn run(
+    frames: &[Vec<u8>],
+    bursts: &[usize],
+    smc: bool,
+    scalar: bool,
+) -> (Vec<Vec<Vec<u8>>>, ovs_afxdp_repro::ovs::dpif::DpifStats) {
+    let mut rig = build_rig(smc);
+    let mut out: Vec<Vec<Vec<u8>>> = vec![Vec::new(); N_PORTS as usize];
+    let mut it = frames.iter();
+    'outer: for &n in bursts.iter().cycle() {
+        let mut chunk = Vec::new();
+        for _ in 0..n.max(1) {
+            let Some(f) = it.next() else {
+                break;
+            };
+            let mut p = DpPacket::from_data(f);
+            p.in_port = 0;
+            chunk.push(p);
+        }
+        if chunk.is_empty() {
+            break 'outer;
+        }
+        if scalar {
+            for p in chunk {
+                rig.dp.process_packet(&mut rig.kernel, p, 0);
+            }
+        } else {
+            rig.dp.process_burst(&mut rig.kernel, chunk, 0);
+        }
+        rig.drain(&mut out);
+    }
+    for v in &mut out {
+        v.sort();
+    }
+    (out, rig.dp.stats)
+}
+
+fn frame(dst: [u8; 4], sport: u16) -> Vec<u8> {
+    builder::udp_ipv4_frame(
+        MacAddr::new(2, 0, 0, 0, 9, 9),
+        MacAddr::new(2, 0, 0, 0, 0, 1),
+        [172, 16, 9, 9],
+        dst,
+        sport,
+        53,
+        64,
+    )
+}
+
+proptest! {
+    /// Any frame mix, any burst partitioning: the batched pipeline (with
+    /// and without the SMC tier) forwards the same bytes to the same
+    /// ports as the scalar loop, and — SMC off, so the cache hierarchy
+    /// is identical — counts exactly the same statistics.
+    #[test]
+    fn batched_pipeline_matches_scalar(
+        picks in proptest::collection::vec((0u8..5, 0u8..=255, 1u8..=254, 0u16..8), 1..80),
+        bursts in proptest::collection::vec(1usize..=32, 1..8),
+    ) {
+        let frames: Vec<Vec<u8>> = picks
+            .iter()
+            .map(|&(b, c, d, s)| frame([10, b, c, d], 1000 + s * 7))
+            .collect();
+        let ones = vec![1usize];
+
+        let (fwd_scalar, stats_scalar) = run(&frames, &ones, false, true);
+        let (fwd_batched, stats_batched) = run(&frames, &bursts, false, false);
+        let (fwd_smc, stats_smc) = run(&frames, &bursts, true, false);
+
+        prop_assert_eq!(&fwd_scalar, &fwd_batched, "forwarding diverged");
+        prop_assert_eq!(stats_scalar, stats_batched, "stats diverged");
+        prop_assert_eq!(&fwd_scalar, &fwd_smc, "SMC changed a forwarding decision");
+        // The SMC shifts hits between cache tiers but never invents or
+        // loses a packet.
+        prop_assert_eq!(
+            stats_smc.emc_hits + stats_smc.smc_hits + stats_smc.megaflow_hits
+                + stats_smc.upcalls,
+            stats_scalar.emc_hits + stats_scalar.megaflow_hits + stats_scalar.upcalls
+        );
+        prop_assert_eq!(stats_smc.tx_packets, stats_scalar.tx_packets);
+        prop_assert_eq!(stats_smc.dropped, stats_scalar.dropped);
+    }
+}
+
+/// A sweep that invalidates a megaflow must take it out of the SMC's
+/// reach at once: after the rule change + `revalidate_changed`, the old
+/// entry is never served again — the next packet upcalls and follows the
+/// new pipeline.
+#[test]
+fn sweep_invalidated_flows_never_served_from_smc() {
+    let mut rig = build_rig(true);
+    let f = frame([10, 1, 7, 7], 4321);
+
+    // Warm: first packet upcalls and installs; the second is served from
+    // a cache tier and the flow's SMC entry exists.
+    for _ in 0..2 {
+        let mut p = DpPacket::from_data(&f);
+        p.in_port = 0;
+        rig.dp.process_packet(&mut rig.kernel, p, 0);
+    }
+    assert_eq!(rig.dp.stats.upcalls, 1);
+    assert!(rig.dp.smc_count() > 0, "warm flow cached in the SMC");
+    let mut out: Vec<Vec<Vec<u8>>> = vec![Vec::new(); N_PORTS as usize];
+    rig.drain(&mut out);
+    assert_eq!(out[1].len(), 2, "warm traffic delivered to port 1");
+
+    // Control plane change: a higher-priority rule now drops this
+    // destination. The sweep re-translates, sees the actions changed,
+    // and kills the megaflow — which must also purge it from the SMC.
+    let mut key = FlowKey::default();
+    key.set_nw_dst_v4([10, 1, 0, 0]);
+    key.set_metadata(7);
+    let mut mask = FlowMask::of_fields(&[&fields::METADATA]);
+    mask.set_nw_dst_v4_prefix(16);
+    rig.dp.ofproto.add_rule(OfRule {
+        table: 1,
+        priority: 99,
+        key,
+        mask,
+        actions: vec![], // drop
+        cookie: 3,
+    });
+    let deleted = rig.dp.revalidate_changed();
+    assert!(deleted >= 1, "sweep deleted the stale megaflow");
+
+    // Replay the same flow: the dead entry must not be served from any
+    // cache — the packet upcalls and the new pipeline drops it.
+    let (smc_hits0, emc_hits0) = (rig.dp.stats.smc_hits, rig.dp.stats.emc_hits);
+    let mut p = DpPacket::from_data(&f);
+    p.in_port = 0;
+    rig.dp.process_packet(&mut rig.kernel, p, 0);
+    assert_eq!(
+        rig.dp.stats.smc_hits, smc_hits0,
+        "sweep-invalidated flow was served from the SMC"
+    );
+    assert_eq!(
+        rig.dp.stats.emc_hits, emc_hits0,
+        "sweep-invalidated flow was served from the EMC"
+    );
+    assert_eq!(rig.dp.stats.upcalls, 2, "replay re-upcalled");
+    rig.drain(&mut out);
+    assert_eq!(out[1].len(), 2, "dropped: nothing new on port 1");
+    assert_eq!(rig.dp.stats.dropped, 1);
+}
+
+/// The lazy path to the same guarantee: even *without* the end-of-sweep
+/// purge, an SMC probe that lands on a dead megaflow must miss (and
+/// reclaim the slot) rather than forward with stale actions.
+#[test]
+fn dead_megaflow_misses_in_smc_on_lookup() {
+    let mut rig = build_rig(true);
+    let f = frame([10, 2, 1, 1], 1111);
+    for _ in 0..2 {
+        let mut p = DpPacket::from_data(&f);
+        p.in_port = 0;
+        rig.dp.process_packet(&mut rig.kernel, p, 0);
+    }
+    let cached = rig.dp.smc_count();
+    assert!(cached > 0);
+
+    // Idle the flow out via the periodic sweep (which also purges), then
+    // re-insert a fresh megaflow and kill it *without* sweeping: the
+    // next lookup must reclaim the dead reference in place.
+    rig.kernel.sim.clock.advance(11_000_000_000);
+    rig.dp.revalidate(&mut rig.kernel, 0);
+    assert_eq!(rig.dp.megaflow_count(), 0, "idle sweep drained the table");
+    assert_eq!(rig.dp.smc_count(), 0, "sweep purged the SMC");
+
+    let smc_hits0 = rig.dp.stats.smc_hits;
+    let mut p = DpPacket::from_data(&f);
+    p.in_port = 0;
+    rig.dp.process_packet(&mut rig.kernel, p, 0);
+    assert_eq!(rig.dp.stats.smc_hits, smc_hits0, "no stale SMC service");
+    assert_eq!(rig.dp.stats.upcalls, 2, "idle-expired flow re-upcalled");
+}

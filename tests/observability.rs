@@ -66,6 +66,7 @@ fn run_pair(a: &mut Host, b: &mut Host) {
 
 const GOLDEN_COVERAGE: &str = "\
 counter                             total        epoch    avg/epoch
+batch_flush                           159          159        159.0
 bpf_helper_call                        32           32         32.0
 bpf_insn_executed                     192          192        192.0
 bpf_prog_run                           32           32         32.0
@@ -86,18 +87,20 @@ xsk_tx_packet                          32           32         32.0
 
 const GOLDEN_PERF: &str = "\
 pmd thread core 1:
-  iterations: 504  packets: 31  busy: 41314 ns (99153 cycles)
-  avg cycles/pkt: 3198.5
-  rx                           2447 ns           5872 cycles    5.9%
-  parse                        4650 ns          11160 cycles   11.3%
-  emc lookup                    150 ns            360 cycles    0.4%
-  megaflow lookup              8430 ns          20232 cycles   20.4%
-  upcall/translate            13600 ns          32640 cycles   32.9%
-  actions                      5640 ns          13536 cycles   13.7%
-  recirc                       1645 ns           3948 cycles    4.0%
-  tx                           4752 ns          11404 cycles   11.5%
+  iterations: 504  packets: 31  busy: 52406 ns (125774 cycles)
+  avg cycles/pkt: 4057.2
+  rx                           2447 ns           5872 cycles    4.7%
+  parse                        4650 ns          11160 cycles    8.9%
+  emc lookup                   2340 ns           5616 cycles    4.5%
+  smc lookup                      0 ns              0 cycles    0.0%
+  megaflow lookup              9220 ns          22128 cycles   17.6%
+  upcall/translate            13600 ns          32640 cycles   26.0%
+  batch setup/flush            8112 ns          19468 cycles   15.5%
+  actions                      5640 ns          13536 cycles   10.8%
+  recirc                       1645 ns           3948 cycles    3.1%
+  tx                           4752 ns          11404 cycles    9.1%
   revalidate                      0 ns              0 cycles    0.0%
-  per-packet ns: p50 1023 p90 1023 p99 10563 p99.9 10563 max 10563
+  per-packet ns: p50 2047 p90 2047 p99 10895 p99.9 10895 max 10895
 ";
 
 const GOLDEN_TRACE: &str = "\

@@ -10,7 +10,29 @@ use ovs_ebpf::maps::{Map, XskMap};
 use ovs_ebpf::programs;
 use ovs_kernel::dev::XdpMode;
 use ovs_kernel::Kernel;
+use ovs_obs::coverage;
 use ovs_ring::PacketBatch;
+
+/// Which rung of the AF_XDP degradation ladder the port is running on
+/// (§3.5: zero-copy → copy/skb mode; the tap rung lives above this
+/// type, in the datapath's port fallback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AfxdpMode {
+    /// Native driver XDP, zero-copy umem.
+    ZeroCopy,
+    /// Generic (skb) XDP, copy mode.
+    Copy,
+}
+
+impl AfxdpMode {
+    /// The `dpif-netdev/port-status` label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AfxdpMode::ZeroCopy => "zero-copy",
+            AfxdpMode::Copy => "copy",
+        }
+    }
+}
 
 /// A multi-queue AF_XDP port.
 #[derive(Debug)]
@@ -21,13 +43,20 @@ pub struct AfxdpPort {
     pub sockets: Vec<XskSocket>,
     /// The xskmap fd backing the hook program.
     pub xskmap_fd: u32,
+    /// The rung of the degradation ladder in use.
+    pub mode: AfxdpMode,
+    /// Whether the driver supported zero-copy but attach was rejected —
+    /// i.e. `mode` is a degradation rather than the driver's best.
+    pub degraded: bool,
 }
 
 impl AfxdpPort {
     /// Open an AF_XDP port on `ifindex` with one socket per device queue,
-    /// installing the OVS hook program. Uses native (zero-copy) mode when
-    /// the driver supports it, the generic copy fallback otherwise
-    /// (§3.5 "Limitations").
+    /// installing the OVS hook program. Walks the degradation ladder:
+    /// native/zero-copy when the driver supports it, falling back to
+    /// generic/copy (skb) mode when it doesn't or when the driver rejects
+    /// the attach (§3.5 "Limitations"). Errors only when even generic
+    /// attach fails; the caller's next rung is a tap port.
     pub fn open(
         kernel: &mut Kernel,
         ifindex: u32,
@@ -41,29 +70,76 @@ impl AfxdpPort {
         let mut xmap = XskMap::new(num_queues);
         let mut sockets = Vec::with_capacity(num_queues);
         for q in 0..num_queues {
-            let sock = XskSocket::bind(kernel, ifindex, q, nframes_per_queue, opt);
+            let sock =
+                XskSocket::bind_with_mode(kernel, ifindex, q, nframes_per_queue, opt, native);
             xmap.set(q as u32, sock.xsk_id)
                 .map_err(|e| format!("xskmap: {e:?}"))?;
             sockets.push(sock);
         }
         let xskmap_fd = kernel.maps.add(Map::Xsk(xmap));
-        let mode = if native {
-            XdpMode::Native
+
+        let mut mode = if native {
+            AfxdpMode::ZeroCopy
         } else {
-            XdpMode::Generic
+            AfxdpMode::Copy
         };
-        kernel.attach_xdp(ifindex, programs::ovs_xsk_redirect(xskmap_fd), mode, None)?;
+        let mut degraded = false;
+        let attach = if native {
+            kernel.attach_xdp(
+                ifindex,
+                programs::ovs_xsk_redirect(xskmap_fd),
+                XdpMode::Native,
+                None,
+            )
+        } else {
+            Err("driver lacks native XDP support".to_string())
+        };
+        if let Err(first) = attach {
+            // Next rung: generic (skb) copy mode. Only count it as a
+            // degradation when the driver *could* have done better.
+            if native {
+                degraded = true;
+                coverage!("xsk_degraded_mode");
+            }
+            mode = AfxdpMode::Copy;
+            kernel
+                .attach_xdp(
+                    ifindex,
+                    programs::ovs_xsk_redirect(xskmap_fd),
+                    XdpMode::Generic,
+                    None,
+                )
+                .map_err(|second| format!("{first}; generic fallback: {second}"))?;
+            for s in &mut sockets {
+                s.set_zero_copy(false);
+            }
+        }
         Ok(Self {
             ifindex,
             sockets,
             xskmap_fd,
+            mode,
+            degraded,
         })
     }
 
     /// Close the port: detach the hook program, as OVS does when the port
-    /// is removed from the bridge.
+    /// is removed from the bridge. Packets still parked on the sockets'
+    /// rings are gone with the socket — losable only *with a count*
+    /// (`xsk_close_flushed`), which is what lets a crash-restart cycle
+    /// account for every frame it took down with it.
     pub fn close(&mut self, kernel: &mut Kernel) {
         kernel.detach_xdp(self.ifindex);
+        let flushed: u64 = self.sockets.iter().map(|s| s.pending_frames() as u64).sum();
+        if flushed > 0 {
+            coverage!("xsk_close_flushed", flushed);
+        }
+        // Tear down the kernel-side bindings too: once the parked frames
+        // are counted, nothing (stale xskmap entries, a later recovery
+        // kick) may resurrect them — that would count them twice.
+        for s in &self.sockets {
+            kernel.close_xsk(s.xsk_id);
+        }
     }
 
     /// Number of queues/sockets.

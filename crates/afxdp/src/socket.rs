@@ -6,6 +6,7 @@ use ovs_obs::coverage;
 use ovs_packet::flow::extract_flow_key;
 use ovs_packet::OffloadFlags;
 use ovs_ring::{Desc, DpPacketPool, LockStrategy, PacketBatch, UmemPool, BATCH_SIZE};
+use ovs_sim::faults::FaultKind;
 use ovs_sim::Context;
 use std::sync::Arc;
 
@@ -84,6 +85,9 @@ pub struct XskSocketStats {
     pub tx_kicks: u64,
     pub csum_sw_verified: u64,
     pub csum_sw_filled: u64,
+    /// Packets a `tx_burst` could not post (tx ring full or frame pool
+    /// empty). The caller must treat the shortfall as a counted drop.
+    pub tx_dropped: u64,
 }
 
 /// The userspace side of one AF_XDP socket, bound to `(ifindex, queue)`.
@@ -107,6 +111,10 @@ pub struct XskSocket {
     /// Counters.
     pub stats: XskSocketStats,
     scratch_frames: Vec<u32>,
+    /// Frames pulled out of circulation by an injected umem-exhaustion
+    /// fault (returned intact when the fault clears — exhaustion stalls
+    /// rx via the fill ring, it never leaks frames).
+    sequestered: Vec<u32>,
 }
 
 impl XskSocket {
@@ -120,6 +128,20 @@ impl XskSocket {
         opt: OptLevel,
     ) -> Self {
         let zero_copy = kernel.device(ifindex).caps.native_xdp;
+        Self::bind_with_mode(kernel, ifindex, queue, nframes, opt, zero_copy)
+    }
+
+    /// Like [`bind`](Self::bind) with the copy mode forced: the
+    /// degradation ladder uses this when driver-mode attach is rejected
+    /// and the port falls back to generic copy mode.
+    pub fn bind_with_mode(
+        kernel: &mut Kernel,
+        ifindex: u32,
+        queue: usize,
+        nframes: usize,
+        opt: OptLevel,
+        zero_copy: bool,
+    ) -> Self {
         let handle = XskBinding::new(ifindex, queue, nframes, 2048, zero_copy).into_handle();
         let xsk_id = kernel.register_xsk(std::rc::Rc::clone(&handle));
         let pool = Arc::new(UmemPool::new(nframes as u32, opt.lock_strategy()));
@@ -139,9 +161,58 @@ impl XskSocket {
             queue,
             stats: XskSocketStats::default(),
             scratch_frames: Vec::with_capacity(BATCH_SIZE),
+            sequestered: Vec::new(),
         };
         sock.refill(kernel, nframes / 2);
         sock
+    }
+
+    /// Drop to (or return from) copy mode on the kernel-side binding.
+    pub fn set_zero_copy(&mut self, zero_copy: bool) {
+        self.handle.borrow_mut().zero_copy = zero_copy;
+    }
+
+    /// Frames currently parked on the kernel-side rx/tx rings: packets
+    /// that are lost (and must be counted) if the socket is torn down.
+    pub fn pending_frames(&self) -> usize {
+        let b = self.handle.borrow();
+        b.rx.len() + b.tx.len()
+    }
+
+    /// Apply/clear an injected umem-exhaustion fault: while active, all
+    /// free frames are sequestered so refills starve and the NIC drops
+    /// with its fill-ring counter; on clear, every frame returns intact.
+    fn apply_umem_fault(&mut self, kernel: &Kernel) {
+        let active = kernel
+            .sim
+            .faults
+            .active(FaultKind::UmemExhaust, self.ifindex);
+        if active && self.sequestered.is_empty() {
+            let want = self.pool.nframes() as usize;
+            let mut grabbed = Vec::new();
+            self.pool.alloc_batch(&mut grabbed, want);
+            if !grabbed.is_empty() {
+                coverage!("xsk_umem_exhausted");
+            }
+            self.sequestered = grabbed;
+        } else if !active && !self.sequestered.is_empty() {
+            self.pool.free_batch(&self.sequestered);
+            self.sequestered.clear();
+        }
+    }
+
+    /// The frame-leak audit invariant: every umem frame is either free in
+    /// the pool, posted on a ring (fill/rx/tx/completion), or sequestered
+    /// by a fault. Anything else is a leak.
+    pub fn frame_accounting_ok(&self) -> bool {
+        let b = self.handle.borrow();
+        let accounted = self.pool.free_count()
+            + b.umem.fill.len()
+            + b.rx.len()
+            + b.tx.len()
+            + b.umem.comp.len()
+            + self.sequestered.len();
+        accounted == self.pool.nframes() as usize
     }
 
     /// Enable preferred busy polling ([64]): the kernel-side XSK work for
@@ -196,6 +267,7 @@ impl XskSocket {
     /// Costs are charged to `core` as user time (plus system time for the
     /// interrupt-mode wakeup).
     pub fn rx_burst(&mut self, kernel: &mut Kernel, core: usize) -> PacketBatch {
+        self.apply_umem_fault(kernel);
         let mut descs = [Desc { frame: 0, len: 0 }; BATCH_SIZE];
         let n = self.handle.borrow().rx.pop_batch(&mut descs);
         if n == 0 {
@@ -256,6 +328,7 @@ impl XskSocket {
             ns += c.csum_per_byte_ns * bytes as f64;
         }
         kernel.sim.charge(core, Context::User, ns);
+        debug_assert!(self.frame_accounting_ok(), "umem frame leak on rx path");
         batch
     }
 
@@ -263,6 +336,7 @@ impl XskSocket {
     /// kick the kernel if `need_wakeup` is armed, and reclaim
     /// completions. Returns the number of packets accepted.
     pub fn tx_burst(&mut self, kernel: &mut Kernel, core: usize, batch: PacketBatch) -> usize {
+        self.apply_umem_fault(kernel);
         let n_req = batch.len();
         if n_req == 0 {
             return 0;
@@ -307,6 +381,11 @@ impl XskSocket {
         if !tx_csum_hw {
             ns += c.csum_per_byte_ns * bytes as f64;
         }
+        // Copy (generic) mode pays an skb copy per transmitted frame —
+        // the tx half of the zero-copy vs copy gap in Table 2.
+        if !self.handle.borrow().zero_copy {
+            ns += sent as f64 * c.afxdp_copy_mode_extra_ns + c.copy_ns(bytes);
+        }
         kernel.sim.charge(core, Context::User, ns);
         if need_kick {
             self.stats.tx_kicks += 1;
@@ -327,6 +406,15 @@ impl XskSocket {
         for d in &comp[..m] {
             self.pool.free(d.frame);
         }
+        // The shortfall (tx ring full, or the frame pool dry) is a
+        // counted drop: the caller gave us the packets, we report how
+        // many made it, and nobody retries silently.
+        let shortfall = (n_req - sent) as u64;
+        if shortfall > 0 {
+            self.stats.tx_dropped += shortfall;
+            coverage!("xsk_tx_ring_full", shortfall);
+        }
+        debug_assert!(self.frame_accounting_ok(), "umem frame leak on tx path");
         sent
     }
 }

@@ -8,7 +8,9 @@
 //! into the fast path; this module is that window.
 
 use crate::dpif::{DpifNetdev, PortNo};
+use crate::health::HealthMonitor;
 use ovs_kernel::Kernel;
+use ovs_sim::FaultKind;
 
 /// Commands understood by [`dispatch`], one per line.
 pub const COMMANDS: &[&str] = &[
@@ -16,10 +18,14 @@ pub const COMMANDS: &[&str] = &[
     "dpif-netdev/pmd-perf-show",
     "dpif-netdev/pmd-stats-show",
     "dpif-netdev/pmd-stats-clear",
+    "dpif-netdev/port-status",
     "dpif-netdev/subtable-ranking",
     "dpif-netdev/emc-insert-inv-prob",
     "dpif-netdev/smc-enable",
     "dpctl/dump-flows",
+    "fault/inject",
+    "fault/show",
+    "health/show",
     "ofproto/trace",
     "upcall/show",
     "revalidator/wait",
@@ -37,8 +43,52 @@ pub fn dispatch(
     cmd: &str,
     args: &[&str],
 ) -> Result<String, String> {
+    dispatch_with_health(dpif, kernel, None, cmd, args)
+}
+
+/// [`dispatch`] with the optional health supervisor attached, so
+/// `health/show` can report it (a supervised deployment passes it in).
+pub fn dispatch_with_health(
+    dpif: &mut DpifNetdev,
+    kernel: &mut Kernel,
+    health: Option<&HealthMonitor>,
+    cmd: &str,
+    args: &[&str],
+) -> Result<String, String> {
     match cmd {
         "coverage/show" => Ok(ovs_obs::coverage::show()),
+        "dpif-netdev/port-status" => Ok(dpif.port_status(kernel)),
+        // `fault/inject <kind> [target] [arg] [duration_ms]`: arm a fault
+        // right now, applying kernel-side effects immediately.
+        "fault/inject" => {
+            let usage = "usage: fault/inject <kind> [target] [arg] [duration_ms]";
+            let [kind, rest @ ..] = args else {
+                return Err(usage.to_string());
+            };
+            let kind = FaultKind::parse(kind).ok_or_else(|| {
+                let all: Vec<&str> = FaultKind::ALL.iter().map(|k| k.label()).collect();
+                format!("unknown fault kind \"{kind}\" (one of: {})", all.join(", "))
+            })?;
+            let num = |i: usize| -> Result<u64, String> {
+                rest.get(i)
+                    .map(|s| s.parse::<u64>().map_err(|_| usage.to_string()))
+                    .unwrap_or(Ok(0))
+            };
+            let target = num(0)? as u32;
+            let arg = num(1)? as u32;
+            let duration_ns = num(2)?.saturating_mul(1_000_000);
+            kernel.inject_fault(kind, target, arg, duration_ns);
+            Ok(format!(
+                "injected {} target {target} arg {arg} duration {}ms\n",
+                kind.label(),
+                duration_ns / 1_000_000
+            ))
+        }
+        "fault/show" => Ok(kernel.sim.faults.show(kernel.sim.clock.now_ns())),
+        "health/show" => Ok(match health {
+            Some(h) => h.show(kernel.sim.clock.now_ns()),
+            None => "datapath health: unsupervised (no health monitor)\n".to_string(),
+        }),
         "dpif-netdev/pmd-perf-show" => Ok(dpif.pmd_perf_show(kernel.sim.cpus.hz)),
         "dpif-netdev/pmd-stats-show" => Ok(dpif.pmd_stats()),
         "dpif-netdev/pmd-stats-clear" => {

@@ -237,6 +237,11 @@ pub struct DpifStats {
     /// Upcalls that skipped installation because the datapath was at the
     /// dynamic flow limit (the packet is still forwarded).
     pub flow_limit_hits: u64,
+    /// TX packets dropped because a vhostuser guest was disconnected.
+    pub vhost_tx_drops: u64,
+    /// TX packets dropped because an AF_XDP tx ring (or frame pool) was
+    /// full at flush time.
+    pub tx_full_drops: u64,
 }
 
 impl DpifStats {
@@ -338,9 +343,88 @@ impl DpifNetdev {
         self.ports.get(port as usize).and_then(|p| p.as_ref())
     }
 
+    /// Mutably borrow a port.
+    pub fn port_mut(&mut self, port: PortNo) -> Option<&mut Port> {
+        self.ports.get_mut(port as usize).and_then(|p| p.as_mut())
+    }
+
     /// Number of live ports.
     pub fn port_count(&self) -> usize {
         self.ports.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Port numbers of all live ports (teardown and supervision walk
+    /// these; the slot indices stay stable across deletions).
+    pub fn port_nos(&self) -> Vec<PortNo> {
+        self.ports
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|_| i as PortNo))
+            .collect()
+    }
+
+    /// Add an AF_XDP port, walking the full degradation ladder: the port
+    /// itself tries zero-copy then copy mode; if even generic attach is
+    /// rejected, the final rung is a tap port on the same device — slow,
+    /// but forwarding (§3.5's "always have a fallback").
+    pub fn add_port_afxdp(
+        &mut self,
+        kernel: &mut Kernel,
+        name: &str,
+        ifindex: u32,
+        nframes_per_queue: usize,
+        opt: ovs_afxdp::OptLevel,
+    ) -> PortNo {
+        match AfxdpPort::open(kernel, ifindex, nframes_per_queue, opt) {
+            Ok(a) => self.add_port(name, PortType::Afxdp(a)),
+            Err(_) => {
+                coverage!("xsk_degraded_mode");
+                coverage!("xsk_port_tap_fallback");
+                self.add_port(name, PortType::Tap { ifindex })
+            }
+        }
+    }
+
+    /// `ovs-appctl dpif-netdev/port-status`: per-port backend, AF_XDP
+    /// ladder rung, carrier/flap state, and vhost connection state.
+    pub fn port_status(&self, kernel: &Kernel) -> String {
+        let mut out = String::from("port status:\n");
+        for (i, slot) in self.ports.iter().enumerate() {
+            let Some(p) = slot else { continue };
+            match &p.ty {
+                PortType::Afxdp(a) => {
+                    let d = kernel.device(a.ifindex);
+                    out.push_str(&format!(
+                        "  port {i}: {} (afxdp if{}) mode {}{}, carrier {}, {} flaps\n",
+                        p.name,
+                        a.ifindex,
+                        a.mode.label(),
+                        if a.degraded { " [degraded]" } else { "" },
+                        if d.up { "up" } else { "down" },
+                        d.stats.carrier_transitions,
+                    ));
+                }
+                PortType::VhostUser(v) => {
+                    let g = &kernel.guests[v.guest];
+                    out.push_str(&format!(
+                        "  port {i}: {} (vhostuser guest {}) {}, ring generation {}, tx drops {}\n",
+                        p.name,
+                        v.guest,
+                        if g.connected {
+                            "connected"
+                        } else {
+                            "disconnected"
+                        },
+                        g.ring_generation,
+                        v.tx_drops,
+                    ));
+                }
+                other => {
+                    out.push_str(&format!("  port {i}: {} ({:?})\n", p.name, other));
+                }
+            }
+        }
+        out
     }
 
     /// Megaflows installed.
@@ -619,11 +703,18 @@ impl DpifNetdev {
     /// `ovs-appctl upcall/show` equivalent: flow counts against the
     /// dynamic flow limit, last dump duration, and sweep totals.
     pub fn upcall_show(&self) -> String {
-        self.revalidator.show(
+        let mut out = self.revalidator.show(
             "netdev@ovs-netdev",
             self.megaflow.len(),
             self.stats.flow_limit_hits,
-        )
+        );
+        // The backpressure counter: misses shed because the upcall queue
+        // was full (bounded memory, never unbounded buffering).
+        out.push_str(&format!(
+            "  queue full    : {}\n",
+            ovs_obs::coverage::total("upcall_queue_full")
+        ));
+        out
     }
 
     /// `ovs-appctl dpif-netdev/pmd-stats-show` equivalent.
@@ -649,6 +740,10 @@ recirculations: {}
 tso segments: {}
              meter drops: {}
 dropped: {}
+             vhost tx disconnected: {}
+xsk tx ring full: {}
+             upcall queue full: {}
+xsk degraded mode: {}
 megaflows installed: {}
 ",
             s.rx_packets,
@@ -667,6 +762,10 @@ megaflows installed: {}
             s.tso_segments,
             s.meter_drops,
             s.dropped,
+            s.vhost_tx_drops,
+            s.tx_full_drops,
+            ovs_obs::coverage::total("upcall_queue_full"),
+            ovs_obs::coverage::total("xsk_degraded_mode"),
             self.megaflow_count(),
         )
     }
@@ -1223,6 +1322,8 @@ megaflows installed: {}
     fn flush_tx(&mut self, kernel: &mut Kernel, tx: TxAccum, core: usize, timer: &mut StageTimer) {
         for (port, pkts) in tx.ports {
             let mut dropped = 0u64;
+            let mut tx_full = 0u64;
+            let mut vhost_down = 0u64;
             let Some(Some(p)) = self.ports.get_mut(port as usize) else {
                 // The port vanished after accumulation (cannot happen
                 // within one burst, but stay defensive).
@@ -1232,18 +1333,27 @@ megaflows installed: {}
             match &mut p.ty {
                 PortType::Afxdp(a) => {
                     // TX on queue 0 of the egress port (single-queue TX
-                    // model), in chunks of the ring burst size.
+                    // model), in chunks of the ring burst size. A burst's
+                    // shortfall (tx ring full) is a counted drop — the
+                    // PMD never blocks on a full ring.
+                    let mut attempted = 0usize;
+                    let mut sent = 0usize;
                     let mut batch = ovs_ring::PacketBatch::new();
                     for pkt in pkts {
                         if let Err(pkt) = batch.push(pkt) {
-                            a.tx_burst(kernel, 0, core, batch);
+                            attempted += batch.len();
+                            sent += a.tx_burst(kernel, 0, core, batch);
                             batch = ovs_ring::PacketBatch::new();
                             let _ = batch.push(pkt);
                         }
                     }
                     if !batch.is_empty() {
-                        a.tx_burst(kernel, 0, core, batch);
+                        attempted += batch.len();
+                        sent += a.tx_burst(kernel, 0, core, batch);
                     }
+                    let shortfall = (attempted - sent) as u64;
+                    dropped += shortfall;
+                    tx_full += shortfall;
                 }
                 PortType::Dpdk(d) => {
                     let mut mbufs = Vec::with_capacity(pkts.len());
@@ -1271,7 +1381,11 @@ megaflows installed: {}
                 }
                 PortType::VhostUser(v) => {
                     let frames: Vec<Vec<u8>> = pkts.iter().map(|p| p.data().to_vec()).collect();
-                    v.enqueue_burst(kernel, frames, core);
+                    let n = frames.len();
+                    let accepted = v.enqueue_burst(kernel, frames, core);
+                    let lost = (n - accepted) as u64;
+                    dropped += lost;
+                    vhost_down += lost;
                 }
                 PortType::AfPacket(a) => {
                     for pkt in pkts {
@@ -1281,6 +1395,8 @@ megaflows installed: {}
                 PortType::Tunnel(_) => unreachable!("tunnel handled in port_send"),
             }
             self.stats.dropped += dropped;
+            self.stats.tx_full_drops += tx_full;
+            self.stats.vhost_tx_drops += vhost_down;
             timer.mark(Stage::Tx, core_ns(kernel, core));
         }
     }
@@ -1801,11 +1917,13 @@ impl DpifNetlink {
 
     /// `ovs-appctl upcall/show` equivalent for the kernel datapath.
     pub fn upcall_show(&self, kernel: &Kernel) -> String {
-        self.revalidator.show(
+        let mut out = self.revalidator.show(
             "system@ovs-system",
             kernel.ovs.flow_count(),
             self.flow_limit_hits,
-        )
+        );
+        out.push_str(&format!("  queue full    : {}\n", kernel.upcall_drops));
+        out
     }
 
     fn map_actions(&self, actions: &[DpAction]) -> Vec<ovs_kernel::KAction> {

@@ -29,6 +29,9 @@
 //!   (idle/hard expiry, selective invalidation on `flow_mod`), the
 //!   dynamic flow-limit algorithm, and stats pushback into OpenFlow
 //!   rule counters.
+//! * [`health`] — the datapath supervisor: `catch_unwind` around PMD
+//!   polls, exponential-backoff restart with a bounded budget, and flow
+//!   re-installation — the §6 "reduced risk" argument as a subsystem.
 //! * [`appctl`] — the `ovs-appctl` dispatch surface: `coverage/show`,
 //!   `dpif-netdev/pmd-perf-show`, `ofproto/trace`, and friends.
 
@@ -36,6 +39,7 @@ pub mod appctl;
 pub mod cache;
 pub mod classifier;
 pub mod dpif;
+pub mod health;
 pub mod meter;
 pub mod mirror;
 pub mod ofctl;
@@ -47,6 +51,7 @@ pub mod tunnel;
 pub use cache::{Emc, MegaflowCache};
 pub use classifier::{Classifier, Rule};
 pub use dpif::{DpAction, DpifNetdev, DpifNetlink, PortNo, PortType};
+pub use health::{HealthMonitor, HealthState};
 pub use meter::{Meter, MeterSet};
 pub use mirror::MirrorSession;
 pub use ofctl::{dump_flows, parse_flow, parse_flows};

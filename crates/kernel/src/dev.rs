@@ -139,6 +139,10 @@ pub struct DevStats {
     pub rx_dropped: u64,
     pub tx_packets: u64,
     pub tx_bytes: u64,
+    /// Frames dropped at the driver because carrier was down.
+    pub tx_dropped: u64,
+    /// Link up/down transitions (carrier flaps).
+    pub carrier_transitions: u64,
     pub xdp_drop: u64,
     pub xdp_tx: u64,
     pub xdp_redirect: u64,

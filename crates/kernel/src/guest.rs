@@ -57,6 +57,12 @@ pub struct Guest {
     pub rx_count: u64,
     /// Packets a `Sink` consumed.
     pub sunk: u64,
+    /// Whether the vhost backend is connected. A disconnect (QEMU
+    /// restart) tears the shared rings down; tx to a disconnected guest
+    /// drops with a counter, never panics.
+    pub connected: bool,
+    /// Bumped on every reconnect: the ring renegotiation generation.
+    pub ring_generation: u32,
 }
 
 impl Guest {
@@ -81,6 +87,8 @@ impl Guest {
             tx_ring: VecDeque::new(),
             rx_count: 0,
             sunk: 0,
+            connected: true,
+            ring_generation: 0,
         }
     }
 

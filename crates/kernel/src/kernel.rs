@@ -17,9 +17,10 @@ use crate::rtnetlink::RtnlEvent;
 use crate::xsk::XskHandle;
 use ovs_ebpf::xdp::{RedirectTarget, XdpAction};
 use ovs_ebpf::{MapSet, Vm, XdpProgram};
+use ovs_obs::coverage;
 use ovs_packet::ethernet::EthernetFrame;
 use ovs_packet::{arp, builder, icmp, ipv4, udp, EtherType, MacAddr};
-use ovs_sim::{Context, SimCtx};
+use ovs_sim::{faults::FaultKind, Context, SimCtx};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 pub use crate::ovs_module::Upcall;
@@ -113,6 +114,9 @@ pub struct Kernel {
     pub upcalls: VecDeque<Upcall>,
     /// Misses dropped because the upcall queue was full.
     pub upcall_drops: u64,
+    /// Frames flushed from vhost rings on guest disconnect (counted so
+    /// the robustness soak can account for every injected packet).
+    pub vhost_flushed: u64,
     /// rtnetlink notification stream (consumed by userspace caches).
     pub events: Vec<RtnlEvent>,
     /// Scheduling configuration.
@@ -146,6 +150,7 @@ impl Kernel {
             guests: Vec::new(),
             upcalls: VecDeque::new(),
             upcall_drops: 0,
+            vhost_flushed: 0,
             events: Vec::new(),
             config: KernelConfig::default(),
             nstat: BTreeMap::new(),
@@ -318,6 +323,22 @@ impl Kernel {
         mode: XdpMode,
         queues: Option<Vec<usize>>,
     ) -> Result<(), String> {
+        // Injected attach rejection: `arg = 1` models the verifier/driver
+        // rejecting native mode only (copy mode still works); `arg >= 2`
+        // rejects generic too, forcing the tap rung of the ladder.
+        if let Some(arg) = self
+            .sim
+            .faults
+            .active_arg(FaultKind::XdpAttachFail, ifindex)
+        {
+            if mode == XdpMode::Native || arg >= 2 {
+                let name = self.device(ifindex).name.clone();
+                coverage!("xdp_attach_rejected");
+                return Err(format!(
+                    "{name}: XDP program rejected by driver ({mode:?} mode)"
+                ));
+            }
+        }
         let d = self.dev_mut(ifindex);
         if d.is_user_owned() {
             return Err(format!("{}: device not managed by the kernel", d.name));
@@ -350,6 +371,14 @@ impl Kernel {
     /// Shared handle to a registered socket.
     pub fn xsk(&self, id: u32) -> XskHandle {
         std::rc::Rc::clone(&self.xsks[id as usize])
+    }
+
+    /// Userspace closed socket `xsk_id`: destroy the binding's rings and
+    /// mark it inert. Socket ids are stable (they index `xsks`), so the
+    /// entry stays; stale xskmap lookups and recovery kicks find a
+    /// binding that accepts and yields nothing.
+    pub fn close_xsk(&mut self, xsk_id: u32) {
+        self.xsks[xsk_id as usize].borrow_mut().close();
     }
 
     /// Create a container: a veth pair whose inner end sits in a new
@@ -456,6 +485,7 @@ impl Kernel {
         }
         if !up {
             self.dev_mut(ifindex).stats.rx_dropped += 1;
+            coverage!("netdev_rx_carrier_down");
             return RxOutcome::Dropped;
         }
         if user_owned {
@@ -658,6 +688,7 @@ impl Kernel {
                         outcome = RxOutcome::Upcalled;
                     } else {
                         self.upcall_drops += 1;
+                        coverage!("upcall_queue_full");
                         outcome = RxOutcome::Dropped;
                     }
                 }
@@ -702,6 +733,16 @@ impl Kernel {
     fn transmit_at(&mut self, ifindex: u32, frame: Vec<u8>, core: usize, depth: usize) {
         if depth > MAX_HOPS {
             return;
+        }
+        // Carrier down: the driver drops at the qdisc/ring boundary, with
+        // a counter. Virtual devices keep working (their "link" is code).
+        {
+            let d = self.dev_mut(ifindex);
+            if !d.up && matches!(d.kind, DeviceKind::Phys { .. }) {
+                d.stats.tx_dropped += 1;
+                coverage!("netdev_tx_carrier_down");
+                return;
+            }
         }
         self.capture(ifindex, &frame);
         let kind = {
@@ -968,6 +1009,7 @@ impl Kernel {
                         self.upcalls.push_back(u);
                     } else {
                         self.upcall_drops += 1;
+                        coverage!("upcall_queue_full");
                     }
                 }
                 DpVerdict::Drop => {}
@@ -1002,21 +1044,63 @@ impl Kernel {
 
     /// Switch → guest: enqueue a frame on a vhostuser guest's RX ring.
     /// Charges the ring work and copy as user time on the caller's core
-    /// and the guest-notify eventfd kick as system time.
-    pub fn vhostuser_push(&mut self, guest_idx: usize, frame: Vec<u8>, core: usize) {
+    /// and the guest-notify eventfd kick as system time. Returns `false`
+    /// (accepting nothing, charging nothing) when the guest's vhost
+    /// backend is disconnected — the caller drops with a counter.
+    pub fn vhostuser_push(&mut self, guest_idx: usize, frame: Vec<u8>, core: usize) -> bool {
+        if !self.guests[guest_idx].connected {
+            return false;
+        }
         let c = self.sim.costs.vhostuser_ring_ns + self.sim.costs.copy_ns(frame.len());
         self.sim.charge(core, Context::User, c);
         let kick = self.sim.costs.vhost_kick_ns;
         self.sim.charge(core, Context::System, kick);
         self.guests[guest_idx].rx_ring.push_back(frame);
+        true
     }
 
     /// Guest → switch: dequeue a frame from a vhostuser guest's TX ring.
+    /// A disconnected guest's rings are unmapped: nothing to pop.
     pub fn vhostuser_pop(&mut self, guest_idx: usize, core: usize) -> Option<Vec<u8>> {
+        if !self.guests[guest_idx].connected {
+            return None;
+        }
         let f = self.guests[guest_idx].tx_ring.pop_front()?;
         let c = self.sim.costs.vhostuser_ring_ns + self.sim.costs.copy_ns(f.len());
         self.sim.charge(core, Context::User, c);
         Some(f)
+    }
+
+    /// The vhost backend of guest `guest_idx` went away (QEMU crash or
+    /// restart): unmap the shared rings, flushing whatever sat on them.
+    /// Flushed frames are counted — a disconnect loses packets, but
+    /// never *silently*.
+    pub fn vhost_disconnect(&mut self, guest_idx: usize) {
+        let g = &mut self.guests[guest_idx];
+        if !g.connected {
+            return;
+        }
+        g.connected = false;
+        let flushed = (g.rx_ring.len() + g.tx_ring.len()) as u64;
+        g.rx_ring.clear();
+        g.tx_ring.clear();
+        self.vhost_flushed += flushed;
+        coverage!("vhost_disconnect");
+        if flushed > 0 {
+            coverage!("vhost_ring_flushed", flushed);
+        }
+    }
+
+    /// The guest's vhost backend came back: renegotiate (fresh, empty
+    /// rings, bumped generation) and resume forwarding.
+    pub fn vhost_reconnect(&mut self, guest_idx: usize) {
+        let g = &mut self.guests[guest_idx];
+        if g.connected {
+            return;
+        }
+        g.connected = true;
+        g.ring_generation += 1;
+        coverage!("vhost_reconnect");
     }
 
     // ------------------------------------------------------------------
@@ -1030,6 +1114,13 @@ impl Kernel {
         let h = self.xsk(xsk_id);
         let (frames, ifindex, queue) = {
             let mut b = h.borrow_mut();
+            // Lost `need_wakeup` kick: the kernel never saw the doorbell,
+            // so the ring backlog sits untouched (delayed, not dropped)
+            // until the recovery kick clears the stall.
+            if b.kick_lost {
+                coverage!("xsk_tx_kick_lost");
+                return 0;
+            }
             let f = b.drain_tx(budget);
             (f, b.ifindex, b.queue)
         };
@@ -1039,6 +1130,95 @@ impl Kernel {
             self.transmit_at(ifindex, f, core, 0);
         }
         n
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection (the apply side of `ovs_sim::faults`)
+    // ------------------------------------------------------------------
+
+    /// Set link carrier, counting transitions (`carrier_transitions`,
+    /// as `ip -s link` reports).
+    pub fn set_carrier(&mut self, ifindex: u32, up: bool) {
+        let d = self.dev_mut(ifindex);
+        if d.up == up {
+            return;
+        }
+        d.up = up;
+        d.stats.carrier_transitions += 1;
+        if !up {
+            coverage!("netdev_carrier_down");
+        }
+    }
+
+    /// Mark every XSK bound to `ifindex` as having lost (or regained)
+    /// its tx `need_wakeup` kick.
+    pub fn set_xsk_kick_lost(&mut self, ifindex: u32, lost: bool) {
+        for h in &self.xsks {
+            let mut b = h.borrow_mut();
+            if b.ifindex == ifindex {
+                b.kick_lost = lost;
+            }
+        }
+    }
+
+    /// Recovery kick after an rx-ring stall clears: drain the whole tx
+    /// backlog of every XSK on `ifindex` (the periodic wakeup a real PMD
+    /// issues when completions stop arriving).
+    pub fn xsk_recovery_kick(&mut self, ifindex: u32) {
+        let ids: Vec<u32> = (0..self.xsks.len() as u32)
+            .filter(|id| self.xsks[*id as usize].borrow().ifindex == ifindex)
+            .collect();
+        for id in ids {
+            while self.xsk_tx_drain(id, 64) > 0 {}
+        }
+    }
+
+    /// Advance the fault schedule to the current virtual time and apply
+    /// kernel-side effects: carrier flaps, vhost disconnect/reconnect,
+    /// and tx-kick stalls. Attach rejection, umem exhaustion, and the
+    /// datapath panic are level faults consumed where they bite
+    /// (`attach_xdp`, the AF_XDP socket, the health supervisor).
+    pub fn fault_tick(&mut self) {
+        let now = self.sim.clock.now_ns();
+        let tr = self.sim.faults.tick(now);
+        self.apply_fault_transitions(&tr);
+    }
+
+    /// Inject one fault immediately (the `fault/inject` appctl path) and
+    /// apply its kernel-side effects.
+    pub fn inject_fault(&mut self, kind: FaultKind, target: u32, arg: u32, duration_ns: u64) {
+        let now = self.sim.clock.now_ns();
+        let tr = self.sim.faults.inject(now, kind, target, arg, duration_ns);
+        self.apply_fault_transitions(&tr);
+    }
+
+    fn apply_fault_transitions(&mut self, tr: &ovs_sim::FaultTransitions) {
+        for ev in &tr.fired {
+            match ev.kind {
+                FaultKind::CarrierFlap => self.set_carrier(ev.target, false),
+                FaultKind::VhostDisconnect if (ev.target as usize) < self.guests.len() => {
+                    self.vhost_disconnect(ev.target as usize);
+                }
+                FaultKind::VhostReconnect if (ev.target as usize) < self.guests.len() => {
+                    self.vhost_reconnect(ev.target as usize);
+                }
+                FaultKind::RxRingStall => self.set_xsk_kick_lost(ev.target, true),
+                _ => {}
+            }
+        }
+        for (kind, target, _arg) in &tr.cleared {
+            match kind {
+                FaultKind::CarrierFlap => self.set_carrier(*target, true),
+                FaultKind::VhostDisconnect if (*target as usize) < self.guests.len() => {
+                    self.vhost_reconnect(*target as usize);
+                }
+                FaultKind::RxRingStall => {
+                    self.set_xsk_kick_lost(*target, false);
+                    self.xsk_recovery_kick(*target);
+                }
+                _ => {}
+            }
+        }
     }
 }
 

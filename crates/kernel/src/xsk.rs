@@ -7,6 +7,7 @@
 //! simulation is single-threaded, so the two sides share the binding via
 //! `Rc<RefCell<..>>`.
 
+use ovs_obs::coverage;
 use ovs_ring::{Desc, SpscRing, Umem};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -46,6 +47,15 @@ pub struct XskBinding {
     /// inline on this application core instead of a separate softirq
     /// thread — same work, no extra hyperthread.
     pub busy_poll_core: Option<usize>,
+    /// Fault state: the tx `need_wakeup` kick was lost, so the kernel
+    /// does not drain the tx ring until a recovery kick clears it. The
+    /// backlog stays on the ring (delayed, never dropped).
+    pub kick_lost: bool,
+    /// Userspace closed the socket: the rings are destroyed and the
+    /// binding is inert. Stale xskmap entries or recovery kicks must
+    /// neither deliver to it nor drain packets out of it — the packets
+    /// it held were already counted at close time.
+    pub closed: bool,
     /// Counters.
     pub stats: XskStats,
 }
@@ -73,6 +83,8 @@ impl XskBinding {
             queue,
             need_wakeup: true,
             busy_poll_core: None,
+            kick_lost: false,
+            closed: false,
             stats: XskStats::default(),
         }
     }
@@ -82,19 +94,40 @@ impl XskBinding {
         Rc::new(RefCell::new(self))
     }
 
+    /// Tear the binding down from the userspace side (socket close):
+    /// empty every ring and mark the binding inert. The caller counts
+    /// whatever was parked (`xsk_close_flushed`) *before* calling this —
+    /// afterwards those packets are unreachable, so nothing can drain
+    /// them onto the wire and count (or deliver) them a second time.
+    pub fn close(&mut self) {
+        self.closed = true;
+        while self.rx.pop().is_some() {}
+        while self.tx.pop().is_some() {}
+        while self.umem.fill.pop().is_some() {}
+        while self.umem.comp.pop().is_some() {}
+    }
+
     /// Kernel-side delivery: take a frame from the fill ring, copy the
     /// packet in, and push an RX descriptor. Returns `false` (and counts a
     /// drop) when no fill descriptor is available or the RX ring is full —
     /// the lossless-rate search in the experiments keys off this.
     pub fn deliver(&mut self, packet: &[u8]) -> bool {
+        if self.closed {
+            // A stale xskmap entry redirected here after close.
+            self.stats.rx_dropped += 1;
+            coverage!("xsk_rx_dropped");
+            return false;
+        }
         let Some(fill_desc) = self.umem.fill.pop() else {
             self.stats.rx_dropped += 1;
+            coverage!("xsk_rx_dropped");
             return false;
         };
         if packet.len() > self.umem.frame_size() {
             // Oversized for the umem frame; the kernel would have dropped
             // at the driver.
             self.stats.rx_dropped += 1;
+            coverage!("xsk_rx_dropped");
             // Frame goes back so it isn't leaked.
             let _ = self.umem.fill.push(fill_desc);
             return false;
@@ -106,6 +139,7 @@ impl XskBinding {
         };
         if self.rx.push(desc).is_err() {
             self.stats.rx_dropped += 1;
+            coverage!("xsk_rx_dropped");
             let _ = self.umem.fill.push(fill_desc);
             return false;
         }
@@ -118,6 +152,9 @@ impl XskBinding {
     /// the completion ring for userspace to reclaim.
     pub fn drain_tx(&mut self, max: usize) -> Vec<Vec<u8>> {
         let mut out = Vec::new();
+        if self.closed {
+            return out;
+        }
         for _ in 0..max {
             let Some(d) = self.tx.pop() else { break };
             out.push(self.umem.frame(d.frame)[..d.len as usize].to_vec());

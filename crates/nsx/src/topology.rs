@@ -7,9 +7,10 @@
 //! (userspace mode).
 
 use crate::ruleset::{self, NsxConfig, NsxPorts, RulesetStats};
-use ovs_afxdp::{AfxdpPort, OptLevel};
+use ovs_afxdp::OptLevel;
 use ovs_core::dpif::{DpifNetdev, DpifNetlink, PortNo, PortType};
 use ovs_core::tunnel::{TunnelConfig, TunnelKind};
+use ovs_core::HealthMonitor;
 use ovs_dpdk::VhostUserDev;
 use ovs_kernel::dev::{Attachment, DeviceKind, NetDevice};
 use ovs_kernel::guest::{Guest, GuestRole, VirtioBackend};
@@ -85,14 +86,78 @@ impl HostConfig {
     }
 }
 
+/// Everything needed to (re)construct the userspace datapath from
+/// scratch: the supervisor's restart path replays exactly this, the way
+/// a restarted `ovs-vswitchd` re-reads the ovsdb and re-syncs OpenFlow
+/// rules from the controller.
+#[derive(Clone)]
+struct DpBlueprint {
+    id: u8,
+    remote_id: u8,
+    vtep_ip: [u8; 4],
+    nsx: NsxConfig,
+    opt: OptLevel,
+    interrupt_mode: bool,
+    uplink_if: u32,
+    taps: Vec<Option<u32>>,
+    guest_of_vif: Vec<usize>,
+    ports: NsxPorts,
+}
+
+/// Construct the userspace datapath from its blueprint: ports opened
+/// (walking the AF_XDP degradation ladder), the NSX rule set installed,
+/// Netlink replica caches synced. Used for initial build and for every
+/// supervised restart.
+fn build_userspace_dp(kernel: &mut Kernel, bp: &DpBlueprint) -> (DpifNetdev, RulesetStats) {
+    let mut dp = DpifNetdev::new();
+    let p_up = dp.add_port_afxdp(kernel, "eth0", bp.uplink_if, 4096, bp.opt);
+    assert_eq!(p_up, bp.ports.uplink);
+    if bp.interrupt_mode {
+        if let Some(p) = dp.port_mut(p_up) {
+            if let PortType::Afxdp(a) = &mut p.ty {
+                for s in &mut a.sockets {
+                    s.interrupt_mode = true;
+                }
+            }
+        }
+    }
+    let p_tun = dp.add_port(
+        "gnv0",
+        PortType::Tunnel(TunnelConfig {
+            kind: TunnelKind::Geneve,
+            local_ip: bp.vtep_ip,
+        }),
+    );
+    assert_eq!(p_tun, bp.ports.tunnel);
+    for (i, tap) in bp.taps.iter().enumerate() {
+        let p = match tap {
+            Some(t) => dp.add_port(&format!("tap{i}"), PortType::Tap { ifindex: *t }),
+            None => dp.add_port(
+                &format!("vhost{i}"),
+                PortType::VhostUser(VhostUserDev::new(bp.guest_of_vif[i])),
+            ),
+        };
+        assert_eq!(p, bp.ports.vifs[i]);
+    }
+    let mut of = ovs_core::Ofproto::new();
+    let stats = ruleset::install(&bp.nsx, &bp.ports, bp.id, bp.remote_id, &mut of);
+    dp.ofproto = of;
+    dp.sync_rtnl(kernel);
+    (dp, stats)
+}
+
 /// A built hypervisor.
 pub struct Host {
     /// The simulated kernel (devices, guests, time, CPUs).
     pub kernel: Kernel,
-    /// Userspace datapath (when running `UserspaceAfxdp`).
+    /// Userspace datapath (when running `UserspaceAfxdp`). `None` while
+    /// a supervised datapath is down (crashed / backing off).
     pub dp: Option<DpifNetdev>,
     /// Kernel-datapath driver (when running `Kernel`).
     pub netlink: Option<DpifNetlink>,
+    /// The datapath supervisor, when enabled; routes every PMD poll
+    /// through its unwind boundary.
+    pub health: Option<HealthMonitor>,
     /// Uplink NIC ifindex.
     pub uplink_if: u32,
     /// Datapath port numbers (same layout for both modes).
@@ -103,6 +168,7 @@ pub struct Host {
     pub ruleset: RulesetStats,
     /// The switch's core.
     pub switch_core: usize,
+    blueprint: Option<DpBlueprint>,
 }
 
 impl Host {
@@ -176,44 +242,25 @@ impl Host {
             uplink: 0,
         };
 
-        let (dp, netlink, ruleset_stats) = match cfg.datapath {
+        let (dp, netlink, ruleset_stats, blueprint) = match cfg.datapath {
             DatapathKind::UserspaceAfxdp {
                 opt,
                 interrupt_mode,
             } => {
-                let mut dp = DpifNetdev::new();
-                let mut aport =
-                    AfxdpPort::open(&mut kernel, uplink_if, 4096, opt).expect("uplink afxdp");
-                if interrupt_mode {
-                    for s in &mut aport.sockets {
-                        s.interrupt_mode = true;
-                    }
-                }
-                let p_up = dp.add_port("eth0", PortType::Afxdp(aport));
-                assert_eq!(p_up, ports.uplink);
-                let p_tun = dp.add_port(
-                    "gnv0",
-                    PortType::Tunnel(TunnelConfig {
-                        kind: TunnelKind::Geneve,
-                        local_ip: cfg.vtep_ip,
-                    }),
-                );
-                assert_eq!(p_tun, ports.tunnel);
-                for (i, tap) in taps.iter().enumerate() {
-                    let p = match tap {
-                        Some(t) => dp.add_port(&format!("tap{i}"), PortType::Tap { ifindex: *t }),
-                        None => dp.add_port(
-                            &format!("vhost{i}"),
-                            PortType::VhostUser(VhostUserDev::new(guest_of_vif[i])),
-                        ),
-                    };
-                    assert_eq!(p, ports.vifs[i]);
-                }
-                let mut of = ovs_core::Ofproto::new();
-                let stats = ruleset::install(&cfg.nsx, &ports, cfg.id, cfg.remote_id, &mut of);
-                dp.ofproto = of;
-                dp.sync_rtnl(&kernel);
-                (Some(dp), None, stats)
+                let bp = DpBlueprint {
+                    id: cfg.id,
+                    remote_id: cfg.remote_id,
+                    vtep_ip: cfg.vtep_ip,
+                    nsx: cfg.nsx.clone(),
+                    opt,
+                    interrupt_mode,
+                    uplink_if,
+                    taps: taps.clone(),
+                    guest_of_vif: guest_of_vif.clone(),
+                    ports: ports.clone(),
+                };
+                let (dp, stats) = build_userspace_dp(&mut kernel, &bp);
+                (Some(dp), None, stats, Some(bp))
             }
             DatapathKind::Kernel => {
                 // Kernel datapath: uplink + geneve vport + taps as vports.
@@ -233,7 +280,7 @@ impl Host {
                 let mut nl = DpifNetlink::new(cfg.vtep_ip);
                 let stats =
                     ruleset::install(&cfg.nsx, &ports, cfg.id, cfg.remote_id, &mut nl.ofproto);
-                (None, Some(nl), stats)
+                (None, Some(nl), stats, None)
             }
         };
 
@@ -241,12 +288,34 @@ impl Host {
             kernel,
             dp,
             netlink,
+            health: None,
             uplink_if,
             ports,
             guest_of_vif,
             ruleset: ruleset_stats,
             switch_core: cfg.switch_core,
+            blueprint,
         }
+    }
+
+    /// Put the userspace datapath under [`HealthMonitor`] supervision:
+    /// every PMD poll from [`Host::pump`] then runs behind the
+    /// supervisor's unwind boundary, and a crashed datapath is rebuilt
+    /// from this host's blueprint after the backoff elapses.
+    ///
+    /// Panics on a kernel-datapath host (there is nothing to supervise:
+    /// a kernel datapath bug takes the whole machine, which is the
+    /// paper's point).
+    pub fn enable_supervision(&mut self, initial_backoff_ns: u64, restart_budget: u64) {
+        let bp = self
+            .blueprint
+            .clone()
+            .expect("supervision requires the userspace datapath");
+        self.health = Some(HealthMonitor::with_policy(
+            move |k| build_userspace_dp(k, &bp).0,
+            initial_backoff_ns,
+            restart_budget,
+        ));
     }
 
     /// Teach this host how to reach a peer VTEP (ARP + route), as the
@@ -270,8 +339,17 @@ impl Host {
     pub fn pump(&mut self) -> usize {
         let mut total = 0;
         for _round in 0..64 {
+            // Fire and clear any timed faults that have come due.
+            self.kernel.fault_tick();
             let mut moved = 0;
-            if let Some(dp) = &mut self.dp {
+            if let Some(h) = &mut self.health {
+                // Supervised: every poll crosses the unwind boundary,
+                // and polling while down drives the restart clock.
+                let nports = self.ports.vifs.len() + 2;
+                for p in 0..nports as PortNo {
+                    moved += h.poll(&mut self.dp, &mut self.kernel, p, 0, self.switch_core);
+                }
+            } else if let Some(dp) = &mut self.dp {
                 // Poll every port (uplink, taps, vhostuser).
                 let nports = dp.port_count() + 2;
                 for p in 0..nports as PortNo {
@@ -315,6 +393,21 @@ impl Host {
     /// Deliver one frame arriving on the uplink.
     pub fn wire_inject(&mut self, frame: Vec<u8>) {
         self.kernel.receive(self.uplink_if, 0, frame);
+    }
+
+    /// Run an `ovs-appctl` command against this host's userspace
+    /// datapath (health supervisor attached when enabled).
+    pub fn appctl(&mut self, cmd: &str, args: &[&str]) -> Result<String, String> {
+        let Some(dp) = self.dp.as_mut() else {
+            return Err("datapath is down".to_string());
+        };
+        ovs_core::appctl::dispatch_with_health(
+            dp,
+            &mut self.kernel,
+            self.health.as_ref(),
+            cmd,
+            args,
+        )
     }
 }
 

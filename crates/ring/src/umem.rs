@@ -93,6 +93,7 @@ pub struct UmemPool {
     free: Mutex<Vec<u32>>,
     spin: RawSpinlock,
     strategy: LockStrategy,
+    nframes: u32,
     /// Observable locking/allocation counters.
     pub stats: UmemPoolStats,
 }
@@ -104,8 +105,15 @@ impl UmemPool {
             free: Mutex::new((0..nframes).rev().collect()),
             spin: RawSpinlock::new(),
             strategy,
+            nframes,
             stats: UmemPoolStats::default(),
         }
+    }
+
+    /// Total frames this pool owns (free + in flight). The frame-leak
+    /// audit asserts every frame is findable against this.
+    pub fn nframes(&self) -> u32 {
+        self.nframes
     }
 
     /// The configured locking strategy.

@@ -3,6 +3,7 @@
 use crate::clock::VirtualClock;
 use crate::costs::CostModel;
 use crate::cpu::{Context, CpuSet};
+use crate::faults::FaultState;
 
 /// Clock + CPUs + cost model, threaded through the simulated kernel, the
 /// AF_XDP sockets, and the DPDK-style PMD.
@@ -14,6 +15,8 @@ pub struct SimCtx {
     pub cpus: CpuSet,
     /// The calibrated cost model.
     pub costs: CostModel,
+    /// Seeded fault-injection state (default: no faults armed).
+    pub faults: FaultState,
 }
 
 impl SimCtx {
@@ -24,6 +27,7 @@ impl SimCtx {
             clock: VirtualClock::new(),
             cpus: CpuSet::new(n_cpus, costs.cpu_hz),
             costs,
+            faults: FaultState::default(),
         }
     }
 

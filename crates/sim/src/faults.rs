@@ -1,0 +1,525 @@
+//! Deterministic, seeded fault injection (§6: the reduced-risk argument).
+//!
+//! The paper's case for the userspace AF_XDP datapath is only half about
+//! speed; the other half is that failures are survivable. A datapath bug
+//! crashes one restartable process instead of the host, an XDP attach
+//! rejection degrades to copy mode instead of blackholing a port, a
+//! vhostuser guest that goes away drops with a counter instead of a
+//! panic. This module is the *fault side* of exercising those claims: a
+//! [`FaultPlan`] is a seeded schedule of [`FaultEvent`]s, armed into the
+//! [`FaultState`] that rides inside `SimCtx`, and polled by the simulated
+//! kernel as virtual time advances. The substrates (kernel, AF_XDP
+//! sockets, vhost, the health supervisor) query it and *react*; this
+//! module never touches them directly, so `ovs-sim` stays dependency-free
+//! and every consumer decides its own recovery semantics.
+//!
+//! Determinism is the whole point: the same seed yields the same
+//! schedule, the same drops, and the same recovery timeline, which is
+//! what lets `repro --faults` emit a byte-identical `BENCH_robustness.json`
+//! and lets the robustness proptest shrink failures.
+
+use crate::rng::SimRng;
+
+/// The fault classes the robustness harness knows how to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// A bug in the datapath itself: the next PMD poll panics (caught by
+    /// `ovs-core::health` via `catch_unwind`). One-shot: armed until a
+    /// supervisor consumes it with [`FaultState::take`].
+    DatapathPanic,
+    /// XDP program attach is rejected while active. `arg = 1` rejects
+    /// driver/native mode only (the Intel whole-device model / verifier
+    /// rejection — copy mode still works); `arg >= 2` rejects generic
+    /// mode too, forcing the tap rung of the degradation ladder.
+    XdpAttachFail,
+    /// The vhostuser guest `target` disconnects (QEMU restart): its rings
+    /// are torn down and tx to it drops with a counter until reconnect.
+    VhostDisconnect,
+    /// Explicit reconnect edge for guest `target` (a `VhostDisconnect`
+    /// with a duration reconnects implicitly when it expires).
+    VhostReconnect,
+    /// The umem free-frame pool of the port on ifindex `target` is
+    /// exhausted: rx must stall via the fill ring, not lose frames.
+    UmemExhaust,
+    /// The tx `need_wakeup` kick to ifindex `target` is lost: the kernel
+    /// stops draining the tx ring until the stall clears (the recovery
+    /// kick), when the whole backlog drains.
+    RxRingStall,
+    /// Carrier drops on ifindex `target`: rx and tx while down are
+    /// dropped with device counters, link restores when the flap clears.
+    CarrierFlap,
+}
+
+impl FaultKind {
+    /// Every class, in a stable order (report and `fault/show` order).
+    pub const ALL: [FaultKind; 7] = [
+        FaultKind::DatapathPanic,
+        FaultKind::XdpAttachFail,
+        FaultKind::VhostDisconnect,
+        FaultKind::VhostReconnect,
+        FaultKind::UmemExhaust,
+        FaultKind::RxRingStall,
+        FaultKind::CarrierFlap,
+    ];
+
+    /// Stable snake_case label (counter names, JSON keys, `fault/show`).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::DatapathPanic => "datapath_panic",
+            FaultKind::XdpAttachFail => "xdp_attach_fail",
+            FaultKind::VhostDisconnect => "vhost_disconnect",
+            FaultKind::VhostReconnect => "vhost_reconnect",
+            FaultKind::UmemExhaust => "umem_exhaust",
+            FaultKind::RxRingStall => "rx_ring_stall",
+            FaultKind::CarrierFlap => "carrier_flap",
+        }
+    }
+
+    /// Parse a [`label`](Self::label) back to a kind (`fault/inject`).
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        FaultKind::ALL.iter().copied().find(|k| k.label() == s)
+    }
+
+    fn index(self) -> usize {
+        FaultKind::ALL.iter().position(|k| *k == self).unwrap()
+    }
+
+    /// Whether this class is a level (active for a window) rather than an
+    /// edge consumed at injection time.
+    fn is_level(self) -> bool {
+        !matches!(self, FaultKind::VhostReconnect)
+    }
+}
+
+/// One scheduled fault. `target` is class-dependent (an ifindex for
+/// device faults, a guest index for vhost faults, unused for
+/// `DatapathPanic`); `arg` carries class-specific severity (see
+/// [`FaultKind::XdpAttachFail`]). `duration_ns == 0` means the fault
+/// stays active until explicitly cleared (or consumed, for one-shots).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Virtual-time injection instant.
+    pub at_ns: u64,
+    pub kind: FaultKind,
+    pub target: u32,
+    pub arg: u32,
+    pub duration_ns: u64,
+}
+
+/// A seeded schedule of fault events, built explicitly with
+/// [`FaultPlan::event`] or generated with [`FaultPlan::random`].
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    pub seed: u64,
+    pub events: Vec<FaultEvent>,
+}
+
+/// Injection targets for [`FaultPlan::random`]: which ifindex takes
+/// device-level faults and which guest index takes vhost faults.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanTargets {
+    pub ifindex: u32,
+    pub guest: u32,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            events: Vec::new(),
+        }
+    }
+
+    /// Append one event (builder style).
+    pub fn event(
+        mut self,
+        at_ns: u64,
+        kind: FaultKind,
+        target: u32,
+        arg: u32,
+        duration_ns: u64,
+    ) -> Self {
+        self.events.push(FaultEvent {
+            at_ns,
+            kind,
+            target,
+            arg,
+            duration_ns,
+        });
+        self
+    }
+
+    /// A random plan over `[horizon/10, 8*horizon/10]` that covers every
+    /// windowed fault class at least once, with seeded jitter on times
+    /// and durations. `VhostDisconnect` windows always carry a duration,
+    /// so reconnect happens implicitly before the horizon ends; the
+    /// explicit `VhostReconnect` edge is left to `fault/inject`.
+    pub fn random(seed: u64, horizon_ns: u64, targets: PlanTargets) -> Self {
+        let mut rng = SimRng::new(seed ^ 0xfau64.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut plan = FaultPlan::new(seed);
+        let classes = [
+            FaultKind::DatapathPanic,
+            FaultKind::XdpAttachFail,
+            FaultKind::VhostDisconnect,
+            FaultKind::UmemExhaust,
+            FaultKind::RxRingStall,
+            FaultKind::CarrierFlap,
+        ];
+        let lo = horizon_ns / 10;
+        let hi = horizon_ns * 8 / 10;
+        for kind in classes {
+            let n = 1 + rng.below(2); // 1..=2 events of each class
+            for _ in 0..n {
+                let at = rng.range(lo, hi);
+                let duration = match kind {
+                    // One-shot: consumed by the supervisor, no window.
+                    FaultKind::DatapathPanic => 0,
+                    _ => rng.range(horizon_ns / 40, horizon_ns / 10),
+                };
+                let (target, arg) = match kind {
+                    FaultKind::VhostDisconnect => (targets.guest, 0),
+                    FaultKind::DatapathPanic => (0, 0),
+                    // Native-only rejection: exercises the copy-mode rung
+                    // without taking the whole port to tap.
+                    FaultKind::XdpAttachFail => (targets.ifindex, 1),
+                    _ => (targets.ifindex, 0),
+                };
+                plan.events.push(FaultEvent {
+                    at_ns: at,
+                    kind,
+                    target,
+                    arg,
+                    duration_ns: duration,
+                });
+            }
+        }
+        plan.events
+            .sort_by_key(|e| (e.at_ns, e.kind.index(), e.target));
+        plan
+    }
+
+    /// The end of the last fault window in the plan (when everything has
+    /// cleared, modulo one-shots waiting to be consumed).
+    pub fn horizon_ns(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| e.at_ns + e.duration_ns)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// One applied injection, kept for `fault/show`.
+#[derive(Debug, Clone, Copy)]
+struct Injection {
+    at_ns: u64,
+    event: FaultEvent,
+}
+
+/// A currently-active (level) fault.
+#[derive(Debug, Clone, Copy)]
+struct ActiveFault {
+    kind: FaultKind,
+    target: u32,
+    arg: u32,
+    since_ns: u64,
+    /// `u64::MAX` for no expiry (duration 0 / one-shots awaiting take).
+    until_ns: u64,
+}
+
+/// Edge transitions surfaced by [`FaultState::tick`] so the kernel can
+/// apply side effects (flush rings on disconnect, restore carrier on
+/// flap expiry) exactly once.
+#[derive(Debug, Default)]
+pub struct FaultTransitions {
+    /// Events whose injection instant was reached this tick.
+    pub fired: Vec<FaultEvent>,
+    /// `(kind, target, arg)` of windows that expired this tick.
+    pub cleared: Vec<(FaultKind, u32, u32)>,
+}
+
+/// The live fault state threaded through `SimCtx`. Cloneable so `SimCtx`
+/// stays cloneable; `Default` is "no faults", which every existing
+/// scenario gets for free.
+#[derive(Debug, Clone, Default)]
+pub struct FaultState {
+    seed: u64,
+    plan: Vec<FaultEvent>,
+    cursor: usize,
+    active: Vec<ActiveFault>,
+    log: Vec<Injection>,
+    injected: [u64; 7],
+}
+
+impl FaultState {
+    /// Arm a plan. Events fire as [`tick`](Self::tick) observes their
+    /// instants; an already-armed plan is replaced (active faults stay).
+    pub fn arm(&mut self, plan: FaultPlan) {
+        self.seed = plan.seed;
+        self.plan = plan.events;
+        self.plan
+            .sort_by_key(|e| (e.at_ns, e.kind.index(), e.target));
+        self.cursor = 0;
+    }
+
+    /// Inject one fault right now (the `fault/inject` appctl path).
+    /// Returns the transitions it caused, same contract as `tick`.
+    pub fn inject(
+        &mut self,
+        now_ns: u64,
+        kind: FaultKind,
+        target: u32,
+        arg: u32,
+        duration_ns: u64,
+    ) -> FaultTransitions {
+        let ev = FaultEvent {
+            at_ns: now_ns,
+            kind,
+            target,
+            arg,
+            duration_ns,
+        };
+        let mut tr = FaultTransitions::default();
+        self.apply(now_ns, ev, &mut tr);
+        tr
+    }
+
+    /// Advance to `now_ns`: fire due plan events, expire elapsed windows.
+    /// The caller (the simulated kernel) applies the side effects.
+    pub fn tick(&mut self, now_ns: u64) -> FaultTransitions {
+        let mut tr = FaultTransitions::default();
+        while self.cursor < self.plan.len() && self.plan[self.cursor].at_ns <= now_ns {
+            let ev = self.plan[self.cursor];
+            self.cursor += 1;
+            self.apply(now_ns, ev, &mut tr);
+        }
+        let mut i = 0;
+        while i < self.active.len() {
+            if self.active[i].until_ns <= now_ns {
+                let a = self.active.remove(i);
+                tr.cleared.push((a.kind, a.target, a.arg));
+            } else {
+                i += 1;
+            }
+        }
+        tr
+    }
+
+    fn apply(&mut self, now_ns: u64, ev: FaultEvent, tr: &mut FaultTransitions) {
+        self.injected[ev.kind.index()] += 1;
+        self.log.push(Injection {
+            at_ns: now_ns,
+            event: ev,
+        });
+        tr.fired.push(ev);
+        match ev.kind {
+            // Reconnect clears any matching disconnect immediately.
+            FaultKind::VhostReconnect => {
+                self.active
+                    .retain(|a| !(a.kind == FaultKind::VhostDisconnect && a.target == ev.target));
+            }
+            k if k.is_level() => {
+                let until = match (k, ev.duration_ns) {
+                    // One-shot panics wait for the supervisor's take().
+                    (FaultKind::DatapathPanic, _) | (_, 0) => u64::MAX,
+                    (_, d) => now_ns.saturating_add(d),
+                };
+                self.active.push(ActiveFault {
+                    kind: k,
+                    target: ev.target,
+                    arg: ev.arg,
+                    since_ns: now_ns,
+                    until_ns: until,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    /// Is a fault of `kind` active against `target`?
+    pub fn active(&self, kind: FaultKind, target: u32) -> bool {
+        self.active_arg(kind, target).is_some()
+    }
+
+    /// Like [`active`](Self::active), surfacing the fault's `arg`.
+    pub fn active_arg(&self, kind: FaultKind, target: u32) -> Option<u32> {
+        self.active
+            .iter()
+            .find(|a| a.kind == kind && a.target == target)
+            .map(|a| a.arg)
+    }
+
+    /// Consume one active one-shot of `kind` (any target). The datapath
+    /// supervisor calls this from inside `catch_unwind` so the panic is
+    /// raised at a quiescent instant — no packets are mid-pipeline.
+    pub fn take(&mut self, kind: FaultKind) -> bool {
+        if let Some(i) = self.active.iter().position(|a| a.kind == kind) {
+            self.active.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True once the armed plan has fully fired and no window is active:
+    /// the all-clear the soak waits for before its final forwarding probe.
+    pub fn all_clear(&self) -> bool {
+        self.cursor >= self.plan.len() && self.active.is_empty()
+    }
+
+    /// Total injections of `kind` so far.
+    pub fn injected(&self, kind: FaultKind) -> u64 {
+        self.injected[kind.index()]
+    }
+
+    /// Total injections across all classes.
+    pub fn injected_total(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// `ovs-appctl fault/show`: plan progress, active windows, per-class
+    /// injection counts, and the injection log. Deterministic.
+    pub fn show(&self, now_ns: u64) -> String {
+        let secs = |ns: u64| format!("{:.3}s", ns as f64 / 1e9);
+        let mut out = format!(
+            "fault injection: seed {}, plan {}/{} fired, {} active, {} injected\n",
+            self.seed,
+            self.cursor,
+            self.plan.len(),
+            self.active.len(),
+            self.injected_total(),
+        );
+        out.push_str("active:\n");
+        if self.active.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for a in &self.active {
+            let until = if a.until_ns == u64::MAX {
+                "pending".to_string()
+            } else {
+                format!("until {}", secs(a.until_ns))
+            };
+            out.push_str(&format!(
+                "  {} target {} (since {}, {})\n",
+                a.kind.label(),
+                a.target,
+                secs(a.since_ns),
+                until
+            ));
+        }
+        out.push_str("injected by class:\n");
+        for k in FaultKind::ALL {
+            if self.injected[k.index()] > 0 {
+                out.push_str(&format!(
+                    "  {:<18} {}\n",
+                    k.label(),
+                    self.injected[k.index()]
+                ));
+            }
+        }
+        out.push_str("log:\n");
+        for inj in &self.log {
+            let e = inj.event;
+            let dur = if e.duration_ns > 0 {
+                format!(" for {}", secs(e.duration_ns))
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "  {} {} target {} arg {}{}\n",
+                secs(inj.at_ns),
+                e.kind.label(),
+                e.target,
+                e.arg,
+                dur
+            ));
+        }
+        let _ = now_ns;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_fires_in_order_and_expires() {
+        let plan = FaultPlan::new(7)
+            .event(100, FaultKind::CarrierFlap, 3, 0, 50)
+            .event(200, FaultKind::VhostDisconnect, 1, 0, 100);
+        let mut st = FaultState::default();
+        st.arm(plan);
+        assert!(!st.all_clear());
+        let tr = st.tick(100);
+        assert_eq!(tr.fired.len(), 1);
+        assert!(st.active(FaultKind::CarrierFlap, 3));
+        let tr = st.tick(200);
+        assert_eq!(tr.fired.len(), 1);
+        // Carrier flap expired at 150.
+        assert!(tr.cleared.contains(&(FaultKind::CarrierFlap, 3, 0)));
+        assert!(st.active(FaultKind::VhostDisconnect, 1));
+        let tr = st.tick(400);
+        assert!(tr.cleared.contains(&(FaultKind::VhostDisconnect, 1, 0)));
+        assert!(st.all_clear());
+    }
+
+    #[test]
+    fn panic_is_one_shot_until_taken() {
+        let mut st = FaultState::default();
+        st.arm(FaultPlan::new(1).event(10, FaultKind::DatapathPanic, 0, 0, 0));
+        st.tick(10_000);
+        assert!(st.active(FaultKind::DatapathPanic, 0), "no auto-expiry");
+        assert!(st.take(FaultKind::DatapathPanic));
+        assert!(!st.take(FaultKind::DatapathPanic), "consumed exactly once");
+        assert!(st.all_clear());
+    }
+
+    #[test]
+    fn reconnect_clears_disconnect() {
+        let mut st = FaultState::default();
+        st.inject(0, FaultKind::VhostDisconnect, 2, 0, 0);
+        assert!(st.active(FaultKind::VhostDisconnect, 2));
+        st.inject(50, FaultKind::VhostReconnect, 2, 0, 0);
+        assert!(!st.active(FaultKind::VhostDisconnect, 2));
+    }
+
+    #[test]
+    fn random_plan_is_deterministic_and_covers_classes() {
+        let t = PlanTargets {
+            ifindex: 1,
+            guest: 0,
+        };
+        let a = FaultPlan::random(42, 1_000_000, t);
+        let b = FaultPlan::random(42, 1_000_000, t);
+        assert_eq!(a.events, b.events, "same seed, same plan");
+        let c = FaultPlan::random(43, 1_000_000, t);
+        assert_ne!(a.events, c.events, "different seed, different plan");
+        for kind in [
+            FaultKind::DatapathPanic,
+            FaultKind::XdpAttachFail,
+            FaultKind::VhostDisconnect,
+            FaultKind::UmemExhaust,
+            FaultKind::RxRingStall,
+            FaultKind::CarrierFlap,
+        ] {
+            assert!(
+                a.events.iter().any(|e| e.kind == kind),
+                "class {} missing",
+                kind.label()
+            );
+        }
+        assert!(a.horizon_ns() <= 1_000_000, "windows close in-horizon");
+    }
+
+    #[test]
+    fn show_renders_log_and_counts() {
+        let mut st = FaultState::default();
+        st.arm(FaultPlan::new(9).event(1_000_000, FaultKind::UmemExhaust, 4, 0, 2_000_000));
+        st.tick(1_000_000);
+        let s = st.show(1_500_000);
+        assert!(s.contains("seed 9"), "{s}");
+        assert!(s.contains("umem_exhaust target 4"), "{s}");
+        assert!(s.contains("plan 1/1 fired"), "{s}");
+    }
+}

@@ -28,6 +28,7 @@ pub mod clock;
 pub mod costs;
 pub mod cpu;
 pub mod ctx;
+pub mod faults;
 pub mod rate;
 pub mod rng;
 pub mod stats;
@@ -35,6 +36,7 @@ pub mod stats;
 pub use clock::VirtualClock;
 pub use cpu::{Context, Core, CpuSet, CpuUsage};
 pub use ctx::SimCtx;
+pub use faults::{FaultEvent, FaultKind, FaultPlan, FaultState, FaultTransitions, PlanTargets};
 pub use rate::{gbps_to_mpps, line_rate_mpps, mpps_to_gbps, LineRate};
 pub use rng::SimRng;
 pub use stats::Percentiles;

@@ -985,9 +985,333 @@ pub fn run_fastpath(
     }
 }
 
+// ----------------------------------------------------------------------
+// Fault-injection soak (robustness)
+// ----------------------------------------------------------------------
+
+/// The drop counters that may legitimately absorb packets during a fault
+/// soak. Anything offered and neither delivered nor counted by one of
+/// these is *unaccounted* — a silent loss, which the soak treats as a
+/// failure.
+pub const DROP_COUNTERS: [&str; 8] = [
+    "xsk_tx_ring_full",
+    "xsk_close_flushed",
+    "xsk_rx_dropped",
+    "netdev_rx_carrier_down",
+    "netdev_tx_carrier_down",
+    "vhost_tx_disconnected",
+    "vhost_ring_flushed",
+    "upcall_queue_full",
+];
+
+/// Outcome of a [`run_faults`] soak.
+#[derive(Debug)]
+pub struct FaultsReport {
+    /// The schedule seed (same seed ⇒ byte-identical report).
+    pub seed: u64,
+    /// Frames offered by the sending VM (soak traffic + final probe).
+    pub frames_offered: u64,
+    /// Frames the remote sink VM consumed.
+    pub delivered: u64,
+    /// Frames absorbed by [`DROP_COUNTERS`].
+    pub counted_drops: u64,
+    /// `offered - delivered - counted_drops`; must be zero.
+    pub unaccounted: i64,
+    /// Datapath panics caught by the supervisor.
+    pub crashes: u64,
+    /// Supervised restarts completed.
+    pub restarts: u64,
+    /// Mean crash-to-recovery latency in virtual milliseconds.
+    pub mean_recovery_ms: f64,
+    /// vhostuser reconnect edges observed.
+    pub vhost_reconnects: u64,
+    /// Whether the sender's uplink ended the soak on the copy-mode rung
+    /// (it crashed while XDP native attach was rejected).
+    pub degraded_mode: bool,
+    /// Switch-core cost per forwarded frame before the crash (zero-copy).
+    pub native_ns_per_pkt: f64,
+    /// Switch-core cost per forwarded frame after the degraded restart.
+    pub degraded_ns_per_pkt: f64,
+    /// Fault injections by class, both hosts summed, `FaultKind::ALL` order.
+    pub per_class: Vec<(&'static str, u64)>,
+    /// Every [`DROP_COUNTERS`] value at the end of the soak.
+    pub drops_by_counter: Vec<(&'static str, u64)>,
+    /// Probe frames sent after the all-clear.
+    pub probe_sent: u64,
+    /// Probe frames the sink consumed (all of them ⇒ forwarding resumed).
+    pub probe_delivered: u64,
+    /// Did forwarding fully resume after the last fault cleared?
+    pub forwarding_resumed: bool,
+}
+
+/// Fault-injection soak over the two-host NSX deployment (§6): VM0 on
+/// host 1 streams one-way UDP to a sink VM on host 2 while a seeded
+/// schedule injects every fault class the robustness harness knows —
+/// a datapath panic under supervision, an XDP native-attach rejection
+/// spanning the restart (so the rebuilt port degrades to copy mode), a
+/// lost tx kick on the sender's uplink, a vhostuser disconnect/reconnect
+/// on the receiving VIF, umem exhaustion on the receiver's uplink, and a
+/// carrier flap on the wire. The invariant under test: every offered
+/// frame is either delivered or counted by a specific drop counter —
+/// faults may lose packets, but never silently — and forwarding resumes
+/// once the schedule clears.
+pub fn run_faults(seed: u64) -> FaultsReport {
+    use ovs_nsx::ruleset::{self as nsx_ruleset, NsxConfig};
+    use ovs_nsx::topology::{DatapathKind, Host, HostConfig, VmAttachment};
+    use ovs_sim::{FaultKind, FaultPlan, SimRng};
+
+    ovs_obs::coverage::reset();
+
+    let dpk = DatapathKind::UserspaceAfxdp {
+        opt: OptLevel::O5,
+        interrupt_mode: false,
+    };
+    let small = |id: u8| NsxConfig {
+        vms: 2,
+        tunnels: 4,
+        target_rules: 800,
+        local_vtep: [172, 16, 0, id],
+        remote_vtep: [172, 16, 0, 3 - id],
+        ..NsxConfig::default()
+    };
+    let mut cfg1 = HostConfig::nsx_default(1, dpk, VmAttachment::VhostUser);
+    cfg1.nsx = small(1);
+    let mut cfg2 = HostConfig::nsx_default(2, dpk, VmAttachment::VhostUser);
+    cfg2.nsx = small(2);
+    cfg2.guest_role = GuestRole::Sink;
+    let mut h1 = Host::build(&cfg1);
+    let mut h2 = Host::build(&cfg2);
+    h1.peer([172, 16, 0, 2], h2.uplink_mac());
+    h2.peer([172, 16, 0, 1], h1.uplink_mac());
+
+    // Supervise the sender's datapath: 2 ms initial backoff so the
+    // restart lands well inside the soak horizon.
+    h1.enable_supervision(2_000_000, 8);
+
+    // --- The seeded schedule: six classes across the two hosts. -------
+    const HORIZON_NS: u64 = 20_000_000; // 20 ms of virtual time
+    const ROUND_NS: u64 = 100_000; // 100 µs per soak round
+    let mut rng = SimRng::new(seed);
+    let mut jitter = |base_ns: u64| base_ns + rng.below(500_000);
+    let panic_at = jitter(4_000_000);
+    let h1_plan = FaultPlan::new(seed)
+        // Native attach rejected from just before the crash until well
+        // after the restart: the rebuilt uplink comes up in copy mode.
+        .event(
+            panic_at - 200_000,
+            FaultKind::XdpAttachFail,
+            h1.uplink_if,
+            1,
+            6_000_000,
+        )
+        .event(panic_at, FaultKind::DatapathPanic, 0, 0, 0)
+        .event(
+            jitter(10_000_000),
+            FaultKind::RxRingStall,
+            h1.uplink_if,
+            0,
+            jitter(1_500_000),
+        );
+    let sink_guest = h2.guest_of_vif[0];
+    let h2_plan = FaultPlan::new(seed)
+        .event(
+            jitter(8_000_000),
+            FaultKind::VhostDisconnect,
+            sink_guest as u32,
+            0,
+            jitter(1_500_000),
+        )
+        .event(
+            jitter(12_500_000),
+            FaultKind::UmemExhaust,
+            h2.uplink_if,
+            0,
+            jitter(1_500_000),
+        )
+        .event(
+            jitter(15_500_000),
+            FaultKind::CarrierFlap,
+            h2.uplink_if,
+            0,
+            jitter(1_200_000),
+        );
+    h1.kernel.sim.faults.arm(h1_plan);
+    h2.kernel.sim.faults.arm(h2_plan);
+
+    let sender = h1.guest_of_vif[0];
+    let core = h1.switch_core;
+    let frame = || {
+        ovs_packet::builder::udp_ipv4_frame(
+            nsx_ruleset::vm_mac(1, 0, 0),
+            nsx_ruleset::vm_mac(2, 0, 0),
+            nsx_ruleset::vm_ip(1, 0, 0),
+            nsx_ruleset::vm_ip(2, 0, 0),
+            3333,
+            4444,
+            200,
+        )
+    };
+
+    // One shuttle round: pump both hosts, move the wire both ways.
+    fn shuttle(h1: &mut Host, h2: &mut Host) -> (usize, usize) {
+        let moved = h1.pump() + h2.pump();
+        let mut wire1 = 0;
+        for f in h1.wire_take() {
+            wire1 += 1;
+            h2.wire_inject(f);
+        }
+        for f in h2.wire_take() {
+            h1.wire_inject(f);
+        }
+        let moved = moved + h1.pump() + h2.pump();
+        (moved, wire1)
+    }
+
+    // --- The soak: 4 frames per 100 µs round across the horizon. ------
+    // Per-frame switch cost is measured over *warm* rounds only (caches
+    // populated), both before the crash and after the degraded restart,
+    // so the delta isolates the copy-mode penalty from cold-start upcalls.
+    const WARMUP_ROUNDS: u32 = 10;
+    let mut offered = 0u64;
+    let mut native = (0.0f64, 0u64); // (core ns, frames out) pre-crash, warm
+    let mut degraded = (0.0f64, 0u64); // post-restart, warm
+    let mut rounds_up = 0u32; // rounds since the current datapath came up
+    let mut last_busy = h1.kernel.sim.cpus.core(core).total_ns();
+    let rounds = (HORIZON_NS / ROUND_NS) as usize;
+    for _ in 0..rounds {
+        for _ in 0..4 {
+            h1.kernel.guests[sender].tx_ring.push_back(frame());
+            offered += 1;
+        }
+        let (_, wire1) = shuttle(&mut h1, &mut h2);
+        let busy = h1.kernel.sim.cpus.core(core).total_ns();
+        let crashed = h1
+            .health
+            .as_ref()
+            .map(|h| !h.crashes.is_empty())
+            .unwrap_or(false);
+        let restarted = h1.health.as_ref().map(|h| h.restarts > 0).unwrap_or(false);
+        if h1.dp.is_none() {
+            rounds_up = 0;
+        } else {
+            rounds_up += 1;
+        }
+        if rounds_up > WARMUP_ROUNDS {
+            if !crashed {
+                native.0 += busy - last_busy;
+                native.1 += wire1 as u64;
+            } else if restarted {
+                degraded.0 += busy - last_busy;
+                degraded.1 += wire1 as u64;
+            }
+        }
+        last_busy = busy;
+        h1.kernel.sim.clock.advance(ROUND_NS);
+        h2.kernel.sim.clock.advance(ROUND_NS);
+    }
+
+    // --- Drain: run past the horizon until both schedules are clear and
+    // the pipes are empty (pending guest tx counts as movement, so quiet
+    // means nothing is parked anywhere).
+    for _ in 0..256 {
+        let (moved, _) = shuttle(&mut h1, &mut h2);
+        h1.kernel.sim.clock.advance(ROUND_NS);
+        h2.kernel.sim.clock.advance(ROUND_NS);
+        if moved == 0 && h1.kernel.sim.faults.all_clear() && h2.kernel.sim.faults.all_clear() {
+            break;
+        }
+    }
+
+    // --- Forwarding probe after the all-clear. -------------------------
+    let sink_before = h2.kernel.guests[sink_guest].rx_count;
+    const PROBE: u64 = 32;
+    for _ in 0..PROBE {
+        h1.kernel.guests[sender].tx_ring.push_back(frame());
+        offered += 1;
+    }
+    for _ in 0..64 {
+        let (moved, _) = shuttle(&mut h1, &mut h2);
+        h1.kernel.sim.clock.advance(ROUND_NS);
+        h2.kernel.sim.clock.advance(ROUND_NS);
+        if moved == 0 {
+            break;
+        }
+    }
+    let probe_delivered = h2.kernel.guests[sink_guest].rx_count - sink_before;
+
+    // --- The balance sheet. -------------------------------------------
+    let delivered = h2.kernel.guests[sink_guest].rx_count;
+    let drops_by_counter: Vec<(&'static str, u64)> = DROP_COUNTERS
+        .iter()
+        .map(|&n| (n, ovs_obs::coverage::total(n)))
+        .collect();
+    let counted_drops: u64 = drops_by_counter.iter().map(|(_, v)| v).sum();
+    let health = h1.health.as_ref().expect("supervised");
+    let per_class: Vec<(&'static str, u64)> = FaultKind::ALL
+        .iter()
+        .map(|k| {
+            (
+                k.label(),
+                h1.kernel.sim.faults.injected(*k) + h2.kernel.sim.faults.injected(*k),
+            )
+        })
+        .collect();
+    let degraded_mode = h1
+        .dp
+        .as_ref()
+        .and_then(|dp| dp.port(h1.ports.uplink))
+        .map(|p| match &p.ty {
+            PortType::Afxdp(a) => a.degraded,
+            _ => false,
+        })
+        .unwrap_or(false);
+    let per_pkt = |(ns, frames): (f64, u64)| if frames > 0 { ns / frames as f64 } else { 0.0 };
+    FaultsReport {
+        seed,
+        frames_offered: offered,
+        delivered,
+        counted_drops,
+        unaccounted: offered as i64 - delivered as i64 - counted_drops as i64,
+        crashes: health.crashes.len() as u64,
+        restarts: health.restarts,
+        mean_recovery_ms: health.mean_recovery_ns().unwrap_or(0) as f64 / 1e6,
+        vhost_reconnects: ovs_obs::coverage::total("vhost_reconnect"),
+        degraded_mode,
+        native_ns_per_pkt: per_pkt(native),
+        degraded_ns_per_pkt: per_pkt(degraded),
+        per_class,
+        drops_by_counter,
+        probe_sent: PROBE,
+        probe_delivered,
+        forwarding_resumed: probe_delivered == PROBE,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn faults_soak_accounts_for_every_frame() {
+        let r = run_faults(0xC0FFEE);
+        println!("{r:#?}");
+        assert_eq!(
+            r.unaccounted, 0,
+            "every offered frame must be delivered or counted: {r:#?}"
+        );
+        assert_eq!(r.crashes, 1, "the scheduled panic fired: {r:#?}");
+        assert_eq!(r.restarts, 1, "the supervisor restarted: {r:#?}");
+        assert!(r.degraded_mode, "rebuilt uplink degraded to copy mode");
+        assert!(
+            r.forwarding_resumed,
+            "probe after all-clear must fully deliver: {r:#?}"
+        );
+        for (label, n) in &r.per_class {
+            if *label != "vhost_reconnect" {
+                assert!(*n > 0, "class {label} never injected: {r:#?}");
+            }
+        }
+    }
 
     #[test]
     fn fastpath_batching_and_smc_beat_scalar() {

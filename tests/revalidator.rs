@@ -67,6 +67,7 @@ netdev@ovs-netdev:
   deleted       : 0 idle, 0 hard, 0 changed, 0 evicted
   stats pushed  : 0 packets, 0 bytes
   limit hits    : 0
+  queue full    : 0
 ";
 const GOLDEN_WAIT_1: &str = "revalidation complete: 5 flows dumped, \
 0 deleted (0 idle, 0 hard, 0 changed, 0 evicted), \
@@ -89,6 +90,7 @@ netdev@ovs-netdev:
   deleted       : 5 idle, 0 hard, 0 changed, 0 evicted
   stats pushed  : 73 packets, 14600 bytes
   limit hits    : 0
+  queue full    : 0
 ";
 
 #[test]

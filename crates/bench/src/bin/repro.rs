@@ -7,7 +7,7 @@
 //!
 //! Flags: --fig1 --table1 --fig2 --table2 --table3 --fig8a --fig8b
 //!        --fig8c --fig9 --table4 --fig10 --fig11 --table5 --fig12
-//!        --ablation --churn --fastpath --faults
+//!        --scaling --ablation --churn --fastpath --faults
 
 use ovs_afxdp::OptLevel;
 use ovs_bench::fig1;
@@ -77,6 +77,9 @@ fn main() {
     }
     if want("--fig12") {
         fig12();
+    }
+    if want("--scaling") {
+        scaling();
     }
     if want("--ablation") {
         ablation();
@@ -619,6 +622,125 @@ fn table5() {
     for (l, t) in rows {
         rate_row(l, &scenarios::run_xdp_task(t));
     }
+}
+
+fn scaling() {
+    use ovs_core::AssignmentPolicy;
+    section("Extension — PMD scheduler scaling baseline (BENCH_scaling.json)");
+
+    // Multi-queue grid, all driven through the PMD scheduler.
+    struct Cell {
+        dp: &'static str,
+        queues: usize,
+        frame_len: usize,
+        m: RateMeasurement,
+    }
+    let mut grid = Vec::new();
+    println!(
+        "  {:<9} {:>14} {:>14} {:>14} {:>14}",
+        "queues", "AF_XDP 64B", "DPDK 64B", "AF_XDP 1518B", "DPDK 1518B"
+    );
+    for q in [1usize, 2, 4, 6] {
+        let mut cells = Vec::new();
+        for frame_len in [64usize, 1518] {
+            for (label, dp) in [
+                ("afxdp", DpKind::Afxdp(OptLevel::O5)),
+                ("dpdk", DpKind::Dpdk),
+            ] {
+                let m = scenarios::run(&ScenarioConfig {
+                    queues: q,
+                    frame_len,
+                    ..ScenarioConfig::micro(dp, PathKind::P2p, 1000)
+                });
+                cells.push(Cell {
+                    dp: label,
+                    queues: q,
+                    frame_len,
+                    m,
+                });
+            }
+        }
+        println!(
+            "  {q:<9} {:>9.2} Gbps {:>9.2} Gbps {:>9.2} Gbps {:>9.2} Gbps",
+            cells[0].m.gbps, cells[1].m.gbps, cells[2].m.gbps, cells[3].m.gbps
+        );
+        grid.extend(cells);
+    }
+
+    // Assignment-policy ablation on the skewed 4-queue workload.
+    let policies = [
+        AssignmentPolicy::RoundRobin,
+        AssignmentPolicy::Cycles,
+        AssignmentPolicy::Group,
+    ];
+    let ablation: Vec<_> = policies
+        .iter()
+        .map(|&p| scenarios::run_policy_ablation(p))
+        .collect();
+    println!("  skewed-rxq policy ablation (4 queues 4:1:4:1 over 2 PMDs):");
+    for r in &ablation {
+        println!(
+            "    {:<12} {:>5.2} Mpps   per-PMD busy ns {:?}",
+            r.policy.label(),
+            r.est_mpps,
+            r.pmd_busy_ns
+        );
+    }
+
+    // Machine-readable results for CI (hand-rolled JSON; byte-stable
+    // across runs because the whole pipeline is deterministic).
+    let mut json = String::from("{\n  \"bench\": \"scaling\",\n  \"grid\": [\n");
+    for (i, c) in grid.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"dp\": \"{}\", \"queues\": {}, \"frame_len\": {}, \"mpps\": {:.4}, \
+             \"gbps\": {:.4}, \"line_limited\": {}}}{}\n",
+            c.dp,
+            c.queues,
+            c.frame_len,
+            c.m.mpps,
+            c.m.gbps,
+            c.m.line_limited,
+            if i + 1 == grid.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n  \"policy_ablation\": [\n");
+    for (i, r) in ablation.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"est_mpps\": {:.4}, \"pmd_busy_ns\": [{}], \"n_pkts\": {}}}{}\n",
+            r.policy.label(),
+            r.est_mpps,
+            r.pmd_busy_ns
+                .iter()
+                .map(|n| n.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            r.n_pkts,
+            if i + 1 == ablation.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_scaling.json", &json).expect("write BENCH_scaling.json");
+    println!("  wrote BENCH_scaling.json");
+
+    // CI gates: the Fig 12 headline and the load-aware-policy win.
+    let afxdp_6q_1518 = grid
+        .iter()
+        .find(|c| c.dp == "afxdp" && c.queues == 6 && c.frame_len == 1518)
+        .unwrap();
+    assert!(
+        afxdp_6q_1518.m.line_limited,
+        "AF_XDP must reach line rate at 1518 B with 6 queues (got {:.2} Gbps)",
+        afxdp_6q_1518.m.gbps
+    );
+    let (rr, cy, gr) = (&ablation[0], &ablation[1], &ablation[2]);
+    assert!(
+        cy.est_mpps > rr.est_mpps && gr.est_mpps > rr.est_mpps,
+        "load-aware policies must beat roundrobin on the skewed workload \
+         (rr {:.2}, cycles {:.2}, group {:.2})",
+        rr.est_mpps,
+        cy.est_mpps,
+        gr.est_mpps
+    );
 }
 
 fn fig12() {

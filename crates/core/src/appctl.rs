@@ -9,6 +9,7 @@
 
 use crate::dpif::{DpifNetdev, PortNo};
 use crate::health::HealthMonitor;
+use crate::pmd::PmdSet;
 use ovs_kernel::Kernel;
 use ovs_sim::FaultKind;
 
@@ -18,6 +19,9 @@ pub const COMMANDS: &[&str] = &[
     "dpif-netdev/pmd-perf-show",
     "dpif-netdev/pmd-stats-show",
     "dpif-netdev/pmd-stats-clear",
+    "dpif-netdev/pmd-rxq-show",
+    "dpif-netdev/pmd-rxq-rebalance",
+    "dpif-netdev/pmd-auto-lb-show",
     "dpif-netdev/port-status",
     "dpif-netdev/subtable-ranking",
     "dpif-netdev/emc-insert-inv-prob",
@@ -49,6 +53,52 @@ pub fn dispatch(
 /// [`dispatch`] with the optional health supervisor attached, so
 /// `health/show` can report it (a supervised deployment passes it in).
 pub fn dispatch_with_health(
+    dpif: &mut DpifNetdev,
+    kernel: &mut Kernel,
+    health: Option<&HealthMonitor>,
+    cmd: &str,
+    args: &[&str],
+) -> Result<String, String> {
+    dispatch_full(dpif, kernel, health, None, cmd, args)
+}
+
+/// The full dispatch surface: health supervisor plus the PMD scheduler,
+/// so the `dpif-netdev/pmd-rxq-*` and `pmd-auto-lb-*` commands can
+/// inspect and rebalance the rxq→PMD assignment.
+pub fn dispatch_full(
+    dpif: &mut DpifNetdev,
+    kernel: &mut Kernel,
+    health: Option<&HealthMonitor>,
+    mut pmds: Option<&mut PmdSet>,
+    cmd: &str,
+    args: &[&str],
+) -> Result<String, String> {
+    const NO_PMDS: &str = "no PMD scheduler attached (datapath is driven directly)";
+    match cmd {
+        "dpif-netdev/pmd-rxq-show" => match pmds {
+            Some(p) => Ok(p.pmd_rxq_show(dpif)),
+            None => Err(NO_PMDS.to_string()),
+        },
+        "dpif-netdev/pmd-rxq-rebalance" => match pmds.as_deref_mut() {
+            Some(p) => {
+                p.rebalance();
+                Ok(format!(
+                    "rxq assignment rebalanced ({} policy)\n{}",
+                    p.policy().label(),
+                    p.pmd_rxq_show(dpif)
+                ))
+            }
+            None => Err(NO_PMDS.to_string()),
+        },
+        "dpif-netdev/pmd-auto-lb-show" => match pmds {
+            Some(p) => Ok(p.pmd_auto_lb_show()),
+            None => Err(NO_PMDS.to_string()),
+        },
+        _ => dispatch_inner(dpif, kernel, health, cmd, args),
+    }
+}
+
+fn dispatch_inner(
     dpif: &mut DpifNetdev,
     kernel: &mut Kernel,
     health: Option<&HealthMonitor>,

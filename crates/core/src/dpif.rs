@@ -249,11 +249,66 @@ impl DpifStats {
     /// one cache tier, and passes are packets plus the recirculations
     /// that re-entered the pipeline. Flow lifecycle accounting must also
     /// balance — a flow cannot be deleted more than once, so deletions
-    /// (expiry, eviction, flushes) never outrun installs.
+    /// (expiry, eviction, flushes) never outrun installs — and every
+    /// received packet enters the pipeline, so `rx_packets` never
+    /// outruns `packets_processed` (direct injection only adds to the
+    /// latter). The same identity must hold for per-PMD counter deltas,
+    /// which is what [`crate::pmd::PmdSet::coherent_with`] checks over
+    /// the scheduler's per-thread sums.
     pub fn coherent(&self) -> bool {
         self.emc_hits + self.smc_hits + self.megaflow_hits + self.upcalls
             == self.packets_processed + self.recirculations
             && self.flows_deleted <= self.flows_installed
+            && self.rx_packets <= self.packets_processed
+    }
+}
+
+macro_rules! dpif_stats_fields {
+    ($m:ident) => {
+        $m!(
+            rx_packets,
+            tx_packets,
+            packets_processed,
+            emc_hits,
+            smc_hits,
+            megaflow_hits,
+            upcalls,
+            recirculations,
+            dropped,
+            tunnel_encaps,
+            tunnel_decaps,
+            tso_segments,
+            meter_drops,
+            flows_installed,
+            flows_deleted,
+            flow_limit_hits,
+            vhost_tx_drops,
+            tx_full_drops
+        )
+    };
+}
+
+impl DpifStats {
+    /// Field-wise `self - before` (counters are monotonic, so this is
+    /// the work done between two snapshots — the PMD scheduler uses it
+    /// to attribute counter deltas to the polling thread).
+    pub fn delta(&self, before: &DpifStats) -> DpifStats {
+        macro_rules! sub {
+            ($($f:ident),*) => {
+                DpifStats { $($f: self.$f.saturating_sub(before.$f)),* }
+            };
+        }
+        dpif_stats_fields!(sub)
+    }
+
+    /// Field-wise `self += other`.
+    pub fn accumulate(&mut self, other: &DpifStats) {
+        macro_rules! add {
+            ($($f:ident),*) => {{
+                $(self.$f += other.$f;)*
+            }};
+        }
+        dpif_stats_fields!(add);
     }
 }
 
@@ -450,6 +505,19 @@ impl DpifNetdev {
         self.emc.flush();
         self.smc.flush();
         self.megaflow.flush();
+    }
+
+    /// Exchange the datapath's active EMC/SMC pair with a PMD thread's
+    /// private pair — the scheduler wraps every poll in a swap-in /
+    /// swap-out so cache locality is genuinely per PMD while the dpcls
+    /// and megaflow table stay shared. The configured EMC insertion
+    /// probability is authoritative on the datapath and is carried onto
+    /// whichever cache is swapped in.
+    pub fn swap_caches(&mut self, emc: &mut Emc<Vec<DpAction>>, smc: &mut Smc<Vec<DpAction>>) {
+        let knob = self.emc.insert_inv_prob;
+        std::mem::swap(&mut self.emc, emc);
+        self.emc.insert_inv_prob = knob;
+        std::mem::swap(&mut self.smc, smc);
     }
 
     /// Set the probabilistic EMC insertion knob
@@ -779,11 +847,13 @@ megaflows installed: {}
             out.push_str(&perf.render(&format!("pmd thread core {core}"), cpu_hz));
             merged.merge(perf);
         }
-        if self.perf.len() != 1 {
-            out.push_str(&merged.render("all pmd threads", cpu_hz));
-        }
         if self.perf.is_empty() {
             out.push_str("(no pmd activity)\n");
+        } else {
+            // Always render the merged block, even for a single PMD —
+            // matches OVS, whose `pmd-perf-show` ends with the summary
+            // unconditionally.
+            out.push_str(&merged.render("all pmd threads", cpu_hz));
         }
         out
     }

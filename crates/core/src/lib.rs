@@ -44,6 +44,7 @@ pub mod meter;
 pub mod mirror;
 pub mod ofctl;
 pub mod ofproto;
+pub mod pmd;
 pub mod revalidator;
 pub mod tso;
 pub mod tunnel;
@@ -56,4 +57,5 @@ pub use meter::{Meter, MeterSet};
 pub use mirror::MirrorSession;
 pub use ofctl::{dump_flows, parse_flow, parse_flows};
 pub use ofproto::{OfAction, OfRule, Ofproto, RuleEntry};
+pub use pmd::{AssignmentPolicy, PmdSet, PmdThread, RxqId};
 pub use revalidator::{Revalidator, RevalidatorConfig, SweepSummary, Ukey};

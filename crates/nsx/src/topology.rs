@@ -9,6 +9,7 @@
 use crate::ruleset::{self, NsxConfig, NsxPorts, RulesetStats};
 use ovs_afxdp::OptLevel;
 use ovs_core::dpif::{DpifNetdev, DpifNetlink, PortNo, PortType};
+use ovs_core::pmd::{AssignmentPolicy, PmdSet};
 use ovs_core::tunnel::{TunnelConfig, TunnelKind};
 use ovs_core::HealthMonitor;
 use ovs_dpdk::VhostUserDev;
@@ -158,6 +159,10 @@ pub struct Host {
     /// The datapath supervisor, when enabled; routes every PMD poll
     /// through its unwind boundary.
     pub health: Option<HealthMonitor>,
+    /// The PMD scheduler driving the userspace datapath's polls (one
+    /// PMD thread on `switch_core`, every port rxq assigned to it).
+    /// `None` on a kernel-datapath host.
+    pub pmds: Option<PmdSet>,
     /// Uplink NIC ifindex.
     pub uplink_if: u32,
     /// Datapath port numbers (same layout for both modes).
@@ -284,11 +289,25 @@ impl Host {
             }
         };
 
+        // Userspace hosts poll through the PMD scheduler: one PMD
+        // thread on the switch core, every datapath port's queue 0
+        // assigned to it (uplink, tunnel, vifs — registration order is
+        // poll order).
+        let pmds = dp.as_ref().map(|_| {
+            let mut set = PmdSet::new(&[cfg.switch_core], AssignmentPolicy::RoundRobin);
+            for p in 0..(nvifs + 2) as PortNo {
+                set.add_rxq(p, 0);
+            }
+            set.rebalance();
+            set
+        });
+
         Host {
             kernel,
             dp,
             netlink,
             health: None,
+            pmds,
             uplink_if,
             ports,
             guest_of_vif,
@@ -345,16 +364,13 @@ impl Host {
             if let Some(h) = &mut self.health {
                 // Supervised: every poll crosses the unwind boundary,
                 // and polling while down drives the restart clock.
-                let nports = self.ports.vifs.len() + 2;
-                for p in 0..nports as PortNo {
-                    moved += h.poll(&mut self.dp, &mut self.kernel, p, 0, self.switch_core);
-                }
+                let pmds = self.pmds.as_mut().expect("userspace host has a scheduler");
+                moved += pmds.run_round_supervised(h, &mut self.dp, &mut self.kernel);
             } else if let Some(dp) = &mut self.dp {
-                // Poll every port (uplink, taps, vhostuser).
-                let nports = dp.port_count() + 2;
-                for p in 0..nports as PortNo {
-                    moved += dp.pmd_poll(&mut self.kernel, p, 0, self.switch_core);
-                }
+                // Poll every port (uplink, taps, vhostuser) through the
+                // scheduler, with per-PMD caches swapped in.
+                let pmds = self.pmds.as_mut().expect("userspace host has a scheduler");
+                moved += pmds.run_round(dp, &mut self.kernel);
             }
             if let Some(nl) = &mut self.netlink {
                 moved += nl.handle_upcalls(&mut self.kernel, self.switch_core);
@@ -395,16 +411,29 @@ impl Host {
         self.kernel.receive(self.uplink_if, 0, frame);
     }
 
+    /// One revalidator sweep over the userspace datapath, including the
+    /// PMD-side purge of dead-flagged cache entries. Returns `None` on a
+    /// kernel-datapath host or while the datapath is down.
+    pub fn revalidate(&mut self) -> Option<ovs_core::SweepSummary> {
+        let dp = self.dp.as_mut()?;
+        let core = self.switch_core;
+        match self.pmds.as_mut() {
+            Some(pmds) => Some(pmds.revalidate(dp, &mut self.kernel, core)),
+            None => Some(dp.revalidate(&mut self.kernel, core)),
+        }
+    }
+
     /// Run an `ovs-appctl` command against this host's userspace
-    /// datapath (health supervisor attached when enabled).
+    /// datapath (health supervisor and PMD scheduler attached).
     pub fn appctl(&mut self, cmd: &str, args: &[&str]) -> Result<String, String> {
         let Some(dp) = self.dp.as_mut() else {
             return Err("datapath is down".to_string());
         };
-        ovs_core::appctl::dispatch_with_health(
+        ovs_core::appctl::dispatch_full(
             dp,
             &mut self.kernel,
             self.health.as_ref(),
+            self.pmds.as_mut(),
             cmd,
             args,
         )

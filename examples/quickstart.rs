@@ -6,6 +6,7 @@
 
 use ovs_afxdp::{AfxdpPort, OptLevel};
 use ovs_core::dpif::{DpifNetdev, PortType};
+use ovs_core::{AssignmentPolicy, PmdSet};
 use ovs_kernel::dev::{DeviceKind, NetDevice};
 use ovs_kernel::Kernel;
 use ovs_packet::{builder, MacAddr};
@@ -46,8 +47,14 @@ fn main() {
     ))
     .expect("valid flow spec");
 
-    // 4. Traffic arrives on the wire; the XDP hook redirects it into the
-    //    AF_XDP socket; the PMD loop polls, classifies, and forwards.
+    // 4. A PMD thread on core 1 polls eth0's queue — the scheduler owns
+    //    the polling loop and the thread's private EMC/SMC caches.
+    let mut pmds = PmdSet::new(&[1], AssignmentPolicy::RoundRobin);
+    pmds.add_rxq(p0, 0);
+    pmds.rebalance();
+
+    // 5. Traffic arrives on the wire; the XDP hook redirects it into the
+    //    AF_XDP socket; the PMD round polls, classifies, and forwards.
     for i in 0..100u16 {
         let frame = builder::udp_ipv4_frame(
             MacAddr::new(2, 0, 0, 0, 1, 1),
@@ -59,7 +66,7 @@ fn main() {
             64,
         );
         kernel.receive(eth0, 0, frame);
-        dp.pmd_poll(&mut kernel, p0, 0, 1);
+        pmds.run_round(&mut dp, &mut kernel);
     }
 
     let forwarded = kernel.device(eth1).tx_wire.len();
@@ -69,6 +76,7 @@ fn main() {
         dp.stats.upcalls, dp.stats.megaflow_hits, dp.stats.emc_hits
     );
     println!("megaflows installed: {}", dp.megaflow_count());
+    println!("--- pmd-rxq-show ---\n{}", pmds.pmd_rxq_show(&dp));
     println!(
         "--- dpctl/dump-flows ---\n{}",
         dp.dump_flows(kernel.sim.clock.now_ns())

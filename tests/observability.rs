@@ -87,7 +87,7 @@ xsk_tx_packet                          32           32         32.0
 
 const GOLDEN_PERF: &str = "\
 pmd thread core 1:
-  iterations: 504  packets: 31  busy: 52406 ns (125774 cycles)
+  iterations: 378  packets: 31  busy: 52406 ns (125774 cycles)
   avg cycles/pkt: 4057.2
   rx                           2447 ns           5872 cycles    4.7%
   parse                        4650 ns          11160 cycles    8.9%
@@ -101,6 +101,41 @@ pmd thread core 1:
   tx                           4752 ns          11404 cycles    9.1%
   revalidate                      0 ns              0 cycles    0.0%
   per-packet ns: p50 2047 p90 2047 p99 10895 p99.9 10895 max 10895
+all pmd threads:
+  iterations: 378  packets: 31  busy: 52406 ns (125774 cycles)
+  avg cycles/pkt: 4057.2
+  rx                           2447 ns           5872 cycles    4.7%
+  parse                        4650 ns          11160 cycles    8.9%
+  emc lookup                   2340 ns           5616 cycles    4.5%
+  smc lookup                      0 ns              0 cycles    0.0%
+  megaflow lookup              9220 ns          22128 cycles   17.6%
+  upcall/translate            13600 ns          32640 cycles   26.0%
+  batch setup/flush            8112 ns          19468 cycles   15.5%
+  actions                      5640 ns          13536 cycles   10.8%
+  recirc                       1645 ns           3948 cycles    3.1%
+  tx                           4752 ns          11404 cycles    9.1%
+  revalidate                      0 ns              0 cycles    0.0%
+  per-packet ns: p50 2047 p90 2047 p99 10895 p99.9 10895 max 10895
+";
+
+const GOLDEN_RXQ: &str = "\
+pmd thread core 1:
+  isolated : false
+  port: eth0             queue-id:  0  pmd usage:  40 %
+  port: gnv0             queue-id:  0  pmd usage:   0 %
+  port: vhost0           queue-id:  0  pmd usage:  59 %
+  port: vhost1           queue-id:  0  pmd usage:   0 %
+  port: vhost2           queue-id:  0  pmd usage:   0 %
+  port: vhost3           queue-id:  0  pmd usage:   0 %
+";
+
+const GOLDEN_AUTO_LB: &str = "\
+pmd-auto-lb: disabled
+  assignment policy     : roundrobin
+  improvement threshold : 25 %
+  checks (dry runs)     : 0
+  rebalances applied    : 0
+  last improvement      : n/a
 ";
 
 const GOLDEN_TRACE: &str = "\
@@ -197,6 +232,12 @@ fn golden_observability_two_host_nsx() {
     // --- ethtool -S shows driver-boundary coverage ----------------
     let es = tools::ethtool_stats(&h1.kernel, "eth0").unwrap();
     assert!(es.contains("xsk_rx_batch"), "{es}");
+
+    // --- pmd-rxq-show / pmd-auto-lb-show --------------------------
+    let rxq = h1.appctl("dpif-netdev/pmd-rxq-show", &[]).unwrap();
+    assert_eq!(rxq, GOLDEN_RXQ, "pmd-rxq-show golden drifted:\n{rxq}");
+    let lb = h1.appctl("dpif-netdev/pmd-auto-lb-show", &[]).unwrap();
+    assert_eq!(lb, GOLDEN_AUTO_LB, "pmd-auto-lb-show golden drifted:\n{lb}");
 
     // --- pmd-stats-clear resets both stats and perf ---------------
     let dp1 = h1.dp.as_mut().unwrap();

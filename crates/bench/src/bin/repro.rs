@@ -7,7 +7,7 @@
 //!
 //! Flags: --fig1 --table1 --fig2 --table2 --table3 --fig8a --fig8b
 //!        --fig8c --fig9 --table4 --fig10 --fig11 --table5 --fig12
-//!        --scaling --ablation --churn --fastpath --faults
+//!        --scaling --ablation --churn --fastpath --faults --latency
 
 use ovs_afxdp::OptLevel;
 use ovs_bench::fig1;
@@ -93,6 +93,213 @@ fn main() {
     if want("--faults") {
         faults();
     }
+    if want("--latency") {
+        latency();
+    }
+}
+
+fn latency() {
+    use ovs_tgen::latency as lat;
+    section("Extension — tail latency: rx->tx sweeps, empirical delay model, jitter transients");
+    // The crash transient's injected panic is caught by the supervisor;
+    // keep its backtrace out of the report.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let simulated = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.contains("simulated datapath bug"))
+            .unwrap_or(false);
+        if !simulated {
+            default_hook(info);
+        }
+    }));
+
+    const N_PKTS: usize = 2048;
+    let points = lat::run_latency_sweep(N_PKTS);
+    println!(
+        "  sweep: burst x flows x rules over the 2-host NSX fast path ({N_PKTS} pkts/point, ns)"
+    );
+    println!(
+        "  {:>5} {:>6} {:>6}  {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "burst", "flows", "rules", "p50", "p90", "p99", "p99.9", "max"
+    );
+    for p in &points {
+        println!(
+            "  {:>5} {:>6} {:>6}  {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>9.0}",
+            p.burst,
+            p.n_flows,
+            p.rules,
+            p.lat_ns.p50,
+            p.lat_ns.p90,
+            p.lat_ns.p99,
+            p.lat_ns.p999,
+            p.lat_ns.max
+        );
+    }
+
+    let models = lat::fit_delay_models(&points);
+    println!("  empirical delay model: d = c0 + c1*burst + c2*log2(flows) + c3*log2(rules)  [ns]");
+    println!(
+        "    p50 fit: c = [{:.0}, {:.1}, {:.1}, {:.1}]  max rel err {:.1}%",
+        models.p50.coef[0],
+        models.p50.coef[1],
+        models.p50.coef[2],
+        models.p50.coef[3],
+        100.0 * models.p50_max_rel_err
+    );
+    println!(
+        "    p99 fit: c = [{:.0}, {:.1}, {:.1}, {:.1}]  max rel err {:.1}%",
+        models.p99.coef[0],
+        models.p99.coef[1],
+        models.p99.coef[2],
+        models.p99.coef[3],
+        100.0 * models.p99_max_rel_err
+    );
+
+    let loads = [0.0f64, 0.5, 0.9];
+    println!("  TCP_RR under background flood (AF_XDP path):");
+    let mut flood_rows = Vec::new();
+    for &load in &loads {
+        let r = netperf::vm_rr_under_flood(RrConfig::Afxdp, load);
+        println!("    load {load:.1}: {}", r.summary());
+        flood_rows.push((load, r));
+    }
+
+    let (busy, irq) = lat::run_latency_interrupt_ablation(N_PKTS);
+    println!("  interrupt vs busy-poll rx (forward rig, ns):");
+    println!(
+        "    busy-poll: p50 {:>7.0}  p99 {:>7.0}  p99.9 {:>7.0}",
+        busy.p50, busy.p99, busy.p999
+    );
+    println!(
+        "    interrupt: p50 {:>7.0}  p99 {:>7.0}  p99.9 {:>7.0}",
+        irq.p50, irq.p99, irq.p999
+    );
+
+    let autolb = lat::run_latency_autolb();
+    println!("  p99.9 transient across a pmd-auto-lb rebalance (ns):");
+    for w in &autolb {
+        println!(
+            "    {:<14} rebalances {}  p50 {:>7.0}  p99 {:>8.0}  p99.9 {:>8.0}",
+            w.label, w.events, w.lat_ns.p50, w.lat_ns.p99, w.lat_ns.p999
+        );
+    }
+    let crash = lat::run_latency_crash();
+    println!("  p99.9 transient across a HealthMonitor crash-restart (ns):");
+    for w in &crash {
+        println!(
+            "    {:<14} restarts {}  p50 {:>7.0}  p99 {:>8.0}  p99.9 {:>8.0}",
+            w.label, w.events, w.lat_ns.p50, w.lat_ns.p99, w.lat_ns.p999
+        );
+    }
+
+    // Machine-readable results for CI (hand-rolled JSON — the workspace
+    // deliberately carries no serde dependency).
+    let mut json = String::from("{\n  \"bench\": \"latency\",\n  \"sweep\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"burst\": {}, \"flows\": {}, \"rules\": {}, \"samples\": {}, \
+             \"p50_ns\": {:.1}, \"p90_ns\": {:.1}, \"p99_ns\": {:.1}, \"p999_ns\": {:.1}, \
+             \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"mean_ns\": {:.1}, \
+             \"pred_p50_ns\": {:.1}, \"pred_p99_ns\": {:.1}}}{}\n",
+            p.burst,
+            p.n_flows,
+            p.rules,
+            p.samples,
+            p.lat_ns.p50,
+            p.lat_ns.p90,
+            p.lat_ns.p99,
+            p.lat_ns.p999,
+            p.lat_ns.min,
+            p.lat_ns.max,
+            p.lat_ns.mean,
+            models.p50.predict(p.burst, p.n_flows, p.rules),
+            models.p99.predict(p.burst, p.n_flows, p.rules),
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"model\": {{\n    \"features\": [\"1\", \"burst\", \"log2_flows\", \"log2_rules\"],\n    \
+         \"p50_coef\": [{:.3}, {:.3}, {:.3}, {:.3}],\n    \
+         \"p99_coef\": [{:.3}, {:.3}, {:.3}, {:.3}],\n    \
+         \"p50_max_rel_err\": {:.4},\n    \"p99_max_rel_err\": {:.4}\n  }},\n",
+        models.p50.coef[0],
+        models.p50.coef[1],
+        models.p50.coef[2],
+        models.p50.coef[3],
+        models.p99.coef[0],
+        models.p99.coef[1],
+        models.p99.coef[2],
+        models.p99.coef[3],
+        models.p50_max_rel_err,
+        models.p99_max_rel_err,
+    ));
+    json.push_str("  \"rr_under_flood_afxdp\": [\n");
+    for (i, (load, r)) in flood_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"load\": {:.2}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"p999_us\": {:.1}, \"tps\": {:.0}}}{}\n",
+            load,
+            r.latency_us.p50,
+            r.latency_us.p99,
+            r.latency_us.p999,
+            r.tps,
+            if i + 1 == flood_rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"interrupt_ablation\": {{\n    \
+         \"busy_poll\": {{\"p50_ns\": {:.1}, \"p99_ns\": {:.1}, \"p999_ns\": {:.1}}},\n    \
+         \"interrupt\": {{\"p50_ns\": {:.1}, \"p99_ns\": {:.1}, \"p999_ns\": {:.1}}}\n  }},\n",
+        busy.p50, busy.p99, busy.p999, irq.p50, irq.p99, irq.p999
+    ));
+    let windows_json = |name: &str, windows: &[lat::LatencyWindow], last: bool| -> String {
+        let mut s = format!("  \"{name}\": [\n");
+        for (i, w) in windows.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"window\": \"{}\", \"events\": {}, \"samples\": {}, \
+                 \"p50_ns\": {:.1}, \"p99_ns\": {:.1}, \"p999_ns\": {:.1}}}{}\n",
+                w.label,
+                w.events,
+                w.samples,
+                w.lat_ns.p50,
+                w.lat_ns.p99,
+                w.lat_ns.p999,
+                if i + 1 == windows.len() { "" } else { "," }
+            ));
+        }
+        s.push_str(&format!("  ]{}\n", if last { "" } else { "," }));
+        s
+    };
+    json.push_str(&windows_json("autolb_transient", &autolb, false));
+    json.push_str(&windows_json("crash_transient", &crash, true));
+    json.push_str("}\n");
+    std::fs::write("BENCH_latency.json", &json).expect("write BENCH_latency.json");
+    println!("  wrote BENCH_latency.json");
+
+    // CI gates. Uncontended baseline: the smallest burst / fewest flows
+    // / fewest rules point must not have a pathological tail.
+    let base = points
+        .iter()
+        .find(|p| {
+            p.burst == lat::SWEEP_BURSTS[0]
+                && p.n_flows == lat::SWEEP_FLOWS[0]
+                && p.rules == lat::SWEEP_RULES[0]
+        })
+        .expect("baseline point in sweep");
+    assert!(
+        base.lat_ns.p999 <= 10.0 * base.lat_ns.p50,
+        "uncontended baseline tail blew up: p99.9 {} > 10x p50 {}",
+        base.lat_ns.p999,
+        base.lat_ns.p50
+    );
+    const MODEL_ERR_BOUND: f64 = 0.35;
+    assert!(
+        models.p50_max_rel_err <= MODEL_ERR_BOUND && models.p99_max_rel_err <= MODEL_ERR_BOUND,
+        "delay model mispredicts: p50 max err {:.3}, p99 max err {:.3} (bound {MODEL_ERR_BOUND})",
+        models.p50_max_rel_err,
+        models.p99_max_rel_err
+    );
 }
 
 fn faults() {

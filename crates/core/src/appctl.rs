@@ -19,6 +19,8 @@ pub const COMMANDS: &[&str] = &[
     "dpif-netdev/pmd-perf-show",
     "dpif-netdev/pmd-stats-show",
     "dpif-netdev/pmd-stats-clear",
+    "dpif-netdev/latency-show",
+    "dpif-netdev/latency-hist",
     "dpif-netdev/pmd-rxq-show",
     "dpif-netdev/pmd-rxq-rebalance",
     "dpif-netdev/pmd-auto-lb-show",
@@ -139,7 +141,14 @@ fn dispatch_inner(
             Some(h) => h.show(kernel.sim.clock.now_ns()),
             None => "datapath health: unsupervised (no health monitor)\n".to_string(),
         }),
-        "dpif-netdev/pmd-perf-show" => Ok(dpif.pmd_perf_show(kernel.sim.cpus.hz)),
+        // `-hist` extends the cycle attribution with the per-stage
+        // latency contribution (satellite of the latency pipeline).
+        "dpif-netdev/pmd-perf-show" => {
+            Ok(dpif
+                .pmd_perf_show_detail(kernel.sim.cpus.hz, args.first().copied() == Some("-hist")))
+        }
+        "dpif-netdev/latency-show" => Ok(dpif.latency_show()),
+        "dpif-netdev/latency-hist" => Ok(dpif.latency_hist()),
         "dpif-netdev/pmd-stats-show" => Ok(dpif.pmd_stats()),
         "dpif-netdev/pmd-stats-clear" => {
             dpif.pmd_stats_clear();

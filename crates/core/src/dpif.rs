@@ -30,7 +30,9 @@ use ovs_dpdk::{AfPacketDev, EthDev, VhostUserDev};
 use ovs_kernel::conntrack::{ConnKey, Conntrack, CtAction};
 use ovs_kernel::rtnetlink::RtnlCache;
 use ovs_kernel::Kernel;
-use ovs_obs::{coverage, PmdPerf, Stage, StageTimer, TraceCtx};
+use ovs_obs::latency::LatencySummary;
+use ovs_obs::perf::STAGES;
+use ovs_obs::{coverage, LatencyTracker, PmdPerf, Stage, StageTimer, TraceCtx};
 use ovs_packet::flow::extract_flow_key;
 use ovs_packet::flow::FlowKey;
 use ovs_packet::{builder, DpPacket, MacAddr};
@@ -43,6 +45,19 @@ use std::rc::Rc;
 /// per-stage times sum *exactly* to the poll total.
 fn core_ns(kernel: &Kernel, core: usize) -> u64 {
     kernel.sim.cpus.core(core).total_ns().round() as u64
+}
+
+/// The PMD's virtual time: the global sim clock plus the polling core's
+/// accumulated busy time. The clock only moves between rounds and the
+/// core meter only moves within them, so the sum is monotone along one
+/// packet's rx→tx life (which never leaves its burst's poll call) —
+/// the timestamp domain for per-packet latency.
+fn pmd_now_ns(kernel: &Kernel, core: usize) -> u64 {
+    kernel
+        .sim
+        .clock
+        .now_ns()
+        .saturating_add(core_ns(kernel, core))
 }
 
 /// One line of `ofproto/trace` flow description.
@@ -336,6 +351,9 @@ pub struct DpifNetdev {
     pub stats: DpifStats,
     /// Per-PMD (per-core) stage cycle attribution.
     pub perf: BTreeMap<usize, PmdPerf>,
+    /// Per-packet rx→tx latency accounting (per port / per PMD
+    /// histograms plus the per-stage latency decomposition).
+    pub latency: LatencyTracker,
     /// Active `ofproto/trace` context, attached to the packet currently
     /// in flight. `None` on the fast path — tracing costs nothing then.
     pub trace: Option<TraceCtx>,
@@ -367,6 +385,7 @@ impl DpifNetdev {
             mirrors: Vec::new(),
             stats: DpifStats::default(),
             perf: BTreeMap::new(),
+            latency: LatencyTracker::new(),
             trace: None,
             revalidator: Revalidator::new(),
         }
@@ -796,7 +815,7 @@ impl DpifNetdev {
                 100.0 * n as f64 / lookups as f64
             }
         };
-        format!(
+        let mut out = format!(
             "packets received: {}
 packets transmitted: {}
              emc hits: {} ({:.1}%)
@@ -835,12 +854,24 @@ megaflows installed: {}
             ovs_obs::coverage::total("upcall_queue_full"),
             ovs_obs::coverage::total("xsk_degraded_mode"),
             self.megaflow_count(),
-        )
+        );
+        out.push_str(&format!(
+            "             rx-to-tx latency: {}\n",
+            LatencySummary::of(&self.latency.all).render_line()
+        ));
+        out
     }
 
     /// `ovs-appctl dpif-netdev/pmd-perf-show` equivalent: per-PMD stage
     /// cycle attribution plus a merged all-PMD summary.
     pub fn pmd_perf_show(&self, cpu_hz: u64) -> String {
+        self.pmd_perf_show_detail(cpu_hz, false)
+    }
+
+    /// `pmd-perf-show`, optionally extended (`-hist`) with the per-stage
+    /// *latency* contribution — where delivered packets spent their
+    /// rx→tx time, alongside where the PMD spent its cycles.
+    pub fn pmd_perf_show_detail(&self, cpu_hz: u64, hist: bool) -> String {
         let mut out = String::new();
         let mut merged = PmdPerf::new();
         for (core, perf) in &self.perf {
@@ -855,14 +886,103 @@ megaflows installed: {}
             // unconditionally.
             out.push_str(&merged.render("all pmd threads", cpu_hz));
         }
+        if hist {
+            out.push_str(&self.render_stage_latency());
+        }
         out
     }
 
-    /// `ovs-appctl dpif-netdev/pmd-stats-clear` equivalent: zero both the
-    /// datapath counters and the per-PMD perf accumulation.
+    /// The per-stage latency decomposition block shared by
+    /// `pmd-perf-show -hist` and `latency-show`: each stage's
+    /// delivered-weighted contribution, the invariant totals, and the
+    /// batch-amortization gap.
+    fn render_stage_latency(&self) -> String {
+        let mut out = String::from("per-stage latency (delivered-weighted):\n");
+        let total = self.latency.stage_latency_total();
+        for (stage, ns) in STAGES.iter().zip(self.latency.stage_latency_ns()) {
+            if *ns == 0 {
+                continue;
+            }
+            let pct = if total == 0 {
+                0.0
+            } else {
+                100.0 * *ns as f64 / total as f64
+            };
+            out.push_str(&format!(
+                "  {:<18} {:>14} ns ({:>5.1}%)\n",
+                stage.label(),
+                ns,
+                pct
+            ));
+        }
+        out.push_str(&format!(
+            "  stage-weighted total: {} ns (== delivered-weighted poll {} ns)\n",
+            total,
+            self.latency.weighted_poll_ns()
+        ));
+        out.push_str(&format!(
+            "  end-to-end total    : {} ns (amortization gap {:.1}%)\n",
+            self.latency.end_to_end_ns(),
+            100.0 * self.latency.amortization_gap()
+        ));
+        out
+    }
+
+    /// `ovs-appctl dpif-netdev/latency-show` equivalent: rx→tx latency
+    /// percentile summaries — merged, per egress port, per PMD core —
+    /// plus the per-stage decomposition.
+    pub fn latency_show(&self) -> String {
+        let mut out = String::from("rx-to-tx latency (ns):\n");
+        out.push_str(&format!(
+            "  all ports: {}\n",
+            LatencySummary::of(&self.latency.all).render_line()
+        ));
+        for (no, h) in &self.latency.per_port {
+            let name = self
+                .port(*no)
+                .map(|p| p.name.as_str())
+                .unwrap_or("<removed>");
+            out.push_str(&format!(
+                "  port {no} ({name}): {}\n",
+                LatencySummary::of(h).render_line()
+            ));
+        }
+        for (core, h) in &self.latency.per_pmd {
+            out.push_str(&format!(
+                "  pmd core {core}: {}\n",
+                LatencySummary::of(h).render_line()
+            ));
+        }
+        out.push_str(&self.render_stage_latency());
+        out
+    }
+
+    /// `ovs-appctl dpif-netdev/latency-hist` equivalent: the summary
+    /// line plus the full log2 bucket dump, merged and per PMD.
+    pub fn latency_hist(&self) -> String {
+        let mut out = String::from("rx-to-tx latency histogram (ns):\n");
+        out.push_str(&format!(
+            "  all ports: {}\n",
+            LatencySummary::of(&self.latency.all).render_line()
+        ));
+        out.push_str(&self.latency.all.render("  "));
+        for (core, h) in &self.latency.per_pmd {
+            out.push_str(&format!(
+                "  pmd core {core}: {}\n",
+                LatencySummary::of(h).render_line()
+            ));
+            out.push_str(&h.render("  "));
+        }
+        out
+    }
+
+    /// `ovs-appctl dpif-netdev/pmd-stats-clear` equivalent: zero the
+    /// datapath counters, the per-PMD perf accumulation, and the
+    /// latency histograms.
     pub fn pmd_stats_clear(&mut self) {
         self.stats = DpifStats::default();
         self.perf.clear();
+        self.latency.clear();
     }
 
     /// `ovs-appctl ofproto/trace` equivalent: run `frame` through the
@@ -954,14 +1074,19 @@ megaflows installed: {}
         queue: usize,
         core: usize,
     ) -> usize {
+        // Stamp rx at poll entry so the rx burst cost itself counts
+        // toward every received packet's latency.
+        let rx_stamp = pmd_now_ns(kernel, core);
         let mut timer = StageTimer::new(core_ns(kernel, core));
         let mut pkts = self.port_rx(kernel, port, queue, core);
         timer.mark(Stage::Rx, core_ns(kernel, core));
         let n = pkts.len();
         for pkt in &mut pkts {
             pkt.in_port = port;
+            pkt.rx_ts = Some(rx_stamp);
         }
         self.process_burst_timed(kernel, pkts, core, &mut timer);
+        self.latency.commit_burst(&timer);
         self.perf.entry(core).or_default().commit(&timer, n as u64);
         debug_assert!(
             self.stats.coherent(),
@@ -1056,6 +1181,7 @@ megaflows installed: {}
         let mut timer = StageTimer::new(core_ns(kernel, core));
         let n = pkts.len();
         self.process_burst_timed(kernel, pkts, core, &mut timer);
+        self.latency.commit_burst(&timer);
         self.perf.entry(core).or_default().commit(&timer, n as u64);
         debug_assert!(
             self.stats.coherent(),
@@ -1078,6 +1204,10 @@ megaflows installed: {}
     ) {
         let mut burst: Vec<BurstPkt> = Vec::with_capacity(pkts.len());
         for mut pkt in pkts {
+            // Injected packets arrive unstamped; received ones carry the
+            // poll-entry stamp from `pmd_poll` already.
+            let stamp = pmd_now_ns(kernel, core);
+            pkt.rx_ts.get_or_insert(stamp);
             self.stats.packets_processed += 1;
             coverage!("dpif_packet");
             // Tunnel reception: if the frame targets one of our tunnel
@@ -1389,11 +1519,19 @@ megaflows installed: {}
 
     /// Flush the accumulated output as one real tx burst per port —
     /// the batched replacement for the old per-packet backend calls.
+    ///
+    /// This is where a packet's life ends, one way or the other: every
+    /// frame the backend really accepted records its rx→tx latency
+    /// sample; every frame it refused is a counted drop with *no*
+    /// sample — the lossless-accounting contract extended to
+    /// timestamps.
     fn flush_tx(&mut self, kernel: &mut Kernel, tx: TxAccum, core: usize, timer: &mut StageTimer) {
         for (port, pkts) in tx.ports {
             let mut dropped = 0u64;
             let mut tx_full = 0u64;
             let mut vhost_down = 0u64;
+            // rx stamps of the frames the backend accepted, in order.
+            let mut delivered_ts: Vec<Option<u64>> = Vec::new();
             let Some(Some(p)) = self.ports.get_mut(port as usize) else {
                 // The port vanished after accumulation (cannot happen
                 // within one burst, but stay defensive).
@@ -1405,33 +1543,48 @@ megaflows installed: {}
                     // TX on queue 0 of the egress port (single-queue TX
                     // model), in chunks of the ring burst size. A burst's
                     // shortfall (tx ring full) is a counted drop — the
-                    // PMD never blocks on a full ring.
+                    // PMD never blocks on a full ring. The ring accepts
+                    // each chunk's prefix, so the first `sent` stamps of
+                    // a chunk are the delivered ones.
                     let mut attempted = 0usize;
                     let mut sent = 0usize;
                     let mut batch = ovs_ring::PacketBatch::new();
+                    let mut batch_ts: Vec<Option<u64>> = Vec::new();
                     for pkt in pkts {
-                        if let Err(pkt) = batch.push(pkt) {
-                            attempted += batch.len();
-                            sent += a.tx_burst(kernel, 0, core, batch);
-                            batch = ovs_ring::PacketBatch::new();
-                            let _ = batch.push(pkt);
+                        let ts = pkt.rx_ts;
+                        match batch.push(pkt) {
+                            Ok(()) => batch_ts.push(ts),
+                            Err(pkt) => {
+                                attempted += batch.len();
+                                let n_sent = a.tx_burst(kernel, 0, core, batch);
+                                sent += n_sent;
+                                delivered_ts.extend(batch_ts.drain(..).take(n_sent));
+                                batch = ovs_ring::PacketBatch::new();
+                                let _ = batch.push(pkt);
+                                batch_ts.push(ts);
+                            }
                         }
                     }
                     if !batch.is_empty() {
                         attempted += batch.len();
-                        sent += a.tx_burst(kernel, 0, core, batch);
+                        let n_sent = a.tx_burst(kernel, 0, core, batch);
+                        sent += n_sent;
+                        delivered_ts.extend(batch_ts.drain(..).take(n_sent));
                     }
                     let shortfall = (attempted - sent) as u64;
                     dropped += shortfall;
                     tx_full += shortfall;
                 }
                 PortType::Dpdk(d) => {
+                    // Per-packet mbuf allocation: an exhausted pool drops
+                    // exactly the frames that failed to allocate.
                     let mut mbufs = Vec::with_capacity(pkts.len());
                     for pkt in &pkts {
                         match d.pool.alloc() {
                             Some(mut m) => {
                                 m.set_data(pkt.data());
                                 mbufs.push(m);
+                                delivered_ts.push(pkt.rx_ts);
                             }
                             None => dropped += 1,
                         }
@@ -1446,19 +1599,25 @@ megaflows installed: {}
                 } => {
                     let ifx = *ifindex;
                     for pkt in pkts {
+                        delivered_ts.push(pkt.rx_ts);
                         kernel.raw_socket_send(ifx, pkt.data().to_vec(), core);
                     }
                 }
                 PortType::VhostUser(v) => {
+                    // The vring accepts a prefix of the burst; the rest
+                    // is a counted drop (guest disconnected or ring
+                    // full).
                     let frames: Vec<Vec<u8>> = pkts.iter().map(|p| p.data().to_vec()).collect();
                     let n = frames.len();
                     let accepted = v.enqueue_burst(kernel, frames, core);
+                    delivered_ts.extend(pkts.iter().take(accepted).map(|p| p.rx_ts));
                     let lost = (n - accepted) as u64;
                     dropped += lost;
                     vhost_down += lost;
                 }
                 PortType::AfPacket(a) => {
                     for pkt in pkts {
+                        delivered_ts.push(pkt.rx_ts);
                         a.send(kernel, pkt.data().to_vec(), core);
                     }
                 }
@@ -1468,6 +1627,13 @@ megaflows installed: {}
             self.stats.tx_full_drops += tx_full;
             self.stats.vhost_tx_drops += vhost_down;
             timer.mark(Stage::Tx, core_ns(kernel, core));
+            // Sample after the tx mark so the backend handoff cost is
+            // part of the measured latency.
+            let now = pmd_now_ns(kernel, core);
+            for ts in delivered_ts.into_iter().flatten() {
+                debug_assert!(now >= ts, "tx time precedes the rx stamp");
+                self.latency.record(port, core, now.saturating_sub(ts));
+            }
         }
     }
 
@@ -1497,6 +1663,7 @@ megaflows installed: {}
                     let mut clone = clone;
                     clone.tunnel = pkt.tunnel;
                     clone.offloads = pkt.offloads;
+                    clone.rx_ts = pkt.rx_ts;
                     self.port_send(kernel, *p, clone, core, tx);
                     timer.mark(Stage::Tx, core_ns(kernel, core));
                 }
@@ -1674,6 +1841,7 @@ megaflows installed: {}
                         let mut p = DpPacket::from_data(&seg);
                         p.tunnel = pkt.tunnel;
                         p.offloads = pkt.offloads;
+                        p.rx_ts = pkt.rx_ts;
                         self.port_send(kernel, port, p, core, tx);
                     }
                     return;
@@ -1720,7 +1888,8 @@ megaflows installed: {}
                         .map(|i| i as PortNo);
                     match egress {
                         Some(e) => {
-                            let out = DpPacket::from_data(&enc.frame);
+                            let mut out = DpPacket::from_data(&enc.frame);
+                            out.rx_ts = pkt.rx_ts;
                             self.port_send(kernel, e, out, core, tx);
                         }
                         None => self.stats.dropped += 1,
@@ -1757,6 +1926,7 @@ megaflows installed: {}
             for seg in segs {
                 let mut p = DpPacket::from_data(&seg);
                 p.offloads = pkt.offloads;
+                p.rx_ts = pkt.rx_ts;
                 self.port_tx_raw(kernel, port, p, core, tx);
             }
             return;
@@ -1787,7 +1957,9 @@ megaflows installed: {}
             let wrapped = self.mirrors[i].encapsulate(pkt.data());
             let c = kernel.sim.costs.userspace_tunnel_ns + kernel.sim.costs.copy_ns(pkt.len());
             kernel.sim.charge(core, Context::User, c);
-            self.port_tx_raw(kernel, out, DpPacket::from_data(&wrapped), core, tx);
+            let mut mirror_pkt = DpPacket::from_data(&wrapped);
+            mirror_pkt.rx_ts = pkt.rx_ts;
+            self.port_tx_raw(kernel, out, mirror_pkt, core, tx);
         }
         let Some(Some(p)) = self.ports.get_mut(port as usize) else {
             self.stats.dropped += 1;

@@ -1,0 +1,291 @@
+//! Per-packet rx→tx latency accounting — tail latency as a first-class
+//! signal (the `dpif-netdev/latency-show` substrate).
+//!
+//! The datapath stamps every packet with the PMD's virtual time when it
+//! enters the pipeline (rx ingestion) and records the delta when the
+//! packet really leaves in the end-of-burst tx flush. Only *delivered*
+//! packets produce a sample; every dropped packet is claimed by a drop
+//! counter instead — the same lossless-accounting contract the fault
+//! soak pins, extended to timestamps (no ghost samples, no lost
+//! timestamps).
+//!
+//! Samples land in HDR-style log2-bucketed histograms ([`Log2Hist`]),
+//! kept per egress port, per PMD core, and merged — cheap to record on
+//! the hot path, mergeable, and good enough for p99/p99.9. Scenarios
+//! that need exact percentiles (the empirical delay model fit) can
+//! additionally enable bounded raw-sample capture.
+//!
+//! **The latency decomposition invariant.** Per-burst, the tracker also
+//! accumulates each pipeline stage's time weighted by the number of
+//! packets delivered from that burst. Because a `StageTimer`'s stage
+//! times sum exactly to its poll total, the stage-weighted latency
+//! contributions sum *exactly* to the delivered-weighted poll total —
+//! the cycle-attribution invariant extended to latency. The sum of
+//! recorded per-packet latencies is bounded above by that same total
+//! (every packet's rx→tx window is contained in its burst's poll
+//! window); the gap is the batch-amortization error: time a packet's
+//! burst spent before the packet was stamped or after its port flushed.
+//!
+//! Like all of `obs`, this module depends on nothing outside `std`.
+
+use crate::hist::Log2Hist;
+use crate::perf::{StageTimer, STAGES};
+use std::collections::BTreeMap;
+
+/// Percentile summary of one latency histogram, in nanoseconds.
+/// Percentiles are bucket upper bounds clamped to the observed range —
+/// exact percentiles come from raw-sample capture, not from here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    pub samples: u64,
+    pub min_ns: u64,
+    pub p50_ns: u64,
+    pub p90_ns: u64,
+    pub p99_ns: u64,
+    pub p999_ns: u64,
+    pub max_ns: u64,
+    pub mean_ns: f64,
+}
+
+impl LatencySummary {
+    /// Summarize a histogram.
+    pub fn of(h: &Log2Hist) -> Self {
+        LatencySummary {
+            samples: h.count(),
+            min_ns: h.min(),
+            p50_ns: h.percentile(50.0),
+            p90_ns: h.percentile(90.0),
+            p99_ns: h.percentile(99.0),
+            p999_ns: h.percentile(99.9),
+            max_ns: h.max(),
+            mean_ns: h.mean(),
+        }
+    }
+
+    /// The `min/p50/p99/p99.9/max` line both appctl surfaces print.
+    pub fn render_line(&self) -> String {
+        format!(
+            "samples {}  min {} p50 {} p90 {} p99 {} p99.9 {} max {}",
+            self.samples,
+            self.min_ns,
+            self.p50_ns,
+            self.p90_ns,
+            self.p99_ns,
+            self.p999_ns,
+            self.max_ns
+        )
+    }
+}
+
+/// Default cap on raw-sample capture when enabled: enough for every
+/// scenario sweep window, bounded so a forgotten flag cannot grow
+/// without limit.
+pub const RAW_SAMPLE_CAP: usize = 1 << 16;
+
+/// Per-datapath rx→tx latency accounting: merged / per-port / per-PMD
+/// histograms, the per-stage latency decomposition, and optional raw
+/// sample capture.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyTracker {
+    /// All delivered packets, merged across ports and PMDs.
+    pub all: Log2Hist,
+    /// Keyed by egress datapath port number.
+    pub per_port: BTreeMap<u32, Log2Hist>,
+    /// Keyed by the polling core.
+    pub per_pmd: BTreeMap<usize, Log2Hist>,
+    /// Σ over bursts of (stage time × packets delivered from the burst).
+    stage_latency_ns: [u64; STAGES.len()],
+    /// Σ over bursts of (poll total × packets delivered from the burst).
+    /// Equals `stage_latency_total()` exactly, and bounds
+    /// `end_to_end_ns()` from above.
+    weighted_poll_ns: u64,
+    /// Packets delivered since the last `commit_burst`.
+    burst_delivered: u64,
+    /// Bounded raw samples, when capture is enabled.
+    raw: Option<Vec<u64>>,
+}
+
+impl LatencyTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one delivered packet's rx→tx latency.
+    pub fn record(&mut self, port: u32, pmd: usize, ns: u64) {
+        self.all.record(ns);
+        self.per_port.entry(port).or_default().record(ns);
+        self.per_pmd.entry(pmd).or_default().record(ns);
+        self.burst_delivered += 1;
+        if let Some(raw) = &mut self.raw {
+            if raw.len() < RAW_SAMPLE_CAP {
+                raw.push(ns);
+            }
+        }
+    }
+
+    /// Fold one finished burst's stage attribution in, weighted by the
+    /// packets delivered from it, and reset the delivered counter.
+    pub fn commit_burst(&mut self, timer: &StageTimer) {
+        let n = std::mem::take(&mut self.burst_delivered);
+        if n == 0 {
+            return;
+        }
+        for (acc, stage) in self.stage_latency_ns.iter_mut().zip(STAGES) {
+            *acc += timer.stage_ns(stage) * n;
+        }
+        self.weighted_poll_ns += timer.total_ns() * n;
+    }
+
+    /// Delivered-packet sample count.
+    pub fn samples(&self) -> u64 {
+        self.all.count()
+    }
+
+    /// Σ of recorded per-packet latencies.
+    pub fn end_to_end_ns(&self) -> u64 {
+        self.all.sum()
+    }
+
+    /// Per-stage latency contributions, in `STAGES` display order.
+    pub fn stage_latency_ns(&self) -> &[u64; STAGES.len()] {
+        &self.stage_latency_ns
+    }
+
+    /// Σ of the per-stage contributions. Equals `weighted_poll_ns()`
+    /// exactly — the latency analogue of stage-sum == poll-total.
+    pub fn stage_latency_total(&self) -> u64 {
+        self.stage_latency_ns.iter().sum()
+    }
+
+    /// Delivered-weighted poll total: the upper bound the end-to-end
+    /// sum approaches as batch amortization error shrinks.
+    pub fn weighted_poll_ns(&self) -> u64 {
+        self.weighted_poll_ns
+    }
+
+    /// The batch-amortization gap: the fraction of the stage-weighted
+    /// total not covered by measured end-to-end latency (0 when every
+    /// packet spans its entire burst window).
+    pub fn amortization_gap(&self) -> f64 {
+        let total = self.stage_latency_total();
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.end_to_end_ns() as f64 / total as f64
+    }
+
+    /// Start (or restart) bounded raw-sample capture.
+    pub fn enable_raw(&mut self) {
+        self.raw = Some(Vec::new());
+    }
+
+    /// Take the captured raw samples, leaving capture enabled.
+    pub fn drain_raw(&mut self) -> Vec<u64> {
+        match &mut self.raw {
+            Some(raw) => std::mem::take(raw),
+            None => Vec::new(),
+        }
+    }
+
+    /// Reset every histogram and accumulator (capture state survives).
+    pub fn clear(&mut self) {
+        let capture = self.raw.is_some();
+        *self = Self::default();
+        if capture {
+            self.raw = Some(Vec::new());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::Stage;
+
+    #[test]
+    fn record_routes_to_all_three_histograms() {
+        let mut t = LatencyTracker::new();
+        t.record(3, 8, 100);
+        t.record(3, 9, 300);
+        t.record(4, 8, 500);
+        assert_eq!(t.samples(), 3);
+        assert_eq!(t.end_to_end_ns(), 900);
+        assert_eq!(t.per_port[&3].count(), 2);
+        assert_eq!(t.per_port[&4].count(), 1);
+        assert_eq!(t.per_pmd[&8].count(), 2);
+        assert_eq!(t.per_pmd[&9].count(), 1);
+    }
+
+    #[test]
+    fn stage_sum_equals_weighted_poll_total() {
+        let mut t = LatencyTracker::new();
+        let mut timer = StageTimer::new(1000);
+        timer.mark(Stage::Rx, 1040);
+        timer.mark(Stage::Parse, 1100);
+        timer.mark(Stage::Tx, 1200);
+        t.record(0, 1, 150);
+        t.record(0, 1, 180);
+        t.commit_burst(&timer);
+        // 2 delivered × 200 ns poll total.
+        assert_eq!(t.weighted_poll_ns(), 400);
+        assert_eq!(t.stage_latency_total(), t.weighted_poll_ns());
+        // End-to-end (330) ≤ weighted total (400); the gap is the
+        // amortization error.
+        assert!(t.end_to_end_ns() <= t.weighted_poll_ns());
+        assert!((t.amortization_gap() - (1.0 - 330.0 / 400.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn burst_with_no_deliveries_contributes_nothing() {
+        let mut t = LatencyTracker::new();
+        let mut timer = StageTimer::new(0);
+        timer.mark(Stage::Rx, 500);
+        t.commit_burst(&timer);
+        assert_eq!(t.weighted_poll_ns(), 0);
+        assert_eq!(t.stage_latency_total(), 0);
+    }
+
+    #[test]
+    fn raw_capture_is_bounded_and_drains() {
+        let mut t = LatencyTracker::new();
+        assert!(t.drain_raw().is_empty(), "capture off by default");
+        t.enable_raw();
+        for i in 0..10 {
+            t.record(0, 0, i);
+        }
+        let raw = t.drain_raw();
+        assert_eq!(raw.len(), 10);
+        assert_eq!(raw[3], 3);
+        assert!(t.drain_raw().is_empty(), "drained");
+        t.record(0, 0, 7);
+        assert_eq!(t.drain_raw(), vec![7], "capture survives draining");
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capture_mode() {
+        let mut t = LatencyTracker::new();
+        t.enable_raw();
+        t.record(1, 2, 99);
+        t.clear();
+        assert_eq!(t.samples(), 0);
+        assert_eq!(t.stage_latency_total(), 0);
+        t.record(1, 2, 42);
+        assert_eq!(t.drain_raw(), vec![42]);
+    }
+
+    #[test]
+    fn summary_lines_up_with_the_histogram() {
+        let mut h = Log2Hist::new();
+        for v in [10u64, 20, 30, 4000] {
+            h.record(v);
+        }
+        let s = LatencySummary::of(&h);
+        assert_eq!(s.samples, 4);
+        assert_eq!(s.min_ns, 10);
+        assert_eq!(s.max_ns, 4000);
+        assert!(s.p999_ns >= s.p50_ns);
+        let line = s.render_line();
+        assert!(line.contains("p99.9"), "{line}");
+        assert!(line.contains("samples 4"), "{line}");
+    }
+}

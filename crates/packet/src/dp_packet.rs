@@ -91,6 +91,12 @@ pub struct DpPacket {
     /// Tunnel metadata, when the packet was decapsulated or is to be
     /// encapsulated.
     pub tunnel: Option<TunnelMetadata>,
+    /// Virtual-clock timestamp of rx ingestion, stamped when the packet
+    /// enters the datapath pipeline and carried to tx delivery so the
+    /// flush can record the rx→tx latency. `None` until stamped;
+    /// derived packets (TSO segments, clones, encapsulated frames)
+    /// inherit the original's stamp.
+    pub rx_ts: Option<u64>,
 }
 
 /// Default headroom reserved for encapsulation headers: outer Ethernet (14)
@@ -115,6 +121,7 @@ impl DpPacket {
             ct_zone: 0,
             ct_mark: 0,
             tunnel: None,
+            rx_ts: None,
         }
     }
 
@@ -237,6 +244,7 @@ impl DpPacket {
         self.ct_zone = 0;
         self.ct_mark = 0;
         self.tunnel = None;
+        self.rx_ts = None;
     }
 }
 
@@ -299,6 +307,7 @@ mod tests {
         p.recirc_id = 5;
         p.ct_state = ct_state::TRACKED;
         p.tunnel = Some(TunnelMetadata::default());
+        p.rx_ts = Some(12345);
         let cap_before = p.buf.capacity();
         p.reset();
         assert_eq!(p.len(), 0);
@@ -306,6 +315,7 @@ mod tests {
         assert_eq!(p.recirc_id, 0);
         assert_eq!(p.ct_state, 0);
         assert!(p.tunnel.is_none());
+        assert!(p.rx_ts.is_none());
         assert_eq!(p.buf.capacity(), cap_before);
     }
 

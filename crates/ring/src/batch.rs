@@ -39,7 +39,10 @@ impl PacketBatch {
         self.pkts.len() >= BATCH_SIZE
     }
 
-    /// Add a packet. Returns `Err(pkt)` when full.
+    /// Add a packet. Returns `Err(pkt)` when full — the rejected packet
+    /// goes back to the caller by value so it can be retried or counted,
+    /// which is worth the large `Err` variant.
+    #[allow(clippy::result_large_err)]
     pub fn push(&mut self, pkt: DpPacket) -> Result<(), DpPacket> {
         if self.is_full() {
             return Err(pkt);

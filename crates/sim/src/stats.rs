@@ -22,8 +22,14 @@ pub struct Percentiles {
 impl Percentiles {
     /// Compute summary statistics from samples. Returns `None` when empty.
     ///
-    /// Percentiles use the nearest-rank method on the sorted samples, the
-    /// same definition netperf's omni tests use.
+    /// Percentiles use linearly interpolated quantiles on the sorted
+    /// samples (Hyndman–Fan type 7, the numpy/R default). The previous
+    /// nearest-rank rule — `ceil(p/100 · N)` — degenerated at small
+    /// sample counts: for any N < 1000, `ceil(0.999·N) == N`, so p99.9
+    /// always returned the maximum and was indistinguishable from it.
+    /// Interpolating between the two straddling order statistics keeps
+    /// every percentile informative at any N while agreeing with
+    /// nearest-rank in the large-N limit.
     pub fn from_samples(samples: &[f64]) -> Option<Self> {
         if samples.is_empty() {
             return None;
@@ -31,8 +37,10 @@ impl Percentiles {
         let mut sorted: Vec<f64> = samples.to_vec();
         sorted.sort_by(|a, b| a.total_cmp(b));
         let rank = |p: f64| -> f64 {
-            let idx = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-            sorted[idx.clamp(1, sorted.len()) - 1]
+            let h = (p / 100.0) * (sorted.len() - 1) as f64;
+            let lo = h.floor() as usize;
+            let hi = h.ceil() as usize;
+            sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
         };
         Some(Self {
             p50: rank(50.0),
@@ -105,22 +113,41 @@ mod tests {
     fn percentiles_of_1_to_100() {
         let samples: Vec<f64> = (1..=100).map(|x| x as f64).collect();
         let p = Percentiles::from_samples(&samples).unwrap();
-        assert_eq!(p.p50, 50.0);
-        assert_eq!(p.p90, 90.0);
-        assert_eq!(p.p99, 99.0);
-        assert_eq!(p.p999, 100.0);
+        assert!((p.p50 - 50.5).abs() < 1e-9);
+        assert!((p.p90 - 90.1).abs() < 1e-9);
+        assert!((p.p99 - 99.01).abs() < 1e-9);
+        // The old nearest-rank rule pinned p99.9 to the max (100.0) for
+        // every N < 1000; the interpolated quantile stays strictly
+        // inside the sample range.
+        assert!((p.p999 - 99.901).abs() < 1e-9);
+        assert!(p.p999 < p.max);
         assert_eq!(p.min, 1.0);
         assert_eq!(p.max, 100.0);
     }
 
     #[test]
     fn p999_separates_from_p99() {
-        // 999 fast samples and one slow one: p99 stays fast, p99.9 sees it.
+        // 999 fast samples and one slow one: p99 stays fast, p99.9 sees
+        // the outlier without collapsing onto it.
         let mut samples = vec![10.0; 999];
         samples.push(10_000.0);
         let p = Percentiles::from_samples(&samples).unwrap();
         assert_eq!(p.p99, 10.0);
-        assert_eq!(p.p999, 10_000.0);
+        assert!(p.p999 > p.p99, "p99.9 feels the outlier: {}", p.p999);
+        assert!(p.p999 < p.max, "interpolated, not pinned to max");
+    }
+
+    #[test]
+    fn small_sample_p999_does_not_degenerate_to_max() {
+        // 99 equal samples + one outlier. Under nearest-rank, both p99
+        // and p99.9 returned the max at N=100, making the tail
+        // percentiles indistinguishable; interpolation keeps them
+        // ordered and strictly below the max.
+        let mut samples = vec![10.0; 99];
+        samples.push(10_000.0);
+        let p = Percentiles::from_samples(&samples).unwrap();
+        assert!(p.p99 < p.p999, "p99 {} vs p999 {}", p.p99, p.p999);
+        assert!(p.p999 < p.max, "p999 {} vs max {}", p.p999, p.max);
     }
 
     #[test]

@@ -16,13 +16,21 @@
 //! * [`iperf`] — bulk-TCP throughput over the two-host NSX deployment
 //!   (Fig 8's three scenarios with offload variants).
 //! * [`netperf`] — TCP_RR latency/transaction-rate modelling (Fig 10/11).
+//! * [`latency`] — per-packet rx→tx latency sweeps over the NSX fast
+//!   path, the empirical delay model fit, and the jitter-transient
+//!   scenarios (auto-lb rebalance, crash-restart, interrupt ablation).
 
 pub mod flood;
 pub mod iperf;
+pub mod latency;
 pub mod measure;
 pub mod netperf;
 pub mod scenarios;
 
 pub use flood::{make_flows, rss_queue};
+pub use latency::{
+    fit_delay_models, run_latency_autolb, run_latency_crash, run_latency_interrupt_ablation,
+    run_latency_sweep, DelayModel, FittedModels, LatencyPoint, LatencyWindow,
+};
 pub use measure::RateMeasurement;
 pub use scenarios::{DpKind, FastpathMode, FastpathReport, PathKind, ScenarioConfig, VmAttach};

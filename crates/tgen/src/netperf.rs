@@ -162,6 +162,31 @@ pub fn vm_rr(cfg: RrConfig) -> RrResult {
     sample(rtt, sigma(cfg, false), 0x0f16_0010)
 }
 
+/// TCP_RR with a background flood loading the switch at `load` (0–0.95
+/// of PMD capacity): each RR transaction's request and reply wait
+/// behind flood packets already queued at the PMD, a head-of-line term
+/// that grows like `load/(1-load)` (the M/D/1 mean wait) times half a
+/// burst's service time, and the jitter spreads as queue-depth variance
+/// grows. The polled paths lose their latency edge under load exactly
+/// this way — the burst they share the PMD with is the new floor.
+pub fn vm_rr_under_flood(cfg: RrConfig, load: f64) -> RrResult {
+    let load = load.clamp(0.0, 0.95);
+    let c = CostModel::paper_testbed();
+    // Per-flood-packet service time on this configuration's fast path.
+    let svc = match cfg {
+        RrConfig::Kernel => c.skb_alloc_ns + c.kernel_ovs_flow_ns,
+        RrConfig::Dpdk => c.dpdk_io_ns + c.emc_hit_ns,
+        RrConfig::Afxdp => c.xsk_deliver_ns + c.sw_rxhash_ns + c.emc_hit_ns,
+    };
+    // Head-of-line wait per direction: on average half a 32-packet
+    // burst in progress, scaled by the M/D/1 occupancy factor.
+    let hol = load / (1.0 - load) * svc * 16.0;
+    let one_way = vm_one_way_ns(cfg, &c);
+    let server_side = one_way * 0.55;
+    let rtt = 2.0 * c.wire_latency_ns + one_way + server_side + 2.0 * hol;
+    sample(rtt, sigma(cfg, false) * (1.0 + 1.5 * load), 0x0f16_0012)
+}
+
 /// Fig 11: TCP_RR between two containers on one host.
 pub fn container_rr(cfg: RrConfig) -> RrResult {
     let c = CostModel::paper_testbed();
@@ -215,6 +240,30 @@ mod tests {
             d.latency_us.p50
         );
         assert!(d.latency_us.p99 > 2.0 * d.latency_us.p50, "DPDK long tail");
+    }
+
+    #[test]
+    fn flood_load_degrades_rr_latency() {
+        let idle = vm_rr_under_flood(RrConfig::Afxdp, 0.0);
+        let half = vm_rr_under_flood(RrConfig::Afxdp, 0.5);
+        let heavy = vm_rr_under_flood(RrConfig::Afxdp, 0.9);
+        assert!(
+            idle.latency_us.p50 < half.latency_us.p50 && half.latency_us.p50 < heavy.latency_us.p50,
+            "latency grows with background load: {} / {} / {}",
+            idle.latency_us.p50,
+            half.latency_us.p50,
+            heavy.latency_us.p50
+        );
+        // The tail spreads faster than the median under load.
+        assert!(
+            heavy.latency_us.p999 / heavy.latency_us.p50
+                > idle.latency_us.p999 / idle.latency_us.p50,
+            "flood widens the tail"
+        );
+        // Zero background load reduces to the plain Fig 10 scenario
+        // (same path costs; only the jitter seed differs).
+        let base = vm_rr(RrConfig::Afxdp);
+        assert!((idle.latency_us.mean - base.latency_us.mean).abs() < 0.05 * base.latency_us.mean);
     }
 
     #[test]

@@ -8,13 +8,22 @@
 //! every number below is exactly reproducible; if a datapath change
 //! legitimately shifts one, update the golden alongside it.
 
-use ovs_afxdp::OptLevel;
+use ovs_afxdp::{AfxdpPort, OptLevel};
 use ovs_afxdp_repro::kernel::tools;
 use ovs_afxdp_repro::nsx::ruleset::{self, NsxConfig};
 use ovs_afxdp_repro::nsx::topology::{DatapathKind, Host, HostConfig, VmAttachment};
 use ovs_afxdp_repro::obs::coverage;
 use ovs_afxdp_repro::ovs::appctl;
 use ovs_afxdp_repro::packet::builder;
+use ovs_core::dpif::PortType;
+use ovs_core::DpifNetdev;
+use ovs_kernel::dev::{DeviceKind, NetDevice};
+use ovs_kernel::Kernel;
+use ovs_obs::latency::LatencySummary;
+use ovs_packet::MacAddr;
+use ovs_sim::FaultKind;
+
+use proptest::prelude::*;
 
 /// The deterministic 2-VM NSX host pair on the userspace AF_XDP datapath.
 fn build_host(id: u8) -> Host {
@@ -245,4 +254,240 @@ fn golden_observability_two_host_nsx() {
     assert!(out.contains("cleared"));
     assert!(dp1.perf.is_empty());
     assert_eq!(dp1.stats.rx_packets, 0);
+}
+
+// ----------------------------------------------------------------------
+// Latency goldens: rx→tx histograms and the per-stage decomposition on
+// the same deterministic two-host scenario
+// ----------------------------------------------------------------------
+
+const GOLDEN_LATENCY: &str = "\
+rx-to-tx latency (ns):
+  all ports: samples 31  min 1168 p50 2047 p90 2047 p99 10895 p99.9 10895 max 10895
+  port 0 (eth0): samples 16  min 1335 p50 2047 p90 2047 p99 10895 p99.9 10895 max 10895
+  port 2 (vhost0): samples 15  min 1168 p50 2047 p90 2047 p99 5128 p99.9 5128 max 5128
+  pmd core 1: samples 31  min 1168 p50 2047 p90 2047 p99 10895 p99.9 10895 max 10895
+per-stage latency (delivered-weighted):
+  rx                           2447 ns (  4.7%)
+  parse                        4650 ns (  8.9%)
+  emc lookup                   2340 ns (  4.5%)
+  megaflow lookup              9220 ns ( 17.6%)
+  upcall/translate            13600 ns ( 26.0%)
+  batch setup/flush            8112 ns ( 15.5%)
+  actions                      5640 ns ( 10.8%)
+  recirc                       1645 ns (  3.1%)
+  tx                           4752 ns (  9.1%)
+  stage-weighted total: 52406 ns (== delivered-weighted poll 52406 ns)
+  end-to-end total    : 52406 ns (amortization gap 0.0%)
+";
+
+const GOLDEN_LATENCY_HIST: &str = "\
+rx-to-tx latency histogram (ns):
+  all ports: samples 31  min 1168 p50 2047 p90 2047 p99 10895 p99.9 10895 max 10895
+  [        1024,         2047]         29 ########################################
+  [        4096,         8191]          1 #
+  [        8192,        16383]          1 #
+  pmd core 1: samples 31  min 1168 p50 2047 p90 2047 p99 10895 p99.9 10895 max 10895
+  [        1024,         2047]         29 ########################################
+  [        4096,         8191]          1 #
+  [        8192,        16383]          1 #
+";
+
+#[test]
+fn golden_latency_two_host_nsx() {
+    let mut h1 = build_host(1);
+    let mut h2 = build_host(2);
+    h1.peer([172, 16, 0, 2], h2.uplink_mac());
+    h2.peer([172, 16, 0, 1], h1.uplink_mac());
+    let g = h1.guest_of_vif[0];
+    h1.kernel.guests[g].tx_ring.push_back(vm_frame(1, 2));
+    run_pair(&mut h1, &mut h2);
+
+    // The decomposition invariant: the per-stage latency attribution is
+    // exact (sums to the delivered-weighted poll total), and the
+    // end-to-end total can only be smaller — the difference is batch
+    // amortization, never unattributed time.
+    let dp1 = h1.dp.as_ref().unwrap();
+    assert!(dp1.latency.samples() > 0, "delivered packets were sampled");
+    assert_eq!(
+        dp1.latency.stage_latency_total(),
+        dp1.latency.weighted_poll_ns(),
+        "stage latency attribution must be exact"
+    );
+    assert!(
+        dp1.latency.end_to_end_ns() <= dp1.latency.weighted_poll_ns(),
+        "end-to-end latency cannot exceed the delivered-weighted poll time"
+    );
+
+    // --- latency-show / latency-hist goldens ----------------------
+    let dp1 = h1.dp.as_mut().unwrap();
+    let show = appctl::dispatch(dp1, &mut h1.kernel, "dpif-netdev/latency-show", &[]).unwrap();
+    assert_eq!(show, GOLDEN_LATENCY, "latency-show golden drifted:\n{show}");
+    let hist = appctl::dispatch(dp1, &mut h1.kernel, "dpif-netdev/latency-hist", &[]).unwrap();
+    assert_eq!(
+        hist, GOLDEN_LATENCY_HIST,
+        "latency-hist golden drifted:\n{hist}"
+    );
+
+    // --- the per-stage section is opt-in --------------------------
+    // Default pmd-perf-show is pinned byte-for-byte above; the latency
+    // decomposition only appears under `-hist`.
+    let dp1 = h1.dp.as_mut().unwrap();
+    let plain = appctl::dispatch(dp1, &mut h1.kernel, "dpif-netdev/pmd-perf-show", &[]).unwrap();
+    assert!(!plain.contains("per-stage latency"));
+    let detail =
+        appctl::dispatch(dp1, &mut h1.kernel, "dpif-netdev/pmd-perf-show", &["-hist"]).unwrap();
+    assert!(detail.starts_with(&plain), "-hist only appends");
+    assert!(detail.contains("per-stage latency (delivered-weighted):"));
+
+    // --- pmd-stats carries the headline summary -------------------
+    let dp1 = h1.dp.as_mut().unwrap();
+    let stats = appctl::dispatch(dp1, &mut h1.kernel, "dpif-netdev/pmd-stats-show", &[]).unwrap();
+    assert!(stats.contains("rx-to-tx latency:"), "{stats}");
+
+    // --- pmd-stats-clear also resets the tracker ------------------
+    let dp1 = h1.dp.as_mut().unwrap();
+    appctl::dispatch(dp1, &mut h1.kernel, "dpif-netdev/pmd-stats-clear", &[]).unwrap();
+    assert_eq!(dp1.latency.samples(), 0);
+    assert_eq!(dp1.latency.weighted_poll_ns(), 0);
+}
+
+// ----------------------------------------------------------------------
+// Timestamp conservation: every packet entering the pipeline either
+// leaves exactly one rx→tx latency sample (delivered) or is claimed by
+// a drop counter — never both, never neither
+// ----------------------------------------------------------------------
+
+proptest! {
+    /// Seeded AF_XDP forward rig with a deliberately small egress ring:
+    /// a random mix of forwarded and unmatched (dropped) flows, and for
+    /// one seed in three a mid-run egress ring stall that forces
+    /// tx-full drops. The ledger must balance exactly:
+    ///
+    /// * `samples == tx_packets − tx_full_drops` — only frames the
+    ///   backend actually accepted are sampled;
+    /// * `packets_processed == samples + dropped` — everything else is
+    ///   claimed by the drop counter.
+    #[test]
+    fn timestamp_conservation(seed in 0u64..1_000_000) {
+        let mut k = Kernel::new(16);
+        let nic0 = k.add_device(NetDevice::new(
+            "eth0",
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            DeviceKind::Phys { link_gbps: 10.0 },
+            1,
+        ));
+        let nic1 = k.add_device(NetDevice::new(
+            "eth1",
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            DeviceKind::Phys { link_gbps: 10.0 },
+            1,
+        ));
+        let mut dp = DpifNetdev::new();
+        let p0 = dp.add_port(
+            "eth0",
+            PortType::Afxdp(AfxdpPort::open(&mut k, nic0, 512, OptLevel::O5).unwrap()),
+        );
+        let p1 = dp.add_port(
+            "eth1",
+            PortType::Afxdp(AfxdpPort::open(&mut k, nic1, 64, OptLevel::O5).unwrap()),
+        );
+        dp.add_flows(&format!(
+            "table=0, priority=10, in_port={p0}, udp, tp_dst=6000, actions=output:{p1}"
+        ))
+        .unwrap();
+        dp.set_emc_insert_inv_prob(1);
+
+        let mut lcg = seed;
+        let mut next = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lcg >> 33
+        };
+        let inject = |k: &mut Kernel, next: &mut dyn FnMut() -> u64, matched: bool| {
+            let f = builder::udp_ipv4_frame(
+                MacAddr::new(2, 0, 0, 0, 9, 9),
+                MacAddr::new(2, 0, 0, 0, 0, 1),
+                [10, 0, 0, (next() % 8) as u8 + 1],
+                [10, 0, 0, 200],
+                1000 + (next() % 16) as u16,
+                if matched { 6000 } else { 7000 },
+                96,
+            );
+            k.receive(nic0, 0, f);
+        };
+
+        // One guaranteed frame of each fate, then the random schedule.
+        let mut offered = 2u64;
+        inject(&mut k, &mut next, true);
+        inject(&mut k, &mut next, false);
+        dp.pmd_poll(&mut k, p0, 0, 8);
+
+        let rounds = 24 + (next() % 24) as usize;
+        let stall_at = (seed % 3 == 0).then_some(rounds / 2);
+        for round in 0..rounds {
+            if stall_at == Some(round) {
+                // The egress NIC loses its tx kick: the kernel stops
+                // draining the tx ring, so sustained tx exhausts the
+                // 64-frame pool and flush_tx starts counting drops.
+                k.inject_fault(FaultKind::RxRingStall, nic1, 0, 0);
+            }
+            let burst = 1 + (next() % 8) as usize;
+            for _ in 0..burst {
+                let matched = next() % 4 != 0;
+                inject(&mut k, &mut next, matched);
+                offered += 1;
+            }
+            dp.pmd_poll(&mut k, p0, 0, 8);
+        }
+        if stall_at.is_some() {
+            // Enough matched traffic to guarantee the stalled pool runs
+            // dry regardless of what the schedule already sent.
+            for _ in 0..12 {
+                for _ in 0..8 {
+                    inject(&mut k, &mut next, true);
+                    offered += 1;
+                }
+                dp.pmd_poll(&mut k, p0, 0, 8);
+            }
+        }
+        // Drain anything still parked in the ingress ring.
+        for _ in 0..16 {
+            if dp.pmd_poll(&mut k, p0, 0, 8) == 0 {
+                break;
+            }
+        }
+
+        let s = &dp.stats;
+        prop_assert!(s.coherent(), "stats incoherent: {s:?}");
+        prop_assert_eq!(
+            s.packets_processed, offered,
+            "every offered frame entered the pipeline"
+        );
+        let samples = dp.latency.samples();
+        prop_assert_eq!(
+            samples,
+            s.tx_packets - s.tx_full_drops,
+            "exactly the delivered frames are sampled (tx {} full {})",
+            s.tx_packets,
+            s.tx_full_drops
+        );
+        prop_assert_eq!(
+            s.packets_processed,
+            samples + s.dropped,
+            "sampled + counted drops must cover the pipeline exactly"
+        );
+        prop_assert!(samples > 0, "the matched flow delivered");
+        prop_assert!(s.dropped > 0, "the unmatched flow was counted");
+        if stall_at.is_some() {
+            prop_assert!(
+                s.tx_full_drops > 0,
+                "the stalled egress ring forced tx-full drops"
+            );
+        }
+        let sum = LatencySummary::of(&dp.latency.all);
+        prop_assert!(sum.min_ns > 0, "rx precedes tx on every sample: {sum:?}");
+        prop_assert!(sum.max_ns >= sum.min_ns);
+    }
 }

@@ -8,6 +8,7 @@
 //! Flags: --fig1 --table1 --fig2 --table2 --table3 --fig8a --fig8b
 //!        --fig8c --fig9 --table4 --fig10 --fig11 --table5 --fig12
 //!        --scaling --ablation --churn --fastpath --faults --latency
+//!        --conntrack
 
 use ovs_afxdp::OptLevel;
 use ovs_bench::fig1;
@@ -96,6 +97,169 @@ fn main() {
     if want("--latency") {
         latency();
     }
+    if want("--conntrack") {
+        conntrack();
+    }
+}
+
+fn conntrack() {
+    use ovs_tgen::conntrack as ctb;
+    section("Extension — sharded conntrack: million-connection churn and CT-exhaustion TSE");
+
+    let churn = ctb::run_conn_churn();
+    println!(
+        "  churn: peak {} conns, sustained {} conns ({} elephants + {}/round mice x {} rounds)",
+        churn.peak_conns,
+        churn.sustained_conns,
+        churn.elephants,
+        churn.mice_per_round,
+        churn.rounds
+    );
+    println!(
+        "  commits {} (nat {}), established {}, refused: zone {} / full {} / invalid {}",
+        churn.commits,
+        churn.nat_commits,
+        churn.established,
+        churn.refused_zone,
+        churn.refused_full,
+        churn.refused_invalid
+    );
+    println!(
+        "  reclaimed: expired {} evicted {}; setup rate {:.2} Mcps over {} table ops; unaccounted {}",
+        churn.expired,
+        churn.evicted,
+        churn.setup_rate_cps / 1e6,
+        churn.ct_ops,
+        churn.unaccounted
+    );
+
+    let undef = ctb::run_ct_tse(false);
+    let def = ctb::run_ct_tse(true);
+    for r in [&undef, &def] {
+        println!(
+            "  tse {}: legit {}/{} delivered ({:.3} Mpps), attack {}/{} reached server",
+            if r.defended {
+                "defended  "
+            } else {
+                "undefended"
+            },
+            r.legit_delivered,
+            r.legit_offered,
+            r.legit_mpps,
+            r.attack_delivered,
+            r.attack_offered
+        );
+        println!(
+            "      ct drops: limit {} full {} invalid {}; other drops {}; surviving established {}; ct occupancy {}; unaccounted {}",
+            r.ct_limit_drops,
+            r.ct_full_drops,
+            r.ct_invalid_drops,
+            r.other_drops,
+            r.established_surviving,
+            r.ct_occupancy,
+            r.unaccounted
+        );
+    }
+
+    let tse_json = |r: &ctb::CtTseReport| -> String {
+        format!(
+            "{{\"defended\": {}, \"legit_offered\": {}, \"legit_delivered\": {}, \
+             \"legit_mpps\": {:.4}, \"attack_offered\": {}, \"attack_delivered\": {}, \
+             \"ct_limit_drops\": {}, \"ct_full_drops\": {}, \"ct_invalid_drops\": {}, \
+             \"other_drops\": {}, \"established_surviving\": {}, \"ct_occupancy\": {}, \
+             \"unaccounted\": {}}}",
+            r.defended,
+            r.legit_offered,
+            r.legit_delivered,
+            r.legit_mpps,
+            r.attack_offered,
+            r.attack_delivered,
+            r.ct_limit_drops,
+            r.ct_full_drops,
+            r.ct_invalid_drops,
+            r.other_drops,
+            r.established_surviving,
+            r.ct_occupancy,
+            r.unaccounted
+        )
+    };
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"churn\": {{\"peak_conns\": {}, \"sustained_conns\": {}, \"offered_commits\": {}, \
+         \"commits\": {}, \"nat_commits\": {}, \"established\": {}, \"refused_zone\": {}, \
+         \"refused_full\": {}, \"refused_invalid\": {}, \"expired\": {}, \"evicted\": {}, \
+         \"setup_rate_cps\": {:.0}, \"ct_ops\": {}, \"unaccounted\": {}, \"accounting_ok\": {}}},\n",
+        churn.peak_conns,
+        churn.sustained_conns,
+        churn.offered_commits,
+        churn.commits,
+        churn.nat_commits,
+        churn.established,
+        churn.refused_zone,
+        churn.refused_full,
+        churn.refused_invalid,
+        churn.expired,
+        churn.evicted,
+        churn.setup_rate_cps,
+        churn.ct_ops,
+        churn.unaccounted,
+        churn.accounting_ok
+    ));
+    json.push_str(&format!("  \"tse_undefended\": {},\n", tse_json(&undef)));
+    json.push_str(&format!("  \"tse_defended\": {}\n", tse_json(&def)));
+    json.push_str("}\n");
+    std::fs::write("BENCH_conntrack.json", &json).expect("write BENCH_conntrack.json");
+    println!("  wrote BENCH_conntrack.json");
+
+    // CI gates.
+    assert!(
+        churn.sustained_conns >= 1_000_000,
+        "churn gate: sustained {} conns < 1M",
+        churn.sustained_conns
+    );
+    assert!(
+        churn.accounting_ok,
+        "churn gate: shard/zone accounting broke"
+    );
+    assert_eq!(
+        churn.unaccounted, 0,
+        "churn gate: {} commit attempts unaccounted",
+        churn.unaccounted
+    );
+    assert!(
+        churn.refused_zone > 0 && churn.refused_invalid > 0,
+        "churn gate: named refusals not exercised"
+    );
+    assert_eq!(
+        undef.unaccounted, 0,
+        "tse gate: undefended run lost {} packets unaccounted",
+        undef.unaccounted
+    );
+    assert_eq!(
+        def.unaccounted, 0,
+        "tse gate: defended run lost {} packets unaccounted",
+        def.unaccounted
+    );
+    assert!(
+        def.legit_delivered >= 3 * undef.legit_delivered,
+        "tse gate: defended goodput {} < 3x undefended {}",
+        def.legit_delivered,
+        undef.legit_delivered
+    );
+    assert!(
+        def.established_surviving > undef.established_surviving,
+        "tse gate: defense must preserve more established connections ({} vs {})",
+        def.established_surviving,
+        undef.established_surviving
+    );
+    println!(
+        "  gates OK: sustained >= 1M, zero unaccounted, defended {}x undefended goodput",
+        if undef.legit_delivered > 0 {
+            def.legit_delivered / undef.legit_delivered.max(1)
+        } else {
+            u64::MAX
+        }
+    );
 }
 
 fn latency() {

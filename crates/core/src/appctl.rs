@@ -29,6 +29,9 @@ pub const COMMANDS: &[&str] = &[
     "dpif-netdev/emc-insert-inv-prob",
     "dpif-netdev/smc-enable",
     "dpctl/dump-flows",
+    "dpctl/ct-dump",
+    "dpctl/ct-stats",
+    "ct/flush",
     "fault/inject",
     "fault/show",
     "health/show",
@@ -110,6 +113,29 @@ fn dispatch_inner(
     match cmd {
         "coverage/show" => Ok(ovs_obs::coverage::show()),
         "dpif-netdev/port-status" => Ok(dpif.port_status(kernel)),
+        // `dpctl/ct-dump [zone=<N>]`: list tracked connections.
+        "dpctl/ct-dump" => {
+            let zone = match args {
+                [] => None,
+                [z] => Some(parse_zone(z)?),
+                _ => return Err("usage: dpctl/ct-dump [zone=<N>]".to_string()),
+            };
+            Ok(dpif.ct.dump(zone, kernel.sim.clock.now_ns()))
+        }
+        "dpctl/ct-stats" => Ok(dpif.ct.stats_show()),
+        // `ct/flush [zone=<N>]`: drop tracked connections.
+        "ct/flush" => {
+            let zone = match args {
+                [] => None,
+                [z] => Some(parse_zone(z)?),
+                _ => return Err("usage: ct/flush [zone=<N>]".to_string()),
+            };
+            let removed = dpif.ct.flush(zone);
+            match zone {
+                Some(z) => Ok(format!("{removed} connection(s) flushed from zone {z}\n")),
+                None => Ok(format!("{removed} connection(s) flushed\n")),
+            }
+        }
         // `fault/inject <kind> [target] [arg] [duration_ms]`: arm a fault
         // right now, applying kernel-side effects immediately.
         "fault/inject" => {
@@ -240,6 +266,14 @@ fn dispatch_inner(
         }
         other => Err(format!("\"{other}\" is not a valid command")),
     }
+}
+
+/// A zone operand: `zone=<N>` or a bare number.
+fn parse_zone(s: &str) -> Result<u16, String> {
+    let digits = s.strip_prefix("zone=").unwrap_or(s);
+    digits
+        .parse::<u16>()
+        .map_err(|_| format!("\"{s}\" is not a zone (expected zone=<N>)"))
 }
 
 fn parse_hex(s: &str) -> Option<Vec<u8>> {

@@ -27,7 +27,7 @@ use crate::tso;
 use crate::tunnel::{self, TunnelConfig};
 use ovs_afxdp::AfxdpPort;
 use ovs_dpdk::{AfPacketDev, EthDev, VhostUserDev};
-use ovs_kernel::conntrack::{ConnKey, Conntrack, CtAction};
+use ovs_kernel::conntrack::{ConnKey, CtAction, CtTable};
 use ovs_kernel::rtnetlink::RtnlCache;
 use ovs_kernel::Kernel;
 use ovs_obs::latency::LatencySummary;
@@ -257,6 +257,15 @@ pub struct DpifStats {
     /// TX packets dropped because an AF_XDP tx ring (or frame pool) was
     /// full at flush time.
     pub tx_full_drops: u64,
+    /// Packets dropped because a ct() commit was refused by a per-zone
+    /// connection limit.
+    pub ct_limit_drops: u64,
+    /// Packets dropped because the connection table was full and the
+    /// eviction policy found no victim.
+    pub ct_full_drops: u64,
+    /// Packets dropped because conntrack judged them invalid (committing
+    /// RST, or mid-stream TCP under strict tracking).
+    pub ct_invalid_drops: u64,
 }
 
 impl DpifStats {
@@ -298,7 +307,10 @@ macro_rules! dpif_stats_fields {
             flows_deleted,
             flow_limit_hits,
             vhost_tx_drops,
-            tx_full_drops
+            tx_full_drops,
+            ct_limit_drops,
+            ct_full_drops,
+            ct_invalid_drops
         )
     };
 }
@@ -340,7 +352,7 @@ pub struct DpifNetdev {
     pub ofproto: Ofproto,
     /// Userspace conntrack — one of the kernel services OVS had to
     /// reimplement in userspace (§6 "Some features must be reimplemented").
-    pub ct: Conntrack,
+    pub ct: CtTable,
     /// Meters (rate limiting).
     pub meters: MeterSet,
     /// Netlink replica of kernel route/ARP tables for tunnelling (§4).
@@ -379,7 +391,7 @@ impl DpifNetdev {
             smc_enable: false,
             megaflow: MegaflowCache::new(),
             ofproto: Ofproto::new(),
-            ct: Conntrack::new(),
+            ct: CtTable::new(),
             meters: MeterSet::new(),
             rtnl: RtnlCache::new(),
             mirrors: Vec::new(),
@@ -765,6 +777,17 @@ impl DpifNetdev {
         }
         self.emc.purge_dead();
         self.smc.purge_dead();
+
+        // Conntrack expiry rides the revalidator cadence: each round
+        // sweeps a rotating slice of shards (an eighth of the table),
+        // so idle connections are reclaimed within 8 rounds without a
+        // full-table scan ever happening at once.
+        let ct_slice = (self.ct.n_shards() / 8).max(1);
+        let ct_expired = self.ct.sweep_slice(now, ct_slice);
+        if ct_expired > 0 {
+            let c = kernel.sim.costs.userspace_ct_ns * ct_expired as f64;
+            kernel.sim.charge(core, Context::User, c);
+        }
 
         // The simulated dump duration drives the dynamic flow limit.
         let dump_ms = (core_ns(kernel, core) - t0) / 1_000_000;
@@ -1702,6 +1725,9 @@ megaflows installed: {}
                     }
                 }
                 DpAction::Ct { zone, commit, nat } => {
+                    // Everything up to here was generic action work;
+                    // the conntrack pass gets its own stage.
+                    timer.mark(Stage::Actions, core_ns(kernel, core));
                     let mut tmp = DpPacket::from_data(pkt.data());
                     let key = extract_flow_key(&mut tmp);
                     let ck = ConnKey {
@@ -1712,7 +1738,8 @@ megaflows installed: {}
                         dst_port: key.tp_dst(),
                         proto: key.nw_proto(),
                     };
-                    let v = self.ct.process(
+                    let tcp_flags = ovs_ct::tcp_flags_of(pkt.data());
+                    let v = self.ct.process_full(
                         ck,
                         CtAction {
                             zone: *zone,
@@ -1720,12 +1747,33 @@ megaflows installed: {}
                             mark: None,
                             nat: *nat,
                         },
+                        tcp_flags,
+                        Some(core),
                         kernel.sim.clock.now_ns(),
                     );
                     coverage!("dpif_ct_lookup");
                     pkt.ct_state = v.state;
                     pkt.ct_zone = *zone;
                     pkt.ct_mark = v.mark;
+                    let c = kernel.sim.costs.userspace_ct_ns;
+                    kernel.sim.charge(core, Context::User, c);
+                    if let Some(reason) = v.drop {
+                        match reason {
+                            ovs_ct::CtDrop::ZoneLimit => self.stats.ct_limit_drops += 1,
+                            ovs_ct::CtDrop::TableFull => self.stats.ct_full_drops += 1,
+                            ovs_ct::CtDrop::InvalidState => self.stats.ct_invalid_drops += 1,
+                        }
+                        self.stats.dropped += 1;
+                        coverage!("dpif_ct_drop");
+                        timer.mark(Stage::CtLookup, core_ns(kernel, core));
+                        if let Some(t) = self.trace.as_mut() {
+                            t.note(format!(
+                                "ct(zone={zone}): refused ({}), drop",
+                                reason.label()
+                            ));
+                        }
+                        return None;
+                    }
                     if let Some(t) = self.trace.as_mut() {
                         t.note(format!(
                             "ct(zone={zone},commit={commit}): verdict ct_state=0x{:02x}{}",
@@ -1743,8 +1791,7 @@ megaflows installed: {}
                         let c = kernel.sim.costs.csum_ns(pkt.len());
                         kernel.sim.charge(core, Context::User, c);
                     }
-                    let c = kernel.sim.costs.userspace_ct_ns;
-                    kernel.sim.charge(core, Context::User, c);
+                    timer.mark(Stage::CtLookup, core_ns(kernel, core));
                 }
                 DpAction::Recirc(rid) => {
                     pkt.recirc_id = *rid;

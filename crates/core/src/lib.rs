@@ -18,6 +18,10 @@
 //!   datapath with PMD-style per-queue processing over AF_XDP / DPDK /
 //!   tap / vhostuser ports, and `dpif-netlink`, the driver for the
 //!   in-kernel datapath module (the baseline).
+//! * [`ct`] — sharded connection tracking (re-exported from `ovs-ct`):
+//!   zones with per-zone limits, a bounded table with early-drop
+//!   eviction, a TCP-lite state machine, NAT, and rotating expiry
+//!   sweeps that ride the revalidator cadence.
 //! * [`tunnel`] — userspace Geneve/VXLAN encap/decap routed through the
 //!   Netlink replica caches of §4.
 //! * [`meter`] — token-bucket meters, the rate-limiting substitute the
@@ -34,6 +38,8 @@
 //!   re-installation — the §6 "reduced risk" argument as a subsystem.
 //! * [`appctl`] — the `ovs-appctl` dispatch surface: `coverage/show`,
 //!   `dpif-netdev/pmd-perf-show`, `ofproto/trace`, and friends.
+
+pub use ovs_ct as ct;
 
 pub mod appctl;
 pub mod cache;

@@ -1,0 +1,181 @@
+//! Protocol state machine and idle timeouts — the TCP-lite lifecycle
+//! (NEW / SYN_SENT / ESTABLISHED / FIN / TIME_WAIT) plus UDP/ICMP, with
+//! per-state timeouts mirroring `nf_conntrack`'s defaults at reduced
+//! fidelity. Expiry itself is *lazy*: a lookup reaps an expired entry
+//! on access, and [`crate::CtTable::sweep_slice`] walks a rotating
+//! slice of shards on the revalidator cadence to reclaim idle entries
+//! nobody touches — there is no full-table scan on the hot path.
+
+use ovs_packet::ipv4::protocol;
+use ovs_packet::tcp::flags;
+
+use crate::limits::CtDrop;
+
+/// Where a connection is in its protocol lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoState {
+    /// TCP: SYN seen, no reply yet.
+    TcpSynSent,
+    /// TCP: traffic in both directions.
+    TcpEstablished,
+    /// TCP: FIN seen from one side; draining.
+    TcpFinWait,
+    /// TCP: closed (RST, or both FINs); lingers briefly.
+    TcpTimeWait,
+    /// UDP: one direction only.
+    UdpNew,
+    /// UDP: traffic in both directions.
+    UdpEstablished,
+    /// ICMP request/reply.
+    Icmp,
+    /// Any other protocol, one direction only.
+    OtherNew,
+    /// Any other protocol, both directions.
+    OtherEstablished,
+}
+
+impl ProtoState {
+    /// Whether the connection reached the established phase (FIN/TIME_WAIT
+    /// count: they carry established-connection semantics while draining).
+    pub fn is_established(self) -> bool {
+        matches!(
+            self,
+            ProtoState::TcpEstablished
+                | ProtoState::TcpFinWait
+                | ProtoState::TcpTimeWait
+                | ProtoState::UdpEstablished
+                | ProtoState::OtherEstablished
+        )
+    }
+
+    /// Idle timeout for this state.
+    pub fn timeout(self, t: &CtTimeouts) -> u64 {
+        match self {
+            ProtoState::TcpSynSent => t.tcp_syn_sent_ns,
+            ProtoState::TcpEstablished => t.tcp_established_ns,
+            ProtoState::TcpFinWait => t.tcp_fin_wait_ns,
+            ProtoState::TcpTimeWait => t.tcp_time_wait_ns,
+            ProtoState::UdpNew => t.udp_new_ns,
+            ProtoState::UdpEstablished => t.udp_established_ns,
+            ProtoState::Icmp => t.icmp_ns,
+            ProtoState::OtherNew | ProtoState::OtherEstablished => t.other_ns,
+        }
+    }
+
+    /// Display label (`dpctl/ct-dump`).
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtoState::TcpSynSent => "SYN_SENT",
+            ProtoState::TcpEstablished => "ESTABLISHED",
+            ProtoState::TcpFinWait => "FIN_WAIT",
+            ProtoState::TcpTimeWait => "TIME_WAIT",
+            ProtoState::UdpNew => "NEW",
+            ProtoState::UdpEstablished => "ESTABLISHED",
+            ProtoState::Icmp => "ICMP",
+            ProtoState::OtherNew => "NEW",
+            ProtoState::OtherEstablished => "ESTABLISHED",
+        }
+    }
+}
+
+/// Per-state idle timeouts. Defaults are scaled-down `nf_conntrack`
+/// values; the previous flat table used 120 s for everything, which the
+/// established states keep.
+#[derive(Debug, Clone, Copy)]
+pub struct CtTimeouts {
+    pub tcp_syn_sent_ns: u64,
+    pub tcp_established_ns: u64,
+    pub tcp_fin_wait_ns: u64,
+    pub tcp_time_wait_ns: u64,
+    pub udp_new_ns: u64,
+    pub udp_established_ns: u64,
+    pub icmp_ns: u64,
+    pub other_ns: u64,
+}
+
+const S: u64 = 1_000_000_000;
+
+impl Default for CtTimeouts {
+    fn default() -> Self {
+        CtTimeouts {
+            tcp_syn_sent_ns: 30 * S,
+            tcp_established_ns: 120 * S,
+            tcp_fin_wait_ns: 30 * S,
+            tcp_time_wait_ns: 10 * S,
+            udp_new_ns: 30 * S,
+            udp_established_ns: 120 * S,
+            icmp_ns: 30 * S,
+            other_ns: 120 * S,
+        }
+    }
+}
+
+impl CtTimeouts {
+    /// Every timeout set to `ns` — what tests and churn soaks use to
+    /// reproduce the old single-timeout behaviour.
+    pub fn uniform(ns: u64) -> Self {
+        CtTimeouts {
+            tcp_syn_sent_ns: ns,
+            tcp_established_ns: ns,
+            tcp_fin_wait_ns: ns,
+            tcp_time_wait_ns: ns,
+            udp_new_ns: ns,
+            udp_established_ns: ns,
+            icmp_ns: ns,
+            other_ns: ns,
+        }
+    }
+}
+
+/// The state a freshly committed connection starts in.
+pub fn initial_state(proto: u8) -> ProtoState {
+    match proto {
+        protocol::TCP => ProtoState::TcpSynSent,
+        protocol::UDP => ProtoState::UdpNew,
+        protocol::ICMP => ProtoState::Icmp,
+        _ => ProtoState::OtherNew,
+    }
+}
+
+/// Advance the lifecycle on one packet. `tcp_flags` is `None` for
+/// non-TCP traffic or callers that did not parse the header (legacy
+/// behaviour: reply-direction traffic establishes, nothing closes).
+pub fn advance(state: ProtoState, tcp_flags: Option<u8>, reply: bool) -> ProtoState {
+    use ProtoState::*;
+    if let Some(f) = tcp_flags {
+        if f & flags::RST != 0 {
+            return TcpTimeWait;
+        }
+        if f & flags::FIN != 0 {
+            return match state {
+                // Second FIN (or FIN while draining): fully closing.
+                TcpFinWait | TcpTimeWait => TcpTimeWait,
+                _ => TcpFinWait,
+            };
+        }
+    }
+    match state {
+        TcpSynSent if reply => TcpEstablished,
+        UdpNew if reply => UdpEstablished,
+        OtherNew if reply => OtherEstablished,
+        s => s,
+    }
+}
+
+/// Whether committing a brand-new connection from this packet is
+/// invalid: an RST can never create state, and with `tcp_loose` off
+/// (strict stateful-firewall semantics, `nf_conntrack_tcp_loose=0`)
+/// neither can a mid-stream packet without SYN.
+pub fn invalid_new(proto: u8, tcp_flags: Option<u8>, tcp_loose: bool) -> Option<CtDrop> {
+    if proto != protocol::TCP {
+        return None;
+    }
+    let f = tcp_flags?;
+    if f & flags::RST != 0 {
+        return Some(CtDrop::InvalidState);
+    }
+    if !tcp_loose && f & flags::SYN == 0 {
+        return Some(CtDrop::InvalidState);
+    }
+    None
+}

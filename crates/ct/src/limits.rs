@@ -1,0 +1,99 @@
+//! Admission control: per-zone connection limits (nf_conncount), the
+//! bounded global table, and the pressure watermark behind the
+//! early-drop defense. Every refusal maps to a named [`CtDrop`] reason
+//! so drops are never anonymous.
+
+use std::collections::HashMap;
+
+use crate::CtConfig;
+
+/// Why conntrack refused a packet. The datapath turns each variant into
+/// its own drop counter, keeping offered == delivered + Σ(drops) exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtDrop {
+    /// Commit refused by a per-zone connection limit.
+    ZoneLimit,
+    /// Commit refused because the table is at `max_conns` and the
+    /// eviction policy found no victim.
+    TableFull,
+    /// Packet cannot legally create or match a connection (committing
+    /// RST, or mid-stream TCP with strict tracking).
+    InvalidState,
+}
+
+impl CtDrop {
+    pub fn label(self) -> &'static str {
+        match self {
+            CtDrop::ZoneLimit => "ct_zone_limit",
+            CtDrop::TableFull => "ct_table_full",
+            CtDrop::InvalidState => "ct_invalid",
+        }
+    }
+}
+
+/// Per-zone connection limits and live counts.
+#[derive(Debug, Default)]
+pub struct ZoneLimits {
+    limits: HashMap<u16, usize>,
+    counts: HashMap<u16, usize>,
+}
+
+impl ZoneLimits {
+    pub fn set_limit(&mut self, zone: u16, limit: usize) {
+        self.limits.insert(zone, limit);
+    }
+
+    pub fn limit(&self, zone: u16) -> Option<usize> {
+        self.limits.get(&zone).copied()
+    }
+
+    pub fn count(&self, zone: u16) -> usize {
+        self.counts.get(&zone).copied().unwrap_or(0)
+    }
+
+    /// Whether `zone` may admit one more connection.
+    pub fn admit(&self, zone: u16) -> bool {
+        match self.limits.get(&zone) {
+            Some(&limit) => self.count(zone) < limit,
+            None => true,
+        }
+    }
+
+    pub fn inc(&mut self, zone: u16) {
+        *self.counts.entry(zone).or_insert(0) += 1;
+    }
+
+    pub fn dec(&mut self, zone: u16) {
+        if let Some(c) = self.counts.get_mut(&zone) {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Sum of all zone counts — must equal the table total.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// `(zone, count, limit)` rows sorted by zone, skipping zones that
+    /// are idle and unlimited.
+    pub fn rows(&self) -> Vec<(u16, usize, Option<usize>)> {
+        let mut zones: Vec<u16> = self
+            .counts
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(&z, _)| z)
+            .chain(self.limits.keys().copied())
+            .collect();
+        zones.sort_unstable();
+        zones.dedup();
+        zones
+            .into_iter()
+            .map(|z| (z, self.count(z), self.limit(z)))
+            .collect()
+    }
+}
+
+/// Whether occupancy crossed the early-drop watermark.
+pub fn under_pressure(total: usize, cfg: &CtConfig) -> bool {
+    cfg.early_drop && total * 100 >= cfg.max_conns.saturating_mul(cfg.pressure_pct as usize)
+}

@@ -1,0 +1,497 @@
+use super::*;
+use ovs_packet::tcp::flags;
+
+fn key(zone: u16) -> ConnKey {
+    ConnKey {
+        zone,
+        src_ip: [10, 0, 0, 1],
+        dst_ip: [10, 0, 0, 2],
+        src_port: 1234,
+        dst_port: 80,
+        proto: 6,
+    }
+}
+
+const COMMIT: CtAction = CtAction {
+    zone: 1,
+    commit: true,
+    mark: None,
+    nat: None,
+};
+const TRACK: CtAction = CtAction {
+    zone: 1,
+    commit: false,
+    mark: None,
+    nat: None,
+};
+
+#[test]
+fn new_then_reply_establishes() {
+    let mut ct = CtTable::new();
+    let v = ct.process(key(1), COMMIT, 0);
+    assert_eq!(v.state, ct_state::TRACKED | ct_state::NEW);
+    assert_eq!(ct.len(), 1);
+
+    // Reply direction.
+    let v = ct.process(key(1).reversed(), TRACK, 10);
+    assert_eq!(
+        v.state,
+        ct_state::TRACKED | ct_state::ESTABLISHED | ct_state::REPLY
+    );
+
+    // Original direction again: established now.
+    let v = ct.process(key(1), TRACK, 20);
+    assert_eq!(v.state, ct_state::TRACKED | ct_state::ESTABLISHED);
+    assert!(ct.accounting_ok());
+}
+
+#[test]
+fn uncommitted_new_is_not_stored() {
+    let mut ct = CtTable::new();
+    let v = ct.process(key(1), TRACK, 0);
+    assert_eq!(v.state, ct_state::TRACKED | ct_state::NEW);
+    assert!(ct.is_empty());
+}
+
+#[test]
+fn zones_are_isolated() {
+    let mut ct = CtTable::new();
+    ct.process(key(1), COMMIT, 0);
+    // Same tuple, different zone: still new.
+    let v = ct.process(key(2), CtAction::track(2), 0);
+    assert_eq!(v.state, ct_state::TRACKED | ct_state::NEW);
+}
+
+#[test]
+fn zone_limit_enforced() {
+    let mut ct = CtTable::new();
+    ct.set_zone_limit(1, 2);
+    for port in 0..2u16 {
+        let mut k = key(1);
+        k.src_port = 1000 + port;
+        let v = ct.process(k, COMMIT, 0);
+        assert!(v.state & ct_state::INVALID == 0);
+    }
+    let mut k3 = key(1);
+    k3.src_port = 1002;
+    let v = ct.process(k3, COMMIT, 0);
+    assert!(
+        v.state & ct_state::INVALID != 0,
+        "over-limit commit marked invalid"
+    );
+    assert_eq!(v.drop, Some(CtDrop::ZoneLimit));
+    assert_eq!(ct.stats.zone_limit_drops, 1);
+    assert_eq!(ct.len(), 2);
+}
+
+#[test]
+fn expiry_frees_zone_budget() {
+    let mut ct = CtTable::new();
+    ct.set_zone_limit(1, 1);
+    ct.set_all_timeouts(100);
+    ct.process(key(1), COMMIT, 0);
+    assert_eq!(ct.sweep_all(50), 0, "not yet idle long enough");
+    assert_eq!(ct.sweep_all(200), 1);
+    assert!(ct.is_empty());
+    // Zone budget is back.
+    let v = ct.process(key(1), COMMIT, 300);
+    assert!(v.state & ct_state::INVALID == 0);
+}
+
+#[test]
+fn lazy_expiry_reaps_on_lookup() {
+    let mut ct = CtTable::new();
+    ct.set_all_timeouts(100);
+    ct.process(key(1), COMMIT, 0);
+    // No sweep has run, but a late lookup must not see the stale entry.
+    let v = ct.process(key(1), TRACK, 500);
+    assert_eq!(v.state, ct_state::TRACKED | ct_state::NEW);
+    assert!(ct.is_empty(), "reaped on access");
+    assert_eq!(ct.stats.expired, 1);
+}
+
+#[test]
+fn rotating_sweep_covers_whole_table() {
+    let mut ct = CtTable::with_config(CtConfig {
+        shards: 8,
+        ..CtConfig::default()
+    });
+    ct.set_all_timeouts(100);
+    for port in 0..64u16 {
+        let mut k = key(1);
+        k.src_port = port;
+        ct.process(k, COMMIT, 0);
+    }
+    assert_eq!(ct.len(), 64);
+    // Two shards per round: 4 rounds clear all 8 shards.
+    let mut removed = 0;
+    for _ in 0..4 {
+        removed += ct.sweep_slice(1_000, 2);
+    }
+    assert_eq!(removed, 64);
+    assert!(ct.is_empty());
+    assert_eq!(ct.stats.swept_shards, 8);
+}
+
+#[test]
+fn snat_forward_and_reply_rewrites() {
+    let mut ct = CtTable::new();
+    let nat = NatSpec::Snat {
+        ip: [203, 0, 113, 1],
+        port: Some(40_000),
+    };
+    let act = CtAction {
+        zone: 1,
+        commit: true,
+        mark: None,
+        nat: Some(nat),
+    };
+    // Forward: rewrite source to the public address.
+    let v = ct.process(key(1), act, 0);
+    assert_eq!(
+        v.nat,
+        Some(NatRewrite::Src {
+            ip: [203, 0, 113, 1],
+            port: Some(40_000)
+        })
+    );
+
+    // The reply arrives addressed to the *translated* source.
+    let reply = ConnKey {
+        zone: 1,
+        src_ip: [10, 0, 0, 2],
+        dst_ip: [203, 0, 113, 1],
+        src_port: 80,
+        dst_port: 40_000,
+        proto: 6,
+    };
+    let v = ct.process(reply, CtAction::track(1), 1);
+    assert!(
+        v.state & ct_state::REPLY != 0,
+        "recognized as reply: {:02x}",
+        v.state
+    );
+    // ... and must be rewritten back to the original private address.
+    assert_eq!(
+        v.nat,
+        Some(NatRewrite::Dst {
+            ip: [10, 0, 0, 1],
+            port: Some(1234)
+        })
+    );
+}
+
+#[test]
+fn dnat_maps_vip_to_backend() {
+    let mut ct = CtTable::new();
+    let nat = NatSpec::Dnat {
+        ip: [192, 168, 1, 10],
+        port: Some(8080),
+    };
+    let act = CtAction {
+        zone: 9,
+        commit: true,
+        mark: None,
+        nat: Some(nat),
+    };
+    let v = ct.process(key(9), CtAction { zone: 9, ..act }, 0);
+    assert_eq!(
+        v.nat,
+        Some(NatRewrite::Dst {
+            ip: [192, 168, 1, 10],
+            port: Some(8080)
+        })
+    );
+    // Reply comes FROM the backend.
+    let reply = ConnKey {
+        zone: 9,
+        src_ip: [192, 168, 1, 10],
+        dst_ip: [10, 0, 0, 1],
+        src_port: 8080,
+        dst_port: 1234,
+        proto: 6,
+    };
+    let v = ct.process(reply, CtAction::track(9), 1);
+    assert!(v.state & ct_state::REPLY != 0);
+    // Restored to the VIP the client originally targeted.
+    assert_eq!(
+        v.nat,
+        Some(NatRewrite::Src {
+            ip: [10, 0, 0, 2],
+            port: Some(80)
+        })
+    );
+}
+
+#[test]
+fn apply_rewrite_fixes_checksums() {
+    use ovs_packet::{builder, MacAddr};
+    let mut f = builder::udp_ipv4(
+        MacAddr::new(2, 0, 0, 0, 0, 1),
+        MacAddr::new(2, 0, 0, 0, 0, 2),
+        [10, 0, 0, 1],
+        [10, 0, 0, 2],
+        1234,
+        80,
+        b"payload",
+    );
+    assert!(apply_rewrite(
+        &mut f,
+        &NatRewrite::Src {
+            ip: [203, 0, 113, 7],
+            port: Some(55_555)
+        }
+    ));
+    let ip = ovs_packet::ipv4::Ipv4Packet::new_checked(&f[14..]).unwrap();
+    assert_eq!(ip.src(), [203, 0, 113, 7]);
+    assert!(ip.verify_checksum());
+    let u = ovs_packet::udp::UdpDatagram::new_checked(ip.payload()).unwrap();
+    assert_eq!(u.src_port(), 55_555);
+    assert!(u.verify_checksum_ipv4(ip.src(), ip.dst()));
+}
+
+#[test]
+fn nat_index_cleaned_on_expiry() {
+    let mut ct = CtTable::new();
+    ct.set_all_timeouts(10);
+    let nat = NatSpec::Snat {
+        ip: [203, 0, 113, 1],
+        port: None,
+    };
+    ct.process(
+        key(1),
+        CtAction {
+            zone: 1,
+            commit: true,
+            mark: None,
+            nat: Some(nat),
+        },
+        0,
+    );
+    assert_eq!(ct.sweep_all(100), 1);
+    // Reply after expiry is just a new, untracked flow.
+    let reply = ConnKey {
+        zone: 1,
+        src_ip: [10, 0, 0, 2],
+        dst_ip: [203, 0, 113, 1],
+        src_port: 80,
+        dst_port: 1234,
+        proto: 6,
+    };
+    let v = ct.process(reply, CtAction::track(1), 101);
+    assert!(v.state & ct_state::NEW != 0);
+    assert_eq!(v.nat, None);
+}
+
+#[test]
+fn mark_set_on_commit_and_returned() {
+    let mut ct = CtTable::new();
+    ct.process(
+        key(1),
+        CtAction {
+            zone: 1,
+            commit: true,
+            mark: Some(0xbeef),
+            nat: None,
+        },
+        0,
+    );
+    let v = ct.process(key(1).reversed(), TRACK, 1);
+    assert_eq!(v.mark, 0xbeef);
+}
+
+#[test]
+fn tcp_state_machine_lifecycle() {
+    let mut ct = CtTable::new();
+    // SYN commits: SYN_SENT.
+    let v = ct.process_full(key(1), COMMIT, Some(flags::SYN), None, 0);
+    assert_eq!(v.state, ct_state::TRACKED | ct_state::NEW);
+    assert!(ct.dump(None, 0).contains("state=SYN_SENT"));
+
+    // SYN-ACK reply: ESTABLISHED.
+    let v = ct.process_full(
+        key(1).reversed(),
+        TRACK,
+        Some(flags::SYN | flags::ACK),
+        None,
+        10,
+    );
+    assert!(v.state & ct_state::ESTABLISHED != 0);
+    assert!(ct.dump(None, 0).contains("state=ESTABLISHED"));
+
+    // FIN: FIN_WAIT, with its shorter timeout.
+    ct.process_full(key(1), TRACK, Some(flags::FIN | flags::ACK), None, 20);
+    assert!(ct.dump(None, 0).contains("state=FIN_WAIT"));
+
+    // Second FIN: TIME_WAIT; idles out at the TIME_WAIT timeout.
+    ct.process_full(
+        key(1).reversed(),
+        TRACK,
+        Some(flags::FIN | flags::ACK),
+        None,
+        30,
+    );
+    assert!(ct.dump(None, 0).contains("state=TIME_WAIT"));
+    let tw = ct.timeouts.tcp_time_wait_ns;
+    assert_eq!(ct.sweep_all(30 + tw + 1), 1, "TIME_WAIT reaped quickly");
+}
+
+#[test]
+fn rst_never_creates_state() {
+    let mut ct = CtTable::new();
+    let v = ct.process_full(key(1), COMMIT, Some(flags::RST), None, 0);
+    assert_eq!(v.drop, Some(CtDrop::InvalidState));
+    assert!(ct.is_empty());
+    assert_eq!(ct.stats.invalid_drops, 1);
+}
+
+#[test]
+fn strict_mode_refuses_midstream_commit() {
+    let mut ct = CtTable::with_config(CtConfig {
+        tcp_loose: false,
+        ..CtConfig::default()
+    });
+    // Bare ACK data packet with no connection: refused.
+    let v = ct.process_full(key(1), COMMIT, Some(flags::ACK), None, 0);
+    assert_eq!(v.drop, Some(CtDrop::InvalidState));
+    // A SYN is fine.
+    let v = ct.process_full(key(1), COMMIT, Some(flags::SYN), None, 1);
+    assert_eq!(v.drop, None);
+}
+
+#[test]
+fn bounded_table_evicts_new_before_refusing() {
+    let mut ct = CtTable::with_config(CtConfig {
+        shards: 4,
+        max_conns: 8,
+        pressure_pct: 100,
+        early_drop: true,
+        tcp_loose: true,
+    });
+    for port in 0..8u16 {
+        let mut k = key(1);
+        k.src_port = 3000 + port;
+        assert_eq!(ct.process(k, COMMIT, 0).drop, None);
+    }
+    assert_eq!(ct.len(), 8);
+    // Table full of NEW conns: the 9th commit recycles one of them.
+    let mut k9 = key(1);
+    k9.src_port = 4000;
+    let v = ct.process(k9, COMMIT, 10);
+    assert_eq!(v.drop, None, "early-drop made room");
+    assert_eq!(ct.len(), 8);
+    assert!(ct.stats.evictions >= 1);
+    assert_eq!(ct.stats.early_drops, ct.stats.evictions);
+    assert!(ct.accounting_ok());
+}
+
+#[test]
+fn established_conns_immune_under_early_drop() {
+    let mut ct = CtTable::with_config(CtConfig {
+        shards: 2,
+        max_conns: 4,
+        pressure_pct: 100,
+        early_drop: true,
+        tcp_loose: true,
+    });
+    // Fill the table with ESTABLISHED connections.
+    for port in 0..4u16 {
+        let mut k = key(1);
+        k.src_port = 5000 + port;
+        ct.process(k, COMMIT, 0);
+        ct.process(k.reversed(), TRACK, 1);
+    }
+    // Repeated over-capacity commits: all refused, nothing evicted.
+    for port in 0..16u16 {
+        let mut k = key(1);
+        k.src_port = 6000 + port;
+        let v = ct.process(k, COMMIT, 2);
+        assert_eq!(v.drop, Some(CtDrop::TableFull));
+    }
+    assert_eq!(ct.len(), 4);
+    assert_eq!(ct.stats.evictions, 0);
+    assert_eq!(ct.stats.full_drops, 16);
+
+    // The undefended policy sacrifices established state instead.
+    let mut lru = CtTable::with_config(CtConfig {
+        shards: 2,
+        max_conns: 4,
+        pressure_pct: 100,
+        early_drop: false,
+        tcp_loose: true,
+    });
+    for port in 0..4u16 {
+        let mut k = key(1);
+        k.src_port = 5000 + port;
+        lru.process(k, COMMIT, 0);
+        lru.process(k.reversed(), TRACK, 1);
+    }
+    let mut evicted_established = false;
+    for port in 0..16u16 {
+        let mut k = key(1);
+        k.src_port = 6000 + port;
+        if lru.process(k, COMMIT, 2).drop.is_none() {
+            evicted_established = true;
+        }
+    }
+    assert!(
+        evicted_established,
+        "pure LRU cannibalizes established state"
+    );
+}
+
+#[test]
+fn flush_clears_one_zone_or_all() {
+    let mut ct = CtTable::new();
+    for z in 1..=3u16 {
+        let mut k = key(z);
+        k.zone = z;
+        ct.process(k, CtAction::commit(z), 0);
+    }
+    assert_eq!(ct.len(), 3);
+    assert_eq!(ct.flush(Some(2)), 1);
+    assert_eq!(ct.len(), 2);
+    assert_eq!(ct.flush(None), 2);
+    assert!(ct.is_empty());
+    assert!(ct.accounting_ok());
+}
+
+#[test]
+fn shard_affinity_tracked_per_pmd() {
+    let mut ct = CtTable::new();
+    let k = key(1);
+    ct.process_full(k, COMMIT, None, Some(0), 0);
+    ct.process_full(k, TRACK, None, Some(0), 1);
+    ct.process_full(k, TRACK, None, Some(1), 2);
+    assert_eq!(ct.stats.affinity_hits, 1);
+    assert_eq!(ct.stats.affinity_migrations, 1);
+}
+
+#[test]
+fn dump_and_stats_render() {
+    let mut ct = CtTable::new();
+    ct.set_zone_limit(7, 100);
+    ct.process(
+        key(7),
+        CtAction {
+            zone: 7,
+            commit: true,
+            mark: Some(0x5),
+            nat: Some(NatSpec::Snat {
+                ip: [203, 0, 113, 1],
+                port: Some(40_000),
+            }),
+        },
+        0,
+    );
+    let dump = ct.dump(Some(7), 2_000_000_000);
+    assert!(dump.contains(
+        "tcp,orig=(src=10.0.0.1,dst=10.0.0.2,sport=1234,dport=80),zone=7,state=SYN_SENT,age=2s"
+    ));
+    assert!(dump.contains("mark=0x5"));
+    assert!(dump.contains("nat=snat(203.0.113.1:40000)"));
+    assert!(dump.ends_with("ct: 1 connection(s)\n"));
+    let stats = ct.stats_show();
+    assert!(stats.contains("zone 7: 1 / 100 limit"));
+    assert!(stats.contains("commits:1"));
+}

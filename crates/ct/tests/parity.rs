@@ -1,0 +1,500 @@
+//! Parity: the sharded table must be observationally identical to a
+//! single-map reference implementation, op for op.
+//!
+//! The reference model below has none of the production structure — no
+//! shards, no CLOCK queues, no rotating sweeps — just one `HashMap`,
+//! one NAT index, and the shared state-machine helpers. Any divergence
+//! in verdict bits, marks, drop reasons, NAT presence, occupancy, or
+//! zone budgets is a sharding bug by construction. Capacity is left
+//! effectively unbounded and expiry runs only via full sweeps, because
+//! eviction order and partial sweeps are (deliberately) functions of
+//! the shard layout.
+//!
+//! A second, seeded SYN-flood soak pushes a tiny bounded table through
+//! the early-drop defense and checks the exactness invariants the
+//! paper's drop-accounting work demands: every commit attempt is a
+//! commit or a named refusal, and the table's internal accounting
+//! stays coherent.
+
+use std::collections::HashMap;
+
+use ovs_ct::expiry::{self, CtTimeouts};
+use ovs_ct::{ConnKey, CtAction, CtConfig, CtDrop, CtTable, NatSpec, ProtoState};
+use ovs_packet::dp_packet::ct_state;
+use ovs_packet::tcp::flags;
+use proptest::prelude::*;
+
+// ----------------------------------------------------------------------
+// The single-map reference model
+// ----------------------------------------------------------------------
+
+struct RefConn {
+    state: ProtoState,
+    last_seen_ns: u64,
+    mark: u32,
+    nat: Option<NatSpec>,
+    nat_tkey: Option<ConnKey>,
+}
+
+/// What both implementations expose per op: verdict state bits, mark,
+/// drop reason, and whether a NAT rewrite was attached.
+type Observed = (u8, u32, Option<CtDrop>, bool);
+
+#[derive(Default)]
+struct RefCt {
+    conns: HashMap<ConnKey, RefConn>,
+    nat_index: HashMap<ConnKey, (ConnKey, NatSpec)>,
+    zone_counts: HashMap<u16, usize>,
+    zone_limits: HashMap<u16, usize>,
+    timeouts: CtTimeouts,
+}
+
+/// The 5-tuple a reply to a NATed connection arrives with (mirror of
+/// the production mapping, recomputed independently here).
+fn ref_translated_reply_key(orig: &ConnKey, nat: NatSpec) -> ConnKey {
+    let mut fwd = *orig;
+    match nat {
+        NatSpec::Snat { ip, port } => {
+            fwd.src_ip = ip;
+            if let Some(p) = port {
+                fwd.src_port = p;
+            }
+        }
+        NatSpec::Dnat { ip, port } => {
+            fwd.dst_ip = ip;
+            if let Some(p) = port {
+                fwd.dst_port = p;
+            }
+        }
+    }
+    fwd.reversed()
+}
+
+impl RefCt {
+    fn probe(
+        &mut self,
+        key: &ConnKey,
+        reply: bool,
+        tcp_flags: Option<u8>,
+        now_ns: u64,
+    ) -> Option<Observed> {
+        let expired = match self.conns.get(key) {
+            None => return None,
+            Some(c) => now_ns.saturating_sub(c.last_seen_ns) > c.state.timeout(&self.timeouts),
+        };
+        if expired {
+            self.remove(key);
+            return None;
+        }
+        let conn = self.conns.get_mut(key).expect("checked above");
+        conn.last_seen_ns = now_ns;
+        conn.state = expiry::advance(conn.state, tcp_flags, reply);
+        let mut bits = ct_state::TRACKED
+            | if conn.state.is_established() {
+                ct_state::ESTABLISHED
+            } else {
+                ct_state::NEW
+            };
+        if reply {
+            bits |= ct_state::REPLY;
+            bits = (bits & !ct_state::NEW) | ct_state::ESTABLISHED;
+        }
+        Some((bits, conn.mark, None, conn.nat.is_some()))
+    }
+
+    fn remove(&mut self, key: &ConnKey) {
+        if let Some(conn) = self.conns.remove(key) {
+            if let Some(tkey) = conn.nat_tkey {
+                self.nat_index.remove(&tkey);
+            }
+            *self.zone_counts.entry(key.zone).or_default() -= 1;
+        }
+    }
+
+    fn process(
+        &mut self,
+        key: ConnKey,
+        action: CtAction,
+        tcp_flags: Option<u8>,
+        now_ns: u64,
+    ) -> Observed {
+        let key = ConnKey {
+            zone: action.zone,
+            ..key
+        };
+        if let Some(mut v) = self.probe(&key, false, tcp_flags, now_ns) {
+            if action.commit {
+                let conn = self.conns.get_mut(&key).expect("probed live");
+                if conn.mark == 0 {
+                    if let Some(m) = action.mark {
+                        conn.mark = m;
+                        v.1 = m;
+                    }
+                }
+            }
+            return v;
+        }
+        let rkey = key.reversed();
+        if let Some(v) = self.probe(&rkey, true, tcp_flags, now_ns) {
+            return v;
+        }
+        if let Some((orig_key, _nat)) = self.nat_index.get(&key).copied() {
+            if let Some(mut v) = self.probe(&orig_key, true, tcp_flags, now_ns) {
+                v.3 = true;
+                return v;
+            }
+        }
+        // Miss.
+        let bits = ct_state::TRACKED | ct_state::NEW;
+        if !action.commit {
+            return (bits, action.mark.unwrap_or(0), None, action.nat.is_some());
+        }
+        if let Some(reason) = expiry::invalid_new(key.proto, tcp_flags, true) {
+            return (
+                ct_state::TRACKED | ct_state::INVALID,
+                0,
+                Some(reason),
+                false,
+            );
+        }
+        let count = *self.zone_counts.entry(key.zone).or_default();
+        if let Some(&limit) = self.zone_limits.get(&key.zone) {
+            if count >= limit {
+                return (
+                    ct_state::TRACKED | ct_state::INVALID,
+                    0,
+                    Some(CtDrop::ZoneLimit),
+                    false,
+                );
+            }
+        }
+        *self.zone_counts.entry(key.zone).or_default() += 1;
+        let nat_tkey = action.nat.map(|nat| ref_translated_reply_key(&key, nat));
+        if let Some(tkey) = nat_tkey {
+            self.nat_index
+                .insert(tkey, (key, action.nat.expect("nat_tkey implies nat")));
+        }
+        self.conns.insert(
+            key,
+            RefConn {
+                state: expiry::initial_state(key.proto),
+                last_seen_ns: now_ns,
+                mark: action.mark.unwrap_or(0),
+                nat: action.nat,
+                nat_tkey,
+            },
+        );
+        (bits, action.mark.unwrap_or(0), None, action.nat.is_some())
+    }
+
+    fn sweep_all(&mut self, now_ns: u64) {
+        let dead: Vec<ConnKey> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                now_ns.saturating_sub(c.last_seen_ns) > c.state.timeout(&self.timeouts)
+            })
+            .map(|(k, _)| *k)
+            .collect();
+        for k in dead {
+            self.remove(&k);
+        }
+    }
+
+    fn zone_count(&self, zone: u16) -> usize {
+        self.zone_counts.get(&zone).copied().unwrap_or(0)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Random op schedules
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Forward-direction packet (maybe committing, maybe NATing).
+    Packet {
+        key_id: u8,
+        zone: u16,
+        proto_sel: u8,
+        commit: bool,
+        mark: Option<u32>,
+        nat: Option<NatSpec>,
+        flags_sel: u8,
+    },
+    /// Reply-direction packet for a key (post-NAT tuple if the original
+    /// commit carried NAT — exercised via the NAT index probe).
+    Reply {
+        key_id: u8,
+        zone: u16,
+        proto_sel: u8,
+    },
+    /// Advance time and fully sweep both tables.
+    Sweep { dt_ns: u64 },
+}
+
+/// A small key universe so schedules revisit connections: hits, state
+/// advances, and NAT-index probes all actually happen.
+fn key_of(key_id: u8, zone: u16, proto_sel: u8) -> ConnKey {
+    ConnKey {
+        zone,
+        src_ip: [10, 0, 0, key_id],
+        dst_ip: [192, 168, 0, 1 + (key_id % 3)],
+        src_port: 1000 + key_id as u16,
+        dst_port: 443,
+        proto: match proto_sel % 3 {
+            0 => 6,
+            1 => 17,
+            _ => 1,
+        },
+    }
+}
+
+fn flags_of(sel: u8, proto: u8) -> Option<u8> {
+    if proto != 6 {
+        return None;
+    }
+    match sel % 6 {
+        0 => None,
+        1 => Some(flags::SYN),
+        2 => Some(flags::SYN | flags::ACK),
+        3 => Some(flags::ACK),
+        4 => Some(flags::FIN | flags::ACK),
+        _ => Some(flags::RST),
+    }
+}
+
+fn arb_nat() -> impl Strategy<Value = Option<NatSpec>> {
+    // The vendored proptest's `prop_oneof!` is uniform; duplicate the
+    // None branch to bias toward un-NATed connections.
+    prop_oneof![
+        Just(None),
+        Just(None),
+        Just(None),
+        (any::<u8>(), any::<u16>()).prop_map(|(o, p)| Some(NatSpec::Snat {
+            ip: [100, 64, 0, o],
+            port: Some(20_000 + p % 1000),
+        })),
+        (any::<u8>(), any::<u16>()).prop_map(|(o, p)| Some(NatSpec::Dnat {
+            ip: [172, 16, 0, o],
+            port: Some(30_000 + p % 1000),
+        })),
+    ]
+}
+
+fn arb_packet() -> impl Strategy<Value = Op> {
+    (
+        any::<u8>(),
+        0u16..4,
+        any::<u8>(),
+        any::<bool>(),
+        prop_oneof![Just(None), Just(None), (1u32..100).prop_map(Some)],
+        arb_nat(),
+        any::<u8>(),
+    )
+        .prop_map(
+            |(key_id, zone, proto_sel, commit, mark, nat, flags_sel)| Op::Packet {
+                key_id: key_id % 24,
+                zone,
+                proto_sel,
+                commit,
+                mark,
+                nat,
+                flags_sel,
+            },
+        )
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        arb_packet(),
+        arb_packet(),
+        arb_packet(),
+        arb_packet(),
+        (any::<u8>(), 0u16..4, any::<u8>()).prop_map(|(key_id, zone, proto_sel)| Op::Reply {
+            key_id: key_id % 24,
+            zone,
+            proto_sel,
+        }),
+        (any::<u8>(), 0u16..4, any::<u8>()).prop_map(|(key_id, zone, proto_sel)| Op::Reply {
+            key_id: key_id % 24,
+            zone,
+            proto_sel,
+        }),
+        (1u64..200_000_000_000u64).prop_map(|dt_ns| Op::Sweep { dt_ns }),
+    ]
+}
+
+proptest! {
+    /// Sharded table ≡ single-map reference over arbitrary schedules of
+    /// commits, tracks, replies, NAT setups, zone limits, and sweeps.
+    #[test]
+    fn sharded_equals_reference(ops in proptest::collection::vec(arb_op(), 1..120),
+                                shards_pow in 0u32..6) {
+        let mut sharded = CtTable::with_config(CtConfig {
+            shards: 1 << shards_pow,
+            max_conns: usize::MAX / 2,
+            ..CtConfig::default()
+        });
+        let mut reference = RefCt::default();
+        // The same zone budgets on both sides.
+        for zone in 0..4u16 {
+            let limit = 3 + zone as usize * 2;
+            sharded.set_zone_limit(zone, limit);
+            reference.zone_limits.insert(zone, limit);
+        }
+
+        let mut now: u64 = 0;
+        // Remember each key's committed NAT so replies can be offered
+        // with the tuple the network would actually deliver.
+        let mut nat_of: HashMap<ConnKey, NatSpec> = HashMap::new();
+
+        for op in &ops {
+            now += 1_000;
+            match *op {
+                Op::Packet { key_id, zone, proto_sel, commit, mark, nat, flags_sel } => {
+                    let key = key_of(key_id, zone, proto_sel);
+                    let tcp_flags = flags_of(flags_sel, key.proto);
+                    let action = CtAction { zone, commit, mark, nat };
+                    let v = sharded.process_full(key, action, tcp_flags, None, now);
+                    let r = reference.process(key, action, tcp_flags, now);
+                    prop_assert_eq!((v.state, v.mark, v.drop, v.nat.is_some()), r,
+                        "diverged on forward packet {:?}", op);
+                    if commit && v.drop.is_none() {
+                        if let Some(n) = nat {
+                            nat_of.insert(key, n);
+                        }
+                    }
+                }
+                Op::Reply { key_id, zone, proto_sel } => {
+                    let key = key_of(key_id, zone, proto_sel);
+                    // Post-NAT reply tuple when the connection was NATed.
+                    let rkey = match nat_of.get(&key) {
+                        Some(&n) => ref_translated_reply_key(&key, n),
+                        None => key.reversed(),
+                    };
+                    let action = CtAction::track(zone);
+                    let v = sharded.process_full(rkey, action, None, None, now);
+                    let r = reference.process(rkey, action, None, now);
+                    prop_assert_eq!((v.state, v.mark, v.drop, v.nat.is_some()), r,
+                        "diverged on reply {:?}", op);
+                }
+                Op::Sweep { dt_ns } => {
+                    now += dt_ns;
+                    sharded.sweep_all(now);
+                    reference.sweep_all(now);
+                }
+            }
+            prop_assert_eq!(sharded.len(), reference.conns.len(), "occupancy diverged");
+            for zone in 0..4u16 {
+                prop_assert_eq!(sharded.zones.count(zone), reference.zone_count(zone),
+                    "zone {} budget diverged", zone);
+            }
+            prop_assert!(sharded.accounting_ok(), "sharded internal accounting broke");
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Seeded SYN-flood soak: exact accounting under the early-drop defense
+// ----------------------------------------------------------------------
+
+#[test]
+fn syn_flood_soak_accounts_for_every_packet() {
+    let mut ct = CtTable::with_config(CtConfig {
+        shards: 16,
+        max_conns: 512,
+        pressure_pct: 90,
+        early_drop: true,
+        tcp_loose: false,
+    });
+    // Zone 2's budget is small enough to engage before global pressure
+    // (128 legit + 200 < the 460-conn pressure threshold); zone 3 is
+    // uncapped and pushes the table into the early-drop regime.
+    ct.set_zone_limit(2, 200);
+
+    // A legitimate population that must survive.
+    let legit: Vec<ConnKey> = (0..128)
+        .map(|i| ConnKey {
+            zone: 1,
+            src_ip: [10, 0, 0, i as u8],
+            dst_ip: [192, 168, 0, 1],
+            src_port: 1000 + i,
+            dst_port: 443,
+            proto: 6,
+        })
+        .collect();
+    let mut offered: u64 = 0;
+    for k in &legit {
+        ct.process_full(*k, CtAction::commit(1), Some(flags::SYN), Some(0), 0);
+        ct.process_full(
+            k.reversed(),
+            CtAction::track(1),
+            Some(flags::SYN | flags::ACK),
+            Some(0),
+            1_000,
+        );
+        offered += 1;
+    }
+
+    // The flood: 20k unique SYNs, first half into the capped zone 2,
+    // second half into uncapped zone 3, legit data interleaved so the
+    // established population stays referenced.
+    let mut now = 2_000u64;
+    for i in 0..20_000u32 {
+        now += 1_000;
+        let zone = if i < 10_000 { 2 } else { 3 };
+        let k = ConnKey {
+            zone,
+            src_ip: [203, 0, (i >> 8) as u8, i as u8],
+            dst_ip: [192, 168, 0, 1],
+            src_port: (1024 + (i % 60_000)) as u16,
+            dst_port: 443,
+            proto: 6,
+        };
+        let v = ct.process_full(k, CtAction::commit(zone), Some(flags::SYN), Some(1), now);
+        offered += 1;
+        assert!(
+            v.drop.is_none() || matches!(v.drop, Some(CtDrop::ZoneLimit | CtDrop::TableFull)),
+            "flood SYNs may only be refused under a capacity reason"
+        );
+        if i % 7 == 0 {
+            let j = (i as usize * 31) % legit.len();
+            let v = ct.process_full(legit[j], CtAction::track(1), Some(flags::ACK), Some(0), now);
+            assert_eq!(
+                v.state & ct_state::ESTABLISHED,
+                ct_state::ESTABLISHED,
+                "established legit connection lost under flood (conn {j})"
+            );
+        }
+    }
+
+    let s = ct.stats;
+    assert_eq!(s.ops, s.hits + s.misses, "every op is a hit or a miss");
+    assert_eq!(
+        offered,
+        s.commits + s.zone_limit_drops + s.full_drops + s.invalid_drops,
+        "every commit attempt must be a commit or a named refusal"
+    );
+    assert!(
+        ct.accounting_ok(),
+        "shard/zone accounting broke under flood"
+    );
+    assert!(ct.len() <= 512, "bound violated: {} conns", ct.len());
+    assert_eq!(s.invalid_drops, 0, "no flood SYN is invalid");
+    assert!(
+        s.zone_limit_drops > 0,
+        "the untrusted zone's budget must have engaged"
+    );
+    assert!(
+        s.early_drops > 0,
+        "the early-drop defense must have recycled embryonic conns"
+    );
+    // All 128 legit connections still present and established.
+    let dump = ct.dump(Some(1), now);
+    let established = dump
+        .lines()
+        .filter(|l| l.contains("state=ESTABLISHED"))
+        .count();
+    assert_eq!(established, 128, "legit population must survive the flood");
+}

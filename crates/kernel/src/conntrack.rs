@@ -1,653 +1,14 @@
-//! Connection tracking with zones — the kernel netfilter feature NSX's
-//! distributed firewall depends on (§4), including the per-zone connection
-//! limiting whose out-of-tree backport cost 700+ lines (§2.1.1).
+//! Connection-tracking primitives, re-exported from the `ovs-ct`
+//! subsystem crate.
+//!
+//! The flat single-`HashMap` table that used to live here (with its
+//! full-table `expire()` scan) was replaced by the sharded
+//! [`ovs_ct::CtTable`] — zones with per-zone limits, a bounded global
+//! table with early-drop eviction, a TCP-lite state machine with
+//! per-state timeouts, and rotating-slice expiry sweeps. The kernel
+//! datapath ([`crate::ovs_module`]) and the userspace datapath both
+//! track against `CtTable` now; this module keeps the packet-level
+//! primitives (`ConnKey`, NAT specs/rewrites, `apply_rewrite`)
+//! importable under their historical `ovs_kernel::conntrack` paths.
 
-use ovs_packet::dp_packet::ct_state;
-use std::collections::HashMap;
-
-/// A direction-oriented 5-tuple plus zone.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ConnKey {
-    pub zone: u16,
-    pub src_ip: [u8; 4],
-    pub dst_ip: [u8; 4],
-    pub src_port: u16,
-    pub dst_port: u16,
-    pub proto: u8,
-}
-
-impl ConnKey {
-    /// The same connection seen from the reply direction.
-    pub fn reversed(&self) -> ConnKey {
-        ConnKey {
-            zone: self.zone,
-            src_ip: self.dst_ip,
-            dst_ip: self.src_ip,
-            src_port: self.dst_port,
-            dst_port: self.src_port,
-            proto: self.proto,
-        }
-    }
-}
-
-/// Connection lifecycle (TCP-lite; non-TCP uses New/Established only).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ConnState {
-    /// Seen one direction only.
-    New,
-    /// Seen traffic in both directions.
-    Established,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Conn {
-    state: ConnState,
-    last_seen_ns: u64,
-    mark: u32,
-    nat: Option<NatSpec>,
-}
-
-/// NAT rewrite to apply when committing a connection, mirroring the OVS
-/// `ct(nat(...))` action. The reverse mapping is applied automatically to
-/// reply-direction traffic.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum NatSpec {
-    /// Source NAT: rewrite the source address (and optionally port).
-    Snat { ip: [u8; 4], port: Option<u16> },
-    /// Destination NAT: rewrite the destination address (and optionally
-    /// port) — the load-balancer/VIP case.
-    Dnat { ip: [u8; 4], port: Option<u16> },
-}
-
-/// What the caller asked conntrack to do, mirroring the OVS `ct()` action.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CtAction {
-    /// Zone to track in.
-    pub zone: u16,
-    /// Add the connection to the table if it is new.
-    pub commit: bool,
-    /// Set the connection mark on commit.
-    pub mark: Option<u32>,
-    /// NAT to set up on commit (ignored without `commit`).
-    pub nat: Option<NatSpec>,
-}
-
-impl CtAction {
-    /// A plain tracking action for `zone`.
-    pub fn track(zone: u16) -> Self {
-        Self {
-            zone,
-            commit: false,
-            mark: None,
-            nat: None,
-        }
-    }
-
-    /// A committing action for `zone`.
-    pub fn commit(zone: u16) -> Self {
-        Self {
-            zone,
-            commit: true,
-            mark: None,
-            nat: None,
-        }
-    }
-}
-
-/// A concrete header rewrite the datapath must apply to this packet.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum NatRewrite {
-    /// Rewrite the source address/port (forward direction of SNAT, or the
-    /// reply direction of DNAT).
-    Src { ip: [u8; 4], port: Option<u16> },
-    /// Rewrite the destination address/port.
-    Dst { ip: [u8; 4], port: Option<u16> },
-}
-
-/// Result of a conntrack pass: the `ct_state` bits for the packet, the
-/// connection mark, and any NAT rewrite the datapath must perform.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct CtVerdict {
-    /// Bits from [`ovs_packet::dp_packet::ct_state`].
-    pub state: u8,
-    /// Connection mark (0 if none).
-    pub mark: u32,
-    /// Header rewrite to apply, if the connection is NATed.
-    pub nat: Option<NatRewrite>,
-}
-
-/// The connection-tracking table.
-#[derive(Debug, Default)]
-pub struct Conntrack {
-    conns: HashMap<ConnKey, Conn>,
-    /// Per-zone connection limits (the nf_conncount feature).
-    zone_limits: HashMap<u16, usize>,
-    /// Per-zone current counts.
-    zone_counts: HashMap<u16, usize>,
-    /// Reply-direction keys of NATed connections → (original key, spec).
-    nat_index: HashMap<ConnKey, (ConnKey, NatSpec)>,
-    /// Idle timeout before a connection expires.
-    pub timeout_ns: u64,
-    /// Total commits refused by a zone limit.
-    pub limit_drops: u64,
-    /// Total `process` calls (for cost accounting).
-    pub ops: u64,
-}
-
-impl Conntrack {
-    /// An empty table with a 120 s idle timeout.
-    pub fn new() -> Self {
-        Self {
-            timeout_ns: 120_000_000_000,
-            ..Self::default()
-        }
-    }
-
-    /// Number of tracked connections.
-    pub fn len(&self) -> usize {
-        self.conns.len()
-    }
-
-    /// True when no connections are tracked.
-    pub fn is_empty(&self) -> bool {
-        self.conns.is_empty()
-    }
-
-    /// Set a per-zone connection limit.
-    pub fn set_zone_limit(&mut self, zone: u16, limit: usize) {
-        self.zone_limits.insert(zone, limit);
-    }
-
-    /// Track one packet. Looks the 5-tuple up in both directions, sets
-    /// state bits, optionally commits new connections, and updates
-    /// liveness. TCP RST/FIN are treated as normal traffic (timeout-based
-    /// expiry, as with the default kernel behaviour at this fidelity).
-    pub fn process(&mut self, key: ConnKey, action: CtAction, now_ns: u64) -> CtVerdict {
-        self.ops += 1;
-        let key = ConnKey {
-            zone: action.zone,
-            ..key
-        };
-        // Original direction?
-        if let Some(conn) = self.conns.get_mut(&key) {
-            conn.last_seen_ns = now_ns;
-            let bits = ct_state::TRACKED
-                | match conn.state {
-                    ConnState::New => ct_state::NEW,
-                    ConnState::Established => ct_state::ESTABLISHED,
-                };
-            return CtVerdict {
-                state: bits,
-                mark: conn.mark,
-                nat: conn.nat.map(forward_rewrite),
-            };
-        }
-        // Reply direction? For NATed connections the reply arrives with
-        // the *translated* addresses, so the stored key is probed with the
-        // translation undone.
-        let rkey = key.reversed();
-        if let Some(conn) = self.conns.get_mut(&rkey) {
-            conn.last_seen_ns = now_ns;
-            // Seeing the reply establishes the connection.
-            conn.state = ConnState::Established;
-            let mark = conn.mark;
-            let nat = conn.nat.map(|n| reply_rewrite(&rkey, n));
-            return CtVerdict {
-                state: ct_state::TRACKED | ct_state::ESTABLISHED | ct_state::REPLY,
-                mark,
-                nat,
-            };
-        }
-        // NATed reply: the reply arrives with the *translated* tuple, so
-        // probe the translation index and restore the original addresses.
-        if let Some((orig_key, nat)) = self.reverse_nat_probe(&key) {
-            if let Some(conn) = self.conns.get_mut(&orig_key) {
-                conn.last_seen_ns = now_ns;
-                conn.state = ConnState::Established;
-                let mark = conn.mark;
-                return CtVerdict {
-                    state: ct_state::TRACKED | ct_state::ESTABLISHED | ct_state::REPLY,
-                    mark,
-                    nat: Some(reply_rewrite(&orig_key, nat)),
-                };
-            }
-        }
-        // New connection.
-        if action.commit {
-            let count = self.zone_counts.entry(action.zone).or_insert(0);
-            if let Some(&limit) = self.zone_limits.get(&action.zone) {
-                if *count >= limit {
-                    self.limit_drops += 1;
-                    return CtVerdict {
-                        state: ct_state::TRACKED | ct_state::INVALID,
-                        mark: 0,
-                        nat: None,
-                    };
-                }
-            }
-            *count += 1;
-            self.conns.insert(
-                key,
-                Conn {
-                    state: ConnState::New,
-                    last_seen_ns: now_ns,
-                    mark: action.mark.unwrap_or(0),
-                    nat: action.nat,
-                },
-            );
-            if let Some(nat) = action.nat {
-                // Index the translated 5-tuple so replies can be matched.
-                self.nat_index
-                    .insert(translated_reply_key(&key, nat), (key, nat));
-            }
-        }
-        CtVerdict {
-            state: ct_state::TRACKED | ct_state::NEW,
-            mark: action.mark.unwrap_or(0),
-            nat: action.nat.map(forward_rewrite),
-        }
-    }
-
-    /// Look up a reply-direction key of a NATed connection.
-    fn reverse_nat_probe(&self, key: &ConnKey) -> Option<(ConnKey, NatSpec)> {
-        self.nat_index.get(key).copied()
-    }
-
-    /// Expire idle connections. Returns how many were removed.
-    pub fn expire(&mut self, now_ns: u64) -> usize {
-        let timeout = self.timeout_ns;
-        let mut removed = 0;
-        let expired: Vec<ConnKey> = self
-            .conns
-            .iter()
-            .filter(|(_, c)| now_ns.saturating_sub(c.last_seen_ns) > timeout)
-            .map(|(k, _)| *k)
-            .collect();
-        for k in expired {
-            if let Some(conn) = self.conns.remove(&k) {
-                if let Some(nat) = conn.nat {
-                    self.nat_index.remove(&translated_reply_key(&k, nat));
-                }
-            }
-            if let Some(c) = self.zone_counts.get_mut(&k.zone) {
-                *c = c.saturating_sub(1);
-            }
-            removed += 1;
-        }
-        removed
-    }
-}
-
-/// The rewrite applied to forward-direction packets of a NATed connection.
-fn forward_rewrite(nat: NatSpec) -> NatRewrite {
-    match nat {
-        NatSpec::Snat { ip, port } => NatRewrite::Src { ip, port },
-        NatSpec::Dnat { ip, port } => NatRewrite::Dst { ip, port },
-    }
-}
-
-/// The rewrite applied to reply-direction packets: the inverse mapping,
-/// restoring the addresses the connection's originator used. `orig` is the
-/// stored (pre-NAT) forward key.
-fn reply_rewrite(orig: &ConnKey, nat: NatSpec) -> NatRewrite {
-    match nat {
-        // SNAT rewrote the forward source; the reply's destination must be
-        // restored to the original (private) source address.
-        NatSpec::Snat { .. } => NatRewrite::Dst {
-            ip: orig.src_ip,
-            port: Some(orig.src_port),
-        },
-        // DNAT rewrote the forward destination; the reply's source must be
-        // restored to the original (virtual) destination address.
-        NatSpec::Dnat { .. } => NatRewrite::Src {
-            ip: orig.dst_ip,
-            port: Some(orig.dst_port),
-        },
-    }
-}
-
-/// Apply a NAT rewrite to an Ethernet/IPv4/{TCP,UDP} frame in place,
-/// repairing the IP header checksum and the L4 checksum.
-pub fn apply_rewrite(frame: &mut [u8], rw: &NatRewrite) -> bool {
-    use ovs_packet::ethernet::{self, EthernetFrame};
-    use ovs_packet::ipv4::{self, Ipv4Packet};
-    use ovs_packet::{tcp, udp, EtherType};
-
-    let Ok(eth) = EthernetFrame::new_checked(&*frame) else {
-        return false;
-    };
-    if eth.ethertype() != EtherType::Ipv4 {
-        return false;
-    }
-    let l3 = ethernet::HEADER_LEN;
-    let (proto, header_len) = {
-        let Ok(ip) = Ipv4Packet::new_checked(&frame[l3..]) else {
-            return false;
-        };
-        (ip.protocol(), ip.header_len())
-    };
-    {
-        let mut ip = Ipv4Packet::new_unchecked(&mut frame[l3..]);
-        match rw {
-            NatRewrite::Src { ip: a, .. } => ip.set_src(*a),
-            NatRewrite::Dst { ip: a, .. } => ip.set_dst(*a),
-        }
-        ip.fill_checksum();
-    }
-    let (src, dst) = {
-        let ip = Ipv4Packet::new_unchecked(&frame[l3..]);
-        (ip.src(), ip.dst())
-    };
-    let l4 = l3 + header_len;
-    match proto {
-        ipv4::protocol::TCP => {
-            if let Ok(mut t) = tcp::TcpSegment::new_checked(&mut frame[l4..]) {
-                match rw {
-                    NatRewrite::Src { port: Some(p), .. } => t.set_src_port(*p),
-                    NatRewrite::Dst { port: Some(p), .. } => t.set_dst_port(*p),
-                    _ => {}
-                }
-                t.fill_checksum_ipv4(src, dst);
-            }
-        }
-        ipv4::protocol::UDP => {
-            if let Ok(mut u) = udp::UdpDatagram::new_checked(&mut frame[l4..]) {
-                match rw {
-                    NatRewrite::Src { port: Some(p), .. } => u.set_src_port(*p),
-                    NatRewrite::Dst { port: Some(p), .. } => u.set_dst_port(*p),
-                    _ => {}
-                }
-                u.fill_checksum_ipv4(src, dst);
-            }
-        }
-        _ => {}
-    }
-    true
-}
-
-/// The 5-tuple a reply to a NATed connection arrives with.
-fn translated_reply_key(orig: &ConnKey, nat: NatSpec) -> ConnKey {
-    let mut fwd = *orig;
-    match nat {
-        NatSpec::Snat { ip, port } => {
-            fwd.src_ip = ip;
-            if let Some(p) = port {
-                fwd.src_port = p;
-            }
-        }
-        NatSpec::Dnat { ip, port } => {
-            fwd.dst_ip = ip;
-            if let Some(p) = port {
-                fwd.dst_port = p;
-            }
-        }
-    }
-    fwd.reversed()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn key(zone: u16) -> ConnKey {
-        ConnKey {
-            zone,
-            src_ip: [10, 0, 0, 1],
-            dst_ip: [10, 0, 0, 2],
-            src_port: 1234,
-            dst_port: 80,
-            proto: 6,
-        }
-    }
-
-    const COMMIT: CtAction = CtAction {
-        zone: 1,
-        commit: true,
-        mark: None,
-        nat: None,
-    };
-    const TRACK: CtAction = CtAction {
-        zone: 1,
-        commit: false,
-        mark: None,
-        nat: None,
-    };
-
-    #[test]
-    fn new_then_reply_establishes() {
-        let mut ct = Conntrack::new();
-        let v = ct.process(key(1), COMMIT, 0);
-        assert_eq!(v.state, ct_state::TRACKED | ct_state::NEW);
-        assert_eq!(ct.len(), 1);
-
-        // Reply direction.
-        let v = ct.process(key(1).reversed(), TRACK, 10);
-        assert_eq!(
-            v.state,
-            ct_state::TRACKED | ct_state::ESTABLISHED | ct_state::REPLY
-        );
-
-        // Original direction again: established now.
-        let v = ct.process(key(1), TRACK, 20);
-        assert_eq!(v.state, ct_state::TRACKED | ct_state::ESTABLISHED);
-    }
-
-    #[test]
-    fn uncommitted_new_is_not_stored() {
-        let mut ct = Conntrack::new();
-        let v = ct.process(key(1), TRACK, 0);
-        assert_eq!(v.state, ct_state::TRACKED | ct_state::NEW);
-        assert!(ct.is_empty());
-    }
-
-    #[test]
-    fn zones_are_isolated() {
-        let mut ct = Conntrack::new();
-        ct.process(key(1), COMMIT, 0);
-        // Same tuple, different zone: still new.
-        let v = ct.process(key(2), CtAction::track(2), 0);
-        assert_eq!(v.state, ct_state::TRACKED | ct_state::NEW);
-    }
-
-    #[test]
-    fn zone_limit_enforced() {
-        let mut ct = Conntrack::new();
-        ct.set_zone_limit(1, 2);
-        for port in 0..2u16 {
-            let mut k = key(1);
-            k.src_port = 1000 + port;
-            let v = ct.process(k, COMMIT, 0);
-            assert!(v.state & ct_state::INVALID == 0);
-        }
-        let mut k3 = key(1);
-        k3.src_port = 1002;
-        let v = ct.process(k3, COMMIT, 0);
-        assert!(
-            v.state & ct_state::INVALID != 0,
-            "over-limit commit marked invalid"
-        );
-        assert_eq!(ct.limit_drops, 1);
-        assert_eq!(ct.len(), 2);
-    }
-
-    #[test]
-    fn expiry_frees_zone_budget() {
-        let mut ct = Conntrack::new();
-        ct.set_zone_limit(1, 1);
-        ct.timeout_ns = 100;
-        ct.process(key(1), COMMIT, 0);
-        assert_eq!(ct.expire(50), 0, "not yet idle long enough");
-        assert_eq!(ct.expire(200), 1);
-        assert!(ct.is_empty());
-        // Zone budget is back.
-        let v = ct.process(key(1), COMMIT, 300);
-        assert!(v.state & ct_state::INVALID == 0);
-    }
-
-    #[test]
-    fn snat_forward_and_reply_rewrites() {
-        let mut ct = Conntrack::new();
-        let nat = NatSpec::Snat {
-            ip: [203, 0, 113, 1],
-            port: Some(40_000),
-        };
-        let act = CtAction {
-            zone: 1,
-            commit: true,
-            mark: None,
-            nat: Some(nat),
-        };
-        // Forward: rewrite source to the public address.
-        let v = ct.process(key(1), act, 0);
-        assert_eq!(
-            v.nat,
-            Some(NatRewrite::Src {
-                ip: [203, 0, 113, 1],
-                port: Some(40_000)
-            })
-        );
-
-        // The reply arrives addressed to the *translated* source.
-        let reply = ConnKey {
-            zone: 1,
-            src_ip: [10, 0, 0, 2],
-            dst_ip: [203, 0, 113, 1],
-            src_port: 80,
-            dst_port: 40_000,
-            proto: 6,
-        };
-        let v = ct.process(reply, CtAction::track(1), 1);
-        assert!(
-            v.state & ct_state::REPLY != 0,
-            "recognized as reply: {:02x}",
-            v.state
-        );
-        // ... and must be rewritten back to the original private address.
-        assert_eq!(
-            v.nat,
-            Some(NatRewrite::Dst {
-                ip: [10, 0, 0, 1],
-                port: Some(1234)
-            })
-        );
-    }
-
-    #[test]
-    fn dnat_maps_vip_to_backend() {
-        let mut ct = Conntrack::new();
-        let nat = NatSpec::Dnat {
-            ip: [192, 168, 1, 10],
-            port: Some(8080),
-        };
-        let act = CtAction {
-            zone: 9,
-            commit: true,
-            mark: None,
-            nat: Some(nat),
-        };
-        let v = ct.process(key(9), CtAction { zone: 9, ..act }, 0);
-        assert_eq!(
-            v.nat,
-            Some(NatRewrite::Dst {
-                ip: [192, 168, 1, 10],
-                port: Some(8080)
-            })
-        );
-        // Reply comes FROM the backend.
-        let reply = ConnKey {
-            zone: 9,
-            src_ip: [192, 168, 1, 10],
-            dst_ip: [10, 0, 0, 1],
-            src_port: 8080,
-            dst_port: 1234,
-            proto: 6,
-        };
-        let v = ct.process(reply, CtAction::track(9), 1);
-        assert!(v.state & ct_state::REPLY != 0);
-        // Restored to the VIP the client originally targeted.
-        assert_eq!(
-            v.nat,
-            Some(NatRewrite::Src {
-                ip: [10, 0, 0, 2],
-                port: Some(80)
-            })
-        );
-    }
-
-    #[test]
-    fn apply_rewrite_fixes_checksums() {
-        use ovs_packet::{builder, MacAddr};
-        let mut f = builder::udp_ipv4(
-            MacAddr::new(2, 0, 0, 0, 0, 1),
-            MacAddr::new(2, 0, 0, 0, 0, 2),
-            [10, 0, 0, 1],
-            [10, 0, 0, 2],
-            1234,
-            80,
-            b"payload",
-        );
-        assert!(apply_rewrite(
-            &mut f,
-            &NatRewrite::Src {
-                ip: [203, 0, 113, 7],
-                port: Some(55_555)
-            }
-        ));
-        let ip = ovs_packet::ipv4::Ipv4Packet::new_checked(&f[14..]).unwrap();
-        assert_eq!(ip.src(), [203, 0, 113, 7]);
-        assert!(ip.verify_checksum());
-        let u = ovs_packet::udp::UdpDatagram::new_checked(ip.payload()).unwrap();
-        assert_eq!(u.src_port(), 55_555);
-        assert!(u.verify_checksum_ipv4(ip.src(), ip.dst()));
-    }
-
-    #[test]
-    fn nat_index_cleaned_on_expiry() {
-        let mut ct = Conntrack::new();
-        ct.timeout_ns = 10;
-        let nat = NatSpec::Snat {
-            ip: [203, 0, 113, 1],
-            port: None,
-        };
-        ct.process(
-            key(1),
-            CtAction {
-                zone: 1,
-                commit: true,
-                mark: None,
-                nat: Some(nat),
-            },
-            0,
-        );
-        assert_eq!(ct.expire(100), 1);
-        // Reply after expiry is just a new, untracked flow.
-        let reply = ConnKey {
-            zone: 1,
-            src_ip: [10, 0, 0, 2],
-            dst_ip: [203, 0, 113, 1],
-            src_port: 80,
-            dst_port: 1234,
-            proto: 6,
-        };
-        let v = ct.process(reply, CtAction::track(1), 101);
-        assert!(v.state & ct_state::NEW != 0);
-        assert_eq!(v.nat, None);
-    }
-
-    #[test]
-    fn mark_set_on_commit_and_returned() {
-        let mut ct = Conntrack::new();
-        ct.process(
-            key(1),
-            CtAction {
-                zone: 1,
-                commit: true,
-                mark: Some(0xbeef),
-                nat: None,
-            },
-            0,
-        );
-        let v = ct.process(key(1).reversed(), TRACK, 1);
-        assert_eq!(v.mark, 0xbeef);
-    }
-}
+pub use ovs_ct::{apply_rewrite, ConnKey, CtAction, CtTable, CtVerdict, NatRewrite, NatSpec};

@@ -6,7 +6,7 @@
 //! [`Kernel::receive`] and [`Kernel::transmit`]; every modelled operation
 //! charges the cost model through `self.sim`.
 
-use crate::conntrack::Conntrack;
+use crate::conntrack::CtTable;
 use crate::dev::{Attachment, DeviceKind, NetDevice, Owner, XdpAttachment, XdpMode};
 use crate::guest::{Guest, GuestRole, VirtioBackend};
 use crate::namespace::{reflect_frame, ContainerRole, Namespace};
@@ -98,7 +98,7 @@ pub struct Kernel {
     /// The neighbour (ARP) table.
     pub neighbors: NeighTable,
     /// Kernel conntrack.
-    pub conntrack: Conntrack,
+    pub conntrack: CtTable,
     /// The OVS kernel datapath module.
     pub ovs: OvsModule,
     /// Global BPF map registry (map fds are kernel-wide).
@@ -141,7 +141,7 @@ impl Kernel {
             addrs: Vec::new(),
             routes: RouteTable::new(),
             neighbors: NeighTable::new(),
-            conntrack: Conntrack::new(),
+            conntrack: CtTable::new(),
             ovs: OvsModule::new(),
             maps: MapSet::new(),
             vm: Vm::new(),
@@ -651,7 +651,7 @@ impl Kernel {
             self.ovs.stats.lookups,
             self.ovs.stats.tunnel_encaps,
             self.ovs.stats.tunnel_decaps,
-            self.conntrack.ops,
+            self.conntrack.stats.ops,
         );
         let verdicts = {
             let mut env = DpEnv {
@@ -667,7 +667,7 @@ impl Kernel {
         let c = (self.ovs.stats.lookups - lookups0) as f64 * self.sim.costs.kernel_ovs_flow_ns
             + (self.ovs.stats.tunnel_encaps - enc0 + self.ovs.stats.tunnel_decaps - dec0) as f64
                 * self.sim.costs.kernel_tunnel_ns
-            + (self.conntrack.ops - ct0) as f64 * self.sim.costs.kernel_conntrack_ns;
+            + (self.conntrack.stats.ops - ct0) as f64 * self.sim.costs.kernel_conntrack_ns;
         self.charge_softirq(core, c);
 
         let mut outcome = RxOutcome::Bridged;
@@ -980,7 +980,7 @@ impl Kernel {
             self.ovs.stats.lookups,
             self.ovs.stats.tunnel_encaps,
             self.ovs.stats.tunnel_decaps,
-            self.conntrack.ops,
+            self.conntrack.stats.ops,
         );
         let verdicts = {
             let mut env = DpEnv {
@@ -995,7 +995,7 @@ impl Kernel {
         let c = (self.ovs.stats.lookups - lookups0) as f64 * self.sim.costs.kernel_ovs_flow_ns
             + (self.ovs.stats.tunnel_encaps - enc0 + self.ovs.stats.tunnel_decaps - dec0) as f64
                 * self.sim.costs.kernel_tunnel_ns
-            + (self.conntrack.ops - ct0) as f64 * self.sim.costs.kernel_conntrack_ns;
+            + (self.conntrack.stats.ops - ct0) as f64 * self.sim.costs.kernel_conntrack_ns;
         self.charge_softirq(core, c);
         for v in verdicts {
             match v {

@@ -32,7 +32,7 @@ pub mod rtnetlink;
 pub mod tools;
 pub mod xsk;
 
-pub use conntrack::{ConnKey, Conntrack, CtAction};
+pub use conntrack::{ConnKey, CtAction, CtTable};
 pub use dev::{
     Attachment, DevStats, DeviceKind, NetDevice, NtupleRule, OffloadCaps, Owner, XdpAttachment,
     XdpMode,

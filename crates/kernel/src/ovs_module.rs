@@ -8,7 +8,7 @@
 //! miss, and an action set including output, VLAN push/pop, tunnel
 //! set/encap/decap, connection tracking, and recirculation.
 
-use crate::conntrack::{ConnKey, Conntrack, CtAction};
+use crate::conntrack::{ConnKey, CtAction, CtTable};
 use crate::neigh::NeighTable;
 use crate::route::RouteTable;
 use ovs_obs::coverage;
@@ -108,7 +108,7 @@ pub struct Upcall {
 pub struct DpEnv<'a> {
     pub routes: &'a RouteTable,
     pub neighbors: &'a NeighTable,
-    pub conntrack: &'a mut Conntrack,
+    pub conntrack: &'a mut CtTable,
     /// `(ifindex, mac)` pairs for source-MAC selection on tunnel output.
     pub dev_macs: &'a [(u32, MacAddr)],
     pub now_ns: u64,
@@ -616,7 +616,7 @@ mod tests {
     fn test_env<'a>(
         routes: &'a RouteTable,
         neighbors: &'a NeighTable,
-        ct: &'a mut Conntrack,
+        ct: &'a mut CtTable,
         dev_macs: &'a [(u32, MacAddr)],
     ) -> DpEnv<'a> {
         DpEnv {
@@ -646,7 +646,7 @@ mod tests {
         m.add_vport(Vport::Netdev { ifindex: 1 });
         let routes = RouteTable::new();
         let neigh = NeighTable::new();
-        let mut ct = Conntrack::new();
+        let mut ct = CtTable::new();
         let macs = [];
         let mut env = test_env(&routes, &neigh, &mut ct, &macs);
         let v = m.receive(frame([10, 0, 0, 2]), 1, &mut env);
@@ -674,7 +674,7 @@ mod tests {
 
         let routes = RouteTable::new();
         let neigh = NeighTable::new();
-        let mut ct = Conntrack::new();
+        let mut ct = CtTable::new();
         let macs = [];
         let mut env = test_env(&routes, &neigh, &mut ct, &macs);
         let f = frame([10, 0, 0, 2]);
@@ -720,7 +720,7 @@ mod tests {
 
         let routes = RouteTable::new();
         let neigh = NeighTable::new();
-        let mut ct = Conntrack::new();
+        let mut ct = CtTable::new();
         let macs = [];
         let mut env = test_env(&routes, &neigh, &mut ct, &macs);
         let v = m.receive(frame([10, 0, 0, 2]), 1, &mut env);
@@ -771,7 +771,7 @@ mod tests {
             ifindex: 10,
             state: NeighState::Reachable,
         });
-        let mut ct = Conntrack::new();
+        let mut ct = CtTable::new();
         let macs = [(10u32, MacAddr::new(4, 0, 0, 0, 0, 1))];
         let mut env = test_env(&routes, &neigh, &mut ct, &macs);
 
@@ -804,7 +804,7 @@ mod tests {
 
         let routes2 = RouteTable::new();
         let neigh2 = NeighTable::new();
-        let mut ct2 = Conntrack::new();
+        let mut ct2 = CtTable::new();
         let macs2 = [];
         let mut env2 = test_env(&routes2, &neigh2, &mut ct2, &macs2);
         let v2 = m2.receive(outer.clone(), 20, &mut env2);
@@ -838,7 +838,7 @@ mod tests {
         );
         let routes = RouteTable::new();
         let neigh = NeighTable::new();
-        let mut ct = Conntrack::new();
+        let mut ct = CtTable::new();
         let macs = [];
         let mut env = test_env(&routes, &neigh, &mut ct, &macs);
         let f = frame([9, 9, 9, 9]);
@@ -860,7 +860,7 @@ mod tests {
         m.install_flow(&key, &mask, vec![KAction::Output(42)]);
         let routes = RouteTable::new();
         let neigh = NeighTable::new();
-        let mut ct = Conntrack::new();
+        let mut ct = CtTable::new();
         let macs = [];
         let mut env = test_env(&routes, &neigh, &mut ct, &macs);
         let v = m.receive(frame([1, 1, 1, 1]), 1, &mut env);
@@ -879,7 +879,7 @@ mod tests {
         m.install_flow(&key, &mask, vec![KAction::Recirc(7)]);
         let routes = RouteTable::new();
         let neigh = NeighTable::new();
-        let mut ct = Conntrack::new();
+        let mut ct = CtTable::new();
         let macs = [];
         let mut env = test_env(&routes, &neigh, &mut ct, &macs);
         let v = m.receive(frame([1, 1, 1, 1]), 1, &mut env);

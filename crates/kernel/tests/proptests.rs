@@ -1,7 +1,7 @@
 //! Property tests for the kernel substrate: conntrack invariants, and
 //! total robustness of the RX path against arbitrary bytes.
 
-use ovs_kernel::conntrack::{apply_rewrite, ConnKey, Conntrack, CtAction, NatRewrite, NatSpec};
+use ovs_kernel::conntrack::{apply_rewrite, ConnKey, CtAction, CtTable, NatRewrite, NatSpec};
 use ovs_kernel::dev::{DeviceKind, NetDevice, XdpMode};
 use ovs_kernel::Kernel;
 use ovs_packet::dp_packet::ct_state;
@@ -34,7 +34,7 @@ proptest! {
     fn reply_always_recognized(key in arb_key()) {
         // Skip degenerate self-connections where both directions collide.
         prop_assume!(key.reversed() != key);
-        let mut ct = Conntrack::new();
+        let mut ct = CtTable::new();
         let v1 = ct.process(key, CtAction::commit(key.zone), 0);
         prop_assert!(v1.state & ct_state::NEW != 0);
         let v2 = ct.process(key.reversed(), CtAction::track(key.zone), 1);
@@ -50,7 +50,7 @@ proptest! {
     #[test]
     fn zones_never_alias(key in arb_key()) {
         prop_assume!(key.zone != 7);
-        let mut ct = Conntrack::new();
+        let mut ct = CtTable::new();
         ct.process(key, CtAction::commit(key.zone), 0);
         let other_zone = ct.process(key, CtAction::track(7), 1);
         prop_assert!(other_zone.state & ct_state::NEW != 0, "other zone sees a new flow");
@@ -68,7 +68,7 @@ proptest! {
         bport in 1024u16..65000,
     ) {
         prop_assume!(vip != backend && client_ip != vip);
-        let mut ct = Conntrack::new();
+        let mut ct = CtTable::new();
         let key = ConnKey {
             zone: 1, src_ip: client_ip, dst_ip: vip,
             src_port: cport, dst_port: vport, proto: 17,
@@ -148,8 +148,8 @@ proptest! {
     /// Conntrack expiry conserves the zone budget exactly.
     #[test]
     fn expiry_conserves_zone_budget(keys in proptest::collection::vec(arb_key(), 1..40)) {
-        let mut ct = Conntrack::new();
-        ct.timeout_ns = 100;
+        let mut ct = CtTable::new();
+        ct.set_all_timeouts(100);
         for (i, k) in keys.iter().enumerate() {
             ct.process(*k, CtAction::commit(k.zone), i as u64);
         }

@@ -32,6 +32,8 @@ pub enum Stage {
     Batch,
     /// Action execution (set-field, ct, tunnel push/pop, meter).
     Actions,
+    /// Conntrack lookup/commit inside a ct() action.
+    CtLookup,
     /// Recirculation bookkeeping between passes.
     Recirc,
     /// Handing frames to the TX backend.
@@ -41,7 +43,7 @@ pub enum Stage {
 }
 
 /// All stages, in display order.
-pub const STAGES: [Stage; 11] = [
+pub const STAGES: [Stage; 12] = [
     Stage::Rx,
     Stage::Parse,
     Stage::EmcLookup,
@@ -50,6 +52,7 @@ pub const STAGES: [Stage; 11] = [
     Stage::Upcall,
     Stage::Batch,
     Stage::Actions,
+    Stage::CtLookup,
     Stage::Recirc,
     Stage::Tx,
     Stage::Revalidate,
@@ -66,6 +69,7 @@ impl Stage {
             Stage::Upcall => "upcall/translate",
             Stage::Batch => "batch setup/flush",
             Stage::Actions => "actions",
+            Stage::CtLookup => "ct lookup",
             Stage::Recirc => "recirc",
             Stage::Tx => "tx",
             Stage::Revalidate => "revalidate",
@@ -82,9 +86,10 @@ impl Stage {
             Stage::Upcall => 5,
             Stage::Batch => 6,
             Stage::Actions => 7,
-            Stage::Recirc => 8,
-            Stage::Tx => 9,
-            Stage::Revalidate => 10,
+            Stage::CtLookup => 8,
+            Stage::Recirc => 9,
+            Stage::Tx => 10,
+            Stage::Revalidate => 11,
         }
     }
 }

@@ -1,0 +1,626 @@
+//! Connection-churn and CT-exhaustion scenarios for the `ovs-ct`
+//! subsystem.
+//!
+//! Two rigs, following the NFV benchmarking split of Zhang et al.
+//! (PAPERS.md): a *subsystem* soak that drives the sharded table
+//! directly at million-connection churn (mice/elephant lifetimes,
+//! NAT-heavy mixes, zone limits, rotating sweeps), and a *pipeline*
+//! reproduction of the Tuple Space Explosion attack shifted from the
+//! classifier (PR 2) to connection-table exhaustion: a SYN flood of
+//! unique 5-tuples against a bounded CT table fronting a stateful
+//! firewall, measured undefended (naive oldest-first eviction) vs
+//! defended (early-drop of NEW conns under pressure + per-zone
+//! limits). Both rigs enforce the PR 4 invariant: offered ==
+//! delivered + Σ(named drops), zero unaccounted loss.
+
+use ovs_afxdp::{AfxdpPort, OptLevel};
+use ovs_core::ct::{ConnKey, CtAction, CtConfig, CtTable, NatSpec};
+use ovs_core::dpif::{DpifNetdev, PortType};
+use ovs_core::ofproto::{OfAction, OfRule};
+use ovs_kernel::dev::{DeviceKind, NetDevice};
+use ovs_kernel::Kernel;
+use ovs_packet::dp_packet::ct_state;
+use ovs_packet::flow::{fields, FlowKey, FlowMask};
+use ovs_packet::tcp::flags;
+use ovs_packet::{builder, MacAddr};
+use ovs_sim::SimRng;
+
+// ----------------------------------------------------------------------
+// Million-connection churn soak (subsystem-level)
+// ----------------------------------------------------------------------
+
+/// Outcome of [`run_conn_churn`]. All counts are exact; `unaccounted`
+/// must be zero (commit attempts either created a connection or were
+/// refused under a named reason).
+#[derive(Debug)]
+pub struct ConnChurnReport {
+    /// Long-lived connections kept alive across every round.
+    pub elephants: usize,
+    /// Short-lived connections committed per round.
+    pub mice_per_round: usize,
+    /// Churn rounds after the ramp.
+    pub rounds: usize,
+    /// Peak concurrent tracked connections.
+    pub peak_conns: usize,
+    /// Minimum concurrent connections over the steady rounds — the
+    /// "sustained" number the CI gate checks against 1M.
+    pub sustained_conns: usize,
+    /// Commit attempts offered to the table.
+    pub offered_commits: u64,
+    /// Connections actually created.
+    pub commits: u64,
+    /// NEW→ESTABLISHED transitions.
+    pub established: u64,
+    /// Commits refused by zone limits / full table / invalid state.
+    pub refused_zone: u64,
+    pub refused_full: u64,
+    pub refused_invalid: u64,
+    /// Connections reclaimed by expiry (lazy + swept) and eviction.
+    pub expired: u64,
+    pub evicted: u64,
+    /// NATed connections created.
+    pub nat_commits: u64,
+    /// offered - commits - Σ(refusals); the gate requires 0.
+    pub unaccounted: i64,
+    /// Modeled connection-setup rate: commits over the virtual time the
+    /// cost model charges for every table operation.
+    pub setup_rate_cps: f64,
+    /// Total table operations (cost-model unit).
+    pub ct_ops: u64,
+    /// Internal invariant: shard sums == zone sums == total.
+    pub accounting_ok: bool,
+}
+
+fn churn_key(id: u64, zone: u16) -> ConnKey {
+    ConnKey {
+        zone,
+        src_ip: [10, (id >> 16) as u8, (id >> 8) as u8, id as u8],
+        dst_ip: [192, 168, 0, 1],
+        src_port: (1024 + (id % 60_000)) as u16,
+        dst_port: 443,
+        proto: 6,
+    }
+}
+
+/// Drive the sharded table to >1M concurrent connections and hold it
+/// there under churn: a stable population of elephants refreshed every
+/// round, plus waves of mice that idle out two rounds later, ~30%
+/// carrying SNAT, with a capped zone and a trickle of committing RSTs
+/// exercising the named refusals.
+pub fn run_conn_churn() -> ConnChurnReport {
+    const ELEPHANTS: usize = 350_000;
+    const MICE_PER_ROUND: usize = 350_000;
+    const ROUNDS: usize = 6;
+    const NAT_PCT: u64 = 30;
+    const ZONES: u16 = 8;
+    /// The capped zone: small enough that its wave always overflows it.
+    const CAPPED_ZONE: u16 = 9;
+    const CAPPED_LIMIT: usize = 32_768;
+    const CAPPED_WAVE: usize = 40_000;
+    const RST_WAVE: usize = 1_000;
+    // Short enough that a mouse (120 s TCP idle timeout) stays tracked
+    // across two full rounds — three generations of mice coexist with
+    // the elephants, which is what holds occupancy above a million.
+    const ROUND_NS: u64 = 50_000_000_000;
+
+    let mut ct = CtTable::with_config(CtConfig {
+        shards: 256,
+        max_conns: 1 << 21,
+        ..CtConfig::default()
+    });
+    ct.set_zone_limit(CAPPED_ZONE, CAPPED_LIMIT);
+    let mut rng = SimRng::new(7);
+    let mut now: u64 = 0;
+    let mut next_id: u64 = ELEPHANTS as u64;
+    let mut offered: u64 = 0;
+    let mut nat_count: u64 = 0;
+    let mut peak = 0usize;
+    let mut sustained = usize::MAX;
+
+    // One full TCP-style setup: SYN commit + SYN-ACK reply. The PMD id
+    // is derived from the key so affinity stats see a sticky mapping.
+    fn establish(ct: &mut CtTable, k: ConnKey, nat: Option<NatSpec>, now: u64) {
+        let pmd = (k.hash() >> 60) as usize & 3;
+        ct.process_full(
+            k,
+            CtAction {
+                zone: k.zone,
+                commit: true,
+                mark: None,
+                nat,
+            },
+            Some(flags::SYN),
+            Some(pmd),
+            now,
+        );
+        ct.process_full(
+            k.reversed(),
+            CtAction::track(k.zone),
+            Some(flags::SYN | flags::ACK),
+            Some(pmd),
+            now + 1_000,
+        );
+    }
+
+    // Ramp: the elephant population, established once, refreshed below.
+    for id in 0..ELEPHANTS as u64 {
+        let zone = 1 + (id % ZONES as u64) as u16;
+        let nat = (rng.below(100) < NAT_PCT).then(|| NatSpec::Snat {
+            ip: [203, 0, 113, (id % 250) as u8 + 1],
+            port: Some((1_024 + (id % 60_000)) as u16),
+        });
+        nat_count += nat.is_some() as u64;
+        establish(&mut ct, churn_key(id, zone), nat, now);
+        offered += 1;
+    }
+
+    for round in 0..ROUNDS {
+        // A wave of mice: established now, idle from then on, reclaimed
+        // by the rotating sweeps two rounds later.
+        for _ in 0..MICE_PER_ROUND {
+            let id = next_id;
+            next_id += 1;
+            let zone = 1 + (id % ZONES as u64) as u16;
+            let nat = (rng.below(100) < NAT_PCT).then(|| NatSpec::Snat {
+                ip: [203, 0, 113, (id % 250) as u8 + 1],
+                port: Some((1_024 + (id % 60_000)) as u16),
+            });
+            nat_count += nat.is_some() as u64;
+            establish(&mut ct, churn_key(id, zone), nat, now);
+            offered += 1;
+        }
+        // The capped zone's wave: overflows its limit every round, so
+        // refusals are exercised (and named) continuously.
+        for _ in 0..CAPPED_WAVE {
+            let id = next_id;
+            next_id += 1;
+            let mut k = churn_key(id, CAPPED_ZONE);
+            k.proto = 17; // UDP mice
+            ct.process_full(k, CtAction::commit(CAPPED_ZONE), None, Some(0), now);
+            offered += 1;
+        }
+        // Committing RSTs can never create state: named invalid drops.
+        for _ in 0..RST_WAVE {
+            let id = next_id;
+            next_id += 1;
+            let zone = 1 + (id % ZONES as u64) as u16;
+            ct.process_full(
+                churn_key(id, zone),
+                CtAction::commit(zone),
+                Some(flags::RST),
+                Some(0),
+                now,
+            );
+            offered += 1;
+        }
+        // Keep the elephants alive.
+        for id in 0..ELEPHANTS as u64 {
+            let zone = 1 + (id % ZONES as u64) as u16;
+            let k = churn_key(id, zone);
+            let pmd = (k.hash() >> 60) as usize & 3;
+            ct.process_full(
+                k,
+                CtAction::track(zone),
+                Some(flags::ACK),
+                Some(pmd),
+                now + 2_000,
+            );
+        }
+        peak = peak.max(ct.len());
+        // Half the shards swept per round, riding the (simulated)
+        // revalidator cadence.
+        now += ROUND_NS;
+        ct.sweep_slice(now, ct.n_shards() / 2);
+        if round >= ROUNDS / 2 {
+            sustained = sustained.min(ct.len());
+        }
+    }
+
+    let s = ct.stats;
+    let refused = s.zone_limit_drops + s.full_drops + s.invalid_drops;
+    let ct_ns = ovs_sim::costs::CostModel::default().userspace_ct_ns;
+    let virtual_s = s.ops as f64 * ct_ns / 1e9;
+    ConnChurnReport {
+        elephants: ELEPHANTS,
+        mice_per_round: MICE_PER_ROUND,
+        rounds: ROUNDS,
+        peak_conns: peak,
+        sustained_conns: sustained,
+        offered_commits: offered,
+        commits: s.commits,
+        established: s.established,
+        refused_zone: s.zone_limit_drops,
+        refused_full: s.full_drops,
+        refused_invalid: s.invalid_drops,
+        expired: s.expired,
+        evicted: s.evictions,
+        nat_commits: nat_count,
+        unaccounted: offered as i64 - s.commits as i64 - refused as i64,
+        setup_rate_cps: if virtual_s > 0.0 {
+            s.commits as f64 / virtual_s
+        } else {
+            0.0
+        },
+        ct_ops: s.ops,
+        accounting_ok: ct.accounting_ok(),
+    }
+}
+
+// ----------------------------------------------------------------------
+// CT-exhaustion TSE attack through the real pipeline
+// ----------------------------------------------------------------------
+
+/// Outcome of one [`run_ct_tse`] run (attack against one policy).
+#[derive(Debug)]
+pub struct CtTseReport {
+    pub defended: bool,
+    /// Legitimate data packets offered / delivered to the server.
+    pub legit_offered: u64,
+    pub legit_delivered: u64,
+    /// Attack SYNs offered / reaching the server.
+    pub attack_offered: u64,
+    pub attack_delivered: u64,
+    /// Handshake packets (SYN, SYN-ACK) offered while establishing.
+    pub setup_offered: u64,
+    /// Every named CT refusal the datapath counted.
+    pub ct_limit_drops: u64,
+    pub ct_full_drops: u64,
+    pub ct_invalid_drops: u64,
+    /// Non-CT drops (firewall default-deny on invalid state bits).
+    pub other_drops: u64,
+    /// offered − delivered − Σ(drops); the gate requires 0.
+    pub unaccounted: i64,
+    /// Legitimate ESTABLISHED connections still tracked after the storm.
+    pub established_surviving: usize,
+    /// CT occupancy after the storm.
+    pub ct_occupancy: usize,
+    /// Modeled legitimate goodput over the measured window.
+    pub legit_mpps: f64,
+}
+
+const CLIENT_MAC: MacAddr = MacAddr([2, 0, 0, 0, 0, 0x11]);
+const SERVER_MAC: MacAddr = MacAddr([2, 0, 0, 0, 0, 0x22]);
+const ATTACK_MAC: MacAddr = MacAddr([2, 0, 0, 0, 0, 0x33]);
+const SWITCH_MAC: MacAddr = MacAddr([2, 0, 0, 0, 0, 0x01]);
+
+const LEGIT_CONNS: usize = 384;
+const STORM_ROUNDS: usize = 24;
+const SYNS_PER_ROUND: usize = 512;
+const TABLE_MAX: usize = 2_048;
+const ZONE_LIMIT: usize = 1_536;
+const ATTACK_ZONE_LIMIT: usize = 1_024;
+
+fn legit_ip(i: usize) -> [u8; 4] {
+    [10, 0, (i >> 8) as u8, i as u8]
+}
+
+fn attack_ip(i: usize) -> [u8; 4] {
+    [203, 0, (i >> 8) as u8, i as u8]
+}
+
+fn tcp_frame(
+    src_mac: MacAddr,
+    src_ip: [u8; 4],
+    dst_ip: [u8; 4],
+    sport: u16,
+    dport: u16,
+    fl: u8,
+) -> Vec<u8> {
+    builder::tcp_ipv4(
+        src_mac, SWITCH_MAC, src_ip, dst_ip, sport, dport, 1, 1, fl, b"x",
+    )
+}
+
+/// A stateful firewall over the CT table: ingress traffic is tracked,
+/// ESTABLISHED flows pass, NEW flows are committed (SYN-gated by strict
+/// tracking), everything else is default-denied. The attack is a SYN
+/// flood of unique 5-tuples sized several times the table bound;
+/// between flood bursts the established legitimate connections keep
+/// sending data. Undefended, eviction is oldest-first and the flood
+/// cannibalizes legitimate state; defended, early-drop recycles the
+/// attacker's own embryonic connections and per-zone limits cap the
+/// flood's footprint.
+pub fn run_ct_tse(defended: bool) -> CtTseReport {
+    let mut k = Kernel::new(4);
+    let core = 1usize;
+    let eth0 = k.add_device(NetDevice::new(
+        "eth0",
+        SWITCH_MAC,
+        DeviceKind::Phys { link_gbps: 25.0 },
+        1,
+    ));
+    let eth1 = k.add_device(NetDevice::new(
+        "eth1",
+        MacAddr::new(2, 0, 0, 0, 0, 2),
+        DeviceKind::Phys { link_gbps: 25.0 },
+        1,
+    ));
+    let eth2 = k.add_device(NetDevice::new(
+        "eth2",
+        MacAddr::new(2, 0, 0, 0, 0, 3),
+        DeviceKind::Phys { link_gbps: 25.0 },
+        1,
+    ));
+    let mut dp = DpifNetdev::new();
+    dp.ct = CtTable::with_config(CtConfig {
+        shards: 64,
+        max_conns: TABLE_MAX,
+        pressure_pct: 90,
+        early_drop: defended,
+        tcp_loose: false,
+    });
+    if defended {
+        dp.ct.set_zone_limit(1, ZONE_LIMIT);
+        // The untrusted zone gets a much tighter budget: the flood can
+        // never hold more than half the table, whatever the pressure.
+        dp.ct.set_zone_limit(2, ATTACK_ZONE_LIMIT);
+    }
+    let p_client = dp.add_port(
+        "eth0",
+        PortType::Afxdp(AfxdpPort::open(&mut k, eth0, 256, OptLevel::O5).unwrap()),
+    );
+    let p_server = dp.add_port(
+        "eth1",
+        PortType::Afxdp(AfxdpPort::open(&mut k, eth1, 256, OptLevel::O5).unwrap()),
+    );
+    let p_attack = dp.add_port(
+        "eth2",
+        PortType::Afxdp(AfxdpPort::open(&mut k, eth2, 256, OptLevel::O5).unwrap()),
+    );
+
+    // Table 0: track by ingress. Client and attacker land in their own
+    // zones and resume in the verdict table; server replies resume in
+    // the reply table.
+    let add_ingress = |dp: &mut DpifNetdev, port, zone: u16, resume| {
+        let mut key = FlowKey::default();
+        key.set_in_port(port);
+        key.set_eth_type(ovs_packet::EtherType::Ipv4);
+        dp.ofproto.add_rule(OfRule {
+            table: 0,
+            priority: 100,
+            key,
+            mask: FlowMask::of_fields(&[&fields::IN_PORT, &fields::ETH_TYPE]),
+            actions: vec![OfAction::Ct {
+                zone,
+                commit: false,
+                resume_table: resume,
+                nat: None,
+            }],
+            cookie: zone as u64,
+        });
+    };
+    add_ingress(&mut dp, p_client, 1, 1);
+    add_ingress(&mut dp, p_attack, 2, 1);
+    add_ingress(&mut dp, p_server, 1, 3);
+
+    // Table 1 (ingress verdict): established passes, new commits in the
+    // packet's ct zone, anything else is default-denied.
+    let ct_key = |bits: u8| {
+        let mut key = FlowKey::default();
+        key.set_ct_state(bits);
+        key
+    };
+    let ct_mask = FlowMask::of_fields(&[&fields::CT_STATE]);
+    dp.ofproto.add_rule(OfRule {
+        table: 1,
+        priority: 100,
+        key: ct_key(ct_state::TRACKED | ct_state::ESTABLISHED),
+        mask: ct_mask,
+        actions: vec![OfAction::Output(p_server)],
+        cookie: 10,
+    });
+    // NEW from the client zone commits in zone 1; from the attacker's
+    // VLAN in zone 2. in_port survives recirculation, so key on it.
+    let commit_rule = |dp: &mut DpifNetdev, port, zone: u16, cookie| {
+        let mut key = ct_key(ct_state::TRACKED | ct_state::NEW);
+        key.set_in_port(port);
+        let mask = FlowMask::of_fields(&[&fields::IN_PORT, &fields::CT_STATE]);
+        dp.ofproto.add_rule(OfRule {
+            table: 1,
+            priority: 90,
+            key,
+            mask,
+            actions: vec![OfAction::Ct {
+                zone,
+                commit: true,
+                resume_table: 2,
+                nat: None,
+            }],
+            cookie,
+        });
+    };
+    commit_rule(&mut dp, p_client, 1, 11);
+    commit_rule(&mut dp, p_attack, 2, 12);
+    dp.ofproto.add_rule(OfRule {
+        table: 1,
+        priority: 0,
+        key: FlowKey::default(),
+        mask: FlowMask::EMPTY,
+        actions: vec![OfAction::Drop],
+        cookie: 13,
+    });
+    // Table 2: committed NEW traffic forwards to the server.
+    dp.ofproto.add_rule(OfRule {
+        table: 2,
+        priority: 0,
+        key: FlowKey::default(),
+        mask: FlowMask::EMPTY,
+        actions: vec![OfAction::Output(p_server)],
+        cookie: 20,
+    });
+    // Table 3: server replies pass only for established connections.
+    dp.ofproto.add_rule(OfRule {
+        table: 3,
+        priority: 100,
+        key: ct_key(ct_state::TRACKED | ct_state::ESTABLISHED | ct_state::REPLY),
+        mask: FlowMask::of_fields(&[&fields::CT_STATE]),
+        actions: vec![OfAction::Output(p_client)],
+        cookie: 30,
+    });
+    dp.ofproto.add_rule(OfRule {
+        table: 3,
+        priority: 0,
+        key: FlowKey::default(),
+        mask: FlowMask::EMPTY,
+        actions: vec![OfAction::Drop],
+        cookie: 31,
+    });
+
+    let mut offered: u64 = 0;
+    let mut setup_offered: u64 = 0;
+    let mut legit_offered: u64 = 0;
+    let mut attack_offered: u64 = 0;
+    let mut legit_delivered: u64 = 0;
+    let mut attack_delivered: u64 = 0;
+    let mut reply_delivered: u64 = 0;
+
+    // Drain both egress wires, classifying by source prefix (legit
+    // sources are 10/8, attack sources 203/8).
+    let drain = |k: &mut Kernel| {
+        let mut out = (0u64, 0u64, 0u64);
+        while let Some(f) = k.dev_mut(eth1).tx_wire.pop_front() {
+            if f.len() > 30 && f[26] == 10 {
+                out.0 += 1;
+            } else {
+                out.1 += 1;
+            }
+        }
+        while k.dev_mut(eth0).tx_wire.pop_front().is_some() {
+            out.2 += 1;
+        }
+        out
+    };
+    // Push at most one rx burst (32 frames) per poll so the 256-slot
+    // ring never backlogs — every offered frame is polled through.
+    let inject = |k: &mut Kernel, dp: &mut DpifNetdev, dev, frames: Vec<Vec<u8>>| {
+        for chunk in frames.chunks(32) {
+            for f in chunk {
+                k.receive(dev, 0, f.clone());
+            }
+            let port = if dev == eth0 {
+                p_client
+            } else if dev == eth1 {
+                p_server
+            } else {
+                p_attack
+            };
+            dp.pmd_poll(k, port, 0, core);
+        }
+    };
+
+    // --- Phase 1: establish the legitimate connections. ---------------
+    for i in 0..LEGIT_CONNS {
+        let syn = tcp_frame(
+            CLIENT_MAC,
+            legit_ip(i),
+            [192, 168, 1, 1],
+            10_000,
+            443,
+            flags::SYN,
+        );
+        inject(&mut k, &mut dp, eth0, vec![syn]);
+        setup_offered += 1;
+        offered += 1;
+        let synack = tcp_frame(
+            SERVER_MAC,
+            [192, 168, 1, 1],
+            legit_ip(i),
+            443,
+            10_000,
+            flags::SYN | flags::ACK,
+        );
+        inject(&mut k, &mut dp, eth1, vec![synack]);
+        setup_offered += 1;
+        offered += 1;
+    }
+    let (d_setup_legit, _, d_setup_reply) = drain(&mut k);
+    assert_eq!(
+        d_setup_legit as usize, LEGIT_CONNS,
+        "every legitimate SYN must reach the server"
+    );
+    reply_delivered += d_setup_reply;
+
+    // --- Phase 2: the SYN-flood storm, data flowing in between. -------
+    let t0 = k.sim.cpus.core(core).total_ns();
+    let mut syn_id = 0usize;
+    for round in 0..STORM_ROUNDS {
+        let syns: Vec<Vec<u8>> = (0..SYNS_PER_ROUND)
+            .map(|_| {
+                let f = tcp_frame(
+                    ATTACK_MAC,
+                    attack_ip(syn_id),
+                    [192, 168, 1, 1],
+                    (20_000 + (syn_id % 40_000)) as u16,
+                    443,
+                    flags::SYN,
+                );
+                syn_id += 1;
+                f
+            })
+            .collect();
+        attack_offered += syns.len() as u64;
+        offered += syns.len() as u64;
+        inject(&mut k, &mut dp, eth2, syns);
+
+        let data: Vec<Vec<u8>> = (0..LEGIT_CONNS)
+            .map(|i| {
+                tcp_frame(
+                    CLIENT_MAC,
+                    legit_ip(i),
+                    [192, 168, 1, 1],
+                    10_000,
+                    443,
+                    flags::ACK | flags::PSH,
+                )
+            })
+            .collect();
+        legit_offered += data.len() as u64;
+        offered += data.len() as u64;
+        inject(&mut k, &mut dp, eth0, data);
+
+        let (dl, da, dr) = drain(&mut k);
+        legit_delivered += dl;
+        attack_delivered += da;
+        reply_delivered += dr;
+        // The revalidator rides along every few rounds: megaflow sweep
+        // plus the rotating CT shard-slice sweep.
+        if round % 4 == 3 {
+            k.sim.clock.advance(50_000_000);
+            dp.revalidate(&mut k, core);
+        }
+    }
+    let dt_ns = k.sim.cpus.core(core).total_ns() - t0;
+
+    // Legit sources live in 10/8; one dump of the client zone tells us
+    // how many of their connections survived the storm established.
+    let zone_dump = dp.ct.dump(Some(1), k.sim.clock.now_ns());
+    let surviving = zone_dump
+        .lines()
+        .filter(|l| l.contains("src=10.") && l.contains("state=ESTABLISHED"))
+        .count();
+
+    let s = dp.stats;
+    let delivered = d_setup_legit + reply_delivered + legit_delivered + attack_delivered;
+    let ct_drops = s.ct_limit_drops + s.ct_full_drops + s.ct_invalid_drops;
+    let other_drops = s.dropped - ct_drops;
+    CtTseReport {
+        defended,
+        legit_offered,
+        legit_delivered,
+        attack_offered,
+        attack_delivered,
+        setup_offered,
+        ct_limit_drops: s.ct_limit_drops,
+        ct_full_drops: s.ct_full_drops,
+        ct_invalid_drops: s.ct_invalid_drops,
+        other_drops,
+        unaccounted: offered as i64 - delivered as i64 - s.dropped as i64,
+        established_surviving: surviving,
+        ct_occupancy: dp.ct.len(),
+        legit_mpps: if dt_ns > 0.0 {
+            legit_delivered as f64 * 1e3 / dt_ns
+        } else {
+            0.0
+        },
+    }
+}

@@ -20,6 +20,7 @@
 //!   path, the empirical delay model fit, and the jitter-transient
 //!   scenarios (auto-lb rebalance, crash-restart, interrupt ablation).
 
+pub mod conntrack;
 pub mod flood;
 pub mod iperf;
 pub mod latency;
@@ -27,6 +28,7 @@ pub mod measure;
 pub mod netperf;
 pub mod scenarios;
 
+pub use conntrack::{run_conn_churn, run_ct_tse, ConnChurnReport, CtTseReport};
 pub use flood::{make_flows, rss_queue};
 pub use latency::{
     fit_delay_models, run_latency_autolb, run_latency_crash, run_latency_interrupt_ablation,

@@ -79,6 +79,9 @@ batch_flush                           159          159        159.0
 bpf_helper_call                        32           32         32.0
 bpf_insn_executed                     192          192        192.0
 bpf_prog_run                           32           32         32.0
+ct_established                          2            2          2.0
+ct_hit                                 61           61         61.0
+ct_new                                  2            2          2.0
 dpif_ct_lookup                         96           96         96.0
 dpif_megaflow_hit                     147          147        147.0
 dpif_packet                            63           63         63.0
@@ -105,7 +108,8 @@ pmd thread core 1:
   megaflow lookup              9220 ns          22128 cycles   17.6%
   upcall/translate            13600 ns          32640 cycles   26.0%
   batch setup/flush            8112 ns          19468 cycles   15.5%
-  actions                      5640 ns          13536 cycles   10.8%
+  actions                         0 ns              0 cycles    0.0%
+  ct lookup                    5640 ns          13536 cycles   10.8%
   recirc                       1645 ns           3948 cycles    3.1%
   tx                           4752 ns          11404 cycles    9.1%
   revalidate                      0 ns              0 cycles    0.0%
@@ -120,7 +124,8 @@ all pmd threads:
   megaflow lookup              9220 ns          22128 cycles   17.6%
   upcall/translate            13600 ns          32640 cycles   26.0%
   batch setup/flush            8112 ns          19468 cycles   15.5%
-  actions                      5640 ns          13536 cycles   10.8%
+  actions                         0 ns              0 cycles    0.0%
+  ct lookup                    5640 ns          13536 cycles   10.8%
   recirc                       1645 ns           3948 cycles    3.1%
   tx                           4752 ns          11404 cycles    9.1%
   revalidate                      0 ns              0 cycles    0.0%
@@ -274,7 +279,7 @@ per-stage latency (delivered-weighted):
   megaflow lookup              9220 ns ( 17.6%)
   upcall/translate            13600 ns ( 26.0%)
   batch setup/flush            8112 ns ( 15.5%)
-  actions                      5640 ns ( 10.8%)
+  ct lookup                    5640 ns ( 10.8%)
   recirc                       1645 ns (  3.1%)
   tx                           4752 ns (  9.1%)
   stage-weighted total: 52406 ns (== delivered-weighted poll 52406 ns)
@@ -489,5 +494,65 @@ proptest! {
         let sum = LatencySummary::of(&dp.latency.all);
         prop_assert!(sum.min_ns > 0, "rx precedes tx on every sample: {sum:?}");
         prop_assert!(sum.max_ns >= sum.min_ns);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Conntrack introspection goldens: ct-dump / ct-stats / ct/flush on the
+// same deterministic two-host scenario
+// ----------------------------------------------------------------------
+
+const GOLDEN_CT_DUMP: &str = "\
+udp,orig=(src=10.101.0.2,dst=10.102.0.2,sport=3333,dport=4444),zone=100,state=ESTABLISHED,age=0s,packets=31
+ct: 1 connection(s)
+";
+
+const GOLDEN_CT_STATS: &str = "\
+conns: 1 / 4194304 max (64 shards, occupancy min 0 max 1)
+policy: early-drop on (pressure 90%), tcp loose
+zone 100: 1
+ops:47 hits:30 misses:17 commits:1 established:1
+drops: zone-limit:0 table-full:0 invalid:0
+evictions:0 (early-drop:0) expired:0 flushed:0
+sweeps:0 shards-swept:0 pmd-affinity hits:44 migrations:0
+";
+
+#[test]
+fn golden_conntrack_introspection_two_host_nsx() {
+    let mut h1 = build_host(1);
+    let mut h2 = build_host(2);
+    h1.peer([172, 16, 0, 2], h2.uplink_mac());
+    h2.peer([172, 16, 0, 1], h1.uplink_mac());
+    let g = h1.guest_of_vif[0];
+    h1.kernel.guests[g].tx_ring.push_back(vm_frame(1, 2));
+    run_pair(&mut h1, &mut h2);
+
+    // The NSX firewall tracks the VM flow in both its zones; the dump
+    // is sorted and fully deterministic under the virtual clock.
+    let dump = h1.appctl("dpctl/ct-dump", &[]).unwrap();
+    assert_eq!(dump, GOLDEN_CT_DUMP, "ct-dump golden drifted:\n{dump}");
+
+    // Zone filtering: the firewall's first ct pass (zone 1) only
+    // tracks, so all committed state lives in zone 100.
+    let z1 = h1.appctl("dpctl/ct-dump", &["zone=1"]).unwrap();
+    assert!(z1.trim_end().ends_with("ct: 0 connection(s)"), "{z1}");
+    let z100 = h1.appctl("dpctl/ct-dump", &["zone=100"]).unwrap();
+    assert_eq!(z100, GOLDEN_CT_DUMP, "zone filter must match the dump");
+
+    let stats = h1.appctl("dpctl/ct-stats", &[]).unwrap();
+    assert_eq!(stats, GOLDEN_CT_STATS, "ct-stats golden drifted:\n{stats}");
+
+    // Flush one zone, then everything; the occupancy ledger follows.
+    let f1 = h1.appctl("ct/flush", &["zone=100"]).unwrap();
+    assert_eq!(f1, "1 connection(s) flushed from zone 100\n");
+    let f2 = h1.appctl("ct/flush", &[]).unwrap();
+    assert_eq!(f2, "0 connection(s) flushed\n");
+    let empty = h1.appctl("dpctl/ct-dump", &[]).unwrap();
+    assert!(empty.trim_end().ends_with("ct: 0 connection(s)"), "{empty}");
+
+    // list-commands advertises the new surface.
+    let cmds = h1.appctl("list-commands", &[]).unwrap();
+    for c in ["dpctl/ct-dump", "dpctl/ct-stats", "ct/flush"] {
+        assert!(cmds.contains(c), "{c} missing from list-commands:\n{cmds}");
     }
 }

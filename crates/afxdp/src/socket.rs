@@ -3,7 +3,7 @@
 use ovs_kernel::xsk::{XskBinding, XskHandle};
 use ovs_kernel::Kernel;
 use ovs_obs::coverage;
-use ovs_packet::flow::extract_flow_key;
+use ovs_packet::flow::extract_miniflow;
 use ovs_packet::OffloadFlags;
 use ovs_ring::{Desc, DpPacketPool, LockStrategy, PacketBatch, UmemPool, BATCH_SIZE};
 use ovs_sim::faults::FaultKind;
@@ -296,9 +296,9 @@ impl XskSocket {
             let mut pkt = self.meta_pool.take();
             pkt.set_data(&data);
             pkt.in_port = self.ifindex;
-            // Software rxhash: XDP exposes no NIC hash hint yet.
-            let key = extract_flow_key(&mut pkt);
-            pkt.rxhash = Some(key.rss_hash());
+            // Software rxhash: XDP exposes no NIC hash hint yet. The
+            // sparse extractor computes it without expanding a full key.
+            pkt.rxhash = Some(extract_miniflow(&mut pkt).rss_hash());
             if rx_csum_hw {
                 pkt.offloads = OffloadFlags {
                     csum_verified: true,

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ovs_core::cache::{Emc, MegaflowCache};
 use ovs_core::ofproto::Ofproto;
-use ovs_packet::flow::{fields, FlowKey, FlowMask};
+use ovs_packet::flow::{fields, FlowKey, FlowMask, Miniflow};
 use std::hint::black_box;
 use std::rc::Rc;
 
@@ -27,15 +27,16 @@ fn bench_levels(c: &mut Criterion) {
     let mut mf: MegaflowCache<u32> = MegaflowCache::new();
     let mask = FlowMask::of_fields(&[&fields::IN_PORT, &fields::NW_DST]);
     let entry = mf.install(flow_key(1), mask, 7);
-    emc.insert(flow_key(1), Rc::clone(&entry));
-    let probe = flow_key(1);
+    let mini = Miniflow::from_key(&flow_key(1));
+    let hash = mini.hash();
+    emc.insert(mini, hash, Rc::clone(&entry));
     g.bench_function("emc_hit", |b| {
-        b.iter(|| black_box(emc.lookup(black_box(&probe)).is_some()))
+        b.iter(|| black_box(emc.lookup(black_box(&mini), black_box(hash)).is_some()))
     });
 
-    // Level 2: megaflow (dpcls) hit.
+    // Level 2: megaflow (dpcls) hit, probed with the sparse key.
     g.bench_function("megaflow_hit", |b| {
-        b.iter(|| black_box(mf.lookup(black_box(&probe)).is_some()))
+        b.iter(|| black_box(mf.lookup_mini(black_box(&mini)).is_some()))
     });
 
     // Level 3: full OpenFlow translation (the upcall slow path) with an
@@ -71,14 +72,23 @@ fn bench_working_set(c: &mut Criterion) {
         let mask = FlowMask::of_fields(&[&fields::IN_PORT, &fields::NW_DST]);
         for i in 0..flows {
             let e = mf.install(flow_key(i), mask, i);
-            emc.insert(flow_key(i), e);
+            let m = Miniflow::from_key(&flow_key(i));
+            let h = m.hash();
+            emc.insert(m, h, e);
         }
-        let probes: Vec<FlowKey> = (0..flows).map(flow_key).collect();
+        let probes: Vec<(Miniflow, u64)> = (0..flows)
+            .map(|i| {
+                let m = Miniflow::from_key(&flow_key(i));
+                let h = m.hash();
+                (m, h)
+            })
+            .collect();
         let mut i = 0usize;
         g.bench_with_input(BenchmarkId::from_parameter(flows), &flows, |b, _| {
             b.iter(|| {
                 i = (i + 1) % probes.len();
-                black_box(emc.lookup(black_box(&probes[i])).is_some())
+                let (m, h) = &probes[i];
+                black_box(emc.lookup(black_box(m), black_box(*h)).is_some())
             })
         });
     }

@@ -588,7 +588,7 @@ fn fastpath() {
             let r = scenarios::run_fastpath(mode, burst, N_FLOWS, N_PKTS);
             println!(
                 "  {:<12} burst {:>2}: {:>7.1} ns/pkt  {:>5.2} Mpps  \
-                 (emc {} smc {} dpcls {} subtables {})",
+                 (emc {} smc {} dpcls {} lane steps {} occ {:.0}%)",
                 r.mode,
                 r.burst,
                 r.ns_per_pkt,
@@ -596,7 +596,16 @@ fn fastpath() {
                 r.emc_hits,
                 r.smc_hits,
                 r.megaflow_hits,
-                r.subtables_probed
+                r.lane_steps,
+                100.0 * r.lane_occupancy(),
+            );
+            // The measured window is fully warm: a hit-path that
+            // expands a full FlowKey is a regression, not a tuning
+            // matter.
+            assert_eq!(
+                r.miniflow_expands, 0,
+                "{} burst {}: full-key expansion on the pure-hit path",
+                r.mode, r.burst
             );
             rows.push(r);
         }
@@ -619,7 +628,8 @@ fn fastpath() {
         json.push_str(&format!(
             "    {{\"mode\": \"{}\", \"burst\": {}, \"n_flows\": {}, \"n_pkts\": {}, \
              \"ns_per_pkt\": {:.2}, \"mpps\": {:.4}, \"emc_hits\": {}, \"smc_hits\": {}, \
-             \"megaflow_hits\": {}, \"upcalls\": {}, \"subtables_probed\": {}}}{}\n",
+             \"megaflow_hits\": {}, \"upcalls\": {}, \"lane_steps\": {}, \"lane_keys\": {}, \
+             \"lane_width\": {}, \"lane_occupancy\": {:.3}, \"miniflow_expands\": {}}}{}\n",
             r.mode,
             r.burst,
             r.n_flows,
@@ -630,7 +640,11 @@ fn fastpath() {
             r.smc_hits,
             r.megaflow_hits,
             r.upcalls,
-            r.subtables_probed,
+            r.lane_steps,
+            r.lane_keys,
+            r.lane_width,
+            r.lane_occupancy(),
+            r.miniflow_expands,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }
@@ -642,6 +656,16 @@ fn fastpath() {
     assert!(
         speedup >= 1.5,
         "batched+SMC must beat scalar by >= 1.5x at burst 32 (got {speedup:.2}x)"
+    );
+    // Absolute floor on the headline configuration: the sparse-key +
+    // wide-lane rework landed batched+SMC at ~758 ns/pkt (from 820);
+    // fail CI if a later change gives more than 5% of that back.
+    const SMC_BURST32_FLOOR_NS: f64 = 758.0;
+    assert!(
+        smc32.ns_per_pkt <= SMC_BURST32_FLOOR_NS * 1.05,
+        "batched+SMC at burst 32 regressed past the floor: {:.1} ns/pkt > {:.1} x 1.05",
+        smc32.ns_per_pkt,
+        SMC_BURST32_FLOOR_NS
     );
 }
 

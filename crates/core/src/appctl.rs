@@ -26,6 +26,7 @@ pub const COMMANDS: &[&str] = &[
     "dpif-netdev/pmd-auto-lb-show",
     "dpif-netdev/port-status",
     "dpif-netdev/subtable-ranking",
+    "dpif-netdev/miniflow-stats",
     "dpif-netdev/emc-insert-inv-prob",
     "dpif-netdev/smc-enable",
     "dpctl/dump-flows",
@@ -182,6 +183,9 @@ fn dispatch_inner(
         }
         // The dpcls subtable probe order with per-subtable hit counts.
         "dpif-netdev/subtable-ranking" => Ok(dpif.subtable_ranking_show()),
+        // Sparse-key shape: populated-slot histogram, expansion count,
+        // and wide-lane bulk dpcls occupancy.
+        "dpif-netdev/miniflow-stats" => Ok(dpif.miniflow_stats_show()),
         // Get/set `other_config:emc-insert-inv-prob` (no operand reads
         // the current value; 0 disables EMC insertion).
         "dpif-netdev/emc-insert-inv-prob" => match args {
@@ -384,6 +388,15 @@ mod tests {
         let mut kernel = Kernel::new(1);
         let out = dispatch(&mut dpif, &mut kernel, "dpif-netdev/subtable-ranking", &[]).unwrap();
         assert!(out.contains("0 subtables"), "{out}");
+    }
+
+    #[test]
+    fn miniflow_stats_renders() {
+        let mut dpif = DpifNetdev::new();
+        let mut kernel = Kernel::new(1);
+        let out = dispatch(&mut dpif, &mut kernel, "dpif-netdev/miniflow-stats", &[]).unwrap();
+        assert!(out.contains("miniflow stats:"), "{out}");
+        assert!(out.contains("bulk dpcls:"), "{out}");
     }
 
     #[test]

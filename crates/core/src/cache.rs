@@ -19,7 +19,7 @@
 //! datapath couldn't have it.
 
 use crate::classifier::{Classifier, Rule};
-use ovs_packet::{FlowKey, FlowMask};
+use ovs_packet::{FlowKey, FlowMask, MiniMask, Miniflow};
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -33,6 +33,12 @@ pub struct MegaflowEntry<A> {
     pub key: FlowKey,
     /// Wildcards accumulated during translation.
     pub mask: FlowMask,
+    /// Sparse form of `key`, precomputed at install so fast-path verifies
+    /// never expand.
+    pub mini_key: Miniflow,
+    /// Sparse form of `mask`; its populated slots are all a masked verify
+    /// or hash touches.
+    pub mini_mask: MiniMask,
     /// Datapath actions.
     pub actions: A,
     /// Hits (`n_packets`).
@@ -53,6 +59,8 @@ impl<A> MegaflowEntry<A> {
     /// A fresh entry created at sim-time `now_ns`.
     pub fn new(key: FlowKey, mask: FlowMask, actions: A, now_ns: u64) -> Self {
         Self {
+            mini_key: Miniflow::from_key(&key),
+            mini_mask: MiniMask::from_mask(&mask),
             key,
             mask,
             actions,
@@ -80,7 +88,7 @@ pub const EMC_ENTRIES: usize = 8192;
 /// don't thrash it; eviction is by hash-slot replacement.
 #[derive(Debug)]
 pub struct Emc<A> {
-    slots: Vec<Option<(FlowKey, Rc<MegaflowEntry<A>>)>>,
+    slots: Vec<Option<(Miniflow, Rc<MegaflowEntry<A>>)>>,
     mask: usize,
     /// 1/N insertion probability denominator (OVS default 100).
     pub insert_inv_prob: u64,
@@ -122,11 +130,14 @@ impl<A> Emc<A> {
         self.occupied == 0
     }
 
-    /// Look up the full (unmasked) key. A slot whose megaflow has been
-    /// revalidated away ([`MegaflowEntry::dead`]) counts as a miss and is
-    /// reclaimed, so a stale EMC entry can never forward a packet.
-    pub fn lookup(&mut self, key: &FlowKey) -> Option<Rc<MegaflowEntry<A>>> {
-        let slot = (key.hash() as usize) & self.mask;
+    /// Look up the full (unmasked) sparse key; `hash` is the packet's
+    /// cached extracted-slot hash ([`Miniflow::hash`], computed once per
+    /// packet). The compare is bitmap + packed words — populated slots
+    /// only. A slot whose megaflow has been revalidated away
+    /// ([`MegaflowEntry::dead`]) counts as a miss and is reclaimed, so a
+    /// stale EMC entry can never forward a packet.
+    pub fn lookup(&mut self, key: &Miniflow, hash: u64) -> Option<Rc<MegaflowEntry<A>>> {
+        let slot = (hash as usize) & self.mask;
         match &self.slots[slot] {
             Some((k, e)) if k == key => {
                 if e.dead.get() {
@@ -149,18 +160,18 @@ impl<A> Emc<A> {
     /// Offer an entry for insertion after a miss; inserted with
     /// probability 1/`insert_inv_prob` (deterministic round-robin stand-in
     /// for OVS's RNG). Returns whether it was inserted.
-    pub fn maybe_insert(&mut self, key: FlowKey, entry: Rc<MegaflowEntry<A>>) -> bool {
+    pub fn maybe_insert(&mut self, key: Miniflow, hash: u64, entry: Rc<MegaflowEntry<A>>) -> bool {
         self.insert_counter += 1;
         if !self.insert_counter.is_multiple_of(self.insert_inv_prob) {
             return false;
         }
-        self.insert(key, entry);
+        self.insert(key, hash, entry);
         true
     }
 
     /// Insert unconditionally.
-    pub fn insert(&mut self, key: FlowKey, entry: Rc<MegaflowEntry<A>>) {
-        let slot = (key.hash() as usize) & self.mask;
+    pub fn insert(&mut self, key: Miniflow, hash: u64, entry: Rc<MegaflowEntry<A>>) {
+        let slot = (hash as usize) & self.mask;
         if self.slots[slot].is_none() {
             self.occupied += 1;
         }
@@ -257,11 +268,13 @@ impl<A> Smc<A> {
         ((hash as usize) & mask, (hash >> 16) as u16)
     }
 
-    /// Probe for `key`. A signature match alone is not a hit: the masked
-    /// key must equal the megaflow's install key, and the megaflow must
-    /// be alive. Dead entries are reclaimed in place.
-    pub fn lookup(&mut self, key: &FlowKey) -> Option<Rc<MegaflowEntry<A>>> {
-        let (b, sig) = Self::slot(key.hash(), self.mask);
+    /// Probe for a sparse key; `hash` is the packet's cached
+    /// extracted-slot hash. A signature match alone is not a hit: the
+    /// sparse masked verify ([`MiniMask::matches`], populated slots only)
+    /// must pass, and the megaflow must be alive. Dead entries are
+    /// reclaimed in place.
+    pub fn lookup(&mut self, key: &Miniflow, hash: u64) -> Option<Rc<MegaflowEntry<A>>> {
+        let (b, sig) = Self::slot(hash, self.mask);
         for way in self.buckets[b].iter_mut() {
             let Some((s, e)) = way else { continue };
             if *s != sig {
@@ -272,7 +285,7 @@ impl<A> Smc<A> {
                 self.occupied -= 1;
                 continue;
             }
-            if key.masked(&e.mask) == e.key {
+            if e.mini_mask.matches(key, &e.mini_key) {
                 self.hits += 1;
                 let e = Rc::clone(e);
                 e.hits.set(e.hits.get() + 1);
@@ -283,12 +296,11 @@ impl<A> Smc<A> {
         None
     }
 
-    /// Insert a megaflow reference under `key`'s signature. Prefers an
-    /// empty or same-signature way, then a dead one; otherwise replaces
-    /// a way chosen deterministically from the hash (OVS picks a random
-    /// way — the simulation must stay reproducible).
-    pub fn insert(&mut self, key: &FlowKey, entry: Rc<MegaflowEntry<A>>) {
-        let hash = key.hash();
+    /// Insert a megaflow reference under the packet hash's signature.
+    /// Prefers an empty or same-signature way, then a dead one; otherwise
+    /// replaces a way chosen deterministically from the hash (OVS picks a
+    /// random way — the simulation must stay reproducible).
+    pub fn insert(&mut self, hash: u64, entry: Rc<MegaflowEntry<A>>) {
         let (b, sig) = Self::slot(hash, self.mask);
         let bucket = &mut self.buckets[b];
         let victim = bucket
@@ -351,6 +363,10 @@ pub struct MegaflowCache<A> {
     pub hits: u64,
     /// Misses (upcalls).
     pub misses: u64,
+    /// Bumped on every install/remove/flush. A bulk-probe miss verdict
+    /// stays valid as long as the generation is unchanged, so the caller
+    /// can skip the scalar re-probe when no flow was installed since.
+    generation: u64,
 }
 
 impl<A> MegaflowCache<A> {
@@ -361,7 +377,19 @@ impl<A> MegaflowCache<A> {
             installed: HashMap::new(),
             hits: 0,
             misses: 0,
+            generation: 0,
         }
+    }
+
+    /// Table-change generation (installs, removals, flushes).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Count a definitive miss established by an earlier bulk probe
+    /// whose verdict is still valid (same [`Self::generation`]).
+    pub fn count_miss(&mut self) {
+        self.misses += 1;
     }
 
     /// Number of megaflows.
@@ -384,6 +412,27 @@ impl<A> MegaflowCache<A> {
         self.cls.stats.subtables_probed
     }
 
+    /// Wide-lane bulk steps executed so far (the bulk-probe work metric:
+    /// one step = one ≤`lane_width`-key signature pass over a subtable).
+    pub fn lane_steps(&self) -> u64 {
+        self.cls.stats.lane_steps
+    }
+
+    /// Keys carried through bulk steps (occupancy numerator).
+    pub fn lane_keys(&self) -> u64 {
+        self.cls.stats.lane_keys
+    }
+
+    /// Keys probed per bulk step.
+    pub fn lane_width(&self) -> usize {
+        self.cls.lane_width
+    }
+
+    /// Set the bulk-probe lane width (1 = scalar-equivalent probing).
+    pub fn set_lane_width(&mut self, lane: usize) {
+        self.cls.lane_width = lane.max(1);
+    }
+
     /// Snapshot of the dpcls subtables in probe (rank) order, for
     /// `dpif-netdev/subtable-ranking`.
     pub fn subtable_info(&self) -> Vec<crate::classifier::SubtableInfo> {
@@ -396,9 +445,14 @@ impl<A> MegaflowCache<A> {
         self.cls.rank_interval = interval.max(1);
     }
 
-    /// Look up a key.
+    /// Look up a full key (slow path / diagnostics).
     pub fn lookup(&mut self, key: &FlowKey) -> Option<Rc<MegaflowEntry<A>>> {
-        match self.cls.lookup(key) {
+        self.lookup_mini(&Miniflow::from_key(key))
+    }
+
+    /// Look up one sparse key.
+    pub fn lookup_mini(&mut self, key: &Miniflow) -> Option<Rc<MegaflowEntry<A>>> {
+        match self.cls.lookup_mini(key) {
             Some(r) => {
                 self.hits += 1;
                 let e = Rc::clone(&r.value);
@@ -410,6 +464,30 @@ impl<A> MegaflowCache<A> {
                 None
             }
         }
+    }
+
+    /// Probe a whole burst of sparse keys in wide lanes (valid here
+    /// because every megaflow rule has priority 0 and installed entries
+    /// are disjoint — first match in ranked order is *the* match). Keys
+    /// leave the probe set as they match; see
+    /// [`Classifier::lookup_bulk`].
+    ///
+    /// Only hits are counted here: the caller re-probes each bulk miss
+    /// with a scalar [`Self::lookup_mini`] before upcalling (an earlier
+    /// miss in the same burst may have installed the flow), and that
+    /// re-probe is where the hit-or-miss verdict lands.
+    pub fn lookup_bulk(&mut self, keys: &[Miniflow]) -> Vec<Option<Rc<MegaflowEntry<A>>>> {
+        let results: Vec<Option<Rc<MegaflowEntry<A>>>> = self
+            .cls
+            .lookup_bulk(keys)
+            .into_iter()
+            .map(|r| r.map(|r| Rc::clone(&r.value)))
+            .collect();
+        for e in results.iter().flatten() {
+            self.hits += 1;
+            e.hits.set(e.hits.get() + 1);
+        }
+        results
     }
 
     /// Install a megaflow produced by translation (created/used = 0; the
@@ -428,6 +506,7 @@ impl<A> MegaflowCache<A> {
         actions: A,
         now_ns: u64,
     ) -> Rc<MegaflowEntry<A>> {
+        self.generation += 1;
         let masked = key.masked(&mask);
         let entry = Rc::new(MegaflowEntry::new(masked, mask, actions, now_ns));
         if let Some(old) = self.installed.remove(&masked) {
@@ -456,6 +535,7 @@ impl<A> MegaflowCache<A> {
 
     /// Remove one megaflow, marking the entry dead for any EMC holders.
     pub fn remove(&mut self, masked_key: &FlowKey) -> bool {
+        self.generation += 1;
         match self.installed.remove(masked_key) {
             Some(e) => {
                 e.dead.set(true);
@@ -468,6 +548,7 @@ impl<A> MegaflowCache<A> {
     /// Drop everything (OpenFlow table change revalidation). All entries
     /// are marked dead so EMC references cannot forward stale flows.
     pub fn flush(&mut self) {
+        self.generation += 1;
         for e in self.installed.values() {
             e.dead.set(true);
         }
@@ -499,13 +580,21 @@ mod tests {
         k
     }
 
+    fn m(n: u8) -> Miniflow {
+        Miniflow::from_key(&key(n))
+    }
+
+    fn h(n: u8) -> u64 {
+        m(n).hash()
+    }
+
     #[test]
     fn emc_hit_after_insert() {
         let mut emc: Emc<u32> = Emc::with_capacity(64);
         let e = Rc::new(MegaflowEntry::new(key(1), FlowMask::EXACT, 42, 0));
-        assert!(emc.lookup(&key(1)).is_none());
-        emc.insert(key(1), Rc::clone(&e));
-        let hit = emc.lookup(&key(1)).unwrap();
+        assert!(emc.lookup(&m(1), h(1)).is_none());
+        emc.insert(m(1), h(1), Rc::clone(&e));
+        let hit = emc.lookup(&m(1), h(1)).unwrap();
         assert_eq!(hit.actions, 42);
         assert_eq!(hit.hits.get(), 1);
         assert_eq!(emc.hits, 1);
@@ -519,7 +608,7 @@ mod tests {
         let e = Rc::new(MegaflowEntry::new(key(1), FlowMask::EXACT, 0, 0));
         let mut inserted = 0;
         for i in 0..100u8 {
-            if emc.maybe_insert(key(i.wrapping_mul(7)), Rc::clone(&e)) {
+            if emc.maybe_insert(m(i.wrapping_mul(7)), h(i.wrapping_mul(7)), Rc::clone(&e)) {
                 inserted += 1;
             }
         }
@@ -531,7 +620,7 @@ mod tests {
         let mut emc: Emc<u32> = Emc::with_capacity(2);
         let e = Rc::new(MegaflowEntry::new(key(1), FlowMask::EXACT, 0, 0));
         for i in 0..50u8 {
-            emc.insert(key(i), Rc::clone(&e));
+            emc.insert(m(i), h(i), Rc::clone(&e));
         }
         assert!(emc.len() <= 2, "bounded by capacity");
     }
@@ -569,11 +658,14 @@ mod tests {
         let mut emc: Emc<u32> = Emc::with_capacity(64);
         let mut mf: MegaflowCache<u32> = MegaflowCache::new();
         let e = mf.install_at(key(1), FlowMask::EXACT, 9, 100);
-        emc.insert(key(1), Rc::clone(&e));
-        assert!(emc.lookup(&key(1)).is_some());
+        emc.insert(m(1), h(1), Rc::clone(&e));
+        assert!(emc.lookup(&m(1), h(1)).is_some());
         // Revalidation removes the megaflow: the EMC alias must miss.
         assert!(mf.remove(&e.key));
-        assert!(emc.lookup(&key(1)).is_none(), "dead entry served from EMC");
+        assert!(
+            emc.lookup(&m(1), h(1)).is_none(),
+            "dead entry served from EMC"
+        );
         assert!(emc.is_empty(), "dead slot reclaimed on lookup");
     }
 
@@ -583,7 +675,7 @@ mod tests {
         let mut mf: MegaflowCache<u32> = MegaflowCache::new();
         for i in 0..8u8 {
             let e = mf.install_at(key(i), FlowMask::EXACT, u32::from(i), 0);
-            emc.insert(key(i), e);
+            emc.insert(m(i), h(i), e);
         }
         mf.flush(); // marks everything dead
         assert_eq!(emc.purge_dead(), 8);
@@ -620,13 +712,13 @@ mod tests {
         let mut mf: MegaflowCache<u32> = MegaflowCache::new();
         let mask = FlowMask::of_fields(&[&fields::NW_DST]);
         let e = mf.install_at(key(5), mask, 55, 0);
-        smc.insert(&key(5), Rc::clone(&e));
+        smc.insert(h(5), Rc::clone(&e));
         // The same full key hits via its signature.
-        let hit = smc.lookup(&key(5)).expect("smc hit");
+        let hit = smc.lookup(&m(5), h(5)).expect("smc hit");
         assert_eq!(hit.actions, 55);
         assert_eq!(smc.hits, 1);
         // A different key (different signature and masked key) misses.
-        assert!(smc.lookup(&key(6)).is_none());
+        assert!(smc.lookup(&m(6), h(6)).is_none());
         assert_eq!(smc.misses, 1);
     }
 
@@ -635,12 +727,15 @@ mod tests {
         let mut smc: Smc<u32> = Smc::with_buckets(64);
         let mut mf: MegaflowCache<u32> = MegaflowCache::new();
         let e = mf.install_at(key(1), FlowMask::EXACT, 9, 100);
-        smc.insert(&key(1), Rc::clone(&e));
-        assert!(smc.lookup(&key(1)).is_some());
+        smc.insert(h(1), Rc::clone(&e));
+        assert!(smc.lookup(&m(1), h(1)).is_some());
         // Revalidation removes the megaflow: the SMC alias must miss
         // and the slot is reclaimed in place.
         assert!(mf.remove(&e.key));
-        assert!(smc.lookup(&key(1)).is_none(), "dead entry served from SMC");
+        assert!(
+            smc.lookup(&m(1), h(1)).is_none(),
+            "dead entry served from SMC"
+        );
         assert!(smc.is_empty(), "dead slot reclaimed on lookup");
     }
 
@@ -650,17 +745,17 @@ mod tests {
         let mut mf: MegaflowCache<u32> = MegaflowCache::new();
         for i in 0..8u8 {
             let e = mf.install_at(key(i), FlowMask::EXACT, u32::from(i), 0);
-            smc.insert(&key(i), e);
+            smc.insert(h(i), e);
         }
         assert_eq!(smc.len(), 8);
         mf.flush(); // marks everything dead
         assert_eq!(smc.purge_dead(), 8);
         assert!(smc.is_empty());
         let e = mf.install_at(key(9), FlowMask::EXACT, 9, 0);
-        smc.insert(&key(9), e);
+        smc.insert(h(9), e);
         smc.flush();
         assert!(smc.is_empty());
-        assert!(smc.lookup(&key(9)).is_none());
+        assert!(smc.lookup(&m(9), h(9)).is_none());
     }
 
     #[test]
@@ -671,7 +766,7 @@ mod tests {
         let mut mf: MegaflowCache<u32> = MegaflowCache::new();
         for i in 0..64u8 {
             let e = mf.install_at(key(i), FlowMask::EXACT, u32::from(i), 0);
-            smc.insert(&key(i), e);
+            smc.insert(h(i), e);
         }
         assert!(smc.len() <= 2 * SMC_WAYS, "bounded by geometry");
     }
@@ -680,9 +775,9 @@ mod tests {
     fn emc_flush() {
         let mut emc: Emc<u32> = Emc::with_capacity(16);
         let e = Rc::new(MegaflowEntry::new(key(1), FlowMask::EXACT, 0, 0));
-        emc.insert(key(1), e);
+        emc.insert(m(1), h(1), e);
         emc.flush();
         assert!(emc.is_empty());
-        assert!(emc.lookup(&key(1)).is_none());
+        assert!(emc.lookup(&m(1), h(1)).is_none());
     }
 }

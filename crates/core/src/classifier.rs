@@ -12,8 +12,15 @@
 //! so skewed traffic probes its hot subtable first. For the megaflow
 //! cache — where every entry has priority 0 and a lookup stops at the
 //! first match — ranking directly cuts `subtables_probed`.
+//!
+//! Subtables store and match rules as sparse [`Miniflow`]s under a
+//! [`MiniMask`]: masking, hashing, and comparing touch only the mask's
+//! populated 8-byte slots. [`Classifier::lookup_bulk`] probes a whole
+//! burst against each subtable in wide lanes (one signature pass per
+//! `lane_width` keys, upstream's AVX-512 `dpcls_subtable_lookup` shape),
+//! removing keys from the remaining set as they match.
 
-use ovs_packet::{FlowKey, FlowMask};
+use ovs_packet::{FlowKey, FlowMask, MiniMask, Miniflow};
 use std::collections::HashMap;
 
 /// A classifier rule: match (key under mask), priority, and an opaque
@@ -33,8 +40,11 @@ pub struct Rule<V> {
 #[derive(Debug)]
 struct Subtable<V> {
     mask: FlowMask,
-    /// Masked key → rules (several priorities may share a masked key).
-    rules: HashMap<FlowKey, Vec<Rule<V>>>,
+    /// The sparse form every probe actually uses.
+    mini_mask: MiniMask,
+    /// Masked key (sparse, canonical) → rules (several priorities may
+    /// share a masked key).
+    rules: HashMap<Miniflow, Vec<Rule<V>>>,
     max_priority: i32,
     rule_count: usize,
     /// Lookups this subtable answered (the ranking key).
@@ -60,11 +70,22 @@ pub struct SubtableInfo {
 pub struct ClassifierStats {
     pub lookups: u64,
     pub subtables_probed: u64,
+    /// Wide-lane bulk steps executed: one per `ceil(keys/lane)` per
+    /// subtable probed by [`Classifier::lookup_bulk`].
+    pub lane_steps: u64,
+    /// Keys carried through bulk steps (occupancy numerator: a fully
+    /// packed run has `lane_keys == lane_steps * lane_width`).
+    pub lane_keys: u64,
 }
 
 /// Lookups between subtable-ranking re-sorts (OVS re-sorts its pvector
 /// once per second; a lookup count is the deterministic stand-in).
 pub const DEFAULT_RANK_INTERVAL: u64 = 256;
+
+/// Default bulk-probe lane width: AVX-512 compares eight 64-bit
+/// signatures per instruction, so upstream's vectorized dpcls probes
+/// eight keys per subtable pass.
+pub const DEFAULT_LANE_WIDTH: usize = 8;
 
 /// The tuple-space-search classifier.
 #[derive(Debug)]
@@ -74,6 +95,8 @@ pub struct Classifier<V> {
     pub stats: ClassifierStats,
     /// Lookups between hit-count re-sorts of the subtable vector.
     pub rank_interval: u64,
+    /// Keys probed per bulk step ([`Classifier::lookup_bulk`]).
+    pub lane_width: usize,
     since_rank: u64,
 }
 
@@ -90,6 +113,7 @@ impl<V> Classifier<V> {
             subtables: Vec::new(),
             stats: ClassifierStats::default(),
             rank_interval: DEFAULT_RANK_INTERVAL,
+            lane_width: DEFAULT_LANE_WIDTH,
             since_rank: 0,
         }
     }
@@ -111,12 +135,13 @@ impl<V> Classifier<V> {
 
     /// Insert a rule. Replaces an identical (key, mask, priority) rule.
     pub fn insert(&mut self, rule: Rule<V>) {
-        let masked = rule.key.masked(&rule.mask);
+        let masked = Miniflow::from_key(&rule.key.masked(&rule.mask));
         let idx = match self.subtables.iter().position(|s| s.mask == rule.mask) {
             Some(i) => i,
             None => {
                 self.subtables.push(Subtable {
                     mask: rule.mask,
+                    mini_mask: MiniMask::from_mask(&rule.mask),
                     rules: HashMap::new(),
                     max_priority: i32::MIN,
                     rule_count: 0,
@@ -176,7 +201,7 @@ impl<V> Classifier<V> {
     pub fn remove(&mut self, key: &FlowKey, mask: &FlowMask) -> usize {
         let mut removed = 0;
         if let Some(st) = self.subtables.iter_mut().find(|s| s.mask == *mask) {
-            let masked = key.masked(mask);
+            let masked = Miniflow::from_key(&key.masked(mask));
             if let Some(bucket) = st.rules.remove(&masked) {
                 removed = bucket.len();
                 st.rule_count -= removed;
@@ -195,6 +220,13 @@ impl<V> Classifier<V> {
     /// subtables were probed (the classifier's work metric), and feeds
     /// the hit-count ranking that periodically re-sorts the vector.
     pub fn lookup(&mut self, key: &FlowKey) -> Option<&Rule<V>> {
+        self.lookup_mini(&Miniflow::from_key(key))
+    }
+
+    /// [`Classifier::lookup`] on an already-extracted sparse key — the
+    /// fast-path entry point; every per-subtable probe masks and compares
+    /// only the subtable's populated slots.
+    pub fn lookup_mini(&mut self, key: &Miniflow) -> Option<&Rule<V>> {
         self.stats.lookups += 1;
         self.maybe_rerank();
         let mut best: Option<(usize, i32)> = None;
@@ -205,7 +237,7 @@ impl<V> Classifier<V> {
                 }
             }
             self.stats.subtables_probed += 1;
-            let masked = key.masked(&st.mask);
+            let masked = st.mini_mask.apply(key);
             if let Some(bucket) = st.rules.get(&masked) {
                 // Buckets are sorted by descending priority.
                 let r = &bucket[0];
@@ -218,10 +250,104 @@ impl<V> Classifier<V> {
         let (i, prio) = best?;
         self.subtables[i].hits += 1;
         let st = &self.subtables[i];
-        let masked = key.masked(&st.mask);
+        let masked = st.mini_mask.apply(key);
         st.rules
             .get(&masked)
             .and_then(|b| b.iter().find(|r| r.priority == prio))
+    }
+
+    /// [`Classifier::lookup`] that also unites the mask of **every
+    /// subtable probed** into `wc` — the wildcard tracking translation
+    /// needs: a megaflow must be as specific as every rule the lookup
+    /// *examined*, not just the one it matched, or two packets that
+    /// diverge on an examined-but-missed rule would share a megaflow
+    /// (and overlapping megaflows make the dpcls winner probe-order
+    /// dependent).
+    pub fn lookup_wc(&mut self, key: &FlowKey, wc: &mut FlowMask) -> Option<&Rule<V>> {
+        self.stats.lookups += 1;
+        self.maybe_rerank();
+        let mf = Miniflow::from_key(key);
+        let mut best: Option<(usize, i32)> = None;
+        for (i, st) in self.subtables.iter().enumerate() {
+            if let Some((_, bp)) = best {
+                if st.max_priority <= bp {
+                    break; // no remaining subtable can outrank the match
+                }
+            }
+            self.stats.subtables_probed += 1;
+            wc.unite(&st.mask);
+            let masked = st.mini_mask.apply(&mf);
+            if let Some(bucket) = st.rules.get(&masked) {
+                let r = &bucket[0];
+                match best {
+                    Some((_, bp)) if bp >= r.priority => {}
+                    _ => best = Some((i, r.priority)),
+                }
+            }
+        }
+        let (i, prio) = best?;
+        self.subtables[i].hits += 1;
+        let st = &self.subtables[i];
+        let masked = st.mini_mask.apply(&mf);
+        st.rules
+            .get(&masked)
+            .and_then(|b| b.iter().find(|r| r.priority == prio))
+    }
+
+    /// Probe a whole burst of keys in wide lanes: per subtable, the
+    /// still-unmatched keys are masked, hashed, and compared in groups of
+    /// [`Classifier::lane_width`] (`stats.lane_steps` counts the groups),
+    /// and a key that matches leaves the remaining set — upstream
+    /// `dpcls_lookup`'s `keys_map` walk over vectorized subtable probes.
+    ///
+    /// First-match-in-ranked-order equals highest-priority-match only
+    /// when every subtable sits in one priority tier, which holds for the
+    /// megaflow cache (all rules priority 0, entries disjoint); callers
+    /// with mixed priorities must use the scalar lookup.
+    pub fn lookup_bulk(&mut self, keys: &[Miniflow]) -> Vec<Option<&Rule<V>>> {
+        debug_assert!(
+            self.subtables
+                .windows(2)
+                .all(|w| w[0].max_priority == w[1].max_priority),
+            "bulk lookup requires a single priority tier"
+        );
+        let lane = self.lane_width.max(1);
+        self.stats.lookups += keys.len() as u64;
+        self.since_rank += keys.len() as u64;
+        if self.since_rank >= self.rank_interval {
+            self.since_rank = 0;
+            self.sort_subtables();
+        }
+        let mut found: Vec<Option<(usize, Miniflow)>> = vec![None; keys.len()];
+        let mut remaining: Vec<usize> = (0..keys.len()).collect();
+        for (si, st) in self.subtables.iter_mut().enumerate() {
+            if remaining.is_empty() {
+                break;
+            }
+            let n = remaining.len() as u64;
+            self.stats.subtables_probed += n;
+            self.stats.lane_keys += n;
+            self.stats.lane_steps += remaining.len().div_ceil(lane) as u64;
+            remaining.retain(|&ki| {
+                let masked = st.mini_mask.apply(&keys[ki]);
+                if st.rules.contains_key(&masked) {
+                    st.hits += 1;
+                    found[ki] = Some((si, masked));
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        found
+            .into_iter()
+            .map(|f| {
+                f.map(|(si, masked)| {
+                    // Buckets are sorted by descending priority.
+                    &self.subtables[si].rules[&masked][0]
+                })
+            })
+            .collect()
     }
 
     /// Union of every subtable mask — the conservative wildcard a miss
@@ -409,6 +535,83 @@ mod tests {
         assert_eq!(c.lookup(&key_dst([10, 1, 2, 3])).unwrap().value, 1);
         let info = c.subtable_info();
         assert_eq!(info[0].max_priority, 10, "priority order preserved");
+    }
+
+    #[test]
+    fn bulk_lookup_matches_scalar() {
+        // Two same-priority subtables (/16 and /8), a burst mixing hits
+        // in each plus misses: the bulk result must equal key-by-key
+        // scalar lookups.
+        let mut c = Classifier::new();
+        c.insert(rule([10, 1, 0, 0], 16, 0, 200));
+        c.insert(rule([10, 0, 0, 0], 8, 0, 100));
+        let burst = [
+            key_dst([10, 1, 2, 3]), // /16
+            key_dst([10, 9, 9, 9]), // /8
+            key_dst([99, 0, 0, 1]), // miss
+            key_dst([10, 1, 0, 7]), // /16
+        ];
+        let minis: Vec<Miniflow> = burst.iter().map(Miniflow::from_key).collect();
+        let scalar: Vec<Option<u32>> = {
+            let mut c2 = Classifier::new();
+            c2.insert(rule([10, 1, 0, 0], 16, 0, 200));
+            c2.insert(rule([10, 0, 0, 0], 8, 0, 100));
+            burst
+                .iter()
+                .map(|k| c2.lookup(k).map(|r| r.value))
+                .collect()
+        };
+        let bulk: Vec<Option<u32>> = c
+            .lookup_bulk(&minis)
+            .into_iter()
+            .map(|r| r.map(|r| r.value))
+            .collect();
+        assert_eq!(bulk, scalar);
+        assert_eq!(bulk, vec![Some(200), Some(100), None, Some(200)]);
+    }
+
+    #[test]
+    fn bulk_lane_accounting() {
+        // One subtable, lane width 8: a 20-key burst takes ceil(20/8) = 3
+        // steps and carries 20 keys. A matched key leaves the remaining
+        // set, so a second subtable only sees the misses.
+        let mut c = Classifier::new();
+        c.lane_width = 8;
+        for i in 0..4u8 {
+            c.insert(rule([10, 0, 0, i], 32, 0, u32::from(i)));
+        }
+        let minis: Vec<Miniflow> = (0..20u8)
+            .map(|i| Miniflow::from_key(&key_dst([10, 0, 0, i])))
+            .collect();
+        c.stats = ClassifierStats::default();
+        let hits = c.lookup_bulk(&minis).iter().filter(|r| r.is_some()).count();
+        assert_eq!(hits, 4);
+        assert_eq!(c.stats.lane_steps, 3);
+        assert_eq!(c.stats.lane_keys, 20);
+        assert_eq!(c.stats.subtables_probed, 20);
+
+        // Add a second subtable (/8 catch-all): the 16 keys unmatched by
+        // the /32 subtable carry over, 2 more steps.
+        c.insert(rule([10, 0, 0, 0], 8, 0, 999));
+        c.stats = ClassifierStats::default();
+        let results = c.lookup_bulk(&minis);
+        assert!(results.iter().all(|r| r.is_some()));
+        // Ranked order puts the hot /32 subtable first (4 prior hits).
+        assert_eq!(c.stats.lane_steps, 3 + 2);
+        assert_eq!(c.stats.lane_keys, 20 + 16);
+    }
+
+    #[test]
+    fn lookup_mini_equals_lookup() {
+        let mut c = Classifier::new();
+        c.insert(rule([10, 1, 0, 0], 16, 10, 1));
+        c.insert(rule([10, 0, 0, 0], 8, 1, 2));
+        for ip in [[10, 1, 2, 3], [10, 9, 9, 9], [8, 8, 8, 8]] {
+            let k = key_dst(ip);
+            let scalar = c.lookup(&k).map(|r| r.value);
+            let mini = c.lookup_mini(&Miniflow::from_key(&k)).map(|r| r.value);
+            assert_eq!(scalar, mini, "ip {ip:?}");
+        }
     }
 
     #[test]

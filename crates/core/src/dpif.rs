@@ -33,8 +33,7 @@ use ovs_kernel::Kernel;
 use ovs_obs::latency::LatencySummary;
 use ovs_obs::perf::STAGES;
 use ovs_obs::{coverage, LatencyTracker, PmdPerf, Stage, StageTimer, TraceCtx};
-use ovs_packet::flow::extract_flow_key;
-use ovs_packet::flow::FlowKey;
+use ovs_packet::flow::{extract_miniflow, FlowKey, Miniflow, WORDS};
 use ovs_packet::{builder, DpPacket, MacAddr};
 use ovs_sim::Context;
 use std::collections::BTreeMap;
@@ -60,8 +59,9 @@ fn pmd_now_ns(kernel: &Kernel, core: usize) -> u64 {
         .saturating_add(core_ns(kernel, core))
 }
 
-/// One line of `ofproto/trace` flow description.
-fn describe_key(key: &FlowKey) -> String {
+/// One line of `ofproto/trace` flow description, straight off the
+/// sparse key — tracing does not expand a full `FlowKey` either.
+fn describe_key(key: &Miniflow) -> String {
     let s = key.nw_src_v4();
     let d = key.nw_dst_v4();
     let mut out = format!(
@@ -105,6 +105,32 @@ fn format_used(now_ns: u64, used_ns: u64, hits: u64) -> String {
         "never".to_string()
     } else {
         format!("{:.3}s", now_ns.saturating_sub(used_ns) as f64 / 1e9)
+    }
+}
+
+/// Aggregate shape statistics over the sparse keys the fast path
+/// extracts, surfaced by `dpif-netdev/miniflow-stats`: how many of the
+/// [`WORDS`] slots a typical key populates (what the packed
+/// representation saves), and how often the slow path had to expand a
+/// full `FlowKey` (zero in a pure-hit run).
+#[derive(Debug, Default, Clone)]
+pub struct MiniflowStats {
+    /// Sparse keys extracted by `dfc_processing`.
+    pub extracts: u64,
+    /// Sum of populated-slot counts across all extracts.
+    pub slots_sum: u64,
+    /// Histogram of populated-slot counts (index = popcount, 0..=WORDS).
+    pub hist: [u64; WORDS + 1],
+    /// Full-key expansions on the upcall path (`miniflow_expand`).
+    pub expands: u64,
+}
+
+impl MiniflowStats {
+    fn record(&mut self, mf: &Miniflow) {
+        let n = mf.n_slots();
+        self.extracts += 1;
+        self.slots_sum += n as u64;
+        self.hist[n] += 1;
     }
 }
 
@@ -361,6 +387,8 @@ pub struct DpifNetdev {
     pub mirrors: Vec<MirrorSession>,
     /// Counters.
     pub stats: DpifStats,
+    /// Sparse-key shape statistics (`dpif-netdev/miniflow-stats`).
+    pub miniflow_stats: MiniflowStats,
     /// Per-PMD (per-core) stage cycle attribution.
     pub perf: BTreeMap<usize, PmdPerf>,
     /// Per-packet rx→tx latency accounting (per port / per PMD
@@ -396,6 +424,7 @@ impl DpifNetdev {
             rtnl: RtnlCache::new(),
             mirrors: Vec::new(),
             stats: DpifStats::default(),
+            miniflow_stats: MiniflowStats::default(),
             perf: BTreeMap::new(),
             latency: LatencyTracker::new(),
             trace: None,
@@ -523,6 +552,22 @@ impl DpifNetdev {
         self.megaflow.subtables_probed()
     }
 
+    /// Wide-lane bulk dpcls steps issued since start — each step is one
+    /// lane-wide signature compare against one subtable.
+    pub fn lane_steps(&self) -> u64 {
+        self.megaflow.lane_steps()
+    }
+
+    /// Keys carried by those lane steps (occupancy numerator).
+    pub fn lane_keys(&self) -> u64 {
+        self.megaflow.lane_keys()
+    }
+
+    /// Configured bulk-probe lane width.
+    pub fn lane_width(&self) -> usize {
+        self.megaflow.lane_width()
+    }
+
     /// Flush both cache levels. Residual per-flow stats are pushed up to
     /// the OpenFlow rules first so no `n_packets` are lost, then every
     /// ukey is dropped with its flow.
@@ -589,6 +634,42 @@ impl DpifNetdev {
                 s.hits,
                 s.rules
             );
+        }
+        out
+    }
+
+    /// `dpif-netdev/miniflow-stats` — the shape of the sparse keys the
+    /// fast path ran on: average populated slots (of [`WORDS`]), the
+    /// populated-slot histogram, slow-path full-key expansions, and the
+    /// wide-lane bulk dpcls occupancy.
+    pub fn miniflow_stats_show(&self) -> String {
+        use std::fmt::Write as _;
+        let ms = &self.miniflow_stats;
+        let avg = if ms.extracts > 0 {
+            ms.slots_sum as f64 / ms.extracts as f64
+        } else {
+            0.0
+        };
+        let mut out = String::from("miniflow stats:\n");
+        let _ = writeln!(out, "  extracts: {}", ms.extracts);
+        let _ = writeln!(out, "  avg populated slots: {:.2} / {}", avg, WORDS);
+        let _ = writeln!(out, "  full-key expansions (upcall path): {}", ms.expands);
+        let _ = writeln!(out, "  populated-slot histogram:");
+        for (n, &count) in ms.hist.iter().enumerate() {
+            if count > 0 {
+                let _ = writeln!(out, "    {n:>2} slots: {count}");
+            }
+        }
+        let steps = self.megaflow.lane_steps();
+        let keys = self.megaflow.lane_keys();
+        let width = self.megaflow.lane_width();
+        let _ = writeln!(out, "bulk dpcls:");
+        let _ = writeln!(out, "  lane width: {width}");
+        let _ = writeln!(out, "  lane steps: {steps}");
+        let _ = writeln!(out, "  lane keys: {keys}");
+        if steps > 0 {
+            let occ = 100.0 * keys as f64 / (steps as f64 * width as f64);
+            let _ = writeln!(out, "  lane occupancy: {occ:.1}%");
         }
         out
     }
@@ -1244,7 +1325,7 @@ megaflows installed: {}
         let mut tx = TxAccum::default();
         while !burst.is_empty() {
             let mut batches: Vec<FlowBatch> = Vec::new();
-            let mut misses: Vec<(BurstPkt, FlowKey)> = Vec::new();
+            let mut misses: Vec<(BurstPkt, Miniflow)> = Vec::new();
             self.dfc_processing(kernel, burst, &mut batches, &mut misses, core, timer);
             self.fast_path_processing(kernel, misses, &mut batches, core, timer);
             burst = self.execute_batches(kernel, batches, &mut tx, core, timer);
@@ -1255,12 +1336,17 @@ megaflows installed: {}
     /// Phase one: probe the datapath flow caches (EMC, then SMC) for
     /// every packet of the burst, in order, sorting hits into
     /// per-megaflow batches and collecting misses for the fast path.
+    ///
+    /// Everything here runs on the sparse [`Miniflow`] straight out of
+    /// extraction — no full `FlowKey` is materialized on the hit path —
+    /// and the slot hash is computed once and cached in
+    /// `DpPacket::flow_hash` for every probe tier to reuse.
     fn dfc_processing(
         &mut self,
         kernel: &mut Kernel,
         burst: Vec<BurstPkt>,
         batches: &mut Vec<FlowBatch>,
-        misses: &mut Vec<(BurstPkt, FlowKey)>,
+        misses: &mut Vec<(BurstPkt, Miniflow)>,
         core: usize,
         timer: &mut StageTimer,
     ) {
@@ -1278,19 +1364,22 @@ megaflows installed: {}
                 self.stats.recirculations += 1;
                 coverage!("dpif_recirc");
             }
-            let key = extract_flow_key(&mut bp.pkt);
-            let c = kernel.sim.costs.dpif_extract_ns;
+            let mf = extract_miniflow(&mut bp.pkt);
+            let hash = mf.hash();
+            bp.pkt.flow_hash = Some(hash);
+            self.miniflow_stats.record(&mf);
+            let c = kernel.sim.costs.miniflow_extract_ns + kernel.sim.costs.flow_hash_ns;
             kernel.sim.charge(core, Context::User, c);
             timer.mark(Stage::Parse, core_ns(kernel, core));
             if let Some(t) = self.trace.as_mut() {
-                t.enter(format!("pass {}: flow {}", bp.pass + 1, describe_key(&key)));
+                t.enter(format!("pass {}: flow {}", bp.pass + 1, describe_key(&mf)));
             }
 
             // Level 1: EMC. Hit or miss, the probe is paid here.
-            if let Some(e) = self.emc.lookup(&key) {
+            if let Some(e) = self.emc.lookup(&mf, hash) {
                 self.stats.emc_hits += 1;
                 coverage!("dpif_emc_hit");
-                let mut c = kernel.sim.costs.emc_hit_ns;
+                let mut c = kernel.sim.costs.emc_mini_hit_ns;
                 if self.emc.len() > kernel.sim.costs.emc_pressure_threshold {
                     c += kernel.sim.costs.emc_pressure_ns;
                 }
@@ -1304,15 +1393,15 @@ megaflows installed: {}
                 self.enqueue_classified(batches, Some(&e), actions, bp);
                 continue;
             }
-            let c = kernel.sim.costs.emc_hit_ns;
+            let c = kernel.sim.costs.emc_mini_hit_ns;
             kernel.sim.charge(core, Context::User, c);
             timer.mark(Stage::EmcLookup, core_ns(kernel, core));
 
             // Level 2: signature match cache, when enabled.
             if self.smc_enable {
-                let c = kernel.sim.costs.smc_hit_ns;
+                let c = kernel.sim.costs.smc_mini_hit_ns;
                 kernel.sim.charge(core, Context::User, c);
-                let hit = self.smc.lookup(&key);
+                let hit = self.smc.lookup(&mf, hash);
                 timer.mark(Stage::SmcLookup, core_ns(kernel, core));
                 if let Some(e) = hit {
                     self.stats.smc_hits += 1;
@@ -1322,32 +1411,40 @@ megaflows installed: {}
                     }
                     e.note_use(bp.pkt.len(), kernel.sim.clock.now_ns());
                     // SMC hits feed the EMC, like dpcls hits.
-                    self.emc.maybe_insert(key, Rc::clone(&e));
+                    self.emc.maybe_insert(mf, hash, Rc::clone(&e));
                     let actions = Rc::new(e.actions.clone());
                     self.enqueue_classified(batches, Some(&e), actions, bp);
                     continue;
                 }
                 coverage!("smc_miss");
             }
-            misses.push((bp, key));
+            misses.push((bp, mf));
         }
     }
 
-    /// Phase two: resolve the dfc misses, in original packet order,
-    /// through the megaflow classifier and the upcall slow path. The
-    /// flow caches are re-probed first (uncharged — the probes were paid
-    /// in phase one) because an earlier miss in the same burst may have
-    /// installed or promoted the flow.
+    /// Phase two: resolve the dfc misses through the megaflow classifier
+    /// and the upcall slow path. The flow caches are re-probed first
+    /// (uncharged — the probes were paid in phase one) because an
+    /// earlier miss in the same burst may have installed or promoted the
+    /// flow; the survivors then go through the dpcls **together** as one
+    /// wide-lane bulk probe (the AVX-512 signature-compare model), and
+    /// only bulk misses fall back to scalar probing and upcalls, in
+    /// original packet order.
     fn fast_path_processing(
         &mut self,
         kernel: &mut Kernel,
-        misses: Vec<(BurstPkt, FlowKey)>,
+        misses: Vec<(BurstPkt, Miniflow)>,
         batches: &mut Vec<FlowBatch>,
         core: usize,
         timer: &mut StageTimer,
     ) {
-        for (bp, key) in misses {
-            if let Some(e) = self.emc.lookup(&key) {
+        let mut pending: Vec<(BurstPkt, Miniflow)> = Vec::with_capacity(misses.len());
+        for (bp, mf) in misses {
+            let hash = bp
+                .pkt
+                .flow_hash
+                .expect("flow_hash cached by dfc_processing");
+            if let Some(e) = self.emc.lookup(&mf, hash) {
                 self.stats.emc_hits += 1;
                 coverage!("dpif_emc_hit");
                 if let Some(t) = self.trace.as_mut() {
@@ -1359,31 +1456,72 @@ megaflows installed: {}
                 continue;
             }
             if self.smc_enable {
-                if let Some(e) = self.smc.lookup(&key) {
+                if let Some(e) = self.smc.lookup(&mf, hash) {
                     self.stats.smc_hits += 1;
                     coverage!("smc_hit");
                     if let Some(t) = self.trace.as_mut() {
                         t.note(format!("cache: SMC hit (mask {} bits)", e.mask.bit_count()));
                     }
                     e.note_use(bp.pkt.len(), kernel.sim.clock.now_ns());
-                    self.emc.maybe_insert(key, Rc::clone(&e));
+                    self.emc.maybe_insert(mf, hash, Rc::clone(&e));
                     let actions = Rc::new(e.actions.clone());
                     self.enqueue_classified(batches, Some(&e), actions, bp);
                     continue;
                 }
             }
+            pending.push((bp, mf));
+        }
+        if pending.is_empty() {
+            return;
+        }
 
-            // Level 3: megaflow classifier. The first subtable probe is
-            // folded into the base lookup cost; every additional
-            // subtable probed pays the incremental cost — the work
-            // subtable ranking cuts on skewed traffic.
-            let probed_before = self.megaflow.subtables_probed();
-            let hit = self.megaflow.lookup(&key);
-            let probed = self.megaflow.subtables_probed() - probed_before;
-            let c = kernel.sim.costs.dpcls_lookup_ns
-                + kernel.sim.costs.dpcls_subtable_extra_ns * probed.saturating_sub(1) as f64;
-            kernel.sim.charge(core, Context::User, c);
-            timer.mark(Stage::MegaflowLookup, core_ns(kernel, core));
+        // Level 3: megaflow classifier, probed for the whole remainder
+        // of the burst at once in `lane_width`-wide steps. The cost
+        // model charges per lane step (one wide signature compare +
+        // gather) plus per key carried (mask application) — batching
+        // amortizes the subtable walk the way the vectorized dpcls
+        // amortizes loads.
+        let keys: Vec<Miniflow> = pending.iter().map(|(_, mf)| *mf).collect();
+        let steps_before = self.megaflow.lane_steps();
+        let keys_before = self.megaflow.lane_keys();
+        let gen_at_bulk = self.megaflow.generation();
+        let results = self.megaflow.lookup_bulk(&keys);
+        let steps = self.megaflow.lane_steps() - steps_before;
+        let lane_keys = self.megaflow.lane_keys() - keys_before;
+        let c = kernel.sim.costs.dpcls_bulk_step_ns * steps as f64
+            + kernel.sim.costs.dpcls_bulk_key_ns * lane_keys as f64;
+        kernel.sim.charge(core, Context::User, c);
+        timer.mark(Stage::MegaflowLookup, core_ns(kernel, core));
+
+        for ((bp, mf), bulk_hit) in pending.into_iter().zip(results) {
+            let hash = bp
+                .pkt
+                .flow_hash
+                .expect("flow_hash cached by dfc_processing");
+            let hit = match bulk_hit {
+                Some(e) => Some(e),
+                None if self.megaflow.generation() != gen_at_bulk => {
+                    // The table changed since the bulk probe — an
+                    // earlier miss in this burst installed a flow — so
+                    // the miss verdict is stale: scalar re-probe
+                    // (charged), the same re-lookup OVS does in
+                    // handle_packet_upcall().
+                    let probed_before = self.megaflow.subtables_probed();
+                    let hit = self.megaflow.lookup_mini(&mf);
+                    let probed = self.megaflow.subtables_probed() - probed_before;
+                    let c = kernel.sim.costs.dpcls_lookup_ns
+                        + kernel.sim.costs.dpcls_subtable_extra_ns
+                            * probed.saturating_sub(1) as f64;
+                    kernel.sim.charge(core, Context::User, c);
+                    timer.mark(Stage::MegaflowLookup, core_ns(kernel, core));
+                    hit
+                }
+                None => {
+                    // Table unchanged: the bulk miss is definitive.
+                    self.megaflow.count_miss();
+                    None
+                }
+            };
             if let Some(e) = hit {
                 self.stats.megaflow_hits += 1;
                 coverage!("dpif_megaflow_hit");
@@ -1395,15 +1533,19 @@ megaflows installed: {}
                 }
                 e.note_use(bp.pkt.len(), kernel.sim.clock.now_ns());
                 if self.smc_enable {
-                    self.smc.insert(&key, Rc::clone(&e));
+                    self.smc.insert(hash, Rc::clone(&e));
                 }
-                self.emc.maybe_insert(key, Rc::clone(&e));
+                self.emc.maybe_insert(mf, hash, Rc::clone(&e));
                 let actions = Rc::new(e.actions.clone());
                 self.enqueue_classified(batches, Some(&e), actions, bp);
                 continue;
             }
 
-            // Level 4: upcall into ofproto.
+            // Level 4: upcall into ofproto — the only point where the
+            // sparse key inflates back to a full FlowKey.
+            coverage!("miniflow_expand");
+            self.miniflow_stats.expands += 1;
+            let key = mf.expand();
             self.stats.upcalls += 1;
             coverage!("dpif_upcall");
             if let Some(t) = self.trace.as_mut() {
@@ -1446,9 +1588,9 @@ megaflows installed: {}
                     now,
                 ));
                 if self.smc_enable {
-                    self.smc.insert(&key, Rc::clone(&entry));
+                    self.smc.insert(hash, Rc::clone(&entry));
                 }
-                self.emc.maybe_insert(key, Rc::clone(&entry));
+                self.emc.maybe_insert(mf, hash, Rc::clone(&entry));
                 let actions = Rc::new(t.actions);
                 self.enqueue_classified(batches, Some(&entry), actions, bp);
             } else {
@@ -1729,7 +1871,7 @@ megaflows installed: {}
                     // the conntrack pass gets its own stage.
                     timer.mark(Stage::Actions, core_ns(kernel, core));
                     let mut tmp = DpPacket::from_data(pkt.data());
-                    let key = extract_flow_key(&mut tmp);
+                    let key = extract_miniflow(&mut tmp);
                     let ck = ConnKey {
                         zone: *zone,
                         src_ip: key.nw_src_v4(),
@@ -1900,7 +2042,7 @@ megaflows installed: {}
             };
             meta.src = cfg.local_ip;
             let mut tmp = DpPacket::from_data(pkt.data());
-            let entropy = extract_flow_key(&mut tmp).rss_hash() as u16;
+            let entropy = extract_miniflow(&mut tmp).rss_hash() as u16;
             let c = kernel.sim.costs.userspace_tunnel_ns;
             kernel.sim.charge(core, Context::User, c);
             let dev_macs: Vec<(u32, MacAddr)> = self

@@ -260,7 +260,7 @@ impl Ofproto {
                 }
                 break;
             };
-            let (entry, rule_mask) = match cls.lookup(&work_key) {
+            let (entry, rule_mask) = match cls.lookup_wc(&work_key, &mut wc) {
                 Some(r) => (Rc::clone(&r.value), r.mask),
                 None => {
                     // A miss must be as specific as anything that could

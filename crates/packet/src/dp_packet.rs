@@ -74,6 +74,11 @@ pub struct DpPacket {
     /// RSS hash of the 5-tuple, if computed (`None` forces software hashing,
     /// the cost the paper calls out in §5.5).
     pub rxhash: Option<u32>,
+    /// Full extracted-slot hash of the packet's miniflow, computed once per
+    /// pipeline pass and reused across EMC/SMC/dpcls probes — upstream's
+    /// `dp_packet_get_rss_hash` caching behavior, extended to the 64-bit
+    /// key hash.
+    pub flow_hash: Option<u64>,
     /// Offset of the L3 header from the packet start, or [`OFS_INVALID`].
     pub l3_ofs: u16,
     /// Offset of the L4 header from the packet start, or [`OFS_INVALID`].
@@ -113,6 +118,7 @@ impl DpPacket {
             len: 0,
             in_port: 0,
             rxhash: None,
+            flow_hash: None,
             l3_ofs: OFS_INVALID,
             l4_ofs: OFS_INVALID,
             offloads: OffloadFlags::default(),
@@ -236,6 +242,7 @@ impl DpPacket {
         self.len = 0;
         self.in_port = 0;
         self.rxhash = None;
+        self.flow_hash = None;
         self.l3_ofs = OFS_INVALID;
         self.l4_ofs = OFS_INVALID;
         self.offloads = OffloadFlags::default();

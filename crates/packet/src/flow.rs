@@ -653,119 +653,453 @@ pub mod fields {
     ];
 }
 
-/// Extract a [`FlowKey`] from a packet, also recording L3/L4 offsets in the
-/// packet's metadata. This is OVS's `miniflow_extract` equivalent.
+// ----------------------------------------------------------------------
+// Miniflow: the sparse key representation the fast path runs on
+// ----------------------------------------------------------------------
+
+/// A sparse [`FlowKey`]: a presence bitmap over the [`WORDS`] fixed
+/// 8-byte slots plus a packed array of the non-zero slot values — OVS's
+/// `struct miniflow`. A slot's bit is set iff its value is non-zero, so
+/// `Miniflow` ↔ `FlowKey` is a bijection and equality/hashing touch only
+/// the populated slots instead of all twelve words.
 ///
-/// Unparseable or unsupported layers simply stop extraction — the key holds
-/// whatever was valid, which matches OVS semantics (a garbage L4 just means
-/// no L4 fields).
-pub fn extract_flow_key(pkt: &mut DpPacket) -> FlowKey {
-    let mut key = FlowKey::default();
-    key.set_in_port(pkt.in_port);
-    key.set_recirc_id(pkt.recirc_id);
-    key.set_ct_state(pkt.ct_state);
-    key.set_ct_zone(pkt.ct_zone);
-    key.set_ct_mark(pkt.ct_mark);
-    if let Some(t) = &pkt.tunnel {
-        key.set_tun_id(t.tun_id);
-        key.set_tun_src(t.src);
-        key.set_tun_dst(t.dst);
+/// The packed invariant: `vals[..map.count_ones()]` hold the populated
+/// slot values in ascending slot order; everything after is zero (so the
+/// derived `PartialEq` is exact).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Miniflow {
+    map: u16,
+    vals: [u64; WORDS],
+}
+
+impl Default for Miniflow {
+    fn default() -> Self {
+        Self::EMPTY
+    }
+}
+
+impl Miniflow {
+    /// The all-wildcard (all-zero) key.
+    pub const EMPTY: Miniflow = Miniflow {
+        map: 0,
+        vals: [0; WORDS],
+    };
+
+    /// The presence bitmap (bit `i` = slot `i` is non-zero).
+    pub fn map(&self) -> u16 {
+        self.map
     }
 
-    let data = pkt.data().to_vec();
-    let Ok(eth) = EthernetFrame::new_checked(&data[..]) else {
-        return key;
+    /// Number of populated slots.
+    pub fn n_slots(&self) -> usize {
+        self.map.count_ones() as usize
+    }
+
+    /// The packed non-zero slot values, in ascending slot order.
+    pub fn values(&self) -> &[u64] {
+        &self.vals[..self.n_slots()]
+    }
+
+    /// Packed index of slot `w` (valid only when the slot is present).
+    #[inline]
+    fn rank(&self, w: usize) -> usize {
+        (self.map & ((1u16 << w) - 1)).count_ones() as usize
+    }
+
+    /// Value of slot `w` (0 when absent) — one popcount, no expansion.
+    #[inline]
+    pub fn get(&self, w: usize) -> u64 {
+        if self.map & (1 << w) != 0 {
+            self.vals[self.rank(w)]
+        } else {
+            0
+        }
+    }
+
+    /// Append slot `w` (which must be greater than every populated slot).
+    /// Zero values are skipped to keep the representation canonical.
+    #[inline]
+    fn push(&mut self, w: usize, v: u64) {
+        debug_assert!(
+            self.map >> w == 0,
+            "slots must be pushed in ascending order"
+        );
+        if v != 0 {
+            self.vals[self.n_slots()] = v;
+            self.map |= 1 << w;
+        }
+    }
+
+    /// Compress a full key (slow path; the fast path extracts directly).
+    pub fn from_key(key: &FlowKey) -> Miniflow {
+        let mut mf = Miniflow::EMPTY;
+        for (w, &v) in key.words().iter().enumerate() {
+            mf.push(w, v);
+        }
+        mf
+    }
+
+    /// Expand to a full [`FlowKey`] — the **only** full-key
+    /// materialization; the datapath calls this on the upcall/miss path
+    /// and counts it under the `miniflow_expand` coverage counter.
+    pub fn expand(&self) -> FlowKey {
+        let mut words = [0u64; WORDS];
+        let mut i = 0;
+        for (w, word) in words.iter_mut().enumerate() {
+            if self.map & (1 << w) != 0 {
+                *word = self.vals[i];
+                i += 1;
+            }
+        }
+        FlowKey::from_words(words)
+    }
+
+    /// A fast full-key hash: FNV-1a over the bitmap and the populated
+    /// slots only, with the same avalanche finalizer as
+    /// [`FlowKey::hash_masked`] (low-bit entropy matters — the EMC and
+    /// SMC index their buckets with the low bits). Computed once per
+    /// packet and cached in `DpPacket::flow_hash`.
+    pub fn hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        h ^= u64::from(self.map);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        for &v in self.values() {
+            h ^= v;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h
+    }
+
+    /// The 5-tuple RSS hash — bit-identical to
+    /// [`FlowKey::rss_hash`] of the expansion, without expanding.
+    pub fn rss_hash(&self) -> u32 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for w in [
+            self.get(3),
+            self.get(4),
+            self.get(5),
+            self.get(6),
+            self.get(7) & 0xff00_0000_ffff_ffff, // proto + ports
+        ] {
+            h ^= w;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h >> 32) as u32 ^ h as u32
+    }
+
+    /// Datapath input port.
+    pub fn in_port(&self) -> u32 {
+        (self.get(0) >> 32) as u32
+    }
+
+    /// Recirculation id.
+    pub fn recirc_id(&self) -> u32 {
+        self.get(0) as u32
+    }
+
+    /// Raw EtherType.
+    pub fn eth_type_raw(&self) -> u16 {
+        self.get(1) as u16
+    }
+
+    /// IPv4 source address.
+    pub fn nw_src_v4(&self) -> [u8; 4] {
+        (self.get(4) as u32).to_be_bytes()
+    }
+
+    /// IPv4 destination address.
+    pub fn nw_dst_v4(&self) -> [u8; 4] {
+        (self.get(6) as u32).to_be_bytes()
+    }
+
+    /// IP protocol / ARP opcode.
+    pub fn nw_proto(&self) -> u8 {
+        (self.get(7) >> 56) as u8
+    }
+
+    /// L4 source port.
+    pub fn tp_src(&self) -> u16 {
+        (self.get(7) >> 16) as u16
+    }
+
+    /// L4 destination port.
+    pub fn tp_dst(&self) -> u16 {
+        self.get(7) as u16
+    }
+
+    /// Conntrack state bits.
+    pub fn ct_state(&self) -> u8 {
+        (self.get(10) >> 56) as u8
+    }
+
+    /// Tunnel id.
+    pub fn tun_id(&self) -> u64 {
+        self.get(8)
+    }
+}
+
+/// `HashMap` keying must agree with `PartialEq` while touching only the
+/// populated slots — this is what makes a dpcls subtable probe cheap for
+/// sparse keys.
+impl std::hash::Hash for Miniflow {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.map.hash(state);
+        for v in self.values() {
+            v.hash(state);
+        }
+    }
+}
+
+/// A sparse [`FlowMask`]: the subset bitmap of slots with any significant
+/// bits plus the packed per-slot masks. Masked hashing and matching walk
+/// only the mask's populated slots — `hash_masked` over a typical
+/// megaflow mask touches 4–6 slots instead of all twelve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MiniMask {
+    map: u16,
+    masks: [u64; WORDS],
+}
+
+impl MiniMask {
+    /// The match-nothing mask.
+    pub const EMPTY: MiniMask = MiniMask {
+        map: 0,
+        masks: [0; WORDS],
     };
-    key.set_dl_src(eth.src());
-    key.set_dl_dst(eth.dst());
+
+    /// Compress a full mask (done once per megaflow install / subtable).
+    pub fn from_mask(mask: &FlowMask) -> MiniMask {
+        let mut map = 0u16;
+        let mut masks = [0u64; WORDS];
+        let mut i = 0;
+        for (w, &m) in mask.words().iter().enumerate() {
+            if m != 0 {
+                map |= 1 << w;
+                masks[i] = m;
+                i += 1;
+            }
+        }
+        MiniMask { map, masks }
+    }
+
+    /// Expand to a full [`FlowMask`].
+    pub fn expand(&self) -> FlowMask {
+        let mut words = [0u64; WORDS];
+        let mut i = 0;
+        for (w, word) in words.iter_mut().enumerate() {
+            if self.map & (1 << w) != 0 {
+                *word = self.masks[i];
+                i += 1;
+            }
+        }
+        FlowMask::from_words(words)
+    }
+
+    /// The slots this mask touches.
+    pub fn map(&self) -> u16 {
+        self.map
+    }
+
+    /// Number of significant bits.
+    pub fn bit_count(&self) -> u32 {
+        self.masks.iter().map(|m| m.count_ones()).sum()
+    }
+
+    /// Iterate `(slot, mask_word)` over the populated slots.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        let map = self.map;
+        (0..WORDS)
+            .filter(move |w| map & (1 << w) != 0)
+            .zip(self.masks.iter().copied())
+    }
+
+    /// `flow & mask` as a canonical [`Miniflow`] (slots masked to zero are
+    /// dropped). This is the sparse `FlowKey::masked`.
+    pub fn apply(&self, flow: &Miniflow) -> Miniflow {
+        let mut out = Miniflow::EMPTY;
+        for (w, m) in self.iter() {
+            out.push(w, flow.get(w) & m);
+        }
+        out
+    }
+
+    /// True if `flow` matches `rule` (stored pre-masked) under this mask —
+    /// the sparse `FlowKey::matches`, touching only the mask's slots.
+    pub fn matches(&self, flow: &Miniflow, rule: &Miniflow) -> bool {
+        self.iter().all(|(w, m)| flow.get(w) & m == rule.get(w))
+    }
+
+    /// Hash of `flow & mask` touching only the mask's populated slots —
+    /// the sparse `FlowKey::hash_masked`, with the same avalanche
+    /// finalizer.
+    pub fn hash_flow(&self, flow: &Miniflow) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        h ^= u64::from(self.map);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        for (w, m) in self.iter() {
+            h ^= flow.get(w) & m;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h
+    }
+}
+
+// ----------------------------------------------------------------------
+// Extraction
+// ----------------------------------------------------------------------
+
+// Field packing within scratch words (matching the FlowKey word layout).
+const W7_PROTO_SHIFT: u32 = 56;
+const W7_TOS_SHIFT: u32 = 48;
+const W7_TTL_SHIFT: u32 = 40;
+const W7_FRAG_SHIFT: u32 = 32;
+const W7_TP_SRC_SHIFT: u32 = 16;
+
+/// Extract a [`Miniflow`] from a packet, recording L3/L4 offsets in the
+/// packet's metadata — OVS's `miniflow_extract`. The parse stages values
+/// into a scratch word array (upstream's staging buffer) and packs the
+/// non-zero slots in ascending order; no full [`FlowKey`] is built, and
+/// nothing downstream needs one until an upcall expands it.
+///
+/// Unparseable or unsupported layers simply stop extraction — the key
+/// holds whatever was valid, which matches OVS semantics (a garbage L4
+/// just means no L4 fields).
+pub fn extract_miniflow(pkt: &mut DpPacket) -> Miniflow {
+    let mut ws = [0u64; WORDS];
+    ws[0] = (u64::from(pkt.in_port) << 32) | u64::from(pkt.recirc_id);
+    ws[10] =
+        (u64::from(pkt.ct_state) << 56) | (u64::from(pkt.ct_zone) << 32) | u64::from(pkt.ct_mark);
+    if let Some(t) = &pkt.tunnel {
+        ws[8] = t.tun_id;
+        ws[9] = (u64::from(u32::from_be_bytes(t.src)) << 32) | u64::from(u32::from_be_bytes(t.dst));
+    }
+
+    let (l3_ofs, l4_ofs) = parse_frame(pkt.data(), &mut ws);
+    if let Some(o) = l3_ofs {
+        pkt.l3_ofs = o;
+    }
+    if let Some(o) = l4_ofs {
+        pkt.l4_ofs = o;
+    }
+
+    let mut mf = Miniflow::EMPTY;
+    for (w, &v) in ws.iter().enumerate() {
+        mf.push(w, v);
+    }
+    mf
+}
+
+/// Extract a full [`FlowKey`] — the expansion of the miniflow, kept for
+/// the slow path and the kernel datapath (which key on full keys).
+pub fn extract_flow_key(pkt: &mut DpPacket) -> FlowKey {
+    extract_miniflow(pkt).expand()
+}
+
+/// Parse L2–L4 into the scratch words; returns the L3/L4 offsets found.
+fn parse_frame(data: &[u8], ws: &mut [u64; WORDS]) -> (Option<u16>, Option<u16>) {
+    let Ok(eth) = EthernetFrame::new_checked(data) else {
+        return (None, None);
+    };
+    ws[1] = eth.src().to_u64() << 16;
+    ws[2] = eth.dst().to_u64() << 16;
 
     let mut ethertype = eth.ethertype();
     let mut l3_start = ethernet::HEADER_LEN;
     if ethertype == EtherType::Vlan {
         let Ok(tag) = vlan::VlanTag::new_checked(&data[l3_start..]) else {
-            return key;
+            return (None, None);
         };
         // Set CFI-equivalent present bit the way OVS does (TCI | 0x1000 not
         // modelled; we store the raw TCI and rely on != 0 for presence).
-        key.set_vlan_tci(tag.tci() | 0x1000);
+        ws[2] |= u64::from(tag.tci() | 0x1000);
         ethertype = tag.inner_ethertype();
         l3_start += vlan::TAG_LEN;
     }
-    key.set_eth_type(ethertype);
-    pkt.l3_ofs = l3_start as u16;
+    ws[1] |= u64::from(ethertype.to_u16());
 
-    match ethertype {
-        EtherType::Ipv4 => extract_ipv4(&data[l3_start..], l3_start, pkt, &mut key),
-        EtherType::Ipv6 => extract_ipv6(&data[l3_start..], l3_start, pkt, &mut key),
-        EtherType::Arp => extract_arp(&data[l3_start..], &mut key),
-        _ => {}
-    }
-    key
+    let l4_ofs = match ethertype {
+        EtherType::Ipv4 => extract_ipv4(&data[l3_start..], l3_start, ws),
+        EtherType::Ipv6 => extract_ipv6(&data[l3_start..], l3_start, ws),
+        EtherType::Arp => {
+            extract_arp(&data[l3_start..], ws);
+            None
+        }
+        _ => None,
+    };
+    (Some(l3_start as u16), l4_ofs)
 }
 
-fn extract_ipv4(l3: &[u8], l3_start: usize, pkt: &mut DpPacket, key: &mut FlowKey) {
+fn extract_ipv4(l3: &[u8], l3_start: usize, ws: &mut [u64; WORDS]) -> Option<u16> {
     let Ok(ip) = ipv4::Ipv4Packet::new_checked(l3) else {
-        return;
+        return None;
     };
-    key.set_nw_src_v4(ip.src());
-    key.set_nw_dst_v4(ip.dst());
-    key.set_nw_proto(ip.protocol());
-    key.set_nw_tos(ip.tos());
-    key.set_nw_ttl(ip.ttl());
+    ws[4] = u64::from(u32::from_be_bytes(ip.src()));
+    ws[6] = u64::from(u32::from_be_bytes(ip.dst()));
+    ws[7] = (u64::from(ip.protocol()) << W7_PROTO_SHIFT)
+        | (u64::from(ip.tos()) << W7_TOS_SHIFT)
+        | (u64::from(ip.ttl()) << W7_TTL_SHIFT);
     let l4_start = l3_start + ip.header_len();
-    pkt.l4_ofs = l4_start as u16;
     if ip.is_fragment() {
         let mut frag = nw_frag::ANY;
         if ip.frag_offset() != 0 {
             frag |= nw_frag::LATER;
-            key.set_nw_frag(frag);
-            return; // No L4 header in later fragments.
+            ws[7] |= u64::from(frag) << W7_FRAG_SHIFT;
+            return Some(l4_start as u16); // No L4 header in later fragments.
         }
-        key.set_nw_frag(frag);
+        ws[7] |= u64::from(frag) << W7_FRAG_SHIFT;
     }
-    extract_l4(ip.protocol(), ip.payload(), key);
+    extract_l4(ip.protocol(), ip.payload(), ws);
+    Some(l4_start as u16)
 }
 
-fn extract_ipv6(l3: &[u8], l3_start: usize, pkt: &mut DpPacket, key: &mut FlowKey) {
+fn extract_ipv6(l3: &[u8], l3_start: usize, ws: &mut [u64; WORDS]) -> Option<u16> {
     let Ok(ip) = ipv6::Ipv6Packet::new_checked(l3) else {
-        return;
+        return None;
     };
-    key.set_nw_src_v6(ip.src());
-    key.set_nw_dst_v6(ip.dst());
-    key.set_nw_proto(ip.next_header());
-    key.set_nw_tos(ip.traffic_class());
-    key.set_nw_ttl(ip.hop_limit());
-    pkt.l4_ofs = (l3_start + ipv6::HEADER_LEN) as u16;
-    extract_l4(ip.next_header(), ip.payload(), key);
+    let src = ip.src();
+    let dst = ip.dst();
+    ws[3] = u64::from_be_bytes(src[..8].try_into().unwrap());
+    ws[4] = u64::from_be_bytes(src[8..].try_into().unwrap());
+    ws[5] = u64::from_be_bytes(dst[..8].try_into().unwrap());
+    ws[6] = u64::from_be_bytes(dst[8..].try_into().unwrap());
+    ws[7] = (u64::from(ip.next_header()) << W7_PROTO_SHIFT)
+        | (u64::from(ip.traffic_class()) << W7_TOS_SHIFT)
+        | (u64::from(ip.hop_limit()) << W7_TTL_SHIFT);
+    extract_l4(ip.next_header(), ip.payload(), ws);
+    Some((l3_start + ipv6::HEADER_LEN) as u16)
 }
 
-fn extract_arp(l3: &[u8], key: &mut FlowKey) {
+fn extract_arp(l3: &[u8], ws: &mut [u64; WORDS]) {
     let Ok(a) = arp::ArpPacket::new_checked(l3) else {
         return;
     };
-    key.set_nw_proto(a.oper() as u8);
-    key.set_nw_src_v4(a.sender_ip());
-    key.set_nw_dst_v4(a.target_ip());
+    ws[4] = u64::from(u32::from_be_bytes(a.sender_ip()));
+    ws[6] = u64::from(u32::from_be_bytes(a.target_ip()));
+    ws[7] = u64::from(a.oper() as u8) << W7_PROTO_SHIFT;
 }
 
-fn extract_l4(proto: u8, l4: &[u8], key: &mut FlowKey) {
+fn extract_l4(proto: u8, l4: &[u8], ws: &mut [u64; WORDS]) {
     match proto {
         ipv4::protocol::TCP => {
             if let Ok(t) = tcp::TcpSegment::new_checked(l4) {
-                key.set_tp_src(t.src_port());
-                key.set_tp_dst(t.dst_port());
+                ws[7] |= (u64::from(t.src_port()) << W7_TP_SRC_SHIFT) | u64::from(t.dst_port());
             }
         }
         ipv4::protocol::UDP => {
             if let Ok(u) = udp::UdpDatagram::new_checked(l4) {
-                key.set_tp_src(u.src_port());
-                key.set_tp_dst(u.dst_port());
+                ws[7] |= (u64::from(u.src_port()) << W7_TP_SRC_SHIFT) | u64::from(u.dst_port());
             }
         }
         ipv4::protocol::ICMP => {
             if let Ok(i) = icmp::IcmpPacket::new_checked(l4) {
-                key.set_tp_src(u16::from(i.msg_type()));
-                key.set_tp_dst(u16::from(i.code()));
+                ws[7] |= (u64::from(i.msg_type()) << W7_TP_SRC_SHIFT) | u64::from(i.code());
             }
         }
         _ => {}
@@ -948,5 +1282,125 @@ mod tests {
         names.sort();
         names.dedup();
         assert_eq!(names.len(), fields::ALL.len());
+    }
+
+    fn sample_key() -> FlowKey {
+        let mut k = FlowKey::default();
+        k.set_in_port(3);
+        k.set_dl_src(MacAddr::new(1, 2, 3, 4, 5, 6));
+        k.set_dl_dst(MacAddr::new(9, 8, 7, 6, 5, 4));
+        k.set_eth_type(EtherType::Ipv4);
+        k.set_nw_src_v4([10, 0, 0, 1]);
+        k.set_nw_dst_v4([10, 0, 0, 2]);
+        k.set_nw_proto(ipv4::protocol::UDP);
+        k.set_nw_ttl(64);
+        k.set_tp_src(4000);
+        k.set_tp_dst(53);
+        k
+    }
+
+    #[test]
+    fn miniflow_roundtrip_identity() {
+        let key = sample_key();
+        let mf = Miniflow::from_key(&key);
+        assert_eq!(mf.expand(), key);
+        // Only the populated slots are stored.
+        assert_eq!(
+            mf.n_slots(),
+            key.words().iter().filter(|&&w| w != 0).count()
+        );
+        // Canonical form: equal keys give equal miniflows bit-for-bit.
+        assert_eq!(Miniflow::from_key(&key), mf);
+    }
+
+    #[test]
+    fn miniflow_get_matches_words() {
+        let key = sample_key();
+        let mf = Miniflow::from_key(&key);
+        for (w, &v) in key.words().iter().enumerate() {
+            assert_eq!(mf.get(w), v, "slot {w}");
+        }
+        assert_eq!(mf.in_port(), key.in_port());
+        assert_eq!(mf.recirc_id(), key.recirc_id());
+        assert_eq!(mf.eth_type_raw(), key.eth_type_raw());
+        assert_eq!(mf.nw_src_v4(), key.nw_src_v4());
+        assert_eq!(mf.nw_dst_v4(), key.nw_dst_v4());
+        assert_eq!(mf.nw_proto(), key.nw_proto());
+        assert_eq!(mf.tp_src(), key.tp_src());
+        assert_eq!(mf.tp_dst(), key.tp_dst());
+    }
+
+    #[test]
+    fn miniflow_rss_hash_matches_full_key() {
+        let key = sample_key();
+        let mf = Miniflow::from_key(&key);
+        assert_eq!(mf.rss_hash(), key.rss_hash());
+        // And an empty key agrees too.
+        assert_eq!(Miniflow::EMPTY.rss_hash(), FlowKey::default().rss_hash());
+    }
+
+    #[test]
+    fn minimask_apply_matches_full_masked() {
+        let key = sample_key();
+        let mask = FlowMask::of_fields(&[&fields::NW_DST, &fields::TP_DST, &fields::ETH_TYPE]);
+        let mf = Miniflow::from_key(&key);
+        let mm = MiniMask::from_mask(&mask);
+        assert_eq!(mm.expand(), mask);
+        assert_eq!(mm.apply(&mf).expand(), key.masked(&mask));
+        assert_eq!(mm.bit_count(), mask.bit_count());
+        // Sparse masked hash equals hashing under the packed slots only and
+        // is stable across flows equal under the mask.
+        let mut other = key;
+        other.set_tp_src(9999); // not covered by the mask
+        assert_eq!(mm.hash_flow(&mf), mm.hash_flow(&Miniflow::from_key(&other)));
+    }
+
+    #[test]
+    fn minimask_matches_agrees_with_full_matches() {
+        let key = sample_key();
+        let mask = FlowMask::of_fields(&[&fields::NW_SRC, &fields::NW_DST, &fields::NW_PROTO]);
+        let mm = MiniMask::from_mask(&mask);
+        let rule_masked = mm.apply(&Miniflow::from_key(&key));
+
+        let mut hit = key;
+        hit.set_tp_dst(1); // outside the mask: still matches
+        assert!(mm.matches(&Miniflow::from_key(&hit), &rule_masked));
+        assert!(hit.masked(&mask).matches(&key.masked(&mask), &mask));
+
+        let mut miss = key;
+        miss.set_nw_dst_v4([192, 168, 0, 1]);
+        assert!(!mm.matches(&Miniflow::from_key(&miss), &rule_masked));
+    }
+
+    #[test]
+    fn extract_miniflow_equals_flow_key_compression() {
+        let frame = builder::udp_ipv4(
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            MacAddr::new(2, 0, 0, 0, 0, 2),
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            1234,
+            80,
+            b"hello",
+        );
+        let mut p1 = DpPacket::from_data(&frame);
+        let mut p2 = DpPacket::from_data(&frame);
+        let mf = extract_miniflow(&mut p1);
+        let key = extract_flow_key(&mut p2);
+        assert_eq!(mf, Miniflow::from_key(&key));
+        assert_eq!(mf.expand(), key);
+        assert_eq!((p1.l3_ofs, p1.l4_ofs), (p2.l3_ofs, p2.l4_ofs));
+    }
+
+    #[test]
+    fn miniflow_hash_distinguishes_presence_from_zero() {
+        // {slot absent} and {slot present but zero} cannot both exist in
+        // canonical form, but hashing must still mix the map so two keys
+        // with identical packed values in different slots differ.
+        let mut a = FlowKey::default();
+        a.set_tun_id(77);
+        let mut b = FlowKey::default();
+        b.set_metadata(77);
+        assert_ne!(Miniflow::from_key(&a).hash(), Miniflow::from_key(&b).hash());
     }
 }

@@ -15,6 +15,10 @@
 //!   packet, stored as maskable 64-bit words so the exact-match cache,
 //!   megaflow cache, and tuple-space-search classifier can hash and compare
 //!   under a [`FlowMask`].
+//! * [`Miniflow`] / [`MiniMask`] — the sparse forms of the two (presence
+//!   bitmap + packed non-zero words, OVS's `struct miniflow`) that the fast
+//!   path extracts, hashes, and matches on; a full [`FlowKey`] is only
+//!   expanded on the upcall/miss path.
 //!
 //! Supported protocols: Ethernet II, 802.1Q VLAN, ARP, IPv4, IPv6, TCP,
 //! UDP, ICMPv4, and the tunnel encapsulations the paper's NSX deployment
@@ -39,7 +43,7 @@ pub mod vxlan;
 
 pub use dp_packet::{DpPacket, OffloadFlags};
 pub use ethernet::{EtherType, EthernetFrame};
-pub use flow::{extract_flow_key, FlowKey, FlowMask};
+pub use flow::{extract_flow_key, extract_miniflow, FlowKey, FlowMask, MiniMask, Miniflow};
 pub use mac::MacAddr;
 
 /// Error returned when a buffer is too short or a field is malformed.

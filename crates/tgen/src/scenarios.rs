@@ -981,6 +981,30 @@ pub struct FastpathReport {
     pub upcalls: u64,
     /// dpcls subtables probed during the measured window.
     pub subtables_probed: u64,
+    /// Wide-lane bulk dpcls steps (lane-wide signature compares) during
+    /// the window — the headline classifier work metric now that probes
+    /// are batched.
+    pub lane_steps: u64,
+    /// Keys carried by those steps; `lane_keys / (lane_steps × width)`
+    /// is the lane occupancy.
+    pub lane_keys: u64,
+    /// Configured bulk-probe lane width.
+    pub lane_width: usize,
+    /// Full `FlowKey` expansions during the window — zero when every
+    /// packet was served from the caches (the sparse-key fast path
+    /// never materializes a full key on a hit).
+    pub miniflow_expands: u64,
+}
+
+impl FastpathReport {
+    /// Fraction of bulk-probe lane slots actually filled (0 when no
+    /// bulk probes ran, e.g. pure scalar mode).
+    pub fn lane_occupancy(&self) -> f64 {
+        if self.lane_steps == 0 {
+            return 0.0;
+        }
+        self.lane_keys as f64 / (self.lane_steps as f64 * self.lane_width as f64)
+    }
 }
 
 /// Fast-path ablation: `n_pkts` VM frames cross the full NSX pipeline
@@ -1050,12 +1074,15 @@ pub fn run_fastpath(
     let _ = h.wire_take();
 
     // Measured window.
-    let (t0, s0, probed0) = {
+    let (t0, s0, probed0, steps0, keys0, expands0) = {
         let dp = h.dp.as_ref().expect("userspace datapath");
         (
             h.kernel.sim.cpus.core(core).total_ns(),
             dp.stats,
             dp.subtables_probed(),
+            dp.lane_steps(),
+            dp.lane_keys(),
+            dp.miniflow_stats.expands,
         )
     };
     let mut sent = 0usize;
@@ -1102,6 +1129,10 @@ pub fn run_fastpath(
         megaflow_hits: s1.megaflow_hits - s0.megaflow_hits,
         upcalls: s1.upcalls - s0.upcalls,
         subtables_probed: dp.subtables_probed() - probed0,
+        lane_steps: dp.lane_steps() - steps0,
+        lane_keys: dp.lane_keys() - keys0,
+        lane_width: dp.lane_width(),
+        miniflow_expands: dp.miniflow_stats.expands - expands0,
     }
 }
 
@@ -1485,6 +1516,31 @@ mod tests {
             scalar.ns_per_pkt / smc.ns_per_pkt >= 1.5,
             "batched+SMC speedup over scalar: {:.2}x",
             scalar.ns_per_pkt / smc.ns_per_pkt
+        );
+
+        // With every flow warmed the window is pure cache hits, and the
+        // sparse fast path never expands a full FlowKey on a hit.
+        for r in [&scalar, &batched, &smc] {
+            assert_eq!(r.upcalls, 0, "{}: warm window upcalled", r.mode);
+            assert_eq!(
+                r.miniflow_expands, 0,
+                "{}: full-key expansion on the pure-hit path",
+                r.mode
+            );
+        }
+
+        // Lane accounting: dpcls probes happen in lane-wide steps, and
+        // whole-burst probing fills lanes better than one key at a time.
+        assert!(batched.lane_steps > 0, "batched mode bulk-probes dpcls");
+        assert!(
+            batched.lane_keys >= batched.lane_steps,
+            "each step carries at least one key"
+        );
+        assert!(
+            batched.lane_occupancy() > scalar.lane_occupancy(),
+            "bursts fill probe lanes: {:.2} vs {:.2}",
+            batched.lane_occupancy(),
+            scalar.lane_occupancy()
         );
     }
 

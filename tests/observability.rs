@@ -91,6 +91,7 @@ dpif_tunnel_decap                      31           31         31.0
 dpif_tunnel_encap                      32           32         32.0
 dpif_tx                                63           63         63.0
 dpif_upcall                            12           12         12.0
+miniflow_expand                        12           12         12.0
 xsk_rx_batch                           31           31         31.0
 xsk_rx_packet                          31           31         31.0
 xsk_tx_kick                            32           32         32.0
@@ -99,45 +100,45 @@ xsk_tx_packet                          32           32         32.0
 
 const GOLDEN_PERF: &str = "\
 pmd thread core 1:
-  iterations: 378  packets: 31  busy: 52406 ns (125774 cycles)
-  avg cycles/pkt: 4057.2
-  rx                           2447 ns           5872 cycles    4.7%
-  parse                        4650 ns          11160 cycles    8.9%
-  emc lookup                   2340 ns           5616 cycles    4.5%
+  iterations: 378  packets: 31  busy: 60860 ns (146064 cycles)
+  avg cycles/pkt: 4711.7
+  rx                           2447 ns           5872 cycles    4.0%
+  parse                        4416 ns          10598 cycles    7.3%
+  emc lookup                   1716 ns           4118 cycles    2.8%
   smc lookup                      0 ns              0 cycles    0.0%
-  megaflow lookup              9220 ns          22128 cycles   17.6%
-  upcall/translate            13600 ns          32640 cycles   26.0%
-  batch setup/flush            8112 ns          19468 cycles   15.5%
+  megaflow lookup             18532 ns          44476 cycles   30.5%
+  upcall/translate            13600 ns          32640 cycles   22.3%
+  batch setup/flush            8112 ns          19468 cycles   13.3%
   actions                         0 ns              0 cycles    0.0%
-  ct lookup                    5640 ns          13536 cycles   10.8%
-  recirc                       1645 ns           3948 cycles    3.1%
-  tx                           4752 ns          11404 cycles    9.1%
+  ct lookup                    5640 ns          13536 cycles    9.3%
+  recirc                       1645 ns           3948 cycles    2.7%
+  tx                           4752 ns          11404 cycles    7.8%
   revalidate                      0 ns              0 cycles    0.0%
-  per-packet ns: p50 2047 p90 2047 p99 10895 p99.9 10895 max 10895
+  per-packet ns: p50 2047 p90 2047 p99 10848 p99.9 10848 max 10848
 all pmd threads:
-  iterations: 378  packets: 31  busy: 52406 ns (125774 cycles)
-  avg cycles/pkt: 4057.2
-  rx                           2447 ns           5872 cycles    4.7%
-  parse                        4650 ns          11160 cycles    8.9%
-  emc lookup                   2340 ns           5616 cycles    4.5%
+  iterations: 378  packets: 31  busy: 60860 ns (146064 cycles)
+  avg cycles/pkt: 4711.7
+  rx                           2447 ns           5872 cycles    4.0%
+  parse                        4416 ns          10598 cycles    7.3%
+  emc lookup                   1716 ns           4118 cycles    2.8%
   smc lookup                      0 ns              0 cycles    0.0%
-  megaflow lookup              9220 ns          22128 cycles   17.6%
-  upcall/translate            13600 ns          32640 cycles   26.0%
-  batch setup/flush            8112 ns          19468 cycles   15.5%
+  megaflow lookup             18532 ns          44476 cycles   30.5%
+  upcall/translate            13600 ns          32640 cycles   22.3%
+  batch setup/flush            8112 ns          19468 cycles   13.3%
   actions                         0 ns              0 cycles    0.0%
-  ct lookup                    5640 ns          13536 cycles   10.8%
-  recirc                       1645 ns           3948 cycles    3.1%
-  tx                           4752 ns          11404 cycles    9.1%
+  ct lookup                    5640 ns          13536 cycles    9.3%
+  recirc                       1645 ns           3948 cycles    2.7%
+  tx                           4752 ns          11404 cycles    7.8%
   revalidate                      0 ns              0 cycles    0.0%
-  per-packet ns: p50 2047 p90 2047 p99 10895 p99.9 10895 max 10895
+  per-packet ns: p50 2047 p90 2047 p99 10848 p99.9 10848 max 10848
 ";
 
 const GOLDEN_RXQ: &str = "\
 pmd thread core 1:
   isolated : false
-  port: eth0             queue-id:  0  pmd usage:  40 %
+  port: eth0             queue-id:  0  pmd usage:  45 %
   port: gnv0             queue-id:  0  pmd usage:   0 %
-  port: vhost0           queue-id:  0  pmd usage:  59 %
+  port: vhost0           queue-id:  0  pmd usage:  54 %
   port: vhost1           queue-id:  0  pmd usage:   0 %
   port: vhost2           queue-id:  0  pmd usage:   0 %
   port: vhost3           queue-id:  0  pmd usage:   0 %
@@ -160,7 +161,7 @@ pass 1: flow in_port=2,eth_type=0x0800,nw_src=10.101.0.2,nw_dst=10.102.0.2,nw_pr
     ct(zone=1,commit=false): verdict ct_state=0x03
     recirc(0x1)
 pass 2: flow in_port=2,eth_type=0x0800,nw_src=10.101.0.2,nw_dst=10.102.0.2,nw_proto=17,tp_src=3333,tp_dst=4444,recirc_id=0x1,ct_state=0x03
-    cache: megaflow hit (mask 81 bits)
+    cache: megaflow hit (mask 234 bits)
     Datapath actions: [Ct { zone: 100, commit: true, nat: None }, Recirc(2)]
     ct(zone=100,commit=true): verdict ct_state=0x05
     recirc(0x2)
@@ -268,31 +269,31 @@ fn golden_observability_two_host_nsx() {
 
 const GOLDEN_LATENCY: &str = "\
 rx-to-tx latency (ns):
-  all ports: samples 31  min 1168 p50 2047 p90 2047 p99 10895 p99.9 10895 max 10895
-  port 0 (eth0): samples 16  min 1335 p50 2047 p90 2047 p99 10895 p99.9 10895 max 10895
-  port 2 (vhost0): samples 15  min 1168 p50 2047 p90 2047 p99 5128 p99.9 5128 max 5128
-  pmd core 1: samples 31  min 1168 p50 2047 p90 2047 p99 10895 p99.9 10895 max 10895
+  all ports: samples 31  min 1494 p50 2047 p90 2047 p99 10848 p99.9 10848 max 10848
+  port 0 (eth0): samples 16  min 1494 p50 2047 p90 2047 p99 10848 p99.9 10848 max 10848
+  port 2 (vhost0): samples 15  min 1584 p50 2047 p90 2047 p99 5420 p99.9 5420 max 5420
+  pmd core 1: samples 31  min 1494 p50 2047 p90 2047 p99 10848 p99.9 10848 max 10848
 per-stage latency (delivered-weighted):
-  rx                           2447 ns (  4.7%)
-  parse                        4650 ns (  8.9%)
-  emc lookup                   2340 ns (  4.5%)
-  megaflow lookup              9220 ns ( 17.6%)
-  upcall/translate            13600 ns ( 26.0%)
-  batch setup/flush            8112 ns ( 15.5%)
-  ct lookup                    5640 ns ( 10.8%)
-  recirc                       1645 ns (  3.1%)
-  tx                           4752 ns (  9.1%)
-  stage-weighted total: 52406 ns (== delivered-weighted poll 52406 ns)
-  end-to-end total    : 52406 ns (amortization gap 0.0%)
+  rx                           2447 ns (  4.0%)
+  parse                        4416 ns (  7.3%)
+  emc lookup                   1716 ns (  2.8%)
+  megaflow lookup             18532 ns ( 30.5%)
+  upcall/translate            13600 ns ( 22.3%)
+  batch setup/flush            8112 ns ( 13.3%)
+  ct lookup                    5640 ns (  9.3%)
+  recirc                       1645 ns (  2.7%)
+  tx                           4752 ns (  7.8%)
+  stage-weighted total: 60860 ns (== delivered-weighted poll 60860 ns)
+  end-to-end total    : 60860 ns (amortization gap 0.0%)
 ";
 
 const GOLDEN_LATENCY_HIST: &str = "\
 rx-to-tx latency histogram (ns):
-  all ports: samples 31  min 1168 p50 2047 p90 2047 p99 10895 p99.9 10895 max 10895
+  all ports: samples 31  min 1494 p50 2047 p90 2047 p99 10848 p99.9 10848 max 10848
   [        1024,         2047]         29 ########################################
   [        4096,         8191]          1 #
   [        8192,        16383]          1 #
-  pmd core 1: samples 31  min 1168 p50 2047 p90 2047 p99 10895 p99.9 10895 max 10895
+  pmd core 1: samples 31  min 1494 p50 2047 p90 2047 p99 10848 p99.9 10848 max 10848
   [        1024,         2047]         29 ########################################
   [        4096,         8191]          1 #
   [        8192,        16383]          1 #

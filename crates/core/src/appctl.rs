@@ -7,6 +7,7 @@
 //! the datapath to userspace makes this surface the *primary* window
 //! into the fast path; this module is that window.
 
+use crate::controller::{ControllerSession, FailMode};
 use crate::dpif::{DpifNetdev, PortNo};
 use crate::health::HealthMonitor;
 use crate::pmd::PmdSet;
@@ -36,6 +37,10 @@ pub const COMMANDS: &[&str] = &[
     "fault/inject",
     "fault/show",
     "health/show",
+    "flow-restore/show",
+    "flow-restore/complete",
+    "fail-mode/show",
+    "fail-mode/set",
     "ofproto/trace",
     "upcall/show",
     "revalidator/wait",
@@ -75,12 +80,45 @@ pub fn dispatch_full(
     dpif: &mut DpifNetdev,
     kernel: &mut Kernel,
     health: Option<&HealthMonitor>,
+    pmds: Option<&mut PmdSet>,
+    cmd: &str,
+    args: &[&str],
+) -> Result<String, String> {
+    dispatch_ctl(dpif, kernel, health, pmds, None, cmd, args)
+}
+
+/// [`dispatch_full`] plus the controller session, so the `fail-mode/*`
+/// commands can inspect and steer the fail-mode ladder. Deployments
+/// without a controller (`None`) get a clear refusal instead of silence.
+pub fn dispatch_ctl(
+    dpif: &mut DpifNetdev,
+    kernel: &mut Kernel,
+    health: Option<&HealthMonitor>,
     mut pmds: Option<&mut PmdSet>,
+    controller: Option<&mut ControllerSession>,
     cmd: &str,
     args: &[&str],
 ) -> Result<String, String> {
     const NO_PMDS: &str = "no PMD scheduler attached (datapath is driven directly)";
+    const NO_CTL: &str = "no controller session (datapath is not controller-managed)";
     match cmd {
+        "fail-mode/show" => match controller {
+            Some(c) => Ok(c.show()),
+            None => Err(NO_CTL.to_string()),
+        },
+        // `fail-mode/set standalone|secure` — refused mid-outage.
+        "fail-mode/set" => match controller {
+            Some(c) => {
+                let usage = "usage: fail-mode/set standalone|secure";
+                let [mode] = args else {
+                    return Err(usage.to_string());
+                };
+                let mode = FailMode::parse(mode).ok_or_else(|| usage.to_string())?;
+                c.set_mode(mode)?;
+                Ok(format!("fail-mode set to {}\n", mode.label()))
+            }
+            None => Err(NO_CTL.to_string()),
+        },
         "dpif-netdev/pmd-rxq-show" => match pmds {
             Some(p) => Ok(p.pmd_rxq_show(dpif)),
             None => Err(NO_PMDS.to_string()),
@@ -168,6 +206,18 @@ fn dispatch_inner(
             Some(h) => h.show(kernel.sim.clock.now_ns()),
             None => "datapath health: unsupervised (no health monitor)\n".to_string(),
         }),
+        // Restore-gate state: what was restored, what the gate dropped,
+        // and how reconciliation is going.
+        "flow-restore/show" => Ok(dpif.flow_restore_show()),
+        // Lift the `flow-restore-wait` gate now instead of waiting for
+        // the deadline (the rule table has been repopulated early).
+        "flow-restore/complete" => {
+            if !dpif.restore.wait {
+                return Err("flow-restore-wait is not active".to_string());
+            }
+            dpif.flow_restore_complete(kernel.sim.clock.now_ns());
+            Ok("flow-restore-wait gate lifted\n".to_string())
+        }
         // `-hist` extends the cycle attribution with the per-stage
         // latency contribution (satellite of the latency pipeline).
         "dpif-netdev/pmd-perf-show" => {
@@ -397,6 +447,53 @@ mod tests {
         let out = dispatch(&mut dpif, &mut kernel, "dpif-netdev/miniflow-stats", &[]).unwrap();
         assert!(out.contains("miniflow stats:"), "{out}");
         assert!(out.contains("bulk dpcls:"), "{out}");
+    }
+
+    #[test]
+    fn flow_restore_and_fail_mode_commands() {
+        let mut dpif = DpifNetdev::new();
+        let mut kernel = Kernel::new(1);
+        let out = dispatch(&mut dpif, &mut kernel, "flow-restore/show", &[]).unwrap();
+        assert!(out.contains("idle"), "{out}");
+        let err = dispatch(&mut dpif, &mut kernel, "flow-restore/complete", &[]).unwrap_err();
+        assert!(err.contains("not active"), "{err}");
+        let err = dispatch(&mut dpif, &mut kernel, "fail-mode/show", &[]).unwrap_err();
+        assert!(err.contains("no controller session"), "{err}");
+
+        let mut ctl = ControllerSession::new(FailMode::Secure, crate::ofproto::Ofproto::new(), 0);
+        let out = dispatch_ctl(
+            &mut dpif,
+            &mut kernel,
+            None,
+            None,
+            Some(&mut ctl),
+            "fail-mode/show",
+            &[],
+        )
+        .unwrap();
+        assert!(out.contains("fail-mode: secure"), "{out}");
+        let out = dispatch_ctl(
+            &mut dpif,
+            &mut kernel,
+            None,
+            None,
+            Some(&mut ctl),
+            "fail-mode/set",
+            &["standalone"],
+        )
+        .unwrap();
+        assert!(out.contains("set to standalone"), "{out}");
+        assert_eq!(ctl.fail_mode, FailMode::Standalone);
+        assert!(dispatch_ctl(
+            &mut dpif,
+            &mut kernel,
+            None,
+            None,
+            Some(&mut ctl),
+            "fail-mode/set",
+            &["open"],
+        )
+        .is_err());
     }
 
     #[test]

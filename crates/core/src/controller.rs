@@ -1,0 +1,342 @@
+//! The modeled OpenFlow controller session and its fail-mode ladder.
+//!
+//! The deployments the paper studies (NSX) interpose a controller
+//! between the switch and its policy; when that session drops, the
+//! switch must pick a survival posture. OVS exposes exactly two
+//! (`fail-mode`): **standalone** — fall back to a self-contained
+//! normal-action (MAC-learning-ish) rule set and keep the network
+//! best-effort alive — and **secure** — keep forwarding only what the
+//! controller already programmed (the installed megaflows) and drop new
+//! flows with a named verdict, so an attacker cannot use the outage to
+//! program the switch by traffic. BOFUSS (Fernandes et al., PAPERS.md)
+//! documents the same engineering burden for userspace switches.
+//!
+//! [`ControllerSession`] rides the `ovs-sim` fault plane: a
+//! `ControllerDisconnect` fault window marks the outage, and the session
+//! retries with exponential backoff until a retry lands outside the
+//! window — deterministic, so outage goldens and the secure-vs-standalone
+//! goodput benchmark are byte-stable.
+
+use crate::dpif::DpifNetdev;
+use crate::ofproto::Ofproto;
+use ovs_obs::coverage;
+use ovs_sim::{FaultKind, FaultState};
+
+/// What the switch does while the controller is unreachable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailMode {
+    /// Swap in the standalone fallback rule set (normal-action L2
+    /// forwarding): the network stays best-effort alive, at the price of
+    /// enforcing none of the controller's policy — and of an open upcall
+    /// path for a TSE flood to feast on.
+    Standalone,
+    /// Keep forwarding existing megaflows only; misses drop into the
+    /// named `fail_secure_drop` verdict. Policy holds, new flows wait.
+    Secure,
+}
+
+impl FailMode {
+    pub fn label(self) -> &'static str {
+        match self {
+            FailMode::Standalone => "standalone",
+            FailMode::Secure => "secure",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<FailMode> {
+        match s {
+            "standalone" => Some(FailMode::Standalone),
+            "secure" => Some(FailMode::Secure),
+            _ => None,
+        }
+    }
+}
+
+/// Default first-retry delay after a disconnect (doubles per failure,
+/// as `ovs-vswitchd`'s in-band reconnect does).
+pub const DEFAULT_RECONNECT_BACKOFF_NS: u64 = 100_000;
+
+#[derive(Debug, Clone, Copy)]
+enum SessionState {
+    Connected,
+    Reconnecting { attempts: u32, next_attempt_ns: u64 },
+}
+
+/// One controller outage, for `fail-mode/show`.
+#[derive(Debug, Clone, Copy)]
+struct Outage {
+    down_ns: u64,
+    up_ns: Option<u64>,
+}
+
+/// A modeled controller session for one datapath.
+pub struct ControllerSession {
+    pub fail_mode: FailMode,
+    /// The `target` this session's `ControllerDisconnect` faults carry.
+    pub target: u32,
+    state: SessionState,
+    initial_backoff_ns: u64,
+    max_backoff_ns: u64,
+    backoff_ns: u64,
+    /// The standalone fallback tables; swapped with the datapath's
+    /// ofproto for the duration of a standalone outage (and back on
+    /// reconnect), so this slot holds whichever of the two is inactive.
+    fallback: Ofproto,
+    /// Whether `fallback` currently holds the controller's tables (i.e.
+    /// a standalone outage is in effect).
+    swapped: bool,
+    pub disconnects: u64,
+    pub reconnects: u64,
+    pub reconnect_attempts: u64,
+    outages: Vec<Outage>,
+}
+
+impl ControllerSession {
+    /// A connected session. `fallback` is the standalone rule set to
+    /// swap in when the controller goes away in `Standalone` mode.
+    pub fn new(fail_mode: FailMode, fallback: Ofproto, target: u32) -> Self {
+        Self::with_backoff(fail_mode, fallback, target, DEFAULT_RECONNECT_BACKOFF_NS)
+    }
+
+    pub fn with_backoff(
+        fail_mode: FailMode,
+        fallback: Ofproto,
+        target: u32,
+        initial_backoff_ns: u64,
+    ) -> Self {
+        Self {
+            fail_mode,
+            target,
+            state: SessionState::Connected,
+            initial_backoff_ns,
+            max_backoff_ns: initial_backoff_ns.saturating_mul(64),
+            backoff_ns: initial_backoff_ns,
+            fallback,
+            swapped: false,
+            disconnects: 0,
+            reconnects: 0,
+            reconnect_attempts: 0,
+            outages: Vec::new(),
+        }
+    }
+
+    pub fn is_connected(&self) -> bool {
+        matches!(self.state, SessionState::Connected)
+    }
+
+    /// Change the fail mode. Refused mid-outage — the ladder transition
+    /// semantics during a live outage are not worth their edge cases.
+    pub fn set_mode(&mut self, mode: FailMode) -> Result<(), String> {
+        if !self.is_connected() {
+            return Err("cannot change fail-mode during an outage".to_string());
+        }
+        self.fail_mode = mode;
+        Ok(())
+    }
+
+    /// Advance the session against the fault plane: notice a
+    /// `ControllerDisconnect` window opening (apply the fail mode),
+    /// retry with exponential backoff while it holds, and reconnect
+    /// (undo the fail mode, revalidate) once a retry lands clear.
+    pub fn tick(&mut self, dp: &mut DpifNetdev, faults: &FaultState, now_ns: u64) {
+        let down = faults.active(FaultKind::ControllerDisconnect, self.target);
+        match self.state {
+            SessionState::Connected => {
+                if down {
+                    self.disconnects += 1;
+                    self.outages.push(Outage {
+                        down_ns: now_ns,
+                        up_ns: None,
+                    });
+                    self.backoff_ns = self.initial_backoff_ns;
+                    self.state = SessionState::Reconnecting {
+                        attempts: 0,
+                        next_attempt_ns: now_ns.saturating_add(self.backoff_ns),
+                    };
+                    coverage!("controller_disconnect");
+                    match self.fail_mode {
+                        FailMode::Secure => dp.fail_secure = true,
+                        FailMode::Standalone => {
+                            std::mem::swap(&mut dp.ofproto, &mut self.fallback);
+                            self.swapped = true;
+                            // Flush megaflows the fallback tables no
+                            // longer produce; policy flows must not
+                            // survive into the open posture half-wrong.
+                            dp.revalidate_changed();
+                            coverage!("fail_standalone_fallback");
+                        }
+                    }
+                }
+            }
+            SessionState::Reconnecting {
+                attempts,
+                next_attempt_ns,
+            } => {
+                if now_ns < next_attempt_ns {
+                    return;
+                }
+                self.reconnect_attempts += 1;
+                if down {
+                    // Retry failed: double the backoff and rearm.
+                    self.backoff_ns = (self.backoff_ns.saturating_mul(2)).min(self.max_backoff_ns);
+                    self.state = SessionState::Reconnecting {
+                        attempts: attempts + 1,
+                        next_attempt_ns: now_ns.saturating_add(self.backoff_ns),
+                    };
+                    coverage!("controller_retry_failed");
+                } else {
+                    self.reconnects += 1;
+                    if let Some(o) = self.outages.last_mut() {
+                        o.up_ns = Some(now_ns);
+                    }
+                    self.state = SessionState::Connected;
+                    coverage!("controller_reconnected");
+                    match self.fail_mode {
+                        FailMode::Secure => dp.fail_secure = false,
+                        FailMode::Standalone => {
+                            if self.swapped {
+                                std::mem::swap(&mut dp.ofproto, &mut self.fallback);
+                                self.swapped = false;
+                            }
+                            // Back under controller policy: flush the
+                            // fallback's megaflows.
+                            dp.revalidate_changed();
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `ovs-appctl fail-mode/show`: mode, session state, retry ladder,
+    /// and the outage log. Deterministic.
+    pub fn show(&self) -> String {
+        let secs = |ns: u64| format!("{:.3}s", ns as f64 / 1e9);
+        let state = match self.state {
+            SessionState::Connected => "connected".to_string(),
+            SessionState::Reconnecting {
+                attempts,
+                next_attempt_ns,
+            } => format!(
+                "disconnected ({} failed retries, next retry {})",
+                attempts,
+                secs(next_attempt_ns)
+            ),
+        };
+        let mut out = format!(
+            "fail-mode: {} (controller {state})\n\
+             \x20 disconnects   : {} ({} reconnects, {} attempts)\n\
+             \x20 backoff       : {} initial, {} max\n",
+            self.fail_mode.label(),
+            self.disconnects,
+            self.reconnects,
+            self.reconnect_attempts,
+            secs(self.initial_backoff_ns),
+            secs(self.max_backoff_ns),
+        );
+        out.push_str("outages:\n");
+        if self.outages.is_empty() {
+            out.push_str("  (none)\n");
+        }
+        for o in &self.outages {
+            match o.up_ns {
+                Some(up) => out.push_str(&format!(
+                    "  down {} — up {} (+{})\n",
+                    secs(o.down_ns),
+                    secs(up),
+                    secs(up - o.down_ns)
+                )),
+                None => out.push_str(&format!("  down {} — ongoing\n", secs(o.down_ns))),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ofproto::{OfAction, OfRule};
+    use ovs_packet::{FlowKey, FlowMask};
+    use ovs_sim::{FaultKind, FaultState};
+
+    fn fallback() -> Ofproto {
+        let mut of = Ofproto::new();
+        of.add_rule(OfRule {
+            table: 0,
+            priority: 0,
+            key: FlowKey::default(),
+            mask: FlowMask::EMPTY,
+            actions: vec![OfAction::Drop],
+            cookie: 0xfa11,
+        });
+        of
+    }
+
+    #[test]
+    fn secure_mode_sets_and_clears_the_drop_flag() {
+        let mut dp = DpifNetdev::new();
+        let mut faults = FaultState::default();
+        let mut s = ControllerSession::with_backoff(FailMode::Secure, fallback(), 0, 1_000);
+        s.tick(&mut dp, &faults, 0);
+        assert!(s.is_connected());
+        assert!(!dp.fail_secure);
+
+        faults.inject(10, FaultKind::ControllerDisconnect, 0, 0, 5_000);
+        s.tick(&mut dp, &faults, 10);
+        assert!(!s.is_connected());
+        assert!(dp.fail_secure);
+        assert_eq!(s.disconnects, 1);
+
+        // Retry inside the window fails and doubles the backoff.
+        s.tick(&mut dp, &faults, 1_010);
+        assert!(!s.is_connected());
+        assert!(dp.fail_secure);
+
+        // Window expires; the next due retry lands clear.
+        faults.tick(10_000);
+        s.tick(&mut dp, &faults, 10_000);
+        assert!(s.is_connected());
+        assert!(!dp.fail_secure);
+        assert_eq!(s.reconnects, 1);
+    }
+
+    #[test]
+    fn standalone_mode_swaps_the_tables() {
+        let mut dp = DpifNetdev::new();
+        dp.ofproto.add_rule(OfRule {
+            table: 0,
+            priority: 5,
+            key: FlowKey::default(),
+            mask: FlowMask::EMPTY,
+            actions: vec![OfAction::Output(1)],
+            cookie: 0xc0,
+        });
+        let controller_rules = dp.ofproto.rule_count();
+        let mut faults = FaultState::default();
+        let mut s = ControllerSession::with_backoff(FailMode::Standalone, fallback(), 0, 1_000);
+
+        faults.inject(0, FaultKind::ControllerDisconnect, 0, 0, 2_000);
+        s.tick(&mut dp, &faults, 0);
+        assert_eq!(dp.ofproto.rule_count(), 1, "fallback tables in effect");
+
+        faults.tick(5_000);
+        s.tick(&mut dp, &faults, 5_000);
+        assert!(s.is_connected());
+        assert_eq!(
+            dp.ofproto.rule_count(),
+            controller_rules,
+            "controller tables restored"
+        );
+    }
+
+    #[test]
+    fn set_mode_refused_mid_outage() {
+        let mut dp = DpifNetdev::new();
+        let mut faults = FaultState::default();
+        let mut s = ControllerSession::with_backoff(FailMode::Secure, fallback(), 0, 1_000);
+        faults.inject(0, FaultKind::ControllerDisconnect, 0, 0, 0);
+        s.tick(&mut dp, &faults, 0);
+        assert!(s.set_mode(FailMode::Standalone).is_err());
+    }
+}

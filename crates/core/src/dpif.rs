@@ -23,6 +23,7 @@ use crate::meter::MeterSet;
 use crate::mirror::MirrorSession;
 use crate::ofproto::Ofproto;
 use crate::revalidator::{DeleteReason, Revalidator, SweepSummary, Ukey};
+use crate::snapshot::{DpSnapshot, FlowRecord, RestoreState, SNAPSHOT_VERSION};
 use crate::tso;
 use crate::tunnel::{self, TunnelConfig};
 use ovs_afxdp::AfxdpPort;
@@ -292,6 +293,21 @@ pub struct DpifStats {
     /// Packets dropped because conntrack judged them invalid (committing
     /// RST, or mid-stream TCP under strict tracking).
     pub ct_invalid_drops: u64,
+    /// Megaflow misses dropped because upcalls were gated by
+    /// `flow-restore-wait`: the rule table was still being repopulated
+    /// after a restart, so translation would be wrong. Named, never
+    /// silent — the restart-window ledger counts these.
+    pub upcalls_gated: u64,
+    /// Megaflow misses dropped by the `secure` fail mode during a
+    /// controller outage: existing megaflows keep forwarding, new flows
+    /// get the named `fail_secure_drop` verdict.
+    pub fail_secure_drop: u64,
+    /// Restored megaflows re-adopted by the reconciliation sweep (rule
+    /// refs re-resolved, stats pushback resumed exactly).
+    pub restore_adopted: u64,
+    /// Restored megaflows whose re-translation no longer matches the
+    /// repopulated rule table — deleted as orphans.
+    pub restore_orphaned: u64,
 }
 
 impl DpifStats {
@@ -306,10 +322,19 @@ impl DpifStats {
     /// which is what [`crate::pmd::PmdSet::coherent_with`] checks over
     /// the scheduler's per-thread sums.
     pub fn coherent(&self) -> bool {
-        self.emc_hits + self.smc_hits + self.megaflow_hits + self.upcalls
+        // Gated and fail-secure misses consumed a pipeline pass without
+        // reaching a cache tier or the upcall path — they sit on the
+        // lookup side of the identity as named outcomes of a pass.
+        self.emc_hits
+            + self.smc_hits
+            + self.megaflow_hits
+            + self.upcalls
+            + self.upcalls_gated
+            + self.fail_secure_drop
             == self.packets_processed + self.recirculations
             && self.flows_deleted <= self.flows_installed
             && self.rx_packets <= self.packets_processed
+            && self.restore_adopted + self.restore_orphaned <= self.flows_installed
     }
 }
 
@@ -336,7 +361,11 @@ macro_rules! dpif_stats_fields {
             tx_full_drops,
             ct_limit_drops,
             ct_full_drops,
-            ct_invalid_drops
+            ct_invalid_drops,
+            upcalls_gated,
+            fail_secure_drop,
+            restore_adopted,
+            restore_orphaned
         )
     };
 }
@@ -401,6 +430,14 @@ pub struct DpifNetdev {
     /// the rule refs stats push back to), the dynamic flow limit, and
     /// sweep accounting.
     pub revalidator: Revalidator<Vec<DpAction>>,
+    /// `flow-restore-wait` state: while `restore.wait` is set, megaflow
+    /// misses are gated instead of upcalled and restored flows keep
+    /// forwarding until the rule table is repopulated.
+    pub restore: RestoreState,
+    /// `secure` fail mode: during a controller outage, megaflow misses
+    /// drop with the named `fail_secure_drop` verdict instead of being
+    /// translated against a table the controller no longer owns.
+    pub fail_secure: bool,
 }
 
 impl Default for DpifNetdev {
@@ -429,6 +466,8 @@ impl DpifNetdev {
             latency: LatencyTracker::new(),
             trace: None,
             revalidator: Revalidator::new(),
+            restore: RestoreState::default(),
+            fail_secure: false,
         }
     }
 
@@ -742,6 +781,159 @@ impl DpifNetdev {
         deleted
     }
 
+    /// Capture the full datapath state — every installed megaflow (with
+    /// counters and ukey pushback marks) and every tracked connection —
+    /// into a versioned, byte-deterministic [`DpSnapshot`]. Outstanding
+    /// flow stats are pushed to the current rules first, so after a
+    /// restore the re-adopted flows credit the *new* rules exactly the
+    /// packets forwarded since this instant.
+    pub fn snapshot(&mut self, now_ns: u64) -> DpSnapshot {
+        let mut flows: Vec<FlowRecord> = self
+            .megaflow
+            .iter()
+            .map(|e| FlowRecord {
+                key: e.key,
+                mask: e.mask,
+                actions: e.actions.clone(),
+                hits: e.hits.get(),
+                bytes: e.bytes.get(),
+                used_ns: e.used_ns.get(),
+                created_ns: e.created_ns.get(),
+                pushed_packets: 0,
+                pushed_bytes: 0,
+            })
+            .collect();
+        // Classifier iteration order is not deterministic; the snapshot
+        // must be (byte-identical runs, resumable goldens).
+        flows.sort_by_key(|f| f.key.hash());
+        for f in &mut flows {
+            self.revalidator.push_stats(&f.key, f.hits, f.bytes);
+            // After the flush pushed == hits, except for flows that were
+            // themselves restored-and-unreconciled (a restart during a
+            // restore window): their marks carry over untouched.
+            let (pp, pb) = self
+                .revalidator
+                .ukey(&f.key)
+                .map(|u| (u.pushed_packets, u.pushed_bytes))
+                .unwrap_or((f.hits, f.bytes));
+            f.pushed_packets = pp;
+            f.pushed_bytes = pb;
+        }
+        coverage!("dp_snapshot");
+        DpSnapshot {
+            version: SNAPSHOT_VERSION,
+            taken_at_ns: now_ns,
+            flows,
+            conns: self.ct.snapshot_conns(),
+        }
+    }
+
+    /// Rebuild datapath state from a snapshot and raise the
+    /// `flow-restore-wait` gate for `gate_ns`: restored megaflows (and
+    /// conntrack entries) forward immediately, while megaflow misses are
+    /// gated until the rule table is repopulated and the gate lifts
+    /// (deadline, or [`flow_restore_complete`](Self::flow_restore_complete)).
+    /// Restored ukeys carry no rule refs; the bounded reconciliation
+    /// sweep in [`revalidate`](Self::revalidate) adopts or orphans them.
+    pub fn restore_from(&mut self, snap: &DpSnapshot, now_ns: u64, gate_ns: u64) {
+        assert_eq!(
+            snap.version, SNAPSHOT_VERSION,
+            "refusing snapshot from a different layout generation"
+        );
+        let mut st = RestoreState::begin(now_ns, gate_ns);
+        for f in &snap.flows {
+            let entry = self
+                .megaflow
+                .install_at(f.key, f.mask, f.actions.clone(), now_ns);
+            // install_at zeroes the counters; the restored flow resumes
+            // its old life, including its hard-timeout base.
+            entry.hits.set(f.hits);
+            entry.bytes.set(f.bytes);
+            entry.used_ns.set(f.used_ns);
+            entry.created_ns.set(f.created_ns);
+            self.stats.flows_installed += 1;
+            self.revalidator.register(Ukey::restored(
+                f.key,
+                f.mask,
+                f.actions.clone(),
+                f.created_ns,
+                f.pushed_packets,
+                f.pushed_bytes,
+            ));
+            coverage!("flow_restored");
+        }
+        st.restored_flows = snap.flows.len() as u64;
+        st.restored_conns = self.ct.restore_conns(&snap.conns) as u64;
+        st.hits_at_restore = self.stats.emc_hits + self.stats.smc_hits + self.stats.megaflow_hits;
+        self.restore = st;
+        coverage!("dp_restore");
+    }
+
+    /// Lift the `flow-restore-wait` gate: upcalls resume and the
+    /// gate-window forwarding count is finalized. Idempotent.
+    pub fn flow_restore_complete(&mut self, now_ns: u64) {
+        if !self.restore.wait {
+            return;
+        }
+        self.restore.wait = false;
+        self.restore.completed_at_ns = Some(now_ns);
+        self.restore.gated_forwarded = self.gate_window_hits();
+        coverage!("flow_restore_complete");
+    }
+
+    /// Cache-tier hits since the restore — during the gate window every
+    /// hit is a packet forwarded from a restored megaflow (no new flow
+    /// can install while upcalls are gated).
+    fn gate_window_hits(&self) -> u64 {
+        (self.stats.emc_hits + self.stats.smc_hits + self.stats.megaflow_hits)
+            .saturating_sub(self.restore.hits_at_restore)
+    }
+
+    /// Auto-lift the gate once its deadline passes — a wedged or crashed
+    /// restorer must not gate the slow path forever.
+    fn maybe_complete_restore(&mut self, now_ns: u64) {
+        if self.restore.wait && now_ns >= self.restore.gate_until_ns {
+            self.flow_restore_complete(now_ns);
+        }
+    }
+
+    /// `ovs-appctl flow-restore/show`: gate state, restored counts, the
+    /// gate-window forwarding proof, and reconciliation progress.
+    pub fn flow_restore_show(&self) -> String {
+        let secs = |ns: u64| format!("{:.3}s", ns as f64 / 1e9);
+        let r = &self.restore;
+        if !r.active_or_done() {
+            return "flow-restore: idle (no snapshot restored)\n".to_string();
+        }
+        let state = if r.wait {
+            format!("waiting (gate lifts at {})", secs(r.gate_until_ns))
+        } else {
+            match r.completed_at_ns {
+                Some(t) => format!("complete (gate lifted at {})", secs(t)),
+                None => "complete".to_string(),
+            }
+        };
+        let forwarded = if r.wait {
+            self.gate_window_hits()
+        } else {
+            r.gated_forwarded
+        };
+        format!(
+            "flow-restore: {state}\n\
+             \x20 restored      : {} flows, {} conns (at {})\n\
+             \x20 gated upcalls : {}\n\
+             \x20 forwarded     : {forwarded} packets from restored flows during gate\n\
+             \x20 reconciled    : {} adopted, {} orphaned, {} pending\n",
+            r.restored_flows,
+            r.restored_conns,
+            secs(r.restored_at_ns),
+            self.stats.upcalls_gated,
+            self.stats.restore_adopted,
+            self.stats.restore_orphaned,
+            self.revalidator.restored_count(),
+        )
+    }
+
     /// Delete one megaflow (by masked key), pushing its outstanding
     /// stats up to the OpenFlow rules first. Returns whether it existed.
     fn delete_megaflow(&mut self, masked: &FlowKey) -> bool {
@@ -769,6 +961,8 @@ impl DpifNetdev {
         let t0 = core_ns(kernel, core);
         let mut timer = StageTimer::new(t0);
         let now = kernel.sim.clock.now_ns();
+        self.maybe_complete_restore(now);
+        let mut reconciled = 0usize;
         let n_flows = self.megaflow.len();
         let max_idle = self.revalidator.effective_max_idle_ns(n_flows);
         let hard = self.revalidator.hard_timeout_ns();
@@ -791,6 +985,41 @@ impl DpifNetdev {
                 ),
                 None => continue,
             };
+            // Orphan reconciliation: a restored flow has no live rule
+            // refs yet, so it is exempt from lifecycle decisions until
+            // reconciled — and reconciliation itself waits for the gate
+            // and is budgeted per sweep so reconvergence never starves
+            // the fast path. Re-translating the masked key against the
+            // repopulated table either re-adopts the flow (rules
+            // re-resolved, stats pushback resumes exactly where the
+            // snapshot left off) or deletes it as an orphan.
+            if self.revalidator.is_restored(&k) {
+                if self.restore.wait || reconciled >= self.restore.reconcile_budget {
+                    continue;
+                }
+                reconciled += 1;
+                let t = self.ofproto.translate(&k);
+                let c = t.tables_visited as f64 * kernel.sim.costs.upcall_per_table_ns;
+                kernel.sim.charge(core, Context::User, c);
+                let matches = self
+                    .megaflow
+                    .get(&k)
+                    .map(|e| t.actions == e.actions && t.mask == e.mask)
+                    .unwrap_or(false);
+                if matches {
+                    self.revalidator.adopt(&k, t.rules);
+                    self.revalidator.push_stats(&k, hits, bytes);
+                    self.stats.restore_adopted += 1;
+                    coverage!("restore_adopted");
+                    summary.adopted += 1;
+                } else {
+                    self.stats.restore_orphaned += 1;
+                    coverage!("restore_orphaned");
+                    summary.orphaned += 1;
+                    self.delete_megaflow(&k);
+                }
+                continue;
+            }
             // Push stats before any delete decision so counters survive
             // the flow.
             self.revalidator.push_stats(&k, hits, bytes);
@@ -846,6 +1075,9 @@ impl DpifNetdev {
                 .megaflow
                 .iter()
                 .map(|e| (e.used_ns.get(), e.key.hash(), e.key))
+                // While the gate is up the restored flows are the only
+                // forwarding state there is — never evict them.
+                .filter(|(_, _, k)| !(self.restore.wait && self.revalidator.is_restored(k)))
                 .collect();
             lru.sort_unstable_by_key(|(used, h, _)| (*used, *h));
             let excess = self.megaflow.len() - self.revalidator.flow_limit;
@@ -904,6 +1136,13 @@ impl DpifNetdev {
         out.push_str(&format!(
             "  queue full    : {}\n",
             ovs_obs::coverage::total("upcall_queue_full")
+        ));
+        out.push_str(&format!(
+            "  restore       : {} pending, {} adopted, {} orphaned, {} gated\n",
+            self.revalidator.restored_count(),
+            self.stats.restore_adopted,
+            self.stats.restore_orphaned,
+            self.stats.upcalls_gated,
         ));
         out
     }
@@ -1180,6 +1419,7 @@ megaflows installed: {}
     ) -> usize {
         // Stamp rx at poll entry so the rx burst cost itself counts
         // toward every received packet's latency.
+        self.maybe_complete_restore(kernel.sim.clock.now_ns());
         let rx_stamp = pmd_now_ns(kernel, core);
         let mut timer = StageTimer::new(core_ns(kernel, core));
         let mut pkts = self.port_rx(kernel, port, queue, core);
@@ -1282,6 +1522,7 @@ megaflows installed: {}
     /// Run an injected burst through the full two-phase pipeline,
     /// committing perf attribution. `pmd_poll` is this plus the rx.
     pub fn process_burst(&mut self, kernel: &mut Kernel, pkts: Vec<DpPacket>, core: usize) {
+        self.maybe_complete_restore(kernel.sim.clock.now_ns());
         let mut timer = StageTimer::new(core_ns(kernel, core));
         let n = pkts.len();
         self.process_burst_timed(kernel, pkts, core, &mut timer);
@@ -1538,6 +1779,31 @@ megaflows installed: {}
                 self.emc.maybe_insert(mf, hash, Rc::clone(&e));
                 let actions = Rc::new(e.actions.clone());
                 self.enqueue_classified(batches, Some(&e), actions, bp);
+                continue;
+            }
+
+            // Level 4 gate: while `flow-restore-wait` is up the rule
+            // table is still being repopulated, so a translation would
+            // be wrong — the miss drops with a named counter and the
+            // restored megaflows keep forwarding. Checked before any
+            // slow-path work so the gate costs nothing.
+            if self.restore.wait {
+                self.stats.upcalls_gated += 1;
+                coverage!("upcalls_gated");
+                if let Some(t) = self.trace.as_mut() {
+                    t.note("upcall gated: flow-restore-wait, drop");
+                }
+                continue;
+            }
+            // Secure fail mode: the controller is gone, so no new flows
+            // — existing megaflows already hit above; the miss drops
+            // into the named fail_secure_drop verdict.
+            if self.fail_secure {
+                self.stats.fail_secure_drop += 1;
+                coverage!("fail_secure_drop");
+                if let Some(t) = self.trace.as_mut() {
+                    t.note("fail mode secure: controller disconnected, drop");
+                }
                 continue;
             }
 

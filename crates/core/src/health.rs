@@ -18,6 +18,7 @@
 //! by the teardown.
 
 use crate::dpif::DpifNetdev;
+use crate::snapshot::DpSnapshot;
 use ovs_kernel::Kernel;
 use ovs_obs::coverage;
 use ovs_sim::FaultKind;
@@ -46,6 +47,20 @@ pub struct CrashRecord {
     pub recovered_ns: Option<u64>,
 }
 
+/// One recorded planned (hitless) restart.
+#[derive(Debug, Clone, Copy)]
+pub struct GracefulRecord {
+    /// Virtual time the restart began (snapshot + teardown).
+    pub at_ns: u64,
+    /// Virtual time the rebuilt datapath resumed forwarding from the
+    /// restored flows (`None` while the restart window is open).
+    pub resumed_ns: Option<u64>,
+    /// Megaflows captured in the snapshot.
+    pub snapshot_flows: u64,
+    /// Conntrack entries captured in the snapshot.
+    pub snapshot_conns: u64,
+}
+
 /// Supervises one [`DpifNetdev`]: builds it, polls it behind an unwind
 /// boundary, and rebuilds it after a crash.
 pub struct HealthMonitor {
@@ -62,6 +77,22 @@ pub struct HealthMonitor {
     next_restart_ns: u64,
     /// Crash history, oldest first.
     pub crashes: Vec<CrashRecord>,
+    /// Completed hitless (planned) restarts — these do not consume the
+    /// crash restart budget.
+    pub graceful_restarts: u64,
+    /// Planned-restart history, oldest first.
+    pub graceful: Vec<GracefulRecord>,
+    /// Teardown→rebuild delay for a planned restart (modeled process
+    /// exec time; much shorter than a crash backoff).
+    pub restart_window_ns: u64,
+    /// `flow-restore-wait` gate duration handed to the restored
+    /// datapath.
+    pub restore_gate_ns: u64,
+    /// Snapshot held across the restart window.
+    pending_snapshot: Option<DpSnapshot>,
+    /// Whether the current `BackingOff` is a planned restart window
+    /// rather than a crash backoff.
+    graceful_pending: bool,
 }
 
 impl std::fmt::Debug for HealthMonitor {
@@ -80,6 +111,13 @@ impl HealthMonitor {
     pub const DEFAULT_BACKOFF_NS: u64 = 100_000_000;
     /// Default restart budget.
     pub const DEFAULT_BUDGET: u64 = 8;
+    /// Default planned-restart window: 1 ms of virtual exec time
+    /// between teardown and the rebuilt process resuming.
+    pub const DEFAULT_RESTART_WINDOW_NS: u64 = 1_000_000;
+    /// Default `flow-restore-wait` gate: 5 ms for the rule table to
+    /// repopulate before upcalls resume (the gate also lifts early via
+    /// `flow-restore/complete`).
+    pub const DEFAULT_RESTORE_GATE_NS: u64 = 5_000_000;
 
     /// A supervisor around `builder`, which constructs (and on restart
     /// reconstructs) the datapath: ports re-opened, OpenFlow rules
@@ -103,7 +141,19 @@ impl HealthMonitor {
             max_backoff_ns: initial_backoff_ns.saturating_mul(64),
             next_restart_ns: 0,
             crashes: Vec::new(),
+            graceful_restarts: 0,
+            graceful: Vec::new(),
+            restart_window_ns: Self::DEFAULT_RESTART_WINDOW_NS,
+            restore_gate_ns: Self::DEFAULT_RESTORE_GATE_NS,
+            pending_snapshot: None,
+            graceful_pending: false,
         }
+    }
+
+    /// Tune the planned-restart timings (restart window, restore gate).
+    pub fn set_restart_policy(&mut self, restart_window_ns: u64, restore_gate_ns: u64) {
+        self.restart_window_ns = restart_window_ns;
+        self.restore_gate_ns = restore_gate_ns;
     }
 
     /// Build the initial datapath.
@@ -133,16 +183,61 @@ impl HealthMonitor {
                 if now < self.next_restart_ns {
                     return 0;
                 }
-                let rebuilt = (self.builder)(kernel);
+                let mut rebuilt = (self.builder)(kernel);
+                if self.graceful_pending {
+                    // Planned restart: restore the snapshot into the
+                    // rebuilt datapath and raise the flow-restore-wait
+                    // gate — forwarding resumes from the restored
+                    // megaflows immediately, upcalls stay gated until
+                    // the rule table settles.
+                    if let Some(snap) = self.pending_snapshot.take() {
+                        rebuilt.restore_from(&snap, now, self.restore_gate_ns);
+                    }
+                    self.graceful_pending = false;
+                    self.graceful_restarts += 1;
+                    if let Some(g) = self.graceful.last_mut() {
+                        g.resumed_ns = Some(now);
+                    }
+                    coverage!("health_hitless_restart");
+                } else {
+                    self.restarts += 1;
+                    if let Some(c) = self.crashes.last_mut() {
+                        c.recovered_ns = Some(now);
+                    }
+                    coverage!("health_restart");
+                }
                 *dp = Some(rebuilt);
                 self.state = HealthState::Running;
-                self.restarts += 1;
-                if let Some(c) = self.crashes.last_mut() {
-                    c.recovered_ns = Some(now);
-                }
-                coverage!("health_restart");
             }
-            HealthState::Running => {}
+            HealthState::Running => {
+                // A planned daemon restart (upgrade): unlike the crash
+                // path below, state survives — snapshot the datapath,
+                // tear it down cleanly (parked frames are counted by
+                // port teardown, cached entries are marked dead so PMD
+                // caches cannot forward stale flows), and rebuild after
+                // a short exec window.
+                if kernel.sim.faults.take(FaultKind::DaemonRestart) {
+                    coverage!("daemon_restart");
+                    if let Some(mut old) = dp.take() {
+                        let snap = old.snapshot(now);
+                        self.graceful.push(GracefulRecord {
+                            at_ns: now,
+                            resumed_ns: None,
+                            snapshot_flows: snap.flows.len() as u64,
+                            snapshot_conns: snap.conns.len() as u64,
+                        });
+                        self.pending_snapshot = Some(snap);
+                        old.flush_caches();
+                        for p in old.port_nos() {
+                            old.del_port(kernel, p);
+                        }
+                    }
+                    self.graceful_pending = true;
+                    self.state = HealthState::BackingOff;
+                    self.next_restart_ns = now.saturating_add(self.restart_window_ns);
+                    return 0;
+                }
+            }
         }
         let Some(d) = dp.as_mut() else {
             return 0;
@@ -236,6 +331,25 @@ impl HealthMonitor {
         if let Some(m) = self.mean_recovery_ns() {
             out.push_str(&format!("  mean recovery : {}\n", secs(m)));
         }
+        if !self.graceful.is_empty() {
+            out.push_str(&format!(
+                "  hitless       : {} planned restarts\n",
+                self.graceful_restarts
+            ));
+            for g in &self.graceful {
+                let res = match g.resumed_ns {
+                    Some(r) => format!("resumed at {} (+{})", secs(r), secs(r - g.at_ns)),
+                    None => "restart window open".to_string(),
+                };
+                out.push_str(&format!(
+                    "    {} snapshot {} flows, {} conns — {}\n",
+                    secs(g.at_ns),
+                    g.snapshot_flows,
+                    g.snapshot_conns,
+                    res
+                ));
+            }
+        }
         let _ = now_ns;
         out
     }
@@ -284,6 +398,36 @@ mod tests {
         assert_eq!(h.crashes.len(), 1);
         assert!(h.crashes[0].recovered_ns.is_some());
         assert!(h.show(0).contains("running"), "{}", h.show(0));
+    }
+
+    #[test]
+    fn daemon_restart_is_hitless_not_a_crash() {
+        let mut k = Kernel::new(2);
+        let tap = k.add_device(NetDevice::new(
+            "tap0",
+            MacAddr([2, 0, 0, 0, 0, 1]),
+            DeviceKind::Tap,
+            1,
+        ));
+        let mut h = HealthMonitor::with_policy(move |k| tap_dp(k, tap), 1_000_000, 4);
+        h.set_restart_policy(1_000_000, 5_000_000);
+        let mut dp = Some(h.start(&mut k));
+
+        k.sim.faults.inject(0, FaultKind::DaemonRestart, 0, 0, 0);
+        assert_eq!(h.poll(&mut dp, &mut k, 0, 0, 0), 0);
+        assert!(dp.is_none(), "old incarnation torn down");
+        assert_eq!(h.state, HealthState::BackingOff);
+        assert!(h.crashes.is_empty(), "a planned restart is not a crash");
+
+        k.sim.clock.advance(2_000_000);
+        h.poll(&mut dp, &mut k, 0, 0, 0);
+        let d = dp.as_ref().expect("rebuilt after the restart window");
+        assert_eq!(h.state, HealthState::Running);
+        assert_eq!(h.graceful_restarts, 1);
+        assert_eq!(h.restarts, 0, "crash budget untouched");
+        assert!(d.restore.wait, "flow-restore-wait gate raised");
+        assert!(h.show(0).contains("hitless       : 1 planned restarts"));
+        assert!(k.sim.faults.all_clear(), "one-shot consumed");
     }
 
     #[test]

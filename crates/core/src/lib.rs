@@ -36,6 +36,12 @@
 //! * [`health`] — the datapath supervisor: `catch_unwind` around PMD
 //!   polls, exponential-backoff restart with a bounded budget, and flow
 //!   re-installation — the §6 "reduced risk" argument as a subsystem.
+//! * [`snapshot`] — versioned datapath state capture (megaflows, ukeys,
+//!   conntrack) and the `flow-restore-wait` gate: the hitless-restart
+//!   substrate the supervisor uses for planned daemon restarts.
+//! * [`controller`] — the modeled controller session: reconnect with
+//!   exponential backoff riding `ovs-sim` faults, and the fail-mode
+//!   ladder (standalone MAC-learning fallback vs secure drop).
 //! * [`appctl`] — the `ovs-appctl` dispatch surface: `coverage/show`,
 //!   `dpif-netdev/pmd-perf-show`, `ofproto/trace`, and friends.
 
@@ -44,6 +50,7 @@ pub use ovs_ct as ct;
 pub mod appctl;
 pub mod cache;
 pub mod classifier;
+pub mod controller;
 pub mod dpif;
 pub mod health;
 pub mod meter;
@@ -52,11 +59,13 @@ pub mod ofctl;
 pub mod ofproto;
 pub mod pmd;
 pub mod revalidator;
+pub mod snapshot;
 pub mod tso;
 pub mod tunnel;
 
 pub use cache::{Emc, MegaflowCache};
 pub use classifier::{Classifier, Rule};
+pub use controller::{ControllerSession, FailMode};
 pub use dpif::{DpAction, DpifNetdev, DpifNetlink, PortNo, PortType};
 pub use health::{HealthMonitor, HealthState};
 pub use meter::{Meter, MeterSet};
@@ -65,3 +74,4 @@ pub use ofctl::{dump_flows, parse_flow, parse_flows};
 pub use ofproto::{OfAction, OfRule, Ofproto, RuleEntry};
 pub use pmd::{AssignmentPolicy, PmdSet, PmdThread, RxqId};
 pub use revalidator::{Revalidator, RevalidatorConfig, SweepSummary, Ukey};
+pub use snapshot::{DpSnapshot, FlowRecord, RestoreState, SNAPSHOT_VERSION};

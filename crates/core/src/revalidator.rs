@@ -79,6 +79,11 @@ pub struct Ukey<A> {
     pub pushed_packets: u64,
     /// Bytes already pushed to `rules`.
     pub pushed_bytes: u64,
+    /// A flow re-created from a [`crate::snapshot::DpSnapshot`] whose
+    /// rule refs have not been re-resolved yet. Restored ukeys have no
+    /// rules, so stats pushback is held back (not silently consumed)
+    /// until the reconciliation sweep adopts or orphans the flow.
+    pub restored: bool,
 }
 
 impl<A> Ukey<A> {
@@ -98,6 +103,31 @@ impl<A> Ukey<A> {
             created_ns: now_ns,
             pushed_packets: 0,
             pushed_bytes: 0,
+            restored: false,
+        }
+    }
+
+    /// A ukey rebuilt from a snapshot: no live rule refs yet, and the
+    /// pushback high-water marks carried over so that once the flow is
+    /// adopted, the fresh rules are credited exactly the packets
+    /// forwarded *since* the snapshot — stats pushback resumes exactly.
+    pub fn restored(
+        key: FlowKey,
+        mask: FlowMask,
+        actions: A,
+        created_ns: u64,
+        pushed_packets: u64,
+        pushed_bytes: u64,
+    ) -> Self {
+        Self {
+            key,
+            mask,
+            actions,
+            rules: Vec::new(),
+            created_ns,
+            pushed_packets,
+            pushed_bytes,
+            restored: true,
         }
     }
 }
@@ -142,6 +172,10 @@ pub struct SweepSummary {
     pub deleted_hard: u64,
     pub deleted_changed: u64,
     pub evicted: u64,
+    /// Restored flows re-adopted by this sweep's reconciliation pass.
+    pub adopted: u64,
+    /// Restored flows deleted as orphans by this sweep.
+    pub orphaned: u64,
     /// Flow limit after the post-sweep adjustment.
     pub flow_limit: usize,
     /// Simulated dump duration that fed the adjustment.
@@ -281,6 +315,12 @@ impl<A> Revalidator<A> {
         let Some(uk) = self.ukeys.get_mut(key) else {
             return (0, 0);
         };
+        if uk.restored {
+            // No rule refs yet: crediting would silently swallow the
+            // delta. Hold it until the reconciliation sweep adopts the
+            // flow (or drops it as an orphan).
+            return (0, 0);
+        }
         let dp = n_packets.saturating_sub(uk.pushed_packets);
         let db = n_bytes.saturating_sub(uk.pushed_bytes);
         if dp != 0 || db != 0 {
@@ -301,6 +341,27 @@ impl<A> Revalidator<A> {
     pub fn refresh_rules(&mut self, key: &FlowKey, rules: Vec<Rc<RuleEntry>>) {
         if let Some(uk) = self.ukeys.get_mut(key) {
             uk.rules = rules;
+        }
+    }
+
+    /// Whether `key` is a restored flow still awaiting reconciliation.
+    pub fn is_restored(&self, key: &FlowKey) -> bool {
+        self.ukeys.get(key).is_some_and(|u| u.restored)
+    }
+
+    /// Restored flows still awaiting reconciliation.
+    pub fn restored_count(&self) -> usize {
+        self.ukeys.values().filter(|u| u.restored).count()
+    }
+
+    /// Adopt a restored flow: attach the freshly re-translated rule refs
+    /// and clear the restored flag, re-enabling stats pushback. The next
+    /// `push_stats` credits exactly the packets forwarded since the
+    /// snapshot was taken.
+    pub fn adopt(&mut self, key: &FlowKey, rules: Vec<Rc<RuleEntry>>) {
+        if let Some(uk) = self.ukeys.get_mut(key) {
+            uk.rules = rules;
+            uk.restored = false;
         }
     }
 
@@ -442,6 +503,37 @@ mod tests {
         let mut other = FlowKey::default();
         other.set_in_port(9);
         assert_eq!(r.push_stats(&other, 5, 5), (0, 0));
+    }
+
+    #[test]
+    fn restored_ukey_holds_pushback_until_adopted() {
+        let rule = Rc::new(RuleEntry {
+            rule: OfRule {
+                table: 0,
+                priority: 0,
+                key: FlowKey::default(),
+                mask: FlowMask::EMPTY,
+                actions: vec![],
+                cookie: 0,
+            },
+            n_packets: Cell::new(0),
+            n_bytes: Cell::new(0),
+        });
+        let mut r: Revalidator<u32> = Revalidator::new();
+        let key = FlowKey::default();
+        // Snapshot carried 10 packets already pushed to the old rules.
+        r.register(Ukey::restored(key, FlowMask::EXACT, 0, 0, 10, 640));
+        assert!(r.is_restored(&key));
+        assert_eq!(r.restored_count(), 1);
+        // Pushback while rule-less is held, not swallowed.
+        assert_eq!(r.push_stats(&key, 14, 896), (0, 0));
+        // Adoption re-resolves rules; the next push credits exactly the
+        // post-snapshot delta (14 - 10 = 4 packets).
+        r.adopt(&key, vec![Rc::clone(&rule)]);
+        assert!(!r.is_restored(&key));
+        assert_eq!(r.push_stats(&key, 14, 896), (4, 256));
+        assert_eq!(rule.n_packets.get(), 4);
+        assert_eq!(rule.n_bytes.get(), 256);
     }
 
     #[test]

@@ -36,7 +36,8 @@ pub mod shard;
 
 pub use expiry::{CtTimeouts, ProtoState};
 pub use limits::{CtDrop, ZoneLimits};
-use shard::{Conn, Shard};
+pub use shard::Conn;
+use shard::Shard;
 
 /// A direction-oriented 5-tuple plus zone.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -625,6 +626,47 @@ impl CtTable {
         }
         self.stats.flushed += removed as u64;
         removed
+    }
+
+    /// Serialize every tracked connection for a datapath snapshot.
+    /// Sorted by `(hash, key)` so the snapshot is byte-deterministic
+    /// regardless of shard iteration order.
+    pub fn snapshot_conns(&self) -> Vec<(ConnKey, Conn)> {
+        let mut out: Vec<(ConnKey, Conn)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.conns.iter().map(|(k, c)| (*k, *c)))
+            .collect();
+        out.sort_by_key(|(k, _)| (k.hash(), *k));
+        out
+    }
+
+    /// Rebuild table state from a snapshot taken with
+    /// [`snapshot_conns`](Self::snapshot_conns): re-shard each
+    /// connection, re-derive the NAT reply index from `nat_tkey`, and
+    /// restore zone accounting. Existing entries for the same key are
+    /// replaced without double-counting. Returns how many connections
+    /// were restored. `accounting_ok()` holds afterwards.
+    pub fn restore_conns(&mut self, conns: &[(ConnKey, Conn)]) -> usize {
+        let mut restored = 0;
+        for (key, conn) in conns {
+            let si = self.shard_of(key);
+            if self.shards[si].conns.contains_key(key) {
+                // Replace in place; zone/total accounting already counts it.
+                self.shards[si].conns.insert(*key, *conn);
+            } else {
+                self.shards[si].insert(*key, *conn);
+                self.zones.inc(key.zone);
+                self.total += 1;
+            }
+            if let (Some(nat), Some(tkey)) = (conn.nat, conn.nat_tkey) {
+                let ti = self.shard_of(&tkey);
+                self.shards[ti].nat_index.insert(tkey, (*key, nat));
+            }
+            restored += 1;
+        }
+        debug_assert!(self.accounting_ok());
+        restored
     }
 
     /// Record which PMD touched shard `si`; rxq→PMD stickiness means a

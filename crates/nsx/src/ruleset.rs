@@ -488,6 +488,78 @@ pub fn install(
     }
 }
 
+/// The `fail_mode=standalone` fallback rule set: a self-contained
+/// normal-action approximation that keeps the network best-effort alive
+/// with no controller — L2 forwarding by destination MAC only.
+///
+/// Local VMs deliver to their VIF, remote VMs tunnel to the peer VTEP,
+/// and unknown destinations flood to the uplink. Every rule masks
+/// `DL_DST` alone, so each distinct destination MAC costs one upcall and
+/// one megaflow: exactly the tuple-space exposure a TSE flood feeds on
+/// during a controller outage (the secure-vs-standalone goodput
+/// benchmark measures this).
+pub fn standalone_fallback(
+    cfg: &NsxConfig,
+    ports: &NsxPorts,
+    local_host: u8,
+    remote_host: u8,
+) -> Ofproto {
+    let mut of = Ofproto::new();
+    // Local VMs by destination MAC.
+    for (i, &vif) in ports.vifs.iter().enumerate() {
+        let mut k = FlowKey::default();
+        k.set_dl_dst(vm_mac(local_host, i / 2, i % 2));
+        of.add_rule(OfRule {
+            table: 0,
+            priority: 60,
+            key: k,
+            mask: FlowMask::of_fields(&[&fields::DL_DST]),
+            actions: vec![OfAction::Output(vif)],
+            cookie: 0xfa11,
+        });
+    }
+    // Remote VMs: tunnel out with the logical switch's VNI.
+    for i in 0..cfg.vms * 2 {
+        let mut k = FlowKey::default();
+        k.set_dl_dst(vm_mac(remote_host, i / 2, i % 2));
+        of.add_rule(OfRule {
+            table: 0,
+            priority: 60,
+            key: k,
+            mask: FlowMask::of_fields(&[&fields::DL_DST]),
+            actions: vec![
+                OfAction::SetTunnel {
+                    id: vni_of(i % cfg.vms),
+                    dst: cfg.remote_vtep,
+                },
+                OfAction::Goto(tables::TUN_OUTPUT),
+            ],
+            cookie: 0xfa11,
+        });
+    }
+    // Unknown destinations: best-effort flood to the physical uplink
+    // (the "normal" action's fallback when nothing has been learned).
+    // The miss still probes the DL_DST subtable above, so the resulting
+    // megaflow stays MAC-specific — the TSE exposure is structural.
+    of.add_rule(OfRule {
+        table: 0,
+        priority: 0,
+        key: FlowKey::default(),
+        mask: FlowMask::EMPTY,
+        actions: vec![OfAction::Output(ports.uplink)],
+        cookie: 0xfa11,
+    });
+    of.add_rule(OfRule {
+        table: tables::TUN_OUTPUT,
+        priority: 0,
+        key: FlowKey::default(),
+        mask: FlowMask::EMPTY,
+        actions: vec![OfAction::Output(ports.tunnel)],
+        cookie: 0xfa11,
+    });
+    of
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

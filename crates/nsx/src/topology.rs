@@ -11,7 +11,7 @@ use ovs_afxdp::OptLevel;
 use ovs_core::dpif::{DpifNetdev, DpifNetlink, PortNo, PortType};
 use ovs_core::pmd::{AssignmentPolicy, PmdSet};
 use ovs_core::tunnel::{TunnelConfig, TunnelKind};
-use ovs_core::HealthMonitor;
+use ovs_core::{ControllerSession, FailMode, HealthMonitor};
 use ovs_dpdk::VhostUserDev;
 use ovs_kernel::dev::{Attachment, DeviceKind, NetDevice};
 use ovs_kernel::guest::{Guest, GuestRole, VirtioBackend};
@@ -173,6 +173,9 @@ pub struct Host {
     pub ruleset: RulesetStats,
     /// The switch's core.
     pub switch_core: usize,
+    /// The modeled NSX controller session, when connected; rides
+    /// `ControllerDisconnect` faults and applies the fail-mode ladder.
+    pub controller: Option<ControllerSession>,
     blueprint: Option<DpBlueprint>,
 }
 
@@ -313,8 +316,22 @@ impl Host {
             guest_of_vif,
             ruleset: ruleset_stats,
             switch_core: cfg.switch_core,
+            controller: None,
             blueprint,
         }
+    }
+
+    /// Attach a modeled controller session with the given fail mode. The
+    /// standalone fallback rule set is generated from this host's
+    /// blueprint (L2 forwarding by destination MAC only). Requires the
+    /// userspace datapath.
+    pub fn connect_controller(&mut self, fail_mode: FailMode) {
+        let bp = self
+            .blueprint
+            .as_ref()
+            .expect("controller session requires the userspace datapath");
+        let fallback = ruleset::standalone_fallback(&bp.nsx, &bp.ports, bp.id, bp.remote_id);
+        self.controller = Some(ControllerSession::new(fail_mode, fallback, 0));
     }
 
     /// Put the userspace datapath under [`HealthMonitor`] supervision:
@@ -360,6 +377,12 @@ impl Host {
         for _round in 0..64 {
             // Fire and clear any timed faults that have come due.
             self.kernel.fault_tick();
+            // Advance the controller session against the fault plane
+            // before polling, so a disconnect's fail mode is in force
+            // for this round's packets.
+            if let (Some(ctl), Some(dp)) = (self.controller.as_mut(), self.dp.as_mut()) {
+                ctl.tick(dp, &self.kernel.sim.faults, self.kernel.sim.clock.now_ns());
+            }
             let mut moved = 0;
             if let Some(h) = &mut self.health {
                 // Supervised: every poll crosses the unwind boundary,
@@ -429,11 +452,12 @@ impl Host {
         let Some(dp) = self.dp.as_mut() else {
             return Err("datapath is down".to_string());
         };
-        ovs_core::appctl::dispatch_full(
+        ovs_core::appctl::dispatch_ctl(
             dp,
             &mut self.kernel,
             self.health.as_ref(),
             self.pmds.as_mut(),
+            self.controller.as_mut(),
             cmd,
             args,
         )

@@ -48,11 +48,21 @@ pub enum FaultKind {
     /// Carrier drops on ifindex `target`: rx and tx while down are
     /// dropped with device counters, link restores when the flap clears.
     CarrierFlap,
+    /// The OpenFlow controller session of switch `target` drops: the
+    /// ofproto layer rides its fail-mode ladder (standalone falls back
+    /// to a normal-action rule set, secure drops new flows) until the
+    /// window clears and the modeled reconnect succeeds.
+    ControllerDisconnect,
+    /// A planned daemon upgrade/restart of switch `target`: the health
+    /// supervisor snapshots the datapath, tears it down, and performs a
+    /// hitless flow-restore instead of a crash cold-start. One-shot:
+    /// armed until the supervisor consumes it with [`FaultState::take`].
+    DaemonRestart,
 }
 
 impl FaultKind {
     /// Every class, in a stable order (report and `fault/show` order).
-    pub const ALL: [FaultKind; 7] = [
+    pub const ALL: [FaultKind; 9] = [
         FaultKind::DatapathPanic,
         FaultKind::XdpAttachFail,
         FaultKind::VhostDisconnect,
@@ -60,6 +70,8 @@ impl FaultKind {
         FaultKind::UmemExhaust,
         FaultKind::RxRingStall,
         FaultKind::CarrierFlap,
+        FaultKind::ControllerDisconnect,
+        FaultKind::DaemonRestart,
     ];
 
     /// Stable snake_case label (counter names, JSON keys, `fault/show`).
@@ -72,6 +84,8 @@ impl FaultKind {
             FaultKind::UmemExhaust => "umem_exhaust",
             FaultKind::RxRingStall => "rx_ring_stall",
             FaultKind::CarrierFlap => "carrier_flap",
+            FaultKind::ControllerDisconnect => "controller_disconnect",
+            FaultKind::DaemonRestart => "daemon_restart",
         }
     }
 
@@ -88,6 +102,12 @@ impl FaultKind {
     /// edge consumed at injection time.
     fn is_level(self) -> bool {
         !matches!(self, FaultKind::VhostReconnect)
+    }
+
+    /// Whether this class stays armed until a supervisor consumes it with
+    /// [`FaultState::take`], regardless of any duration on the event.
+    fn is_one_shot(self) -> bool {
+        matches!(self, FaultKind::DatapathPanic | FaultKind::DaemonRestart)
     }
 }
 
@@ -150,35 +170,43 @@ impl FaultPlan {
     }
 
     /// A random plan over `[horizon/10, 8*horizon/10]` that covers every
-    /// windowed fault class at least once, with seeded jitter on times
-    /// and durations. `VhostDisconnect` windows always carry a duration,
-    /// so reconnect happens implicitly before the horizon ends; the
-    /// explicit `VhostReconnect` edge is left to `fault/inject`.
+    /// registered fault class at least once (derived from
+    /// [`FaultKind::ALL`] so new classes are picked up automatically),
+    /// with seeded jitter on times and durations. Windowed classes always
+    /// carry a duration, so they clear implicitly before the horizon
+    /// ends; the explicit `VhostReconnect` edge is left to
+    /// `fault/inject`. One-shots (`DatapathPanic`, `DaemonRestart`) are
+    /// generated once each — they stay armed until a supervisor consumes
+    /// them, so stacking several of the same kind is indistinguishable
+    /// from one.
     pub fn random(seed: u64, horizon_ns: u64, targets: PlanTargets) -> Self {
         let mut rng = SimRng::new(seed ^ 0xfau64.wrapping_mul(0x9e37_79b9_7f4a_7c15));
         let mut plan = FaultPlan::new(seed);
-        let classes = [
-            FaultKind::DatapathPanic,
-            FaultKind::XdpAttachFail,
-            FaultKind::VhostDisconnect,
-            FaultKind::UmemExhaust,
-            FaultKind::RxRingStall,
-            FaultKind::CarrierFlap,
-        ];
+        let classes = FaultKind::ALL
+            .iter()
+            .copied()
+            .filter(|k| *k != FaultKind::VhostReconnect);
         let lo = horizon_ns / 10;
         let hi = horizon_ns * 8 / 10;
         for kind in classes {
-            let n = 1 + rng.below(2); // 1..=2 events of each class
+            let n = if kind.is_one_shot() {
+                1
+            } else {
+                1 + rng.below(2) // 1..=2 events of each windowed class
+            };
             for _ in 0..n {
                 let at = rng.range(lo, hi);
-                let duration = match kind {
+                let duration = if kind.is_one_shot() {
                     // One-shot: consumed by the supervisor, no window.
-                    FaultKind::DatapathPanic => 0,
-                    _ => rng.range(horizon_ns / 40, horizon_ns / 10),
+                    0
+                } else {
+                    rng.range(horizon_ns / 40, horizon_ns / 10)
                 };
                 let (target, arg) = match kind {
                     FaultKind::VhostDisconnect => (targets.guest, 0),
-                    FaultKind::DatapathPanic => (0, 0),
+                    FaultKind::DatapathPanic
+                    | FaultKind::DaemonRestart
+                    | FaultKind::ControllerDisconnect => (0, 0),
                     // Native-only rejection: exercises the copy-mode rung
                     // without taking the whole port to tap.
                     FaultKind::XdpAttachFail => (targets.ifindex, 1),
@@ -248,7 +276,7 @@ pub struct FaultState {
     cursor: usize,
     active: Vec<ActiveFault>,
     log: Vec<Injection>,
-    injected: [u64; 7],
+    injected: [u64; 9],
 }
 
 impl FaultState {
@@ -320,8 +348,9 @@ impl FaultState {
             }
             k if k.is_level() => {
                 let until = match (k, ev.duration_ns) {
-                    // One-shot panics wait for the supervisor's take().
-                    (FaultKind::DatapathPanic, _) | (_, 0) => u64::MAX,
+                    // One-shots wait for the supervisor's take().
+                    (k, _) if k.is_one_shot() => u64::MAX,
+                    (_, 0) => u64::MAX,
                     (_, d) => now_ns.saturating_add(d),
                 };
                 self.active.push(ActiveFault {
@@ -495,14 +524,14 @@ mod tests {
         assert_eq!(a.events, b.events, "same seed, same plan");
         let c = FaultPlan::random(43, 1_000_000, t);
         assert_ne!(a.events, c.events, "different seed, different plan");
-        for kind in [
-            FaultKind::DatapathPanic,
-            FaultKind::XdpAttachFail,
-            FaultKind::VhostDisconnect,
-            FaultKind::UmemExhaust,
-            FaultKind::RxRingStall,
-            FaultKind::CarrierFlap,
-        ] {
+        // Every registered class except the explicit reconnect edge must
+        // appear — including classes registered after the generator was
+        // first written (the PR 9 regression: controller_disconnect and
+        // daemon_restart were invisible to random soaks).
+        for kind in FaultKind::ALL {
+            if kind == FaultKind::VhostReconnect {
+                continue;
+            }
             assert!(
                 a.events.iter().any(|e| e.kind == kind),
                 "class {} missing",
@@ -510,6 +539,29 @@ mod tests {
             );
         }
         assert!(a.horizon_ns() <= 1_000_000, "windows close in-horizon");
+    }
+
+    #[test]
+    fn daemon_restart_is_one_shot_until_taken() {
+        let mut st = FaultState::default();
+        st.arm(FaultPlan::new(2).event(10, FaultKind::DaemonRestart, 0, 0, 0));
+        st.tick(10_000);
+        assert!(st.active(FaultKind::DaemonRestart, 0), "no auto-expiry");
+        assert!(st.take(FaultKind::DaemonRestart));
+        assert!(!st.take(FaultKind::DaemonRestart), "consumed exactly once");
+        assert!(st.all_clear());
+    }
+
+    #[test]
+    fn controller_disconnect_window_expires() {
+        let mut st = FaultState::default();
+        st.inject(0, FaultKind::ControllerDisconnect, 0, 0, 1_000);
+        assert!(st.active(FaultKind::ControllerDisconnect, 0));
+        let tr = st.tick(1_000);
+        assert!(tr
+            .cleared
+            .contains(&(FaultKind::ControllerDisconnect, 0, 0)));
+        assert!(st.all_clear());
     }
 
     #[test]

@@ -1144,7 +1144,7 @@ pub fn run_fastpath(
 /// soak. Anything offered and neither delivered nor counted by one of
 /// these is *unaccounted* — a silent loss, which the soak treats as a
 /// failure.
-pub const DROP_COUNTERS: [&str; 8] = [
+pub const DROP_COUNTERS: [&str; 10] = [
     "xsk_tx_ring_full",
     "xsk_close_flushed",
     "xsk_rx_dropped",
@@ -1153,6 +1153,8 @@ pub const DROP_COUNTERS: [&str; 8] = [
     "vhost_tx_disconnected",
     "vhost_ring_flushed",
     "upcall_queue_full",
+    "upcalls_gated",
+    "fail_secure_drop",
 ];
 
 /// Outcome of a [`run_faults`] soak.
@@ -1176,8 +1178,10 @@ pub struct FaultsReport {
     pub mean_recovery_ms: f64,
     /// vhostuser reconnect edges observed.
     pub vhost_reconnects: u64,
-    /// Whether the sender's uplink ended the soak on the copy-mode rung
-    /// (it crashed while XDP native attach was rejected).
+    /// Whether the sender's uplink ran on the copy-mode rung at any
+    /// point (it crashed while XDP native attach was rejected). The
+    /// later *planned* restart re-attaches natively once the attach
+    /// fault clears, so the soak may still end zero-copy.
     pub degraded_mode: bool,
     /// Switch-core cost per forwarded frame before the crash (zero-copy).
     pub native_ns_per_pkt: f64,
@@ -1193,6 +1197,10 @@ pub struct FaultsReport {
     pub probe_delivered: u64,
     /// Did forwarding fully resume after the last fault cleared?
     pub forwarding_resumed: bool,
+    /// Planned (hitless) daemon restarts completed via snapshot/restore.
+    pub graceful_restarts: u64,
+    /// Controller reconnects after the scheduled outage.
+    pub controller_reconnects: u64,
 }
 
 /// Fault-injection soak over the two-host NSX deployment (§6): VM0 on
@@ -1201,11 +1209,13 @@ pub struct FaultsReport {
 /// a datapath panic under supervision, an XDP native-attach rejection
 /// spanning the restart (so the rebuilt port degrades to copy mode), a
 /// lost tx kick on the sender's uplink, a vhostuser disconnect/reconnect
-/// on the receiving VIF, umem exhaustion on the receiver's uplink, and a
-/// carrier flap on the wire. The invariant under test: every offered
-/// frame is either delivered or counted by a specific drop counter —
-/// faults may lose packets, but never silently — and forwarding resumes
-/// once the schedule clears.
+/// on the receiving VIF, umem exhaustion on the receiver's uplink, a
+/// carrier flap on the wire, a planned daemon restart (hitless:
+/// snapshot, rebuild, flow-restore-wait), and a controller outage ridden
+/// in `secure` fail mode. The invariant under test: every offered frame
+/// is either delivered or counted by a specific drop counter — faults
+/// may lose packets, but never silently — and forwarding resumes once
+/// the schedule clears.
 pub fn run_faults(seed: u64) -> FaultsReport {
     use ovs_nsx::ruleset::{self as nsx_ruleset, NsxConfig};
     use ovs_nsx::topology::{DatapathKind, Host, HostConfig, VmAttachment};
@@ -1236,8 +1246,11 @@ pub fn run_faults(seed: u64) -> FaultsReport {
     h2.peer([172, 16, 0, 1], h1.uplink_mac());
 
     // Supervise the sender's datapath: 2 ms initial backoff so the
-    // restart lands well inside the soak horizon.
+    // restart lands well inside the soak horizon. The sender also holds
+    // a controller session in `secure` fail mode for the scheduled
+    // controller outage.
     h1.enable_supervision(2_000_000, 8);
+    h1.connect_controller(ovs_core::FailMode::Secure);
 
     // --- The seeded schedule: six classes across the two hosts. -------
     const HORIZON_NS: u64 = 20_000_000; // 20 ms of virtual time
@@ -1286,6 +1299,18 @@ pub fn run_faults(seed: u64) -> FaultsReport {
             0,
             jitter(1_200_000),
         );
+    // The two control-plane classes land after the crash has recovered:
+    // a planned daemon restart (snapshot + flow-restore-wait) and a
+    // controller outage window near the end of the horizon.
+    let h1_plan = h1_plan
+        .event(jitter(13_000_000), FaultKind::DaemonRestart, 0, 0, 0)
+        .event(
+            jitter(16_500_000),
+            FaultKind::ControllerDisconnect,
+            0,
+            0,
+            jitter(1_200_000),
+        );
     h1.kernel.sim.faults.arm(h1_plan);
     h2.kernel.sim.faults.arm(h2_plan);
 
@@ -1325,7 +1350,8 @@ pub fn run_faults(seed: u64) -> FaultsReport {
     const WARMUP_ROUNDS: u32 = 10;
     let mut offered = 0u64;
     let mut native = (0.0f64, 0u64); // (core ns, frames out) pre-crash, warm
-    let mut degraded = (0.0f64, 0u64); // post-restart, warm
+    let mut degraded = (0.0f64, 0u64); // post-restart, warm, copy mode
+    let mut degraded_seen = false;
     let mut rounds_up = 0u32; // rounds since the current datapath came up
     let mut last_busy = h1.kernel.sim.cpus.core(core).total_ns();
     let rounds = (HORIZON_NS / ROUND_NS) as usize;
@@ -1342,6 +1368,16 @@ pub fn run_faults(seed: u64) -> FaultsReport {
             .map(|h| !h.crashes.is_empty())
             .unwrap_or(false);
         let restarted = h1.health.as_ref().map(|h| h.restarts > 0).unwrap_or(false);
+        let uplink_degraded = h1
+            .dp
+            .as_ref()
+            .and_then(|dp| dp.port(h1.ports.uplink))
+            .map(|p| match &p.ty {
+                PortType::Afxdp(a) => a.degraded,
+                _ => false,
+            })
+            .unwrap_or(false);
+        degraded_seen |= uplink_degraded;
         if h1.dp.is_none() {
             rounds_up = 0;
         } else {
@@ -1351,7 +1387,7 @@ pub fn run_faults(seed: u64) -> FaultsReport {
             if !crashed {
                 native.0 += busy - last_busy;
                 native.1 += wire1 as u64;
-            } else if restarted {
+            } else if restarted && uplink_degraded {
                 degraded.0 += busy - last_busy;
                 degraded.1 += wire1 as u64;
             }
@@ -1407,15 +1443,7 @@ pub fn run_faults(seed: u64) -> FaultsReport {
             )
         })
         .collect();
-    let degraded_mode = h1
-        .dp
-        .as_ref()
-        .and_then(|dp| dp.port(h1.ports.uplink))
-        .map(|p| match &p.ty {
-            PortType::Afxdp(a) => a.degraded,
-            _ => false,
-        })
-        .unwrap_or(false);
+    let degraded_mode = degraded_seen;
     let per_pkt = |(ns, frames): (f64, u64)| if frames > 0 { ns / frames as f64 } else { 0.0 };
     FaultsReport {
         seed,
@@ -1434,6 +1462,463 @@ pub fn run_faults(seed: u64) -> FaultsReport {
         drops_by_counter,
         probe_sent: PROBE,
         probe_delivered,
+        forwarding_resumed: probe_delivered == PROBE,
+        graceful_restarts: health.graceful_restarts,
+        controller_reconnects: h1.controller.as_ref().map(|c| c.reconnects).unwrap_or(0),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Hitless-restart soak (flow-restore-wait)
+// ----------------------------------------------------------------------
+
+/// Outcome of a [`run_restart`] soak.
+#[derive(Debug)]
+pub struct RestartReport {
+    /// The schedule seed (same seed ⇒ byte-identical report).
+    pub seed: u64,
+    /// Soak round the planned restart fired in (`None` = control run).
+    pub restart_round: Option<usize>,
+    /// Frames offered by the sending VM (soak traffic + final probe).
+    pub frames_offered: u64,
+    /// Frames the remote sink VM consumed.
+    pub delivered: u64,
+    /// Frames absorbed by [`DROP_COUNTERS`].
+    pub counted_drops: u64,
+    /// `offered - delivered - counted_drops`; must be zero.
+    pub unaccounted: i64,
+    /// Planned restarts completed via snapshot/restore.
+    pub graceful_restarts: u64,
+    /// Crash-path restarts (must stay zero: the restart was planned).
+    pub crash_restarts: u64,
+    /// Megaflows carried across the restart in the snapshot.
+    pub restored_flows: u64,
+    /// Conntrack entries carried across the restart.
+    pub restored_conns: u64,
+    /// Misses dropped by the `flow-restore-wait` gate.
+    pub gated_upcalls: u64,
+    /// Packets forwarded *from restored megaflows* while upcalls were
+    /// gated — the hitless-restart payoff; must be positive.
+    pub gated_forwarded: u64,
+    /// Restored flows re-adopted by reconciliation (translation still
+    /// agrees; stats pushback resumed).
+    pub adopted: u64,
+    /// Restored flows orphaned (no live rule produces them) and deleted.
+    pub orphaned: u64,
+    /// Fault injection → gate lifted and every restored flow reconciled,
+    /// in virtual milliseconds.
+    pub reconvergence_ms: f64,
+    /// Probe frames sent after the drain.
+    pub probe_sent: u64,
+    /// Probe frames the sink consumed.
+    pub probe_delivered: u64,
+    /// Did forwarding fully resume?
+    pub forwarding_resumed: bool,
+}
+
+/// Restart soak over the two-host NSX deployment: VM0 on host 1 streams
+/// one-way UDP to a sink on host 2; at `restart_round` a planned
+/// `daemon-restart` fault fires, and the supervisor snapshots the
+/// datapath (megaflows + ukeys + conntrack), tears it down, rebuilds it
+/// from the blueprint, and restores the snapshot under
+/// `flow-restore-wait`. While the gate holds, traffic keeps forwarding
+/// from the restored megaflows with upcalls dropped into a named
+/// counter; once it lifts, the revalidator reconciles every restored
+/// flow against the rebuilt rule table. Invariants: the PR 4 ledger
+/// (`offered == delivered + Σ drops`) holds through the restart window,
+/// packets were forwarded from restored flows while gated, and nothing
+/// takes the crash path.
+///
+/// `restart_round: None` runs the identical schedule with no restart —
+/// the control run the parity test compares against.
+pub fn run_restart_at(seed: u64, restart_round: Option<usize>) -> RestartReport {
+    use ovs_nsx::ruleset::{self as nsx_ruleset, NsxConfig};
+    use ovs_nsx::topology::{DatapathKind, Host, HostConfig, VmAttachment};
+    use ovs_sim::FaultKind;
+
+    ovs_obs::coverage::reset();
+
+    let dpk = DatapathKind::UserspaceAfxdp {
+        opt: OptLevel::O5,
+        interrupt_mode: false,
+    };
+    let small = |id: u8| NsxConfig {
+        vms: 2,
+        tunnels: 4,
+        target_rules: 800,
+        local_vtep: [172, 16, 0, id],
+        remote_vtep: [172, 16, 0, 3 - id],
+        ..NsxConfig::default()
+    };
+    let mut cfg1 = HostConfig::nsx_default(1, dpk, VmAttachment::VhostUser);
+    cfg1.nsx = small(1);
+    let mut cfg2 = HostConfig::nsx_default(2, dpk, VmAttachment::VhostUser);
+    cfg2.nsx = small(2);
+    cfg2.guest_role = GuestRole::Sink;
+    let mut h1 = Host::build(&cfg1);
+    let mut h2 = Host::build(&cfg2);
+    h1.peer([172, 16, 0, 2], h2.uplink_mac());
+    h2.peer([172, 16, 0, 1], h1.uplink_mac());
+
+    // Supervised with a tight restart policy: 0.5 ms rebuild window,
+    // 2 ms flow-restore-wait gate, so reconvergence completes well
+    // inside the soak horizon.
+    h1.enable_supervision(2_000_000, 8);
+    h1.health
+        .as_mut()
+        .unwrap()
+        .set_restart_policy(500_000, 2_000_000);
+
+    const HORIZON_NS: u64 = 20_000_000;
+    const ROUND_NS: u64 = 100_000;
+    let rounds = (HORIZON_NS / ROUND_NS) as usize;
+    let sender = h1.guest_of_vif[0];
+    let sink_guest = h2.guest_of_vif[0];
+    let frame = || {
+        ovs_packet::builder::udp_ipv4_frame(
+            nsx_ruleset::vm_mac(1, 0, 0),
+            nsx_ruleset::vm_mac(2, 0, 0),
+            nsx_ruleset::vm_ip(1, 0, 0),
+            nsx_ruleset::vm_ip(2, 0, 0),
+            3333,
+            4444,
+            200,
+        )
+    };
+    fn shuttle(h1: &mut Host, h2: &mut Host) -> usize {
+        let moved = h1.pump() + h2.pump();
+        for f in h1.wire_take() {
+            h2.wire_inject(f);
+        }
+        for f in h2.wire_take() {
+            h1.wire_inject(f);
+        }
+        moved + h1.pump() + h2.pump()
+    }
+
+    let mut offered = 0u64;
+    let mut restart_at_ns: Option<u64> = None;
+    let mut reconverged_ns: Option<u64> = None;
+    for round in 0..rounds {
+        if Some(round) == restart_round {
+            h1.kernel.inject_fault(FaultKind::DaemonRestart, 0, 0, 0);
+            restart_at_ns = Some(h1.kernel.sim.clock.now_ns());
+        }
+        for _ in 0..4 {
+            h1.kernel.guests[sender].tx_ring.push_back(frame());
+            offered += 1;
+        }
+        shuttle(&mut h1, &mut h2);
+        // The revalidator rides its usual cadence: every 10 rounds
+        // (1 ms), pushing stats, sweeping lifecycle, and — after a
+        // restore — reconciling restored flows against the rule table.
+        if round.is_multiple_of(10) {
+            h1.revalidate();
+        }
+        // Reconvergence: gate lifted and no restored flow left pending.
+        if reconverged_ns.is_none() && restart_at_ns.is_some() {
+            if let Some(dp) = h1.dp.as_ref() {
+                if !dp.restore.wait
+                    && dp.restore.restored_at_ns > 0
+                    && dp.revalidator.restored_count() == 0
+                {
+                    reconverged_ns = Some(h1.kernel.sim.clock.now_ns());
+                }
+            }
+        }
+        h1.kernel.sim.clock.advance(ROUND_NS);
+        h2.kernel.sim.clock.advance(ROUND_NS);
+    }
+
+    // Drain until quiet, still sweeping the revalidator.
+    for i in 0..256u32 {
+        let moved = shuttle(&mut h1, &mut h2);
+        if i.is_multiple_of(10) {
+            h1.revalidate();
+        }
+        if reconverged_ns.is_none() && restart_at_ns.is_some() {
+            if let Some(dp) = h1.dp.as_ref() {
+                if !dp.restore.wait
+                    && dp.restore.restored_at_ns > 0
+                    && dp.revalidator.restored_count() == 0
+                {
+                    reconverged_ns = Some(h1.kernel.sim.clock.now_ns());
+                }
+            }
+        }
+        h1.kernel.sim.clock.advance(ROUND_NS);
+        h2.kernel.sim.clock.advance(ROUND_NS);
+        if moved == 0
+            && h1.kernel.sim.faults.all_clear()
+            && (reconverged_ns.is_some() || restart_at_ns.is_none())
+        {
+            break;
+        }
+    }
+
+    // Forwarding probe.
+    let sink_before = h2.kernel.guests[sink_guest].rx_count;
+    const PROBE: u64 = 32;
+    for _ in 0..PROBE {
+        h1.kernel.guests[sender].tx_ring.push_back(frame());
+        offered += 1;
+    }
+    for _ in 0..64 {
+        let moved = shuttle(&mut h1, &mut h2);
+        h1.kernel.sim.clock.advance(ROUND_NS);
+        h2.kernel.sim.clock.advance(ROUND_NS);
+        if moved == 0 {
+            break;
+        }
+    }
+    let probe_delivered = h2.kernel.guests[sink_guest].rx_count - sink_before;
+
+    let delivered = h2.kernel.guests[sink_guest].rx_count;
+    let counted_drops: u64 = DROP_COUNTERS
+        .iter()
+        .map(|&n| ovs_obs::coverage::total(n))
+        .sum();
+    let health = h1.health.as_ref().expect("supervised");
+    let dp = h1.dp.as_ref().expect("datapath back up");
+    let grec = health.graceful.last();
+    RestartReport {
+        seed,
+        restart_round,
+        frames_offered: offered,
+        delivered,
+        counted_drops,
+        unaccounted: offered as i64 - delivered as i64 - counted_drops as i64,
+        graceful_restarts: health.graceful_restarts,
+        crash_restarts: health.restarts,
+        restored_flows: grec.map(|g| g.snapshot_flows).unwrap_or(0),
+        restored_conns: grec.map(|g| g.snapshot_conns).unwrap_or(0),
+        gated_upcalls: dp.stats.upcalls_gated,
+        gated_forwarded: dp.restore.gated_forwarded,
+        adopted: dp.stats.restore_adopted,
+        orphaned: dp.stats.restore_orphaned,
+        reconvergence_ms: match (restart_at_ns, reconverged_ns) {
+            (Some(t0), Some(t1)) => (t1 - t0) as f64 / 1e6,
+            _ => 0.0,
+        },
+        probe_sent: PROBE,
+        probe_delivered,
+        forwarding_resumed: probe_delivered == PROBE,
+    }
+}
+
+/// [`run_restart_at`] with the planned restart a third of the way into
+/// the soak (warm caches, live conntrack).
+pub fn run_restart(seed: u64) -> RestartReport {
+    let rounds = (20_000_000u64 / 100_000) as usize;
+    run_restart_at(seed, Some(rounds / 3))
+}
+
+// ----------------------------------------------------------------------
+// Controller-outage goodput (fail-mode ladder under TSE flood)
+// ----------------------------------------------------------------------
+
+/// Outcome of a [`run_outage`] run.
+#[derive(Debug)]
+pub struct OutageReport {
+    /// `"secure"` or `"standalone"`.
+    pub fail_mode: &'static str,
+    /// Legitimate frames offered during the outage window.
+    pub legit_offered: u64,
+    /// Legitimate frames the sink consumed during the outage window.
+    pub legit_delivered: u64,
+    /// TSE flood frames offered during the outage window (each a
+    /// distinct destination MAC: one would-be megaflow per frame).
+    pub flood_offered: u64,
+    /// Switch-core busy time over the outage window, virtual ns.
+    pub outage_core_ns: f64,
+    /// Legit frames delivered per switch-core-second during the outage —
+    /// the number the fail-mode ladder is judged on.
+    pub goodput_per_core_sec: f64,
+    /// Misses dropped by the secure gate during the outage.
+    pub fail_secure_drops: u64,
+    /// Datapath megaflows at the end of the window (standalone shows the
+    /// tuple-space explosion; secure stays flat).
+    pub megaflows_after: u64,
+    /// Controller reconnects after the window cleared.
+    pub reconnects: u64,
+    /// Did forwarding fully resume under controller policy afterwards?
+    pub forwarding_resumed: bool,
+}
+
+/// Controller-outage goodput run: VM0 on host 1 streams legitimate UDP
+/// to the sink on host 2 while the controller session is down and a
+/// tuple-space-explosion flood (every frame a fresh destination MAC)
+/// arrives from a second local VM. In `standalone` the fallback L2
+/// tables answer every flood miss with a translate-and-install — the
+/// classic TSE feast — while `secure` drops each miss at the gate for
+/// the cost of a cache lookup. Goodput is legit frames delivered per
+/// switch-core-second over the outage window; the robustness acceptance
+/// bar is secure ≥ 2× standalone.
+pub fn run_outage(fail_mode: ovs_core::FailMode) -> OutageReport {
+    use ovs_nsx::ruleset::{self as nsx_ruleset, NsxConfig};
+    use ovs_nsx::topology::{DatapathKind, Host, HostConfig, VmAttachment};
+    use ovs_sim::FaultKind;
+
+    ovs_obs::coverage::reset();
+
+    let dpk = DatapathKind::UserspaceAfxdp {
+        opt: OptLevel::O5,
+        interrupt_mode: false,
+    };
+    let small = |id: u8| NsxConfig {
+        vms: 2,
+        tunnels: 4,
+        target_rules: 800,
+        local_vtep: [172, 16, 0, id],
+        remote_vtep: [172, 16, 0, 3 - id],
+        ..NsxConfig::default()
+    };
+    let mut cfg1 = HostConfig::nsx_default(1, dpk, VmAttachment::VhostUser);
+    cfg1.nsx = small(1);
+    let mut cfg2 = HostConfig::nsx_default(2, dpk, VmAttachment::VhostUser);
+    cfg2.nsx = small(2);
+    cfg2.guest_role = GuestRole::Sink;
+    let mut h1 = Host::build(&cfg1);
+    let mut h2 = Host::build(&cfg2);
+    h1.peer([172, 16, 0, 2], h2.uplink_mac());
+    h2.peer([172, 16, 0, 1], h1.uplink_mac());
+    h1.connect_controller(fail_mode);
+
+    const ROUND_NS: u64 = 100_000;
+    let sender = h1.guest_of_vif[0];
+    let flooder = h1.guest_of_vif[1];
+    let sink_guest = h2.guest_of_vif[0];
+    let legit = || {
+        ovs_packet::builder::udp_ipv4_frame(
+            nsx_ruleset::vm_mac(1, 0, 0),
+            nsx_ruleset::vm_mac(2, 0, 0),
+            nsx_ruleset::vm_ip(1, 0, 0),
+            nsx_ruleset::vm_ip(2, 0, 0),
+            3333,
+            4444,
+            200,
+        )
+    };
+    // TSE flood: every frame a fresh destination MAC, so each one is a
+    // distinct tuple the fallback tables would install a megaflow for.
+    let flood = |n: u64| {
+        ovs_packet::builder::udp_ipv4_frame(
+            nsx_ruleset::vm_mac(1, 0, 1),
+            MacAddr::new(
+                0xde,
+                0xad,
+                (n >> 24) as u8,
+                (n >> 16) as u8,
+                (n >> 8) as u8,
+                n as u8,
+            ),
+            nsx_ruleset::vm_ip(1, 0, 1),
+            [198, 51, 100, 7],
+            5555,
+            6666,
+            200,
+        )
+    };
+    fn shuttle(h1: &mut Host, h2: &mut Host) -> usize {
+        let moved = h1.pump() + h2.pump();
+        for f in h1.wire_take() {
+            h2.wire_inject(f);
+        }
+        for f in h2.wire_take() {
+            h1.wire_inject(f);
+        }
+        moved + h1.pump() + h2.pump()
+    }
+
+    // Warm-up under controller policy: caches hot, connection committed.
+    for _ in 0..20 {
+        for _ in 0..4 {
+            h1.kernel.guests[sender].tx_ring.push_back(legit());
+        }
+        shuttle(&mut h1, &mut h2);
+        h1.kernel.sim.clock.advance(ROUND_NS);
+        h2.kernel.sim.clock.advance(ROUND_NS);
+    }
+
+    // The outage window: 8 ms of controller silence under flood.
+    const OUTAGE_NS: u64 = 8_000_000;
+    let outage_rounds = (OUTAGE_NS / ROUND_NS) as usize;
+    h1.kernel
+        .inject_fault(FaultKind::ControllerDisconnect, 0, 0, OUTAGE_NS);
+    let core = h1.switch_core;
+    let busy0 = h1.kernel.sim.cpus.core(core).total_ns();
+    let sink0 = h2.kernel.guests[sink_guest].rx_count;
+    let mut legit_offered = 0u64;
+    let mut flood_offered = 0u64;
+    for _ in 0..outage_rounds {
+        for _ in 0..4 {
+            h1.kernel.guests[sender].tx_ring.push_back(legit());
+            legit_offered += 1;
+        }
+        for _ in 0..16 {
+            h1.kernel.guests[flooder]
+                .tx_ring
+                .push_back(flood(flood_offered));
+            flood_offered += 1;
+        }
+        shuttle(&mut h1, &mut h2);
+        h1.kernel.sim.clock.advance(ROUND_NS);
+        h2.kernel.sim.clock.advance(ROUND_NS);
+    }
+    let outage_core_ns = h1.kernel.sim.cpus.core(core).total_ns() - busy0;
+    let legit_delivered = h2.kernel.guests[sink_guest].rx_count - sink0;
+    let megaflows_after = h1
+        .dp
+        .as_ref()
+        .map(|dp| dp.stats.flows_installed - dp.stats.flows_deleted)
+        .unwrap_or(0);
+
+    // Clear the window, reconnect, drain.
+    for _ in 0..256 {
+        let moved = shuttle(&mut h1, &mut h2);
+        h1.kernel.sim.clock.advance(ROUND_NS);
+        h2.kernel.sim.clock.advance(ROUND_NS);
+        let reconnected = h1
+            .controller
+            .as_ref()
+            .map(|c| c.is_connected())
+            .unwrap_or(true);
+        if moved == 0 && h1.kernel.sim.faults.all_clear() && reconnected {
+            break;
+        }
+    }
+
+    // Forwarding probe under restored controller policy.
+    let sink_before = h2.kernel.guests[sink_guest].rx_count;
+    const PROBE: u64 = 32;
+    for _ in 0..PROBE {
+        h1.kernel.guests[sender].tx_ring.push_back(legit());
+    }
+    for _ in 0..64 {
+        let moved = shuttle(&mut h1, &mut h2);
+        h1.kernel.sim.clock.advance(ROUND_NS);
+        h2.kernel.sim.clock.advance(ROUND_NS);
+        if moved == 0 {
+            break;
+        }
+    }
+    let probe_delivered = h2.kernel.guests[sink_guest].rx_count - sink_before;
+
+    let goodput = if outage_core_ns > 0.0 {
+        legit_delivered as f64 / (outage_core_ns / 1e9)
+    } else {
+        0.0
+    };
+    OutageReport {
+        fail_mode: fail_mode.label(),
+        legit_offered,
+        legit_delivered,
+        flood_offered,
+        outage_core_ns,
+        goodput_per_core_sec: goodput,
+        fail_secure_drops: ovs_obs::coverage::total("fail_secure_drop"),
+        megaflows_after,
+        reconnects: h1.controller.as_ref().map(|c| c.reconnects).unwrap_or(0),
         forwarding_resumed: probe_delivered == PROBE,
     }
 }
@@ -1478,6 +1963,10 @@ mod tests {
         );
         assert_eq!(r.crashes, 1, "the scheduled panic fired: {r:#?}");
         assert_eq!(r.restarts, 1, "the supervisor restarted: {r:#?}");
+        assert_eq!(
+            r.graceful_restarts, 1,
+            "the planned restart was hitless: {r:#?}"
+        );
         assert!(r.degraded_mode, "rebuilt uplink degraded to copy mode");
         assert!(
             r.forwarding_resumed,
@@ -1488,6 +1977,52 @@ mod tests {
                 assert!(*n > 0, "class {label} never injected: {r:#?}");
             }
         }
+    }
+
+    #[test]
+    fn restart_soak_is_hitless_and_accounted() {
+        let r = run_restart(0xBEEF);
+        println!("{r:#?}");
+        assert_eq!(r.unaccounted, 0, "zero unaccounted loss: {r:#?}");
+        assert_eq!(r.graceful_restarts, 1, "{r:#?}");
+        assert_eq!(r.crash_restarts, 0, "planned restart, not a crash: {r:#?}");
+        assert!(r.restored_flows > 0, "{r:#?}");
+        assert!(
+            r.gated_forwarded > 0,
+            "restored megaflows forwarded during the gate: {r:#?}"
+        );
+        assert_eq!(
+            r.adopted + r.orphaned,
+            r.restored_flows,
+            "every restored flow reconciled: {r:#?}"
+        );
+        assert!(r.reconvergence_ms > 0.0, "{r:#?}");
+        assert!(r.forwarding_resumed, "{r:#?}");
+    }
+
+    #[test]
+    fn outage_secure_beats_standalone_goodput() {
+        let sec = run_outage(ovs_core::FailMode::Secure);
+        let sta = run_outage(ovs_core::FailMode::Standalone);
+        println!("secure     {sec:#?}\nstandalone {sta:#?}");
+        assert!(
+            sec.fail_secure_drops > 0,
+            "the gate took the flood: {sec:#?}"
+        );
+        assert!(sec.forwarding_resumed, "{sec:#?}");
+        assert!(sta.forwarding_resumed, "{sta:#?}");
+        assert!(
+            sta.megaflows_after > sec.megaflows_after,
+            "standalone shows the TSE explosion: {} vs {}",
+            sta.megaflows_after,
+            sec.megaflows_after
+        );
+        assert!(
+            sec.goodput_per_core_sec >= 2.0 * sta.goodput_per_core_sec,
+            "secure {:.0}/core-s must be >= 2x standalone {:.0}/core-s",
+            sec.goodput_per_core_sec,
+            sta.goodput_per_core_sec
+        );
     }
 
     #[test]

@@ -68,6 +68,7 @@ netdev@ovs-netdev:
   stats pushed  : 0 packets, 0 bytes
   limit hits    : 0
   queue full    : 0
+  restore       : 0 pending, 0 adopted, 0 orphaned, 0 gated
 ";
 const GOLDEN_WAIT_1: &str = "revalidation complete: 5 flows dumped, \
 0 deleted (0 idle, 0 hard, 0 changed, 0 evicted), \
@@ -91,6 +92,7 @@ netdev@ovs-netdev:
   stats pushed  : 73 packets, 14600 bytes
   limit hits    : 0
   queue full    : 0
+  restore       : 0 pending, 0 adopted, 0 orphaned, 0 gated
 ";
 
 #[test]

@@ -8,7 +8,7 @@
 //! Flags: --fig1 --table1 --fig2 --table2 --table3 --fig8a --fig8b
 //!        --fig8c --fig9 --table4 --fig10 --fig11 --table5 --fig12
 //!        --scaling --ablation --churn --fastpath --faults --latency
-//!        --conntrack --restart
+//!        --conntrack --restart --chains
 
 use ovs_afxdp::OptLevel;
 use ovs_bench::fig1;
@@ -103,6 +103,192 @@ fn main() {
     if want("--restart") {
         restart();
     }
+    if want("--chains") {
+        chains();
+    }
+}
+
+fn chains() {
+    section("Extension — ovs-nfv: per-tenant NF service chains on the PMD scheduler");
+    // NF worker panics are caught at the manager's unwind boundary; keep
+    // their backtraces out of the report (anything else still prints).
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let simulated = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.contains("simulated datapath bug"))
+            .unwrap_or(false);
+        if !simulated {
+            default_hook(info);
+        }
+    }));
+    const SEED: u64 = 0x5EED;
+
+    // Tenant-scaling sweep: the same soak at 64/256/1024 tenants. The
+    // accounting contract must hold at every scale; the largest run is
+    // the headline report.
+    let scales = [64usize, 256, 1024];
+    let reports: Vec<scenarios::ChainsReport> = scales
+        .iter()
+        .map(|&t| scenarios::run_chains(t, SEED))
+        .collect();
+    let r = reports.last().expect("at least one scale");
+
+    println!("  schedule seed                {:>#10x}", r.seed);
+    println!("  tenant scaling:");
+    println!("    tenants   nf-units    offered  delivered    drops  unacct  pool-reuse");
+    for rep in &reports {
+        println!(
+            "    {:>7}   {:>8}   {:>8}  {:>9}  {:>7}  {:>6}  {:>10}",
+            rep.tenants,
+            rep.nf_instances,
+            rep.frames_offered,
+            rep.delivered,
+            rep.counted_drops,
+            rep.unaccounted,
+            rep.pool_reuses,
+        );
+    }
+    println!(
+        "  NF crashes / restarts        {:>10}   (crash batch loss {} frames)",
+        format!("{}/{}", r.nf_crashes, r.nf_restarts),
+        r.crash_drops
+    );
+    println!(
+        "  verdict / ring-full / f-closed {:>8}   ({} / {} / {})",
+        "", r.verdict_drops, r.ring_full_drops, r.fail_closed_drops
+    );
+    println!("  LB steered off default path  {:>10}", r.steered);
+    println!("  per-frame cost by chain length:");
+    for (len, ns) in &r.chain_ns_per_pkt {
+        println!(
+            "    {len} NF{}  {ns:>10.1} ns/pkt",
+            if *len == 1 { " " } else { "s" }
+        );
+    }
+    println!(
+        "  auto-lb variance improvement {:>9}%   ({} rebalance applied)",
+        r.lb_improvement_pct, r.lb_rebalances
+    );
+    println!(
+        "  busiest PMD ns/pkt           {:>10}   (skewed {:.0} -> rebalanced {:.0})",
+        "", r.bottleneck_before_ns_per_pkt, r.bottleneck_after_ns_per_pkt
+    );
+    println!(
+        "  forwarding resumed           {:>10}   (probe {}/{})",
+        if r.forwarding_resumed { "yes" } else { "NO" },
+        r.probe_delivered,
+        r.probe_sent
+    );
+    println!("  drops by counter:");
+    for (name, n) in &r.drops_by_counter {
+        if *n > 0 {
+            println!("    {name:<26} {n:>8}");
+        }
+    }
+
+    // Machine-readable results for CI (hand-rolled JSON; deterministic
+    // for a given seed, so CI can diff runs byte-for-byte).
+    let mut json = format!(
+        "{{\n  \"bench\": \"chains\",\n  \"seed\": {},\n  \"tenants\": {},\n  \
+         \"nf_instances\": {},\n  \"frames_offered\": {},\n  \"delivered\": {},\n  \
+         \"counted_drops\": {},\n  \"unaccounted\": {},\n  \"nf_crashes\": {},\n  \
+         \"nf_restarts\": {},\n  \"crash_drops\": {},\n  \"verdict_drops\": {},\n  \
+         \"ring_full_drops\": {},\n  \"fail_closed_drops\": {},\n  \"steered\": {},\n  \
+         \"pool_reuses\": {},\n  \"lb_improvement_pct\": {},\n  \"lb_rebalances\": {},\n  \
+         \"probe_sent\": {},\n  \"probe_delivered\": {},\n  \"forwarding_resumed\": {},\n",
+        r.seed,
+        r.tenants,
+        r.nf_instances,
+        r.frames_offered,
+        r.delivered,
+        r.counted_drops,
+        r.unaccounted,
+        r.nf_crashes,
+        r.nf_restarts,
+        r.crash_drops,
+        r.verdict_drops,
+        r.ring_full_drops,
+        r.fail_closed_drops,
+        r.steered,
+        r.pool_reuses,
+        r.lb_improvement_pct,
+        r.lb_rebalances,
+        r.probe_sent,
+        r.probe_delivered,
+        r.forwarding_resumed,
+    );
+    json.push_str("  \"chain_ns_per_pkt\": {\n");
+    for (i, (len, ns)) in r.chain_ns_per_pkt.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{len}\": {ns:.1}{}\n",
+            if i + 1 == r.chain_ns_per_pkt.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    json.push_str("  },\n  \"tenant_scaling\": [\n");
+    for (i, rep) in reports.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"tenants\": {}, \"nf_instances\": {}, \"offered\": {}, \
+             \"delivered\": {}, \"counted_drops\": {}, \"unaccounted\": {} }}{}\n",
+            rep.tenants,
+            rep.nf_instances,
+            rep.frames_offered,
+            rep.delivered,
+            rep.counted_drops,
+            rep.unaccounted,
+            if i + 1 == reports.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n  \"drops_by_counter\": {\n");
+    for (i, (label, n)) in r.drops_by_counter.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{label}\": {n}{}\n",
+            if i + 1 == r.drops_by_counter.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_chains.json", &json).expect("write BENCH_chains.json");
+    println!("  wrote BENCH_chains.json");
+
+    for rep in &reports {
+        assert_eq!(
+            rep.unaccounted, 0,
+            "chains soak at {} tenants lost packets without counting them",
+            rep.tenants
+        );
+    }
+    assert!(
+        r.tenants >= 1000,
+        "headline run must sustain >= 1000 tenants"
+    );
+    assert!(
+        r.nf_crashes >= 2 && r.nf_restarts >= 2,
+        "scheduled NF panics must crash and recover within budget"
+    );
+    for w in r.chain_ns_per_pkt.windows(2) {
+        assert!(
+            w[1].1 > w[0].1,
+            "per-frame cost must rise monotonically with chain length: {:?}",
+            r.chain_ns_per_pkt
+        );
+    }
+    assert!(
+        r.lb_improvement_pct >= 25 && r.lb_rebalances >= 1,
+        "auto-lb must clear its improvement threshold on the skewed load"
+    );
+    assert!(
+        r.forwarding_resumed,
+        "forwarding must fully resume after the NF fault schedule clears"
+    );
 }
 
 fn restart() {

@@ -41,6 +41,9 @@ pub const COMMANDS: &[&str] = &[
     "flow-restore/complete",
     "fail-mode/show",
     "fail-mode/set",
+    "nfv/show",
+    "nfv/chain-show",
+    "nfv/stats",
     "ofproto/trace",
     "upcall/show",
     "revalidator/wait",
@@ -138,6 +141,24 @@ pub fn dispatch_ctl(
             Some(p) => Ok(p.pmd_auto_lb_show()),
             None => Err(NO_PMDS.to_string()),
         },
+        // `nfv/chain-show <tenant>` wants the scheduler (to render which
+        // PMD polls each NF), but degrades to "unassigned" without one.
+        "nfv/chain-show" => {
+            let usage = "usage: nfv/chain-show <tenant>";
+            let [tenant] = args else {
+                return Err(usage.to_string());
+            };
+            let tenant: u32 = tenant.parse().map_err(|_| usage.to_string())?;
+            let pmds = pmds.as_deref();
+            Ok(dpif.nfv.chain_show(tenant, &|nf| {
+                pmds.and_then(|p| {
+                    p.core_of(crate::pmd::RxqId::new(
+                        crate::dpif::NF_WORK_PORT,
+                        nf as usize,
+                    ))
+                })
+            }))
+        }
         _ => dispatch_inner(dpif, kernel, health, cmd, args),
     }
 }
@@ -276,6 +297,10 @@ fn dispatch_inner(
             ["system", ..] => Ok(kernel.ovs.dump_flows(kernel.sim.clock.now_ns())),
             _ => Ok(dpif.dump_flows(kernel.sim.clock.now_ns())),
         },
+        // The NF manager surfaces (ovs-nfv): per-NF state and counters,
+        // and subsystem totals with the mempool reuse stats.
+        "nfv/show" => Ok(dpif.nfv.show()),
+        "nfv/stats" => Ok(dpif.nfv.stats_show()),
         // Flow counts against the dynamic flow limit, dump duration, and
         // sweep totals — `ovs-appctl upcall/show`.
         "upcall/show" => Ok(dpif.upcall_show()),

@@ -138,6 +138,13 @@ impl MiniflowStats {
 /// A datapath port number.
 pub type PortNo = u32;
 
+/// Sentinel "port" under which NF instances are scheduled on the PMD
+/// scheduler: `RxqId::new(NF_WORK_PORT, nf_id)` makes each NF an
+/// assignable, cycle-measured unit exactly like an rx queue, so
+/// pmd-auto-lb rebalances hot NFs across cores with no scheduler
+/// changes. `pmd_poll` dispatches it to [`DpifNetdev::nf_poll`].
+pub const NF_WORK_PORT: PortNo = PortNo::MAX;
+
 /// Maximum recirculations per packet.
 const MAX_RECIRC: usize = 8;
 
@@ -198,6 +205,9 @@ pub enum DpAction {
     },
     Recirc(u32),
     Meter(u32),
+    /// Hand the packet to the NF service chain `chain_id` (ovs-nfv).
+    /// Terminal: the chain's verdicts decide where the packet goes next.
+    NfChain(u32),
 }
 
 /// The I/O backend behind a datapath port.
@@ -308,6 +318,16 @@ pub struct DpifStats {
     /// Restored megaflows whose re-translation no longer matches the
     /// repopulated rule table — deleted as orphans.
     pub restore_orphaned: u64,
+    /// Packets dropped because an NF's SPSC ring was full at enqueue
+    /// time (explicit backpressure, never silent).
+    pub nf_ring_full: u64,
+    /// Packets dropped by an NF's verdict (firewall deny, DPI match).
+    pub nf_verdict_drops: u64,
+    /// Packets lost in-flight when an NF invocation panicked.
+    pub nf_crash_drops: u64,
+    /// Packets refused by a dead NF under a fail-closed chain policy
+    /// (also counts packets steered at a nonexistent chain id).
+    pub nf_fail_closed_drops: u64,
 }
 
 impl DpifStats {
@@ -365,7 +385,11 @@ macro_rules! dpif_stats_fields {
             upcalls_gated,
             fail_secure_drop,
             restore_adopted,
-            restore_orphaned
+            restore_orphaned,
+            nf_ring_full,
+            nf_verdict_drops,
+            nf_crash_drops,
+            nf_fail_closed_drops
         )
     };
 }
@@ -438,6 +462,10 @@ pub struct DpifNetdev {
     /// drop with the named `fail_secure_drop` verdict instead of being
     /// translated against a table the controller no longer owns.
     pub fail_secure: bool,
+    /// The NF manager (ovs-nfv): per-tenant service chains reached via
+    /// `DpAction::NfChain`. Empty by default — costs nothing until a
+    /// chain is added.
+    pub nfv: ovs_nfv::NfManager,
 }
 
 impl Default for DpifNetdev {
@@ -468,6 +496,7 @@ impl DpifNetdev {
             revalidator: Revalidator::new(),
             restore: RestoreState::default(),
             fail_secure: false,
+            nfv: ovs_nfv::NfManager::new(),
         }
     }
 
@@ -1417,6 +1446,9 @@ megaflows installed: {}
         queue: usize,
         core: usize,
     ) -> usize {
+        if port == NF_WORK_PORT {
+            return self.nf_poll(kernel, queue as u32, core);
+        }
         // Stamp rx at poll entry so the rx burst cost itself counts
         // toward every received packet's latency.
         self.maybe_complete_restore(kernel.sim.clock.now_ns());
@@ -1431,6 +1463,83 @@ megaflows installed: {}
         }
         self.process_burst_timed(kernel, pkts, core, &mut timer);
         self.latency.commit_burst(&timer);
+        self.perf.entry(core).or_default().commit(&timer, n as u64);
+        debug_assert!(
+            self.stats.coherent(),
+            "dpif stats drifted: {:?}",
+            self.stats
+        );
+        n
+    }
+
+    /// One PMD iteration over one NF instance (scheduled under
+    /// [`NF_WORK_PORT`]): pop a batch off the NF's ring, run it under the
+    /// manager's panic boundary, route the verdicts, and flush chain
+    /// exits as a real tx burst. Returns packets processed, so the
+    /// scheduler's cycle accounting sees NF work exactly like rxq work.
+    pub fn nf_poll(&mut self, kernel: &mut Kernel, nf_id: u32, core: usize) -> usize {
+        use ovs_sim::faults::FaultKind;
+        if self.nfv.nf(nf_id).is_none() {
+            return 0;
+        }
+        let mut timer = StageTimer::new(core_ns(kernel, core));
+        let now_ns = kernel.sim.clock.now_ns();
+        // A fault armed against this NF makes this invocation panic
+        // inside the manager's catch_unwind; consuming it here keeps the
+        // crash attributable to exactly the targeted NF.
+        let force_panic = kernel.sim.faults.take_for(FaultKind::NfPanic, nf_id);
+        let out = self
+            .nfv
+            .poll_nf(nf_id, ovs_ring::BATCH_SIZE, now_ns, force_panic);
+        if out.restarted {
+            coverage!("nf_restart");
+        }
+        if out.crashed {
+            coverage!("nf_crash");
+        }
+        let n = out.processed;
+        if n > 0 {
+            // Ring dequeue crossing plus the invocation itself; exits pay
+            // their copy back out of the mempool below.
+            let c = (kernel.sim.costs.nf_ring_ns + kernel.sim.costs.nf_exec_ns) * n as f64;
+            kernel.sim.charge(core, Context::User, c);
+        }
+        self.stats.nf_verdict_drops += out.verdict_drops;
+        self.stats.nf_ring_full += out.ring_full;
+        self.stats.nf_fail_closed_drops += out.fail_closed;
+        self.stats.nf_crash_drops += out.crash_drops;
+        self.stats.dropped += out.verdict_drops + out.ring_full + out.fail_closed + out.crash_drops;
+        if out.verdict_drops > 0 {
+            coverage!("nf_verdict_drop", out.verdict_drops);
+        }
+        if out.ring_full > 0 {
+            coverage!("nf_ring_full", out.ring_full);
+        }
+        if out.fail_closed > 0 {
+            coverage!("nf_fail_closed", out.fail_closed);
+        }
+        if out.crash_drops > 0 {
+            coverage!("nf_crash_drop", out.crash_drops);
+        }
+        timer.mark(Stage::NfExec, core_ns(kernel, core));
+        if !out.exits.is_empty() {
+            let mut tx = TxAccum::default();
+            let now = pmd_now_ns(kernel, core);
+            for (mut pkt, port) in out.exits {
+                // Cross-core handoff: the rx stamp lives in the rx
+                // core's virtual-time domain, which is not ordered
+                // against this core's. Clamp it so the recorded latency
+                // stays non-negative in the consumer's domain.
+                if let Some(ts) = pkt.rx_ts {
+                    pkt.rx_ts = Some(ts.min(now));
+                }
+                let c = kernel.sim.costs.copy_ns(pkt.len());
+                kernel.sim.charge(core, Context::User, c);
+                self.port_send(kernel, port, pkt, core, &mut tx);
+            }
+            timer.mark(Stage::NfExec, core_ns(kernel, core));
+            self.flush_tx(kernel, tx, core, &mut timer);
+        }
         self.perf.entry(core).or_default().commit(&timer, n as u64);
         debug_assert!(
             self.stats.coherent(),
@@ -2225,6 +2334,64 @@ megaflows installed: {}
                         return None;
                     }
                 }
+                DpAction::NfChain(chain_id) => {
+                    // Terminal: the packet leaves the classification
+                    // pipeline and enters the NF subsystem. One ring
+                    // enqueue plus the copy into the manager's mempool.
+                    timer.mark(Stage::Actions, core_ns(kernel, core));
+                    let c = kernel.sim.costs.nf_ring_ns + kernel.sim.costs.copy_ns(pkt.len());
+                    kernel.sim.charge(core, Context::User, c);
+                    match self.nfv.ingress(*chain_id, &pkt) {
+                        ovs_nfv::Ingress::Queued { nf } => {
+                            coverage!("nf_chain_enqueue");
+                            if let Some(t) = self.trace.as_mut() {
+                                t.note(format!("nf_chain({chain_id}): queued on nf {nf}"));
+                            }
+                        }
+                        ovs_nfv::Ingress::Exit { pkt: out, port } => {
+                            // Every NF bypassed (or empty chain): the
+                            // chain degenerates to an output.
+                            timer.mark(Stage::NfExec, core_ns(kernel, core));
+                            if let Some(t) = self.trace.as_mut() {
+                                t.note(format!(
+                                    "nf_chain({chain_id}): all NFs bypassed, output:{port}"
+                                ));
+                            }
+                            self.port_send(kernel, port, out, core, tx);
+                            timer.mark(Stage::Tx, core_ns(kernel, core));
+                            return None;
+                        }
+                        ovs_nfv::Ingress::RingFull { nf } => {
+                            self.stats.nf_ring_full += 1;
+                            self.stats.dropped += 1;
+                            coverage!("nf_ring_full");
+                            if let Some(t) = self.trace.as_mut() {
+                                t.note(format!("nf_chain({chain_id}): nf {nf} ring full, drop"));
+                            }
+                        }
+                        ovs_nfv::Ingress::FailClosed { nf } => {
+                            self.stats.nf_fail_closed_drops += 1;
+                            self.stats.dropped += 1;
+                            coverage!("nf_fail_closed");
+                            if let Some(t) = self.trace.as_mut() {
+                                t.note(format!(
+                                    "nf_chain({chain_id}): nf {nf} dead (fail-closed), drop"
+                                ));
+                            }
+                        }
+                        ovs_nfv::Ingress::NoChain => {
+                            // Misconfiguration fails closed, never open.
+                            self.stats.nf_fail_closed_drops += 1;
+                            self.stats.dropped += 1;
+                            coverage!("nf_fail_closed");
+                            if let Some(t) = self.trace.as_mut() {
+                                t.note(format!("nf_chain({chain_id}): no such chain, drop"));
+                            }
+                        }
+                    }
+                    timer.mark(Stage::NfExec, core_ns(kernel, core));
+                    return None;
+                }
             }
         }
         timer.mark(Stage::Actions, core_ns(kernel, core));
@@ -2653,6 +2820,9 @@ impl DpifNetlink {
                 // The kernel module has no meters here; policing is a
                 // userspace feature in this reproduction (§6).
                 DpAction::Meter(_) => KAction::Recirc(0),
+                // NF chains are likewise userspace-only: the kernel
+                // datapath cannot reach the NF manager's rings.
+                DpAction::NfChain(_) => KAction::Recirc(0),
             })
             .collect()
     }

@@ -46,6 +46,7 @@
 //!   `dpif-netdev/pmd-perf-show`, `ofproto/trace`, and friends.
 
 pub use ovs_ct as ct;
+pub use ovs_nfv as nfv;
 
 pub mod appctl;
 pub mod cache;
@@ -66,7 +67,7 @@ pub mod tunnel;
 pub use cache::{Emc, MegaflowCache};
 pub use classifier::{Classifier, Rule};
 pub use controller::{ControllerSession, FailMode};
-pub use dpif::{DpAction, DpifNetdev, DpifNetlink, PortNo, PortType};
+pub use dpif::{DpAction, DpifNetdev, DpifNetlink, PortNo, PortType, NF_WORK_PORT};
 pub use health::{HealthMonitor, HealthState};
 pub use meter::{Meter, MeterSet};
 pub use mirror::MirrorSession;

@@ -210,6 +210,9 @@ fn parse_action(tok: &str) -> Result<OfAction, ParseError> {
     if let Some(v) = tok.strip_prefix("meter:") {
         return Ok(OfAction::Meter(parse_u(v)?));
     }
+    if let Some(v) = tok.strip_prefix("nf_chain:") {
+        return Ok(OfAction::NfChain(parse_u(v)?));
+    }
     if tok == "drop" {
         return Ok(OfAction::Drop);
     }

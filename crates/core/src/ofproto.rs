@@ -50,6 +50,9 @@ pub enum OfAction {
     },
     /// Rate-limit through a meter.
     Meter(u32),
+    /// Hand the packet to NF service chain `chain_id` (ovs-nfv).
+    /// Terminal: the chain's verdicts take over packet fate.
+    NfChain(u32),
     /// Drop explicitly.
     Drop,
 }
@@ -321,6 +324,21 @@ impl Ofproto {
                             nat: *nat,
                         });
                         actions.push(DpAction::Recirc(rid));
+                        return Translation {
+                            actions,
+                            mask: wc,
+                            tables_visited: visited,
+                            rules: matched,
+                        };
+                    }
+                    OfAction::NfChain(id) => {
+                        // Terminal like Drop: once a packet enters a
+                        // service chain, the chain's verdicts (forward /
+                        // drop / steer) decide what happens next.
+                        if let Some(t) = trace.as_deref_mut() {
+                            t.note(format!("table {table}: enter nf chain {id}"));
+                        }
+                        actions.push(DpAction::NfChain(*id));
                         return Translation {
                             actions,
                             mask: wc,

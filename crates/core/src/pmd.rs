@@ -228,6 +228,23 @@ impl PmdSet {
         }
     }
 
+    /// Register NF instances `0..n` as schedulable units (under the
+    /// [`crate::dpif::NF_WORK_PORT`] sentinel), making each NF an
+    /// assignable, cycle-measured peer of an rx queue.
+    pub fn add_nf_units(&mut self, n: usize) {
+        for nf in 0..n {
+            self.add_rxq(crate::dpif::NF_WORK_PORT, nf);
+        }
+    }
+
+    /// The core currently assigned to poll `rxq`, if any.
+    pub fn core_of(&self, rxq: RxqId) -> Option<usize> {
+        self.pmds
+            .iter()
+            .find(|p| p.rxqs.contains(&rxq))
+            .map(|p| p.core)
+    }
+
     /// Pin an rxq to a core (`pmd-rxq-affinity`). The core must belong
     /// to this set. While [`isolate_pinned`](Self::isolate_pinned) is
     /// true (the OVS default), a core with pins receives no non-pinned
@@ -561,10 +578,19 @@ impl PmdSet {
                 .map(|r| self.cycles.get(r).copied().unwrap_or(0))
                 .sum();
             for rxq in &pmd.rxqs {
-                let name = dp
-                    .port(rxq.port)
-                    .map(|p| p.name.as_str())
-                    .unwrap_or("<gone>");
+                let nf_name;
+                let name = if rxq.port == crate::dpif::NF_WORK_PORT {
+                    // An NF instance scheduled as an rxq-like unit.
+                    nf_name = match dp.nfv.nf(rxq.queue as u32) {
+                        Some(nf) => format!("nf:{}", nf.name),
+                        None => "nf:<gone>".to_string(),
+                    };
+                    nf_name.as_str()
+                } else {
+                    dp.port(rxq.port)
+                        .map(|p| p.name.as_str())
+                        .unwrap_or("<gone>")
+                };
                 let ns = self.cycles.get(rxq).copied().unwrap_or(0);
                 let pct = (ns * 100).checked_div(total).unwrap_or(0);
                 let _ = writeln!(

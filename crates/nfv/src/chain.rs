@@ -1,0 +1,42 @@
+//! Per-tenant service chains.
+
+use crate::manager::NfId;
+
+pub type ChainId = u32;
+
+/// What a chain does about a dead NF (crashed, waiting out its restart
+/// backoff, or out of restart budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainPolicy {
+    /// Skip the dead NF; traffic keeps flowing through the survivors.
+    Bypass,
+    /// Refuse to forward past the dead NF: packets that would enter it
+    /// are dropped as named `nf_fail_closed` losses. For tenants whose
+    /// NF is a security function, a bypassed firewall is worse than an
+    /// outage.
+    FailClosed,
+}
+
+impl ChainPolicy {
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChainPolicy::Bypass => "bypass",
+            ChainPolicy::FailClosed => "fail-closed",
+        }
+    }
+}
+
+/// An ordered list of NF instances traffic traverses, owned by a tenant.
+/// NF instances are not shared between chains — each position is a
+/// dedicated instance, which keeps "next hop" a pure function of
+/// (instance, position) and lets the scheduler attribute cycles to one
+/// tenant.
+#[derive(Debug, Clone)]
+pub struct NfChain {
+    pub id: ChainId,
+    pub tenant: u32,
+    pub nfs: Vec<NfId>,
+    /// Port a surviving packet exits on when the last NF says Forward.
+    pub default_output: u32,
+    pub policy: ChainPolicy,
+}

@@ -34,6 +34,9 @@ pub enum Stage {
     Actions,
     /// Conntrack lookup/commit inside a ct() action.
     CtLookup,
+    /// NF service-chain execution: ring crossings plus `process` batches
+    /// (the ovs-nfv subsystem).
+    NfExec,
     /// Recirculation bookkeeping between passes.
     Recirc,
     /// Handing frames to the TX backend.
@@ -43,7 +46,7 @@ pub enum Stage {
 }
 
 /// All stages, in display order.
-pub const STAGES: [Stage; 12] = [
+pub const STAGES: [Stage; 13] = [
     Stage::Rx,
     Stage::Parse,
     Stage::EmcLookup,
@@ -53,6 +56,7 @@ pub const STAGES: [Stage; 12] = [
     Stage::Batch,
     Stage::Actions,
     Stage::CtLookup,
+    Stage::NfExec,
     Stage::Recirc,
     Stage::Tx,
     Stage::Revalidate,
@@ -70,6 +74,7 @@ impl Stage {
             Stage::Batch => "batch setup/flush",
             Stage::Actions => "actions",
             Stage::CtLookup => "ct lookup",
+            Stage::NfExec => "nf exec",
             Stage::Recirc => "recirc",
             Stage::Tx => "tx",
             Stage::Revalidate => "revalidate",
@@ -87,9 +92,10 @@ impl Stage {
             Stage::Batch => 6,
             Stage::Actions => 7,
             Stage::CtLookup => 8,
-            Stage::Recirc => 9,
-            Stage::Tx => 10,
-            Stage::Revalidate => 11,
+            Stage::NfExec => 9,
+            Stage::Recirc => 10,
+            Stage::Tx => 11,
+            Stage::Revalidate => 12,
         }
     }
 }

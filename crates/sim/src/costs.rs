@@ -249,6 +249,17 @@ pub struct CostModel {
     pub non_pmd_overhead_ns: f64,
 
     // ------------------------------------------------------------------
+    // NFV (ovs-nfv service chains)
+    // ------------------------------------------------------------------
+    /// Fixed per-packet cost of one NF invocation (batch amortized: verdict
+    /// dispatch, header re-parse, table touch) on top of whatever the NF's
+    /// own logic costs. **[estimate]**
+    pub nf_exec_ns: f64,
+    /// One NF SPSC ring crossing per packet (descriptor push/pop + slot
+    /// slab bookkeeping; the openNetVM shared-ring handoff). **[estimate]**
+    pub nf_ring_ns: f64,
+
+    // ------------------------------------------------------------------
     // DPDK-style PMD
     // ------------------------------------------------------------------
     /// DPDK ethdev burst RX+TX per packet, including mbuf management.
@@ -364,6 +375,9 @@ impl CostModel {
             userspace_tunnel_ns: 180.0,
             recirc_ns: 35.0,
             non_pmd_overhead_ns: 1_040.0,
+
+            nf_exec_ns: 40.0,
+            nf_ring_ns: 18.0,
 
             dpdk_io_ns: 28.0,
             dpdk_per_byte_ns: 0.08,

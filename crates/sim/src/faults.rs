@@ -58,11 +58,18 @@ pub enum FaultKind {
     /// hitless flow-restore instead of a crash cold-start. One-shot:
     /// armed until the supervisor consumes it with [`FaultState::take`].
     DaemonRestart,
+    /// A bug in network function `target` (an NF id): the next invocation
+    /// of that NF panics inside the manager's `catch_unwind` boundary and
+    /// the worker is rebuilt after backoff. Windowed rather than one-shot
+    /// so a random plan armed against a host with no NF manager expires
+    /// harmlessly instead of wedging `all_clear`; the NF poll path
+    /// consumes it early with [`FaultState::take_for`].
+    NfPanic,
 }
 
 impl FaultKind {
     /// Every class, in a stable order (report and `fault/show` order).
-    pub const ALL: [FaultKind; 9] = [
+    pub const ALL: [FaultKind; 10] = [
         FaultKind::DatapathPanic,
         FaultKind::XdpAttachFail,
         FaultKind::VhostDisconnect,
@@ -72,6 +79,7 @@ impl FaultKind {
         FaultKind::CarrierFlap,
         FaultKind::ControllerDisconnect,
         FaultKind::DaemonRestart,
+        FaultKind::NfPanic,
     ];
 
     /// Stable snake_case label (counter names, JSON keys, `fault/show`).
@@ -86,6 +94,7 @@ impl FaultKind {
             FaultKind::CarrierFlap => "carrier_flap",
             FaultKind::ControllerDisconnect => "controller_disconnect",
             FaultKind::DaemonRestart => "daemon_restart",
+            FaultKind::NfPanic => "nf_panic",
         }
     }
 
@@ -140,6 +149,9 @@ pub struct FaultPlan {
 pub struct PlanTargets {
     pub ifindex: u32,
     pub guest: u32,
+    /// NF id that takes `NfPanic` faults (ignored by rigs without an NF
+    /// manager — the window simply expires).
+    pub nf: u32,
 }
 
 impl FaultPlan {
@@ -204,6 +216,7 @@ impl FaultPlan {
                 };
                 let (target, arg) = match kind {
                     FaultKind::VhostDisconnect => (targets.guest, 0),
+                    FaultKind::NfPanic => (targets.nf, 0),
                     FaultKind::DatapathPanic
                     | FaultKind::DaemonRestart
                     | FaultKind::ControllerDisconnect => (0, 0),
@@ -276,7 +289,7 @@ pub struct FaultState {
     cursor: usize,
     active: Vec<ActiveFault>,
     log: Vec<Injection>,
-    injected: [u64; 9],
+    injected: [u64; 10],
 }
 
 impl FaultState {
@@ -383,6 +396,22 @@ impl FaultState {
     /// raised at a quiescent instant — no packets are mid-pipeline.
     pub fn take(&mut self, kind: FaultKind) -> bool {
         if let Some(i) = self.active.iter().position(|a| a.kind == kind) {
+            self.active.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume one active fault of `kind` against `target` specifically.
+    /// The NF poll path uses this so a crash armed for NF 3 cannot be
+    /// absorbed by whichever NF happens to poll first.
+    pub fn take_for(&mut self, kind: FaultKind, target: u32) -> bool {
+        if let Some(i) = self
+            .active
+            .iter()
+            .position(|a| a.kind == kind && a.target == target)
+        {
             self.active.remove(i);
             true
         } else {
@@ -518,6 +547,7 @@ mod tests {
         let t = PlanTargets {
             ifindex: 1,
             guest: 0,
+            nf: 0,
         };
         let a = FaultPlan::random(42, 1_000_000, t);
         let b = FaultPlan::random(42, 1_000_000, t);

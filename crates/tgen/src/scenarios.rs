@@ -1144,7 +1144,7 @@ pub fn run_fastpath(
 /// soak. Anything offered and neither delivered nor counted by one of
 /// these is *unaccounted* — a silent loss, which the soak treats as a
 /// failure.
-pub const DROP_COUNTERS: [&str; 10] = [
+pub const DROP_COUNTERS: [&str; 14] = [
     "xsk_tx_ring_full",
     "xsk_close_flushed",
     "xsk_rx_dropped",
@@ -1155,6 +1155,10 @@ pub const DROP_COUNTERS: [&str; 10] = [
     "upcall_queue_full",
     "upcalls_gated",
     "fail_secure_drop",
+    "nf_ring_full",
+    "nf_verdict_drop",
+    "nf_crash_drop",
+    "nf_fail_closed",
 ];
 
 /// Outcome of a [`run_faults`] soak.
@@ -1310,6 +1314,16 @@ pub fn run_faults(seed: u64) -> FaultsReport {
             0,
             0,
             jitter(1_200_000),
+        )
+        // The NSX pair runs no NF manager, so this window expires
+        // unconsumed — it keeps the soak covering every fault class;
+        // live-NF consumption is `run_chains`'s job.
+        .event(
+            jitter(9_000_000),
+            FaultKind::NfPanic,
+            0,
+            0,
+            jitter(1_000_000),
         );
     h1.kernel.sim.faults.arm(h1_plan);
     h2.kernel.sim.faults.arm(h2_plan);
@@ -1923,6 +1937,408 @@ pub fn run_outage(fail_mode: ovs_core::FailMode) -> OutageReport {
     }
 }
 
+// ----------------------------------------------------------------------
+// NF service-chain soak (ovs-nfv)
+// ----------------------------------------------------------------------
+
+/// Outcome of a [`run_chains`] soak.
+#[derive(Debug)]
+pub struct ChainsReport {
+    /// The schedule seed (same seed ⇒ byte-identical report).
+    pub seed: u64,
+    /// Tenants configured (== chains installed).
+    pub tenants: u64,
+    /// NF instances across all chains (rxq-like scheduler units).
+    pub nf_instances: u64,
+    /// Frames offered at the ingress NIC (soak + bursts + curve + probe).
+    pub frames_offered: u64,
+    /// Frames that reached a wire (default output + steered backends).
+    pub delivered: u64,
+    /// Frames absorbed by [`DROP_COUNTERS`].
+    pub counted_drops: u64,
+    /// `offered - delivered - counted_drops`; must be zero.
+    pub unaccounted: i64,
+    /// NF worker panics caught at the manager's unwind boundary.
+    pub nf_crashes: u64,
+    /// NF restarts completed after backoff.
+    pub nf_restarts: u64,
+    /// Packets lost with a crashing worker (its popped batch).
+    pub crash_drops: u64,
+    /// Packets dropped by NF verdict (firewall/DPI policy).
+    pub verdict_drops: u64,
+    /// Packets refused at a full NF ring (explicit backpressure).
+    pub ring_full_drops: u64,
+    /// Packets dropped entering a dead NF on a fail-closed chain.
+    pub fail_closed_drops: u64,
+    /// Packets the load balancer steered off the default output.
+    pub steered: u64,
+    /// Mempool descriptor reuses vs fresh allocations (throughput proxy).
+    pub pool_reuses: u64,
+    pub pool_fresh: u64,
+    /// Switch-core cost per frame by chain length 1..=4 (must rise
+    /// monotonically — each hop adds ring + exec + nothing else).
+    pub chain_ns_per_pkt: Vec<(usize, f64)>,
+    /// Estimated cross-PMD variance improvement of the auto-lb dry run
+    /// after the skewed phase (percent), and whether it was applied.
+    pub lb_improvement_pct: u64,
+    pub lb_rebalances: u64,
+    /// Busiest-PMD core-ns per offered frame before/after the rebalance.
+    pub bottleneck_before_ns_per_pkt: f64,
+    pub bottleneck_after_ns_per_pkt: f64,
+    /// Every [`DROP_COUNTERS`] value at the end of the soak.
+    pub drops_by_counter: Vec<(&'static str, u64)>,
+    /// Probe frames after the all-clear; all must deliver.
+    pub probe_sent: u64,
+    pub probe_delivered: u64,
+    pub forwarding_resumed: bool,
+}
+
+/// Per-tenant NF service chains on the PMD scheduler (the openNetVM-style
+/// subsystem): every tenant owns a chain of 1..=4 NFs (firewall →
+/// monitor → DPI → load balancer, truncated to the tenant's length),
+/// reached via an `nf_chain` flow action keyed on the tenant's UDP port.
+/// NF instances are scheduled as rxq-like units across 4 PMD cores.
+///
+/// The soak runs two skew phases: phase A under a load-blind round-robin
+/// assignment (every 8th tenant is "hot" and their single-NF chains all
+/// collide on one PMD by construction), then one `pmd-auto-lb` dry run
+/// under the cycles policy rebalances by measured load, and phase B
+/// repeats the same traffic over the spread assignment. Mid-phase NF
+/// panics exercise crash isolation (restart with backoff; bypass vs
+/// fail-closed dead-NF policy), a one-round burst overflows a 16-deep
+/// NF ring to exercise explicit backpressure, and DPI drops a marked
+/// frame every 50th. The invariant throughout: every offered frame is
+/// delivered or claimed by exactly one named drop counter.
+pub fn run_chains(tenants: usize, seed: u64) -> ChainsReport {
+    use ovs_core::nfv::{ChainPolicy, FwRule, NfSpec};
+    use ovs_sim::{FaultKind, SimRng};
+
+    assert!(tenants >= 8, "need at least one hot-tenant stride");
+    ovs_obs::coverage::reset();
+
+    const BASE_PORT: u16 = 2000;
+    const ROUND_NS: u64 = 100_000; // 100 µs per soak round
+    const ROUNDS: usize = 200;
+    const PER_ROUND: usize = 8;
+    const PMD_CORES: [usize; 4] = [4, 5, 6, 7];
+
+    let mut k = Kernel::new(16);
+    let mut nics = Vec::new();
+    for i in 0..3u8 {
+        nics.push(k.add_device(NetDevice::new(
+            &format!("eth{i}"),
+            MacAddr::new(2, 0, 0, 0, 0, i + 1),
+            DeviceKind::Phys { link_gbps: 25.0 },
+            1,
+        )));
+    }
+    let (nic0, nic1, nic2) = (nics[0], nics[1], nics[2]);
+    // Model NFs doing real per-packet work (DPI scans, table updates) —
+    // heavy enough that chain length and NF placement dominate the
+    // per-core budget the auto-lb balances.
+    k.sim.costs.nf_exec_ns = 480.0;
+
+    let mut dp = DpifNetdev::new();
+    let p0 = dp.add_port(
+        "eth0",
+        PortType::Afxdp(AfxdpPort::open(&mut k, nic0, 4096, OptLevel::O5).unwrap()),
+    );
+    let p1 = dp.add_port(
+        "eth1",
+        PortType::Afxdp(AfxdpPort::open(&mut k, nic1, 4096, OptLevel::O5).unwrap()),
+    );
+    let p2 = dp.add_port(
+        "eth2",
+        PortType::Afxdp(AfxdpPort::open(&mut k, nic2, 4096, OptLevel::O5).unwrap()),
+    );
+    dp.set_emc_insert_inv_prob(1);
+
+    // One chain per tenant, length cycling 1..=4. The LB only ever sits
+    // last (it steers packets out of the chain), so a length-L chain is
+    // exactly L hops. Odd tenants fail closed when an NF is dead; even
+    // tenants bypass it.
+    let mut total_nfs = 0usize;
+    for t in 0..tenants as u32 {
+        let len = 1 + (t % 4) as usize;
+        let templates: [(&str, NfSpec); 4] = [
+            (
+                "fw",
+                NfSpec::Firewall {
+                    rules: vec![FwRule {
+                        proto: Some(17),
+                        dport_lo: 1,
+                        dport_hi: 1,
+                        allow: false,
+                    }],
+                    default_allow: true,
+                },
+            ),
+            ("mon", NfSpec::Monitor),
+            (
+                "dpi",
+                NfSpec::Dpi {
+                    patterns: vec![b"EVIL".to_vec()],
+                },
+            ),
+            (
+                "lb",
+                NfSpec::LoadBalancer {
+                    backends: vec![p1, p2],
+                },
+            ),
+        ];
+        let specs: Vec<(String, NfSpec)> = templates
+            .into_iter()
+            .take(len)
+            .map(|(name, spec)| (format!("t{t}-{name}"), spec))
+            .collect();
+        let policy = if t % 2 == 1 {
+            ChainPolicy::FailClosed
+        } else {
+            ChainPolicy::Bypass
+        };
+        let cid = dp.nfv.add_chain(t, specs, 16, p1, policy);
+        dp.add_flows(&format!(
+            "table=0, priority=10, udp, tp_dst={}, actions=nf_chain:{cid}",
+            BASE_PORT + t as u16
+        ))
+        .unwrap();
+        total_nfs += len;
+    }
+
+    // Phase A starts load-blind: round-robin deals units by count, and
+    // the hot tenants (every 8th, single-NF chains) land at unit indices
+    // ≡ 0 (mod 20), which — with the port rxq registered first — all hit
+    // the same PMD. That is the skew the auto-lb later undoes.
+    let mut pmds = PmdSet::new(&PMD_CORES, AssignmentPolicy::RoundRobin);
+    pmds.add_port_rxqs(p0, 1);
+    pmds.add_nf_units(total_nfs);
+    pmds.rebalance();
+
+    let frame = |t: u32, sport: u16, evil: bool| {
+        let mut payload = vec![0x5au8; 86];
+        if evil {
+            payload[..4].copy_from_slice(b"EVIL");
+        }
+        ovs_packet::builder::udp_ipv4(
+            MacAddr::new(2, 0, 0, 0, 9, 9),
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            sport,
+            BASE_PORT + t as u16,
+            &payload,
+        )
+    };
+
+    let delivered_now =
+        |k: &Kernel| (k.device(nic1).tx_wire.len() + k.device(nic2).tx_wire.len()) as u64;
+    let busy = |k: &Kernel, core: usize| k.sim.cpus.core(core).total_ns();
+
+    let mut rng = SimRng::new(seed);
+    let hot = (tenants / 8) as u64;
+    let mut offered = 0u64;
+    let mut frame_no = 0u64;
+
+    // Drain until nothing moves, no packets are parked in NF rings, and
+    // the fault schedule is spent (dead NFs restart as the clock runs).
+    fn drain(k: &mut Kernel, dp: &mut DpifNetdev, pmds: &mut PmdSet) {
+        for _ in 0..1024 {
+            let moved = pmds.run_round(dp, k);
+            k.sim.clock.advance(ROUND_NS);
+            let parked: usize = dp
+                .nfv
+                .chains()
+                .iter()
+                .map(|c| dp.nfv.chain_occupancy(c))
+                .sum();
+            if moved == 0 && parked == 0 && k.sim.faults.all_clear() {
+                break;
+            }
+        }
+    }
+
+    // One skewed soak phase. `panic_round`/`panic_nf` arm an NfPanic the
+    // targeted worker consumes on its next poll; the panicked tenant gets
+    // a guaranteed mini-burst the same round (so the crash loses a real
+    // batch) and the tenant rides follow-up frames through the dead
+    // window (so bypass/fail-closed policy is exercised, not just coded).
+    // `burst_round` slams 64 frames at hot tenant 0 to overflow its
+    // 16-deep ring.
+    let phase = |k: &mut Kernel,
+                 dp: &mut DpifNetdev,
+                 pmds: &mut PmdSet,
+                 rng: &mut SimRng,
+                 offered: &mut u64,
+                 frame_no: &mut u64,
+                 panic_round: usize,
+                 panic_tenant: u32,
+                 burst_round: Option<usize>|
+     -> f64 {
+        let panic_nf = dp
+            .nfv
+            .chain_of_tenant(panic_tenant)
+            .expect("tenant exists")
+            .nfs[0];
+        let busy0: Vec<f64> = PMD_CORES.iter().map(|&c| busy(k, c)).collect();
+        for r in 0..ROUNDS {
+            if r == panic_round {
+                k.inject_fault(FaultKind::NfPanic, panic_nf, 0, 5_000_000);
+                for _ in 0..4 {
+                    k.receive(nic0, 0, frame(panic_tenant, 7000, false));
+                    *offered += 1;
+                }
+            }
+            if r > panic_round && r <= panic_round + 4 {
+                // Dead window: the NF's backoff is 1 ms = 10 rounds.
+                for _ in 0..2 {
+                    k.receive(nic0, 0, frame(panic_tenant, 7001, false));
+                    *offered += 1;
+                }
+            }
+            if burst_round == Some(r) {
+                for i in 0..64u16 {
+                    k.receive(nic0, 0, frame(0, 8000 + i, false));
+                    *offered += 1;
+                }
+            }
+            for _ in 0..PER_ROUND {
+                let evil = *frame_no % 50 == 49;
+                let t = if evil {
+                    2 // length-3 chain: its DPI drops the marked frame
+                } else if rng.below(2) == 0 {
+                    (8 * rng.below(hot)) as u32
+                } else {
+                    rng.below(tenants as u64) as u32
+                };
+                let sport = 1024 + rng.below(50_000) as u16;
+                k.receive(nic0, 0, frame(t, sport, evil));
+                *offered += 1;
+                *frame_no += 1;
+            }
+            pmds.run_round(dp, k);
+            k.sim.clock.advance(ROUND_NS);
+        }
+        drain(k, dp, pmds);
+        PMD_CORES
+            .iter()
+            .zip(&busy0)
+            .map(|(&c, b0)| busy(k, c) - b0)
+            .fold(0.0f64, f64::max)
+    };
+
+    // --- Phase A: skewed load on the load-blind assignment. -----------
+    let offered_a0 = offered;
+    let busy_a = phase(
+        &mut k,
+        &mut dp,
+        &mut pmds,
+        &mut rng,
+        &mut offered,
+        &mut frame_no,
+        60,
+        0,
+        Some(120),
+    );
+    let bottleneck_before = busy_a / (offered - offered_a0) as f64;
+
+    // --- One auto-lb pass under the load-aware policy. Group (greedy
+    // least-loaded) rather than Cycles: the zigzag deal ignores where
+    // the heavyweight port rxq already sits, so only the greedy policy
+    // reliably spreads the hot NFs *around* it at every tenant scale.
+    pmds.set_policy(AssignmentPolicy::Group);
+    let lb_improvement_pct = pmds.auto_lb_check();
+
+    // --- Phase B: same traffic over the rebalanced assignment; the
+    // crashing NF heads an odd (fail-closed) tenant's chain this time.
+    let offered_b0 = offered;
+    let busy_b = phase(
+        &mut k,
+        &mut dp,
+        &mut pmds,
+        &mut rng,
+        &mut offered,
+        &mut frame_no,
+        60,
+        1,
+        None,
+    );
+    let bottleneck_after = busy_b / (offered - offered_b0) as f64;
+
+    // --- Chain-length cost curve: warm each probe tenant, then meter a
+    // fixed batch through its length-L chain. Each extra hop is one ring
+    // crossing plus one NF invocation, so the curve must rise.
+    let mut chain_ns_per_pkt = Vec::new();
+    for len in 1..=4usize {
+        let t = (len - 1) as u32;
+        for _ in 0..16 {
+            k.receive(nic0, 0, frame(t, 5000, false));
+            offered += 1;
+        }
+        drain(&mut k, &mut dp, &mut pmds);
+        let busy0: Vec<f64> = PMD_CORES.iter().map(|&c| busy(&k, c)).collect();
+        const CURVE_FRAMES: u64 = 64;
+        for _ in 0..CURVE_FRAMES {
+            k.receive(nic0, 0, frame(t, 5000, false));
+            offered += 1;
+        }
+        drain(&mut k, &mut dp, &mut pmds);
+        let spent: f64 = PMD_CORES
+            .iter()
+            .zip(&busy0)
+            .map(|(&c, b0)| busy(&k, c) - b0)
+            .sum();
+        chain_ns_per_pkt.push((len, spent / CURVE_FRAMES as f64));
+    }
+
+    // --- Forwarding probe after the all-clear. ------------------------
+    const PROBE: u64 = 32;
+    let probe_base = delivered_now(&k);
+    for i in 0..PROBE {
+        k.receive(nic0, 0, frame((i % 5) as u32, 5000, false));
+        offered += 1;
+    }
+    drain(&mut k, &mut dp, &mut pmds);
+    let probe_delivered = delivered_now(&k) - probe_base;
+
+    // --- The balance sheet. -------------------------------------------
+    let delivered = delivered_now(&k);
+    let drops_by_counter: Vec<(&'static str, u64)> = DROP_COUNTERS
+        .iter()
+        .map(|&n| (n, ovs_obs::coverage::total(n)))
+        .collect();
+    let counted_drops: u64 = drops_by_counter.iter().map(|(_, v)| v).sum();
+    let totals = dp.nfv.totals();
+    let (pool_reuses, pool_fresh) = dp.nfv.pool_stats();
+    ChainsReport {
+        seed,
+        tenants: tenants as u64,
+        nf_instances: total_nfs as u64,
+        frames_offered: offered,
+        delivered,
+        counted_drops,
+        unaccounted: offered as i64 - delivered as i64 - counted_drops as i64,
+        nf_crashes: totals.crashes,
+        nf_restarts: totals.restarts,
+        crash_drops: totals.crash_drops,
+        verdict_drops: totals.verdict_drops,
+        ring_full_drops: totals.ring_full_drops,
+        fail_closed_drops: totals.fail_closed_drops,
+        steered: totals.steered,
+        pool_reuses,
+        pool_fresh,
+        chain_ns_per_pkt,
+        lb_improvement_pct,
+        lb_rebalances: pmds.auto_lb.rebalances,
+        bottleneck_before_ns_per_pkt: bottleneck_before,
+        bottleneck_after_ns_per_pkt: bottleneck_after,
+        drops_by_counter,
+        probe_sent: PROBE,
+        probe_delivered,
+        forwarding_resumed: probe_delivered == PROBE,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1977,6 +2393,44 @@ mod tests {
                 assert!(*n > 0, "class {label} never injected: {r:#?}");
             }
         }
+    }
+
+    #[test]
+    fn chains_soak_accounts_for_every_frame() {
+        let r = run_chains(64, 0xA11CE);
+        println!("{r:#?}");
+        assert_eq!(
+            r.unaccounted, 0,
+            "every offered frame must be delivered or counted: {r:#?}"
+        );
+        assert!(r.nf_crashes >= 2, "both scheduled NF panics fired: {r:#?}");
+        assert!(r.nf_restarts >= 2, "crashed NFs restarted: {r:#?}");
+        assert!(
+            r.crash_drops > 0,
+            "a crash loses its in-flight batch: {r:#?}"
+        );
+        assert!(r.verdict_drops > 0, "DPI dropped the marked frames: {r:#?}");
+        assert!(
+            r.ring_full_drops > 0,
+            "the burst overflowed the ring: {r:#?}"
+        );
+        assert!(
+            r.fail_closed_drops > 0,
+            "the fail-closed chain dropped during the dead window: {r:#?}"
+        );
+        assert!(r.steered > 0, "the load balancer steered packets: {r:#?}");
+        for w in r.chain_ns_per_pkt.windows(2) {
+            assert!(
+                w[1].1 > w[0].1,
+                "per-frame cost must rise with chain length: {:?}",
+                r.chain_ns_per_pkt
+            );
+        }
+        assert!(
+            r.lb_improvement_pct > 0 && r.lb_rebalances >= 1,
+            "auto-lb must find and apply an improvement: {r:#?}"
+        );
+        assert!(r.forwarding_resumed, "probe after all-clear: {r:#?}");
     }
 
     #[test]

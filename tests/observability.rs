@@ -111,6 +111,7 @@ pmd thread core 1:
   batch setup/flush            8112 ns          19468 cycles   13.3%
   actions                         0 ns              0 cycles    0.0%
   ct lookup                    5640 ns          13536 cycles    9.3%
+  nf exec                         0 ns              0 cycles    0.0%
   recirc                       1645 ns           3948 cycles    2.7%
   tx                           4752 ns          11404 cycles    7.8%
   revalidate                      0 ns              0 cycles    0.0%
@@ -127,6 +128,7 @@ all pmd threads:
   batch setup/flush            8112 ns          19468 cycles   13.3%
   actions                         0 ns              0 cycles    0.0%
   ct lookup                    5640 ns          13536 cycles    9.3%
+  nf exec                         0 ns              0 cycles    0.0%
   recirc                       1645 ns           3948 cycles    2.7%
   tx                           4752 ns          11404 cycles    7.8%
   revalidate                      0 ns              0 cycles    0.0%
@@ -556,4 +558,160 @@ fn golden_conntrack_introspection_two_host_nsx() {
     for c in ["dpctl/ct-dump", "dpctl/ct-stats", "ct/flush"] {
         assert!(cmds.contains(c), "{c} missing from list-commands:\n{cmds}");
     }
+}
+
+// ----------------------------------------------------------------------
+// NFV goldens: nfv/show, nfv/chain-show, nfv/stats on a deterministic
+// two-tenant chain rig
+// ----------------------------------------------------------------------
+
+const GOLDEN_NFV_SHOW: &str = "\
+nfv manager: 3 NFs, 2 chains, backoff 1000 us, restart budget 8
+nf   0 edge-fw      (firewall   ) running  chain   0 rx        4 tx        3 drops      1 ring   0/8   restarts 0
+nf   1 flowmon      (monitor    ) running  chain   0 rx        3 tx        3 drops      0 ring   0/8   restarts 0
+nf   2 audit        (monitor    ) running  chain   1 rx        2 tx        2 drops      0 ring   0/8   restarts 0
+";
+
+const GOLDEN_NFV_CHAIN_SHOW: &str = "\
+tenant 0 chain 0 (policy bypass, default output 1):
+  [0] nf 0 edge-fw (firewall) state running pmd core 1 ring 0/8
+  [1] nf 1 flowmon (monitor) state running pmd core 1 ring 0/8
+  in-flight: 0
+";
+
+const GOLDEN_NFV_STATS: &str = "\
+nfv totals: rx 9 tx 8 steered 0 verdict-drops 1 ring-full 0 crash-drops 0 fail-closed 0
+nfv health: crashes 0 restarts 0
+nfv mempool: reuses 6 fresh-allocs 0
+";
+
+/// Two tenants — a bypass firewall+monitor chain and a fail-closed
+/// monitor chain — fed a fixed frame mix (one frame firewall-dropped),
+/// then the three `nfv/*` surfaces asserted byte-exactly, including the
+/// PMD core placement the scheduler reports for each NF.
+#[test]
+fn golden_nfv_surfaces() {
+    use ovs_core::nfv::{ChainPolicy, FwRule, NfSpec};
+    use ovs_core::{AssignmentPolicy, PmdSet};
+
+    coverage::reset();
+    let mut k = Kernel::new(4);
+    let nic0 = k.add_device(NetDevice::new(
+        "eth0",
+        MacAddr::new(2, 0, 0, 0, 0, 1),
+        DeviceKind::Phys { link_gbps: 10.0 },
+        1,
+    ));
+    let nic1 = k.add_device(NetDevice::new(
+        "eth1",
+        MacAddr::new(2, 0, 0, 0, 0, 2),
+        DeviceKind::Phys { link_gbps: 10.0 },
+        1,
+    ));
+    let mut dp = DpifNetdev::new();
+    let p0 = dp.add_port(
+        "eth0",
+        PortType::Afxdp(AfxdpPort::open(&mut k, nic0, 256, OptLevel::O5).unwrap()),
+    );
+    let p1 = dp.add_port(
+        "eth1",
+        PortType::Afxdp(AfxdpPort::open(&mut k, nic1, 256, OptLevel::O5).unwrap()),
+    );
+
+    let c0 = dp.nfv.add_chain(
+        0,
+        vec![
+            (
+                "edge-fw".to_string(),
+                NfSpec::Firewall {
+                    rules: vec![FwRule {
+                        proto: Some(17),
+                        dport_lo: 4001,
+                        dport_hi: 4001,
+                        allow: false,
+                    }],
+                    default_allow: true,
+                },
+            ),
+            ("flowmon".to_string(), NfSpec::Monitor),
+        ],
+        8,
+        p1,
+        ChainPolicy::Bypass,
+    );
+    let c1 = dp.nfv.add_chain(
+        1,
+        vec![("audit".to_string(), NfSpec::Monitor)],
+        8,
+        p1,
+        ChainPolicy::FailClosed,
+    );
+    dp.add_flows(&format!(
+        "table=0, priority=10, udp, tp_dst=4000, actions=nf_chain:{c0}\n\
+         table=0, priority=11, udp, tp_dst=4001, actions=nf_chain:{c0}\n\
+         table=0, priority=12, udp, tp_dst=4100, actions=nf_chain:{c1}\n"
+    ))
+    .unwrap();
+
+    let mut pmds = PmdSet::new(&[1], AssignmentPolicy::RoundRobin);
+    pmds.add_port_rxqs(p0, 1);
+    pmds.add_nf_units(3);
+    pmds.rebalance();
+
+    // Tenant 0: three allowed frames plus one the firewall rule drops;
+    // tenant 1: two audited frames.
+    for (sport, dport) in [
+        (7000, 4000),
+        (7001, 4000),
+        (7002, 4000),
+        (7003, 4001),
+        (7004, 4100),
+        (7005, 4100),
+    ] {
+        let f = builder::udp_ipv4(
+            MacAddr::new(2, 0, 0, 0, 9, 9),
+            MacAddr::new(2, 0, 0, 0, 0, 1),
+            [10, 0, 0, 1],
+            [10, 0, 0, 2],
+            sport,
+            dport,
+            &[0x5a; 40],
+        );
+        k.receive(nic0, 0, f);
+    }
+    for _ in 0..64 {
+        let moved = pmds.run_round(&mut dp, &mut k);
+        k.sim.clock.advance(100_000);
+        let parked: usize = dp
+            .nfv
+            .chains()
+            .iter()
+            .map(|c| dp.nfv.chain_occupancy(c))
+            .sum();
+        if moved == 0 && parked == 0 {
+            break;
+        }
+    }
+    assert_eq!(
+        k.device(nic1).tx_wire.len(),
+        5,
+        "5 of 6 frames must forward"
+    );
+
+    let show =
+        appctl::dispatch_full(&mut dp, &mut k, None, Some(&mut pmds), "nfv/show", &[]).unwrap();
+    assert_eq!(show, GOLDEN_NFV_SHOW);
+    let chain = appctl::dispatch_full(
+        &mut dp,
+        &mut k,
+        None,
+        Some(&mut pmds),
+        "nfv/chain-show",
+        &["0"],
+    )
+    .unwrap();
+    assert_eq!(chain, GOLDEN_NFV_CHAIN_SHOW);
+    let stats =
+        appctl::dispatch_full(&mut dp, &mut k, None, Some(&mut pmds), "nfv/stats", &[]).unwrap();
+    assert_eq!(stats, GOLDEN_NFV_STATS);
 }

@@ -13,11 +13,12 @@ use ovs_core::{AssignmentPolicy, DpifNetdev, HealthMonitor, PmdSet};
 use ovs_kernel::dev::{Attachment, DeviceKind, NetDevice, XdpMode};
 use ovs_kernel::ovs_module::Vport;
 use ovs_kernel::Kernel;
+use ovs_nfv::{ChainPolicy, NfSpec};
 use ovs_nsx::ruleset::{self as nsx_ruleset, NsxConfig};
 use ovs_nsx::topology::{DatapathKind, Host, HostConfig, VmAttachment};
 use ovs_packet::{builder, DpPacket, MacAddr};
 use ovs_ring::PacketBatch;
-use ovs_sim::{FaultKind, FaultPlan, PlanTargets};
+use ovs_sim::{FaultKind, FaultPlan, PlanTargets, SimRng};
 use ovs_tgen::scenarios::DROP_COUNTERS;
 
 use proptest::prelude::*;
@@ -132,6 +133,10 @@ proptest! {
             PlanTargets {
                 ifindex: h1.uplink_if,
                 guest: sender as u32,
+                // The NSX pair runs no NF manager: the plan's NfPanic
+                // window simply expires. The NF-chain rig below takes
+                // the same fault class against live NFs.
+                nf: 0,
             },
         );
         h1.kernel.sim.faults.arm(plan);
@@ -216,6 +221,176 @@ proptest! {
             seed
         );
         assert_coherent(&h1, &h2);
+    }
+}
+
+// ----------------------------------------------------------------------
+// (a2) Armed NfPanic schedules against live NF service chains
+// ----------------------------------------------------------------------
+
+proptest! {
+    /// Arm a seeded plan of [`FaultKind::NfPanic`] windows (the same
+    /// plan/tick machinery the NSX soak uses, not direct injection)
+    /// against a four-tenant NF-chain rig and stream skewed traffic
+    /// across the schedule. The §6 contract extends through the NF
+    /// drop classes: offered == delivered + counted exactly, dpif
+    /// stats stay coherent, and a probe after the all-clear forwards
+    /// without loss through the restarted NFs.
+    #[test]
+    fn nf_panic_plans_keep_the_ledger_exact(seed in 0u64..1_000_000) {
+        quiet_simulated_panics();
+        ovs_obs::coverage::reset();
+
+        const ROUND_NS: u64 = 100_000;
+        let mut k = Kernel::new(8);
+        let nic0 = k.add_device(NetDevice::new(
+            "eth0", MacAddr::new(2, 0, 0, 0, 0, 1), DeviceKind::Phys { link_gbps: 10.0 }, 1,
+        ));
+        let nic1 = k.add_device(NetDevice::new(
+            "eth1", MacAddr::new(2, 0, 0, 0, 0, 2), DeviceKind::Phys { link_gbps: 10.0 }, 1,
+        ));
+        let mut dp = DpifNetdev::new();
+        let p0 = dp.add_port(
+            "eth0",
+            PortType::Afxdp(AfxdpPort::open(&mut k, nic0, 1024, OptLevel::O5).unwrap()),
+        );
+        let p1 = dp.add_port(
+            "eth1",
+            PortType::Afxdp(AfxdpPort::open(&mut k, nic1, 1024, OptLevel::O5).unwrap()),
+        );
+        dp.set_emc_insert_inv_prob(1);
+
+        // Four tenants, chain lengths 1..=4, alternating dead-NF policy
+        // so the schedule exercises both bypass and fail-closed paths.
+        let mut total_nfs = 0;
+        for t in 0..4u32 {
+            let len = 1 + t as usize;
+            let specs = (0..len)
+                .map(|i| {
+                    let spec = if i == 0 {
+                        NfSpec::Firewall { rules: vec![], default_allow: true }
+                    } else {
+                        NfSpec::Monitor
+                    };
+                    (format!("t{t}-nf{i}"), spec)
+                })
+                .collect();
+            let policy = if t % 2 == 1 { ChainPolicy::FailClosed } else { ChainPolicy::Bypass };
+            let cid = dp.nfv.add_chain(t, specs, 16, p1, policy);
+            dp.add_flows(&format!(
+                "table=0, priority=10, udp, tp_dst={}, actions=nf_chain:{cid}",
+                4000 + t as u16
+            ))
+            .unwrap();
+            total_nfs += len;
+        }
+        let mut pmds = PmdSet::new(&[4, 5], AssignmentPolicy::RoundRobin);
+        pmds.add_port_rxqs(p0, 1);
+        pmds.add_nf_units(total_nfs);
+        pmds.rebalance();
+
+        // Seeded plan: 3..=6 NfPanic windows against random NF ids,
+        // jittered across the first 40 soak rounds.
+        let mut prng = SimRng::new(seed ^ 0x00f0_00f0);
+        let mut plan = FaultPlan::new(seed);
+        for _ in 0..(3 + prng.below(4)) {
+            let at = prng.below(40) * ROUND_NS;
+            let nf = prng.below(total_nfs as u64) as u32;
+            plan = plan.event(at, FaultKind::NfPanic, nf, 0, 5_000_000);
+        }
+        k.sim.faults.arm(plan);
+
+        let mut rng = SimRng::new(seed);
+        let mut offered = 0u64;
+        for _ in 0..60 {
+            k.fault_tick();
+            for _ in 0..4 {
+                let t = rng.below(4) as u16;
+                let sport = 1024 + rng.below(50_000) as u16;
+                let f = builder::udp_ipv4(
+                    MacAddr::new(2, 0, 0, 0, 9, 9),
+                    MacAddr::new(2, 0, 0, 0, 0, 1),
+                    [10, 0, 0, 1],
+                    [10, 0, 0, 2],
+                    sport,
+                    4000 + t,
+                    &[0x5a; 32],
+                );
+                k.receive(nic0, 0, f);
+                offered += 1;
+            }
+            pmds.run_round(&mut dp, &mut k);
+            assert!(dp.stats.coherent(), "seed {seed}: stats incoherent mid-soak");
+            k.sim.clock.advance(ROUND_NS);
+        }
+
+        // Drain: nothing moving, no packets parked on NF rings, and the
+        // whole schedule fired and expired (crashed NFs restarted).
+        for _ in 0..1024 {
+            k.fault_tick();
+            let moved = pmds.run_round(&mut dp, &mut k);
+            k.sim.clock.advance(ROUND_NS);
+            let parked: usize = dp
+                .nfv
+                .chains()
+                .iter()
+                .map(|c| dp.nfv.chain_occupancy(c))
+                .sum();
+            if moved == 0 && parked == 0 && k.sim.faults.all_clear() {
+                break;
+            }
+        }
+        prop_assert!(k.sim.faults.all_clear(), "seed {seed}: schedule never cleared");
+
+        let delivered = k.device(nic1).tx_wire.len() as u64;
+        let counted: u64 = DROP_COUNTERS
+            .iter()
+            .map(|&n| ovs_obs::coverage::total(n))
+            .sum();
+        let breakdown: Vec<(&str, u64)> = DROP_COUNTERS
+            .iter()
+            .map(|&n| (n, ovs_obs::coverage::total(n)))
+            .filter(|(_, v)| *v > 0)
+            .collect();
+        prop_assert_eq!(
+            offered as i64 - delivered as i64 - counted as i64,
+            0,
+            "seed {}: {} offered, {} delivered, {} counted {:?}",
+            seed,
+            offered,
+            delivered,
+            counted,
+            breakdown
+        );
+
+        // Forwarding must fully resume through the restarted NFs.
+        const PROBE: u64 = 32;
+        for i in 0..PROBE {
+            let f = builder::udp_ipv4(
+                MacAddr::new(2, 0, 0, 0, 9, 9),
+                MacAddr::new(2, 0, 0, 0, 0, 1),
+                [10, 0, 0, 1],
+                [10, 0, 0, 2],
+                5000 + i as u16,
+                4000 + (i % 4) as u16,
+                &[0x5a; 32],
+            );
+            k.receive(nic0, 0, f);
+        }
+        for _ in 0..256 {
+            let moved = pmds.run_round(&mut dp, &mut k);
+            k.sim.clock.advance(ROUND_NS);
+            if moved == 0 {
+                break;
+            }
+        }
+        prop_assert_eq!(
+            k.device(nic1).tx_wire.len() as u64 - delivered,
+            PROBE,
+            "seed {}: probe did not fully forward after all-clear",
+            seed
+        );
+        assert!(dp.stats.coherent(), "seed {seed}: stats incoherent after probe");
     }
 }
 
